@@ -1,0 +1,338 @@
+// Command endbox-client is the EndBox client over real UDP: it creates the
+// (simulated) SGX enclave, registers its platform, runs remote attestation
+// against the server's CA, fetches the current middlebox configuration,
+// connects the VPN, and then sends ICMP pings through the tunnel, printing
+// round-trip times. Configuration updates announced by the server are
+// fetched and hot-swapped automatically.
+//
+//	endbox-client -server 127.0.0.1:11940 -id laptop-1 -pings 10
+//
+// Pair it with cmd/endbox-server.
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"endbox/internal/attest"
+	"endbox/internal/config"
+	"endbox/internal/core"
+	"endbox/internal/packet"
+	"endbox/internal/sgx"
+	"endbox/internal/udptransport"
+	"endbox/internal/vpn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// link is the client's UDP endpoint: a request/response helper plus an
+// async dispatch loop for pushed data frames.
+type link struct {
+	conn    *net.UDPConn
+	control chan []byte // control responses (type+body)
+	frames  chan []byte // pushed data frames
+}
+
+func dial(server string) (*link, error) {
+	addr, err := net.ResolveUDPAddr("udp", server)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &link{
+		conn:    conn,
+		control: make(chan []byte, 4),
+		frames:  make(chan []byte, 256),
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+func (l *link) readLoop() {
+	buf := make([]byte, udptransport.MaxDatagram)
+	for {
+		n, err := l.conn.Read(buf)
+		if err != nil {
+			close(l.frames)
+			return
+		}
+		msg := append([]byte(nil), buf[:n]...)
+		msgType, body, err := udptransport.Decode(msg)
+		if err != nil {
+			continue
+		}
+		if msgType == udptransport.MsgFrame {
+			select {
+			case l.frames <- body:
+			default: // shed on overload like a real NIC queue
+			}
+			continue
+		}
+		select {
+		case l.control <- msg:
+		default:
+		}
+	}
+}
+
+// request performs one control round trip with retries.
+func (l *link) request(datagram []byte) (byte, []byte, error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err := l.conn.Write(datagram); err != nil {
+			return 0, nil, err
+		}
+		select {
+		case resp := <-l.control:
+			msgType, body, err := udptransport.Decode(resp)
+			if err != nil {
+				return 0, nil, err
+			}
+			if msgType == udptransport.MsgError {
+				return 0, nil, fmt.Errorf("server: %s", body)
+			}
+			return msgType, body, nil
+		case <-time.After(2 * time.Second):
+		}
+	}
+	return 0, nil, fmt.Errorf("no response from server")
+}
+
+func run() error {
+	var (
+		server = flag.String("server", "127.0.0.1:11940", "endbox-server UDP address")
+		id     = flag.String("id", "client-1", "client identifier")
+		pings  = flag.Int("pings", 10, "tunnelled pings to send")
+		period = flag.Duration("interval", 500*time.Millisecond, "ping interval")
+	)
+	flag.Parse()
+
+	l, err := dial(*server)
+	if err != nil {
+		return err
+	}
+	defer l.conn.Close()
+
+	// Platform setup: CPU, quoting enclave, IAS registration (which also
+	// returns the CA public key that real deployments bake into the
+	// enclave image at build time).
+	cpu := sgx.NewCPU("machine-" + *id)
+	qe, err := attest.NewQuotingEnclave(cpu, "platform-"+*id)
+	if err != nil {
+		return err
+	}
+	regMsg, err := udptransport.EncodeJSON(udptransport.MsgRegister, udptransport.Register{
+		PlatformID: qe.PlatformID(),
+		Key:        qe.VerificationKey(),
+	})
+	if err != nil {
+		return err
+	}
+	msgType, body, err := l.request(regMsg)
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	if msgType != udptransport.MsgRegisterOK {
+		return fmt.Errorf("register: unexpected response %c", msgType)
+	}
+	caPub := ed25519.PublicKey(append([]byte(nil), body...))
+	fmt.Println("platform registered; CA key received")
+
+	// Fetch the current middlebox configuration before connecting (paper
+	// §III-E: the config server is publicly readable so clients can always
+	// obtain up-to-date configurations before connecting).
+	blob, err := fetchConfig(l, 0)
+	if err != nil {
+		return fmt.Errorf("initial configuration: %w", err)
+	}
+	initial, err := config.Open(blob, caPub, nil)
+	if err != nil {
+		return fmt.Errorf("initial configuration: %w", err)
+	}
+	fmt.Printf("boot configuration v%d fetched (%d rule sets)\n", initial.Version, len(initial.RuleSets))
+
+	// RTT bookkeeping for the tunnelled pings.
+	sentAt := make(map[uint16]time.Time)
+	done := make(chan struct{})
+	received := 0
+
+	cli, err := core.NewClient(core.ClientOptions{
+		ID:            *id,
+		CPU:           cpu,
+		Mode:          sgx.ModeHardware,
+		CAPub:         caPub,
+		QE:            qe,
+		Enroll:        func(q attest.Quote) (*attest.Provision, error) { return enroll(l, q) },
+		ClickConfig:   initial.ClickConfig,
+		RuleSets:      initial.RuleSets,
+		ConfigVersion: initial.Version,
+		BatchEcalls:   true,
+		FetchConfig:   func(v uint64) ([]byte, error) { return fetchConfig(l, v) },
+		Send: func(frame []byte) error {
+			_, err := l.conn.Write(udptransport.Encode(udptransport.MsgFrame, frame))
+			return err
+		},
+		Deliver: func(ip []byte) {
+			var p packet.IPv4
+			if p.Parse(ip) != nil || p.Protocol != packet.ProtoICMP {
+				return
+			}
+			icmp, err := packet.ParseICMP(p.Payload)
+			if err != nil || icmp.Type != packet.ICMPEchoReply {
+				return
+			}
+			if t0, ok := sentAt[icmp.Seq]; ok {
+				fmt.Printf("ping seq=%d rtt=%v (through the enclave, both directions)\n",
+					icmp.Seq, time.Since(t0).Round(10*time.Microsecond))
+				delete(sentAt, icmp.Seq)
+				received++
+				if received >= *pings {
+					close(done)
+				}
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	fmt.Println("enclave created, attested and provisioned")
+
+	// VPN handshake over UDP.
+	err = cli.Connect(func(hello *vpn.ClientHello) (*vpn.ServerHello, error) {
+		msg, err := udptransport.EncodeJSON(udptransport.MsgHello, hello)
+		if err != nil {
+			return nil, err
+		}
+		msgType, body, err := l.request(msg)
+		if err != nil {
+			return nil, err
+		}
+		if msgType != udptransport.MsgServerHello {
+			return nil, fmt.Errorf("unexpected handshake response %c", msgType)
+		}
+		var sh vpn.ServerHello
+		if err := udptransport.DecodeJSON(body, &sh); err != nil {
+			return nil, err
+		}
+		return &sh, nil
+	})
+	if err != nil {
+		return fmt.Errorf("VPN handshake: %w", err)
+	}
+	fmt.Println("VPN connected")
+
+	// Pump inbound frames into the client.
+	go func() {
+		for frame := range l.frames {
+			if err := cli.HandleFrame(frame); err != nil {
+				log.Printf("inbound frame: %v", err)
+			}
+		}
+	}()
+
+	// Tunnelled pings to a host "in the managed network" (the demo server
+	// echoes them).
+	src := packet.AddrFrom(10, 8, 0, 2)
+	dst := packet.AddrFrom(10, 0, 0, 1)
+	lastVersion := cli.AppliedVersion()
+	for seq := uint16(1); int(seq) <= *pings; seq++ {
+		sentAt[seq] = time.Now()
+		ping := packet.NewICMPEcho(src, dst, packet.ICMPEchoRequest, 7, seq, []byte("endbox-demo"))
+		if err := cli.SendPacket(ping); err != nil {
+			log.Printf("ping seq=%d: %v", seq, err)
+		}
+		if err := cli.SendPing(); err != nil { // keepalive with config version
+			log.Printf("keepalive: %v", err)
+		}
+		if v := cli.AppliedVersion(); v != lastVersion {
+			fmt.Printf("configuration hot-swapped to v%d\n", v)
+			lastVersion = v
+		}
+		time.Sleep(*period)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+	}
+	fmt.Printf("done: %d/%d pings answered, configuration v%d\n", received, *pings, cli.AppliedVersion())
+	return nil
+}
+
+// enroll performs remote attestation over UDP.
+func enroll(l *link, quote attest.Quote) (*attest.Provision, error) {
+	msg, err := udptransport.EncodeJSON(udptransport.MsgQuote, quote)
+	if err != nil {
+		return nil, err
+	}
+	msgType, body, err := l.request(msg)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != udptransport.MsgProvision {
+		return nil, fmt.Errorf("unexpected enrolment response %c", msgType)
+	}
+	var prov attest.Provision
+	if err := udptransport.DecodeJSON(body, &prov); err != nil {
+		return nil, err
+	}
+	return &prov, nil
+}
+
+// fetchConfig retrieves a configuration blob (version 0 = latest). Blobs
+// arrive as a stream of chunk datagrams.
+func fetchConfig(l *link, version uint64) ([]byte, error) {
+	var v [8]byte
+	binary.BigEndian.PutUint64(v[:], version)
+	if _, err := l.conn.Write(udptransport.Encode(udptransport.MsgFetch, v[:])); err != nil {
+		return nil, err
+	}
+	chunks := make(map[int][]byte)
+	want := -1
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case resp := <-l.control:
+			msgType, body, err := udptransport.Decode(resp)
+			if err != nil {
+				return nil, err
+			}
+			switch msgType {
+			case udptransport.MsgError:
+				return nil, fmt.Errorf("server: %s", body)
+			case udptransport.MsgConfig:
+				idx, total, data, err := udptransport.DecodeChunk(body)
+				if err != nil {
+					return nil, err
+				}
+				want = total
+				chunks[idx] = append([]byte(nil), data...)
+				if len(chunks) == want {
+					var blob []byte
+					for i := 0; i < want; i++ {
+						part, ok := chunks[i]
+						if !ok {
+							return nil, fmt.Errorf("missing config chunk %d", i)
+						}
+						blob = append(blob, part...)
+					}
+					return blob, nil
+				}
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("configuration fetch timed out (%d/%d chunks)", len(chunks), want)
+		}
+	}
+}

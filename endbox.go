@@ -1,0 +1,118 @@
+// Package endbox is a reproduction of "EndBox: Scalable Middlebox
+// Functions Using Client-Side Trusted Execution" (Goltzsche et al.,
+// DSN 2018): a system that executes middlebox functions — firewalls,
+// intrusion detection, load balancing, DDoS prevention, TLS inspection —
+// on untrusted client machines, protected by SGX enclaves and reachable
+// only through a VPN whose keys live inside those enclaves.
+//
+// This package is the public API facade over the implementation in
+// internal/: create a Deployment (the operator side: IAS, CA, VPN server,
+// configuration server), add Clients (each with its own simulated SGX
+// enclave hosting the sensitive halves of the VPN and a Click modular
+// router), and push traffic. See examples/ for runnable scenarios and
+// DESIGN.md for the architecture and the substitutions made for SGX
+// hardware.
+//
+//	d, err := endbox.NewDeployment(endbox.DeploymentOptions{})
+//	client, err := d.AddClient("laptop-1", endbox.ClientSpec{
+//	    Mode:    endbox.ModeSimulation,
+//	    UseCase: endbox.UseCaseFW,
+//	})
+//	err = client.SendPacket(ipPacket)
+package endbox
+
+import (
+	"endbox/internal/attest"
+	"endbox/internal/click"
+	"endbox/internal/config"
+	"endbox/internal/core"
+	"endbox/internal/sgx"
+	"endbox/internal/wire"
+)
+
+// Deployment is a complete EndBox system: attestation infrastructure
+// (IAS + CA), the VPN server that is the managed network's only entry
+// point, the configuration file server, and the connected clients.
+type Deployment = core.Deployment
+
+// DeploymentOptions configures a Deployment.
+type DeploymentOptions = core.DeploymentOptions
+
+// ClientSpec configures one client joining a deployment.
+type ClientSpec = core.ClientSpec
+
+// Client is an EndBox client: an SGX enclave hosting the VPN data-channel
+// crypto and the Click middlebox, plus the untrusted runtime around it.
+type Client = core.Client
+
+// ClientOptions configures a standalone client (NewDeployment/AddClient
+// wires these automatically; construct directly for custom transports).
+type ClientOptions = core.ClientOptions
+
+// Server is the managed network's server side: VPN endpoint, configuration
+// file server and management interface.
+type Server = core.Server
+
+// ServerOptions configures a standalone Server.
+type ServerOptions = core.ServerOptions
+
+// Update is one middlebox configuration update: version, grace period,
+// Click configuration and rule sets.
+type Update = config.Update
+
+// SwapTiming is the in-enclave phase breakdown of applying an update
+// (decrypt + hot-swap durations).
+type SwapTiming = core.SwapTiming
+
+// UseCase selects one of the five evaluated middlebox functions.
+type UseCase = click.UseCase
+
+// The five middlebox functions of the paper's evaluation (§V-B).
+const (
+	UseCaseNOP  = click.UseCaseNOP
+	UseCaseLB   = click.UseCaseLB
+	UseCaseFW   = click.UseCaseFW
+	UseCaseIDPS = click.UseCaseIDPS
+	UseCaseDDoS = click.UseCaseDDoS
+)
+
+// StandardConfig returns the Click configuration for a use case as used in
+// the evaluation.
+func StandardConfig(u UseCase) string { return click.StandardConfig(u) }
+
+// EnclaveMode selects how client enclaves execute.
+type EnclaveMode = sgx.Mode
+
+// Enclave execution modes: simulation (no transition costs, like the SGX
+// SDK simulation mode) and hardware (calibrated transition costs and EPC
+// accounting).
+const (
+	ModeSimulation = sgx.ModeSimulation
+	ModeHardware   = sgx.ModeHardware
+)
+
+// WireMode selects data-channel protection.
+type WireMode = wire.Mode
+
+// Data-channel protection modes: full encryption (enterprise scenario) or
+// integrity-only (ISP scenario opt-in, paper §IV-A).
+const (
+	WireEncrypted     = wire.ModeEncrypted
+	WireIntegrityOnly = wire.ModeIntegrityOnly
+)
+
+// CA is the operator-run certificate authority that verifies enclave
+// quotes and provisions configuration keys.
+type CA = attest.CA
+
+// Certificate binds an attested enclave's keys to its measurement.
+type Certificate = attest.Certificate
+
+// NewDeployment builds the operator side of an EndBox system.
+func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
+	return core.NewDeployment(opts)
+}
+
+// CommunityRuleSets returns the default IDPS rule-set map (the generated
+// 377-rule community set).
+func CommunityRuleSets() map[string]string { return core.CommunityRuleSets() }

@@ -1,0 +1,251 @@
+// Package attest implements EndBox's remote attestation and key management
+// chain (paper §III-C, Fig. 4): a Quoting Enclave turns local reports into
+// quotes, the Intel Attestation Service (IAS) verifies that quotes originate
+// from a genuine platform, and the operator-run certificate authority (CA)
+// checks the enclave measurement against its allowlist, signs the enclave's
+// public keys into a certificate, and provisions the symmetric shared key
+// used to decrypt middlebox configuration files.
+//
+// The root of trust is substituted per DESIGN.md §2: instead of keys fused
+// into CPUs during manufacturing, each platform's Quoting Enclave holds a
+// software key registered with the (simulated) IAS. The protocol steps and
+// trust checks are otherwise exactly those of the paper.
+package attest
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"endbox/internal/sgx"
+)
+
+// Common errors.
+var (
+	ErrUnknownPlatform    = errors.New("attest: quote from unknown platform")
+	ErrBadQuote           = errors.New("attest: quote signature invalid")
+	ErrMeasurementDenied  = errors.New("attest: measurement not in CA allowlist")
+	ErrBadCertificate     = errors.New("attest: certificate signature invalid")
+	ErrCertificateExpired = errors.New("attest: certificate expired")
+	ErrProvisionCorrupt   = errors.New("attest: provisioned key blob corrupt")
+)
+
+// Quote is a remotely verifiable attestation statement: a local report
+// endorsed by the platform's Quoting Enclave (paper §II-C).
+type Quote struct {
+	Report     sgx.Report `json:"report"`
+	PlatformID string     `json:"platform_id"`
+	Signature  []byte     `json:"signature"`
+}
+
+func (q Quote) signedBytes() []byte {
+	var buf []byte
+	buf = append(buf, q.Report.Measurement[:]...)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(q.Report.UserData)))
+	buf = append(buf, n[:]...)
+	buf = append(buf, q.Report.UserData...)
+	buf = append(buf, []byte(q.PlatformID)...)
+	return buf
+}
+
+// QuotingEnclave converts local reports from enclaves on its CPU into
+// quotes. One exists per platform; its signing key stands in for the
+// EPID/DCAP keys of real hardware.
+type QuotingEnclave struct {
+	cpu        *sgx.CPU
+	platformID string
+	priv       ed25519.PrivateKey
+	pub        ed25519.PublicKey
+}
+
+// NewQuotingEnclave creates the platform's QE. The platform must then be
+// registered with the IAS before its quotes verify.
+func NewQuotingEnclave(cpu *sgx.CPU, platformID string) (*QuotingEnclave, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: generate QE key: %w", err)
+	}
+	return &QuotingEnclave{cpu: cpu, platformID: platformID, priv: priv, pub: pub}, nil
+}
+
+// PlatformID names this platform in the IAS registry.
+func (qe *QuotingEnclave) PlatformID() string { return qe.platformID }
+
+// VerificationKey is the public key the IAS stores for this platform.
+func (qe *QuotingEnclave) VerificationKey() ed25519.PublicKey { return qe.pub }
+
+// Quote verifies that the report was produced on this CPU and endorses it.
+// Reports forged off-CPU fail sgx verification and yield no quote.
+func (qe *QuotingEnclave) Quote(r sgx.Report) (Quote, error) {
+	if err := qe.cpu.VerifyReport(r); err != nil {
+		return Quote{}, fmt.Errorf("attest: local report check: %w", err)
+	}
+	q := Quote{Report: r, PlatformID: qe.platformID}
+	q.Signature = ed25519.Sign(qe.priv, q.signedBytes())
+	return q, nil
+}
+
+// Verdict is the IAS's signed answer about a quote (paper Fig. 4 step 4).
+type Verdict struct {
+	OK          bool            `json:"ok"`
+	Measurement sgx.Measurement `json:"measurement"`
+	UserData    []byte          `json:"user_data"`
+	Signature   []byte          `json:"signature"`
+}
+
+func (v Verdict) signedBytes() []byte {
+	var buf []byte
+	if v.OK {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, v.Measurement[:]...)
+	buf = append(buf, v.UserData...)
+	return buf
+}
+
+// IAS simulates the web-based Intel Attestation Service: a registry of
+// genuine platforms whose quotes it can verify, answering with signed
+// verdicts.
+type IAS struct {
+	mu        sync.RWMutex
+	platforms map[string]ed25519.PublicKey
+	priv      ed25519.PrivateKey
+	pub       ed25519.PublicKey
+}
+
+// NewIAS creates an empty attestation service.
+func NewIAS() (*IAS, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: generate IAS key: %w", err)
+	}
+	return &IAS{platforms: make(map[string]ed25519.PublicKey), priv: priv, pub: pub}, nil
+}
+
+// PublicKey lets relying parties (the CA) verify IAS verdicts.
+func (s *IAS) PublicKey() ed25519.PublicKey { return s.pub }
+
+// RegisterPlatform records a genuine platform. Real SGX platforms are known
+// to Intel via manufacturing; test adversaries simply stay unregistered.
+func (s *IAS) RegisterPlatform(qe *QuotingEnclave) {
+	s.RegisterPlatformKey(qe.PlatformID(), qe.VerificationKey())
+}
+
+// RegisterPlatformKey records a platform by its verification key, for
+// registrations arriving over a network transport.
+func (s *IAS) RegisterPlatformKey(id string, key ed25519.PublicKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.platforms[id] = key
+}
+
+// Verify checks a quote against the platform registry and returns a signed
+// verdict.
+func (s *IAS) Verify(q Quote) (Verdict, error) {
+	s.mu.RLock()
+	pub, ok := s.platforms[q.PlatformID]
+	s.mu.RUnlock()
+	if !ok {
+		return Verdict{}, ErrUnknownPlatform
+	}
+	if !ed25519.Verify(pub, q.signedBytes(), q.Signature) {
+		return Verdict{}, ErrBadQuote
+	}
+	v := Verdict{OK: true, Measurement: q.Report.Measurement, UserData: q.Report.UserData}
+	v.Signature = ed25519.Sign(s.priv, v.signedBytes())
+	return v, nil
+}
+
+// VerifyVerdict authenticates a verdict as coming from the IAS.
+func VerifyVerdict(iasPub ed25519.PublicKey, v Verdict) error {
+	if !ed25519.Verify(iasPub, v.signedBytes(), v.Signature) {
+		return ErrBadQuote
+	}
+	return nil
+}
+
+// EnclaveKeys is the public half of the key material an enclave generates
+// during bootstrap (paper Fig. 4 step 1): an Ed25519 key authenticating the
+// VPN handshake and an X25519 key for receiving provisioned secrets.
+type EnclaveKeys struct {
+	SignPub ed25519.PublicKey `json:"sign_pub"`
+	BoxPub  []byte            `json:"box_pub"` // X25519 public key bytes
+}
+
+// UserData encodes the keys for embedding in a report, binding them to the
+// enclave instance.
+func (k EnclaveKeys) UserData() []byte {
+	var buf []byte
+	buf = append(buf, k.SignPub...)
+	buf = append(buf, k.BoxPub...)
+	return buf
+}
+
+// ParseUserData reverses UserData.
+func ParseUserData(b []byte) (EnclaveKeys, error) {
+	if len(b) != ed25519.PublicKeySize+32 {
+		return EnclaveKeys{}, fmt.Errorf("attest: bad user data length %d", len(b))
+	}
+	return EnclaveKeys{
+		SignPub: ed25519.PublicKey(append([]byte(nil), b[:ed25519.PublicKeySize]...)),
+		BoxPub:  append([]byte(nil), b[ed25519.PublicKeySize:]...),
+	}, nil
+}
+
+// Certificate binds an attested enclave's keys to its measurement under the
+// CA's signature (paper Fig. 4 step 5). Clients present it when connecting;
+// the VPN server accepts only certificate-backed handshakes, which is what
+// locks unattested clients out of the network.
+type Certificate struct {
+	Serial      uint64          `json:"serial"`
+	Keys        EnclaveKeys     `json:"keys"`
+	Measurement sgx.Measurement `json:"measurement"`
+	IssuedAt    time.Time       `json:"issued_at"`
+	ExpiresAt   time.Time       `json:"expires_at"`
+	Signature   []byte          `json:"signature"`
+}
+
+func (c *Certificate) signedBytes() []byte {
+	var buf []byte
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], c.Serial)
+	buf = append(buf, n[:]...)
+	buf = append(buf, c.Keys.UserData()...)
+	buf = append(buf, c.Measurement[:]...)
+	binary.BigEndian.PutUint64(n[:], uint64(c.IssuedAt.UnixNano()))
+	buf = append(buf, n[:]...)
+	binary.BigEndian.PutUint64(n[:], uint64(c.ExpiresAt.UnixNano()))
+	buf = append(buf, n[:]...)
+	return buf
+}
+
+// Verify checks the CA signature and validity window.
+func (c *Certificate) Verify(caPub ed25519.PublicKey, now time.Time) error {
+	if !ed25519.Verify(caPub, c.signedBytes(), c.Signature) {
+		return ErrBadCertificate
+	}
+	if now.Before(c.IssuedAt) || now.After(c.ExpiresAt) {
+		return ErrCertificateExpired
+	}
+	return nil
+}
+
+// Marshal serialises the certificate for sealing or transmission.
+func (c *Certificate) Marshal() ([]byte, error) { return json.Marshal(c) }
+
+// ParseCertificate reverses Marshal.
+func ParseCertificate(b []byte) (*Certificate, error) {
+	var c Certificate
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("attest: parse certificate: %w", err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,337 @@
+package attest
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+
+	"endbox/internal/sgx"
+)
+
+// enclaveActor bundles the client-side pieces of the attestation flow: an
+// enclave holding freshly generated keys, mirroring paper Fig. 4 step 1.
+type enclaveActor struct {
+	cpu      *sgx.CPU
+	enclave  *sgx.Enclave
+	signPriv ed25519.PrivateKey
+	boxPriv  *ecdh.PrivateKey
+	keys     EnclaveKeys
+}
+
+func newEnclaveActor(t *testing.T, cpuSeed, version string) *enclaveActor {
+	t.Helper()
+	cpu := sgx.NewCPU(cpuSeed)
+	img := sgx.Image{Name: "endbox-client", Version: version, Code: []byte("code")}
+	e, err := cpu.CreateEnclave(img, sgx.Config{Mode: sgx.ModeSimulation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Destroy)
+
+	signPub, signPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxPriv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &enclaveActor{
+		cpu: cpu, enclave: e,
+		signPriv: signPriv, boxPriv: boxPriv,
+		keys: EnclaveKeys{SignPub: signPub, BoxPub: boxPriv.PublicKey().Bytes()},
+	}
+	if err := e.RegisterEcall("report", func(ctx *sgx.Ctx, arg any) (any, error) {
+		return ctx.CreateReport(arg.([]byte)), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func (a *enclaveActor) report(t *testing.T) sgx.Report {
+	t.Helper()
+	res, err := a.enclave.Ecall("report", a.keys.UserData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.(sgx.Report)
+}
+
+// testPKI wires up QE + IAS + CA for one platform.
+func testPKI(t *testing.T, a *enclaveActor) (*QuotingEnclave, *IAS, *CA) {
+	t.Helper()
+	qe, err := NewQuotingEnclave(a.cpu, "platform-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias, err := NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias.RegisterPlatform(qe)
+	ca, err := NewCA(ias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.AllowMeasurement(a.enclave.Measurement())
+	return qe, ias, ca
+}
+
+func TestFullEnrolmentFlow(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-1", "1.0.0")
+	qe, _, ca := testPKI(t, a)
+
+	quote, err := qe.Quote(a.report(t))
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	prov, err := ca.Enroll(quote)
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+
+	cert := prov.Certificate
+	if err := cert.Verify(ca.PublicKey(), time.Now()); err != nil {
+		t.Fatalf("certificate verify: %v", err)
+	}
+	if cert.Measurement != a.enclave.Measurement() {
+		t.Error("certificate carries wrong measurement")
+	}
+	if !bytes.Equal(cert.Keys.SignPub, a.keys.SignPub) || !bytes.Equal(cert.Keys.BoxPub, a.keys.BoxPub) {
+		t.Error("certificate carries wrong keys")
+	}
+
+	shared, err := BoxOpen(a.boxPriv, prov.EphemeralPub, prov.SealedKey)
+	if err != nil {
+		t.Fatalf("BoxOpen: %v", err)
+	}
+	if !bytes.Equal(shared, ca.SharedKey()) {
+		t.Error("provisioned shared key differs from CA's")
+	}
+}
+
+func TestCertificateRoundTrip(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-rt", "1.0.0")
+	qe, _, ca := testPKI(t, a)
+	quote, err := qe.Quote(a.report(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := ca.Enroll(quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := prov.Certificate.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCertificate(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(ca.PublicKey(), time.Now()); err != nil {
+		t.Errorf("round-tripped certificate invalid: %v", err)
+	}
+	if _, err := ParseCertificate([]byte("{not json")); err == nil {
+		t.Error("malformed certificate parsed")
+	}
+}
+
+func TestQuoteRejectsForeignReport(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-a", "1.0.0")
+	b := newEnclaveActor(t, "cpu-b", "1.0.0")
+	qe, err := NewQuotingEnclave(a.cpu, "platform-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A report created on CPU B cannot be quoted by CPU A's QE.
+	if _, err := qe.Quote(b.report(t)); err == nil {
+		t.Error("QE quoted a report from a different CPU")
+	}
+}
+
+func TestIASRejectsUnknownPlatformAndBadSignature(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-ias", "1.0.0")
+	qe, err := NewQuotingEnclave(a.cpu, "rogue-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias, err := NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quote, err := qe.Quote(a.report(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ias.Verify(quote); !errors.Is(err, ErrUnknownPlatform) {
+		t.Errorf("unknown platform: err = %v, want ErrUnknownPlatform", err)
+	}
+
+	ias.RegisterPlatform(qe)
+	tampered := quote
+	tampered.Report.UserData = []byte("attacker key material xxxxxxxxxx")
+	if _, err := ias.Verify(tampered); !errors.Is(err, ErrBadQuote) {
+		t.Errorf("tampered quote: err = %v, want ErrBadQuote", err)
+	}
+}
+
+func TestEnrollDeniesUnknownMeasurement(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-deny", "9.9.9-unapproved")
+	qe, err := NewQuotingEnclave(a.cpu, "platform-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias, err := NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias.RegisterPlatform(qe)
+	ca, err := NewCA(ias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measurement intentionally not allowed.
+	quote, err := qe.Quote(a.report(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Enroll(quote); !errors.Is(err, ErrMeasurementDenied) {
+		t.Errorf("err = %v, want ErrMeasurementDenied", err)
+	}
+}
+
+func TestRevokeMeasurement(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-revoke", "1.0.0")
+	qe, _, ca := testPKI(t, a)
+	quote, err := qe.Quote(a.report(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Enroll(quote); err != nil {
+		t.Fatalf("initial enroll: %v", err)
+	}
+	ca.RevokeMeasurement(a.enclave.Measurement())
+	if _, err := ca.Enroll(quote); !errors.Is(err, ErrMeasurementDenied) {
+		t.Errorf("revoked measurement enrolled: err = %v", err)
+	}
+}
+
+func TestCertificateExpiry(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-exp", "1.0.0")
+	qe, _, ca := testPKI(t, a)
+	ca.SetLifetime(time.Hour)
+	base := time.Unix(50000, 0)
+	ca.SetTimeSource(func() time.Time { return base })
+
+	quote, err := qe.Quote(a.report(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := ca.Enroll(quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := prov.Certificate
+	if err := cert.Verify(ca.PublicKey(), base.Add(30*time.Minute)); err != nil {
+		t.Errorf("valid window rejected: %v", err)
+	}
+	if err := cert.Verify(ca.PublicKey(), base.Add(2*time.Hour)); !errors.Is(err, ErrCertificateExpired) {
+		t.Errorf("expired cert: err = %v, want ErrCertificateExpired", err)
+	}
+	if err := cert.Verify(ca.PublicKey(), base.Add(-time.Minute)); !errors.Is(err, ErrCertificateExpired) {
+		t.Errorf("not-yet-valid cert: err = %v, want ErrCertificateExpired", err)
+	}
+}
+
+func TestCertificateForgeryRejected(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-forge", "1.0.0")
+	qe, _, ca := testPKI(t, a)
+	quote, err := qe.Quote(a.report(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := ca.Enroll(quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *prov.Certificate
+	forged.Keys.SignPub = bytes.Repeat([]byte{0x41}, ed25519.PublicKeySize)
+	if err := forged.Verify(ca.PublicKey(), time.Now()); !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("forged cert: err = %v, want ErrBadCertificate", err)
+	}
+}
+
+func TestBoxOpenCorruption(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-box", "1.0.0")
+	qe, _, ca := testPKI(t, a)
+	quote, err := qe.Quote(a.report(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := ca.Enroll(quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte(nil), prov.SealedKey...)
+	bad[len(bad)-1] ^= 1
+	if _, err := BoxOpen(a.boxPriv, prov.EphemeralPub, bad); !errors.Is(err, ErrProvisionCorrupt) {
+		t.Errorf("corrupt sealed key: err = %v", err)
+	}
+	if _, err := BoxOpen(a.boxPriv, []byte("bad"), prov.SealedKey); !errors.Is(err, ErrProvisionCorrupt) {
+		t.Errorf("bad ephemeral key: err = %v", err)
+	}
+	other, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BoxOpen(other, prov.EphemeralPub, prov.SealedKey); !errors.Is(err, ErrProvisionCorrupt) {
+		t.Errorf("wrong private key: err = %v", err)
+	}
+	if _, err := BoxOpen(a.boxPriv, prov.EphemeralPub, []byte("x")); !errors.Is(err, ErrProvisionCorrupt) {
+		t.Errorf("truncated blob: err = %v", err)
+	}
+}
+
+func TestParseUserData(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-ud", "1.0.0")
+	keys, err := ParseUserData(a.keys.UserData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(keys.SignPub, a.keys.SignPub) || !bytes.Equal(keys.BoxPub, a.keys.BoxPub) {
+		t.Error("ParseUserData round trip mismatch")
+	}
+	if _, err := ParseUserData([]byte("short")); err == nil {
+		t.Error("short user data parsed")
+	}
+}
+
+func TestSerialNumbersIncrease(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-serial", "1.0.0")
+	qe, _, ca := testPKI(t, a)
+	var last uint64
+	for i := 0; i < 3; i++ {
+		quote, err := qe.Quote(a.report(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prov, err := ca.Enroll(quote)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prov.Certificate.Serial <= last {
+			t.Errorf("serial %d not increasing past %d", prov.Certificate.Serial, last)
+		}
+		last = prov.Certificate.Serial
+	}
+}

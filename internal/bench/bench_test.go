@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"endbox/internal/click"
+)
+
+// calibrated is shared across tests to avoid repeating the measurement.
+var calibrated *CostModel
+
+func model(t *testing.T) *CostModel {
+	t.Helper()
+	if calibrated == nil {
+		m, err := Calibrate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		calibrated = m
+	}
+	return calibrated
+}
+
+func TestCalibrateProducesSaneModel(t *testing.T) {
+	m := model(t)
+	if m.CryptoPerPacket <= 0 || m.TunIOPerPacket <= 0 {
+		t.Fatalf("non-positive costs: %+v", m)
+	}
+	for _, uc := range click.AllUseCases {
+		if m.ClickPerPacket[uc] <= 0 {
+			t.Errorf("no click cost for %v", uc)
+		}
+	}
+	// IDPS must cost more than NOP (it scans payloads).
+	if m.ClickPerPacket[click.UseCaseIDPS] <= m.ClickPerPacket[click.UseCaseNOP] {
+		t.Errorf("IDPS (%v) not more expensive than NOP (%v)",
+			m.ClickPerPacket[click.UseCaseIDPS], m.ClickPerPacket[click.UseCaseNOP])
+	}
+	if m.Scale <= 0 {
+		t.Errorf("scale = %v", m.Scale)
+	}
+	// The anchor must hold: simulated vanilla plateau == 6.5 Gbps.
+	perPkt := m.ServerCost(SetupVanillaOpenVPN, click.UseCaseNOP)
+	plateau := float64(ServerLogicalCores) / perPkt.Seconds() * SimPacketSize * 8
+	if plateau < VanillaPlateauBps*0.95 || plateau > VanillaPlateauBps*1.05 {
+		t.Errorf("anchored plateau = %v, want %v", plateau, VanillaPlateauBps)
+	}
+}
+
+func TestScalabilityShapeMatchesPaper(t *testing.T) {
+	// The full Fig. 10 ordering is asserted under the paper-derived cost
+	// model (the default for the harness); the live-calibrated model's
+	// orderings depend on this host's syscall/crypto cost ratio and are
+	// checked separately below.
+	m := PaperCostModel()
+
+	// Below saturation, throughput tracks offered load linearly.
+	p5 := runScalability(m, SetupVanillaOpenVPN, click.UseCaseNOP, 5)
+	offered5 := 5 * PerClientOfferedBps
+	if p5.ThroughputBps < offered5*0.9 || p5.ThroughputBps > offered5*1.1 {
+		t.Errorf("5 clients: %v bps, want ~%v", p5.ThroughputBps, offered5)
+	}
+
+	// At 60 clients the orderings of Fig. 10a hold.
+	final := map[Setup]scalabilityPoint{}
+	for _, s := range []Setup{SetupVanillaOpenVPN, SetupEndBoxSGX, SetupVanillaClick, SetupOpenVPNClick} {
+		final[s] = runScalability(m, s, click.UseCaseNOP, 60)
+	}
+	van, eb := final[SetupVanillaOpenVPN].ThroughputBps, final[SetupEndBoxSGX].ThroughputBps
+	if diff := (van - eb) / van; diff > 0.05 || diff < -0.05 {
+		t.Errorf("EndBox (%v) and vanilla (%v) plateaus should coincide", eb, van)
+	}
+	if van < VanillaPlateauBps*0.85 || van > VanillaPlateauBps*1.1 {
+		t.Errorf("vanilla plateau %v, want ~%v", van, VanillaPlateauBps)
+	}
+	ovc := final[SetupOpenVPNClick].ThroughputBps
+	vc := final[SetupVanillaClick].ThroughputBps
+	if ovc >= van {
+		t.Errorf("OpenVPN+Click (%v) should saturate below vanilla (%v)", ovc, van)
+	}
+	if vc <= ovc || vc >= van {
+		t.Errorf("vanilla Click (%v) should sit between OpenVPN+Click (%v) and vanilla (%v), as in Fig. 10a", vc, ovc, van)
+	}
+
+	// Fig. 10b: the IDPS gap at 60 clients is larger than the NOP gap.
+	ebIDPS := runScalability(m, SetupEndBoxSGX, click.UseCaseIDPS, 60)
+	ovcIDPS := runScalability(m, SetupOpenVPNClick, click.UseCaseIDPS, 60)
+	if ovcIDPS.ThroughputBps >= ovc {
+		t.Errorf("IDPS server-side (%v) should be slower than NOP (%v)", ovcIDPS.ThroughputBps, ovc)
+	}
+	speedupIDPS := ebIDPS.ThroughputBps / ovcIDPS.ThroughputBps
+	speedupNOP := eb / ovc
+	if speedupIDPS < 2.6*0.8 || speedupIDPS > 3.8*1.2 {
+		t.Errorf("EndBox IDPS speedup at 60 clients = %.2fx, paper reports 3.8x", speedupIDPS)
+	}
+	if speedupIDPS <= speedupNOP {
+		t.Errorf("IDPS speedup (%.2fx) should exceed NOP speedup (%.2fx)", speedupIDPS, speedupNOP)
+	}
+}
+
+func TestScalabilityLiveModelBasics(t *testing.T) {
+	// With live-calibrated costs the absolute orderings among baselines
+	// may shift with the host, but the core claims must survive: linear
+	// scaling below saturation, EndBox == vanilla at the server, and
+	// OpenVPN+Click strictly below both.
+	m := model(t)
+	p5 := runScalability(m, SetupEndBoxSGX, click.UseCaseIDPS, 5)
+	offered5 := 5 * PerClientOfferedBps
+	if p5.ThroughputBps < offered5*0.9 || p5.ThroughputBps > offered5*1.1 {
+		t.Errorf("5 clients IDPS: %v bps, want ~%v", p5.ThroughputBps, offered5)
+	}
+	van := runScalability(m, SetupVanillaOpenVPN, click.UseCaseNOP, 60)
+	eb := runScalability(m, SetupEndBoxSGX, click.UseCaseNOP, 60)
+	ovc := runScalability(m, SetupOpenVPNClick, click.UseCaseNOP, 60)
+	if diff := (van.ThroughputBps - eb.ThroughputBps) / van.ThroughputBps; diff > 0.05 || diff < -0.05 {
+		t.Errorf("EndBox (%v) and vanilla (%v) plateaus should coincide", eb.ThroughputBps, van.ThroughputBps)
+	}
+	if ovc.ThroughputBps >= van.ThroughputBps {
+		t.Errorf("OpenVPN+Click (%v) should saturate below vanilla (%v)", ovc.ThroughputBps, van.ThroughputBps)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab, err := Fig7(model(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	rtt := func(row int) float64 {
+		var v float64
+		var unit string
+		if _, err := fmt.Sscanf(tab.Rows[row][1], "%f %s", &v, &unit); err != nil {
+			t.Fatalf("parse %q: %v", tab.Rows[row][1], err)
+		}
+		return v
+	}
+	noRedir, local, endbox, eu, us := rtt(0), rtt(1), rtt(2), rtt(3), rtt(4)
+	if noRedir < 10 || noRedir > 12 {
+		t.Errorf("no-redirect RTT = %v, want ~10.8", noRedir)
+	}
+	if endbox < noRedir {
+		t.Error("EndBox cannot be faster than direct")
+	}
+	if (endbox-noRedir)/noRedir > 0.15 {
+		t.Errorf("EndBox overhead %.1f%%, want small (paper 6%%)", (endbox-noRedir)/noRedir*100)
+	}
+	if eu <= endbox || us <= eu {
+		t.Errorf("cloud RTTs must dominate: endbox=%v eu=%v us=%v", endbox, eu, us)
+	}
+	if us < 190 {
+		t.Errorf("us-east RTT = %v, want ~200 ms", us)
+	}
+	_ = local
+}
+
+func TestFig6CurvesCoincide(t *testing.T) {
+	tab, err := Fig6(model(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Last row must approach 1.0 for both configurations.
+	last := tab.Rows[len(tab.Rows)-1]
+	if !strings.HasPrefix(last[1], "1.000") && !strings.HasPrefix(last[1], "0.99") {
+		t.Errorf("direct CDF tail = %s", last[1])
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "Test",
+		Title:   "rendering",
+		Columns: []string{"a", "bbbb"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello %d", 42)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== Test: rendering ==", "a  bbbb", "1  2", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHelpersFormat(t *testing.T) {
+	if got := mbps(1.5e9); got != "1.50 Gbps" {
+		t.Errorf("mbps = %q", got)
+	}
+	if got := mbps(250e6); got != "250 Mbps" {
+		t.Errorf("mbps = %q", got)
+	}
+	if got := ratio(3, 2); got != "1.50x" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := ratio(1, 0); got != "n/a" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := pct(110, 100); got != "+10.0%" {
+		t.Errorf("pct = %q", got)
+	}
+}
+
+func TestMeasureReturnsPositive(t *testing.T) {
+	d := measure(func() { time.Sleep(time.Microsecond) })
+	if d <= 0 {
+		t.Errorf("measure = %v", d)
+	}
+}
+
+// TestWallClockRunnersSmoke executes every real-data-plane experiment with
+// small iteration counts, checking they run end to end and their headline
+// shape properties hold.
+func TestWallClockRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiments skipped in -short mode")
+	}
+
+	t.Run("fig8", func(t *testing.T) {
+		tab, err := Fig8(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != len(Fig8Setups) {
+			t.Errorf("rows = %d", len(tab.Rows))
+		}
+	})
+	t.Run("fig9", func(t *testing.T) {
+		tab, err := Fig9(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != 2 {
+			t.Errorf("rows = %d", len(tab.Rows))
+		}
+	})
+	t.Run("table1", func(t *testing.T) {
+		tab, err := Table1(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != 3 {
+			t.Errorf("rows = %d", len(tab.Rows))
+		}
+	})
+	t.Run("table2", func(t *testing.T) {
+		tab, err := Table2(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != 4 {
+			t.Errorf("rows = %d", len(tab.Rows))
+		}
+	})
+	t.Run("fig11", func(t *testing.T) {
+		tab, err := Fig11()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lost := 0
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:] {
+				if cell == "lost" {
+					lost++
+				}
+			}
+		}
+		if lost != 2 {
+			t.Errorf("lost pings = %d, want exactly 1 per set-up", lost)
+		}
+	})
+	t.Run("opt-transitions", func(t *testing.T) {
+		tab, err := OptTransitions(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != 2 {
+			t.Errorf("rows = %d", len(tab.Rows))
+		}
+	})
+	t.Run("opt-isp", func(t *testing.T) {
+		if _, err := OptISP(200); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("opt-c2c", func(t *testing.T) {
+		if _, err := OptC2C(50); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"endbox/internal/click"
+	"endbox/internal/core"
+	"endbox/internal/packet"
+	"endbox/internal/sgx"
+	"endbox/internal/trace"
+	"endbox/internal/wire"
+)
+
+// OptTransitions reproduces the §V-G(1) ablation: batching all in-enclave
+// work into one ecall per packet versus crossing the boundary once per
+// processing stage. The paper measured 342% higher throughput for the
+// batched design.
+func OptTransitions(packetsPerRun int) (*Table, error) {
+	if packetsPerRun <= 0 {
+		packetsPerRun = 2000
+	}
+	flow, err := trace.NewBulkFlow(packet.AddrFrom(10, 8, 0, 2), packet.AddrFrom(10, 8, 0, 1), 1500)
+	if err != nil {
+		return nil, err
+	}
+	run := func(naive bool) (float64, uint64, error) {
+		d, err := core.NewDeployment(core.DeploymentOptions{})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer d.Close()
+		cli, err := d.AddClient("opt", core.ClientSpec{
+			Mode:        sgx.ModeHardware,
+			BurnCPU:     true,
+			UseCase:     click.UseCaseNOP,
+			NaiveEcalls: naive,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		// Count transitions over an exact number of sends first (the
+		// throughput helper warms up and repeats internally).
+		before := cli.EnclaveStats().Transitions
+		const probe = 10
+		for i := 0; i < probe; i++ {
+			if err := cli.SendPacket(flow.Next()); err != nil {
+				return 0, 0, err
+			}
+		}
+		perPkt := (cli.EnclaveStats().Transitions - before) / probe
+
+		p := &pipeline{send: cli.SendPacket, close: func() {}}
+		bps, err := measureThroughput(p, flow.Next(), packetsPerRun)
+		if err != nil {
+			return 0, 0, err
+		}
+		return bps, perPkt, nil
+	}
+
+	batched, batchedTrans, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	naive, naiveTrans, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "Optimisation V-G(1)",
+		Title:   "enclave transition batching (1500-byte packets, NOP)",
+		Columns: []string{"data path", "transitions/packet", "throughput"},
+	}
+	t.AddRow("one ecall per packet (EndBox)", fmt.Sprintf("%d", batchedTrans), mbps(batched))
+	t.AddRow("one ecall per stage (naive)", fmt.Sprintf("%d", naiveTrans), mbps(naive))
+	t.AddNote("batching improves throughput by %s (paper: +342%%)", pct(batched, naive))
+	return t, nil
+}
+
+// OptISP reproduces the §V-G(2) ablation: the ISP scenario's
+// integrity-only data channel versus full AES-128-CBC encryption. The
+// paper measured 11% higher throughput without encryption.
+func OptISP(packetsPerRun int) (*Table, error) {
+	if packetsPerRun <= 0 {
+		packetsPerRun = 2000
+	}
+	flow, err := trace.NewBulkFlow(packet.AddrFrom(10, 8, 0, 2), packet.AddrFrom(10, 8, 0, 1), 1500)
+	if err != nil {
+		return nil, err
+	}
+	run := func(mode wire.Mode) (float64, error) {
+		p, err := buildPipeline(SetupEndBoxSGX, click.UseCaseNOP, mode, false)
+		if err != nil {
+			return 0, err
+		}
+		defer p.close()
+		return measureThroughput(p, flow.Next(), packetsPerRun)
+	}
+	enc, err := run(wire.ModeEncrypted)
+	if err != nil {
+		return nil, err
+	}
+	auth, err := run(wire.ModeIntegrityOnly)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "Optimisation V-G(2)",
+		Title:   "ISP-scenario traffic protection (1500-byte packets, NOP)",
+		Columns: []string{"protection", "throughput"},
+	}
+	t.AddRow("AES-128-CBC + HMAC (enterprise)", mbps(enc))
+	t.AddRow("HMAC only (ISP opt-in)", mbps(auth))
+	t.AddNote("skipping encryption gains %s (paper: +11%%); integrity still proves Click processed the traffic", pct(auth, enc))
+	return t, nil
+}
+
+// OptC2C reproduces the §V-G(3) ablation: flagging client-to-client
+// packets with TOS 0xeb so the receiving client skips re-processing. The
+// paper measured up to 13% lower latency for the IDPS use case.
+func OptC2C(iterations int) (*Table, error) {
+	if iterations <= 0 {
+		iterations = 300
+	}
+	run := func(flagged bool) (time.Duration, error) {
+		d, err := core.NewDeployment(core.DeploymentOptions{RouteBetweenClients: true})
+		if err != nil {
+			return 0, err
+		}
+		defer d.Close()
+		// Simulation mode isolates the mechanism under test — the skipped
+		// Click pass on the receiver — from busy-wait jitter of the
+		// hardware-mode transition burn.
+		sender, err := d.AddClient("a", core.ClientSpec{
+			Mode:               sgx.ModeSimulation,
+			UseCase:            click.UseCaseIDPS,
+			FlagClientToClient: flagged,
+		})
+		if err != nil {
+			return 0, err
+		}
+		delivered := 0
+		_, err = d.AddClient("b", core.ClientSpec{
+			Mode:               sgx.ModeSimulation,
+			UseCase:            click.UseCaseIDPS,
+			FlagClientToClient: flagged,
+			Deliver:            func([]byte) { delivered++ },
+		})
+		if err != nil {
+			return 0, err
+		}
+		aAddr, _ := d.ClientAddr("a")
+		bAddr, _ := d.ClientAddr("b")
+		// Realistic text payload: the receiver's skipped IDPS scan walks
+		// automaton states on every byte, so the bypass saving is the
+		// dominant difference (zero-filled payloads would make the scan
+		// nearly free and drown the effect in noise).
+		payload := make([]byte, 1400)
+		const filler = "POST /api/v1/report HTTP/1.1\r\nContent-Type: application/json\r\n{\"metric\": 42} "
+		for i := range payload {
+			payload[i] = filler[i%len(filler)]
+		}
+		pkt := packet.NewTCP(aAddr, bAddr, 5000, 8080, 1, 0, packet.TCPAck, payload)
+
+		// Warm up.
+		for i := 0; i < 50; i++ {
+			if err := sender.SendPacket(pkt); err != nil {
+				return 0, err
+			}
+		}
+		const reps = 3
+		best := time.Duration(1 << 62)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for i := 0; i < iterations; i++ {
+				if err := sender.SendPacket(pkt); err != nil {
+					return 0, err
+				}
+			}
+			if d := time.Since(start) / time.Duration(iterations); d < best {
+				best = d
+			}
+		}
+		if delivered == 0 {
+			return 0, fmt.Errorf("no client-to-client delivery")
+		}
+		return best, nil
+	}
+
+	flaggedLat, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	unflaggedLat, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "Optimisation V-G(3)",
+		Title:   "client-to-client QoS flagging (IDPS use case)",
+		Columns: []string{"configuration", "one-way latency"},
+	}
+	t.AddRow("0xeb flag, receiver bypasses Click", fmt.Sprintf("%.2f µs", float64(flaggedLat)/float64(time.Microsecond)))
+	t.AddRow("no flag, both clients process", fmt.Sprintf("%.2f µs", float64(unflaggedLat)/float64(time.Microsecond)))
+	t.AddNote("flagging lowers client-to-client latency by %s (paper: up to -13%% for IDPS)",
+		pct(float64(flaggedLat), float64(unflaggedLat)))
+	return t, nil
+}

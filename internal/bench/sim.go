@@ -1,0 +1,354 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"endbox/internal/click"
+	"endbox/internal/netsim"
+	"endbox/internal/trace"
+)
+
+// Simulated-cluster topology parameters mirroring the paper's testbed
+// (§V-B, §V-C): five client machines, a 4-core VPN server behind 2×10 Gbps,
+// and the WAN distances behind the Fig. 7 redirection experiment.
+const (
+	clientMachines       = 5
+	clientMachineCores   = 8
+	simWarmup            = 100 * time.Millisecond
+	simWindow            = 400 * time.Millisecond
+	simBatch             = 5 // packets aggregated per simulator event
+	serverBacklogBound   = 20 * time.Millisecond
+	clientBacklogBound   = 20 * time.Millisecond
+	destOneWay           = 5400 * time.Microsecond // fixed ping target (no-redirect RTT 10.8 ms)
+	lanOneWay            = 100 * time.Microsecond  // client <-> local VPN server
+	euCentralExtraOneWay = 3200 * time.Microsecond
+	usEastExtraOneWay    = 95600 * time.Microsecond
+)
+
+// scalabilityPoint is one (setup, use case, client count) simulation.
+type scalabilityPoint struct {
+	ThroughputBps float64
+	ServerCPU     float64 // 0..1, all logical cores busy = 1
+}
+
+// runScalability simulates `clients` clients offering 200 Mbps each against
+// one server for the given deployment (the experiment behind Fig. 10).
+func runScalability(m *CostModel, setup Setup, uc click.UseCase, clients int) scalabilityPoint {
+	sim := netsim.NewSim(time.Unix(0, 0))
+
+	serverCores := ServerLogicalCores
+	if setup == SetupVanillaClick {
+		// A single Click process cannot use more than one core (paper
+		// §V-E: "limited ... by the Click process which cannot handle
+		// more packets").
+		serverCores = 1
+	}
+	server := netsim.NewHost(sim, serverCores)
+	server.SetMaxBacklog(serverBacklogBound)
+	nic := netsim.NewLink(sim, NICCapacityBps, 50*time.Microsecond)
+
+	clientHosts := make([]*netsim.Host, clientMachines)
+	for i := range clientHosts {
+		clientHosts[i] = netsim.NewHost(sim, clientMachineCores)
+		clientHosts[i].SetMaxBacklog(clientBacklogBound)
+	}
+
+	// Per-client costs by deployment.
+	var clientCost time.Duration
+	switch setup {
+	case SetupEndBoxSGX:
+		clientCost = m.ClientEnclaveCost(uc, true)
+	case SetupEndBoxSIM:
+		clientCost = m.ClientEnclaveCost(uc, false)
+	case SetupVanillaOpenVPN, SetupOpenVPNClick:
+		clientCost = m.scaled(m.CryptoPerPacket + m.TunIOPerPacket)
+	case SetupVanillaClick:
+		clientCost = m.scaled(m.TunIOPerPacket) // plain sender, no VPN
+	}
+	serverCost := m.ServerCost(setup, uc)
+
+	var sink netsim.Sink
+	var measuring bool
+
+	interval := time.Duration(float64(simBatch*SimPacketSize*8) / PerClientOfferedBps * float64(time.Second))
+	batchBytes := simBatch * SimPacketSize
+	batchCPU := func(d time.Duration) time.Duration { return time.Duration(simBatch) * d }
+
+	for c := 0; c < clients; c++ {
+		host := clientHosts[c%clientMachines]
+		var tick func()
+		tick = func() {
+			// Client-side processing, then the wire, then the server.
+			host.Process(batchCPU(clientCost), func() {
+				nic.Send(batchBytes, func() {
+					server.Process(batchCPU(serverCost), func() {
+						if measuring {
+							sink.Deliver(batchBytes)
+						}
+					})
+				})
+			})
+			sim.Schedule(interval, tick)
+		}
+		// Desynchronise client start times.
+		sim.Schedule(time.Duration(c)*interval/time.Duration(max(clients, 1)), tick)
+	}
+
+	sim.RunFor(simWarmup)
+	measuring = true
+	busy0 := server.BusyTime()
+	sim.RunFor(simWindow)
+
+	util := server.Utilisation(busy0, simWindow)
+	// Report utilisation relative to the full machine (8 logical cores)
+	// even for the single-core Click process, as the paper's CPU plots do.
+	if setup == SetupVanillaClick {
+		util = util * float64(serverCores) / float64(ServerLogicalCores)
+	}
+	if util > 1 {
+		util = 1
+	}
+	return scalabilityPoint{
+		ThroughputBps: sink.ThroughputBps(simWindow),
+		ServerCPU:     util,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig10ClientCounts is the client sweep of the paper's Fig. 10.
+var Fig10ClientCounts = []int{1, 10, 20, 30, 40, 50, 60}
+
+// Fig10a reproduces "Server-side aggregated throughput and CPU usage,
+// NOP use case applied to different middlebox deployments" (paper
+// Fig. 10a) on the virtual-time cluster.
+func Fig10a(m *CostModel, counts []int) (*Table, error) {
+	if m == nil {
+		var err error
+		if m, err = Calibrate(); err != nil {
+			return nil, err
+		}
+	}
+	if len(counts) == 0 {
+		counts = Fig10ClientCounts
+	}
+	setups := []Setup{SetupVanillaOpenVPN, SetupEndBoxSGX, SetupVanillaClick, SetupOpenVPNClick}
+	t := &Table{
+		ID:    "Figure 10a",
+		Title: "server aggregate throughput and CPU vs clients (NOP)",
+	}
+	t.Columns = []string{"clients"}
+	for _, s := range setups {
+		t.Columns = append(t.Columns, s.String()+" tput", s.String()+" cpu")
+	}
+	final := make(map[Setup]scalabilityPoint)
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, s := range setups {
+			pt := runScalability(m, s, click.UseCaseNOP, n)
+			row = append(row, mbps(pt.ThroughputBps), fmt.Sprintf("%.0f%%", pt.ServerCPU*100))
+			final[s] = pt
+		}
+		t.AddRow(row...)
+	}
+	nMax := counts[len(counts)-1]
+	t.AddNote("at %d clients: EndBox %s vs vanilla OpenVPN %s — client-side execution costs the server nothing (paper: identical 6.5 Gbps plateaus)",
+		nMax, mbps(final[SetupEndBoxSGX].ThroughputBps), mbps(final[SetupVanillaOpenVPN].ThroughputBps))
+	t.AddNote("OpenVPN+Click saturates lowest (%s; paper 2.5 Gbps); vanilla Click is bound by its single process (%s; paper 5.5 Gbps)",
+		mbps(final[SetupOpenVPNClick].ThroughputBps), mbps(final[SetupVanillaClick].ThroughputBps))
+	t.AddNote("cost model: %s; offered load %d Mbps/client", m.Source, int(PerClientOfferedBps/1e6))
+	return t, nil
+}
+
+// Fig10b reproduces "five middlebox functions for OpenVPN+Click and
+// EndBox" (paper Fig. 10b).
+func Fig10b(m *CostModel, counts []int) (*Table, error) {
+	if m == nil {
+		var err error
+		if m, err = Calibrate(); err != nil {
+			return nil, err
+		}
+	}
+	if len(counts) == 0 {
+		counts = Fig10ClientCounts
+	}
+	t := &Table{
+		ID:    "Figure 10b",
+		Title: "use-case scalability: OpenVPN+Click vs EndBox SGX",
+	}
+	t.Columns = []string{"clients"}
+	for _, uc := range click.AllUseCases {
+		t.Columns = append(t.Columns, "EB "+uc.String(), "OVC "+uc.String())
+	}
+	finalEB := make(map[click.UseCase]float64)
+	finalOVC := make(map[click.UseCase]float64)
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, uc := range click.AllUseCases {
+			eb := runScalability(m, SetupEndBoxSGX, uc, n)
+			ovc := runScalability(m, SetupOpenVPNClick, uc, n)
+			row = append(row, mbps(eb.ThroughputBps), mbps(ovc.ThroughputBps))
+			finalEB[uc] = eb.ThroughputBps
+			finalOVC[uc] = ovc.ThroughputBps
+		}
+		t.AddRow(row...)
+	}
+	nMax := counts[len(counts)-1]
+	minSpeedup, maxSpeedup := math.Inf(1), 0.0
+	for _, uc := range click.AllUseCases {
+		s := finalEB[uc] / finalOVC[uc]
+		minSpeedup = math.Min(minSpeedup, s)
+		maxSpeedup = math.Max(maxSpeedup, s)
+	}
+	t.AddNote("at %d clients EndBox outperforms OpenVPN+Click by %.1fx-%.1fx across use cases (paper: 2.6x-3.8x, largest for the computation-intensive IDPS/DDoS)",
+		nMax, minSpeedup, maxSpeedup)
+	t.AddNote("EndBox plateaus are use-case independent: the server only does crypto (paper: 6.5 Gbps for all five)")
+	t.AddNote("cost model: %s", m.Source)
+	return t, nil
+}
+
+// Fig7 reproduces "Average ping RTT for different redirection methods"
+// (paper Fig. 7): local middlebox deployments barely change latency while
+// cloud redirection multiplies it.
+func Fig7(m *CostModel) (*Table, error) {
+	if m == nil {
+		var err error
+		if m, err = Calibrate(); err != nil {
+			return nil, err
+		}
+	}
+	type setupDef struct {
+		name string
+		// extraPath is the added one-way distance via the redirection
+		// point (it applies in both directions of the ping).
+		extraPath time.Duration
+		// processing is the middlebox/VPN CPU time added per direction.
+		processing time.Duration
+	}
+	serverSideCost := m.ServerCost(SetupOpenVPNClick, click.UseCaseNOP) +
+		m.scaled(m.CryptoPerPacket+m.TunIOPerPacket) // client VPN endpoint
+	endboxCost := m.ClientEnclaveCost(click.UseCaseNOP, true) +
+		m.ServerCost(SetupEndBoxSGX, click.UseCaseNOP)
+	defs := []setupDef{
+		{name: "no redirection", extraPath: 0, processing: 0},
+		{name: "local redirection", extraPath: lanOneWay, processing: serverSideCost},
+		{name: "EndBox SGX", extraPath: lanOneWay, processing: endboxCost},
+		{name: "AWS eu-central", extraPath: euCentralExtraOneWay, processing: serverSideCost},
+		{name: "AWS us-east", extraPath: usEastExtraOneWay, processing: serverSideCost},
+	}
+
+	t := &Table{
+		ID:      "Figure 7",
+		Title:   "average ping RTT by redirection method",
+		Columns: []string{"method", "RTT", "vs no redirection"},
+	}
+	base := 0.0
+	var endboxRTT, euRTT float64
+	for i, def := range defs {
+		sim := netsim.NewSim(time.Unix(0, 0))
+		var rtts []time.Duration
+		const pings = 10
+		for p := 0; p < pings; p++ {
+			start := time.Duration(p) * 100 * time.Millisecond
+			sim.Schedule(start, func() {
+				sent := sim.Now()
+				// Outbound: redirection path + processing, then to the
+				// destination; reply mirrors it.
+				oneWay := destOneWay + def.extraPath + def.processing
+				sim.Schedule(2*oneWay, func() {
+					rtts = append(rtts, sim.Now().Sub(sent))
+				})
+			})
+		}
+		sim.RunFor(time.Duration(pings+1) * 100 * time.Millisecond)
+		var total time.Duration
+		for _, r := range rtts {
+			total += r
+		}
+		avg := float64(total) / float64(len(rtts)) / float64(time.Millisecond)
+		if i == 0 {
+			base = avg
+		}
+		switch def.name {
+		case "EndBox SGX":
+			endboxRTT = avg
+		case "AWS eu-central":
+			euRTT = avg
+		}
+		t.AddRow(def.name, fmt.Sprintf("%.1f ms", avg), pct(avg, base))
+	}
+	t.AddNote("EndBox adds %s to the direct RTT (paper: +6%%); cloud redirection adds %s and more (paper: +61%% eu-central, +1773%% us-east)",
+		pct(endboxRTT, base), pct(euRTT, base))
+	t.AddNote("topology: destination 10.8 ms RTT away; LAN hop %v one-way; EC2 distances %v / %v one-way extra (workload parameters mirroring the paper's locations)",
+		lanOneWay, euCentralExtraOneWay, usEastExtraOneWay)
+	return t, nil
+}
+
+// Fig6 reproduces the "CDF of HTTP page load times for Alexa top 1,000
+// sites with and without EndBox" (paper Fig. 6) on the synthetic page set.
+func Fig6(m *CostModel) (*Table, error) {
+	if m == nil {
+		var err error
+		if m, err = Calibrate(); err != nil {
+			return nil, err
+		}
+	}
+	pages := trace.AlexaPages(1000, 2018)
+	const (
+		accessBps   = 50e6 // client access bandwidth
+		concurrency = 6    // parallel HTTP connections
+		mss         = 1460
+	)
+	perPacket := m.ClientEnclaveCost(click.UseCaseNOP, true)
+
+	loadTime := func(p trace.PageSpec, throughEndBox bool) time.Duration {
+		rounds := (p.Objects + concurrency - 1) / concurrency
+		t := time.Duration(rounds) * p.RTT
+		t += time.Duration(float64(p.TotalBytes*8) / accessBps * float64(time.Second))
+		if throughEndBox {
+			packets := p.TotalBytes/mss + p.Objects // data + request packets
+			t += time.Duration(packets) * perPacket
+		}
+		return t
+	}
+
+	direct := make([]time.Duration, len(pages))
+	endbox := make([]time.Duration, len(pages))
+	for i, p := range pages {
+		direct[i] = loadTime(p, false)
+		endbox[i] = loadTime(p, true)
+	}
+	sort.Slice(direct, func(i, j int) bool { return direct[i] < direct[j] })
+	sort.Slice(endbox, func(i, j int) bool { return endbox[i] < endbox[j] })
+
+	t := &Table{
+		ID:      "Figure 6",
+		Title:   "CDF of page load times, direct vs through EndBox",
+		Columns: []string{"load time", "direct", "EndBox"},
+	}
+	cdf := func(sorted []time.Duration, limit time.Duration) float64 {
+		n := sort.Search(len(sorted), func(i int) bool { return sorted[i] > limit })
+		return float64(n) / float64(len(sorted))
+	}
+	var maxGap float64
+	for _, secs := range []float64{0.25, 0.5, 1, 2, 3, 5, 8, 12, 16, 20} {
+		limit := time.Duration(secs * float64(time.Second))
+		fd, fe := cdf(direct, limit), cdf(endbox, limit)
+		if gap := math.Abs(fd - fe); gap > maxGap {
+			maxGap = gap
+		}
+		t.AddRow(fmt.Sprintf("%.2gs", secs), fmt.Sprintf("%.3f", fd), fmt.Sprintf("%.3f", fe))
+	}
+	t.AddNote("maximum CDF gap %.3f — the curves nearly coincide (paper: 'the latency overhead of ENDBOX is negligible')", maxGap)
+	t.AddNote("median load: direct %v, EndBox %v", trace.Percentile(direct, 50).Round(time.Millisecond), trace.Percentile(endbox, 50).Round(time.Millisecond))
+	t.AddNote("workload: 1000 synthetic pages (seeded), %d Mbps access link, %d parallel connections", int(accessBps/1e6), concurrency)
+	return t, nil
+}

@@ -1,0 +1,115 @@
+// Package bench reproduces every table and figure of the paper's
+// evaluation (§V). Each experiment has one runner returning a Table; the
+// cmd/endbox-bench tool and the root testing.B benchmarks invoke them.
+//
+// Wall-clock experiments (Figs. 8, 9, Table I, Table II, §V-G ablations)
+// execute the real data plane in process. Cluster-scale experiments
+// (Figs. 6, 7, 10, 11) run on the virtual-time simulator with a cost model
+// calibrated from live micro-measurements on this host (calibrate.go),
+// anchored by a single normalisation so the vanilla-OpenVPN plateau
+// matches the paper's server; all other curves follow from measured
+// relative costs. Absolute values therefore differ from the paper, but the
+// shapes — who wins, by what factor, where saturation sets in — are
+// reproduced and recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: what the paper prints as a table
+// or plots as a figure (figures become series tables).
+type Table struct {
+	// ID is the paper artefact this reproduces, e.g. "Figure 8".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells.
+	Rows [][]string
+	// Notes record workload parameters and paper-shape checks.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends an explanatory note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render prints the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// mbps formats bits/second as Mbit/s with sensible precision.
+func mbps(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2f Gbps", bps/1e9)
+	default:
+		return fmt.Sprintf("%.0f Mbps", bps/1e6)
+	}
+}
+
+// ratio formats a speedup/overhead factor.
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// pct formats a percentage difference of a relative to base.
+func pct(a, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (a-base)/base*100)
+}

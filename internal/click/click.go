@@ -1,0 +1,253 @@
+// Package click reimplements the subset of the Click modular router that
+// EndBox compiles into its enclave (paper §IV): an element framework, the
+// Click configuration language, packet flow between elements, and in-memory
+// configuration hot-swapping. The standard elements the paper's evaluation
+// uses (RoundRobinSwitch, IPFilter, ...) live in elements.go; EndBox's
+// custom elements (IDSMatcher, TrustedSplitter, UntrustedSplitter,
+// TLSDecrypt) in endboxelem.go.
+//
+// Differences from vanilla Click mirror the paper's changes (§IV "Changes
+// to Click and OpenVPN"): ToDevice signals the VPN whether a packet was
+// accepted or rejected; signal handling and control sockets do not exist;
+// and hot-swapping works on configurations held in memory.
+package click
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"endbox/internal/packet"
+	"endbox/internal/tlstap"
+)
+
+// Packet is the unit of processing flowing through the element graph. It
+// wraps the parsed IP packet and carries EndBox-specific annotations.
+type Packet struct {
+	// IP is the parsed packet; elements may modify headers in place.
+	IP *packet.IPv4
+	// Plaintext is decrypted TLS application data, populated by the
+	// TLSDecrypt element so downstream DPI elements can inspect it.
+	Plaintext []byte
+	// Backend is the output chosen by a load-balancing element, -1 if none.
+	Backend int
+
+	dropped   bool
+	droppedBy string
+	delivered bool
+	modified  bool
+}
+
+// NewPacket wraps a parsed IP packet for processing.
+func NewPacket(ip *packet.IPv4) *Packet {
+	return &Packet{IP: ip, Backend: -1}
+}
+
+// Drop marks the packet discarded, recording which element decided it.
+func (p *Packet) Drop(by string) {
+	if !p.dropped {
+		p.dropped = true
+		p.droppedBy = by
+	}
+}
+
+// Dropped reports whether the packet has been discarded.
+func (p *Packet) Dropped() bool { return p.dropped }
+
+// DroppedBy names the element that discarded the packet.
+func (p *Packet) DroppedBy() string { return p.droppedBy }
+
+// MarkModified records that an element rewrote the IP packet, so callers
+// must re-serialise it. Elements that change headers or payloads call it.
+func (p *Packet) MarkModified() { p.modified = true }
+
+// Modified reports whether any element rewrote the packet.
+func (p *Packet) Modified() bool { return p.modified }
+
+// clone duplicates the packet for Tee-style fan-out.
+func (p *Packet) clone() *Packet {
+	q := *p
+	q.IP = p.IP.Clone()
+	q.Plaintext = append([]byte(nil), p.Plaintext...)
+	return &q
+}
+
+// Alert is a notification produced by detection elements, delivered to the
+// Context's Alert hook (the paper logs these via the VPN management
+// channel).
+type Alert struct {
+	Element string
+	SID     int
+	Msg     string
+}
+
+// Context supplies platform services to elements. Inside EndBox the
+// trusted services come from the enclave (trusted time, the TLS key table);
+// a vanilla server-side Click uses the untrusted defaults.
+type Context struct {
+	// TrustedTime returns time from the SGX trusted time source. Calls are
+	// expensive; elements sample it (paper §V-B). Defaults to SystemTime.
+	TrustedTime func() time.Time
+	// SystemTime is the untrusted wall clock. Defaults to time.Now.
+	SystemTime func() time.Time
+	// RuleSet resolves a named IDPS rule set to its text. Defaults to an
+	// error for every name.
+	RuleSet func(name string) (string, error)
+	// Keys is the TLS session-key table fed by the management interface.
+	// Nil disables TLSDecrypt.
+	Keys *tlstap.KeyTable
+	// Alert receives detection notifications. Nil discards them.
+	Alert func(Alert)
+	// DeviceSetup is invoked by FromDevice/ToDevice when the router is
+	// assembled. Vanilla Click opens device file descriptors here — the
+	// work EndBox avoids because OpenVPN owns the tunnel device, which is
+	// why EndBox hot-swaps faster (paper Table II). Nil is a no-op.
+	DeviceSetup func() error
+}
+
+func (c *Context) withDefaults() *Context {
+	out := &Context{}
+	if c != nil {
+		*out = *c
+	}
+	if out.SystemTime == nil {
+		out.SystemTime = time.Now
+	}
+	if out.TrustedTime == nil {
+		out.TrustedTime = out.SystemTime
+	}
+	if out.RuleSet == nil {
+		out.RuleSet = func(name string) (string, error) {
+			return "", fmt.Errorf("click: no rule set provider (wanted %q)", name)
+		}
+	}
+	if out.Alert == nil {
+		out.Alert = func(Alert) {}
+	}
+	return out
+}
+
+// AnyPorts marks an element whose port count adapts to its connections
+// (e.g. RoundRobinSwitch grows one output per connected branch).
+const AnyPorts = -1
+
+// Element is the unit of composition. Implementations embed Base for
+// wiring and implement the remaining methods.
+type Element interface {
+	// Class returns the Click class name, e.g. "IPFilter".
+	Class() string
+	// Configure parses the element's configuration arguments (the
+	// comma-separated list inside parentheses).
+	Configure(args []string, ctx *Context) error
+	// InPorts and OutPorts declare the port counts (AnyPorts = adapt to
+	// the configuration's connections). Called after Configure.
+	InPorts() int
+	OutPorts() int
+	// Push processes a packet arriving on input port. Elements forward
+	// packets downstream with Base.Forward.
+	Push(port int, p *Packet)
+
+	// wiring hooks provided by Base
+	setName(string)
+	elementName() string
+	bindOutputs(n int)
+	connectOutput(out int, target Element, targetPort int) error
+	outputCount() int
+	forwardTarget(out int) (Element, int, bool)
+}
+
+// Base provides naming and output wiring for elements; embed it in every
+// element implementation.
+type Base struct {
+	name    string
+	targets []struct {
+		el   Element
+		port int
+	}
+}
+
+func (b *Base) setName(n string)    { b.name = n }
+func (b *Base) elementName() string { return b.name }
+func (b *Base) bindOutputs(n int) {
+	b.targets = make([]struct {
+		el   Element
+		port int
+	}, n)
+}
+
+func (b *Base) connectOutput(out int, target Element, targetPort int) error {
+	if out < 0 || out >= len(b.targets) {
+		return fmt.Errorf("click: output port %d out of range (%d ports)", out, len(b.targets))
+	}
+	if b.targets[out].el != nil {
+		return fmt.Errorf("click: output %d of %q connected twice", out, b.name)
+	}
+	b.targets[out] = struct {
+		el   Element
+		port int
+	}{target, targetPort}
+	return nil
+}
+
+func (b *Base) outputCount() int { return len(b.targets) }
+
+func (b *Base) forwardTarget(out int) (Element, int, bool) {
+	if out < 0 || out >= len(b.targets) || b.targets[out].el == nil {
+		return nil, 0, false
+	}
+	t := b.targets[out]
+	return t.el, t.port, true
+}
+
+// Forward pushes a packet out of the given output port. Pushing to an
+// unconnected port drops the packet (routers validate connectivity at
+// assembly, so this only happens for optional ports such as a splitter's
+// overflow output).
+func (b *Base) Forward(out int, p *Packet) {
+	if el, port, ok := b.forwardTarget(out); ok {
+		el.Push(port, p)
+		return
+	}
+	p.Drop(b.name)
+}
+
+// Name returns the element's instance name from the configuration.
+func (b *Base) Name() string { return b.name }
+
+// StateCarrier lets stateful elements survive hot-swaps: when a new
+// configuration contains an element with the same name and class as the old
+// one, the router calls TakeState with the old instance (Click's hot-swap
+// semantics, paper §IV).
+type StateCarrier interface {
+	TakeState(old Element)
+}
+
+// Factory creates an unconfigured element instance.
+type Factory func() Element
+
+// Registry maps Click class names to factories.
+type Registry map[string]Factory
+
+// NewRegistry returns a registry populated with every built-in element
+// class. Callers may add their own classes before building routers.
+func NewRegistry() Registry {
+	r := make(Registry, 16)
+	r["FromDevice"] = func() Element { return &FromDevice{} }
+	r["ToDevice"] = func() Element { return &ToDevice{} }
+	r["Discard"] = func() Element { return &Discard{} }
+	r["Counter"] = func() Element { return &Counter{} }
+	r["Tee"] = func() Element { return &Tee{} }
+	r["SetTOS"] = func() Element { return &SetTOS{} }
+	r["CheckIPHeader"] = func() Element { return &CheckIPHeader{} }
+	r["IPFilter"] = func() Element { return &IPFilter{} }
+	r["IPClassifier"] = func() Element { return &IPClassifier{} }
+	r["RoundRobinSwitch"] = func() Element { return &RoundRobinSwitch{} }
+	r["IDSMatcher"] = func() Element { return &IDSMatcher{} }
+	r["TrustedSplitter"] = func() Element { return &TrustedSplitter{} }
+	r["UntrustedSplitter"] = func() Element { return &UntrustedSplitter{} }
+	r["TLSDecrypt"] = func() Element { return &TLSDecrypt{} }
+	return r
+}
+
+// ErrNoInput reports a configuration without a FromDevice entry point.
+var ErrNoInput = errors.New("click: configuration has no FromDevice element")

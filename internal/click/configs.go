@@ -1,0 +1,107 @@
+package click
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UseCase identifies one of the five middlebox functions the paper
+// evaluates (§V-B).
+type UseCase int
+
+// Evaluation use cases.
+const (
+	// UseCaseNOP forwards packets untouched — the measurement baseline.
+	UseCaseNOP UseCase = iota + 1
+	// UseCaseLB balances packets across four backends with
+	// RoundRobinSwitch.
+	UseCaseLB
+	// UseCaseFW filters with 16 non-matching IPFilter rules.
+	UseCaseFW
+	// UseCaseIDPS matches the community rule set with IDSMatcher.
+	UseCaseIDPS
+	// UseCaseDDoS rate-limits with IDSMatcher + TrustedSplitter.
+	UseCaseDDoS
+)
+
+// AllUseCases lists the evaluation order used in the paper's figures.
+var AllUseCases = []UseCase{UseCaseNOP, UseCaseLB, UseCaseFW, UseCaseIDPS, UseCaseDDoS}
+
+// String implements fmt.Stringer with the paper's labels.
+func (u UseCase) String() string {
+	switch u {
+	case UseCaseNOP:
+		return "NOP"
+	case UseCaseLB:
+		return "LB"
+	case UseCaseFW:
+		return "FW"
+	case UseCaseIDPS:
+		return "IDPS"
+	case UseCaseDDoS:
+		return "DDoS"
+	default:
+		return fmt.Sprintf("UseCase(%d)", int(u))
+	}
+}
+
+// StandardConfig returns the Click configuration for a use case, matching
+// the paper's setups: the FW rules match no evaluation packet, the IDPS
+// uses the community rule set (resolved via Context.RuleSet), and the DDoS
+// splitter samples trusted time every 500,000 packets.
+func StandardConfig(u UseCase) string {
+	switch u {
+	case UseCaseNOP:
+		return "FromDevice -> ToDevice;"
+	case UseCaseLB:
+		return `
+FromDevice -> rr :: RoundRobinSwitch;
+rr[0] -> td :: ToDevice;
+rr[1] -> td;
+rr[2] -> td;
+rr[3] -> td;
+`
+	case UseCaseFW:
+		return fmt.Sprintf("FromDevice -> fw :: IPFilter(%s) -> ToDevice;", FirewallRules(16))
+	case UseCaseIDPS:
+		return "FromDevice -> ids :: IDSMatcher(RULESET community) -> ToDevice;"
+	case UseCaseDDoS:
+		// The shaper is provisioned above the evaluation rate (as in the
+		// paper, where measurement traffic is not throttled); the BURST
+		// covers the interval between trusted-time samples.
+		return `
+FromDevice -> ids :: IDSMatcher(RULESET community)
+  -> shaper :: TrustedSplitter(RATE 10G, BURST 4000000000, SAMPLE 500000)
+  -> ToDevice;
+`
+	default:
+		return ""
+	}
+}
+
+// ServerConfig is StandardConfig for a server-side vanilla Click instance
+// (the OpenVPN+Click baseline): identical graphs except the DDoS shaper
+// uses UntrustedSplitter with per-packet system time, as in the paper.
+func ServerConfig(u UseCase) string {
+	if u == UseCaseDDoS {
+		return `
+FromDevice -> ids :: IDSMatcher(RULESET community)
+  -> shaper :: UntrustedSplitter(RATE 10G, BURST 4000000000)
+  -> ToDevice;
+`
+	}
+	return StandardConfig(u)
+}
+
+// FirewallRules builds n IPFilter clauses over the TEST-NET-3 block
+// (203.0.113.0/24), which no evaluation workload uses, followed by a final
+// "allow all" — mirroring the paper's "set of 16 rules that do not match
+// any packet".
+func FirewallRules(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "drop src host 203.0.113.%d && dst port %d, ", i+1, 6000+i)
+	}
+	b.WriteString("allow all")
+	return b.String()
+}

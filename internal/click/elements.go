@@ -1,0 +1,584 @@
+package click
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"endbox/internal/packet"
+)
+
+// FromDevice is the graph's entry point. In EndBox the VPN client pushes
+// every tunnelled packet here after decryption (ingress) or before
+// encryption (egress); in vanilla Click it reads from a network device,
+// which is why it performs device setup when not managed by the VPN.
+type FromDevice struct {
+	Base
+}
+
+// Class implements Element.
+func (*FromDevice) Class() string { return "FromDevice" }
+
+// Configure implements Element.
+func (e *FromDevice) Configure(args []string, ctx *Context) error {
+	if ctx.DeviceSetup != nil {
+		if err := ctx.DeviceSetup(); err != nil {
+			return fmt.Errorf("FromDevice: %w", err)
+		}
+	}
+	return nil
+}
+
+// InPorts implements Element.
+func (*FromDevice) InPorts() int { return 0 }
+
+// OutPorts implements Element.
+func (*FromDevice) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *FromDevice) Push(_ int, p *Packet) { e.Forward(0, p) }
+
+// ToDevice is the graph's exit point. EndBox's modified ToDevice signals
+// the VPN whether the packet was accepted (paper §IV change (i)).
+type ToDevice struct {
+	Base
+	packets atomic.Uint64
+}
+
+// Class implements Element.
+func (*ToDevice) Class() string { return "ToDevice" }
+
+// Configure implements Element.
+func (e *ToDevice) Configure(args []string, ctx *Context) error {
+	if ctx.DeviceSetup != nil {
+		if err := ctx.DeviceSetup(); err != nil {
+			return fmt.Errorf("ToDevice: %w", err)
+		}
+	}
+	return nil
+}
+
+// InPorts implements Element.
+func (*ToDevice) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*ToDevice) OutPorts() int { return 0 }
+
+// Push implements Element.
+func (e *ToDevice) Push(_ int, p *Packet) {
+	if !p.Dropped() {
+		p.delivered = true
+		e.packets.Add(1)
+	}
+}
+
+// Delivered reports how many packets this ToDevice accepted.
+func (e *ToDevice) Delivered() uint64 { return e.packets.Load() }
+
+// Discard silently drops every packet it receives.
+type Discard struct {
+	Base
+	packets atomic.Uint64
+}
+
+// Class implements Element.
+func (*Discard) Class() string { return "Discard" }
+
+// Configure implements Element.
+func (*Discard) Configure([]string, *Context) error { return nil }
+
+// InPorts implements Element.
+func (*Discard) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*Discard) OutPorts() int { return 0 }
+
+// Push implements Element.
+func (e *Discard) Push(_ int, p *Packet) {
+	e.packets.Add(1)
+	p.Drop(e.Name())
+}
+
+// Count reports how many packets were discarded.
+func (e *Discard) Count() uint64 { return e.packets.Load() }
+
+// Counter counts packets and bytes passing through, surviving hot-swaps.
+type Counter struct {
+	Base
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// Class implements Element.
+func (*Counter) Class() string { return "Counter" }
+
+// Configure implements Element.
+func (*Counter) Configure([]string, *Context) error { return nil }
+
+// InPorts implements Element.
+func (*Counter) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*Counter) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *Counter) Push(_ int, p *Packet) {
+	e.packets.Add(1)
+	e.bytes.Add(uint64(p.IP.Len()))
+	e.Forward(0, p)
+}
+
+// Packets reports the packet count.
+func (e *Counter) Packets() uint64 { return e.packets.Load() }
+
+// Bytes reports the byte count.
+func (e *Counter) Bytes() uint64 { return e.bytes.Load() }
+
+// TakeState implements StateCarrier: counts survive hot-swaps.
+func (e *Counter) TakeState(old Element) {
+	if prev, ok := old.(*Counter); ok {
+		e.packets.Store(prev.packets.Load())
+		e.bytes.Store(prev.bytes.Load())
+	}
+}
+
+// Tee duplicates each packet to every connected output; the original goes
+// to output 0 and clones to the rest.
+type Tee struct {
+	Base
+}
+
+// Class implements Element.
+func (*Tee) Class() string { return "Tee" }
+
+// Configure implements Element.
+func (*Tee) Configure([]string, *Context) error { return nil }
+
+// InPorts implements Element.
+func (*Tee) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*Tee) OutPorts() int { return AnyPorts }
+
+// Push implements Element.
+func (e *Tee) Push(_ int, p *Packet) {
+	n := e.outputCount()
+	for i := 1; i < n; i++ {
+		e.Forward(i, p.clone())
+	}
+	if n > 0 {
+		e.Forward(0, p)
+	}
+}
+
+// SetTOS overwrites the IPv4 TOS byte; EndBox uses it with value 0xeb to
+// flag packets already processed by a peer client (paper §IV-A).
+type SetTOS struct {
+	Base
+	tos byte
+}
+
+// Class implements Element.
+func (*SetTOS) Class() string { return "SetTOS" }
+
+// Configure implements Element.
+func (e *SetTOS) Configure(args []string, _ *Context) error {
+	if len(args) != 1 {
+		return fmt.Errorf("SetTOS: want 1 argument, got %d", len(args))
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(args[0], "0x"), 16, 8)
+	if err != nil {
+		return fmt.Errorf("SetTOS: bad TOS value %q", args[0])
+	}
+	e.tos = byte(v)
+	return nil
+}
+
+// InPorts implements Element.
+func (*SetTOS) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*SetTOS) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *SetTOS) Push(_ int, p *Packet) {
+	if p.IP.TOS != e.tos {
+		p.IP.TOS = e.tos
+		p.MarkModified()
+	}
+	e.Forward(0, p)
+}
+
+// CheckIPHeader drops packets with obviously invalid headers (expired TTL,
+// zero-length totals); well-formedness was already verified during parsing.
+type CheckIPHeader struct {
+	Base
+	drops atomic.Uint64
+}
+
+// Class implements Element.
+func (*CheckIPHeader) Class() string { return "CheckIPHeader" }
+
+// Configure implements Element.
+func (*CheckIPHeader) Configure([]string, *Context) error { return nil }
+
+// InPorts implements Element.
+func (*CheckIPHeader) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*CheckIPHeader) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *CheckIPHeader) Push(_ int, p *Packet) {
+	if p.IP.TTL == 0 || int(p.IP.TotalLen) < packet.IPv4HeaderLen {
+		e.drops.Add(1)
+		p.Drop(e.Name())
+		return
+	}
+	e.Forward(0, p)
+}
+
+// Drops reports rejected packets.
+func (e *CheckIPHeader) Drops() uint64 { return e.drops.Load() }
+
+// RoundRobinSwitch distributes packets across its outputs in round-robin
+// order — the paper's load-balancing element (§V-B: "allows us to balance
+// IP packets or TCP flows across several machines").
+type RoundRobinSwitch struct {
+	Base
+	next atomic.Uint64
+}
+
+// Class implements Element.
+func (*RoundRobinSwitch) Class() string { return "RoundRobinSwitch" }
+
+// Configure implements Element.
+func (*RoundRobinSwitch) Configure([]string, *Context) error { return nil }
+
+// InPorts implements Element.
+func (*RoundRobinSwitch) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*RoundRobinSwitch) OutPorts() int { return AnyPorts }
+
+// Push implements Element.
+func (e *RoundRobinSwitch) Push(_ int, p *Packet) {
+	n := e.outputCount()
+	if n == 0 {
+		p.Drop(e.Name())
+		return
+	}
+	out := int(e.next.Add(1)-1) % n
+	p.Backend = out
+	e.Forward(out, p)
+}
+
+// TakeState implements StateCarrier: the rotation position survives swaps.
+func (e *RoundRobinSwitch) TakeState(old Element) {
+	if prev, ok := old.(*RoundRobinSwitch); ok {
+		e.next.Store(prev.next.Load())
+	}
+}
+
+// filterRule is one compiled IPFilter clause.
+type filterRule struct {
+	allow bool
+	conds []func(*packet.IPv4, packet.Flow) bool
+}
+
+// IPFilter implements the firewall element (paper §V-B). Configuration
+// arguments are clauses evaluated in order; the first match decides, and
+// packets matching no clause are dropped (vanilla IPFilter semantics):
+//
+//	IPFilter(drop src net 10.9.0.0/16, allow dst port 80 && proto tcp, allow all)
+//
+// Supported conditions: all, proto tcp|udp|icmp, src/dst host A.B.C.D,
+// src/dst net A.B.C.D/bits, src/dst port N[-M], tos N, joined with &&.
+type IPFilter struct {
+	Base
+	rules []filterRule
+	drops atomic.Uint64
+}
+
+// Class implements Element.
+func (*IPFilter) Class() string { return "IPFilter" }
+
+// Configure implements Element.
+func (e *IPFilter) Configure(args []string, _ *Context) error {
+	if len(args) == 0 {
+		return fmt.Errorf("IPFilter: need at least one clause")
+	}
+	for _, arg := range args {
+		rule, err := parseFilterRule(arg)
+		if err != nil {
+			return err
+		}
+		e.rules = append(e.rules, rule)
+	}
+	return nil
+}
+
+func parseFilterRule(arg string) (filterRule, error) {
+	fields := strings.Fields(arg)
+	if len(fields) == 0 {
+		return filterRule{}, fmt.Errorf("IPFilter: empty clause")
+	}
+	var rule filterRule
+	switch fields[0] {
+	case "allow", "accept":
+		rule.allow = true
+	case "drop", "deny":
+		rule.allow = false
+	default:
+		return filterRule{}, fmt.Errorf("IPFilter: clause must start with allow/drop, got %q", fields[0])
+	}
+	rest := strings.Join(fields[1:], " ")
+	for _, condText := range strings.Split(rest, "&&") {
+		cond, err := parseFilterCond(strings.Fields(condText))
+		if err != nil {
+			return filterRule{}, err
+		}
+		rule.conds = append(rule.conds, cond)
+	}
+	return rule, nil
+}
+
+func parseFilterCond(f []string) (func(*packet.IPv4, packet.Flow) bool, error) {
+	if len(f) == 0 {
+		return nil, fmt.Errorf("IPFilter: empty condition")
+	}
+	switch f[0] {
+	case "all", "any":
+		return func(*packet.IPv4, packet.Flow) bool { return true }, nil
+	case "proto":
+		if len(f) != 2 {
+			return nil, fmt.Errorf("IPFilter: proto needs a protocol name")
+		}
+		var want byte
+		switch f[1] {
+		case "tcp":
+			want = packet.ProtoTCP
+		case "udp":
+			want = packet.ProtoUDP
+		case "icmp":
+			want = packet.ProtoICMP
+		default:
+			return nil, fmt.Errorf("IPFilter: unknown protocol %q", f[1])
+		}
+		return func(ip *packet.IPv4, _ packet.Flow) bool { return ip.Protocol == want }, nil
+	case "tos":
+		if len(f) != 2 {
+			return nil, fmt.Errorf("IPFilter: tos needs a value")
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(f[1], "0x"), 16, 8)
+		if err != nil {
+			return nil, fmt.Errorf("IPFilter: bad tos %q", f[1])
+		}
+		return func(ip *packet.IPv4, _ packet.Flow) bool { return ip.TOS == byte(v) }, nil
+	case "src", "dst":
+		if len(f) != 3 {
+			return nil, fmt.Errorf("IPFilter: %s needs host/net/port and a value", f[0])
+		}
+		isSrc := f[0] == "src"
+		switch f[1] {
+		case "host":
+			addr, err := packet.ParseAddr(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("IPFilter: %w", err)
+			}
+			return func(ip *packet.IPv4, _ packet.Flow) bool {
+				if isSrc {
+					return ip.Src == addr
+				}
+				return ip.Dst == addr
+			}, nil
+		case "net":
+			base, bits, err := parseCIDR(f[2])
+			if err != nil {
+				return nil, err
+			}
+			mask := cidrMask(bits)
+			want := base.Uint32() & mask
+			return func(ip *packet.IPv4, _ packet.Flow) bool {
+				a := ip.Src
+				if !isSrc {
+					a = ip.Dst
+				}
+				return a.Uint32()&mask == want
+			}, nil
+		case "port":
+			lo, hi, err := parsePortRange(f[2])
+			if err != nil {
+				return nil, err
+			}
+			return func(_ *packet.IPv4, fl packet.Flow) bool {
+				p := fl.SrcPort
+				if !isSrc {
+					p = fl.DstPort
+				}
+				return p >= lo && p <= hi
+			}, nil
+		default:
+			return nil, fmt.Errorf("IPFilter: unknown qualifier %q", f[1])
+		}
+	default:
+		return nil, fmt.Errorf("IPFilter: unknown condition %q", f[0])
+	}
+}
+
+func parseCIDR(s string) (packet.Addr, int, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		addr, err := packet.ParseAddr(s)
+		return addr, 32, err
+	}
+	addr, err := packet.ParseAddr(s[:i])
+	if err != nil {
+		return packet.Addr{}, 0, fmt.Errorf("IPFilter: %w", err)
+	}
+	bits, err := strconv.Atoi(s[i+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return packet.Addr{}, 0, fmt.Errorf("IPFilter: bad prefix %q", s)
+	}
+	return addr, bits, nil
+}
+
+func cidrMask(bits int) uint32 {
+	if bits <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint(bits))
+}
+
+func parsePortRange(s string) (uint16, uint16, error) {
+	lo, hi := s, s
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		lo, hi = s[:i], s[i+1:]
+	}
+	l, err := strconv.ParseUint(lo, 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("IPFilter: bad port %q", s)
+	}
+	h, err := strconv.ParseUint(hi, 10, 16)
+	if err != nil || h < l {
+		return 0, 0, fmt.Errorf("IPFilter: bad port range %q", s)
+	}
+	return uint16(l), uint16(h), nil
+}
+
+// InPorts implements Element.
+func (*IPFilter) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*IPFilter) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *IPFilter) Push(_ int, p *Packet) {
+	flow := packet.FlowOf(p.IP)
+	for _, r := range e.rules {
+		matched := true
+		for _, cond := range r.conds {
+			if !cond(p.IP, flow) {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		if r.allow {
+			e.Forward(0, p)
+			return
+		}
+		e.drops.Add(1)
+		p.Drop(e.Name())
+		return
+	}
+	// Vanilla IPFilter drops packets that match no clause.
+	e.drops.Add(1)
+	p.Drop(e.Name())
+}
+
+// Drops reports the number of filtered packets.
+func (e *IPFilter) Drops() uint64 { return e.drops.Load() }
+
+// IPClassifier routes packets to the output whose pattern matches first.
+// Patterns: "tcp", "udp", "icmp", optionally "... port N", or "-" for the
+// rest. Unmatched packets are dropped.
+type IPClassifier struct {
+	Base
+	patterns []func(*packet.IPv4, packet.Flow) bool
+}
+
+// Class implements Element.
+func (*IPClassifier) Class() string { return "IPClassifier" }
+
+// Configure implements Element.
+func (e *IPClassifier) Configure(args []string, _ *Context) error {
+	if len(args) == 0 {
+		return fmt.Errorf("IPClassifier: need at least one pattern")
+	}
+	for _, arg := range args {
+		fields := strings.Fields(arg)
+		if len(fields) == 1 && fields[0] == "-" {
+			e.patterns = append(e.patterns, func(*packet.IPv4, packet.Flow) bool { return true })
+			continue
+		}
+		var proto byte
+		var port uint16
+		hasPort := false
+		for i := 0; i < len(fields); i++ {
+			switch fields[i] {
+			case "tcp":
+				proto = packet.ProtoTCP
+			case "udp":
+				proto = packet.ProtoUDP
+			case "icmp":
+				proto = packet.ProtoICMP
+			case "port":
+				if i+1 >= len(fields) {
+					return fmt.Errorf("IPClassifier: port needs a number in %q", arg)
+				}
+				v, err := strconv.ParseUint(fields[i+1], 10, 16)
+				if err != nil {
+					return fmt.Errorf("IPClassifier: bad port in %q", arg)
+				}
+				port = uint16(v)
+				hasPort = true
+				i++
+			default:
+				return fmt.Errorf("IPClassifier: unknown pattern token %q", fields[i])
+			}
+		}
+		wantProto, wantPort, p := proto, port, hasPort
+		e.patterns = append(e.patterns, func(ip *packet.IPv4, fl packet.Flow) bool {
+			if wantProto != 0 && ip.Protocol != wantProto {
+				return false
+			}
+			if p && fl.SrcPort != wantPort && fl.DstPort != wantPort {
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// InPorts implements Element.
+func (*IPClassifier) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (e *IPClassifier) OutPorts() int { return len(e.patterns) }
+
+// Push implements Element.
+func (e *IPClassifier) Push(_ int, p *Packet) {
+	flow := packet.FlowOf(p.IP)
+	for i, match := range e.patterns {
+		if match(p.IP, flow) {
+			e.Forward(i, p)
+			return
+		}
+	}
+	p.Drop(e.Name())
+}

@@ -1,0 +1,365 @@
+package click
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"endbox/internal/idps"
+	"endbox/internal/packet"
+	"endbox/internal/tlstap"
+)
+
+// IDSMatcher is EndBox's custom intrusion detection element (paper §V-B):
+// Snort rule sets matched with Aho–Corasick inside the enclave.
+//
+// Configuration:
+//
+//	IDSMatcher(RULESET community)              // rules from the config store
+//	IDSMatcher(RULESET web, MODE enforce)      // drop on match (IPS mode)
+//
+// MODE alert (default) forwards matching packets and raises alerts; MODE
+// enforce honours rule actions, dropping packets matched by drop rules.
+// When the TLSDecrypt element placed upstream recovered plaintext, content
+// rules inspect the plaintext instead of the TLS ciphertext.
+type IDSMatcher struct {
+	Base
+	engine  *idps.Engine
+	enforce bool
+	alert   func(Alert)
+}
+
+// Class implements Element.
+func (*IDSMatcher) Class() string { return "IDSMatcher" }
+
+// Configure implements Element.
+func (e *IDSMatcher) Configure(args []string, ctx *Context) error {
+	ruleset := "community"
+	for _, arg := range args {
+		key, val, _ := strings.Cut(arg, " ")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "RULESET":
+			if val == "" {
+				return fmt.Errorf("IDSMatcher: RULESET needs a name")
+			}
+			ruleset = val
+		case "MODE":
+			switch val {
+			case "alert", "":
+				e.enforce = false
+			case "enforce":
+				e.enforce = true
+			default:
+				return fmt.Errorf("IDSMatcher: unknown MODE %q", val)
+			}
+		default:
+			return fmt.Errorf("IDSMatcher: unknown argument %q", key)
+		}
+	}
+	text, err := ctx.RuleSet(ruleset)
+	if err != nil {
+		return fmt.Errorf("IDSMatcher: %w", err)
+	}
+	rules, err := idps.ParseRules(text)
+	if err != nil {
+		return fmt.Errorf("IDSMatcher: %w", err)
+	}
+	engine, err := idps.NewEngine(rules)
+	if err != nil {
+		return fmt.Errorf("IDSMatcher: %w", err)
+	}
+	e.engine = engine
+	e.alert = ctx.Alert
+	return nil
+}
+
+// InPorts implements Element.
+func (*IDSMatcher) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*IDSMatcher) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *IDSMatcher) Push(_ int, p *Packet) {
+	var res idps.Result
+	if p.Plaintext != nil {
+		res = e.engine.EvaluatePayload(p.IP, p.Plaintext)
+	} else {
+		res = e.engine.Evaluate(p.IP)
+	}
+	for _, a := range res.Alerts {
+		e.alert(Alert{Element: e.Name(), SID: a.SID, Msg: a.Msg})
+	}
+	if e.enforce && res.Verdict == idps.VerdictDrop {
+		p.Drop(e.Name())
+		return
+	}
+	e.Forward(0, p)
+}
+
+// Stats exposes the underlying engine counters.
+func (e *IDSMatcher) Stats() idps.Stats { return e.engine.Stats() }
+
+// splitter is the shared token-bucket shaping logic behind TrustedSplitter
+// and UntrustedSplitter. Conforming packets leave on output 0; excess
+// packets leave on output 1 when connected and are dropped otherwise.
+type splitter struct {
+	Base
+	rateBps     float64 // bytes per second
+	burst       float64 // bucket capacity in bytes
+	sampleEvery uint64
+
+	now func() time.Time
+
+	tokens     float64
+	lastSample time.Time
+	sinceProbe uint64
+	shaped     uint64
+	passed     uint64
+}
+
+// configureSplitter parses RATE (bits/s, with k/M/G suffixes), BURST
+// (bytes) and SAMPLE (packets between time probes).
+func (s *splitter) configureSplitter(args []string, defaultSample uint64) error {
+	s.sampleEvery = defaultSample
+	s.rateBps = 12.5e6 // 100 Mbit/s default
+	s.burst = 256 << 10
+	for _, arg := range args {
+		key, val, ok := strings.Cut(arg, " ")
+		if !ok {
+			return fmt.Errorf("splitter: argument %q needs a value", arg)
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "RATE":
+			bits, err := parseRate(val)
+			if err != nil {
+				return err
+			}
+			s.rateBps = bits / 8
+		case "BURST":
+			n, err := strconv.ParseFloat(val, 64)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("splitter: bad BURST %q", val)
+			}
+			s.burst = n
+		case "SAMPLE":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || n == 0 {
+				return fmt.Errorf("splitter: bad SAMPLE %q", val)
+			}
+			s.sampleEvery = n
+		default:
+			return fmt.Errorf("splitter: unknown argument %q", key)
+		}
+	}
+	s.tokens = s.burst
+	return nil
+}
+
+func parseRate(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1e9, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1e6, s[:len(s)-1]
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1e3, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("splitter: bad RATE %q", s)
+	}
+	return v * mult, nil
+}
+
+func (s *splitter) InPorts() int  { return AnyPorts }
+func (s *splitter) OutPorts() int { return 2 }
+
+// optionalOutputs lets output 1 (excess traffic) stay unconnected.
+func (s *splitter) optionalOutputs() bool { return true }
+
+func (s *splitter) Push(_ int, p *Packet) {
+	s.sinceProbe++
+	if s.lastSample.IsZero() || s.sinceProbe >= s.sampleEvery {
+		now := s.now()
+		if !s.lastSample.IsZero() {
+			dt := now.Sub(s.lastSample).Seconds()
+			if dt > 0 {
+				s.tokens += dt * s.rateBps
+				if s.tokens > s.burst {
+					s.tokens = s.burst
+				}
+			}
+		}
+		s.lastSample = now
+		s.sinceProbe = 0
+	}
+	need := float64(p.IP.Len())
+	if s.tokens >= need {
+		s.tokens -= need
+		s.passed++
+		s.Forward(0, p)
+		return
+	}
+	s.shaped++
+	if _, _, ok := s.forwardTarget(1); ok {
+		s.Forward(1, p)
+		return
+	}
+	p.Drop(s.Name())
+}
+
+// Shaped reports packets that exceeded the configured rate.
+func (s *splitter) Shaped() uint64 { return s.shaped }
+
+// Passed reports conforming packets.
+func (s *splitter) Passed() uint64 { return s.passed }
+
+// TrustedSplitter shapes traffic using the SGX trusted time source. Because
+// trusted time calls are expensive, it samples timestamps only every SAMPLE
+// packets — 500,000 in the paper's DDoS configuration (§V-B).
+type TrustedSplitter struct {
+	splitter
+}
+
+// DefaultTrustedSample is the paper's probe interval.
+const DefaultTrustedSample = 500000
+
+// Class implements Element.
+func (*TrustedSplitter) Class() string { return "TrustedSplitter" }
+
+// Configure implements Element.
+func (e *TrustedSplitter) Configure(args []string, ctx *Context) error {
+	e.now = ctx.TrustedTime
+	return e.configureSplitter(args, DefaultTrustedSample)
+}
+
+// TakeState implements StateCarrier: bucket level survives hot-swaps.
+func (e *TrustedSplitter) TakeState(old Element) {
+	if prev, ok := old.(*TrustedSplitter); ok {
+		e.tokens = prev.tokens
+		e.lastSample = prev.lastSample
+		e.shaped = prev.shaped
+		e.passed = prev.passed
+	}
+}
+
+// UntrustedSplitter is the server-side Click equivalent, reading the system
+// clock on every packet (paper §V-B: "obtains timestamps using system
+// calls").
+type UntrustedSplitter struct {
+	splitter
+}
+
+// Class implements Element.
+func (*UntrustedSplitter) Class() string { return "UntrustedSplitter" }
+
+// Configure implements Element.
+func (e *UntrustedSplitter) Configure(args []string, ctx *Context) error {
+	e.now = ctx.SystemTime
+	return e.configureSplitter(args, 1)
+}
+
+// TakeState implements StateCarrier.
+func (e *UntrustedSplitter) TakeState(old Element) {
+	if prev, ok := old.(*UntrustedSplitter); ok {
+		e.tokens = prev.tokens
+		e.lastSample = prev.lastSample
+		e.shaped = prev.shaped
+		e.passed = prev.passed
+	}
+}
+
+// TLSDecrypt recovers TLS application plaintext using session keys escrowed
+// through the management interface (paper §III-D). Packets on the
+// configured port whose flow has a known key get their Plaintext annotation
+// set; flows without keys pass through unmodified — encrypted traffic from
+// stock TLS libraries is simply not inspectable.
+type TLSDecrypt struct {
+	Base
+	port      uint16
+	keys      *tlstap.KeyTable
+	alert     func(Alert)
+	decrypted uint64
+	missed    uint64
+}
+
+// Class implements Element.
+func (*TLSDecrypt) Class() string { return "TLSDecrypt" }
+
+// Configure implements Element.
+func (e *TLSDecrypt) Configure(args []string, ctx *Context) error {
+	e.port = 443
+	for _, arg := range args {
+		key, val, ok := strings.Cut(arg, " ")
+		if !ok {
+			return fmt.Errorf("TLSDecrypt: argument %q needs a value", arg)
+		}
+		switch strings.TrimSpace(key) {
+		case "PORT":
+			v, err := strconv.ParseUint(strings.TrimSpace(val), 10, 16)
+			if err != nil {
+				return fmt.Errorf("TLSDecrypt: bad PORT %q", val)
+			}
+			e.port = uint16(v)
+		default:
+			return fmt.Errorf("TLSDecrypt: unknown argument %q", key)
+		}
+	}
+	if ctx.Keys == nil {
+		return fmt.Errorf("TLSDecrypt: no session key table in context")
+	}
+	e.keys = ctx.Keys
+	e.alert = ctx.Alert
+	return nil
+}
+
+// InPorts implements Element.
+func (*TLSDecrypt) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*TLSDecrypt) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *TLSDecrypt) Push(_ int, p *Packet) {
+	if p.IP.Protocol != packet.ProtoTCP {
+		e.Forward(0, p)
+		return
+	}
+	flow := packet.FlowOf(p.IP)
+	if flow.SrcPort != e.port && flow.DstPort != e.port {
+		e.Forward(0, p)
+		return
+	}
+	tcp, err := packet.ParseTCP(p.IP.Payload)
+	if err != nil || len(tcp.Payload) == 0 {
+		e.Forward(0, p)
+		return
+	}
+	key, ok := e.keys.Get(flow)
+	if !ok {
+		e.missed++
+		e.Forward(0, p)
+		return
+	}
+	plaintext, _, err := tlstap.DecryptStream(key, tcp.Payload)
+	if err != nil {
+		e.alert(Alert{Element: e.Name(), Msg: fmt.Sprintf("TLS decrypt failed for %s: %v", flow, err)})
+		e.Forward(0, p)
+		return
+	}
+	e.decrypted++
+	p.Plaintext = plaintext
+	e.Forward(0, p)
+}
+
+// Decrypted reports packets whose plaintext was recovered.
+func (e *TLSDecrypt) Decrypted() uint64 { return e.decrypted }
+
+// Missed reports packets on the TLS port without an escrowed key.
+func (e *TLSDecrypt) Missed() uint64 { return e.missed }

@@ -1,0 +1,343 @@
+package click
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Graph is a parsed Click configuration: element declarations plus the
+// connections between their ports. Build it into a runnable Router with
+// BuildRouter.
+type Graph struct {
+	Decls []Decl
+	Conns []Conn
+}
+
+// Decl declares one element instance.
+type Decl struct {
+	Name   string
+	Class  string
+	Config string
+}
+
+// Conn connects an output port of one element to an input port of another.
+type Conn struct {
+	From     string
+	FromPort int
+	To       string
+	ToPort   int
+}
+
+// parser state over a token stream.
+type parser struct {
+	toks []token
+	pos  int
+	g    *Graph
+	// declared maps name -> class for reference resolution.
+	declared map[string]string
+	anon     int
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota + 1
+	tokColonColon
+	tokArrow
+	tokLBracket
+	tokRBracket
+	tokSemi
+	tokConfig // parenthesised config string, parens stripped
+	tokNumber
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+// ParseConfig parses Click configuration syntax:
+//
+//	// declarations
+//	fw :: IPFilter(drop src net 10.9.0.0/16, allow all);
+//	// chains with optional port brackets and inline/anonymous elements
+//	FromDevice -> fw -> cnt :: Counter -> ToDevice;
+//	rr[1] -> [0]Discard;
+//
+// Comments (// and /* */) are ignored. Statements end with semicolons; a
+// trailing unterminated statement is accepted.
+func ParseConfig(text string) (*Graph, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, g: &Graph{}, declared: make(map[string]string)}
+	for !p.done() {
+		if p.peek().kind == tokSemi {
+			p.next()
+			continue
+		}
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+	return p.g, nil
+}
+
+func lex(text string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(text)
+	for i < n {
+		c := text[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && text[i+1] == '/':
+			for i < n && text[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && text[i+1] == '*':
+			end := strings.Index(text[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("click: unterminated block comment")
+			}
+			i += end + 4
+		case c == ':' && i+1 < n && text[i+1] == ':':
+			toks = append(toks, token{tokColonColon, "::"})
+			i += 2
+		case c == '-' && i+1 < n && text[i+1] == '>':
+			toks = append(toks, token{tokArrow, "->"})
+			i += 2
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "["})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]"})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";"})
+			i++
+		case c == '(':
+			cfg, adv, err := lexConfig(text[i:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{tokConfig, cfg})
+			i += adv
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && text[j] >= '0' && text[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, text[i:j]})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentChar(text[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, text[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("click: unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '@' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// lexConfig captures a parenthesised configuration string, honouring nested
+// parentheses and double-quoted strings. Returns the inner text and the
+// total bytes consumed including both parens.
+func lexConfig(s string) (string, int, error) {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inStr && c == '\\':
+			i++
+		case c == '"':
+			inStr = !inStr
+		case !inStr && c == '(':
+			depth++
+		case !inStr && c == ')':
+			depth--
+			if depth == 0 {
+				return s[1:i], i + 1, nil
+			}
+		}
+	}
+	return "", 0, fmt.Errorf("click: unterminated configuration parenthesis")
+}
+
+func (p *parser) done() bool  { return p.pos >= len(p.toks) }
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) peekAt(k int) (token, bool) {
+	if p.pos+k < len(p.toks) {
+		return p.toks[p.pos+k], true
+	}
+	return token{}, false
+}
+
+// statement parses either a standalone declaration or a connection chain.
+func (p *parser) statement() error {
+	first, firstOut, err := p.endpoint()
+	if err != nil {
+		return err
+	}
+	if p.done() || p.peek().kind == tokSemi {
+		// Pure declaration (or a lone reference, which is harmless).
+		return nil
+	}
+	prev, prevOut := first, firstOut
+	for !p.done() && p.peek().kind == tokArrow {
+		p.next()
+		inPort := 0
+		if !p.done() && p.peek().kind == tokLBracket {
+			var err error
+			inPort, err = p.portNumber()
+			if err != nil {
+				return err
+			}
+		}
+		name, outPort, err := p.endpoint()
+		if err != nil {
+			return err
+		}
+		p.g.Conns = append(p.g.Conns, Conn{From: prev, FromPort: prevOut, To: name, ToPort: inPort})
+		prev, prevOut = name, outPort
+	}
+	if !p.done() && p.peek().kind != tokSemi {
+		return fmt.Errorf("click: unexpected token %q", p.peek().text)
+	}
+	return nil
+}
+
+// endpoint parses one element reference/declaration, returning its resolved
+// name and trailing output-port number (default 0).
+func (p *parser) endpoint() (string, int, error) {
+	if p.done() {
+		return "", 0, fmt.Errorf("click: unexpected end of configuration")
+	}
+	tok := p.next()
+	if tok.kind != tokIdent {
+		return "", 0, fmt.Errorf("click: expected element, got %q", tok.text)
+	}
+	name := tok.text
+
+	// Declaration form: name :: Class [ (config) ]
+	if !p.done() && p.peek().kind == tokColonColon {
+		p.next()
+		classTok := p.next()
+		if classTok.kind != tokIdent {
+			return "", 0, fmt.Errorf("click: expected class after '::', got %q", classTok.text)
+		}
+		cfg := ""
+		if !p.done() && p.peek().kind == tokConfig {
+			cfg = p.next().text
+		}
+		if prev, dup := p.declared[name]; dup {
+			return "", 0, fmt.Errorf("click: element %q already declared as %s", name, prev)
+		}
+		p.declared[name] = classTok.text
+		p.g.Decls = append(p.g.Decls, Decl{Name: name, Class: classTok.text, Config: cfg})
+		port, err := p.trailingPort()
+		return name, port, err
+	}
+
+	// Anonymous element: Class(config) or bare Class not yet declared.
+	if !p.done() && p.peek().kind == tokConfig {
+		cfg := p.next().text
+		anon := p.anonName(name)
+		p.g.Decls = append(p.g.Decls, Decl{Name: anon, Class: name, Config: cfg})
+		port, err := p.trailingPort()
+		return anon, port, err
+	}
+	if _, known := p.declared[name]; !known {
+		// Bare identifier that was never declared: treat as an anonymous
+		// class instance (e.g. "FromDevice -> ToDevice").
+		anon := p.anonName(name)
+		p.g.Decls = append(p.g.Decls, Decl{Name: anon, Class: name})
+		port, err := p.trailingPort()
+		return anon, port, err
+	}
+	port, err := p.trailingPort()
+	return name, port, err
+}
+
+func (p *parser) anonName(class string) string {
+	p.anon++
+	return fmt.Sprintf("%s@%d", class, p.anon)
+}
+
+// trailingPort consumes an optional "[N]" output-port suffix.
+func (p *parser) trailingPort() (int, error) {
+	if p.done() || p.peek().kind != tokLBracket {
+		return 0, nil
+	}
+	return p.portNumber()
+}
+
+func (p *parser) portNumber() (int, error) {
+	lb := p.next()
+	if lb.kind != tokLBracket {
+		return 0, fmt.Errorf("click: expected '[', got %q", lb.text)
+	}
+	numTok := p.next()
+	if numTok.kind != tokNumber {
+		return 0, fmt.Errorf("click: expected port number, got %q", numTok.text)
+	}
+	n, err := strconv.Atoi(numTok.text)
+	if err != nil {
+		return 0, err
+	}
+	rb := p.next()
+	if rb.kind != tokRBracket {
+		return 0, fmt.Errorf("click: expected ']', got %q", rb.text)
+	}
+	return n, nil
+}
+
+// SplitArgs splits a Click configuration string into its comma-separated
+// arguments, respecting double quotes and nested parentheses, trimming
+// whitespace, and dropping empty trailing entries.
+func SplitArgs(cfg string) []string {
+	var (
+		args  []string
+		start int
+		depth int
+		inStr bool
+	)
+	flush := func(end int) {
+		if a := strings.TrimSpace(cfg[start:end]); a != "" {
+			args = append(args, a)
+		}
+		start = end + 1
+	}
+	for i := 0; i < len(cfg); i++ {
+		switch c := cfg[i]; {
+		case inStr && c == '\\':
+			i++
+		case c == '"':
+			inStr = !inStr
+		case !inStr && c == '(':
+			depth++
+		case !inStr && c == ')':
+			depth--
+		case !inStr && depth == 0 && c == ',':
+			flush(i)
+		}
+	}
+	flush(len(cfg))
+	return args
+}

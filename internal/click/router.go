@@ -1,0 +1,242 @@
+package click
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"endbox/internal/packet"
+)
+
+// Router is an assembled, immutable element graph ready to process packets.
+// Build one with BuildRouter or let Instance manage building and
+// hot-swapping.
+type Router struct {
+	elements map[string]Element
+	order    []string // declaration order, for deterministic iteration
+	input    Element  // the FromDevice entry point
+	output   *ToDevice
+}
+
+// Result reports what the graph decided about one packet.
+type Result struct {
+	// Accepted is true when the packet reached ToDevice (paper Fig. 3
+	// step 3: "the packet is either accepted or rejected").
+	Accepted bool
+	// DroppedBy names the element that rejected the packet, if any.
+	DroppedBy string
+	// Packet is the (possibly modified) packet.
+	Packet *Packet
+}
+
+// BuildRouter instantiates a parsed graph: create elements, configure them,
+// size and validate ports, and wire connections.
+func BuildRouter(g *Graph, reg Registry, ctx *Context) (*Router, error) {
+	ctx = ctx.withDefaults()
+	r := &Router{elements: make(map[string]Element, len(g.Decls))}
+
+	// Instantiate and configure.
+	for _, d := range g.Decls {
+		factory, ok := reg[d.Class]
+		if !ok {
+			return nil, fmt.Errorf("click: unknown element class %q", d.Class)
+		}
+		el := factory()
+		el.setName(d.Name)
+		if err := el.Configure(SplitArgs(d.Config), ctx); err != nil {
+			return nil, fmt.Errorf("click: configure %s (%s): %w", d.Name, d.Class, err)
+		}
+		if _, dup := r.elements[d.Name]; dup {
+			return nil, fmt.Errorf("click: duplicate element name %q", d.Name)
+		}
+		r.elements[d.Name] = el
+		r.order = append(r.order, d.Name)
+	}
+
+	// Determine output port counts: fixed from OutPorts, or adaptive
+	// (AnyPorts) from the highest connected port.
+	maxOut := make(map[string]int, len(g.Decls))
+	for _, c := range g.Conns {
+		if _, ok := r.elements[c.From]; !ok {
+			return nil, fmt.Errorf("click: connection from undeclared element %q", c.From)
+		}
+		if _, ok := r.elements[c.To]; !ok {
+			return nil, fmt.Errorf("click: connection to undeclared element %q", c.To)
+		}
+		if c.FromPort+1 > maxOut[c.From] {
+			maxOut[c.From] = c.FromPort + 1
+		}
+	}
+	for name, el := range r.elements {
+		want := el.OutPorts()
+		if want == AnyPorts {
+			el.bindOutputs(maxOut[name])
+			continue
+		}
+		if maxOut[name] > want {
+			return nil, fmt.Errorf("click: element %q has %d outputs but port %d is connected",
+				name, want, maxOut[name]-1)
+		}
+		el.bindOutputs(want)
+	}
+
+	// Wire connections and validate input port ranges.
+	for _, c := range g.Conns {
+		from, to := r.elements[c.From], r.elements[c.To]
+		if in := to.InPorts(); in != AnyPorts && c.ToPort >= in {
+			return nil, fmt.Errorf("click: input port %d of %q out of range (%d ports)",
+				c.ToPort, c.To, in)
+		}
+		if err := from.connectOutput(c.FromPort, to, c.ToPort); err != nil {
+			return nil, err
+		}
+	}
+
+	// Locate the entry and exit points.
+	for _, name := range r.order {
+		switch el := r.elements[name].(type) {
+		case *FromDevice:
+			if r.input != nil {
+				return nil, fmt.Errorf("click: multiple FromDevice elements")
+			}
+			r.input = el
+		case *ToDevice:
+			if r.output != nil {
+				return nil, fmt.Errorf("click: multiple ToDevice elements")
+			}
+			r.output = el
+		}
+	}
+	if r.input == nil {
+		return nil, ErrNoInput
+	}
+
+	// Mandatory outputs must be connected (except ToDevice/Discard sinks
+	// and optional overflow ports, which elements declare via OutPorts).
+	for _, name := range r.order {
+		el := r.elements[name]
+		if opt, ok := el.(interface{ optionalOutputs() bool }); ok && opt.optionalOutputs() {
+			continue
+		}
+		for i := 0; i < el.outputCount(); i++ {
+			if _, _, ok := el.forwardTarget(i); !ok {
+				return nil, fmt.Errorf("click: output %d of %q unconnected", i, name)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Element returns a configured element by name, for tests and state
+// inspection.
+func (r *Router) Element(name string) (Element, bool) {
+	el, ok := r.elements[name]
+	return el, ok
+}
+
+// Process pushes one packet through the graph and reports the verdict.
+// Routers are not safe for concurrent Process calls; Instance serialises.
+func (r *Router) Process(ip *packet.IPv4) *Result {
+	p := NewPacket(ip)
+	r.input.Push(0, p)
+	res := &Result{Packet: p}
+	if p.delivered && !p.dropped {
+		res.Accepted = true
+	} else {
+		res.DroppedBy = p.droppedBy
+		if res.DroppedBy == "" {
+			res.DroppedBy = "(no ToDevice reached)"
+		}
+	}
+	return res
+}
+
+// transplantState moves state from the old router's elements into this one
+// for every element that kept its name and class across the swap.
+func (r *Router) transplantState(old *Router) {
+	if old == nil {
+		return
+	}
+	for name, el := range r.elements {
+		carrier, ok := el.(StateCarrier)
+		if !ok {
+			continue
+		}
+		prev, ok := old.elements[name]
+		if !ok || prev.Class() != el.Class() {
+			continue
+		}
+		carrier.TakeState(prev)
+	}
+}
+
+// Instance manages the live router and implements Click's configuration
+// hot-swapping on in-memory configurations (paper §IV change (iii)). All
+// packet processing is serialised through the instance, so a swap is
+// atomic with respect to traffic — Click's single-threaded model.
+type Instance struct {
+	reg Registry
+	ctx *Context
+
+	mu     sync.Mutex
+	router *Router
+	config string
+}
+
+// NewInstance builds the initial configuration.
+func NewInstance(config string, reg Registry, ctx *Context) (*Instance, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	g, err := ParseConfig(config)
+	if err != nil {
+		return nil, err
+	}
+	router, err := BuildRouter(g, reg, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{reg: reg, ctx: ctx, router: router, config: config}, nil
+}
+
+// Process runs one packet through the current configuration.
+func (i *Instance) Process(ip *packet.IPv4) *Result {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.router.Process(ip)
+}
+
+// Config returns the currently active configuration text.
+func (i *Instance) Config() string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.config
+}
+
+// Element exposes a live element by name (state inspection in tests).
+func (i *Instance) Element(name string) (Element, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.router.Element(name)
+}
+
+// Swap hot-swaps to a new configuration, transplanting state from same-name
+// same-class elements, and returns the time the swap took (Table II's
+// "hotswap" phase). On error the old configuration stays active.
+func (i *Instance) Swap(config string) (time.Duration, error) {
+	start := time.Now()
+	g, err := ParseConfig(config)
+	if err != nil {
+		return 0, err
+	}
+	router, err := BuildRouter(g, i.reg, i.ctx)
+	if err != nil {
+		return 0, err
+	}
+	i.mu.Lock()
+	router.transplantState(i.router)
+	i.router = router
+	i.config = config
+	i.mu.Unlock()
+	return time.Since(start), nil
+}

@@ -1,0 +1,294 @@
+// Package config implements EndBox's secure middlebox configuration
+// updates (paper §III-E): updates carry a monotonically increasing version
+// number embedded in the signed payload (preventing replays of old
+// configurations), are signed with the CA key, optionally encrypted with
+// the provisioned shared key (hiding IDPS rules from enterprise users; ISP
+// customers get plaintext so they can inspect the rules), and are served
+// from a publicly reachable configuration file server.
+//
+// Grace-period enforcement — the VPN server accepting both old and new
+// versions for n seconds and then blocking stale clients — lives with the
+// server in internal/vpn; this package provides the policy type.
+package config
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"endbox/internal/attest"
+)
+
+// Common errors.
+var (
+	ErrBadSignature    = errors.New("config: signature verification failed")
+	ErrVersionMismatch = errors.New("config: envelope and payload versions differ")
+	ErrStaleVersion    = errors.New("config: version not newer than current")
+	ErrDecrypt         = errors.New("config: payload decryption failed")
+	ErrNotFound        = errors.New("config: version not found")
+)
+
+// Update is one middlebox configuration update: the Click graph, its rule
+// sets, and the administrator-chosen grace period (paper §III-E:
+// "administrators can define the importance of updates by specifying a
+// grace period of n >= 0 seconds").
+type Update struct {
+	Version      uint64            `json:"version"`
+	GraceSeconds uint32            `json:"grace_seconds"`
+	ClickConfig  string            `json:"click_config"`
+	RuleSets     map[string]string `json:"rule_sets,omitempty"`
+}
+
+// GracePeriod returns the grace period as a duration.
+func (u *Update) GracePeriod() time.Duration {
+	return time.Duration(u.GraceSeconds) * time.Second
+}
+
+// Envelope is the on-the-wire form stored on the configuration server. The
+// version is replicated outside the (possibly encrypted) payload so the
+// server can index updates, and inside it so clients detect mix-and-match
+// tampering.
+type Envelope struct {
+	Version   uint64 `json:"version"`
+	Encrypted bool   `json:"encrypted"`
+	Payload   []byte `json:"payload"`
+	Signature []byte `json:"signature"`
+}
+
+func envelopeSignedBytes(version uint64, encrypted bool, payload []byte) []byte {
+	buf := make([]byte, 0, 9+len(payload))
+	var v [8]byte
+	binary.BigEndian.PutUint64(v[:], version)
+	buf = append(buf, v[:]...)
+	if encrypted {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return append(buf, payload...)
+}
+
+// SignFunc signs envelope bytes; attest.(*CA).SignConfig satisfies it.
+type SignFunc func(data []byte) []byte
+
+// Seal prepares an update for publication: marshal, optionally encrypt with
+// sharedKey (nil leaves the payload readable, the ISP-scenario choice), and
+// sign. The administrator runs this (paper Fig. 5 step 1).
+func Seal(u *Update, sign SignFunc, sharedKey []byte) ([]byte, error) {
+	payload, err := json.Marshal(u)
+	if err != nil {
+		return nil, fmt.Errorf("config: marshal update: %w", err)
+	}
+	encrypted := false
+	if len(sharedKey) > 0 {
+		payload, err = encrypt(sharedKey, payload)
+		if err != nil {
+			return nil, err
+		}
+		encrypted = true
+	}
+	env := Envelope{
+		Version:   u.Version,
+		Encrypted: encrypted,
+		Payload:   payload,
+		Signature: sign(envelopeSignedBytes(u.Version, encrypted, payload)),
+	}
+	blob, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("config: marshal envelope: %w", err)
+	}
+	return blob, nil
+}
+
+// Open verifies and decodes an update blob. It checks the CA signature,
+// decrypts with sharedKey when the payload is encrypted, and verifies the
+// inner version matches the envelope. In EndBox this runs inside the
+// enclave (paper Fig. 5 step 8).
+func Open(blob []byte, caPub ed25519.PublicKey, sharedKey []byte) (*Update, error) {
+	var env Envelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return nil, fmt.Errorf("config: parse envelope: %w", err)
+	}
+	if !attest.VerifyConfigSig(caPub, envelopeSignedBytes(env.Version, env.Encrypted, env.Payload), env.Signature) {
+		return nil, ErrBadSignature
+	}
+	payload := env.Payload
+	if env.Encrypted {
+		var err error
+		payload, err = decrypt(sharedKey, payload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var u Update
+	if err := json.Unmarshal(payload, &u); err != nil {
+		return nil, fmt.Errorf("config: parse update: %w", err)
+	}
+	if u.Version != env.Version {
+		return nil, ErrVersionMismatch
+	}
+	return &u, nil
+}
+
+func gcmFor(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("config: shared key: %w", err)
+	}
+	g, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("config: AEAD: %w", err)
+	}
+	return g, nil
+}
+
+func encrypt(key, plaintext []byte) ([]byte, error) {
+	g, err := gcmFor(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, g.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("config: nonce: %w", err)
+	}
+	return g.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+func decrypt(key, blob []byte) ([]byte, error) {
+	g, err := gcmFor(key)
+	if err != nil {
+		return nil, err
+	}
+	ns := g.NonceSize()
+	if len(blob) < ns {
+		return nil, ErrDecrypt
+	}
+	pt, err := g.Open(nil, blob[:ns], blob[ns:], nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// Server is the trusted configuration file server in the managed network
+// (paper §III-E): publicly readable so clients can always obtain up-to-date
+// configurations before connecting. Confidentiality comes from payload
+// encryption, not access control.
+type Server struct {
+	mu     sync.RWMutex
+	blobs  map[uint64][]byte
+	latest uint64
+	// fetchDelay simulates network + disk time for virtual-time tests.
+	fetchDelay func()
+}
+
+// NewServer creates an empty configuration store.
+func NewServer() *Server {
+	return &Server{blobs: make(map[uint64][]byte)}
+}
+
+// SetFetchDelay injects latency into Fetch, letting virtual-time
+// experiments model the fetch phase of Table II.
+func (s *Server) SetFetchDelay(d func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fetchDelay = d
+}
+
+// Publish stores a sealed update blob under its version. Versions must
+// strictly increase (monotonicity is also enforced client-side; the server
+// check catches operator mistakes early).
+func (s *Server) Publish(version uint64, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if version <= s.latest {
+		return fmt.Errorf("%w: %d <= %d", ErrStaleVersion, version, s.latest)
+	}
+	s.blobs[version] = append([]byte(nil), blob...)
+	s.latest = version
+	return nil
+}
+
+// Fetch returns the blob for a version (paper Fig. 5 steps 6-7).
+func (s *Server) Fetch(version uint64) ([]byte, error) {
+	s.mu.RLock()
+	blob, ok := s.blobs[version]
+	delay := s.fetchDelay
+	s.mu.RUnlock()
+	if delay != nil {
+		delay()
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, version)
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// Latest reports the most recent published version (0 when empty).
+func (s *Server) Latest() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.latest
+}
+
+// Policy is the VPN server's update enforcement state (paper §III-E): both
+// the current and previous configuration versions are accepted during the
+// grace period; afterwards only the current one.
+type Policy struct {
+	mu       sync.Mutex
+	current  uint64
+	previous uint64
+	deadline time.Time
+	now      func() time.Time
+}
+
+// NewPolicy creates a policy accepting only version 0 (no update yet).
+func NewPolicy(now func() time.Time) *Policy {
+	if now == nil {
+		now = time.Now
+	}
+	return &Policy{now: now}
+}
+
+// Announce installs a new current version with the given grace period
+// (paper Fig. 5 steps 2-3: the VPN server starts a timer that, when
+// expired, blocks clients with old configurations).
+func (p *Policy) Announce(version uint64, grace time.Duration) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if version <= p.current {
+		return fmt.Errorf("%w: %d <= %d", ErrStaleVersion, version, p.current)
+	}
+	p.previous = p.current
+	p.current = version
+	p.deadline = p.now().Add(grace)
+	return nil
+}
+
+// Current returns the version clients must (eventually) run.
+func (p *Policy) Current() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.current
+}
+
+// Accepts reports whether a client at the given configuration version may
+// pass traffic now.
+func (p *Policy) Accepts(clientVersion uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if clientVersion == p.current {
+		return true
+	}
+	if clientVersion == p.previous && p.now().Before(p.deadline) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"endbox/internal/attest"
+	"endbox/internal/click"
+	"endbox/internal/packet"
+	"endbox/internal/sgx"
+	"endbox/internal/tlstap"
+	"endbox/internal/vpn"
+	"endbox/internal/wire"
+)
+
+// ClientOptions configures an EndBox client.
+type ClientOptions struct {
+	// ID identifies the client to the VPN server. Required.
+	ID string
+	// CPU is the client machine's SGX processor. Required.
+	CPU *sgx.CPU
+	// Mode selects enclave execution: sgx.ModeSimulation ("EndBox SIM") or
+	// sgx.ModeHardware ("EndBox SGX"). Required.
+	Mode sgx.Mode
+	// BurnCPU makes hardware-mode enclave transitions consume real CPU
+	// time so wall-clock benchmarks observe SGX overhead.
+	BurnCPU bool
+	// TransitionCost overrides the per-transition cost (0 = default).
+	TransitionCost time.Duration
+	// CAPub is the CA public key baked into the enclave image. Required.
+	CAPub ed25519.PublicKey
+	// QE is the local platform's Quoting Enclave. Required unless
+	// SealedIdentity is provided.
+	QE *attest.QuotingEnclave
+	// Enroll submits a quote to the remote CA (paper Fig. 4 steps 3-6).
+	// Required unless SealedIdentity is provided.
+	Enroll func(attest.Quote) (*attest.Provision, error)
+	// SealedIdentity restores a previously sealed identity instead of
+	// re-attesting (paper §III-C: "an enclave only has to be attested
+	// once").
+	SealedIdentity []byte
+	// ClickConfig is the initial middlebox configuration. Required.
+	ClickConfig string
+	// RuleSets provides named IDPS rule sets for the initial config.
+	RuleSets map[string]string
+	// ConfigVersion is the version of the initial configuration.
+	ConfigVersion uint64
+	// WireMode selects data-channel protection (default ModeEncrypted;
+	// the ISP scenario uses ModeIntegrityOnly, paper §IV-A).
+	WireMode wire.Mode
+	// MinTLS is enforced inside the enclave (default TLS12).
+	MinTLS uint16
+	// FlagClientToClient enables the 0xeb QoS optimisation (paper §IV-A).
+	FlagClientToClient bool
+	// BatchEcalls selects the optimised single-ecall-per-packet data path
+	// (true, EndBox's design) or the naive multi-ecall path used by the
+	// §V-G(1) ablation (false).
+	BatchEcalls bool
+	// FetchConfig retrieves a sealed update blob by version from the
+	// configuration file server. Required for updates.
+	FetchConfig func(version uint64) ([]byte, error)
+	// Send transmits frames to the VPN server. Required.
+	Send func(frame []byte) error
+	// Deliver hands accepted inbound packets to applications. Optional.
+	Deliver func(ip []byte)
+	// OnAlert receives middlebox alerts. Optional.
+	OnAlert func(click.Alert)
+	// Clock for ping timestamps (default time.Now).
+	Clock func() time.Time
+}
+
+// Client is a complete EndBox client: an enclave hosting the sensitive
+// halves of OpenVPN and Click, plus the untrusted runtime around it.
+type Client struct {
+	opts    ClientOptions
+	enclave *sgx.Enclave
+	vpn     *vpn.Client
+	sealed  []byte
+
+	appliedMu chan struct{} // 1-token semaphore guarding update state
+	version   uint64
+	updateErr error
+}
+
+// NewClient creates the enclave, performs (or restores) attestation, and
+// prepares the client for Connect. It does not contact the VPN server yet.
+func NewClient(opts ClientOptions) (*Client, error) {
+	switch {
+	case opts.ID == "":
+		return nil, fmt.Errorf("core: ClientOptions.ID required")
+	case opts.CPU == nil:
+		return nil, fmt.Errorf("core: ClientOptions.CPU required")
+	case len(opts.CAPub) == 0:
+		return nil, fmt.Errorf("core: ClientOptions.CAPub required")
+	case opts.ClickConfig == "":
+		return nil, fmt.Errorf("core: ClientOptions.ClickConfig required")
+	case opts.Send == nil:
+		return nil, fmt.Errorf("core: ClientOptions.Send required")
+	}
+	if opts.WireMode == 0 {
+		opts.WireMode = wire.ModeEncrypted
+	}
+	if opts.MinTLS == 0 {
+		opts.MinTLS = vpn.TLS12
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	alert := opts.OnAlert
+	if alert == nil {
+		alert = func(click.Alert) {}
+	}
+
+	encl, err := opts.CPU.CreateEnclave(ClientImage(opts.CAPub), sgx.Config{
+		Mode:           opts.Mode,
+		BurnCPU:        opts.BurnCPU,
+		TransitionCost: opts.TransitionCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := registerEcalls(encl, opts.CAPub, alert); err != nil {
+		encl.Destroy()
+		return nil, err
+	}
+	if err := encl.Init(); err != nil {
+		encl.Destroy()
+		return nil, err
+	}
+
+	c := &Client{
+		opts:      opts,
+		enclave:   encl,
+		version:   opts.ConfigVersion,
+		appliedMu: make(chan struct{}, 1),
+	}
+
+	// Bootstrap identity: restore a sealed one, or run remote attestation.
+	if len(opts.SealedIdentity) > 0 {
+		if _, err := encl.Ecall(ecallRestore, opts.SealedIdentity); err != nil {
+			encl.Destroy()
+			return nil, err
+		}
+		c.sealed = opts.SealedIdentity
+	} else {
+		if opts.QE == nil || opts.Enroll == nil {
+			encl.Destroy()
+			return nil, fmt.Errorf("core: QE and Enroll required without a sealed identity")
+		}
+		repAny, err := encl.Ecall(ecallKeygen, nil)
+		if err != nil {
+			encl.Destroy()
+			return nil, err
+		}
+		quote, err := opts.QE.Quote(repAny.(sgx.Report))
+		if err != nil {
+			encl.Destroy()
+			return nil, err
+		}
+		prov, err := opts.Enroll(quote)
+		if err != nil {
+			encl.Destroy()
+			return nil, fmt.Errorf("core: enrolment: %w", err)
+		}
+		sealedAny, err := encl.Ecall(ecallProvision, provisionArg{prov: prov})
+		if err != nil {
+			encl.Destroy()
+			return nil, err
+		}
+		c.sealed = sealedAny.([]byte)
+	}
+
+	// Install the middlebox inside the enclave.
+	if _, err := encl.Ecall(ecallInitClick, initClickArg{
+		clickConfig: opts.ClickConfig,
+		ruleSets:    opts.RuleSets,
+		version:     opts.ConfigVersion,
+		flagC2C:     opts.FlagClientToClient,
+		mode:        opts.WireMode,
+		minTLS:      opts.MinTLS,
+	}); err != nil {
+		encl.Destroy()
+		return nil, err
+	}
+
+	cli, err := vpn.NewClient(vpn.ClientOptions{
+		ID:            opts.ID,
+		Plane:         c.dataPlane(),
+		Send:          opts.Send,
+		Deliver:       opts.Deliver,
+		Clock:         vpn.Clock(opts.Clock),
+		ConfigVersion: func() uint64 { return c.AppliedVersion() },
+		OnAnnounce:    c.onAnnounce,
+	})
+	if err != nil {
+		encl.Destroy()
+		return nil, err
+	}
+	c.vpn = cli
+	return c, nil
+}
+
+// dataPlane returns the DataPlane implementation matching the ecall
+// batching option.
+func (c *Client) dataPlane() vpn.DataPlane {
+	if c.opts.BatchEcalls {
+		return &batchedPlane{c: c}
+	}
+	return &naivePlane{c: c}
+}
+
+// batchedPlane is EndBox's optimised data path: one ecall per packet in
+// each direction (paper §IV-A "Enclave transitions").
+type batchedPlane struct{ c *Client }
+
+func (p *batchedPlane) SealOutbound(payload []byte) ([]byte, error) {
+	res, err := p.c.enclave.Ecall(ecallProcessOut, payload)
+	if err != nil {
+		return nil, err
+	}
+	return res.([]byte), nil
+}
+
+func (p *batchedPlane) OpenInbound(frame []byte) ([]byte, error) {
+	res, err := p.c.enclave.Ecall(ecallProcessIn, frame)
+	if err != nil {
+		return nil, err
+	}
+	return res.([]byte), nil
+}
+
+// naivePlane crosses the boundary once per processing stage (Click,
+// encrypt, MAC) — the unoptimised design the ablation quantifies.
+type naivePlane struct{ c *Client }
+
+func (p *naivePlane) SealOutbound(payload []byte) ([]byte, error) {
+	var err error
+	if len(payload) > 0 && payload[0] == vpn.FrameData {
+		var res any
+		res, err = p.c.enclave.Ecall(ecallNaiveClick, payload)
+		if err != nil {
+			return nil, err
+		}
+		payload = res.([]byte)
+	}
+	res, err := p.c.enclave.Ecall(ecallNaiveCrypt, payload)
+	if err != nil {
+		return nil, err
+	}
+	res, err = p.c.enclave.Ecall(ecallNaiveMAC, res.([]byte))
+	if err != nil {
+		return nil, err
+	}
+	return res.([]byte), nil
+}
+
+func (p *naivePlane) OpenInbound(frame []byte) ([]byte, error) {
+	// Inbound symmetric: the batched call already performs open+click;
+	// the naive path pays an extra boundary round trip per stage.
+	if _, err := p.c.enclave.Ecall(ecallNaiveCrypt, frame); err != nil {
+		return nil, err
+	}
+	res, err := p.c.enclave.Ecall(ecallProcessIn, frame)
+	if err != nil {
+		return nil, err
+	}
+	return res.([]byte), nil
+}
+
+// Connect performs the VPN handshake against a server reachable through
+// accept (in-process or via a transport adapter).
+func (c *Client) Connect(accept func(*vpn.ClientHello) (*vpn.ServerHello, error)) error {
+	sign := func(transcript []byte) ([]byte, error) {
+		sig, err := c.enclave.Ecall(ecallHsSign, transcript)
+		if err != nil {
+			return nil, err
+		}
+		return sig.([]byte), nil
+	}
+	cert, err := c.certificate()
+	if err != nil {
+		return err
+	}
+	hello, st, err := vpn.NewClientHello(c.opts.ID, cert, c.AppliedVersion(), vpn.TLS13, sign)
+	if err != nil {
+		return err
+	}
+	sh, err := accept(hello)
+	if err != nil {
+		return err
+	}
+	if _, err := c.enclave.Ecall(ecallHsFinish, hsFinishArg{st: st, sh: sh}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// certificate exports the provisioned certificate from the enclave. The
+// certificate is public data; only the private keys stay enclave-internal.
+func (c *Client) certificate() (*attest.Certificate, error) {
+	raw, err := c.enclave.Ecall(ecallGetCert, nil)
+	if err != nil {
+		return nil, err
+	}
+	return attest.ParseCertificate(raw.([]byte))
+}
+
+// SendPacket tunnels one application packet (egress).
+func (c *Client) SendPacket(ip []byte) error { return c.vpn.SendPacket(ip) }
+
+// HandleFrame processes a frame arriving from the server (ingress).
+func (c *Client) HandleFrame(frame []byte) error { return c.vpn.HandleFrame(frame) }
+
+// SendPing reports the applied configuration version to the server.
+func (c *Client) SendPing() error { return c.vpn.SendPing() }
+
+// ForwardTLSKey is the management-interface entry point the modified TLS
+// library calls with freshly negotiated session keys (paper §III-D).
+func (c *Client) ForwardTLSKey(flow packet.Flow, key tlstap.SessionKey) error {
+	_, err := c.enclave.Ecall(ecallForwardKey, forwardKeyArg{flow: flow, key: key})
+	return err
+}
+
+// AppliedVersion reports the active middlebox configuration version.
+func (c *Client) AppliedVersion() uint64 {
+	c.appliedMu <- struct{}{}
+	v := c.version
+	<-c.appliedMu
+	return v
+}
+
+// LastUpdateError reports the most recent background update failure.
+func (c *Client) LastUpdateError() error {
+	c.appliedMu <- struct{}{}
+	err := c.updateErr
+	<-c.appliedMu
+	return err
+}
+
+// onAnnounce reacts to a server ping announcing a new configuration
+// version: fetch the blob (untrusted), apply it inside the enclave, and
+// prove the update with a ping (paper Fig. 5 steps 5-9). It runs inline;
+// the fetch and decrypt do not stall traffic because the caller's ping
+// handling is already off the data path.
+func (c *Client) onAnnounce(version uint64, _ time.Duration) {
+	_, timing, err := c.applyVersion(version)
+	_ = timing
+	if err != nil {
+		c.appliedMu <- struct{}{}
+		c.updateErr = err
+		<-c.appliedMu
+		return
+	}
+	// Prove the update (best effort; next periodic ping also carries it).
+	_ = c.SendPing()
+}
+
+// ApplyUpdateBlob verifies and applies a fetched update blob, returning the
+// in-enclave timing breakdown.
+func (c *Client) ApplyUpdateBlob(blob []byte) (SwapTiming, error) {
+	res, err := c.enclave.Ecall(ecallApplyConfig, applyConfigArg{blob: blob})
+	if err != nil {
+		return SwapTiming{}, err
+	}
+	applied := res.(applyResult)
+	c.appliedMu <- struct{}{}
+	c.version = applied.version
+	c.updateErr = nil
+	<-c.appliedMu
+	return applied.timing, nil
+}
+
+// applyVersion fetches and applies a specific version.
+func (c *Client) applyVersion(version uint64) (uint64, SwapTiming, error) {
+	if c.opts.FetchConfig == nil {
+		return 0, SwapTiming{}, fmt.Errorf("core: no FetchConfig configured")
+	}
+	blob, err := c.opts.FetchConfig(version)
+	if err != nil {
+		return 0, SwapTiming{}, err
+	}
+	timing, err := c.ApplyUpdateBlob(blob)
+	if err != nil {
+		return 0, SwapTiming{}, err
+	}
+	return version, timing, nil
+}
+
+// SealedIdentity returns the sealed identity blob for persistence across
+// restarts (attestation happens once per machine).
+func (c *Client) SealedIdentity() []byte {
+	return append([]byte(nil), c.sealed...)
+}
+
+// EnclaveStats exposes boundary counters for the transition ablation.
+func (c *Client) EnclaveStats() sgx.Stats { return c.enclave.Stats() }
+
+// Close destroys the enclave. The client is unusable afterwards — exactly
+// the consequence a DoS-ing host inflicts on itself (paper §V-A).
+func (c *Client) Close() { c.enclave.Destroy() }
+
+// marshalIdentity / unmarshalIdentity serialise the sealed identity.
+func marshalIdentity(id sealedIdentity) ([]byte, error) {
+	b, err := json.Marshal(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal identity: %w", err)
+	}
+	return b, nil
+}
+
+func unmarshalIdentity(b []byte) (sealedIdentity, error) {
+	var id sealedIdentity
+	if err := json.Unmarshal(b, &id); err != nil {
+		return sealedIdentity{}, fmt.Errorf("core: unmarshal identity: %w", err)
+	}
+	return id, nil
+}

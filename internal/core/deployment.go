@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"endbox/internal/attest"
+	"endbox/internal/click"
+	"endbox/internal/idps"
+	"endbox/internal/packet"
+	"endbox/internal/sgx"
+	"endbox/internal/wire"
+)
+
+// DeploymentOptions configures a complete in-process EndBox deployment:
+// IAS, CA, VPN server, configuration server and any number of clients —
+// the programmatic equivalent of the paper's testbed.
+type DeploymentOptions struct {
+	// Mode is the data-channel protection (default encrypted).
+	Mode wire.Mode
+	// EncryptConfigs selects the enterprise-style encrypted rule
+	// distribution.
+	EncryptConfigs bool
+	// ServerUseCase attaches a server-side Click pipeline running the
+	// given use case — the OpenVPN+Click baseline. Zero means none
+	// (EndBox or vanilla OpenVPN deployments).
+	ServerUseCase click.UseCase
+	// Clock is the shared time source (default time.Now).
+	Clock func() time.Time
+	// OnDeliver observes packets accepted into the managed network.
+	OnDeliver func(clientID string, ip []byte)
+	// EchoNetwork reflects delivered packets back to the sending client
+	// (src/dst swapped), modelling a server answering — used by latency
+	// measurements.
+	EchoNetwork bool
+	// RouteBetweenClients relays packets addressed to another connected
+	// client's tunnel address, preserving the 0xeb flag (paper §IV-A
+	// client-to-client communication).
+	RouteBetweenClients bool
+}
+
+// ClientSpec configures one client joining a deployment.
+type ClientSpec struct {
+	// Mode is the enclave execution mode. Required.
+	Mode sgx.Mode
+	// BurnCPU makes hardware transitions cost real CPU (benchmarks).
+	BurnCPU bool
+	// TransitionCost overrides the enclave transition cost.
+	TransitionCost time.Duration
+	// UseCase selects the initial middlebox configuration (default NOP).
+	UseCase click.UseCase
+	// ClickConfig overrides UseCase with an explicit configuration.
+	ClickConfig string
+	// ExtraRuleSets adds named IDPS rule sets beyond the community set.
+	ExtraRuleSets map[string]string
+	// FlagClientToClient enables the 0xeb optimisation.
+	FlagClientToClient bool
+	// NaiveEcalls selects the multi-ecall ablation data path.
+	NaiveEcalls bool
+	// Deliver receives inbound packets on the client (applications).
+	Deliver func(ip []byte)
+	// OnAlert receives middlebox alerts.
+	OnAlert func(click.Alert)
+}
+
+// Deployment is a wired-up EndBox system. Not safe for concurrent use; the
+// evaluation drives it from a single goroutine like the paper's
+// single-threaded OpenVPN processes.
+type Deployment struct {
+	IAS    *attest.IAS
+	CA     *attest.CA
+	Server *Server
+
+	opts DeploymentOptions
+
+	mu      sync.Mutex
+	clients map[string]*Client
+	addrs   map[packet.Addr]string
+	nextIP  byte
+}
+
+// CommunityRuleSets is the default rule-set map: the generated 377-rule
+// community set under the name the standard configurations reference.
+func CommunityRuleSets() map[string]string {
+	return map[string]string{
+		"community": idps.GenerateRuleSet(idps.CommunityRuleCount, 2018),
+	}
+}
+
+// NewDeployment builds the server side: IAS, CA, VPN + config servers, and
+// (for the OpenVPN+Click baseline) a server-side Click instance.
+func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	ias, err := attest.NewIAS()
+	if err != nil {
+		return nil, err
+	}
+	ca, err := attest.NewCA(ias)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the CA on the same clock as the rest of the deployment so
+	// virtual-time experiments issue certificates consistently.
+	ca.SetTimeSource(opts.Clock)
+
+	d := &Deployment{
+		IAS:     ias,
+		CA:      ca,
+		opts:    opts,
+		clients: make(map[string]*Client),
+		addrs:   make(map[packet.Addr]string),
+		nextIP:  2, // 10.8.0.1 is the server
+	}
+
+	var serverClick *click.Instance
+	if opts.ServerUseCase != 0 {
+		inst, err := click.NewInstance(click.ServerConfig(opts.ServerUseCase), nil,
+			ServerClickContext(nil))
+		if err != nil {
+			return nil, err
+		}
+		serverClick = inst
+	}
+
+	srv, err := NewServer(ServerOptions{
+		CA:             ca,
+		Mode:           opts.Mode,
+		Clock:          opts.Clock,
+		EncryptConfigs: opts.EncryptConfigs,
+		ServerClick:    serverClick,
+		Deliver:        d.deliver,
+		SendTo:         d.sendToClient,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Server = srv
+	return d, nil
+}
+
+// deliver routes packets accepted into the managed network: observation
+// hook, optional echo, optional client-to-client relay.
+func (d *Deployment) deliver(clientID string, ip []byte) {
+	if d.opts.OnDeliver != nil {
+		d.opts.OnDeliver(clientID, ip)
+	}
+	var p packet.IPv4
+	if err := p.Parse(ip); err != nil {
+		return
+	}
+	if d.opts.RouteBetweenClients {
+		d.mu.Lock()
+		dstID, ok := d.addrs[p.Dst]
+		d.mu.Unlock()
+		if ok && dstID != clientID {
+			// Relay between EndBox clients: the 0xeb flag survives so the
+			// receiver can skip re-processing.
+			_ = d.Server.VPN().SendTo(dstID, ip, true)
+			return
+		}
+	}
+	if d.opts.EchoNetwork {
+		echo := p.Clone()
+		echo.Src, echo.Dst = p.Dst, p.Src
+		if echo.Protocol == packet.ProtoICMP {
+			if icmp, err := packet.ParseICMP(echo.Payload); err == nil && icmp.Type == packet.ICMPEchoRequest {
+				icmp.Type = packet.ICMPEchoReply
+				echo.Payload = icmp.Marshal()
+			}
+		}
+		_ = d.Server.VPN().SendTo(clientID, echo.Marshal(), false)
+	}
+}
+
+// sendToClient is the server->client transport (in-process direct call).
+func (d *Deployment) sendToClient(clientID string, frame []byte) error {
+	d.mu.Lock()
+	cli, ok := d.clients[clientID]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: no transport to client %q", clientID)
+	}
+	return cli.HandleFrame(frame)
+}
+
+// AddClient creates, attests, enrols and connects a client. The returned
+// client is ready to send traffic.
+func (d *Deployment) AddClient(id string, spec ClientSpec) (*Client, error) {
+	cli, err := d.buildClient(id, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := cli.Connect(d.Server.VPN().Accept); err != nil {
+		cli.Close()
+		return nil, err
+	}
+	d.mu.Lock()
+	d.clients[id] = cli
+	addr := packet.AddrFrom(10, 8, 0, d.nextIP)
+	d.nextIP++
+	d.addrs[addr] = id
+	d.mu.Unlock()
+	return cli, nil
+}
+
+// buildClient performs everything except the VPN handshake.
+func (d *Deployment) buildClient(id string, spec ClientSpec) (*Client, error) {
+	if spec.UseCase == 0 && spec.ClickConfig == "" {
+		spec.UseCase = click.UseCaseNOP
+	}
+	cfg := spec.ClickConfig
+	if cfg == "" {
+		cfg = click.StandardConfig(spec.UseCase)
+	}
+
+	cpu := sgx.NewCPU("client-cpu-" + id)
+	qe, err := attest.NewQuotingEnclave(cpu, "platform-"+id)
+	if err != nil {
+		return nil, err
+	}
+	d.IAS.RegisterPlatform(qe)
+	d.CA.AllowMeasurement(ClientImage(d.CA.PublicKey()).Measure())
+
+	ruleSets := CommunityRuleSets()
+	for name, text := range spec.ExtraRuleSets {
+		ruleSets[name] = text
+	}
+
+	return NewClient(ClientOptions{
+		ID:                 id,
+		CPU:                cpu,
+		Mode:               spec.Mode,
+		BurnCPU:            spec.BurnCPU,
+		TransitionCost:     spec.TransitionCost,
+		CAPub:              d.CA.PublicKey(),
+		QE:                 qe,
+		Enroll:             d.CA.Enroll,
+		ClickConfig:        cfg,
+		RuleSets:           ruleSets,
+		WireMode:           d.opts.Mode,
+		FlagClientToClient: spec.FlagClientToClient,
+		BatchEcalls:        !spec.NaiveEcalls,
+		FetchConfig:        d.Server.Configs().Fetch,
+		Send: func(frame []byte) error {
+			return d.Server.VPN().HandleFrame(id, frame)
+		},
+		Deliver: spec.Deliver,
+		OnAlert: spec.OnAlert,
+		Clock:   d.opts.Clock,
+	})
+}
+
+// ClientAddr returns the tunnel address of a connected client.
+func (d *Deployment) ClientAddr(id string) (packet.Addr, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for addr, cid := range d.addrs {
+		if cid == id {
+			return addr, true
+		}
+	}
+	return packet.Addr{}, false
+}
+
+// Client returns a connected client by ID.
+func (d *Deployment) Client(id string) (*Client, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.clients[id]
+	return c, ok
+}
+
+// Close destroys all client enclaves.
+func (d *Deployment) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.clients {
+		c.Close()
+	}
+	d.clients = make(map[string]*Client)
+}

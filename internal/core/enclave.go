@@ -1,0 +1,545 @@
+// Package core composes EndBox from its substrates: the SGX-protected
+// client (VPN crypto + Click middlebox inside an enclave), the VPN server
+// that is the managed network's sole entry point, the management plane for
+// configuration updates, and the baseline deployments the paper compares
+// against (vanilla OpenVPN and server-side OpenVPN+Click).
+//
+// The partitioning follows paper Fig. 3: packet en-/decryption, MAC
+// handling, Click processing, configuration decryption and key material
+// live inside the enclave (this file); fragmentation, encapsulation, socket
+// I/O and configuration fetching stay outside (client.go).
+package core
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"time"
+
+	"endbox/internal/attest"
+	"endbox/internal/click"
+	"endbox/internal/config"
+	"endbox/internal/packet"
+	"endbox/internal/sgx"
+	"endbox/internal/tlstap"
+	"endbox/internal/vpn"
+	"endbox/internal/wire"
+)
+
+// ClientImage is the enclave image of the EndBox client. Its InitData
+// carries the CA public key, pre-deployed at compile time to prevent MITM
+// attacks during bootstrap (paper §III-C).
+func ClientImage(caPub ed25519.PublicKey) sgx.Image {
+	return sgx.Image{
+		Name:     "endbox-client",
+		Version:  "1.0.0",
+		Code:     []byte("openvpn-sensitive+talos+click+sgxsdk"),
+		InitData: append([]byte("ca-public-key:"), caPub...),
+	}
+}
+
+// Ecall names of the EndBox enclave interface. Only the four starred calls
+// run during normal operation (paper §IV-B: "ENDBOX defines only 4 ecalls
+// that are executed during normal operation"); the rest are initialisation.
+const (
+	ecallKeygen      = "keygen"
+	ecallProvision   = "provision"
+	ecallRestore     = "restore"
+	ecallHsSign      = "hs_sign"
+	ecallHsFinish    = "hs_finish"
+	ecallInitClick   = "init_click"
+	ecallProcessOut  = "process_out"  // *
+	ecallProcessIn   = "process_in"   // *
+	ecallControlMAC  = "control_mac"  // *
+	ecallControlVrfy = "control_vrfy" // *
+	ecallApplyConfig = "apply_config"
+	ecallForwardKey  = "forward_tls_key"
+	ecallGetCert     = "get_cert"
+	// Naive per-stage ecalls used only by the §V-G(1) ablation.
+	ecallNaiveClick = "naive_click"
+	ecallNaiveCrypt = "naive_encrypt"
+	ecallNaiveMAC   = "naive_mac"
+)
+
+// Enclave-state errors.
+var (
+	ErrNotProvisioned = errors.New("core: enclave not provisioned")
+	ErrNoSession      = errors.New("core: VPN session not established")
+	ErrStaleUpdate    = errors.New("core: configuration version not newer than applied")
+)
+
+// enclaveState is everything that must never leave the enclave. It is only
+// reachable through the registered ecalls.
+type enclaveState struct {
+	caPub ed25519.PublicKey
+
+	signPriv ed25519.PrivateKey
+	boxPriv  *ecdh.PrivateKey
+	cert     *attest.Certificate
+	shared   []byte
+
+	session *wire.Session
+	router  *click.Instance
+	keys    *tlstap.KeyTable
+	applied uint64
+	flagC2C bool
+	mode    wire.Mode
+	minTLS  uint16
+	ruleSet map[string]string
+
+	lastSwap SwapTiming
+}
+
+// SwapTiming is the in-enclave phase breakdown of a configuration update
+// (Table II's decrypt and hotswap rows).
+type SwapTiming struct {
+	Decrypt time.Duration
+	Hotswap time.Duration
+}
+
+// sealedIdentity is the enclave-persistent identity (paper §III-C step 7:
+// "the enclave persistently stores the generated key pair as well as the
+// certificate using the SGX sealing feature").
+type sealedIdentity struct {
+	SignPriv []byte `json:"sign_priv"`
+	BoxPriv  []byte `json:"box_priv"`
+	Cert     []byte `json:"cert"`
+	Shared   []byte `json:"shared"`
+}
+
+// provisionArg crosses the boundary for ecallProvision.
+type provisionArg struct {
+	prov *attest.Provision
+}
+
+// hsFinishArg crosses the boundary for ecallHsFinish.
+type hsFinishArg struct {
+	st *vpn.HandshakeState
+	sh *vpn.ServerHello
+}
+
+// initClickArg configures the in-enclave Click instance.
+type initClickArg struct {
+	clickConfig string
+	ruleSets    map[string]string
+	version     uint64
+	flagC2C     bool
+	mode        wire.Mode
+	minTLS      uint16
+}
+
+// applyConfigArg carries a fetched (possibly encrypted) update blob.
+type applyConfigArg struct {
+	blob []byte
+}
+
+// applyResult reports the applied version and phase timings back across
+// the boundary (both are public information).
+type applyResult struct {
+	version uint64
+	timing  SwapTiming
+}
+
+// forwardKeyArg carries one TLS session key from the management interface.
+type forwardKeyArg struct {
+	flow packet.Flow
+	key  tlstap.SessionKey
+}
+
+// registerEcalls installs the full EndBox enclave interface onto e. The
+// returned state pointer is captured only by the handlers — mirroring
+// memory that exists only inside the enclave.
+func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Alert)) error {
+	st := &enclaveState{
+		caPub:   caPub,
+		keys:    tlstap.NewKeyTable(),
+		ruleSet: make(map[string]string),
+	}
+
+	reg := func(name string, fn sgx.EcallFunc) error { return e.RegisterEcall(name, fn) }
+
+	if err := reg(ecallKeygen, func(ctx *sgx.Ctx, _ any) (any, error) {
+		signPub, signPriv, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("core: keygen: %w", err)
+		}
+		boxPriv, err := ecdh.X25519().GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("core: keygen: %w", err)
+		}
+		st.signPriv = signPriv
+		st.boxPriv = boxPriv
+		keys := attest.EnclaveKeys{SignPub: signPub, BoxPub: boxPriv.PublicKey().Bytes()}
+		return ctx.CreateReport(keys.UserData()), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallProvision, func(ctx *sgx.Ctx, arg any) (any, error) {
+		a, ok := arg.(provisionArg)
+		if !ok || a.prov == nil || a.prov.Certificate == nil {
+			return nil, fmt.Errorf("core: bad provision argument")
+		}
+		// Verify the certificate chains to the CA key baked into the
+		// image before accepting it (paper Fig. 4 step 7).
+		if err := a.prov.Certificate.Verify(st.caPub, ctx.TrustedTime()); err != nil {
+			return nil, fmt.Errorf("core: provisioned certificate: %w", err)
+		}
+		shared, err := attest.BoxOpen(st.boxPriv, a.prov.EphemeralPub, a.prov.SealedKey)
+		if err != nil {
+			return nil, err
+		}
+		st.cert = a.prov.Certificate
+		st.shared = shared
+		// Seal the identity so attestation happens only once per machine.
+		certRaw, err := st.cert.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		blob, err := marshalIdentity(sealedIdentity{
+			SignPriv: st.signPriv,
+			BoxPriv:  st.boxPriv.Bytes(),
+			Cert:     certRaw,
+			Shared:   shared,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ctx.Seal(blob, []byte("endbox-identity"))
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallRestore, func(ctx *sgx.Ctx, arg any) (any, error) {
+		sealed, ok := arg.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad restore argument")
+		}
+		blob, err := ctx.Unseal(sealed, []byte("endbox-identity"))
+		if err != nil {
+			return nil, err
+		}
+		id, err := unmarshalIdentity(blob)
+		if err != nil {
+			return nil, err
+		}
+		boxPriv, err := ecdh.X25519().NewPrivateKey(id.BoxPriv)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore box key: %w", err)
+		}
+		cert, err := attest.ParseCertificate(id.Cert)
+		if err != nil {
+			return nil, err
+		}
+		if err := cert.Verify(st.caPub, ctx.TrustedTime()); err != nil {
+			return nil, fmt.Errorf("core: restored certificate: %w", err)
+		}
+		st.signPriv = ed25519.PrivateKey(id.SignPriv)
+		st.boxPriv = boxPriv
+		st.cert = cert
+		st.shared = id.Shared
+		return nil, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallHsSign, func(_ *sgx.Ctx, arg any) (any, error) {
+		transcript, ok := arg.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad transcript argument")
+		}
+		if st.signPriv == nil {
+			return nil, ErrNotProvisioned
+		}
+		return ed25519.Sign(st.signPriv, transcript), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallHsFinish, func(_ *sgx.Ctx, arg any) (any, error) {
+		a, ok := arg.(hsFinishArg)
+		if !ok {
+			return nil, fmt.Errorf("core: bad handshake-finish argument")
+		}
+		// Client-side downgrade check happens here, inside the enclave
+		// (paper §V-A "Downgrade attacks").
+		master, err := vpn.FinishClient(a.st, a.sh, st.caPub, st.minTLS)
+		if err != nil {
+			return nil, err
+		}
+		sess, err := wire.NewSession(master, st.mode, true)
+		if err != nil {
+			return nil, err
+		}
+		st.session = sess
+		return nil, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallInitClick, func(ctx *sgx.Ctx, arg any) (any, error) {
+		a, ok := arg.(initClickArg)
+		if !ok {
+			return nil, fmt.Errorf("core: bad click-init argument")
+		}
+		st.mode = a.mode
+		st.minTLS = a.minTLS
+		st.flagC2C = a.flagC2C
+		st.applied = a.version
+		for name, text := range a.ruleSets {
+			st.ruleSet[name] = text
+		}
+		inst, err := click.NewInstance(a.clickConfig, nil, &click.Context{
+			TrustedTime: func() time.Time { return ctx.TrustedTime() },
+			RuleSet: func(name string) (string, error) {
+				text, ok := st.ruleSet[name]
+				if !ok {
+					return "", fmt.Errorf("core: unknown rule set %q", name)
+				}
+				return text, nil
+			},
+			Keys:  st.keys,
+			Alert: alert,
+			// No DeviceSetup: OpenVPN owns the tunnel device, the reason
+			// EndBox hot-swaps faster than vanilla Click (Table II).
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.router = inst
+		return nil, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallProcessOut, func(_ *sgx.Ctx, arg any) (any, error) {
+		payload, ok := arg.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad outbound payload")
+		}
+		return st.sealOutbound(payload)
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallProcessIn, func(_ *sgx.Ctx, arg any) (any, error) {
+		frame, ok := arg.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad inbound frame")
+		}
+		return st.openInbound(frame)
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallControlMAC, func(_ *sgx.Ctx, arg any) (any, error) {
+		body, ok := arg.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad control body")
+		}
+		if st.signPriv == nil {
+			return nil, ErrNotProvisioned
+		}
+		return ed25519.Sign(st.signPriv, append([]byte("endbox-control:"), body...)), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallControlVrfy, func(_ *sgx.Ctx, arg any) (any, error) {
+		pair, ok := arg.([2][]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad control verify argument")
+		}
+		if st.cert == nil {
+			return nil, ErrNotProvisioned
+		}
+		okSig := ed25519.Verify(st.cert.Keys.SignPub, append([]byte("endbox-control:"), pair[0]...), pair[1])
+		return okSig, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallApplyConfig, func(ctx *sgx.Ctx, arg any) (any, error) {
+		a, ok := arg.(applyConfigArg)
+		if !ok {
+			return nil, fmt.Errorf("core: bad apply-config argument")
+		}
+		t0 := time.Now()
+		u, err := config.Open(a.blob, st.caPub, st.shared)
+		if err != nil {
+			return nil, err
+		}
+		decryptDur := time.Since(t0)
+		// Replay protection: versions increase monotonically (paper
+		// §III-E: "To prevent clients from replaying old configuration
+		// files, the version number ... is incorporated inside the update
+		// itself").
+		if u.Version <= st.applied {
+			return nil, fmt.Errorf("%w: %d <= %d", ErrStaleUpdate, u.Version, st.applied)
+		}
+		if st.router == nil {
+			return nil, ErrNoSession
+		}
+		for name, text := range u.RuleSets {
+			st.ruleSet[name] = text
+		}
+		swapDur, err := st.router.Swap(u.ClickConfig)
+		if err != nil {
+			return nil, err
+		}
+		st.applied = u.Version
+		st.lastSwap = SwapTiming{Decrypt: decryptDur, Hotswap: swapDur}
+		return applyResult{version: u.Version, timing: st.lastSwap}, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallGetCert, func(_ *sgx.Ctx, _ any) (any, error) {
+		if st.cert == nil {
+			return nil, ErrNotProvisioned
+		}
+		// The certificate is public; exporting it is safe.
+		return st.cert.Marshal()
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallForwardKey, func(_ *sgx.Ctx, arg any) (any, error) {
+		a, ok := arg.(forwardKeyArg)
+		if !ok {
+			return nil, fmt.Errorf("core: bad key-forward argument")
+		}
+		st.keys.Put(a.flow, a.key)
+		return nil, nil
+	}); err != nil {
+		return err
+	}
+
+	// Naive per-stage ecalls for the enclave-transition ablation
+	// (paper §IV-A / §V-G(1)): Click, encryption and MAC each cross the
+	// boundary separately, the design EndBox's batching replaced.
+	if err := reg(ecallNaiveClick, func(_ *sgx.Ctx, arg any) (any, error) {
+		payload, ok := arg.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad payload")
+		}
+		out, err := st.clickOutbound(payload)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+	if err := reg(ecallNaiveCrypt, func(_ *sgx.Ctx, arg any) (any, error) {
+		payload, ok := arg.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad payload")
+		}
+		// The split design encrypts here and MACs in a third crossing; the
+		// wire codec fuses both, so the MAC call below re-enters with the
+		// sealed frame.
+		if st.session == nil {
+			return nil, ErrNoSession
+		}
+		return payload, nil
+	}); err != nil {
+		return err
+	}
+	if err := reg(ecallNaiveMAC, func(_ *sgx.Ctx, arg any) (any, error) {
+		payload, ok := arg.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad payload")
+		}
+		if st.session == nil {
+			return nil, ErrNoSession
+		}
+		return st.session.Seal(payload)
+	}); err != nil {
+		return err
+	}
+
+	return nil
+}
+
+// sealOutbound is the single-ecall egress path (paper Fig. 3 steps 1-4):
+// Click processing, client-to-client flagging, then encrypt+MAC.
+func (st *enclaveState) sealOutbound(payload []byte) ([]byte, error) {
+	if st.session == nil {
+		return nil, ErrNoSession
+	}
+	if len(payload) > 0 && payload[0] == vpn.FrameData {
+		out, err := st.clickOutbound(payload)
+		if err != nil {
+			return nil, err
+		}
+		payload = out
+	}
+	return st.session.Seal(payload)
+}
+
+// clickOutbound runs the middlebox over a data payload, returning the
+// possibly rewritten payload or ErrDropped. Unmodified packets keep their
+// original serialisation (no re-marshal on the hot path).
+func (st *enclaveState) clickOutbound(payload []byte) ([]byte, error) {
+	if st.router == nil {
+		return nil, ErrNoSession
+	}
+	ip, err := packet.ParseIPv4(payload[1:])
+	if err != nil {
+		return nil, fmt.Errorf("core: outbound packet: %w", err)
+	}
+	res := st.router.Process(ip)
+	if !res.Accepted {
+		return nil, fmt.Errorf("%w (by %s)", vpn.ErrDropped, res.DroppedBy)
+	}
+	if st.flagC2C && res.Packet.IP.TOS != packet.ProcessedTOS {
+		res.Packet.IP.TOS = packet.ProcessedTOS
+		res.Packet.MarkModified()
+	}
+	if !res.Packet.Modified() {
+		return payload, nil
+	}
+	out := make([]byte, 1+res.Packet.IP.Len())
+	out[0] = vpn.FrameData
+	res.Packet.IP.MarshalTo(out[1:])
+	return out, nil
+}
+
+// openInbound is the single-ecall ingress path: verify+decrypt, then run
+// Click unless the packet carries a peer's 0xeb flag (paper §IV-A
+// "Client-to-client communication").
+func (st *enclaveState) openInbound(frame []byte) ([]byte, error) {
+	if st.session == nil {
+		return nil, ErrNoSession
+	}
+	payload, err := st.session.Open(frame)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 || payload[0] != vpn.FrameData {
+		return payload, nil
+	}
+	ip, err := packet.ParseIPv4(payload[1:])
+	if err != nil {
+		return nil, fmt.Errorf("core: inbound packet: %w", err)
+	}
+	if st.flagC2C && ip.TOS == packet.ProcessedTOS {
+		// Already processed by the sending EndBox client; the server
+		// guarantees external traffic cannot carry this flag.
+		return payload, nil
+	}
+	res := st.router.Process(ip)
+	if !res.Accepted {
+		return nil, fmt.Errorf("%w (by %s)", vpn.ErrDropped, res.DroppedBy)
+	}
+	if !res.Packet.Modified() {
+		return payload, nil
+	}
+	out := make([]byte, 1+res.Packet.IP.Len())
+	out[0] = vpn.FrameData
+	res.Packet.IP.MarshalTo(out[1:])
+	return out, nil
+}

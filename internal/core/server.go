@@ -1,0 +1,183 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"os"
+	"time"
+
+	"endbox/internal/attest"
+	"endbox/internal/click"
+	"endbox/internal/config"
+	"endbox/internal/idps"
+	"endbox/internal/packet"
+	"endbox/internal/vpn"
+	"endbox/internal/wire"
+)
+
+// ServerOptions configures an EndBox server-side deployment: the VPN
+// server, the CA-backed management plane and the configuration file server.
+type ServerOptions struct {
+	// CA is the operator's certificate authority. Required.
+	CA *attest.CA
+	// Mode selects data-channel protection for all clients (default
+	// encrypted; the ISP scenario uses integrity-only).
+	Mode wire.Mode
+	// MinTLS is the server-side downgrade floor (default TLS12).
+	MinTLS uint16
+	// Clock is the time source (default time.Now).
+	Clock func() time.Time
+	// Deliver receives accepted client packets bound for the network.
+	Deliver func(clientID string, ip []byte)
+	// SendTo transmits frames back to clients.
+	SendTo func(clientID string, frame []byte) error
+	// ServerClick optionally attaches a server-side Click pipeline — the
+	// OpenVPN+Click baseline of the evaluation. Nil for EndBox (the whole
+	// point is that the server does no middlebox work).
+	ServerClick *click.Instance
+	// EncryptConfigs encrypts published configuration updates with the
+	// CA's shared key (enterprise scenario hides rules; ISP scenario
+	// publishes plaintext so customers can inspect them, paper §III-E).
+	EncryptConfigs bool
+}
+
+// Server bundles the managed network's server side: VPN endpoint,
+// configuration file server and the administrator's management interface
+// (paper Fig. 5).
+type Server struct {
+	opts      ServerOptions
+	vpn       *vpn.Server
+	configs   *config.Server
+	signKey   ed25519.PrivateKey
+	nextVer   uint64
+	lastGrace time.Duration
+}
+
+// NewServer creates the server-side deployment.
+func NewServer(opts ServerOptions) (*Server, error) {
+	if opts.CA == nil {
+		return nil, fmt.Errorf("core: ServerOptions.CA required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	serverPub, serverPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("core: server key: %w", err)
+	}
+
+	var process func(ip []byte) bool
+	if opts.ServerClick != nil {
+		inst := opts.ServerClick
+		process = func(raw []byte) bool {
+			ip, err := packet.ParseIPv4(raw)
+			if err != nil {
+				return false
+			}
+			return inst.Process(ip).Accepted
+		}
+	}
+
+	vsrv, err := vpn.NewServer(vpn.ServerOptions{
+		CAPub:      opts.CA.PublicKey(),
+		Credential: opts.CA.SignServerKey(serverPub),
+		SignKey:    serverPriv,
+		MinTLS:     opts.MinTLS,
+		Mode:       opts.Mode,
+		Clock:      vpn.Clock(opts.Clock),
+		Deliver:    opts.Deliver,
+		SendTo:     opts.SendTo,
+		Process:    process,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		opts:    opts,
+		vpn:     vsrv,
+		configs: config.NewServer(),
+		signKey: serverPriv,
+	}, nil
+}
+
+// VPN exposes the underlying VPN server (handshake Accept, HandleFrame,
+// SendTo, stats).
+func (s *Server) VPN() *vpn.Server { return s.vpn }
+
+// Configs exposes the configuration file server clients fetch from.
+func (s *Server) Configs() *config.Server { return s.configs }
+
+// PublishUpdate is the administrator's one call to roll out a new
+// middlebox configuration (paper Fig. 5 steps 1-4): seal it under the CA
+// key (encrypting if configured), upload to the configuration server,
+// arm the grace-period policy and ping all clients.
+func (s *Server) PublishUpdate(u *config.Update) error {
+	var key []byte
+	if s.opts.EncryptConfigs {
+		key = s.opts.CA.SharedKey()
+	}
+	blob, err := config.Seal(u, s.opts.CA.SignConfig, key)
+	if err != nil {
+		return err
+	}
+	if err := s.configs.Publish(u.Version, blob); err != nil {
+		return err
+	}
+	if err := s.vpn.Policy().Announce(u.Version, u.GracePeriod()); err != nil {
+		return err
+	}
+	s.nextVer = u.Version
+	s.lastGrace = u.GracePeriod()
+	return s.vpn.BroadcastPing(u.GracePeriod())
+}
+
+// BroadcastPing re-sends the periodic keepalive announcing the current
+// version.
+func (s *Server) BroadcastPing() error {
+	return s.vpn.BroadcastPing(s.lastGrace)
+}
+
+// VanillaDeviceSetup performs the file-descriptor work vanilla Click's
+// FromDevice and ToDevice elements do each time a configuration is
+// installed — the cost the paper identifies as why EndBox reconfigures
+// faster (Table II: "vanilla Click needs to set up file descriptors for
+// the ToDevice and FromDevice elements, which is not necessary for ENDBOX
+// because OpenVPN took care of this task earlier"). EndBox deployments
+// pass no device setup at all.
+func VanillaDeviceSetup() error {
+	r, w, err := os.Pipe()
+	if err != nil {
+		return fmt.Errorf("core: device setup: %w", err)
+	}
+	// Touch the descriptors like a device open/configure sequence would.
+	if _, err := w.Write([]byte{0}); err != nil {
+		r.Close()
+		w.Close()
+		return fmt.Errorf("core: device setup: %w", err)
+	}
+	var buf [1]byte
+	if _, err := r.Read(buf[:]); err != nil {
+		r.Close()
+		w.Close()
+		return fmt.Errorf("core: device setup: %w", err)
+	}
+	r.Close()
+	w.Close()
+	return nil
+}
+
+// ServerClickContext builds the Click context for a server-side (vanilla)
+// instance: untrusted time, community rules, and real device setup — the
+// file-descriptor work EndBox avoids (Table II).
+func ServerClickContext(deviceSetup func() error) *click.Context {
+	return &click.Context{
+		RuleSet: func(name string) (string, error) {
+			if name != "community" {
+				return "", fmt.Errorf("core: unknown rule set %q", name)
+			}
+			return idps.GenerateRuleSet(idps.CommunityRuleCount, 2018), nil
+		},
+		DeviceSetup: deviceSetup,
+	}
+}

@@ -1,0 +1,187 @@
+// Package idps implements the intrusion detection and prevention function
+// EndBox runs as a Click element (paper §V-B): Snort-compatible rules whose
+// content patterns are matched with the Aho–Corasick algorithm — the string
+// matching algorithm Snort itself uses and the paper cites [41].
+//
+// The package provides three layers: a reusable Aho–Corasick automaton
+// (this file), a parser for the Snort rule subset the evaluation needs
+// (rule.go), and an engine that evaluates packets against a compiled rule
+// set (engine.go). A deterministic generator reproduces a rule set of the
+// same scale as the paper's 377-rule Snort community subset (gen.go).
+package idps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Match reports one pattern occurrence found by the automaton.
+type Match struct {
+	// PatternID is the identifier supplied when the pattern was added.
+	PatternID int
+	// End is the byte offset just past the occurrence in the input.
+	End int
+}
+
+// Automaton is an Aho–Corasick string matching automaton. Build it once
+// with NewAutomaton, then call Scan on every packet; matching cost is
+// linear in the input regardless of pattern count, which is why the IDPS
+// is CPU-bound rather than rule-bound (paper §V-E).
+type Automaton struct {
+	// Dense goto table: states × 256 next-state entries. States are
+	// created on demand during construction; state 0 is the root.
+	next [][256]int32
+	fail []int32
+	// out lists pattern IDs terminating at each state.
+	out [][]int32
+	// patLen maps pattern ID to its length (for match offsets).
+	patLen map[int]int
+	// caseFold indicates the automaton matches ASCII case-insensitively.
+	caseFold bool
+}
+
+// Pattern is a byte string to search for, tagged with a caller-chosen ID.
+type Pattern struct {
+	ID int
+	// Bytes is the raw pattern. Empty patterns are rejected.
+	Bytes []byte
+	// NoCase requests ASCII case-insensitive matching for this pattern.
+	NoCase bool
+}
+
+// NewAutomaton constructs the automaton from the given patterns. When any
+// pattern requests NoCase, the whole automaton folds case: patterns and
+// input bytes are lowered before insertion/lookup, and case-sensitive
+// patterns are verified against the original input by the caller layer
+// (engine.go); for the automaton layer this simply means NoCase is
+// per-automaton. For exact semantics per pattern, build two automata.
+func NewAutomaton(patterns []Pattern, caseFold bool) (*Automaton, error) {
+	a := &Automaton{
+		next:     make([][256]int32, 1),
+		fail:     make([]int32, 1),
+		out:      make([][]int32, 1),
+		patLen:   make(map[int]int, len(patterns)),
+		caseFold: caseFold,
+	}
+	for i := range a.next[0] {
+		a.next[0][i] = -1
+	}
+	for _, p := range patterns {
+		if len(p.Bytes) == 0 {
+			return nil, fmt.Errorf("idps: empty pattern (id %d)", p.ID)
+		}
+		if _, dup := a.patLen[p.ID]; dup {
+			return nil, fmt.Errorf("idps: duplicate pattern id %d", p.ID)
+		}
+		a.patLen[p.ID] = len(p.Bytes)
+		a.insert(p)
+	}
+	a.buildFailureLinks()
+	return a, nil
+}
+
+func fold(b byte, enabled bool) byte {
+	if enabled && b >= 'A' && b <= 'Z' {
+		return b + ('a' - 'A')
+	}
+	return b
+}
+
+func (a *Automaton) insert(p Pattern) {
+	state := int32(0)
+	for _, raw := range p.Bytes {
+		b := fold(raw, a.caseFold)
+		if a.next[state][b] < 0 {
+			a.next = append(a.next, [256]int32{})
+			newState := int32(len(a.next) - 1)
+			for i := range a.next[newState] {
+				a.next[newState][i] = -1
+			}
+			a.fail = append(a.fail, 0)
+			a.out = append(a.out, nil)
+			a.next[state][b] = newState
+		}
+		state = a.next[state][b]
+	}
+	a.out[state] = append(a.out[state], int32(p.ID))
+}
+
+// buildFailureLinks completes the automaton with BFS-computed failure
+// transitions, converting the trie into a DFA (goto-with-failure collapsed
+// into the dense table for O(1) per-byte stepping).
+func (a *Automaton) buildFailureLinks() {
+	queue := make([]int32, 0, len(a.next))
+	for b := 0; b < 256; b++ {
+		s := a.next[0][b]
+		if s < 0 {
+			a.next[0][b] = 0
+			continue
+		}
+		a.fail[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		state := queue[0]
+		queue = queue[1:]
+		for b := 0; b < 256; b++ {
+			child := a.next[state][b]
+			if child < 0 {
+				a.next[state][b] = a.next[a.fail[state]][b]
+				continue
+			}
+			a.fail[child] = a.next[a.fail[state]][b]
+			a.out[child] = append(a.out[child], a.out[a.fail[child]]...)
+			queue = append(queue, child)
+		}
+	}
+}
+
+// States returns the number of automaton states, a proxy for its memory
+// footprint (relevant to EPC pressure inside the enclave).
+func (a *Automaton) States() int { return len(a.next) }
+
+// Scan finds all pattern occurrences in data. Matches are appended to dst
+// (which may be nil) and returned, letting the data path reuse one slice.
+func (a *Automaton) Scan(data []byte, dst []Match) []Match {
+	state := int32(0)
+	for i := 0; i < len(data); i++ {
+		state = a.next[state][fold(data[i], a.caseFold)]
+		if outs := a.out[state]; len(outs) > 0 {
+			for _, id := range outs {
+				dst = append(dst, Match{PatternID: int(id), End: i + 1})
+			}
+		}
+	}
+	return dst
+}
+
+// Contains reports whether any pattern occurs in data, without collecting
+// matches — the fast path for drop/accept decisions.
+func (a *Automaton) Contains(data []byte) bool {
+	state := int32(0)
+	for i := 0; i < len(data); i++ {
+		state = a.next[state][fold(data[i], a.caseFold)]
+		if len(a.out[state]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchedIDs returns the distinct pattern IDs occurring in data, sorted.
+func (a *Automaton) MatchedIDs(data []byte) []int {
+	matches := a.Scan(data, nil)
+	if len(matches) == 0 {
+		return nil
+	}
+	set := make(map[int]struct{}, len(matches))
+	for _, m := range matches {
+		set[m.PatternID] = struct{}{}
+	}
+	ids := make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

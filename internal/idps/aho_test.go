@@ -1,0 +1,199 @@
+package idps
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAutomatonBasicMatches(t *testing.T) {
+	auto, err := NewAutomaton([]Pattern{
+		{ID: 1, Bytes: []byte("he")},
+		{ID: 2, Bytes: []byte("she")},
+		{ID: 3, Bytes: []byte("his")},
+		{ID: 4, Bytes: []byte("hers")},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := auto.Scan([]byte("ushers"), nil)
+	// Classic example: "ushers" contains she@4, he@4, hers@6.
+	want := []Match{{PatternID: 2, End: 4}, {PatternID: 1, End: 4}, {PatternID: 4, End: 6}}
+	if !reflect.DeepEqual(matches, want) {
+		t.Errorf("Scan = %v, want %v", matches, want)
+	}
+	if ids := auto.MatchedIDs([]byte("ushers")); !reflect.DeepEqual(ids, []int{1, 2, 4}) {
+		t.Errorf("MatchedIDs = %v", ids)
+	}
+	if auto.Contains([]byte("zq zq zq")) {
+		t.Error("Contains false positive")
+	}
+	if !auto.Contains([]byte("xxhisxx")) {
+		t.Error("Contains false negative")
+	}
+}
+
+func TestAutomatonOverlapping(t *testing.T) {
+	auto, err := NewAutomaton([]Pattern{
+		{ID: 1, Bytes: []byte("aa")},
+		{ID: 2, Bytes: []byte("aaa")},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := auto.Scan([]byte("aaaa"), nil)
+	// aa at 2,3,4; aaa at 3,4.
+	var aa, aaa int
+	for _, m := range matches {
+		switch m.PatternID {
+		case 1:
+			aa++
+		case 2:
+			aaa++
+		}
+	}
+	if aa != 3 || aaa != 2 {
+		t.Errorf("aa=%d aaa=%d, want 3 and 2 (matches: %v)", aa, aaa, matches)
+	}
+}
+
+func TestAutomatonCaseFold(t *testing.T) {
+	auto, err := NewAutomaton([]Pattern{{ID: 1, Bytes: []byte("Attack"), NoCase: true}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"attack", "ATTACK", "AtTaCk"} {
+		if !auto.Contains([]byte(s)) {
+			t.Errorf("case-folded automaton missed %q", s)
+		}
+	}
+	sensitive, err := NewAutomaton([]Pattern{{ID: 1, Bytes: []byte("Attack")}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sensitive.Contains([]byte("attack")) {
+		t.Error("case-sensitive automaton matched wrong case")
+	}
+	if !sensitive.Contains([]byte("Attack")) {
+		t.Error("case-sensitive automaton missed exact case")
+	}
+}
+
+func TestAutomatonBinaryPatterns(t *testing.T) {
+	pat := []byte{0x00, 0xff, 0x90, 0x90}
+	auto, err := NewAutomaton([]Pattern{{ID: 9, Bytes: pat}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append(bytes.Repeat([]byte{0x41}, 100), pat...)
+	if !auto.Contains(data) {
+		t.Error("binary pattern not found")
+	}
+}
+
+func TestAutomatonRejectsEmptyAndDuplicate(t *testing.T) {
+	if _, err := NewAutomaton([]Pattern{{ID: 1, Bytes: nil}}, false); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := NewAutomaton([]Pattern{
+		{ID: 1, Bytes: []byte("a")},
+		{ID: 1, Bytes: []byte("b")},
+	}, false); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+// naiveScan is the reference oracle for the property test.
+func naiveScan(patterns []Pattern, data []byte) map[int]int {
+	counts := make(map[int]int)
+	for _, p := range patterns {
+		for i := 0; i+len(p.Bytes) <= len(data); i++ {
+			if bytes.Equal(data[i:i+len(p.Bytes)], p.Bytes) {
+				counts[p.ID]++
+			}
+		}
+	}
+	return counts
+}
+
+func TestAutomatonAgainstNaiveOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		// Small alphabet to force overlaps.
+		alphabet := []byte("abc")
+		nPats := 1 + rnd.Intn(6)
+		patterns := make([]Pattern, 0, nPats)
+		used := map[string]bool{}
+		for i := 0; i < nPats; i++ {
+			l := 1 + rnd.Intn(4)
+			p := make([]byte, l)
+			for j := range p {
+				p[j] = alphabet[rnd.Intn(len(alphabet))]
+			}
+			if used[string(p)] {
+				continue
+			}
+			used[string(p)] = true
+			patterns = append(patterns, Pattern{ID: i, Bytes: p})
+		}
+		data := make([]byte, rnd.Intn(200))
+		for j := range data {
+			data[j] = alphabet[rnd.Intn(len(alphabet))]
+		}
+		auto, err := NewAutomaton(patterns, false)
+		if err != nil {
+			return false
+		}
+		got := make(map[int]int)
+		for _, m := range auto.Scan(data, nil) {
+			got[m.PatternID]++
+		}
+		want := naiveScan(patterns, data)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutomatonStates(t *testing.T) {
+	auto, err := NewAutomaton([]Pattern{
+		{ID: 1, Bytes: []byte("abc")},
+		{ID: 2, Bytes: []byte("abd")},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// root + a + ab + abc + abd = 5
+	if got := auto.States(); got != 5 {
+		t.Errorf("States = %d, want 5", got)
+	}
+}
+
+func BenchmarkAutomatonScan1500(b *testing.B) {
+	eng := GenerateRuleSet(CommunityRuleCount, 2018)
+	rules, err := ParseRules(eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var patterns []Pattern
+	for i, r := range rules {
+		if len(r.Contents) > 0 {
+			patterns = append(patterns, Pattern{ID: i, Bytes: r.Contents[0].Bytes})
+		}
+	}
+	auto, err := NewAutomaton(patterns, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("GET /index.html HTTP/1.1\r\nHost: example.com\r\n"), 40)[:1500]
+	b.SetBytes(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if auto.Contains(data) {
+			b.Fatal("generated rules must not match workload data")
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package idps
+
+import (
+	"strings"
+	"testing"
+
+	"endbox/internal/packet"
+)
+
+func mustEngine(t *testing.T, ruleText string) *Engine {
+	t.Helper()
+	rules, err := ParseRules(ruleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func tcpPacket(t *testing.T, src, dst string, srcPort, dstPort uint16, payload string) *packet.IPv4 {
+	t.Helper()
+	raw := packet.NewTCP(packet.MustParseAddr(src), packet.MustParseAddr(dst),
+		srcPort, dstPort, 1, 0, packet.TCPAck|packet.TCPPsh, []byte(payload))
+	p, err := packet.ParseIPv4(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func udpPacket(t *testing.T, src, dst string, srcPort, dstPort uint16, payload string) *packet.IPv4 {
+	t.Helper()
+	raw := packet.NewUDP(packet.MustParseAddr(src), packet.MustParseAddr(dst),
+		srcPort, dstPort, []byte(payload))
+	p, err := packet.ParseIPv4(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEngineAlertOnContent(t *testing.T) {
+	e := mustEngine(t, `alert tcp any any -> any 80 (msg:"evil GET"; content:"evil"; sid:100;)`)
+	res := e.Evaluate(tcpPacket(t, "10.0.0.1", "10.0.0.2", 5000, 80, "GET /evil HTTP/1.1"))
+	if res.Verdict != VerdictAccept {
+		t.Errorf("alert rule should not drop; verdict = %v", res.Verdict)
+	}
+	if len(res.Alerts) != 1 || res.Alerts[0].SID != 100 {
+		t.Errorf("alerts = %+v", res.Alerts)
+	}
+	// Different port: header mismatch, no alert.
+	res = e.Evaluate(tcpPacket(t, "10.0.0.1", "10.0.0.2", 5000, 8080, "GET /evil HTTP/1.1"))
+	if len(res.Alerts) != 0 {
+		t.Errorf("port-mismatched packet alerted: %+v", res.Alerts)
+	}
+	// Matching port, innocent payload.
+	res = e.Evaluate(tcpPacket(t, "10.0.0.1", "10.0.0.2", 5000, 80, "GET /good HTTP/1.1"))
+	if len(res.Alerts) != 0 {
+		t.Errorf("innocent packet alerted: %+v", res.Alerts)
+	}
+}
+
+func TestEngineDrop(t *testing.T) {
+	e := mustEngine(t, `drop tcp any any -> any any (msg:"worm"; content:"X-Worm"; sid:200;)`)
+	res := e.Evaluate(tcpPacket(t, "1.1.1.1", "2.2.2.2", 1, 2, "header: X-Worm-Probe"))
+	if res.Verdict != VerdictDrop {
+		t.Errorf("verdict = %v, want drop", res.Verdict)
+	}
+	st := e.Stats()
+	if st.Drops != 1 || st.Alerts != 1 || st.Packets != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEnginePassPrecedence(t *testing.T) {
+	e := mustEngine(t, `
+pass tcp 10.9.9.9 any -> any any (msg:"scanner exemption"; sid:300;)
+drop tcp any any -> any any (msg:"worm"; content:"X-Worm"; sid:301;)
+`)
+	// Exempted source is accepted despite the drop rule matching.
+	res := e.Evaluate(tcpPacket(t, "10.9.9.9", "2.2.2.2", 1, 2, "X-Worm payload"))
+	if res.Verdict != VerdictAccept || len(res.Alerts) != 0 {
+		t.Errorf("pass rule ignored: %+v", res)
+	}
+	// Everyone else gets dropped.
+	res = e.Evaluate(tcpPacket(t, "10.9.9.8", "2.2.2.2", 1, 2, "X-Worm payload"))
+	if res.Verdict != VerdictDrop {
+		t.Errorf("non-exempt packet not dropped: %+v", res)
+	}
+}
+
+func TestEngineMultiContentAllRequired(t *testing.T) {
+	e := mustEngine(t, `alert tcp any any -> any any (msg:"combo"; content:"alpha"; content:"beta"; sid:400;)`)
+	if res := e.Evaluate(tcpPacket(t, "1.1.1.1", "2.2.2.2", 1, 2, "alpha only")); len(res.Alerts) != 0 {
+		t.Error("alert with only first content present")
+	}
+	if res := e.Evaluate(tcpPacket(t, "1.1.1.1", "2.2.2.2", 1, 2, "beta only")); len(res.Alerts) != 0 {
+		t.Error("alert with only second content present")
+	}
+	if res := e.Evaluate(tcpPacket(t, "1.1.1.1", "2.2.2.2", 1, 2, "alpha and beta")); len(res.Alerts) != 1 {
+		t.Error("no alert with both contents present")
+	}
+}
+
+func TestEngineNoCaseVerification(t *testing.T) {
+	e := mustEngine(t, `
+alert tcp any any -> any any (msg:"exact"; content:"CaseSensitive"; sid:500;)
+alert tcp any any -> any any (msg:"fold"; content:"CaseFolded"; nocase; sid:501;)
+`)
+	res := e.Evaluate(tcpPacket(t, "1.1.1.1", "2.2.2.2", 1, 2, "casesensitive casefolded"))
+	if len(res.Alerts) != 1 || res.Alerts[0].SID != 501 {
+		t.Errorf("alerts = %+v, want only sid 501", res.Alerts)
+	}
+	res = e.Evaluate(tcpPacket(t, "1.1.1.1", "2.2.2.2", 1, 2, "CaseSensitive"))
+	if len(res.Alerts) != 1 || res.Alerts[0].SID != 500 {
+		t.Errorf("alerts = %+v, want only sid 500", res.Alerts)
+	}
+}
+
+func TestEngineOffsetDepth(t *testing.T) {
+	e := mustEngine(t, `alert tcp any any -> any any (msg:"get method"; content:"GET"; offset:0; depth:3; sid:600;)`)
+	if res := e.Evaluate(tcpPacket(t, "1.1.1.1", "2.2.2.2", 1, 2, "GET /x")); len(res.Alerts) != 1 {
+		t.Error("GET at offset 0 not matched")
+	}
+	if res := e.Evaluate(tcpPacket(t, "1.1.1.1", "2.2.2.2", 1, 2, "xGET /x")); len(res.Alerts) != 0 {
+		t.Error("GET past depth matched")
+	}
+}
+
+func TestEngineHeaderOnlyRule(t *testing.T) {
+	e := mustEngine(t, `alert udp any any -> any 53 (msg:"dns traffic"; sid:700;)`)
+	if res := e.Evaluate(udpPacket(t, "1.1.1.1", "2.2.2.2", 5353, 53, "query")); len(res.Alerts) != 1 {
+		t.Error("header-only rule did not match")
+	}
+	if res := e.Evaluate(udpPacket(t, "1.1.1.1", "2.2.2.2", 5353, 54, "query")); len(res.Alerts) != 0 {
+		t.Error("header-only rule matched wrong port")
+	}
+}
+
+func TestEngineBidirectional(t *testing.T) {
+	e := mustEngine(t, `alert tcp 10.0.0.1 any <> 10.0.0.2 any (msg:"pair"; content:"x"; sid:800;)`)
+	if res := e.Evaluate(tcpPacket(t, "10.0.0.1", "10.0.0.2", 1, 2, "x")); len(res.Alerts) != 1 {
+		t.Error("forward direction missed")
+	}
+	if res := e.Evaluate(tcpPacket(t, "10.0.0.2", "10.0.0.1", 2, 1, "x")); len(res.Alerts) != 1 {
+		t.Error("reverse direction missed")
+	}
+	if res := e.Evaluate(tcpPacket(t, "10.0.0.3", "10.0.0.2", 1, 2, "x")); len(res.Alerts) != 0 {
+		t.Error("unrelated source matched")
+	}
+}
+
+func TestEngineICMPPayload(t *testing.T) {
+	e := mustEngine(t, `alert icmp any any -> any any (msg:"icmp tunnel"; content:"TUNNEL"; sid:900;)`)
+	raw := packet.NewICMPEcho(packet.MustParseAddr("1.1.1.1"), packet.MustParseAddr("2.2.2.2"),
+		packet.ICMPEchoRequest, 7, 1, []byte("TUNNEL-DATA"))
+	p, err := packet.ParseIPv4(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := e.Evaluate(p); len(res.Alerts) != 1 {
+		t.Error("ICMP payload content missed")
+	}
+}
+
+func TestCommunityEngineCleanTraffic(t *testing.T) {
+	e, err := CommunityEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.RuleCount() != CommunityRuleCount {
+		t.Errorf("RuleCount = %d, want %d", e.RuleCount(), CommunityRuleCount)
+	}
+	// Evaluation traffic must not trip generated rules (paper §V-B).
+	payload := strings.Repeat("GET /index.html HTTP/1.1\r\nHost: example.com\r\n", 20)
+	for i := 0; i < 50; i++ {
+		res := e.Evaluate(tcpPacket(t, "10.8.0.2", "10.8.0.1", 40000, 80, payload))
+		if len(res.Alerts) != 0 {
+			t.Fatalf("clean traffic alerted: %+v", res.Alerts)
+		}
+		if res.Verdict != VerdictAccept {
+			t.Fatal("clean traffic dropped")
+		}
+	}
+	zero := strings.Repeat("\x00", 1400)
+	if res := e.Evaluate(udpPacket(t, "10.8.0.2", "10.8.0.1", 40000, 5201, zero)); len(res.Alerts) != 0 {
+		t.Fatal("zero-fill iperf payload alerted")
+	}
+}
+
+func TestGenerateRuleSetDeterministic(t *testing.T) {
+	a := GenerateRuleSet(50, 7)
+	b := GenerateRuleSet(50, 7)
+	if a != b {
+		t.Error("rule generation not deterministic")
+	}
+	c := GenerateRuleSet(50, 8)
+	if a == c {
+		t.Error("different seeds produced identical rule sets")
+	}
+	rules, err := ParseRules(a)
+	if err != nil {
+		t.Fatalf("generated rules do not parse: %v", err)
+	}
+	if len(rules) != 50 {
+		t.Errorf("parsed %d rules, want 50", len(rules))
+	}
+}
+
+func BenchmarkEngineCommunity1500(b *testing.B) {
+	e, err := CommunityEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := strings.Repeat("GET /index.html HTTP/1.1\r\nHost: example.com\r\n", 32)[:1400]
+	raw := packet.NewTCP(packet.MustParseAddr("10.8.0.2"), packet.MustParseAddr("10.8.0.1"),
+		40000, 80, 1, 0, packet.TCPAck, []byte(payload))
+	p, err := packet.ParseIPv4(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := e.Evaluate(p); len(res.Alerts) != 0 {
+			b.Fatal("unexpected alert")
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package idps
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"endbox/internal/packet"
+)
+
+func TestParseRuleBasic(t *testing.T) {
+	r, err := ParseRule(`alert tcp any any -> 10.8.0.0/16 80 (msg:"web attack"; content:"attack"; nocase; sid:1000001; rev:2;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Action != ActionAlert || r.Proto != ProtoTCP {
+		t.Errorf("action/proto = %v/%v", r.Action, r.Proto)
+	}
+	if !r.Src.Any || r.Dst.Any {
+		t.Error("src should be any, dst should not")
+	}
+	if r.Dst.Base != packet.MustParseAddr("10.8.0.0") || r.Dst.Bits != 16 {
+		t.Errorf("dst = %v/%d", r.Dst.Base, r.Dst.Bits)
+	}
+	if r.DstPort.Lo != 80 || r.DstPort.Hi != 80 {
+		t.Errorf("dst port = %d:%d", r.DstPort.Lo, r.DstPort.Hi)
+	}
+	if r.Msg != "web attack" || r.SID != 1000001 || r.Rev != 2 {
+		t.Errorf("msg/sid/rev = %q/%d/%d", r.Msg, r.SID, r.Rev)
+	}
+	if len(r.Contents) != 1 || string(r.Contents[0].Bytes) != "attack" || !r.Contents[0].NoCase {
+		t.Errorf("contents = %+v", r.Contents)
+	}
+}
+
+func TestParseRuleHexContent(t *testing.T) {
+	r, err := ParseRule(`drop tcp any any -> any any (msg:"shellcode"; content:"|90 90 eb|jmp"; sid:2;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x90, 0x90, 0xeb, 'j', 'm', 'p'}
+	if !bytes.Equal(r.Contents[0].Bytes, want) {
+		t.Errorf("content = %x, want %x", r.Contents[0].Bytes, want)
+	}
+	if r.Action != ActionDrop {
+		t.Errorf("action = %v", r.Action)
+	}
+}
+
+func TestParseRulePortRangeAndNegation(t *testing.T) {
+	r, err := ParseRule(`alert udp !192.168.0.0/24 1024:65535 -> any !53 (msg:"x"; sid:3;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Src.Negate {
+		t.Error("src negation lost")
+	}
+	if r.SrcPort.Lo != 1024 || r.SrcPort.Hi != 65535 {
+		t.Errorf("src port range = %d:%d", r.SrcPort.Lo, r.SrcPort.Hi)
+	}
+	if !r.DstPort.Negate || r.DstPort.Lo != 53 {
+		t.Errorf("dst port = %+v", r.DstPort)
+	}
+	if !r.Src.Matches(packet.MustParseAddr("10.0.0.1")) {
+		t.Error("negated spec should match outside range")
+	}
+	if r.Src.Matches(packet.MustParseAddr("192.168.0.77")) {
+		t.Error("negated spec matched inside range")
+	}
+	if r.DstPort.Matches(53) {
+		t.Error("!53 matched 53")
+	}
+	if !r.DstPort.Matches(80) {
+		t.Error("!53 did not match 80")
+	}
+}
+
+func TestParseRuleBidirectional(t *testing.T) {
+	r, err := ParseRule(`alert tcp 10.0.0.1 any <> 10.0.0.2 any (msg:"x"; sid:4;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Bidir {
+		t.Error("direction <> not parsed")
+	}
+}
+
+func TestParseRuleOffsetDepth(t *testing.T) {
+	r, err := ParseRule(`alert tcp any any -> any any (msg:"x"; content:"GET"; offset:0; depth:3; sid:5;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Contents[0]
+	if c.Offset != 0 || c.Depth != 3 {
+		t.Errorf("offset/depth = %d/%d", c.Offset, c.Depth)
+	}
+}
+
+func TestParseRuleQuotedSemicolon(t *testing.T) {
+	r, err := ParseRule(`alert tcp any any -> any any (msg:"semi;colon"; content:"a;b"; sid:6;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Msg != "semi;colon" {
+		t.Errorf("msg = %q", r.Msg)
+	}
+	if string(r.Contents[0].Bytes) != "a;b" {
+		t.Errorf("content = %q", r.Contents[0].Bytes)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	cases := []string{
+		`bogus tcp any any -> any any (sid:1;)`,                 // bad action
+		`alert quic any any -> any any (sid:1;)`,                // bad proto
+		`alert tcp any any >> any any (sid:1;)`,                 // bad direction
+		`alert tcp any any -> any any (msg:"x";)`,               // missing sid
+		`alert tcp any any -> any any`,                          // no options
+		`alert tcp 300.0.0.1 any -> any any (sid:1;)`,           // bad addr
+		`alert tcp any 99999 -> any any (sid:1;)`,               // bad port
+		`alert tcp any 90:80 -> any any (sid:1;)`,               // inverted range
+		`alert tcp any any -> any any (nocase; sid:1;)`,         // nocase w/o content
+		`alert tcp any any -> any any (content:"|zz|"; sid:1;)`, // bad hex
+		`alert tcp any any -> any any (frobnicate:1; sid:1;)`,   // unknown option
+		`alert tcp !any any -> any any (sid:1;)`,                // !any
+	}
+	for _, line := range cases {
+		if _, err := ParseRule(line); err == nil {
+			t.Errorf("ParseRule(%q): expected error", line)
+		}
+	}
+	if _, err := ParseRule("# comment"); !errors.Is(err, ErrNotARule) {
+		t.Errorf("comment: err = %v, want ErrNotARule", err)
+	}
+	if _, err := ParseRule("   "); !errors.Is(err, ErrNotARule) {
+		t.Errorf("blank: err = %v, want ErrNotARule", err)
+	}
+}
+
+func TestParseRulesFile(t *testing.T) {
+	text := `# header comment
+alert tcp any any -> any 80 (msg:"one"; content:"aaa"; sid:1;)
+
+drop udp any any -> any 53 (msg:"two"; content:"bbb"; sid:2;)
+`
+	rules, err := ParseRules(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+	if rules[0].SID != 1 || rules[1].SID != 2 {
+		t.Errorf("sids = %d,%d", rules[0].SID, rules[1].SID)
+	}
+}
+
+func TestParseRulesReportsLine(t *testing.T) {
+	_, err := ParseRules("alert tcp any any -> any 80 (msg:\"ok\"; sid:1;)\nbroken line (\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 context", err)
+	}
+}
+
+func TestRuleStringRoundTrip(t *testing.T) {
+	lines := []string{
+		`alert tcp any any -> 10.8.0.0/16 80 (msg:"web"; content:"attack"; nocase; sid:10; rev:1;)`,
+		`drop udp 192.168.1.0/24 any -> any 53 (msg:"dns"; content:"|de ad|"; sid:11; rev:3;)`,
+		`pass icmp any any <> any any (msg:"ping ok"; sid:12; rev:1;)`,
+	}
+	for _, line := range lines {
+		r1, err := ParseRule(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		r2, err := ParseRule(r1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", r1.String(), err)
+		}
+		if r1.String() != r2.String() {
+			t.Errorf("canonical form unstable:\n  %s\n  %s", r1.String(), r2.String())
+		}
+	}
+}
+
+func TestAddrSpecEdgeCases(t *testing.T) {
+	spec, err := parseAddrSpec("0.0.0.0/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Matches(packet.MustParseAddr("255.255.255.255")) {
+		t.Error("/0 should match everything")
+	}
+	host, err := parseAddrSpec("10.1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !host.Matches(packet.MustParseAddr("10.1.2.3")) || host.Matches(packet.MustParseAddr("10.1.2.4")) {
+		t.Error("host spec must match exactly")
+	}
+}

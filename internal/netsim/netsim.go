@@ -1,0 +1,256 @@
+// Package netsim is a discrete-event network simulator used by the
+// benchmark harness to reproduce the paper's cluster-scale experiments on a
+// single machine (DESIGN.md §2): the testbed behind Figs. 7, 10 and 11 —
+// five client machines at 200 Mbps each against a 4-core VPN server on a
+// 2×10 Gbps network — cannot be reproduced with real packets on a laptop,
+// but a virtual-time model with measured per-operation CPU costs preserves
+// exactly what those figures show: who saturates first and where the
+// throughput plateaus sit.
+//
+// The simulator provides a virtual clock with an event queue, links with
+// bandwidth/propagation/queueing, and multi-core hosts that serialise CPU
+// work — nothing EndBox-specific; the experiment topologies live in
+// internal/bench.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Sim is a discrete-event simulation: a virtual clock plus an ordered event
+// queue. It is single-goroutine by design (events run inline).
+type Sim struct {
+	now    time.Time
+	queue  eventHeap
+	seq    uint64
+	events uint64
+}
+
+// NewSim creates a simulation starting at the given instant.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Events reports how many events have executed (a progress/diagnostic
+// counter).
+func (s *Sim) Events() uint64 { return s.events }
+
+// Schedule enqueues fn to run after delay. Negative delays run "now".
+func (s *Sim) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.ScheduleAt(s.now.Add(delay), fn)
+}
+
+// ScheduleAt enqueues fn at an absolute virtual instant. Instants in the
+// past run at the current time.
+func (s *Sim) ScheduleAt(at time.Time, fn func()) {
+	if at.Before(s.now) {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Step executes the next event, advancing the clock. It reports false when
+// the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	s.events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the clock reaches the given instant, leaving
+// later events queued and the clock at exactly that instant.
+func (s *Sim) Run(until time.Time) {
+	for len(s.queue) > 0 && !s.queue[0].at.After(until) {
+		s.Step()
+	}
+	if s.now.Before(until) {
+		s.now = until
+	}
+}
+
+// RunFor is Run relative to the current clock.
+func (s *Sim) RunFor(d time.Duration) { s.Run(s.now.Add(d)) }
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Link models a serialising network link: finite bandwidth (so transfers
+// queue behind each other) plus propagation delay.
+type Link struct {
+	sim        *Sim
+	bitsPerSec float64
+	propDelay  time.Duration
+
+	busyUntil time.Time
+	bytesSent uint64
+	queueMax  time.Duration
+}
+
+// NewLink creates a link. bitsPerSec <= 0 means infinite bandwidth.
+func NewLink(sim *Sim, bitsPerSec float64, propDelay time.Duration) *Link {
+	return &Link{sim: sim, bitsPerSec: bitsPerSec, propDelay: propDelay}
+}
+
+// Send transmits size bytes, invoking fn at delivery. Serialisation delays
+// queue FIFO behind earlier transfers; propagation is pipeline-parallel.
+func (l *Link) Send(size int, fn func()) {
+	now := l.sim.Now()
+	start := now
+	if l.busyUntil.After(start) {
+		start = l.busyUntil
+	}
+	var tx time.Duration
+	if l.bitsPerSec > 0 {
+		tx = time.Duration(float64(size*8) / l.bitsPerSec * float64(time.Second))
+	}
+	l.busyUntil = start.Add(tx)
+	if q := l.busyUntil.Sub(now); q > l.queueMax {
+		l.queueMax = q
+	}
+	l.bytesSent += uint64(size)
+	l.sim.ScheduleAt(l.busyUntil.Add(l.propDelay), fn)
+}
+
+// BytesSent reports total bytes offered to the link.
+func (l *Link) BytesSent() uint64 { return l.bytesSent }
+
+// MaxQueue reports the worst-case queueing delay observed.
+func (l *Link) MaxQueue() time.Duration { return l.queueMax }
+
+// Host models a multi-core machine: CPU work items are dispatched to the
+// earliest-available core and run to completion (FIFO per core, no
+// preemption) — adequate for the saturation behaviour the experiments
+// measure.
+type Host struct {
+	sim      *Sim
+	coreFree []time.Time
+	busy     time.Duration
+	dropped  uint64
+	// maxBacklog bounds per-core queueing; work arriving when every core
+	// is further behind is dropped (models overload collapse rather than
+	// unbounded queues). Zero means unbounded.
+	maxBacklog time.Duration
+}
+
+// NewHost creates a host with the given core count.
+func NewHost(sim *Sim, cores int) *Host {
+	if cores < 1 {
+		cores = 1
+	}
+	h := &Host{sim: sim, coreFree: make([]time.Time, cores)}
+	for i := range h.coreFree {
+		h.coreFree[i] = sim.Now()
+	}
+	return h
+}
+
+// SetMaxBacklog bounds queueing; see Host doc.
+func (h *Host) SetMaxBacklog(d time.Duration) { h.maxBacklog = d }
+
+// Cores reports the configured core count.
+func (h *Host) Cores() int { return len(h.coreFree) }
+
+// Process schedules cost of CPU work; fn (optional) runs on completion.
+// It reports false when the work was shed due to backlog.
+func (h *Host) Process(cost time.Duration, fn func()) bool {
+	now := h.sim.Now()
+	best := 0
+	for i := 1; i < len(h.coreFree); i++ {
+		if h.coreFree[i].Before(h.coreFree[best]) {
+			best = i
+		}
+	}
+	start := now
+	if h.coreFree[best].After(start) {
+		start = h.coreFree[best]
+	}
+	if h.maxBacklog > 0 && start.Sub(now) > h.maxBacklog {
+		h.dropped++
+		return false
+	}
+	end := start.Add(cost)
+	h.coreFree[best] = end
+	h.busy += cost
+	if fn != nil {
+		h.sim.ScheduleAt(end, fn)
+	}
+	return true
+}
+
+// BusyTime reports cumulative CPU-seconds charged.
+func (h *Host) BusyTime() time.Duration { return h.busy }
+
+// Dropped reports work items shed due to backlog.
+func (h *Host) Dropped() uint64 { return h.dropped }
+
+// Utilisation computes average CPU usage over a window, where 1.0 means
+// all cores fully busy (the paper's "100% represents all cores being fully
+// utilised", §V-E).
+func (h *Host) Utilisation(busyAtStart time.Duration, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(h.busy-busyAtStart) / (float64(window) * float64(len(h.coreFree)))
+}
+
+// Sink counts delivered traffic; experiments read throughput from it.
+type Sink struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// Deliver records one packet.
+func (s *Sink) Deliver(size int) {
+	s.Packets++
+	s.Bytes += uint64(size)
+}
+
+// ThroughputBps converts counted bytes over a window into bits/second.
+func (s *Sink) ThroughputBps(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(s.Bytes*8) / window.Seconds()
+}
+
+// String renders the sink for diagnostics.
+func (s *Sink) String() string {
+	return fmt.Sprintf("sink{packets=%d bytes=%d}", s.Packets, s.Bytes)
+}

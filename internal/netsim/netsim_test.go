@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	var order []int
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	s.RunFor(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if got := s.Now(); !got.Equal(time.Unix(1, 0)) {
+		t.Errorf("clock = %v, want 1s", got)
+	}
+}
+
+func TestSimFIFOAtSameInstant(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.RunFor(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	fired := false
+	s.Schedule(time.Millisecond, func() {
+		s.Schedule(time.Millisecond, func() { fired = true })
+	})
+	s.RunFor(10 * time.Millisecond)
+	if !fired {
+		t.Error("nested event did not fire")
+	}
+	if s.Events() != 2 {
+		t.Errorf("events = %d", s.Events())
+	}
+}
+
+func TestSimRunStopsAtBoundary(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	fired := false
+	s.Schedule(2*time.Second, func() { fired = true })
+	s.RunFor(time.Second)
+	if fired {
+		t.Error("future event fired early")
+	}
+	s.RunFor(2 * time.Second)
+	if !fired {
+		t.Error("event never fired")
+	}
+}
+
+func TestLinkSerialisation(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	// 8 Mbps, zero propagation: a 1000-byte packet takes 1 ms on the wire.
+	l := NewLink(s, 8e6, 0)
+	var deliveries []time.Duration
+	start := s.Now()
+	for i := 0; i < 3; i++ {
+		l.Send(1000, func() { deliveries = append(deliveries, s.Now().Sub(start)) })
+	}
+	s.RunFor(time.Second)
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	for i, w := range want {
+		if deliveries[i] != w {
+			t.Errorf("delivery %d at %v, want %v", i, deliveries[i], w)
+		}
+	}
+	if l.BytesSent() != 3000 {
+		t.Errorf("BytesSent = %d", l.BytesSent())
+	}
+	if l.MaxQueue() < 2*time.Millisecond {
+		t.Errorf("MaxQueue = %v", l.MaxQueue())
+	}
+}
+
+func TestLinkPropagationPipelines(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	l := NewLink(s, 8e6, 10*time.Millisecond)
+	var times []time.Duration
+	start := s.Now()
+	l.Send(1000, func() { times = append(times, s.Now().Sub(start)) })
+	l.Send(1000, func() { times = append(times, s.Now().Sub(start)) })
+	s.RunFor(time.Second)
+	// Serialisation 1 ms each + 10 ms propagation (parallel).
+	if times[0] != 11*time.Millisecond || times[1] != 12*time.Millisecond {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestLinkInfiniteBandwidth(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	l := NewLink(s, 0, 5*time.Millisecond)
+	var at time.Duration
+	l.Send(1<<20, func() { at = s.Now().Sub(time.Unix(0, 0)) })
+	s.RunFor(time.Second)
+	if at != 5*time.Millisecond {
+		t.Errorf("delivery at %v, want 5ms (pure propagation)", at)
+	}
+}
+
+func TestHostParallelCores(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	h := NewHost(s, 2)
+	var done []time.Duration
+	start := s.Now()
+	for i := 0; i < 4; i++ {
+		h.Process(10*time.Millisecond, func() { done = append(done, s.Now().Sub(start)) })
+	}
+	s.RunFor(time.Second)
+	// 2 cores: items finish at 10,10,20,20 ms.
+	want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond}
+	if len(done) != 4 {
+		t.Fatalf("done = %v", done)
+	}
+	for i, w := range want {
+		if done[i] != w {
+			t.Errorf("item %d done at %v, want %v", i, done[i], w)
+		}
+	}
+	if h.BusyTime() != 40*time.Millisecond {
+		t.Errorf("BusyTime = %v", h.BusyTime())
+	}
+}
+
+func TestHostUtilisation(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	h := NewHost(s, 4)
+	busy0 := h.BusyTime()
+	// 4 cores × 1 s window = 4 CPU-seconds capacity; submit 2 s of work.
+	for i := 0; i < 20; i++ {
+		h.Process(100*time.Millisecond, nil)
+	}
+	s.RunFor(time.Second)
+	u := h.Utilisation(busy0, time.Second)
+	if math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilisation = %v, want 0.5", u)
+	}
+}
+
+func TestHostBacklogShedding(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	h := NewHost(s, 1)
+	h.SetMaxBacklog(50 * time.Millisecond)
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if h.Process(20*time.Millisecond, nil) {
+			accepted++
+		}
+	}
+	// Core free at 0: items queue at 0,20,40 ms starts (<=50ms); the 4th
+	// would start at 60 ms > 50 ms backlog.
+	if accepted != 3 {
+		t.Errorf("accepted = %d, want 3", accepted)
+	}
+	if h.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", h.Dropped())
+	}
+}
+
+func TestSinkThroughput(t *testing.T) {
+	var sink Sink
+	for i := 0; i < 100; i++ {
+		sink.Deliver(1250)
+	}
+	// 125 kB over 1 s = 1 Mbit/s.
+	if got := sink.ThroughputBps(time.Second); math.Abs(got-1e6) > 1 {
+		t.Errorf("throughput = %v", got)
+	}
+	if sink.Packets != 100 {
+		t.Errorf("packets = %d", sink.Packets)
+	}
+}
+
+// TestClosedLoopSaturation reproduces in miniature the effect behind
+// Fig. 10: when per-packet CPU cost exceeds what the cores can sustain,
+// delivered throughput plateaus below the offered load.
+func TestClosedLoopSaturation(t *testing.T) {
+	const (
+		pktSize = 1500
+		perPkt  = 10 * time.Microsecond // CPU cost per packet
+		window  = 500 * time.Millisecond
+	)
+	run := func(clients int) float64 {
+		s := NewSim(time.Unix(0, 0))
+		server := NewHost(s, 1) // 1 core => 100k pkts/s => 1.2 Gbps max
+		server.SetMaxBacklog(10 * time.Millisecond)
+		var sink Sink
+		interval := time.Duration(float64(pktSize*8) / 200e6 * float64(time.Second)) // 200 Mbps offered
+		for c := 0; c < clients; c++ {
+			var tick func()
+			tick = func() {
+				server.Process(perPkt, func() { sink.Deliver(pktSize) })
+				s.Schedule(interval, tick)
+			}
+			s.Schedule(time.Duration(c)*time.Microsecond, tick)
+		}
+		s.RunFor(window)
+		return sink.ThroughputBps(window)
+	}
+
+	t2 := run(2)   // 400 Mbps offered, below the 1.2 Gbps CPU limit
+	t10 := run(10) // 2 Gbps offered, above the CPU limit
+
+	if math.Abs(t2-400e6)/400e6 > 0.05 {
+		t.Errorf("2 clients: throughput %v, want ~400 Mbps", t2)
+	}
+	if t10 > 1.3e9 || t10 < 1.0e9 {
+		t.Errorf("10 clients: throughput %v, want saturation near 1.2 Gbps", t10)
+	}
+}

@@ -1,0 +1,171 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// defaultTTL is the initial TTL for locally generated packets.
+const defaultTTL = 64
+
+// NewUDP builds a serialised IPv4/UDP packet. Workload generators use it to
+// produce iperf-style traffic of a precise on-wire size.
+func NewUDP(src, dst Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	u := UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	ip := IPv4{
+		TTL:      defaultTTL,
+		Protocol: ProtoUDP,
+		Src:      src,
+		Dst:      dst,
+		Payload:  u.Marshal(),
+	}
+	return ip.Marshal()
+}
+
+// NewTCP builds a serialised IPv4/TCP packet with the given flags.
+func NewTCP(src, dst Addr, srcPort, dstPort uint16, seq, ack uint32, flags byte, payload []byte) []byte {
+	t := TCP{
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Ack: ack,
+		Flags:   flags,
+		Window:  65535,
+		Payload: payload,
+	}
+	ip := IPv4{
+		TTL:      defaultTTL,
+		Protocol: ProtoTCP,
+		Src:      src,
+		Dst:      dst,
+		Payload:  t.Marshal(),
+	}
+	return ip.Marshal()
+}
+
+// NewICMPEcho builds a serialised IPv4/ICMP echo request or reply.
+func NewICMPEcho(src, dst Addr, echoType byte, id, seq uint16, payload []byte) []byte {
+	m := ICMP{Type: echoType, ID: id, Seq: seq, Payload: payload}
+	ip := IPv4{
+		TTL:      defaultTTL,
+		Protocol: ProtoICMP,
+		Src:      src,
+		Dst:      dst,
+		Payload:  m.Marshal(),
+	}
+	return ip.Marshal()
+}
+
+// PadToSize builds a UDP packet whose total IPv4 length is exactly size
+// bytes, as the throughput sweeps require ("packet size" in Fig. 8 means the
+// on-wire IP datagram size). Size must accommodate the IP+UDP headers.
+func PadToSize(src, dst Addr, srcPort, dstPort uint16, size int) ([]byte, error) {
+	minSize := IPv4HeaderLen + UDPHeaderLen
+	if size < minSize {
+		return nil, fmt.Errorf("packet: size %d below minimum %d", size, minSize)
+	}
+	if size > 65535 {
+		return nil, fmt.Errorf("packet: size %d exceeds IPv4 maximum", size)
+	}
+	return NewUDP(src, dst, srcPort, dstPort, make([]byte, size-minSize)), nil
+}
+
+// ErrFragmentGap reports a reassembly attempt with missing fragments.
+var ErrFragmentGap = errors.New("packet: missing fragment")
+
+// Fragment splits a serialised IPv4 packet into fragments that each fit
+// within mtu bytes on the wire. OpenVPN performs fragmentation outside the
+// enclave (paper Fig. 3); the EndBox client calls this after the enclave has
+// encrypted and returned the datagram. Packets that already fit are returned
+// unchanged as a single-element slice.
+func Fragment(raw []byte, mtu int) ([][]byte, error) {
+	p, err := ParseIPv4(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) <= mtu {
+		return [][]byte{raw}, nil
+	}
+	if p.Flags&FlagDF != 0 {
+		return nil, fmt.Errorf("packet: DF set on %d-byte packet with MTU %d", len(raw), mtu)
+	}
+	hl := p.HeaderLen()
+	// Fragment payload sizes must be multiples of 8 bytes except the last.
+	chunk := (mtu - hl) &^ 7
+	if chunk <= 0 {
+		return nil, fmt.Errorf("packet: MTU %d too small for header", mtu)
+	}
+	var frags [][]byte
+	payload := p.Payload
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		more := byte(FlagMF)
+		if end >= len(payload) {
+			end = len(payload)
+			more = 0
+		}
+		f := IPv4{
+			TOS:      p.TOS,
+			ID:       p.ID,
+			Flags:    p.Flags&FlagDF | more,
+			FragOff:  p.FragOff + uint16(off/8),
+			TTL:      p.TTL,
+			Protocol: p.Protocol,
+			Src:      p.Src,
+			Dst:      p.Dst,
+			Options:  p.Options,
+			Payload:  payload[off:end],
+		}
+		frags = append(frags, f.Marshal())
+	}
+	return frags, nil
+}
+
+// Reassemble merges fragments produced by Fragment back into the original
+// datagram. Fragments may arrive in any order; all must share ID, protocol
+// and endpoints.
+func Reassemble(frags [][]byte) ([]byte, error) {
+	if len(frags) == 0 {
+		return nil, ErrFragmentGap
+	}
+	parsed := make([]*IPv4, 0, len(frags))
+	for _, f := range frags {
+		p, err := ParseIPv4(f)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, p)
+	}
+	sort.Slice(parsed, func(i, j int) bool { return parsed[i].FragOff < parsed[j].FragOff })
+	first := parsed[0]
+	if first.FragOff != 0 {
+		return nil, ErrFragmentGap
+	}
+	var payload []byte
+	expected := uint16(0)
+	for i, p := range parsed {
+		if p.ID != first.ID || p.Protocol != first.Protocol || p.Src != first.Src || p.Dst != first.Dst {
+			return nil, fmt.Errorf("packet: fragment %d belongs to a different datagram", i)
+		}
+		if p.FragOff != expected {
+			return nil, ErrFragmentGap
+		}
+		payload = append(payload, p.Payload...)
+		expected = p.FragOff + uint16(len(p.Payload)/8)
+		last := i == len(parsed)-1
+		if (p.Flags&FlagMF != 0) == last {
+			return nil, ErrFragmentGap
+		}
+	}
+	whole := IPv4{
+		TOS:      first.TOS,
+		ID:       first.ID,
+		Flags:    first.Flags &^ FlagMF,
+		TTL:      first.TTL,
+		Protocol: first.Protocol,
+		Src:      first.Src,
+		Dst:      first.Dst,
+		Options:  first.Options,
+		Payload:  payload,
+	}
+	return whole.Marshal(), nil
+}

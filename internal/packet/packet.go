@@ -1,0 +1,437 @@
+// Package packet implements parsing, construction and serialisation of the
+// IPv4, TCP, UDP and ICMP headers that EndBox middlebox functions inspect.
+//
+// EndBox processes every packet crossing the VPN boundary inside the enclave
+// (paper §III-B). Click elements such as IPFilter and IDSMatcher operate on
+// the structures defined here. The package is allocation-conscious: parsing
+// is zero-copy (headers reference the underlying buffer) and serialisation
+// writes into caller-provided buffers where possible.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol numbers as assigned by IANA, restricted to those EndBox inspects.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// Header sizes in bytes (without options).
+const (
+	IPv4HeaderLen = 20
+	TCPHeaderLen  = 20
+	UDPHeaderLen  = 8
+	ICMPHeaderLen = 8
+)
+
+// ProcessedTOS is the value EndBox clients write into the IPv4 TOS byte to
+// flag packets already processed by a peer's Click instance, enabling the
+// client-to-client bypass optimisation (paper §IV-A). The EndBox server
+// clears this value on packets arriving from outside the VPN so external
+// hosts cannot forge the flag.
+const ProcessedTOS = 0xeb
+
+// Common errors returned by parsers in this package.
+var (
+	ErrTruncated   = errors.New("packet: buffer too short")
+	ErrBadVersion  = errors.New("packet: not an IPv4 packet")
+	ErrBadHeader   = errors.New("packet: malformed header")
+	ErrBadChecksum = errors.New("packet: checksum mismatch")
+)
+
+// Addr is an IPv4 address in network byte order.
+type Addr [4]byte
+
+// AddrFrom returns the address a.b.c.d.
+func AddrFrom(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
+
+// String formats the address in dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Uint32 returns the address as a big-endian integer, used for prefix
+// matching in the firewall element.
+func (a Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// AddrFromUint32 converts a big-endian integer into an address.
+func AddrFromUint32(v uint32) Addr {
+	var a Addr
+	binary.BigEndian.PutUint32(a[:], v)
+	return a
+}
+
+// ParseAddr parses dotted-quad notation ("10.8.0.1").
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	idx := 0
+	val := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			if val < 0 {
+				val = 0
+			}
+			val = val*10 + int(c-'0')
+			if val > 255 {
+				return Addr{}, fmt.Errorf("packet: octet out of range in %q", s)
+			}
+		case c == '.':
+			if val < 0 || idx >= 3 {
+				return Addr{}, fmt.Errorf("packet: malformed address %q", s)
+			}
+			a[idx] = byte(val)
+			idx++
+			val = -1
+		default:
+			return Addr{}, fmt.Errorf("packet: invalid character in address %q", s)
+		}
+	}
+	if idx != 3 || val < 0 {
+		return Addr{}, fmt.Errorf("packet: malformed address %q", s)
+	}
+	a[3] = byte(val)
+	return a, nil
+}
+
+// MustParseAddr is ParseAddr for tests and static configuration; it panics
+// on malformed input.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// IPv4 is a parsed IPv4 header plus its payload. Payload aliases the parse
+// buffer; callers that retain packets across buffer reuse must Clone first.
+type IPv4 struct {
+	TOS      byte
+	TotalLen uint16
+	ID       uint16
+	Flags    byte   // 3-bit flags field (bit 1 = DF, bit 2 = MF)
+	FragOff  uint16 // 13-bit fragment offset in 8-byte units
+	TTL      byte
+	Protocol byte
+	Src      Addr
+	Dst      Addr
+	Options  []byte
+	Payload  []byte
+}
+
+// Flag bits within IPv4.Flags.
+const (
+	FlagDF = 0x2 // don't fragment
+	FlagMF = 0x1 // more fragments
+)
+
+// ParseIPv4 decodes an IPv4 packet. It validates the version, header length,
+// total length and header checksum.
+func ParseIPv4(buf []byte) (*IPv4, error) {
+	p := new(IPv4)
+	if err := p.Parse(buf); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Parse decodes into an existing header value, allowing reuse without
+// allocation on the data path.
+func (p *IPv4) Parse(buf []byte) error {
+	if len(buf) < IPv4HeaderLen {
+		return ErrTruncated
+	}
+	if buf[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(buf[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || ihl > len(buf) {
+		return ErrBadHeader
+	}
+	totalLen := binary.BigEndian.Uint16(buf[2:4])
+	if int(totalLen) < ihl || int(totalLen) > len(buf) {
+		return ErrBadHeader
+	}
+	if Checksum(buf[:ihl]) != 0 {
+		return ErrBadChecksum
+	}
+	p.TOS = buf[1]
+	p.TotalLen = totalLen
+	p.ID = binary.BigEndian.Uint16(buf[4:6])
+	flagsFrag := binary.BigEndian.Uint16(buf[6:8])
+	p.Flags = byte(flagsFrag >> 13)
+	p.FragOff = flagsFrag & 0x1fff
+	p.TTL = buf[8]
+	p.Protocol = buf[9]
+	copy(p.Src[:], buf[12:16])
+	copy(p.Dst[:], buf[16:20])
+	if ihl > IPv4HeaderLen {
+		p.Options = buf[IPv4HeaderLen:ihl]
+	} else {
+		p.Options = nil
+	}
+	p.Payload = buf[ihl:totalLen]
+	return nil
+}
+
+// HeaderLen returns the encoded header length including options, in bytes.
+func (p *IPv4) HeaderLen() int {
+	optLen := (len(p.Options) + 3) &^ 3
+	return IPv4HeaderLen + optLen
+}
+
+// Len returns the total serialised length of the packet.
+func (p *IPv4) Len() int { return p.HeaderLen() + len(p.Payload) }
+
+// Marshal serialises the packet, computing TotalLen and the header checksum.
+func (p *IPv4) Marshal() []byte {
+	buf := make([]byte, p.Len())
+	p.MarshalTo(buf)
+	return buf
+}
+
+// MarshalTo serialises into buf, which must be at least p.Len() bytes, and
+// returns the number of bytes written.
+func (p *IPv4) MarshalTo(buf []byte) int {
+	hl := p.HeaderLen()
+	total := hl + len(p.Payload)
+	buf[0] = 0x40 | byte(hl/4)
+	buf[1] = p.TOS
+	binary.BigEndian.PutUint16(buf[2:4], uint16(total))
+	binary.BigEndian.PutUint16(buf[4:6], p.ID)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(p.Flags)<<13|p.FragOff&0x1fff)
+	buf[8] = p.TTL
+	buf[9] = p.Protocol
+	buf[10], buf[11] = 0, 0 // checksum placeholder
+	copy(buf[12:16], p.Src[:])
+	copy(buf[16:20], p.Dst[:])
+	for i := IPv4HeaderLen; i < hl; i++ {
+		buf[i] = 0
+	}
+	copy(buf[IPv4HeaderLen:], p.Options)
+	sum := Checksum(buf[:hl])
+	binary.BigEndian.PutUint16(buf[10:12], sum)
+	copy(buf[hl:], p.Payload)
+	return total
+}
+
+// Clone deep-copies the packet so it no longer aliases the parse buffer.
+func (p *IPv4) Clone() *IPv4 {
+	q := *p
+	q.Options = append([]byte(nil), p.Options...)
+	q.Payload = append([]byte(nil), p.Payload...)
+	return &q
+}
+
+// TCP is a parsed TCP header plus payload.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   byte // CWR ECE URG ACK PSH RST SYN FIN (low 8 bits)
+	Window  uint16
+	Urgent  uint16
+	Options []byte
+	Payload []byte
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 0x01
+	TCPSyn = 0x02
+	TCPRst = 0x04
+	TCPPsh = 0x08
+	TCPAck = 0x10
+	TCPUrg = 0x20
+)
+
+// ParseTCP decodes a TCP segment from an IPv4 payload.
+func ParseTCP(buf []byte) (*TCP, error) {
+	if len(buf) < TCPHeaderLen {
+		return nil, ErrTruncated
+	}
+	dataOff := int(buf[12]>>4) * 4
+	if dataOff < TCPHeaderLen || dataOff > len(buf) {
+		return nil, ErrBadHeader
+	}
+	t := &TCP{
+		SrcPort: binary.BigEndian.Uint16(buf[0:2]),
+		DstPort: binary.BigEndian.Uint16(buf[2:4]),
+		Seq:     binary.BigEndian.Uint32(buf[4:8]),
+		Ack:     binary.BigEndian.Uint32(buf[8:12]),
+		Flags:   buf[13],
+		Window:  binary.BigEndian.Uint16(buf[14:16]),
+		Urgent:  binary.BigEndian.Uint16(buf[18:20]),
+		Payload: buf[dataOff:],
+	}
+	if dataOff > TCPHeaderLen {
+		t.Options = buf[TCPHeaderLen:dataOff]
+	}
+	return t, nil
+}
+
+// HeaderLen returns the encoded header length including padded options.
+func (t *TCP) HeaderLen() int {
+	optLen := (len(t.Options) + 3) &^ 3
+	return TCPHeaderLen + optLen
+}
+
+// Marshal serialises the segment. The checksum field is left zero; transport
+// checksums over the pseudo-header are applied by MarshalTCPChecksum when a
+// full IPv4 context is available.
+func (t *TCP) Marshal() []byte {
+	hl := t.HeaderLen()
+	buf := make([]byte, hl+len(t.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(buf[4:8], t.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], t.Ack)
+	buf[12] = byte(hl/4) << 4
+	buf[13] = t.Flags
+	binary.BigEndian.PutUint16(buf[14:16], t.Window)
+	binary.BigEndian.PutUint16(buf[18:20], t.Urgent)
+	copy(buf[TCPHeaderLen:], t.Options)
+	copy(buf[hl:], t.Payload)
+	return buf
+}
+
+// UDP is a parsed UDP header plus payload.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// ParseUDP decodes a UDP datagram from an IPv4 payload.
+func ParseUDP(buf []byte) (*UDP, error) {
+	if len(buf) < UDPHeaderLen {
+		return nil, ErrTruncated
+	}
+	length := binary.BigEndian.Uint16(buf[4:6])
+	if int(length) < UDPHeaderLen || int(length) > len(buf) {
+		return nil, ErrBadHeader
+	}
+	return &UDP{
+		SrcPort: binary.BigEndian.Uint16(buf[0:2]),
+		DstPort: binary.BigEndian.Uint16(buf[2:4]),
+		Payload: buf[UDPHeaderLen:length],
+	}, nil
+}
+
+// Marshal serialises the datagram with length but zero checksum (legal for
+// IPv4 per RFC 768).
+func (u *UDP) Marshal() []byte {
+	buf := make([]byte, UDPHeaderLen+len(u.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(buf)))
+	copy(buf[UDPHeaderLen:], u.Payload)
+	return buf
+}
+
+// ICMP echo types used by the latency experiments (paper §V-C, Fig. 7/11).
+const (
+	ICMPEchoReply   = 0
+	ICMPEchoRequest = 8
+)
+
+// ICMP is a parsed ICMP echo message.
+type ICMP struct {
+	Type    byte
+	Code    byte
+	ID      uint16
+	Seq     uint16
+	Payload []byte
+}
+
+// ParseICMP decodes an ICMP message from an IPv4 payload, validating its
+// checksum.
+func ParseICMP(buf []byte) (*ICMP, error) {
+	if len(buf) < ICMPHeaderLen {
+		return nil, ErrTruncated
+	}
+	if Checksum(buf) != 0 {
+		return nil, ErrBadChecksum
+	}
+	return &ICMP{
+		Type:    buf[0],
+		Code:    buf[1],
+		ID:      binary.BigEndian.Uint16(buf[4:6]),
+		Seq:     binary.BigEndian.Uint16(buf[6:8]),
+		Payload: buf[ICMPHeaderLen:],
+	}, nil
+}
+
+// Marshal serialises the message with a valid checksum.
+func (m *ICMP) Marshal() []byte {
+	buf := make([]byte, ICMPHeaderLen+len(m.Payload))
+	buf[0] = m.Type
+	buf[1] = m.Code
+	binary.BigEndian.PutUint16(buf[4:6], m.ID)
+	binary.BigEndian.PutUint16(buf[6:8], m.Seq)
+	copy(buf[ICMPHeaderLen:], m.Payload)
+	binary.BigEndian.PutUint16(buf[2:4], Checksum(buf))
+	return buf
+}
+
+// Checksum computes the RFC 1071 Internet checksum over buf. Computing the
+// checksum of a buffer whose checksum field is filled in yields zero, which
+// is how parsers validate headers.
+func Checksum(buf []byte) uint16 {
+	var sum uint32
+	for len(buf) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(buf))
+		buf = buf[2:]
+	}
+	if len(buf) == 1 {
+		sum += uint32(buf[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Flow identifies a transport 5-tuple; middlebox functions such as the load
+// balancer and the DDoS limiter key their state on it.
+type Flow struct {
+	Src, Dst         Addr
+	SrcPort, DstPort uint16
+	Protocol         byte
+}
+
+// FlowOf extracts the flow key from a parsed IPv4 packet. Non-TCP/UDP
+// protocols yield zero ports.
+func FlowOf(p *IPv4) Flow {
+	f := Flow{Src: p.Src, Dst: p.Dst, Protocol: p.Protocol}
+	switch p.Protocol {
+	case ProtoTCP, ProtoUDP:
+		if len(p.Payload) >= 4 {
+			f.SrcPort = binary.BigEndian.Uint16(p.Payload[0:2])
+			f.DstPort = binary.BigEndian.Uint16(p.Payload[2:4])
+		}
+	}
+	return f
+}
+
+// Reverse returns the flow as seen from the opposite direction.
+func (f Flow) Reverse() Flow {
+	return Flow{
+		Src: f.Dst, Dst: f.Src,
+		SrcPort: f.DstPort, DstPort: f.SrcPort,
+		Protocol: f.Protocol,
+	}
+}
+
+// String renders the flow for logs and error messages.
+func (f Flow) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%d", f.Src, f.SrcPort, f.Dst, f.DstPort, f.Protocol)
+}

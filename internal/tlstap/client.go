@@ -1,0 +1,85 @@
+package tlstap
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+
+	"endbox/internal/packet"
+)
+
+// KeyForwarder receives session keys as applications negotiate them. In the
+// real system this is the OpenVPN management interface: the modified
+// OpenSSL adds "a single call to a custom function, which forwards
+// negotiated keys via the OpenVPN management interface" (paper §III-D).
+type KeyForwarder func(flow packet.Flow, key SessionKey)
+
+// ClientLibrary simulates the custom untrusted TLS library applications
+// link against. Each Handshake creates a session whose key is both kept
+// locally (to encrypt application traffic) and forwarded to the enclave.
+type ClientLibrary struct {
+	mu       sync.Mutex
+	forward  KeyForwarder
+	sessions map[packet.Flow]SessionKey
+}
+
+// NewClientLibrary builds the library with the given forwarding hook. A nil
+// forwarder models an application using a stock (unmodified) TLS library:
+// sessions still work, but the enclave never learns the keys, so the
+// TLSDecrypt element cannot inspect that traffic.
+func NewClientLibrary(forward KeyForwarder) *ClientLibrary {
+	return &ClientLibrary{
+		forward:  forward,
+		sessions: make(map[packet.Flow]SessionKey),
+	}
+}
+
+// Handshake simulates a TLS handshake for a flow, generating a fresh
+// session key. The server the client talks to is assumed to hold the same
+// key (we skip the key exchange itself; nothing in the evaluation depends
+// on it).
+func (l *ClientLibrary) Handshake(flow packet.Flow) (SessionKey, error) {
+	var k SessionKey
+	if _, err := rand.Read(k[:]); err != nil {
+		return SessionKey{}, fmt.Errorf("tlstap: session key: %w", err)
+	}
+	l.mu.Lock()
+	l.sessions[normalise(flow)] = k
+	l.mu.Unlock()
+	if l.forward != nil {
+		l.forward(flow, k)
+	}
+	return k, nil
+}
+
+// Encrypt produces an application-data record on an established session.
+func (l *ClientLibrary) Encrypt(flow packet.Flow, plaintext []byte) ([]byte, error) {
+	k, ok := l.session(flow)
+	if !ok {
+		return nil, ErrNoKey
+	}
+	return EncryptRecord(k, plaintext)
+}
+
+// Decrypt opens a record received on an established session.
+func (l *ClientLibrary) Decrypt(flow packet.Flow, record []byte) ([]byte, error) {
+	k, ok := l.session(flow)
+	if !ok {
+		return nil, ErrNoKey
+	}
+	return DecryptRecord(k, record)
+}
+
+// Close discards a session's local key.
+func (l *ClientLibrary) Close(flow packet.Flow) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.sessions, normalise(flow))
+}
+
+func (l *ClientLibrary) session(flow packet.Flow) (SessionKey, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k, ok := l.sessions[normalise(flow)]
+	return k, ok
+}

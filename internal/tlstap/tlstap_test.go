@@ -1,0 +1,242 @@
+package tlstap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"endbox/internal/packet"
+)
+
+func testFlow() packet.Flow {
+	return packet.Flow{
+		Src: packet.MustParseAddr("10.8.0.2"), SrcPort: 41000,
+		Dst: packet.MustParseAddr("93.184.216.34"), DstPort: 443,
+		Protocol: packet.ProtoTCP,
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var k SessionKey
+	copy(k[:], "0123456789abcdef")
+	for _, size := range []int{0, 1, 100, 4096, 16000} {
+		pt := bytes.Repeat([]byte{0x5a}, size)
+		rec, err := EncryptRecord(k, pt)
+		if err != nil {
+			t.Fatalf("EncryptRecord(%d): %v", size, err)
+		}
+		got, err := DecryptRecord(k, rec)
+		if err != nil {
+			t.Fatalf("DecryptRecord(%d): %v", size, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Errorf("round trip mismatch at %d bytes", size)
+		}
+	}
+}
+
+func TestRecordHidesPlaintext(t *testing.T) {
+	var k SessionKey
+	rec, err := EncryptRecord(k, bytes.Repeat([]byte("secret"), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(rec, []byte("secretsecret")) {
+		t.Error("record leaks plaintext")
+	}
+}
+
+func TestRecordWrongKey(t *testing.T) {
+	var k1, k2 SessionKey
+	k2[0] = 1
+	rec, err := EncryptRecord(k1, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptRecord(k2, rec); !errors.Is(err, ErrDecryptError) {
+		t.Errorf("wrong key: err = %v, want ErrDecryptError", err)
+	}
+}
+
+func TestRecordTamper(t *testing.T) {
+	var k SessionKey
+	rec, err := EncryptRecord(k, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), rec...)
+	bad[len(bad)-1] ^= 1
+	if _, err := DecryptRecord(k, bad); !errors.Is(err, ErrDecryptError) {
+		t.Errorf("tampered record: err = %v", err)
+	}
+}
+
+func TestRecordMalformed(t *testing.T) {
+	var k SessionKey
+	cases := map[string][]byte{
+		"short":       {1, 2},
+		"wrong type":  {22, 3, 3, 0, 0},
+		"wrong ver":   {23, 3, 9, 0, 0},
+		"trunc body":  {23, 3, 3, 0, 50, 1, 2, 3},
+		"short nonce": {23, 3, 3, 0, 4, 1, 2, 3, 4},
+	}
+	for name, rec := range cases {
+		if _, err := DecryptRecord(k, rec); !errors.Is(err, ErrBadRecord) {
+			t.Errorf("%s: err = %v, want ErrBadRecord", name, err)
+		}
+	}
+}
+
+func TestDecryptStreamMultipleRecords(t *testing.T) {
+	var k SessionKey
+	var buf []byte
+	var want []byte
+	for i := 0; i < 3; i++ {
+		pt := bytes.Repeat([]byte{byte('a' + i)}, 50)
+		rec, err := EncryptRecord(k, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, rec...)
+		want = append(want, pt...)
+	}
+	got, consumed, err := DecryptStream(k, buf)
+	if err != nil {
+		t.Fatalf("DecryptStream: %v", err)
+	}
+	if consumed != len(buf) {
+		t.Errorf("consumed %d of %d", consumed, len(buf))
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("stream plaintext mismatch")
+	}
+}
+
+func TestDecryptStreamPartialTrailing(t *testing.T) {
+	var k SessionKey
+	rec, err := EncryptRecord(k, []byte("complete"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := append(append([]byte(nil), rec...), rec[:len(rec)-5]...)
+	got, consumed, err := DecryptStream(k, buf)
+	if err != nil {
+		t.Fatalf("DecryptStream: %v", err)
+	}
+	if consumed != len(rec) {
+		t.Errorf("consumed %d, want %d", consumed, len(rec))
+	}
+	if string(got) != "complete" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestKeyTableDirectionNormalisation(t *testing.T) {
+	tbl := NewKeyTable()
+	f := testFlow()
+	var k SessionKey
+	k[5] = 42
+	tbl.Put(f, k)
+	if got, ok := tbl.Get(f); !ok || got != k {
+		t.Error("forward lookup failed")
+	}
+	if got, ok := tbl.Get(f.Reverse()); !ok || got != k {
+		t.Error("reverse lookup failed")
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+	tbl.Delete(f.Reverse())
+	if _, ok := tbl.Get(f); ok {
+		t.Error("delete via reverse flow failed")
+	}
+}
+
+func TestKeyTableNormalisationProperty(t *testing.T) {
+	f := func(a, b [4]byte, pa, pb uint16) bool {
+		fl := packet.Flow{Src: packet.Addr(a), Dst: packet.Addr(b), SrcPort: pa, DstPort: pb, Protocol: packet.ProtoTCP}
+		return normalise(fl) == normalise(fl.Reverse())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientLibraryForwardsKeys(t *testing.T) {
+	tbl := NewKeyTable()
+	lib := NewClientLibrary(func(f packet.Flow, k SessionKey) { tbl.Put(f, k) })
+	f := testFlow()
+
+	k, err := lib.Handshake(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tbl.Get(f)
+	if !ok {
+		t.Fatal("key not forwarded to table")
+	}
+	if got != k {
+		t.Error("forwarded key differs")
+	}
+
+	// Application encrypts; enclave-side decrypts with the escrowed key.
+	rec, err := lib.Encrypt(f, []byte("GET / HTTP/1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	escrowKey, _ := tbl.Get(f)
+	pt, err := DecryptRecord(escrowKey, rec)
+	if err != nil {
+		t.Fatalf("enclave decrypt: %v", err)
+	}
+	if string(pt) != "GET / HTTP/1.1" {
+		t.Errorf("plaintext = %q", pt)
+	}
+}
+
+func TestClientLibraryStockNoForwarding(t *testing.T) {
+	lib := NewClientLibrary(nil) // stock TLS library
+	f := testFlow()
+	if _, err := lib.Handshake(f); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := lib.Encrypt(f, []byte("hidden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := lib.Decrypt(f, rec)
+	if err != nil || string(pt) != "hidden" {
+		t.Errorf("local round trip failed: %q, %v", pt, err)
+	}
+}
+
+func TestClientLibraryClose(t *testing.T) {
+	lib := NewClientLibrary(nil)
+	f := testFlow()
+	if _, err := lib.Handshake(f); err != nil {
+		t.Fatal(err)
+	}
+	lib.Close(f)
+	if _, err := lib.Encrypt(f, []byte("x")); !errors.Is(err, ErrNoKey) {
+		t.Errorf("closed session usable: err = %v", err)
+	}
+	if _, err := lib.Decrypt(f, []byte("x")); !errors.Is(err, ErrNoKey) {
+		t.Errorf("closed session decrypts: err = %v", err)
+	}
+}
+
+func BenchmarkDecryptRecord1400(b *testing.B) {
+	var k SessionKey
+	rec, err := EncryptRecord(k, make([]byte, 1400))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecryptRecord(k, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

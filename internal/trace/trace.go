@@ -1,0 +1,150 @@
+// Package trace generates the deterministic synthetic workloads the
+// benchmark harness feeds into EndBox, substituting for evaluation inputs
+// this reproduction cannot obtain (DESIGN.md §2): the Alexa top-1000 page
+// set behind Fig. 6, the HTTPS exchanges behind Table I, iperf-style bulk
+// flows behind Figs. 8-10, and DDoS floods for the prevention use case.
+// Every generator is seeded, so runs are reproducible.
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"endbox/internal/packet"
+)
+
+// PageSpec describes one synthetic "Alexa" website for the page-load
+// experiment (paper Fig. 6): how much data the page pulls, over how many
+// objects, from how far away.
+type PageSpec struct {
+	// Rank is the site's popularity rank (1-based).
+	Rank int
+	// TotalBytes is the page weight across all objects.
+	TotalBytes int
+	// Objects is the number of HTTP objects fetched.
+	Objects int
+	// RTT is the network round-trip to the site.
+	RTT time.Duration
+}
+
+// AlexaPages generates n page specifications with a realistic long-tailed
+// weight distribution (median ≈ 2 MB, tail to tens of MB), 10-120 objects,
+// and RTTs from 10 ms (CDN) to 300 ms (intercontinental).
+func AlexaPages(n int, seed int64) []PageSpec {
+	rnd := rand.New(rand.NewSource(seed))
+	pages := make([]PageSpec, n)
+	for i := range pages {
+		// Log-normal page weight around 2 MB.
+		weight := math.Exp(rnd.NormFloat64()*0.7) * 2e6
+		if weight < 5e4 {
+			weight = 5e4
+		}
+		if weight > 5e7 {
+			weight = 5e7
+		}
+		objects := 10 + rnd.Intn(111)
+		rtt := time.Duration(10+rnd.ExpFloat64()*40) * time.Millisecond
+		if rtt > 300*time.Millisecond {
+			rtt = 300 * time.Millisecond
+		}
+		pages[i] = PageSpec{
+			Rank:       i + 1,
+			TotalBytes: int(weight),
+			Objects:    objects,
+			RTT:        rtt,
+		}
+	}
+	return pages
+}
+
+// BulkFlow produces iperf-style UDP datagrams of a fixed on-wire size, the
+// workload behind the throughput sweeps (paper §V-B: "We conduct the
+// throughput measurements using iperf"). The payload is zero-filled like
+// iperf's default, which the generated IDPS rules never match.
+type BulkFlow struct {
+	Src, Dst   packet.Addr
+	PacketSize int
+	pkt        []byte
+	seq        uint16
+}
+
+// NewBulkFlow builds a flow template; PacketSize is the full IP datagram
+// size.
+func NewBulkFlow(src, dst packet.Addr, packetSize int) (*BulkFlow, error) {
+	pkt, err := packet.PadToSize(src, dst, 40000, 5201, packetSize)
+	if err != nil {
+		return nil, err
+	}
+	return &BulkFlow{Src: src, Dst: dst, PacketSize: packetSize, pkt: pkt}, nil
+}
+
+// Next returns the next datagram. The returned slice is reused; callers
+// that retain it must copy.
+func (f *BulkFlow) Next() []byte {
+	f.seq++
+	return f.pkt
+}
+
+// HTTPExchange describes one HTTPS request/response for the Table I
+// experiment.
+type HTTPExchange struct {
+	Request      []byte
+	ResponseSize int
+}
+
+// HTTPSGet builds the paper's Table I exchanges: a small GET request and a
+// response of the given size, which the server side answers in MTU-sized
+// TLS records.
+func HTTPSGet(responseSize int) HTTPExchange {
+	return HTTPExchange{
+		Request:      []byte("GET /static/object HTTP/1.1\r\nHost: testsrv.managed.example\r\n\r\n"),
+		ResponseSize: responseSize,
+	}
+}
+
+// ResponseBody produces a deterministic response payload of the exchange's
+// size (ASCII text, so DPI rules can scan it without matching).
+func (e HTTPExchange) ResponseBody() []byte {
+	body := make([]byte, e.ResponseSize)
+	const filler = "HTTP/1.1 200 OK body filler text "
+	for i := range body {
+		body[i] = filler[i%len(filler)]
+	}
+	return body
+}
+
+// Flood produces the identical repeated packets of a DDoS source (paper
+// §V-B: "rate limiting identical packets"). All packets share payload and
+// 5-tuple, which the DDoS pipeline detects and throttles.
+func Flood(src, dst packet.Addr, count, size int) [][]byte {
+	pkt, err := packet.PadToSize(src, dst, 666, 80, size)
+	if err != nil {
+		// Size is a caller constant; treat misuse as a programming error.
+		panic(err)
+	}
+	out := make([][]byte, count)
+	for i := range out {
+		out[i] = pkt
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0-100) of a sorted duration
+// slice using nearest-rank.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"endbox/internal/packet"
+)
+
+func TestAlexaPagesDeterministic(t *testing.T) {
+	a := AlexaPages(1000, 1)
+	b := AlexaPages(1000, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("page %d differs between runs", i)
+		}
+	}
+	c := AlexaPages(1000, 2)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical pages")
+	}
+}
+
+func TestAlexaPagesPlausible(t *testing.T) {
+	pages := AlexaPages(1000, 42)
+	if len(pages) != 1000 {
+		t.Fatalf("len = %d", len(pages))
+	}
+	var totalBytes int64
+	for _, p := range pages {
+		if p.TotalBytes < 5e4 || p.TotalBytes > 5e7 {
+			t.Errorf("page %d weight %d out of range", p.Rank, p.TotalBytes)
+		}
+		if p.Objects < 10 || p.Objects > 120 {
+			t.Errorf("page %d objects %d out of range", p.Rank, p.Objects)
+		}
+		if p.RTT < 10*time.Millisecond || p.RTT > 300*time.Millisecond {
+			t.Errorf("page %d RTT %v out of range", p.Rank, p.RTT)
+		}
+		totalBytes += int64(p.TotalBytes)
+	}
+	mean := totalBytes / int64(len(pages))
+	if mean < 1e6 || mean > 1e7 {
+		t.Errorf("mean page weight %d implausible", mean)
+	}
+}
+
+func TestBulkFlowSizes(t *testing.T) {
+	for _, size := range []int{256, 1024, 1500, 4096, 16384, 65507} {
+		f, err := NewBulkFlow(packet.AddrFrom(10, 8, 0, 2), packet.AddrFrom(10, 8, 0, 1), size)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		pkt := f.Next()
+		if len(pkt) != size {
+			t.Errorf("size %d: packet is %d bytes", size, len(pkt))
+		}
+		if _, err := packet.ParseIPv4(pkt); err != nil {
+			t.Errorf("size %d: unparsable: %v", size, err)
+		}
+	}
+	if _, err := NewBulkFlow(packet.Addr{}, packet.Addr{}, 10); err == nil {
+		t.Error("tiny size accepted")
+	}
+}
+
+func TestHTTPSGetExchange(t *testing.T) {
+	e := HTTPSGet(16 << 10)
+	if len(e.Request) == 0 {
+		t.Error("empty request")
+	}
+	body := e.ResponseBody()
+	if len(body) != 16<<10 {
+		t.Errorf("body = %d bytes", len(body))
+	}
+	// Deterministic.
+	if string(body) != string(e.ResponseBody()) {
+		t.Error("response body not deterministic")
+	}
+}
+
+func TestFloodIdenticalPackets(t *testing.T) {
+	pkts := Flood(packet.AddrFrom(10, 8, 0, 2), packet.AddrFrom(192, 0, 2, 1), 10, 512)
+	if len(pkts) != 10 {
+		t.Fatalf("count = %d", len(pkts))
+	}
+	for i := 1; i < len(pkts); i++ {
+		if string(pkts[i]) != string(pkts[0]) {
+			t.Error("flood packets differ")
+		}
+	}
+	if len(pkts[0]) != 512 {
+		t.Errorf("size = %d", len(pkts[0]))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10},
+	}
+	for _, tt := range tests {
+		if got := Percentile(ds, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package udptransport frames the EndBox control and data messages that
+// the cmd/endbox-server and cmd/endbox-client binaries exchange over UDP:
+// platform registration, remote attestation, the VPN handshake,
+// configuration fetches and data-channel frames. Each datagram is one
+// message: a single type byte followed by the body (JSON for control
+// messages, raw wire frames for data).
+package udptransport
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Message types.
+const (
+	// MsgRegister registers the client platform's quoting-enclave key
+	// with the IAS (standing in for Intel's manufacturing provisioning).
+	MsgRegister byte = 'R'
+	// MsgRegisterOK acknowledges registration.
+	MsgRegisterOK byte = 'r'
+	// MsgQuote submits an attestation quote for enrolment.
+	MsgQuote byte = 'Q'
+	// MsgProvision answers with the certificate + sealed shared key.
+	MsgProvision byte = 'P'
+	// MsgHello opens the VPN handshake.
+	MsgHello byte = 'H'
+	// MsgServerHello answers the handshake.
+	MsgServerHello byte = 'S'
+	// MsgFrame carries one sealed data-channel frame (either direction).
+	MsgFrame byte = 'D'
+	// MsgFetch requests a configuration blob by version (8-byte big
+	// endian body).
+	MsgFetch byte = 'F'
+	// MsgConfig answers a fetch with the sealed update blob.
+	MsgConfig byte = 'C'
+	// MsgError carries a textual error.
+	MsgError byte = '!'
+)
+
+// MaxDatagram bounds message sizes (fits a 64 kB tunnelled packet plus
+// framing overhead within the UDP maximum).
+const MaxDatagram = 65507
+
+// ErrShortMessage reports an empty datagram.
+var ErrShortMessage = errors.New("udptransport: empty datagram")
+
+// Register is the body of MsgRegister.
+type Register struct {
+	PlatformID string            `json:"platform_id"`
+	Key        ed25519.PublicKey `json:"key"`
+}
+
+// Encode prepends the type byte to a body.
+func Encode(msgType byte, body []byte) []byte {
+	out := make([]byte, 1+len(body))
+	out[0] = msgType
+	copy(out[1:], body)
+	return out
+}
+
+// EncodeJSON marshals body and frames it.
+func EncodeJSON(msgType byte, body any) ([]byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: marshal %c: %w", msgType, err)
+	}
+	if len(raw)+1 > MaxDatagram {
+		return nil, fmt.Errorf("udptransport: %c message too large (%d bytes)", msgType, len(raw))
+	}
+	return Encode(msgType, raw), nil
+}
+
+// Decode splits a datagram into type and body. The body aliases the input.
+func Decode(datagram []byte) (byte, []byte, error) {
+	if len(datagram) == 0 {
+		return 0, nil, ErrShortMessage
+	}
+	return datagram[0], datagram[1:], nil
+}
+
+// DecodeJSON unmarshals a message body.
+func DecodeJSON(body []byte, into any) error {
+	if err := json.Unmarshal(body, into); err != nil {
+		return fmt.Errorf("udptransport: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Errorf builds a MsgError datagram.
+func Errorf(format string, args ...any) []byte {
+	return Encode(MsgError, []byte(fmt.Sprintf(format, args...)))
+}
+
+// ChunkPayload is the maximum data bytes per configuration chunk,
+// conservative against the UDP maximum after framing.
+const ChunkPayload = 60000
+
+// EncodeChunks splits a large blob into MsgConfig datagrams, each carrying
+// [2-byte index][2-byte total][data]. Configuration blobs with full rule
+// sets exceed a single UDP datagram.
+func EncodeChunks(blob []byte) [][]byte {
+	total := (len(blob) + ChunkPayload - 1) / ChunkPayload
+	if total == 0 {
+		total = 1
+	}
+	out := make([][]byte, 0, total)
+	for i := 0; i < total; i++ {
+		start := i * ChunkPayload
+		end := start + ChunkPayload
+		if end > len(blob) {
+			end = len(blob)
+		}
+		body := make([]byte, 4+end-start)
+		body[0], body[1] = byte(i>>8), byte(i)
+		body[2], body[3] = byte(total>>8), byte(total)
+		copy(body[4:], blob[start:end])
+		out = append(out, Encode(MsgConfig, body))
+	}
+	return out
+}
+
+// DecodeChunk splits a MsgConfig body into its index, total and data.
+func DecodeChunk(body []byte) (index, total int, data []byte, err error) {
+	if len(body) < 4 {
+		return 0, 0, nil, fmt.Errorf("udptransport: short chunk")
+	}
+	index = int(body[0])<<8 | int(body[1])
+	total = int(body[2])<<8 | int(body[3])
+	if total == 0 || index >= total {
+		return 0, 0, nil, fmt.Errorf("udptransport: bad chunk header %d/%d", index, total)
+	}
+	return index, total, body[4:], nil
+}

@@ -1,0 +1,123 @@
+package udptransport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecode(t *testing.T) {
+	msg := Encode(MsgFrame, []byte("frame-bytes"))
+	msgType, body, err := Decode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != MsgFrame || string(body) != "frame-bytes" {
+		t.Errorf("got %c %q", msgType, body)
+	}
+	if _, _, err := Decode(nil); !errors.Is(err, ErrShortMessage) {
+		t.Errorf("empty datagram: err = %v", err)
+	}
+}
+
+func TestEncodeDecodeJSON(t *testing.T) {
+	reg := Register{PlatformID: "platform-1", Key: bytes.Repeat([]byte{7}, 32)}
+	msg, err := EncodeJSON(MsgRegister, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgType, body, err := Decode(msg)
+	if err != nil || msgType != MsgRegister {
+		t.Fatalf("type %c err %v", msgType, err)
+	}
+	var back Register
+	if err := DecodeJSON(body, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PlatformID != reg.PlatformID || !bytes.Equal(back.Key, reg.Key) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestEncodeJSONTooLarge(t *testing.T) {
+	huge := Register{PlatformID: string(bytes.Repeat([]byte{'x'}, MaxDatagram))}
+	if _, err := EncodeJSON(MsgRegister, huge); err == nil {
+		t.Error("oversized message accepted")
+	}
+}
+
+func TestErrorf(t *testing.T) {
+	msgType, body, err := Decode(Errorf("bad %d", 42))
+	if err != nil || msgType != MsgError || string(body) != "bad 42" {
+		t.Errorf("got %c %q %v", msgType, body, err)
+	}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	for _, size := range []int{0, 1, ChunkPayload - 1, ChunkPayload, ChunkPayload + 1, 3*ChunkPayload + 17} {
+		blob := bytes.Repeat([]byte{0xAB}, size)
+		for i := range blob {
+			blob[i] = byte(i)
+		}
+		chunks := EncodeChunks(blob)
+		wantChunks := (size + ChunkPayload - 1) / ChunkPayload
+		if wantChunks == 0 {
+			wantChunks = 1
+		}
+		if len(chunks) != wantChunks {
+			t.Fatalf("size %d: %d chunks, want %d", size, len(chunks), wantChunks)
+		}
+		var back []byte
+		for i, c := range chunks {
+			msgType, body, err := Decode(c)
+			if err != nil || msgType != MsgConfig {
+				t.Fatalf("chunk %d: type %c err %v", i, msgType, err)
+			}
+			idx, total, data, err := DecodeChunk(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx != i || total != wantChunks {
+				t.Fatalf("chunk header %d/%d, want %d/%d", idx, total, i, wantChunks)
+			}
+			back = append(back, data...)
+		}
+		if !bytes.Equal(back, blob) {
+			t.Errorf("size %d: reassembly mismatch", size)
+		}
+	}
+}
+
+func TestChunkProperty(t *testing.T) {
+	f := func(blob []byte) bool {
+		var back []byte
+		for _, c := range EncodeChunks(blob) {
+			_, body, err := Decode(c)
+			if err != nil {
+				return false
+			}
+			_, _, data, err := DecodeChunk(body)
+			if err != nil {
+				return false
+			}
+			back = append(back, data...)
+		}
+		return bytes.Equal(back, blob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeChunkErrors(t *testing.T) {
+	if _, _, _, err := DecodeChunk([]byte{1, 2}); err == nil {
+		t.Error("short chunk accepted")
+	}
+	if _, _, _, err := DecodeChunk([]byte{0, 5, 0, 3, 1}); err == nil {
+		t.Error("index >= total accepted")
+	}
+	if _, _, _, err := DecodeChunk([]byte{0, 0, 0, 0}); err == nil {
+		t.Error("zero total accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package vpn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ClientOptions configures a VPN client endpoint.
+type ClientOptions struct {
+	// ID identifies the client to the server. Required.
+	ID string
+	// Plane seals and opens data-channel payloads. For EndBox this wraps
+	// the enclave (one ecall per packet); for vanilla OpenVPN it is a
+	// PlainDataPlane. Required.
+	Plane DataPlane
+	// Send transmits frames to the server. Required.
+	Send func(frame []byte) error
+	// Deliver hands decrypted, accepted inbound packets to local
+	// applications. Optional.
+	Deliver func(ip []byte)
+	// OnAnnounce fires when a server ping announces a configuration
+	// version newer than the client's. The core update loop fetches and
+	// applies the configuration from here (paper Fig. 5 step 5). Optional.
+	OnAnnounce func(version uint64, grace time.Duration)
+	// ConfigVersion reports the currently applied middlebox configuration
+	// version for inclusion in pings. Optional; defaults to 0.
+	ConfigVersion func() uint64
+	// Clock is the time source (default time.Now).
+	Clock Clock
+}
+
+// Client is the user-space VPN client endpoint. All sensitive work happens
+// in the injected DataPlane; the client handles framing, ping multiplexing
+// and delivery — the parts the paper leaves outside the enclave (Fig. 3:
+// fragmentation, encapsulation, socket I/O).
+type Client struct {
+	opts ClientOptions
+
+	mu       sync.Mutex
+	lastPing Ping
+	pingSeen bool
+}
+
+// NewClient validates options and creates the endpoint.
+func NewClient(opts ClientOptions) (*Client, error) {
+	if opts.ID == "" {
+		return nil, fmt.Errorf("vpn: ClientOptions.ID required")
+	}
+	if opts.Plane == nil {
+		return nil, fmt.Errorf("vpn: ClientOptions.Plane required")
+	}
+	if opts.Send == nil {
+		return nil, fmt.Errorf("vpn: ClientOptions.Send required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.ConfigVersion == nil {
+		opts.ConfigVersion = func() uint64 { return 0 }
+	}
+	return &Client{opts: opts}, nil
+}
+
+// SendPacket tunnels one IP packet: tag, hand to the data plane (Click +
+// seal inside the enclave for EndBox) and transmit. A middlebox drop is
+// reported as ErrDropped.
+func (c *Client) SendPacket(ip []byte) error {
+	payload := make([]byte, 1+len(ip))
+	payload[0] = FrameData
+	copy(payload[1:], ip)
+	frame, err := c.opts.Plane.SealOutbound(payload)
+	if err != nil {
+		return err
+	}
+	return c.opts.Send(frame)
+}
+
+// HandleFrame processes a frame from the server: open (verify, decrypt,
+// replay-check, run ingress middlebox), then deliver data or record pings.
+func (c *Client) HandleFrame(frame []byte) error {
+	payload, err := c.opts.Plane.OpenInbound(frame)
+	if err != nil {
+		if errors.Is(err, ErrDropped) {
+			return err
+		}
+		return err
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("vpn: empty payload from server")
+	}
+	switch payload[0] {
+	case FrameData:
+		if c.opts.Deliver != nil {
+			c.opts.Deliver(payload[1:])
+		}
+		return nil
+	case FramePing:
+		ping, err := DecodePing(payload[1:])
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.lastPing = ping
+		c.pingSeen = true
+		c.mu.Unlock()
+		if c.opts.OnAnnounce != nil && ping.ConfigVersion > c.opts.ConfigVersion() {
+			c.opts.OnAnnounce(ping.ConfigVersion, time.Duration(ping.GraceSeconds)*time.Second)
+		}
+		return nil
+	default:
+		return fmt.Errorf("vpn: unknown frame type %d from server", payload[0])
+	}
+}
+
+// SendPing reports the client's applied configuration version to the server
+// (paper Fig. 5 step 9: the client proves its successful update).
+func (c *Client) SendPing() error {
+	ping := Ping{
+		SentUnixNano:  c.opts.Clock().UnixNano(),
+		ConfigVersion: c.opts.ConfigVersion(),
+	}
+	frame, err := c.opts.Plane.SealOutbound(EncodePing(ping))
+	if err != nil {
+		return err
+	}
+	return c.opts.Send(frame)
+}
+
+// LastPing returns the most recent ping received from the server.
+func (c *Client) LastPing() (Ping, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastPing, c.pingSeen
+}

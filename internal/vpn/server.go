@@ -1,0 +1,365 @@
+package vpn
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"time"
+
+	"endbox/internal/attest"
+	"endbox/internal/config"
+	"endbox/internal/packet"
+	"endbox/internal/wire"
+)
+
+// ServerOptions configures a VPN server.
+type ServerOptions struct {
+	// CAPub verifies client certificates and is required.
+	CAPub ed25519.PublicKey
+	// Credential endorses the server key; obtain it from the CA with
+	// SignServerKey. Required.
+	Credential []byte
+	// SignKey is the server's handshake signing key. Required.
+	SignKey ed25519.PrivateKey
+	// MinTLS is the lowest TLS version accepted (default TLS12). OpenVPN
+	// implements this server-side check; EndBox adds the in-enclave
+	// client-side check (paper §V-A).
+	MinTLS uint16
+	// Mode selects the data-channel protection (default ModeEncrypted).
+	Mode wire.Mode
+	// Clock is the time source (default time.Now).
+	Clock Clock
+	// Deliver receives decrypted, accepted packets bound for the managed
+	// network. Required for data traffic.
+	Deliver func(clientID string, ip []byte)
+	// SendTo transmits frames back to a client. Required for server->client
+	// traffic and pings.
+	SendTo func(clientID string, frame []byte) error
+	// Process optionally runs a server-side middlebox over decrypted
+	// client->network packets (the OpenVPN+Click baseline). It returns
+	// false to drop. Nil accepts everything (vanilla OpenVPN).
+	Process func(ip []byte) bool
+	// ScrubTOS controls whether the server clears the 0xeb "already
+	// processed" QoS flag on packets entering from outside so external
+	// attackers cannot forge it (paper §IV-A). Enabled by default.
+	ScrubTOS *bool
+}
+
+// VIFStats are per-client virtual interface counters; the scalability
+// experiments aggregate them across all clients (paper §V-E: "throughput is
+// aggregated over all virtual interfaces set up by the OpenVPN servers").
+type VIFStats struct {
+	RxPackets, RxBytes uint64 // client -> network
+	TxPackets, TxBytes uint64 // network -> client
+	Dropped            uint64
+}
+
+type session struct {
+	sess            *wire.Session
+	cert            *attest.Certificate
+	reportedVersion uint64
+	stats           VIFStats
+}
+
+// Server is the EndBox VPN server: the sole entry point into the managed
+// network (paper §III-A). It accepts traffic only from attested clients
+// with valid certificates and, after a configuration update's grace period
+// expires, only from clients running the current middlebox configuration.
+type Server struct {
+	opts   ServerOptions
+	policy *config.Policy
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+// NewServer validates options and creates a server.
+func NewServer(opts ServerOptions) (*Server, error) {
+	if len(opts.CAPub) == 0 {
+		return nil, fmt.Errorf("vpn: ServerOptions.CAPub required")
+	}
+	if len(opts.SignKey) == 0 {
+		return nil, fmt.Errorf("vpn: ServerOptions.SignKey required")
+	}
+	if len(opts.Credential) == 0 {
+		return nil, fmt.Errorf("vpn: ServerOptions.Credential required")
+	}
+	if opts.MinTLS == 0 {
+		opts.MinTLS = TLS12
+	}
+	if opts.Mode == 0 {
+		opts.Mode = wire.ModeEncrypted
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.ScrubTOS == nil {
+		scrub := true
+		opts.ScrubTOS = &scrub
+	}
+	return &Server{
+		opts:     opts,
+		policy:   config.NewPolicy(func() time.Time { return opts.Clock() }),
+		sessions: make(map[string]*session),
+	}, nil
+}
+
+// Policy exposes the configuration enforcement policy; the management
+// interface announces updates through it.
+func (s *Server) Policy() *config.Policy { return s.policy }
+
+// Mode reports the data-channel protection mode.
+func (s *Server) Mode() wire.Mode { return s.opts.Mode }
+
+// Accept runs the server side of the handshake: verify the certificate
+// chain and transcript signature, negotiate the TLS version, derive the
+// session and install the client's virtual interface.
+func (s *Server) Accept(hello *ClientHello) (*ServerHello, error) {
+	if hello.Cert == nil {
+		return nil, ErrBadCert
+	}
+	if err := hello.Cert.Verify(s.opts.CAPub, s.opts.Clock()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCert, err)
+	}
+	if !ed25519.Verify(hello.Cert.Keys.SignPub, hello.transcript(), hello.Signature) {
+		return nil, ErrBadSignature
+	}
+	if hello.MaxTLS < s.opts.MinTLS {
+		return nil, fmt.Errorf("%w: client max %#x < server min %#x", ErrDowngrade, hello.MaxTLS, s.opts.MinTLS)
+	}
+	chosen := hello.MaxTLS
+	if chosen > TLS13 {
+		chosen = TLS13
+	}
+
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("vpn: ephemeral key: %w", err)
+	}
+	sh := &ServerHello{
+		EphPub:        eph.PublicKey().Bytes(),
+		ChosenTLS:     chosen,
+		ConfigVersion: s.policy.Current(),
+		ServerPub:     s.opts.SignKey.Public().(ed25519.PublicKey),
+		ServerPubSig:  s.opts.Credential,
+	}
+	if _, err := rand.Read(sh.Nonce[:]); err != nil {
+		return nil, fmt.Errorf("vpn: nonce: %w", err)
+	}
+	sh.Signature = ed25519.Sign(s.opts.SignKey, sh.transcript(hello.transcript()))
+
+	master, err := deriveMaster(eph, hello.EphPub, hello.Nonce, sh.Nonce)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := wire.NewSession(master, s.opts.Mode, false)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.sessions[hello.ClientID]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, hello.ClientID)
+	}
+	s.sessions[hello.ClientID] = &session{
+		sess:            sess,
+		cert:            hello.Cert,
+		reportedVersion: hello.ConfigVersion,
+	}
+	return sh, nil
+}
+
+// Disconnect removes a client session.
+func (s *Server) Disconnect(clientID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, clientID)
+}
+
+// ClientCount reports connected clients.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// HandleFrame processes one frame arriving from a client: authenticate and
+// decrypt, reject replays, enforce the configuration policy, handle pings,
+// scrub the client-to-client QoS flag on delivery, and hand accepted
+// packets to the network.
+func (s *Server) HandleFrame(clientID string, frame []byte) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[clientID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	payload, err := sess.sess.Open(frame)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("vpn: empty payload from %q", clientID)
+	}
+	switch payload[0] {
+	case FramePing:
+		ping, err := DecodePing(payload[1:])
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		sess.reportedVersion = ping.ConfigVersion
+		s.mu.Unlock()
+		return nil
+	case FrameData:
+		if !s.policy.Accepts(atomicLoadVersion(s, sess)) {
+			s.mu.Lock()
+			sess.stats.Dropped++
+			s.mu.Unlock()
+			return fmt.Errorf("%w: client %q at version %d, need %d",
+				ErrStaleConfig, clientID, sess.reportedVersion, s.policy.Current())
+		}
+		ip := payload[1:]
+		if s.opts.Process != nil && !s.opts.Process(ip) {
+			s.mu.Lock()
+			sess.stats.Dropped++
+			s.mu.Unlock()
+			return ErrDropped
+		}
+		s.mu.Lock()
+		sess.stats.RxPackets++
+		sess.stats.RxBytes += uint64(len(ip))
+		s.mu.Unlock()
+		if s.opts.Deliver != nil {
+			s.opts.Deliver(clientID, ip)
+		}
+		return nil
+	default:
+		return fmt.Errorf("vpn: unknown frame type %d from %q", payload[0], clientID)
+	}
+}
+
+func atomicLoadVersion(s *Server, sess *session) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sess.reportedVersion
+}
+
+// SendTo tunnels a network packet to a client. Packets entering from the
+// external network have their ProcessedTOS flag scrubbed so outside
+// attackers cannot claim middlebox processing already happened (paper
+// §IV-A); packets relayed between EndBox clients keep it.
+func (s *Server) SendTo(clientID string, ip []byte, fromClient bool) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[clientID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	if *s.opts.ScrubTOS && !fromClient {
+		ip = scrubProcessedTOS(ip)
+	}
+	payload := make([]byte, 1+len(ip))
+	payload[0] = FrameData
+	copy(payload[1:], ip)
+	frame, err := sess.sess.Seal(payload)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	sess.stats.TxPackets++
+	sess.stats.TxBytes += uint64(len(ip))
+	s.mu.Unlock()
+	if s.opts.SendTo == nil {
+		return fmt.Errorf("vpn: no SendTo transport configured")
+	}
+	return s.opts.SendTo(clientID, frame)
+}
+
+// scrubProcessedTOS clears the 0xeb QoS byte, re-serialising the header
+// checksum. Unparsable packets pass unchanged (they will be dropped later).
+func scrubProcessedTOS(ip []byte) []byte {
+	var p packet.IPv4
+	if err := p.Parse(ip); err != nil || p.TOS != packet.ProcessedTOS {
+		return ip
+	}
+	p.TOS = 0
+	return p.Marshal()
+}
+
+// BroadcastPing sends the keepalive/config-announce ping to every connected
+// client (paper Fig. 5 step 4).
+func (s *Server) BroadcastPing(grace time.Duration) error {
+	ping := Ping{
+		SentUnixNano:  s.opts.Clock().UnixNano(),
+		ConfigVersion: s.policy.Current(),
+		GraceSeconds:  uint32(grace / time.Second),
+	}
+	payload := EncodePing(ping)
+
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+
+	var firstErr error
+	for _, id := range ids {
+		s.mu.Lock()
+		sess, ok := s.sessions[id]
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		frame, err := sess.sess.Seal(payload)
+		if err == nil && s.opts.SendTo != nil {
+			err = s.opts.SendTo(id, frame)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats returns a copy of a client's virtual interface counters.
+func (s *Server) Stats(clientID string) (VIFStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[clientID]
+	if !ok {
+		return VIFStats{}, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	return sess.stats, nil
+}
+
+// AggregateStats sums counters over all virtual interfaces.
+func (s *Server) AggregateStats() VIFStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var agg VIFStats
+	for _, sess := range s.sessions {
+		agg.RxPackets += sess.stats.RxPackets
+		agg.RxBytes += sess.stats.RxBytes
+		agg.TxPackets += sess.stats.TxPackets
+		agg.TxBytes += sess.stats.TxBytes
+		agg.Dropped += sess.stats.Dropped
+	}
+	return agg
+}
+
+// ReportedVersion returns the configuration version a client last proved
+// via ping or handshake.
+func (s *Server) ReportedVersion(clientID string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[clientID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	return sess.reportedVersion, nil
+}

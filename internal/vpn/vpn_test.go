@@ -1,0 +1,549 @@
+package vpn
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+
+	"endbox/internal/attest"
+	"endbox/internal/packet"
+	"endbox/internal/sgx"
+	"endbox/internal/wire"
+)
+
+// testPKI builds the complete trust chain once per test: CPU, enclave,
+// QE, IAS, CA, enrolled client identity, and a CA-endorsed server key.
+type testPKI struct {
+	ca         *attest.CA
+	cert       *attest.Certificate
+	signPriv   ed25519.PrivateKey
+	serverKey  ed25519.PrivateKey
+	credential []byte
+}
+
+func newTestPKI(t *testing.T) *testPKI {
+	t.Helper()
+	cpu := sgx.NewCPU("vpn-test")
+	img := sgx.Image{Name: "endbox-client", Version: "1.0.0", Code: []byte("code")}
+	encl, err := cpu.CreateEnclave(img, sgx.Config{Mode: sgx.ModeSimulation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(encl.Destroy)
+	if err := encl.RegisterEcall("report", func(ctx *sgx.Ctx, arg any) (any, error) {
+		return ctx.CreateReport(arg.([]byte)), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := encl.Init(); err != nil {
+		t.Fatal(err)
+	}
+
+	signPub, signPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxPriv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := attest.EnclaveKeys{SignPub: signPub, BoxPub: boxPriv.PublicKey().Bytes()}
+
+	qe, err := attest.NewQuotingEnclave(cpu, "platform-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias, err := attest.NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias.RegisterPlatform(qe)
+	ca, err := attest.NewCA(ias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.AllowMeasurement(encl.Measurement())
+
+	rep, err := encl.Ecall("report", keys.UserData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quote, err := qe.Quote(rep.(sgx.Report))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := ca.Enroll(quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serverPub, serverPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testPKI{
+		ca:         ca,
+		cert:       prov.Certificate,
+		signPriv:   signPriv,
+		serverKey:  serverPriv,
+		credential: ca.SignServerKey(serverPub),
+	}
+}
+
+func (p *testPKI) sign(transcript []byte) ([]byte, error) {
+	return ed25519.Sign(p.signPriv, transcript), nil
+}
+
+// testLink wires a client and server in process, capturing traffic.
+type testLink struct {
+	server    *Server
+	client    *Client
+	delivered [][]byte // packets arriving at the network
+	toClient  [][]byte // packets delivered to client apps
+	clock     *time.Time
+}
+
+func newTestLink(t *testing.T, pki *testPKI, mode wire.Mode) *testLink {
+	t.Helper()
+	now := time.Now() // certificates are issued against the real clock
+	l := &testLink{clock: &now}
+
+	var clientEndpoint *Client
+	srv, err := NewServer(ServerOptions{
+		CAPub:      pki.ca.PublicKey(),
+		Credential: pki.credential,
+		SignKey:    pki.serverKey,
+		Mode:       mode,
+		Clock:      func() time.Time { return *l.clock },
+		Deliver:    func(_ string, ip []byte) { l.delivered = append(l.delivered, append([]byte(nil), ip...)) },
+		SendTo: func(_ string, frame []byte) error {
+			return clientEndpoint.HandleFrame(frame)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.server = srv
+
+	hello, st, err := NewClientHello("client-1", pki.cert, 0, TLS13, pki.sign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := srv.Accept(hello)
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	master, err := FinishClient(st, sh, pki.ca.PublicKey(), TLS12)
+	if err != nil {
+		t.Fatalf("FinishClient: %v", err)
+	}
+	sess, err := wire.NewSession(master, mode, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(ClientOptions{
+		ID:    "client-1",
+		Plane: &PlainDataPlane{Session: sess},
+		Send:  func(frame []byte) error { return srv.HandleFrame("client-1", frame) },
+		Deliver: func(ip []byte) {
+			l.toClient = append(l.toClient, append([]byte(nil), ip...))
+		},
+		Clock: func() time.Time { return *l.clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientEndpoint = cli
+	l.client = cli
+	return l
+}
+
+func testIPPacket(t *testing.T, tos byte) []byte {
+	t.Helper()
+	p := packet.IPv4{
+		TOS: tos, TTL: 64, Protocol: packet.ProtoUDP,
+		Src: packet.MustParseAddr("10.8.0.2"), Dst: packet.MustParseAddr("192.0.2.10"),
+		Payload: (&packet.UDP{SrcPort: 4000, DstPort: 80, Payload: []byte("data")}).Marshal(),
+	}
+	return p.Marshal()
+}
+
+func TestHandshakeAndDataBothDirections(t *testing.T) {
+	pki := newTestPKI(t)
+	l := newTestLink(t, pki, wire.ModeEncrypted)
+
+	ip := testIPPacket(t, 0)
+	if err := l.client.SendPacket(ip); err != nil {
+		t.Fatalf("SendPacket: %v", err)
+	}
+	if len(l.delivered) != 1 || string(l.delivered[0]) != string(ip) {
+		t.Error("packet did not reach the network intact")
+	}
+
+	if err := l.server.SendTo("client-1", ip, false); err != nil {
+		t.Fatalf("SendTo: %v", err)
+	}
+	if len(l.toClient) != 1 || string(l.toClient[0]) != string(ip) {
+		t.Error("packet did not reach the client intact")
+	}
+
+	st, err := l.server.Stats("client-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RxPackets != 1 || st.TxPackets != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHandshakeRejectsForeignCA(t *testing.T) {
+	pki := newTestPKI(t)
+	foreign := newTestPKI(t) // different CA
+
+	srv, err := NewServer(ServerOptions{
+		CAPub:      pki.ca.PublicKey(),
+		Credential: pki.credential,
+		SignKey:    pki.serverKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, _, err := NewClientHello("evil", foreign.cert, 0, TLS13, foreign.sign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Accept(hello); !errors.Is(err, ErrBadCert) {
+		t.Errorf("foreign cert accepted: err = %v", err)
+	}
+}
+
+func TestHandshakeRejectsBadSignature(t *testing.T) {
+	pki := newTestPKI(t)
+	srv, err := NewServer(ServerOptions{
+		CAPub:      pki.ca.PublicKey(),
+		Credential: pki.credential,
+		SignKey:    pki.serverKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signature by a key that does not match the certificate: an attacker
+	// who stole a certificate but not the enclave-held key.
+	_, evilPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, _, err := NewClientHello("thief", pki.cert, 0, TLS13,
+		func(tr []byte) ([]byte, error) { return ed25519.Sign(evilPriv, tr), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Accept(hello); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("stolen cert accepted: err = %v", err)
+	}
+}
+
+func TestDowngradeProtectionServerSide(t *testing.T) {
+	pki := newTestPKI(t)
+	srv, err := NewServer(ServerOptions{
+		CAPub:      pki.ca.PublicKey(),
+		Credential: pki.credential,
+		SignKey:    pki.serverKey,
+		MinTLS:     TLS12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, _, err := NewClientHello("old", pki.cert, 0, 0x0302 /* TLS 1.1 */, pki.sign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Accept(hello); !errors.Is(err, ErrDowngrade) {
+		t.Errorf("downgraded hello accepted: err = %v", err)
+	}
+}
+
+func TestDowngradeProtectionClientSide(t *testing.T) {
+	// The client-side check runs inside the enclave (paper §V-A): even if
+	// the host tampers with the negotiation, FinishClient rejects a version
+	// below the enclave's minimum.
+	pki := newTestPKI(t)
+	srv, err := NewServer(ServerOptions{
+		CAPub:      pki.ca.PublicKey(),
+		Credential: pki.credential,
+		SignKey:    pki.serverKey,
+		MinTLS:     TLS12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, st, err := NewClientHello("c", pki.cert, 0, TLS12, pki.sign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := srv.Accept(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enclave requires TLS 1.3 but the server (legitimately) chose 1.2:
+	// the enclave-side check refuses.
+	if _, err := FinishClient(st, sh, pki.ca.PublicKey(), TLS13); !errors.Is(err, ErrDowngrade) {
+		t.Errorf("client-side downgrade check missed: err = %v", err)
+	}
+}
+
+func TestFinishClientRejectsForgedServer(t *testing.T) {
+	pki := newTestPKI(t)
+	hello, st, err := NewClientHello("c", pki.cert, 0, TLS13, pki.sign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A MITM presents its own key without CA endorsement.
+	evilPub, evilPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &ServerHello{
+		EphPub:       eph.PublicKey().Bytes(),
+		ChosenTLS:    TLS13,
+		ServerPub:    evilPub,
+		ServerPubSig: []byte("forged"),
+	}
+	sh.Signature = ed25519.Sign(evilPriv, sh.transcript(hello.transcript()))
+	if _, err := FinishClient(st, sh, pki.ca.PublicKey(), TLS12); !errors.Is(err, ErrBadServerCred) {
+		t.Errorf("forged server accepted: err = %v", err)
+	}
+}
+
+func TestReplayRejectedByServer(t *testing.T) {
+	pki := newTestPKI(t)
+	l := newTestLink(t, pki, wire.ModeEncrypted)
+
+	var captured []byte
+	origSend := l.client.opts.Send
+	l.client.opts.Send = func(frame []byte) error {
+		captured = append([]byte(nil), frame...)
+		return origSend(frame)
+	}
+	if err := l.client.SendPacket(testIPPacket(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the captured frame.
+	if err := l.server.HandleFrame("client-1", captured); !errors.Is(err, wire.ErrReplay) {
+		t.Errorf("replayed frame: err = %v, want wire.ErrReplay", err)
+	}
+	if len(l.delivered) != 1 {
+		t.Errorf("replay delivered a second packet")
+	}
+}
+
+func TestConfigEnforcementLifecycle(t *testing.T) {
+	pki := newTestPKI(t)
+	l := newTestLink(t, pki, wire.ModeEncrypted)
+	ip := testIPPacket(t, 0)
+
+	// Version 0 traffic flows initially.
+	if err := l.client.SendPacket(ip); err != nil {
+		t.Fatal(err)
+	}
+
+	// Admin announces version 2 with a 30 s grace period.
+	if err := l.server.Policy().Announce(2, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var announced uint64
+	l.client.opts.OnAnnounce = func(v uint64, _ time.Duration) { announced = v }
+	if err := l.server.BroadcastPing(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if announced != 2 {
+		t.Fatalf("client never saw the announcement (got %d)", announced)
+	}
+
+	// During grace, stale traffic still flows.
+	if err := l.client.SendPacket(ip); err != nil {
+		t.Errorf("grace-period traffic blocked: %v", err)
+	}
+
+	// After grace expiry without updating: blocked.
+	*l.clock = l.clock.Add(31 * time.Second)
+	if err := l.client.SendPacket(ip); !errors.Is(err, ErrStaleConfig) {
+		t.Errorf("stale client not blocked: err = %v", err)
+	}
+
+	// Client applies the update and proves it via ping; traffic resumes.
+	l.client.opts.ConfigVersion = func() uint64 { return 2 }
+	if err := l.client.SendPing(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := l.server.ReportedVersion("client-1"); v != 2 {
+		t.Fatalf("server did not record new version: %d", v)
+	}
+	if err := l.client.SendPacket(ip); err != nil {
+		t.Errorf("updated client still blocked: %v", err)
+	}
+}
+
+func TestCraftedPingRejected(t *testing.T) {
+	// A malicious client process cannot forge pings claiming a newer
+	// version: pings ride the MACed data channel, so a crafted frame fails
+	// authentication (paper §III-E).
+	pki := newTestPKI(t)
+	l := newTestLink(t, pki, wire.ModeEncrypted)
+
+	forged := make([]byte, 60)
+	if err := l.server.HandleFrame("client-1", forged); !errors.Is(err, wire.ErrAuthFailed) {
+		t.Errorf("forged ping frame: err = %v, want wire.ErrAuthFailed", err)
+	}
+}
+
+func TestServerScrubsProcessedTOS(t *testing.T) {
+	pki := newTestPKI(t)
+	l := newTestLink(t, pki, wire.ModeEncrypted)
+
+	flagged := testIPPacket(t, packet.ProcessedTOS)
+
+	// External traffic: flag scrubbed.
+	if err := l.server.SendTo("client-1", flagged, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := packet.ParseIPv4(l.toClient[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TOS == packet.ProcessedTOS {
+		t.Error("external packet kept the 0xeb flag")
+	}
+
+	// Client-relayed traffic: flag preserved.
+	if err := l.server.SendTo("client-1", flagged, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err = packet.ParseIPv4(l.toClient[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TOS != packet.ProcessedTOS {
+		t.Error("client-relayed packet lost the 0xeb flag")
+	}
+}
+
+func TestServerSideProcessHook(t *testing.T) {
+	pki := newTestPKI(t)
+	now := time.Now()
+	dropAll := false
+	var cli *Client
+	srv, err := NewServer(ServerOptions{
+		CAPub:      pki.ca.PublicKey(),
+		Credential: pki.credential,
+		SignKey:    pki.serverKey,
+		Clock:      func() time.Time { return now },
+		Process:    func(ip []byte) bool { return !dropAll },
+		SendTo:     func(_ string, frame []byte) error { return cli.HandleFrame(frame) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, st, err := NewClientHello("c", pki.cert, 0, TLS13, pki.sign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := srv.Accept(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, err := FinishClient(st, sh, pki.ca.PublicKey(), TLS12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := wire.NewSession(master, wire.ModeEncrypted, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err = NewClient(ClientOptions{
+		ID:    "c",
+		Plane: &PlainDataPlane{Session: sess},
+		Send:  func(frame []byte) error { return srv.HandleFrame("c", frame) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.SendPacket(testIPPacket(t, 0)); err != nil {
+		t.Errorf("accepting hook dropped: %v", err)
+	}
+	dropAll = true
+	if err := cli.SendPacket(testIPPacket(t, 0)); !errors.Is(err, ErrDropped) {
+		t.Errorf("server-side middlebox drop: err = %v", err)
+	}
+	st2, _ := srv.Stats("c")
+	if st2.Dropped != 1 {
+		t.Errorf("drop not counted: %+v", st2)
+	}
+}
+
+func TestDuplicateClientID(t *testing.T) {
+	pki := newTestPKI(t)
+	l := newTestLink(t, pki, wire.ModeEncrypted)
+	hello, _, err := NewClientHello("client-1", pki.cert, 0, TLS13, pki.sign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.server.Accept(hello); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate id accepted: err = %v", err)
+	}
+	l.server.Disconnect("client-1")
+	if _, err := l.server.Accept(hello); err != nil {
+		t.Errorf("reconnect after disconnect failed: %v", err)
+	}
+}
+
+func TestIntegrityOnlyMode(t *testing.T) {
+	pki := newTestPKI(t)
+	l := newTestLink(t, pki, wire.ModeIntegrityOnly)
+	ip := testIPPacket(t, 0)
+	if err := l.client.SendPacket(ip); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.delivered) != 1 || string(l.delivered[0]) != string(ip) {
+		t.Error("integrity-only round trip failed")
+	}
+	if l.server.Mode() != wire.ModeIntegrityOnly {
+		t.Error("mode not propagated")
+	}
+}
+
+func TestPingRoundTripEncoding(t *testing.T) {
+	p := Ping{SentUnixNano: 123456789, ConfigVersion: 42, GraceSeconds: 30}
+	enc := EncodePing(p)
+	if enc[0] != FramePing {
+		t.Error("missing frame tag")
+	}
+	got, err := DecodePing(enc[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("got %+v, want %+v", got, p)
+	}
+	if _, err := DecodePing(enc); err == nil {
+		t.Error("wrong-length ping decoded")
+	}
+}
+
+func TestUnknownClientFrame(t *testing.T) {
+	pki := newTestPKI(t)
+	l := newTestLink(t, pki, wire.ModeEncrypted)
+	if err := l.server.HandleFrame("ghost", []byte("frame")); !errors.Is(err, ErrUnknownClient) {
+		t.Errorf("err = %v, want ErrUnknownClient", err)
+	}
+	if err := l.server.SendTo("ghost", testIPPacket(t, 0), false); !errors.Is(err, ErrUnknownClient) {
+		t.Errorf("err = %v, want ErrUnknownClient", err)
+	}
+}

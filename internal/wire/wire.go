@@ -1,0 +1,312 @@
+// Package wire implements EndBox's VPN data-channel framing: AES-128-CBC
+// encryption with HMAC-SHA256 integrity (encrypt-then-MAC), explicit packet
+// IDs, and OpenVPN-style sliding-window replay protection.
+//
+// Two protection modes exist, matching paper §IV-A "Scenario-specific
+// traffic protection": the enterprise scenario encrypts and authenticates
+// every packet, while the ISP scenario may skip encryption — the user opted
+// in to traffic analysis, so only the *fact* that Click processed egress
+// traffic must be attested, which integrity protection alone provides.
+//
+// All Seal/Open operations run inside the enclave in the real system; the
+// packages layered above arrange that (see internal/core).
+package wire
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode selects the data-channel protection level.
+type Mode int
+
+// Protection modes.
+const (
+	// ModeEncrypted provides AES-128-CBC confidentiality plus HMAC-SHA256
+	// integrity (enterprise scenario; OpenVPN's default static-key suite).
+	ModeEncrypted Mode = iota + 1
+	// ModeIntegrityOnly authenticates packets without encrypting them (ISP
+	// scenario optimisation, paper §IV-A).
+	ModeIntegrityOnly
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeEncrypted:
+		return "encrypted"
+	case ModeIntegrityOnly:
+		return "integrity-only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Sizes of frame components.
+const (
+	// KeySize is the AES-128 key length.
+	KeySize = 16
+	// MACKeySize is the HMAC-SHA256 key length.
+	MACKeySize = 32
+	// macLen is the truncated MAC appended to each frame. OpenVPN uses the
+	// full HMAC-SHA256 output.
+	macLen = sha256.Size
+	// idLen is the explicit packet ID prefix.
+	idLen = 8
+)
+
+// Common errors.
+var (
+	ErrAuthFailed = errors.New("wire: HMAC verification failed")
+	ErrTruncFrame = errors.New("wire: frame too short")
+	ErrBadPadding = errors.New("wire: invalid CBC padding")
+	ErrReplay     = errors.New("wire: replayed or stale packet ID")
+)
+
+// Keys is directional key material for one side of a session.
+type Keys struct {
+	Cipher [KeySize]byte
+	MAC    [MACKeySize]byte
+}
+
+// DeriveKeys expands a session master secret into directional keys, one set
+// per direction so client→server and server→client frames never share keys.
+func DeriveKeys(master []byte, direction string) Keys {
+	var k Keys
+	prf := func(label string, out []byte) {
+		mac := hmac.New(sha256.New, master)
+		mac.Write([]byte("endbox-wire-v1:" + direction + ":" + label))
+		copy(out, mac.Sum(nil))
+	}
+	var buf [sha256.Size]byte
+	prf("cipher", buf[:])
+	copy(k.Cipher[:], buf[:KeySize])
+	prf("mac", buf[:])
+	copy(k.MAC[:], buf[:MACKeySize])
+	return k
+}
+
+// Codec seals and opens frames in one direction. It is stateless with
+// respect to packet IDs; Session adds ID assignment and replay checking.
+type Codec struct {
+	mode  Mode
+	block cipher.Block
+	mac   [MACKeySize]byte
+}
+
+// NewCodec builds a codec from directional keys.
+func NewCodec(mode Mode, keys Keys) (*Codec, error) {
+	if mode != ModeEncrypted && mode != ModeIntegrityOnly {
+		return nil, fmt.Errorf("wire: invalid mode %d", mode)
+	}
+	block, err := aes.NewCipher(keys.Cipher[:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: cipher init: %w", err)
+	}
+	return &Codec{mode: mode, block: block, mac: keys.MAC}, nil
+}
+
+// Mode reports the codec's protection mode.
+func (c *Codec) Mode() Mode { return c.mode }
+
+// Overhead returns the framing bytes added to a payload of length n,
+// letting callers size MTU budgets.
+func (c *Codec) Overhead(n int) int {
+	switch c.mode {
+	case ModeEncrypted:
+		pad := aes.BlockSize - n%aes.BlockSize
+		return idLen + aes.BlockSize + pad + macLen
+	default:
+		return idLen + macLen
+	}
+}
+
+// Seal frames a payload under the given packet ID:
+//
+//	encrypted:      id(8) || IV(16) || CBC(payload+pad) || HMAC(32)
+//	integrity-only: id(8) ||           payload          || HMAC(32)
+//
+// The HMAC covers everything before it (encrypt-then-MAC).
+func (c *Codec) Seal(id uint64, payload []byte) ([]byte, error) {
+	var frame []byte
+	switch c.mode {
+	case ModeEncrypted:
+		pad := aes.BlockSize - len(payload)%aes.BlockSize
+		ctLen := len(payload) + pad
+		frame = make([]byte, idLen+aes.BlockSize+ctLen+macLen)
+		binary.BigEndian.PutUint64(frame[:idLen], id)
+		iv := frame[idLen : idLen+aes.BlockSize]
+		if _, err := rand.Read(iv); err != nil {
+			return nil, fmt.Errorf("wire: IV: %w", err)
+		}
+		ct := frame[idLen+aes.BlockSize : idLen+aes.BlockSize+ctLen]
+		copy(ct, payload)
+		for i := len(payload); i < ctLen; i++ {
+			ct[i] = byte(pad)
+		}
+		cipher.NewCBCEncrypter(c.block, iv).CryptBlocks(ct, ct)
+	case ModeIntegrityOnly:
+		frame = make([]byte, idLen+len(payload)+macLen)
+		binary.BigEndian.PutUint64(frame[:idLen], id)
+		copy(frame[idLen:], payload)
+	}
+	m := hmac.New(sha256.New, c.mac[:])
+	m.Write(frame[:len(frame)-macLen])
+	m.Sum(frame[:len(frame)-macLen])
+	return frame, nil
+}
+
+// Open authenticates and (in encrypted mode) decrypts a frame, returning
+// the packet ID and payload. MAC verification happens before any decryption
+// so malformed ciphertexts never reach the cipher.
+func (c *Codec) Open(frame []byte) (uint64, []byte, error) {
+	minLen := idLen + macLen
+	if c.mode == ModeEncrypted {
+		minLen += aes.BlockSize
+	}
+	if len(frame) < minLen {
+		return 0, nil, ErrTruncFrame
+	}
+	body, tag := frame[:len(frame)-macLen], frame[len(frame)-macLen:]
+	m := hmac.New(sha256.New, c.mac[:])
+	m.Write(body)
+	if !hmac.Equal(m.Sum(nil), tag) {
+		return 0, nil, ErrAuthFailed
+	}
+	id := binary.BigEndian.Uint64(body[:idLen])
+
+	if c.mode == ModeIntegrityOnly {
+		return id, append([]byte(nil), body[idLen:]...), nil
+	}
+
+	iv := body[idLen : idLen+aes.BlockSize]
+	ct := body[idLen+aes.BlockSize:]
+	if len(ct) == 0 || len(ct)%aes.BlockSize != 0 {
+		return 0, nil, ErrBadPadding
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCBCDecrypter(c.block, iv).CryptBlocks(pt, ct)
+	pad := int(pt[len(pt)-1])
+	if pad == 0 || pad > aes.BlockSize || pad > len(pt) {
+		return 0, nil, ErrBadPadding
+	}
+	for _, b := range pt[len(pt)-pad:] {
+		if int(b) != pad {
+			return 0, nil, ErrBadPadding
+		}
+	}
+	return id, pt[:len(pt)-pad], nil
+}
+
+// ReplayWindow implements OpenVPN's sliding-window replay protection
+// (paper §V-A "Replaying traffic"): a 64-entry bitmap trailing the highest
+// packet ID seen. IDs older than the window or already seen are rejected.
+type ReplayWindow struct {
+	mu      sync.Mutex
+	highest uint64
+	bitmap  uint64
+	started bool
+}
+
+// windowSize is the number of out-of-order IDs tolerated behind the highest.
+const windowSize = 64
+
+// Accept records id and reports whether it is fresh. It is safe for
+// concurrent use.
+func (w *ReplayWindow) Accept(id uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.started {
+		w.started = true
+		w.highest = id
+		w.bitmap = 1
+		return nil
+	}
+	switch {
+	case id > w.highest:
+		shift := id - w.highest
+		if shift >= windowSize {
+			w.bitmap = 0
+		} else {
+			w.bitmap <<= shift
+		}
+		w.bitmap |= 1
+		w.highest = id
+		return nil
+	case w.highest-id >= windowSize:
+		return fmt.Errorf("%w: id %d too old (highest %d)", ErrReplay, id, w.highest)
+	default:
+		bit := uint64(1) << (w.highest - id)
+		if w.bitmap&bit != 0 {
+			return fmt.Errorf("%w: duplicate id %d", ErrReplay, id)
+		}
+		w.bitmap |= bit
+		return nil
+	}
+}
+
+// Session pairs a send codec with a receive codec and replay window; it is
+// the object the VPN data channel holds per peer. Send and receive
+// directions use independent keys derived from the session master secret.
+type Session struct {
+	send *Codec
+	recv *Codec
+
+	mu     sync.Mutex
+	nextID uint64
+	replay ReplayWindow
+}
+
+// NewSession derives directional codecs from a master secret. isClient
+// flips the direction labels so the two ends interoperate.
+func NewSession(master []byte, mode Mode, isClient bool) (*Session, error) {
+	c2s := DeriveKeys(master, "client-to-server")
+	s2c := DeriveKeys(master, "server-to-client")
+	sendKeys, recvKeys := c2s, s2c
+	if !isClient {
+		sendKeys, recvKeys = s2c, c2s
+	}
+	send, err := NewCodec(mode, sendKeys)
+	if err != nil {
+		return nil, err
+	}
+	recv, err := NewCodec(mode, recvKeys)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{send: send, recv: recv, nextID: 1}, nil
+}
+
+// Mode reports the session's protection mode.
+func (s *Session) Mode() Mode { return s.send.mode }
+
+// Overhead reports framing overhead for a payload of n bytes.
+func (s *Session) Overhead(n int) int { return s.send.Overhead(n) }
+
+// Seal frames an outgoing payload with the next packet ID.
+func (s *Session) Seal(payload []byte) ([]byte, error) {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+	return s.send.Seal(id, payload)
+}
+
+// Open authenticates, replay-checks and decrypts an incoming frame.
+func (s *Session) Open(frame []byte) ([]byte, error) {
+	id, payload, err := s.recv.Open(frame)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.replay.Accept(id); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

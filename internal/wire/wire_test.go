@@ -1,0 +1,366 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testKeys(dir string) Keys {
+	return DeriveKeys([]byte("master secret for tests"), dir)
+}
+
+func TestDeriveKeysDirectional(t *testing.T) {
+	a := testKeys("client-to-server")
+	b := testKeys("server-to-client")
+	if a == b {
+		t.Error("directional keys must differ")
+	}
+	if a != testKeys("client-to-server") {
+		t.Error("derivation not deterministic")
+	}
+	other := DeriveKeys([]byte("different master"), "client-to-server")
+	if a == other {
+		t.Error("different masters must yield different keys")
+	}
+}
+
+func TestCodecRoundTripEncrypted(t *testing.T) {
+	c, err := NewCodec(ModeEncrypted, testKeys("c2s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{0, 1, 15, 16, 17, 1500, 9000} {
+		payload := bytes.Repeat([]byte{0xA5}, size)
+		frame, err := c.Seal(42, payload)
+		if err != nil {
+			t.Fatalf("Seal(%d bytes): %v", size, err)
+		}
+		id, got, err := c.Open(frame)
+		if err != nil {
+			t.Fatalf("Open(%d bytes): %v", size, err)
+		}
+		if id != 42 {
+			t.Errorf("id = %d, want 42", id)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("payload mismatch at size %d", size)
+		}
+		if want := len(payload) + c.Overhead(len(payload)); len(frame) != want {
+			t.Errorf("frame len %d != payload %d + overhead %d", len(frame), len(payload), c.Overhead(len(payload)))
+		}
+	}
+}
+
+func TestCodecRoundTripIntegrityOnly(t *testing.T) {
+	c, err := NewCodec(ModeIntegrityOnly, testKeys("c2s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("visible to the ISP but authenticated")
+	frame, err := c.Seal(7, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payload must be readable in the frame (not encrypted).
+	if !bytes.Contains(frame, payload) {
+		t.Error("integrity-only frame should carry plaintext payload")
+	}
+	id, got, err := c.Open(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 || !bytes.Equal(got, payload) {
+		t.Errorf("round trip mismatch: id=%d", id)
+	}
+}
+
+func TestEncryptedFrameHidesPayload(t *testing.T) {
+	c, err := NewCodec(ModeEncrypted, testKeys("c2s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("secret"), 20)
+	frame, err := c.Seal(1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(frame, []byte("secretsecret")) {
+		t.Error("plaintext visible in encrypted frame")
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	for _, mode := range []Mode{ModeEncrypted, ModeIntegrityOnly} {
+		c, err := NewCodec(mode, testKeys("c2s"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := c.Seal(1, []byte("payload data here"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pos := range []int{0, 8, len(frame) / 2, len(frame) - 1} {
+			bad := append([]byte(nil), frame...)
+			bad[pos] ^= 0x80
+			if _, _, err := c.Open(bad); !errors.Is(err, ErrAuthFailed) {
+				t.Errorf("mode %v: flipped byte %d: err = %v, want ErrAuthFailed", mode, pos, err)
+			}
+		}
+	}
+}
+
+func TestOpenWrongKey(t *testing.T) {
+	c1, _ := NewCodec(ModeEncrypted, testKeys("c2s"))
+	c2, _ := NewCodec(ModeEncrypted, DeriveKeys([]byte("other master"), "c2s"))
+	frame, err := c1.Seal(1, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.Open(frame); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("wrong key: err = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestOpenTruncated(t *testing.T) {
+	c, _ := NewCodec(ModeEncrypted, testKeys("c2s"))
+	if _, _, err := c.Open(make([]byte, 10)); !errors.Is(err, ErrTruncFrame) {
+		t.Errorf("err = %v, want ErrTruncFrame", err)
+	}
+}
+
+func TestInvalidMode(t *testing.T) {
+	if _, err := NewCodec(Mode(0), testKeys("x")); err == nil {
+		t.Error("zero mode accepted")
+	}
+	if got := ModeEncrypted.String(); got != "encrypted" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := ModeIntegrityOnly.String(); got != "integrity-only" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	enc, _ := NewCodec(ModeEncrypted, testKeys("c2s"))
+	auth, _ := NewCodec(ModeIntegrityOnly, testKeys("c2s"))
+	f := func(id uint64, payload []byte) bool {
+		if len(payload) > 9000 {
+			payload = payload[:9000]
+		}
+		for _, c := range []*Codec{enc, auth} {
+			frame, err := c.Seal(id, payload)
+			if err != nil {
+				return false
+			}
+			gotID, got, err := c.Open(frame)
+			if err != nil || gotID != id || !bytes.Equal(got, payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplayWindowInOrder(t *testing.T) {
+	var w ReplayWindow
+	for id := uint64(1); id <= 1000; id++ {
+		if err := w.Accept(id); err != nil {
+			t.Fatalf("in-order id %d rejected: %v", id, err)
+		}
+	}
+}
+
+func TestReplayWindowDuplicate(t *testing.T) {
+	var w ReplayWindow
+	for _, id := range []uint64{1, 2, 3} {
+		if err := w.Accept(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []uint64{1, 2, 3} {
+		if err := w.Accept(id); !errors.Is(err, ErrReplay) {
+			t.Errorf("duplicate id %d: err = %v, want ErrReplay", id, err)
+		}
+	}
+}
+
+func TestReplayWindowOutOfOrder(t *testing.T) {
+	var w ReplayWindow
+	order := []uint64{5, 3, 8, 4, 7, 6, 1, 2}
+	for _, id := range order {
+		if err := w.Accept(id); err != nil {
+			t.Errorf("out-of-order id %d rejected: %v", id, err)
+		}
+	}
+	// All seen now; every retry must fail.
+	for _, id := range order {
+		if err := w.Accept(id); !errors.Is(err, ErrReplay) {
+			t.Errorf("replayed id %d accepted", id)
+		}
+	}
+}
+
+func TestReplayWindowStale(t *testing.T) {
+	var w ReplayWindow
+	if err := w.Accept(1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Accept(1000 - windowSize); !errors.Is(err, ErrReplay) {
+		t.Errorf("stale id accepted: err = %v", err)
+	}
+	if err := w.Accept(1000 - windowSize + 1); err != nil {
+		t.Errorf("id just inside window rejected: %v", err)
+	}
+}
+
+func TestReplayWindowBigJump(t *testing.T) {
+	var w ReplayWindow
+	if err := w.Accept(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Accept(1 + 2*windowSize); err != nil {
+		t.Fatalf("forward jump rejected: %v", err)
+	}
+	// Everything at or below the old window is now stale.
+	if err := w.Accept(2); !errors.Is(err, ErrReplay) {
+		t.Error("stale id after jump accepted")
+	}
+}
+
+func TestReplayWindowProperty(t *testing.T) {
+	// Property: a strictly increasing sequence is always accepted; a
+	// repeat of any accepted id within the window is always rejected.
+	f := func(deltas []uint8) bool {
+		var w ReplayWindow
+		id := uint64(1)
+		var seen []uint64
+		for _, d := range deltas {
+			if err := w.Accept(id); err != nil {
+				return false
+			}
+			seen = append(seen, id)
+			id += uint64(d%16) + 1
+		}
+		for _, s := range seen {
+			if id-s < windowSize {
+				if err := w.Accept(s); err == nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	master := []byte("session master secret")
+	client, err := NewSession(master, ModeEncrypted, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewSession(master, ModeEncrypted, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client to server.
+	frame, err := client.Seal([]byte("from client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Open(frame)
+	if err != nil {
+		t.Fatalf("server open: %v", err)
+	}
+	if string(got) != "from client" {
+		t.Errorf("got %q", got)
+	}
+
+	// Server to client.
+	frame, err = server.Seal([]byte("from server"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = client.Open(frame)
+	if err != nil {
+		t.Fatalf("client open: %v", err)
+	}
+	if string(got) != "from server" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSessionReplayRejected(t *testing.T) {
+	master := []byte("replay master")
+	client, _ := NewSession(master, ModeEncrypted, true)
+	server, _ := NewSession(master, ModeEncrypted, false)
+
+	frame, err := client.Seal([]byte("pkt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Open(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Open(frame); !errors.Is(err, ErrReplay) {
+		t.Errorf("replayed frame: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestSessionDirectionIsolation(t *testing.T) {
+	// A frame sealed by the client must not verify as a server frame on
+	// the client's own receive path (reflection attack).
+	master := []byte("reflect master")
+	client, _ := NewSession(master, ModeEncrypted, true)
+	frame, err := client.Seal([]byte("pkt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Open(frame); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("reflected frame accepted: err = %v", err)
+	}
+}
+
+func BenchmarkSealEncrypted1500(b *testing.B) {
+	c, _ := NewCodec(ModeEncrypted, testKeys("bench"))
+	payload := make([]byte, 1500)
+	b.SetBytes(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Seal(uint64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenEncrypted1500(b *testing.B) {
+	c, _ := NewCodec(ModeEncrypted, testKeys("bench"))
+	frame, _ := c.Seal(1, make([]byte, 1500))
+	b.SetBytes(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Open(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSealIntegrityOnly1500(b *testing.B) {
+	c, _ := NewCodec(ModeIntegrityOnly, testKeys("bench"))
+	payload := make([]byte, 1500)
+	b.SetBytes(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Seal(uint64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
