@@ -6,6 +6,7 @@ package endbox
 // reproduced shape. The cmd/endbox-bench tool prints the full tables.
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -279,12 +280,12 @@ func cellUs(b *testing.B, cell string) float64 {
 func BenchmarkUseCasePipelineLatency(b *testing.B) {
 	for _, uc := range []UseCase{UseCaseNOP, UseCaseLB, UseCaseFW, UseCaseIDPS, UseCaseDDoS} {
 		b.Run(fmt.Sprintf("%v", uc), func(b *testing.B) {
-			d, err := NewDeployment(DeploymentOptions{})
+			d, err := New()
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer d.Close()
-			cli, err := d.AddClient("bench", ClientSpec{Mode: ModeSimulation, UseCase: uc})
+			cli, err := d.AddClient(context.Background(), "bench", ClientSpec{Mode: ModeSimulation, UseCase: uc})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -295,6 +296,54 @@ func BenchmarkUseCasePipelineLatency(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if err := cli.SendPacket(pkt); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchSend compares the per-packet and batched send paths on a
+// hardware-mode client, where each saved enclave transition is real time:
+// SendPackets seals a whole burst in one ecall.
+func BenchmarkBatchSend(b *testing.B) {
+	const batchSize = 64
+	for _, batched := range []bool{false, true} {
+		name := "SendPacket"
+		if batched {
+			name = "SendPackets"
+		}
+		b.Run(name, func(b *testing.B) {
+			d, err := New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			cli, err := d.AddClient(context.Background(), "bench", ClientSpec{
+				Mode:    ModeHardware,
+				BurnCPU: true,
+				UseCase: UseCaseNOP,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := make([][]byte, batchSize)
+			for i := range batch {
+				batch[i] = testPacket(1500)
+			}
+			b.ReportAllocs()
+			b.SetBytes(batchSize * 1500)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if batched {
+					if _, err := cli.SendPackets(batch); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					for _, pkt := range batch {
+						if err := cli.SendPacket(pkt); err != nil {
+							b.Fatal(err)
+						}
+					}
 				}
 			}
 		})

@@ -5,18 +5,20 @@
 // round-trip times. Configuration updates announced by the server are
 // fetched and hot-swapped automatically.
 //
+// It is a thin wrapper around internal/udptransport's client link — the
+// same code a Deployment uses when configured with the UDP transport.
+//
 //	endbox-client -server 127.0.0.1:11940 -id laptop-1 -pings 10
 //
 // Pair it with cmd/endbox-server.
 package main
 
 import (
-	"crypto/ed25519"
-	"encoding/binary"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
+	"sync"
 	"time"
 
 	"endbox/internal/attest"
@@ -34,95 +36,24 @@ func main() {
 	}
 }
 
-// link is the client's UDP endpoint: a request/response helper plus an
-// async dispatch loop for pushed data frames.
-type link struct {
-	conn    *net.UDPConn
-	control chan []byte // control responses (type+body)
-	frames  chan []byte // pushed data frames
-}
-
-func dial(server string) (*link, error) {
-	addr, err := net.ResolveUDPAddr("udp", server)
-	if err != nil {
-		return nil, err
-	}
-	conn, err := net.DialUDP("udp", nil, addr)
-	if err != nil {
-		return nil, err
-	}
-	l := &link{
-		conn:    conn,
-		control: make(chan []byte, 4),
-		frames:  make(chan []byte, 256),
-	}
-	go l.readLoop()
-	return l, nil
-}
-
-func (l *link) readLoop() {
-	buf := make([]byte, udptransport.MaxDatagram)
-	for {
-		n, err := l.conn.Read(buf)
-		if err != nil {
-			close(l.frames)
-			return
-		}
-		msg := append([]byte(nil), buf[:n]...)
-		msgType, body, err := udptransport.Decode(msg)
-		if err != nil {
-			continue
-		}
-		if msgType == udptransport.MsgFrame {
-			select {
-			case l.frames <- body:
-			default: // shed on overload like a real NIC queue
-			}
-			continue
-		}
-		select {
-		case l.control <- msg:
-		default:
-		}
-	}
-}
-
-// request performs one control round trip with retries.
-func (l *link) request(datagram []byte) (byte, []byte, error) {
-	for attempt := 0; attempt < 3; attempt++ {
-		if _, err := l.conn.Write(datagram); err != nil {
-			return 0, nil, err
-		}
-		select {
-		case resp := <-l.control:
-			msgType, body, err := udptransport.Decode(resp)
-			if err != nil {
-				return 0, nil, err
-			}
-			if msgType == udptransport.MsgError {
-				return 0, nil, fmt.Errorf("server: %s", body)
-			}
-			return msgType, body, nil
-		case <-time.After(2 * time.Second):
-		}
-	}
-	return 0, nil, fmt.Errorf("no response from server")
-}
-
 func run() error {
 	var (
-		server = flag.String("server", "127.0.0.1:11940", "endbox-server UDP address")
-		id     = flag.String("id", "client-1", "client identifier")
-		pings  = flag.Int("pings", 10, "tunnelled pings to send")
-		period = flag.Duration("interval", 500*time.Millisecond, "ping interval")
+		server  = flag.String("server", "127.0.0.1:11940", "endbox-server UDP address")
+		id      = flag.String("id", "client-1", "client identifier")
+		pings   = flag.Int("pings", 10, "tunnelled pings to send")
+		period  = flag.Duration("interval", 500*time.Millisecond, "ping interval")
+		timeout = flag.Duration("timeout", 30*time.Second, "attestation/handshake deadline")
 	)
 	flag.Parse()
 
-	l, err := dial(*server)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	link, err := udptransport.Dial(ctx, *server)
 	if err != nil {
 		return err
 	}
-	defer l.conn.Close()
+	defer link.Close()
 
 	// Platform setup: CPU, quoting enclave, IAS registration (which also
 	// returns the CA public key that real deployments bake into the
@@ -132,27 +63,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	regMsg, err := udptransport.EncodeJSON(udptransport.MsgRegister, udptransport.Register{
-		PlatformID: qe.PlatformID(),
-		Key:        qe.VerificationKey(),
-	})
-	if err != nil {
-		return err
-	}
-	msgType, body, err := l.request(regMsg)
+	caPub, err := link.Register(ctx, qe.PlatformID(), qe.VerificationKey())
 	if err != nil {
 		return fmt.Errorf("register: %w", err)
 	}
-	if msgType != udptransport.MsgRegisterOK {
-		return fmt.Errorf("register: unexpected response %c", msgType)
-	}
-	caPub := ed25519.PublicKey(append([]byte(nil), body...))
 	fmt.Println("platform registered; CA key received")
 
 	// Fetch the current middlebox configuration before connecting (paper
 	// §III-E: the config server is publicly readable so clients can always
 	// obtain up-to-date configurations before connecting).
-	blob, err := fetchConfig(l, 0)
+	blob, err := link.FetchConfig(ctx, 0)
 	if err != nil {
 		return fmt.Errorf("initial configuration: %w", err)
 	}
@@ -162,10 +82,14 @@ func run() error {
 	}
 	fmt.Printf("boot configuration v%d fetched (%d rule sets)\n", initial.Version, len(initial.RuleSets))
 
-	// RTT bookkeeping for the tunnelled pings.
-	sentAt := make(map[uint16]time.Time)
+	// RTT bookkeeping for the tunnelled pings. Replies arrive on the
+	// link's dispatch goroutine, so the state is mutex-guarded.
+	var (
+		mu       sync.Mutex
+		sentAt   = make(map[uint16]time.Time)
+		received = 0
+	)
 	done := make(chan struct{})
-	received := 0
 
 	cli, err := core.NewClient(core.ClientOptions{
 		ID:            *id,
@@ -173,16 +97,13 @@ func run() error {
 		Mode:          sgx.ModeHardware,
 		CAPub:         caPub,
 		QE:            qe,
-		Enroll:        func(q attest.Quote) (*attest.Provision, error) { return enroll(l, q) },
+		Enroll:        func(q attest.Quote) (*attest.Provision, error) { return link.Enroll(ctx, q) },
 		ClickConfig:   initial.ClickConfig,
 		RuleSets:      initial.RuleSets,
 		ConfigVersion: initial.Version,
 		BatchEcalls:   true,
-		FetchConfig:   func(v uint64) ([]byte, error) { return fetchConfig(l, v) },
-		Send: func(frame []byte) error {
-			_, err := l.conn.Write(udptransport.Encode(udptransport.MsgFrame, frame))
-			return err
-		},
+		FetchConfig:   func(v uint64) ([]byte, error) { return link.FetchConfig(context.Background(), v) },
+		Send:          link.SendFrame,
 		Deliver: func(ip []byte) {
 			var p packet.IPv4
 			if p.Parse(ip) != nil || p.Protocol != packet.ProtoICMP {
@@ -192,12 +113,14 @@ func run() error {
 			if err != nil || icmp.Type != packet.ICMPEchoReply {
 				return
 			}
+			mu.Lock()
+			defer mu.Unlock()
 			if t0, ok := sentAt[icmp.Seq]; ok {
 				fmt.Printf("ping seq=%d rtt=%v (through the enclave, both directions)\n",
 					icmp.Seq, time.Since(t0).Round(10*time.Microsecond))
 				delete(sentAt, icmp.Seq)
 				received++
-				if received >= *pings {
+				if received == *pings {
 					close(done)
 				}
 			}
@@ -209,38 +132,20 @@ func run() error {
 	defer cli.Close()
 	fmt.Println("enclave created, attested and provisioned")
 
-	// VPN handshake over UDP.
-	err = cli.Connect(func(hello *vpn.ClientHello) (*vpn.ServerHello, error) {
-		msg, err := udptransport.EncodeJSON(udptransport.MsgHello, hello)
-		if err != nil {
-			return nil, err
+	// Pump inbound frames into the client, then shake hands over UDP.
+	link.SetDeliver(func(frame []byte) error {
+		if err := cli.HandleFrame(frame); err != nil {
+			log.Printf("inbound frame: %v", err)
 		}
-		msgType, body, err := l.request(msg)
-		if err != nil {
-			return nil, err
-		}
-		if msgType != udptransport.MsgServerHello {
-			return nil, fmt.Errorf("unexpected handshake response %c", msgType)
-		}
-		var sh vpn.ServerHello
-		if err := udptransport.DecodeJSON(body, &sh); err != nil {
-			return nil, err
-		}
-		return &sh, nil
+		return nil
+	})
+	err = cli.Connect(ctx, func(hello *vpn.ClientHello) (*vpn.ServerHello, error) {
+		return link.Hello(ctx, hello)
 	})
 	if err != nil {
 		return fmt.Errorf("VPN handshake: %w", err)
 	}
 	fmt.Println("VPN connected")
-
-	// Pump inbound frames into the client.
-	go func() {
-		for frame := range l.frames {
-			if err := cli.HandleFrame(frame); err != nil {
-				log.Printf("inbound frame: %v", err)
-			}
-		}
-	}()
 
 	// Tunnelled pings to a host "in the managed network" (the demo server
 	// echoes them).
@@ -248,7 +153,9 @@ func run() error {
 	dst := packet.AddrFrom(10, 0, 0, 1)
 	lastVersion := cli.AppliedVersion()
 	for seq := uint16(1); int(seq) <= *pings; seq++ {
+		mu.Lock()
 		sentAt[seq] = time.Now()
+		mu.Unlock()
 		ping := packet.NewICMPEcho(src, dst, packet.ICMPEchoRequest, 7, seq, []byte("endbox-demo"))
 		if err := cli.SendPacket(ping); err != nil {
 			log.Printf("ping seq=%d: %v", seq, err)
@@ -267,72 +174,9 @@ func run() error {
 	case <-done:
 	case <-time.After(3 * time.Second):
 	}
-	fmt.Printf("done: %d/%d pings answered, configuration v%d\n", received, *pings, cli.AppliedVersion())
+	mu.Lock()
+	got := received
+	mu.Unlock()
+	fmt.Printf("done: %d/%d pings answered, configuration v%d\n", got, *pings, cli.AppliedVersion())
 	return nil
-}
-
-// enroll performs remote attestation over UDP.
-func enroll(l *link, quote attest.Quote) (*attest.Provision, error) {
-	msg, err := udptransport.EncodeJSON(udptransport.MsgQuote, quote)
-	if err != nil {
-		return nil, err
-	}
-	msgType, body, err := l.request(msg)
-	if err != nil {
-		return nil, err
-	}
-	if msgType != udptransport.MsgProvision {
-		return nil, fmt.Errorf("unexpected enrolment response %c", msgType)
-	}
-	var prov attest.Provision
-	if err := udptransport.DecodeJSON(body, &prov); err != nil {
-		return nil, err
-	}
-	return &prov, nil
-}
-
-// fetchConfig retrieves a configuration blob (version 0 = latest). Blobs
-// arrive as a stream of chunk datagrams.
-func fetchConfig(l *link, version uint64) ([]byte, error) {
-	var v [8]byte
-	binary.BigEndian.PutUint64(v[:], version)
-	if _, err := l.conn.Write(udptransport.Encode(udptransport.MsgFetch, v[:])); err != nil {
-		return nil, err
-	}
-	chunks := make(map[int][]byte)
-	want := -1
-	deadline := time.After(5 * time.Second)
-	for {
-		select {
-		case resp := <-l.control:
-			msgType, body, err := udptransport.Decode(resp)
-			if err != nil {
-				return nil, err
-			}
-			switch msgType {
-			case udptransport.MsgError:
-				return nil, fmt.Errorf("server: %s", body)
-			case udptransport.MsgConfig:
-				idx, total, data, err := udptransport.DecodeChunk(body)
-				if err != nil {
-					return nil, err
-				}
-				want = total
-				chunks[idx] = append([]byte(nil), data...)
-				if len(chunks) == want {
-					var blob []byte
-					for i := 0; i < want; i++ {
-						part, ok := chunks[i]
-						if !ok {
-							return nil, fmt.Errorf("missing config chunk %d", i)
-						}
-						blob = append(blob, part...)
-					}
-					return blob, nil
-				}
-			}
-		case <-deadline:
-			return nil, fmt.Errorf("configuration fetch timed out (%d/%d chunks)", len(chunks), want)
-		}
-	}
 }

@@ -3,6 +3,11 @@
 // VPN server, the configuration file server, and a demo "network" that
 // echoes tunnelled packets back to their sender.
 //
+// It is a thin wrapper around the public endbox facade: a Deployment with
+// the UDP transport bound to the listen address. All datagram handling
+// lives in the transport; this binary only selects options and publishes
+// configurations.
+//
 //	endbox-server -listen 127.0.0.1:11940
 //	endbox-server -listen 127.0.0.1:11940 -usecase IDPS -grace 30 -update-after 20
 //
@@ -10,38 +15,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"endbox/internal/attest"
+	"endbox"
 	"endbox/internal/click"
-	"endbox/internal/config"
-	"endbox/internal/core"
-	"endbox/internal/packet"
-	"endbox/internal/udptransport"
-	"endbox/internal/vpn"
 )
 
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
-}
-
-type server struct {
-	core *core.Server
-	ias  *attest.IAS
-	ca   *attest.CA
-
-	conn *net.UDPConn
-
-	mu    sync.Mutex
-	addrs map[string]*net.UDPAddr // client ID -> last UDP address
 }
 
 func run() error {
@@ -52,70 +42,35 @@ func run() error {
 		updateAfter = flag.Int("update-after", 0, "publish a demo configuration update after N seconds (0 = never)")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	uc, err := parseUseCase(*useCase)
 	if err != nil {
 		return err
 	}
 
-	addr, err := net.ResolveUDPAddr("udp", *listen)
-	if err != nil {
-		return err
-	}
-	conn, err := net.ListenUDP("udp", addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
+	transport := endbox.NewUDPTransport(*listen)
+	transport.Logf = log.Printf
 
-	ias, err := attest.NewIAS()
+	deployment, err := endbox.New(
+		endbox.WithTransport(transport),
+		// Demo "managed network": echo packets back to the sender,
+		// answering ICMP echo requests properly.
+		endbox.WithEchoNetwork(),
+	)
 	if err != nil {
 		return err
 	}
-	ca, err := attest.NewCA(ias)
-	if err != nil {
-		return err
-	}
-	ca.AllowMeasurement(core.ClientImage(ca.PublicKey()).Measure())
-
-	s := &server{ias: ias, ca: ca, conn: conn, addrs: make(map[string]*net.UDPAddr)}
-
-	coreSrv, err := core.NewServer(core.ServerOptions{
-		CA: ca,
-		Deliver: func(clientID string, ip []byte) {
-			// Demo "managed network": echo packets back to the sender,
-			// answering ICMP echo requests properly.
-			var p packet.IPv4
-			if p.Parse(ip) != nil {
-				return
-			}
-			echo := p.Clone()
-			echo.Src, echo.Dst = p.Dst, p.Src
-			if echo.Protocol == packet.ProtoICMP {
-				if icmp, err := packet.ParseICMP(echo.Payload); err == nil && icmp.Type == packet.ICMPEchoRequest {
-					icmp.Type = packet.ICMPEchoReply
-					echo.Payload = icmp.Marshal()
-				}
-			}
-			if err := s.core.VPN().SendTo(clientID, echo.Marshal(), false); err != nil {
-				log.Printf("echo to %s: %v", clientID, err)
-			}
-		},
-		SendTo: s.sendFrame,
-	})
-	if err != nil {
-		return err
-	}
-	s.core = coreSrv
+	defer deployment.Close()
 
 	// Publish the initial configuration as version 1 so clients can fetch
 	// it (they boot with the same use case, so this also exercises the
 	// update path when -update-after fires).
-	if err := coreSrv.PublishUpdate(&config.Update{
+	if err := deployment.Server.PublishUpdate(ctx, &endbox.Update{
 		Version:      1,
 		GraceSeconds: uint32(*grace),
-		ClickConfig:  click.StandardConfig(uc),
-		RuleSets:     core.CommunityRuleSets(),
+		ClickConfig:  endbox.StandardConfig(uc),
+		RuleSets:     endbox.CommunityRuleSets(),
 	}); err != nil {
 		return err
 	}
@@ -124,11 +79,11 @@ func run() error {
 		go func() {
 			time.Sleep(time.Duration(*updateAfter) * time.Second)
 			log.Printf("publishing demo update v2 (use case FW with tightened rules)")
-			err := coreSrv.PublishUpdate(&config.Update{
+			err := deployment.Server.PublishUpdate(ctx, &endbox.Update{
 				Version:      2,
 				GraceSeconds: uint32(*grace),
-				ClickConfig:  click.StandardConfig(click.UseCaseFW),
-				RuleSets:     core.CommunityRuleSets(),
+				ClickConfig:  endbox.StandardConfig(endbox.UseCaseFW),
+				RuleSets:     endbox.CommunityRuleSets(),
 			})
 			if err != nil {
 				log.Printf("update failed: %v", err)
@@ -136,8 +91,14 @@ func run() error {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (use case %s, CA ready)\n", *listen, uc)
-	return s.serve()
+	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (use case %s, CA ready)\n", transport.Addr(), uc)
+
+	// The transport serves datagrams on its own goroutine; wait for an
+	// interrupt.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
 }
 
 func parseUseCase(s string) (click.UseCase, error) {
@@ -147,135 +108,4 @@ func parseUseCase(s string) (click.UseCase, error) {
 		}
 	}
 	return 0, fmt.Errorf("unknown use case %q", s)
-}
-
-// sendFrame transmits a sealed frame to a client's last known UDP address.
-func (s *server) sendFrame(clientID string, frame []byte) error {
-	s.mu.Lock()
-	addr, ok := s.addrs[clientID]
-	s.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("no address for client %q", clientID)
-	}
-	_, err := s.conn.WriteToUDP(udptransport.Encode(udptransport.MsgFrame, frame), addr)
-	return err
-}
-
-// serve is the datagram dispatch loop.
-func (s *server) serve() error {
-	buf := make([]byte, udptransport.MaxDatagram)
-	for {
-		n, from, err := s.conn.ReadFromUDP(buf)
-		if err != nil {
-			return err
-		}
-		msgType, body, err := udptransport.Decode(buf[:n])
-		if err != nil {
-			continue
-		}
-		resp := s.handle(msgType, body, from)
-		if resp != nil {
-			if _, err := s.conn.WriteToUDP(resp, from); err != nil {
-				log.Printf("reply to %s: %v", from, err)
-			}
-		}
-	}
-}
-
-// handle processes one message and returns the response datagram (nil for
-// one-way messages).
-func (s *server) handle(msgType byte, body []byte, from *net.UDPAddr) []byte {
-	switch msgType {
-	case udptransport.MsgRegister:
-		var reg udptransport.Register
-		if err := udptransport.DecodeJSON(body, &reg); err != nil {
-			return udptransport.Errorf("register: %v", err)
-		}
-		s.ias.RegisterPlatformKey(reg.PlatformID, reg.Key)
-		log.Printf("registered platform %s", reg.PlatformID)
-		return udptransport.Encode(udptransport.MsgRegisterOK, s.ca.PublicKey())
-
-	case udptransport.MsgQuote:
-		var quote attest.Quote
-		if err := udptransport.DecodeJSON(body, &quote); err != nil {
-			return udptransport.Errorf("quote: %v", err)
-		}
-		prov, err := s.ca.Enroll(quote)
-		if err != nil {
-			return udptransport.Errorf("enrolment refused: %v", err)
-		}
-		resp, err := udptransport.EncodeJSON(udptransport.MsgProvision, prov)
-		if err != nil {
-			return udptransport.Errorf("provision: %v", err)
-		}
-		log.Printf("enrolled platform %s (measurement %s)", quote.PlatformID, quote.Report.Measurement)
-		return resp
-
-	case udptransport.MsgHello:
-		var hello vpn.ClientHello
-		if err := udptransport.DecodeJSON(body, &hello); err != nil {
-			return udptransport.Errorf("hello: %v", err)
-		}
-		sh, err := s.core.VPN().Accept(&hello)
-		if err != nil {
-			return udptransport.Errorf("handshake refused: %v", err)
-		}
-		s.mu.Lock()
-		s.addrs[hello.ClientID] = from
-		s.mu.Unlock()
-		resp, err := udptransport.EncodeJSON(udptransport.MsgServerHello, sh)
-		if err != nil {
-			return udptransport.Errorf("server hello: %v", err)
-		}
-		log.Printf("client %s connected from %s", hello.ClientID, from)
-		return resp
-
-	case udptransport.MsgFrame:
-		clientID := s.clientByAddr(from)
-		if clientID == "" {
-			return udptransport.Errorf("frame from unknown address %s", from)
-		}
-		if err := s.core.VPN().HandleFrame(clientID, body); err != nil {
-			log.Printf("frame from %s: %v", clientID, err)
-		}
-		return nil
-
-	case udptransport.MsgFetch:
-		if len(body) != 8 {
-			return udptransport.Errorf("fetch: bad version")
-		}
-		version := uint64(body[0])<<56 | uint64(body[1])<<48 | uint64(body[2])<<40 | uint64(body[3])<<32 |
-			uint64(body[4])<<24 | uint64(body[5])<<16 | uint64(body[6])<<8 | uint64(body[7])
-		if version == 0 { // convention: 0 requests the latest version
-			version = s.core.Configs().Latest()
-		}
-		blob, err := s.core.Configs().Fetch(version)
-		if err != nil {
-			return udptransport.Errorf("fetch v%d: %v", version, err)
-		}
-		// Configuration blobs exceed one datagram; stream the chunks and
-		// return nil (no single response).
-		for _, chunk := range udptransport.EncodeChunks(blob) {
-			if _, err := s.conn.WriteToUDP(chunk, from); err != nil {
-				log.Printf("config chunk to %s: %v", from, err)
-				break
-			}
-		}
-		return nil
-
-	default:
-		return udptransport.Errorf("unknown message type %c", msgType)
-	}
-}
-
-// clientByAddr resolves the sender of a data frame.
-func (s *server) clientByAddr(from *net.UDPAddr) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for id, addr := range s.addrs {
-		if addr.IP.Equal(from.IP) && addr.Port == from.Port {
-			return id
-		}
-	}
-	return ""
 }

@@ -9,12 +9,17 @@
 // internal/: create a Deployment (the operator side: IAS, CA, VPN server,
 // configuration server), add Clients (each with its own simulated SGX
 // enclave hosting the sensitive halves of the VPN and a Click modular
-// router), and push traffic. See examples/ for runnable scenarios and
-// DESIGN.md for the architecture and the substitutions made for SGX
-// hardware.
+// router), and push traffic. Deployments are safe for concurrent use and
+// transport-pluggable: the same code runs in-process (direct calls) or
+// over UDP sockets. See examples/ for runnable scenarios and DESIGN.md
+// for the architecture and the substitutions made for SGX hardware.
 //
-//	d, err := endbox.NewDeployment(endbox.DeploymentOptions{})
-//	client, err := d.AddClient("laptop-1", endbox.ClientSpec{
+//	d, err := endbox.New(
+//	    endbox.WithObserver(endbox.ObserverFuncs{
+//	        OnDelivered: func(clientID string, ip []byte) { /* ... */ },
+//	    }),
+//	)
+//	client, err := d.AddClient(ctx, "laptop-1", endbox.ClientSpec{
 //	    Mode:    endbox.ModeSimulation,
 //	    UseCase: endbox.UseCaseFW,
 //	})
@@ -27,15 +32,20 @@ import (
 	"endbox/internal/config"
 	"endbox/internal/core"
 	"endbox/internal/sgx"
+	"endbox/internal/udptransport"
 	"endbox/internal/wire"
 )
 
 // Deployment is a complete EndBox system: attestation infrastructure
 // (IAS + CA), the VPN server that is the managed network's only entry
-// point, the configuration file server, and the connected clients.
+// point, the configuration file server, and the connected clients. It is
+// safe for concurrent use: goroutines may add clients, push traffic and
+// publish updates simultaneously.
 type Deployment = core.Deployment
 
-// DeploymentOptions configures a Deployment.
+// DeploymentOptions configures a Deployment. New applications should
+// prefer New with functional options; this struct remains the stable
+// underlying representation (and the migration path for pre-v1 callers).
 type DeploymentOptions = core.DeploymentOptions
 
 // ClientSpec configures one client joining a deployment.
@@ -55,6 +65,33 @@ type Server = core.Server
 
 // ServerOptions configures a standalone Server.
 type ServerOptions = core.ServerOptions
+
+// Transport moves sealed VPN frames and control-plane messages between a
+// deployment's server side and its clients. The in-process implementation
+// is the default; NewUDPTransport runs the same deployment over sockets.
+type Transport = core.Transport
+
+// ClientLink is one client's endpoint of a Transport.
+type ClientLink = core.ClientLink
+
+// ServerEndpoint is the server-side surface a Transport dispatches into;
+// Deployment implements it.
+type ServerEndpoint = core.ServerEndpoint
+
+// Observer receives deployment-wide data-path events: packets accepted
+// into the managed network, packets delivered to client applications, and
+// middlebox alerts.
+type Observer = core.Observer
+
+// ObserverFuncs adapts plain functions to Observer; nil fields ignore the
+// corresponding event.
+type ObserverFuncs = core.ObserverFuncs
+
+// Alert is a middlebox alert raised inside a client's enclave.
+type Alert = click.Alert
+
+// MultiObserver fans events out to several observers in order.
+func MultiObserver(obs ...Observer) Observer { return core.MultiObserver(obs...) }
 
 // Update is one middlebox configuration update: version, grace period,
 // Click configuration and rule sets.
@@ -108,9 +145,32 @@ type CA = attest.CA
 // Certificate binds an attested enclave's keys to its measurement.
 type Certificate = attest.Certificate
 
-// NewDeployment builds the operator side of an EndBox system.
+// New builds the operator side of an EndBox system from functional
+// options. With no options it is an encrypted in-process deployment.
+func New(opts ...Option) (*Deployment, error) {
+	var o DeploymentOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.NewDeployment(o)
+}
+
+// NewDeployment builds a Deployment from an options struct — the pre-v1
+// construction path, kept for callers migrating to New.
 func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 	return core.NewDeployment(opts)
+}
+
+// NewInProcessTransport returns the default transport: clients linked to
+// the server by direct function calls in one process.
+func NewInProcessTransport() Transport { return core.NewInProcessTransport() }
+
+// NewUDPTransport returns a transport that binds the deployment's server
+// side to a UDP socket on listen (":0" picks a free port) and dials a
+// socket per client link. cmd/endbox-server and cmd/endbox-client are thin
+// wrappers around it.
+func NewUDPTransport(listen string) *udptransport.Transport {
+	return udptransport.NewTransport(listen)
 }
 
 // CommunityRuleSets returns the default IDPS rule-set map (the generated

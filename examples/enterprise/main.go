@@ -7,12 +7,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 
 	"endbox"
-	"endbox/internal/click"
 	"endbox/internal/packet"
 	"endbox/internal/vpn"
 )
@@ -24,24 +24,29 @@ func main() {
 }
 
 func run() error {
-	deployment, err := endbox.NewDeployment(endbox.DeploymentOptions{
+	ctx := context.Background()
+
+	var alerts int
+	deployment, err := endbox.New(
 		// Enterprise: rule sets are confidential — encrypt configurations
 		// with the key provisioned into attested enclaves only.
-		EncryptConfigs: true,
-	})
+		endbox.WithEncryptedConfigs(),
+		// The SOC watches alerts from every employee enclave.
+		endbox.WithObserver(endbox.ObserverFuncs{
+			OnAlert: func(clientID string, a endbox.Alert) {
+				alerts++
+				fmt.Printf("  [SOC alert] %s sid=%d %s\n", clientID, a.SID, a.Msg)
+			},
+		}),
+	)
 	if err != nil {
 		return err
 	}
 	defer deployment.Close()
 
-	var alerts int
-	employee, err := deployment.AddClient("workstation-7", endbox.ClientSpec{
+	employee, err := deployment.AddClient(ctx, "workstation-7", endbox.ClientSpec{
 		Mode:    endbox.ModeSimulation,
 		UseCase: endbox.UseCaseIDPS,
-		OnAlert: func(a click.Alert) {
-			alerts++
-			fmt.Printf("  [SOC alert] sid=%d %s\n", a.SID, a.Msg)
-		},
 	})
 	if err != nil {
 		return err
@@ -62,7 +67,7 @@ func run() error {
 	// firewall clause quarantining a compromised subnet. Version 1,
 	// 30-second grace period.
 	fmt.Println("\nadmin publishes configuration v1 (quarantine 10.0.66.0/24, grace 30s)")
-	err = deployment.Server.PublishUpdate(&endbox.Update{
+	err = deployment.Server.PublishUpdate(ctx, &endbox.Update{
 		Version:      1,
 		GraceSeconds: 30,
 		ClickConfig: `

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,13 +24,17 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	var deliveredBytes int
-	deployment, err := endbox.NewDeployment(endbox.DeploymentOptions{
-		// ISP mode: integrity-only channel, inspectable configurations.
-		Mode:           endbox.WireIntegrityOnly,
-		EncryptConfigs: false,
-		OnDeliver:      func(_ string, ip []byte) { deliveredBytes += len(ip) },
-	})
+	deployment, err := endbox.New(
+		// ISP mode: integrity-only channel, inspectable (plaintext)
+		// configurations.
+		endbox.WithWireMode(endbox.WireIntegrityOnly),
+		endbox.WithObserver(endbox.ObserverFuncs{
+			OnDelivered: func(_ string, ip []byte) { deliveredBytes += len(ip) },
+		}),
+	)
 	if err != nil {
 		return err
 	}
@@ -38,7 +43,7 @@ func run() error {
 	// The subscriber's middlebox: DPI over the community rules, then a
 	// tight traffic shaper (64 kbit/s here, so the flood visibly clips;
 	// sampling trusted time every 64 packets).
-	subscriber, err := deployment.AddClient("subscriber-42", endbox.ClientSpec{
+	subscriber, err := deployment.AddClient(ctx, "subscriber-42", endbox.ClientSpec{
 		Mode: endbox.ModeSimulation,
 		ClickConfig: `
 FromDevice
@@ -56,17 +61,12 @@ FromDevice
 	victim := packet.AddrFrom(198, 51, 100, 80)
 
 	// Malware on the subscriber machine floods a victim: 500 identical
-	// 512-byte packets. The shaper's budget is 8 kB, so roughly 15 get
-	// through and the rest die on the client.
+	// 512-byte packets offered as one batch (a single enclave crossing).
+	// The shaper's budget is 8 kB, so roughly 15 get through and the rest
+	// die on the client.
 	flood := trace.Flood(src, victim, 500, 512)
-	sent, dropped := 0, 0
-	for _, pkt := range flood {
-		if err := subscriber.SendPacket(pkt); err != nil {
-			dropped++
-			continue
-		}
-		sent++
-	}
+	sent, _ := subscriber.SendPackets(flood)
+	dropped := len(flood) - sent
 	fmt.Printf("flood of %d packets: %d forwarded, %d throttled at the source\n",
 		len(flood), sent, dropped)
 	if dropped == 0 {

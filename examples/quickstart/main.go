@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -22,17 +23,22 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// The operator side: attestation service, CA, VPN + config servers.
-	deployment, err := endbox.NewDeployment(endbox.DeploymentOptions{
-		OnDeliver: func(clientID string, ip []byte) {
-			p, err := packet.ParseIPv4(ip)
-			if err != nil {
-				return
-			}
-			fmt.Printf("  network received from %s: %s -> %s (%d bytes)\n",
-				clientID, p.Src, p.Dst, len(ip))
-		},
-	})
+	// The observer watches packets the managed network accepts.
+	deployment, err := endbox.New(
+		endbox.WithObserver(endbox.ObserverFuncs{
+			OnDelivered: func(clientID string, ip []byte) {
+				p, err := packet.ParseIPv4(ip)
+				if err != nil {
+					return
+				}
+				fmt.Printf("  network received from %s: %s -> %s (%d bytes)\n",
+					clientID, p.Src, p.Dst, len(ip))
+			},
+		}),
+	)
 	if err != nil {
 		return err
 	}
@@ -40,7 +46,7 @@ func run() error {
 
 	// One client machine. AddClient creates its enclave, runs remote
 	// attestation against the CA, provisions keys, and connects the VPN.
-	client, err := deployment.AddClient("laptop-1", endbox.ClientSpec{
+	client, err := deployment.AddClient(ctx, "laptop-1", endbox.ClientSpec{
 		Mode: endbox.ModeSimulation,
 		ClickConfig: `
 FromDevice

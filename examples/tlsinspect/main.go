@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -24,13 +25,15 @@ func main() {
 }
 
 func run() error {
-	deployment, err := endbox.NewDeployment(endbox.DeploymentOptions{})
+	ctx := context.Background()
+
+	deployment, err := endbox.New()
 	if err != nil {
 		return err
 	}
 	defer deployment.Close()
 
-	client, err := deployment.AddClient("desktop-3", endbox.ClientSpec{
+	client, err := deployment.AddClient(ctx, "desktop-3", endbox.ClientSpec{
 		Mode: endbox.ModeSimulation,
 		ClickConfig: `
 FromDevice

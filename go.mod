@@ -1,0 +1,3 @@
+module endbox
+
+go 1.24

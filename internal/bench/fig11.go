@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -71,7 +72,7 @@ func measureEndBoxSwap() (time.Duration, error) {
 		return 0, err
 	}
 	defer d.Close()
-	cli, err := d.AddClient("fig11", core.ClientSpec{Mode: sgx.ModeHardware, BurnCPU: true, UseCase: click.UseCaseNOP})
+	cli, err := d.AddClient(context.Background(), "fig11", core.ClientSpec{Mode: sgx.ModeHardware, BurnCPU: true, UseCase: click.UseCaseNOP})
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,7 +31,7 @@ func OptTransitions(packetsPerRun int) (*Table, error) {
 			return 0, 0, err
 		}
 		defer d.Close()
-		cli, err := d.AddClient("opt", core.ClientSpec{
+		cli, err := d.AddClient(context.Background(), "opt", core.ClientSpec{
 			Mode:        sgx.ModeHardware,
 			BurnCPU:     true,
 			UseCase:     click.UseCaseNOP,
@@ -124,7 +125,17 @@ func OptC2C(iterations int) (*Table, error) {
 		iterations = 300
 	}
 	run := func(flagged bool) (time.Duration, error) {
-		d, err := core.NewDeployment(core.DeploymentOptions{RouteBetweenClients: true})
+		delivered := 0
+		d, err := core.NewDeployment(core.DeploymentOptions{
+			RouteBetweenClients: true,
+			Observer: core.ObserverFuncs{
+				OnReceived: func(id string, _ []byte) {
+					if id == "b" {
+						delivered++
+					}
+				},
+			},
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -132,7 +143,7 @@ func OptC2C(iterations int) (*Table, error) {
 		// Simulation mode isolates the mechanism under test — the skipped
 		// Click pass on the receiver — from busy-wait jitter of the
 		// hardware-mode transition burn.
-		sender, err := d.AddClient("a", core.ClientSpec{
+		sender, err := d.AddClient(context.Background(), "a", core.ClientSpec{
 			Mode:               sgx.ModeSimulation,
 			UseCase:            click.UseCaseIDPS,
 			FlagClientToClient: flagged,
@@ -140,12 +151,10 @@ func OptC2C(iterations int) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		delivered := 0
-		_, err = d.AddClient("b", core.ClientSpec{
+		_, err = d.AddClient(context.Background(), "b", core.ClientSpec{
 			Mode:               sgx.ModeSimulation,
 			UseCase:            click.UseCaseIDPS,
 			FlagClientToClient: flagged,
-			Deliver:            func([]byte) { delivered++ },
 		})
 		if err != nil {
 			return 0, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -94,26 +95,29 @@ func httpsGetLatency(clickCfg string, forwardKey bool, respSize, iterations int)
 	flow := packet.Flow{Src: cliAddr, SrcPort: 40000, Dst: webAddr, DstPort: 443, Protocol: packet.ProtoTCP}
 
 	deployment, err := core.NewDeployment(core.DeploymentOptions{
-		OnDeliver: func(id string, ip []byte) {
-			// The "web server": answer a request with the response body in
-			// MTU-sized TLS records tunnelled back to the client.
-			var p packet.IPv4
-			if p.Parse(ip) != nil || p.Protocol != packet.ProtoTCP {
-				return
-			}
-			body := exchange.ResponseBody()
-			for off := 0; off < len(body); off += 1400 {
-				end := off + 1400
-				if end > len(body) {
-					end = len(body)
-				}
-				rec, err := tlstap.EncryptRecord(sessionKey, body[off:end])
-				if err != nil {
+		Observer: core.ObserverFuncs{
+			OnDelivered: func(id string, ip []byte) {
+				// The "web server": answer a request with the response body in
+				// MTU-sized TLS records tunnelled back to the client.
+				var p packet.IPv4
+				if p.Parse(ip) != nil || p.Protocol != packet.ProtoTCP {
 					return
 				}
-				resp := packet.NewTCP(webAddr, cliAddr, 443, 40000, 1, 0, packet.TCPAck, rec)
-				_ = d.Server.VPN().SendTo(id, resp, false)
-			}
+				body := exchange.ResponseBody()
+				for off := 0; off < len(body); off += 1400 {
+					end := off + 1400
+					if end > len(body) {
+						end = len(body)
+					}
+					rec, err := tlstap.EncryptRecord(sessionKey, body[off:end])
+					if err != nil {
+						return
+					}
+					resp := packet.NewTCP(webAddr, cliAddr, 443, 40000, 1, 0, packet.TCPAck, rec)
+					_ = d.Server.VPN().SendTo(id, resp, false)
+				}
+			},
+			OnReceived: func(_ string, ip []byte) { received += len(ip) },
 		},
 	})
 	if err != nil {
@@ -122,11 +126,10 @@ func httpsGetLatency(clickCfg string, forwardKey bool, respSize, iterations int)
 	d = deployment
 	defer d.Close()
 
-	cli, err := d.AddClient(clientID, core.ClientSpec{
+	cli, err := d.AddClient(context.Background(), clientID, core.ClientSpec{
 		Mode:        sgx.ModeHardware,
 		BurnCPU:     true,
 		ClickConfig: clickCfg,
-		Deliver:     func(ip []byte) { received += len(ip) },
 	})
 	if err != nil {
 		return 0, err
@@ -208,7 +211,7 @@ func Table2(iterations int) (*Table, error) {
 		return nil, err
 	}
 	defer d.Close()
-	cli, err := d.AddClient("t2", core.ClientSpec{Mode: sgx.ModeHardware, BurnCPU: true, ClickConfig: table2ConfigA})
+	cli, err := d.AddClient(context.Background(), "t2", core.ClientSpec{Mode: sgx.ModeHardware, BurnCPU: true, ClickConfig: table2ConfigA})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,7 +46,7 @@ func buildPipeline(setup Setup, uc click.UseCase, mode wire.Mode, naiveEcalls bo
 			sgxMode = sgx.ModeHardware
 			burn = true
 		}
-		cli, err := d.AddClient("bench", core.ClientSpec{
+		cli, err := d.AddClient(context.Background(), "bench", core.ClientSpec{
 			Mode:        sgxMode,
 			BurnCPU:     burn,
 			UseCase:     uc,

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"crypto/ed25519"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"endbox/internal/attest"
@@ -78,10 +80,44 @@ type Client struct {
 	enclave *sgx.Enclave
 	vpn     *vpn.Client
 	sealed  []byte
+	alerts  *alertQueue
 
 	appliedMu chan struct{} // 1-token semaphore guarding update state
 	version   uint64
 	updateErr error
+}
+
+// alertQueue buffers middlebox alerts raised inside an ecall until the
+// boundary is released. Alerts fire from the Click pipeline, which runs
+// under the enclave's execution lock; invoking user callbacks there would
+// deadlock any handler that re-enters the client (e.g. sending a report
+// packet in reaction to an IDS alert). Each data-path entry point flushes
+// the queue after its ecall returns, so delivery stays synchronous from
+// the caller's point of view.
+type alertQueue struct {
+	fn func(click.Alert)
+
+	mu      sync.Mutex
+	pending []click.Alert
+}
+
+// enqueue is the in-enclave alert hook (called under the execution lock).
+func (q *alertQueue) enqueue(a click.Alert) {
+	q.mu.Lock()
+	q.pending = append(q.pending, a)
+	q.mu.Unlock()
+}
+
+// flush delivers buffered alerts on the caller's stack, outside the
+// enclave.
+func (q *alertQueue) flush() {
+	q.mu.Lock()
+	pending := q.pending
+	q.pending = nil
+	q.mu.Unlock()
+	for _, a := range pending {
+		q.fn(a)
+	}
 }
 
 // NewClient creates the enclave, performs (or restores) attestation, and
@@ -112,6 +148,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 	if alert == nil {
 		alert = func(click.Alert) {}
 	}
+	alerts := &alertQueue{fn: alert}
 
 	encl, err := opts.CPU.CreateEnclave(ClientImage(opts.CAPub), sgx.Config{
 		Mode:           opts.Mode,
@@ -121,7 +158,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := registerEcalls(encl, opts.CAPub, alert); err != nil {
+	if err := registerEcalls(encl, opts.CAPub, alerts.enqueue); err != nil {
 		encl.Destroy()
 		return nil, err
 	}
@@ -133,6 +170,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 	c := &Client{
 		opts:      opts,
 		enclave:   encl,
+		alerts:    alerts,
 		version:   opts.ConfigVersion,
 		appliedMu: make(chan struct{}, 1),
 	}
@@ -223,6 +261,16 @@ func (p *batchedPlane) SealOutbound(payload []byte) ([]byte, error) {
 	return res.([]byte), nil
 }
 
+// SealOutboundBatch implements vpn.BatchDataPlane: the whole batch crosses
+// the boundary in one ecall (2 transitions total instead of 2 per packet).
+func (p *batchedPlane) SealOutboundBatch(payloads [][]byte) ([]vpn.SealResult, error) {
+	res, err := p.c.enclave.Ecall(ecallProcessOutBatch, payloads)
+	if err != nil {
+		return nil, err
+	}
+	return res.([]vpn.SealResult), nil
+}
+
 func (p *batchedPlane) OpenInbound(frame []byte) ([]byte, error) {
 	res, err := p.c.enclave.Ecall(ecallProcessIn, frame)
 	if err != nil {
@@ -270,8 +318,12 @@ func (p *naivePlane) OpenInbound(frame []byte) ([]byte, error) {
 }
 
 // Connect performs the VPN handshake against a server reachable through
-// accept (in-process or via a transport adapter).
-func (c *Client) Connect(accept func(*vpn.ClientHello) (*vpn.ServerHello, error)) error {
+// accept (in-process or via a transport adapter). The context bounds the
+// handshake; transports that block on the network must honour it.
+func (c *Client) Connect(ctx context.Context, accept func(*vpn.ClientHello) (*vpn.ServerHello, error)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	sign := func(transcript []byte) ([]byte, error) {
 		sig, err := c.enclave.Ecall(ecallHsSign, transcript)
 		if err != nil {
@@ -291,6 +343,9 @@ func (c *Client) Connect(accept func(*vpn.ClientHello) (*vpn.ServerHello, error)
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if _, err := c.enclave.Ecall(ecallHsFinish, hsFinishArg{st: st, sh: sh}); err != nil {
 		return err
 	}
@@ -308,10 +363,26 @@ func (c *Client) certificate() (*attest.Certificate, error) {
 }
 
 // SendPacket tunnels one application packet (egress).
-func (c *Client) SendPacket(ip []byte) error { return c.vpn.SendPacket(ip) }
+func (c *Client) SendPacket(ip []byte) error {
+	defer c.alerts.flush()
+	return c.vpn.SendPacket(ip)
+}
+
+// SendPackets tunnels a batch of application packets in a single enclave
+// crossing (on the batched data path), amortising the per-ecall transition
+// cost across the whole batch. Packets dropped by the middlebox are skipped;
+// it returns the number of packets handed to the transport and the first
+// error encountered (middlebox drops included).
+func (c *Client) SendPackets(ips [][]byte) (int, error) {
+	defer c.alerts.flush()
+	return c.vpn.SendPackets(ips)
+}
 
 // HandleFrame processes a frame arriving from the server (ingress).
-func (c *Client) HandleFrame(frame []byte) error { return c.vpn.HandleFrame(frame) }
+func (c *Client) HandleFrame(frame []byte) error {
+	defer c.alerts.flush()
+	return c.vpn.HandleFrame(frame)
+}
 
 // SendPing reports the applied configuration version to the server.
 func (c *Client) SendPing() error { return c.vpn.SendPing() }
@@ -360,6 +431,7 @@ func (c *Client) onAnnounce(version uint64, _ time.Duration) {
 // ApplyUpdateBlob verifies and applies a fetched update blob, returning the
 // in-enclave timing breakdown.
 func (c *Client) ApplyUpdateBlob(blob []byte) (SwapTiming, error) {
+	defer c.alerts.flush()
 	res, err := c.enclave.Ecall(ecallApplyConfig, applyConfigArg{blob: blob})
 	if err != nil {
 		return SwapTiming{}, err

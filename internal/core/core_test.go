@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -30,11 +31,18 @@ func addClient(t *testing.T, d *Deployment, id string, spec ClientSpec) *Client 
 	if spec.Mode == 0 {
 		spec.Mode = sgx.ModeSimulation
 	}
-	c, err := d.AddClient(id, spec)
+	c, err := d.AddClient(context.Background(), id, spec)
 	if err != nil {
 		t.Fatalf("AddClient(%s): %v", id, err)
 	}
 	return c
+}
+
+func publish(t *testing.T, d *Deployment, u *config.Update) {
+	t.Helper()
+	if err := d.Server.PublishUpdate(context.Background(), u); err != nil {
+		t.Fatalf("PublishUpdate(v%d): %v", u.Version, err)
+	}
 }
 
 func udpTo(t *testing.T, src, dst packet.Addr, payload string) []byte {
@@ -45,18 +53,21 @@ func udpTo(t *testing.T, src, dst packet.Addr, payload string) []byte {
 func TestEndToEndTrafficBothModes(t *testing.T) {
 	for _, mode := range []sgx.Mode{sgx.ModeSimulation, sgx.ModeHardware} {
 		t.Run(mode.String(), func(t *testing.T) {
-			var delivered [][]byte
+			var delivered, received [][]byte
 			d := newDeployment(t, DeploymentOptions{
-				OnDeliver: func(_ string, ip []byte) {
-					delivered = append(delivered, append([]byte(nil), ip...))
+				Observer: ObserverFuncs{
+					OnDelivered: func(_ string, ip []byte) {
+						delivered = append(delivered, append([]byte(nil), ip...))
+					},
+					OnReceived: func(_ string, ip []byte) {
+						received = append(received, append([]byte(nil), ip...))
+					},
 				},
 				EchoNetwork: true,
 			})
-			var received [][]byte
 			c := addClient(t, d, "c1", ClientSpec{
 				Mode:    mode,
 				UseCase: click.UseCaseNOP,
-				Deliver: func(ip []byte) { received = append(received, append([]byte(nil), ip...)) },
 			})
 
 			out := udpTo(t, packet.AddrFrom(10, 8, 0, 2), packet.AddrFrom(192, 0, 2, 1), "hello network")
@@ -101,13 +112,16 @@ func TestEnclaveFirewallDropsEgress(t *testing.T) {
 
 func TestIDPSEnforcementWithAlerts(t *testing.T) {
 	var alerts []click.Alert
-	d := newDeployment(t, DeploymentOptions{})
+	d := newDeployment(t, DeploymentOptions{
+		Observer: ObserverFuncs{
+			OnAlert: func(_ string, a click.Alert) { alerts = append(alerts, a) },
+		},
+	})
 	c := addClient(t, d, "c1", ClientSpec{
 		ClickConfig: "FromDevice -> IDSMatcher(RULESET strict, MODE enforce) -> ToDevice;",
 		ExtraRuleSets: map[string]string{
 			"strict": `drop tcp any any -> any any (msg:"worm"; content:"X-Worm"; sid:7;)`,
 		},
-		OnAlert: func(a click.Alert) { alerts = append(alerts, a) },
 	})
 	evil := packet.NewTCP(packet.AddrFrom(10, 8, 0, 2), packet.AddrFrom(192, 0, 2, 1),
 		40000, 80, 1, 0, packet.TCPAck, []byte("X-Worm payload"))
@@ -136,14 +150,11 @@ func TestConfigUpdateFullLifecycle(t *testing.T) {
 	}
 
 	// Steps 1-4: admin publishes version 1 blocking the target.
-	err := d.Server.PublishUpdate(&config.Update{
+	publish(t, d, &config.Update{
 		Version:      1,
 		GraceSeconds: 60,
 		ClickConfig:  "FromDevice -> IPFilter(drop dst host 203.0.113.9, allow all) -> ToDevice;",
 	})
-	if err != nil {
-		t.Fatalf("PublishUpdate: %v", err)
-	}
 
 	// Steps 5-9 ran inline from the ping: client fetched, decrypted inside
 	// the enclave, hot-swapped, and reported the new version.
@@ -170,13 +181,11 @@ func TestStaleClientBlockedAfterGrace(t *testing.T) {
 	c.opts.FetchConfig = func(uint64) ([]byte, error) {
 		return nil, errors.New("client refuses to fetch")
 	}
-	if err := d.Server.PublishUpdate(&config.Update{
+	publish(t, d, &config.Update{
 		Version:      1,
 		GraceSeconds: 30,
 		ClickConfig:  click.StandardConfig(click.UseCaseNOP),
-	}); err != nil {
-		t.Fatal(err)
-	}
+	})
 
 	pkt := udpTo(t, packet.AddrFrom(10, 8, 0, 2), packet.AddrFrom(192, 0, 2, 1), "x")
 	// Within grace: old version still accepted.
@@ -195,13 +204,11 @@ func TestConfigRollbackRejectedInEnclave(t *testing.T) {
 	c := addClient(t, d, "c1", ClientSpec{UseCase: click.UseCaseNOP})
 
 	for v := uint64(1); v <= 2; v++ {
-		if err := d.Server.PublishUpdate(&config.Update{
+		publish(t, d, &config.Update{
 			Version:      v,
 			GraceSeconds: 60,
 			ClickConfig:  click.StandardConfig(click.UseCaseNOP),
-		}); err != nil {
-			t.Fatal(err)
-		}
+		})
 	}
 	if c.AppliedVersion() != 2 {
 		t.Fatalf("applied = %d", c.AppliedVersion())
@@ -246,7 +253,7 @@ func TestSealedIdentitySkipsReattestation(t *testing.T) {
 		t.Fatalf("restore: %v", err)
 	}
 	defer c2.Close()
-	if err := c2.Connect(d.Server.VPN().Accept); err != nil {
+	if err := c2.Connect(context.Background(), d.Server.VPN().Accept); err != nil {
 		t.Fatalf("reconnect with sealed identity: %v", err)
 	}
 	if err := c2.SendPacket(udpTo(t, packet.AddrFrom(10, 8, 0, 2), packet.AddrFrom(192, 0, 2, 1), "x")); err != nil {
@@ -339,12 +346,22 @@ func TestClientToClientFlagBypass(t *testing.T) {
 	// the 0xeb flag set by A and honoured by B, B skips re-processing and
 	// delivers (paper §IV-A).
 	run := func(flagged bool) (deliveredAtB bool) {
-		d, err := NewDeployment(DeploymentOptions{RouteBetweenClients: true})
+		got := false
+		d, err := NewDeployment(DeploymentOptions{
+			RouteBetweenClients: true,
+			Observer: ObserverFuncs{
+				OnReceived: func(id string, _ []byte) {
+					if id == "b" {
+						got = true
+					}
+				},
+			},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer d.Close()
-		a, err := d.AddClient("a", ClientSpec{
+		a, err := d.AddClient(context.Background(), "a", ClientSpec{
 			Mode:               sgx.ModeSimulation,
 			UseCase:            click.UseCaseNOP,
 			FlagClientToClient: flagged,
@@ -352,12 +369,10 @@ func TestClientToClientFlagBypass(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := false
-		_, err = d.AddClient("b", ClientSpec{
+		_, err = d.AddClient(context.Background(), "b", ClientSpec{
 			Mode:               sgx.ModeSimulation,
 			ClickConfig:        "FromDevice -> IPFilter(drop src net 10.8.0.0/16 && proto udp, allow all) -> ToDevice;",
 			FlagClientToClient: flagged,
-			Deliver:            func([]byte) { got = true },
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -382,12 +397,16 @@ func TestClientToClientFlagBypass(t *testing.T) {
 func TestExternalCannotForgeProcessedFlag(t *testing.T) {
 	// External traffic arriving with TOS=0xeb must be scrubbed by the
 	// server, so B's middlebox still inspects it (paper §IV-A).
-	d := newDeployment(t, DeploymentOptions{EchoNetwork: true})
 	processed := 0
+	d := newDeployment(t, DeploymentOptions{
+		EchoNetwork: true,
+		Observer: ObserverFuncs{
+			OnReceived: func(string, []byte) { processed++ },
+		},
+	})
 	c := addClient(t, d, "b", ClientSpec{
 		ClickConfig:        "FromDevice -> cnt :: Counter -> ToDevice;",
 		FlagClientToClient: true,
-		Deliver:            func([]byte) { processed++ },
 	})
 	// Craft external packet with the flag set; EchoNetwork sends it from
 	// the "network" side (fromClient=false → scrubbed).
@@ -508,25 +527,21 @@ func TestBaselinePairs(t *testing.T) {
 func TestUpdateTimingBreakdown(t *testing.T) {
 	d := newDeployment(t, DeploymentOptions{EncryptConfigs: true})
 	c := addClient(t, d, "c1", ClientSpec{UseCase: click.UseCaseNOP})
-	if err := d.Server.PublishUpdate(&config.Update{
+	publish(t, d, &config.Update{
 		Version:      1,
 		GraceSeconds: 60,
 		ClickConfig:  click.StandardConfig(click.UseCaseFW),
-	}); err != nil {
-		t.Fatal(err)
-	}
+	})
 	blob, err := d.Server.Configs().Fetch(1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Applying the same version again fails, so publish v2 for timing.
-	if err := d.Server.PublishUpdate(&config.Update{
+	publish(t, d, &config.Update{
 		Version:      2,
 		GraceSeconds: 60,
 		ClickConfig:  click.StandardConfig(click.UseCaseNOP),
-	}); err != nil {
-		t.Fatal(err)
-	}
+	})
 	_ = blob
 	timing, err := c.ApplyUpdateBlob(mustFetch(t, d, 2))
 	if !errors.Is(err, ErrStaleUpdate) {

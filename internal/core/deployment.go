@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"crypto/ed25519"
 	"fmt"
 	"sync"
 	"time"
@@ -10,12 +12,14 @@ import (
 	"endbox/internal/idps"
 	"endbox/internal/packet"
 	"endbox/internal/sgx"
+	"endbox/internal/vpn"
 	"endbox/internal/wire"
 )
 
-// DeploymentOptions configures a complete in-process EndBox deployment:
-// IAS, CA, VPN server, configuration server and any number of clients —
-// the programmatic equivalent of the paper's testbed.
+// DeploymentOptions configures a complete EndBox deployment: IAS, CA, VPN
+// server, configuration server and any number of clients — the programmatic
+// equivalent of the paper's testbed. The zero value is a working encrypted
+// in-process deployment.
 type DeploymentOptions struct {
 	// Mode is the data-channel protection (default encrypted).
 	Mode wire.Mode
@@ -28,8 +32,13 @@ type DeploymentOptions struct {
 	ServerUseCase click.UseCase
 	// Clock is the shared time source (default time.Now).
 	Clock func() time.Time
-	// OnDeliver observes packets accepted into the managed network.
-	OnDeliver func(clientID string, ip []byte)
+	// Observer watches the deployment's data path: packets accepted into
+	// the managed network, packets delivered to client applications, and
+	// middlebox alerts. Nil observes nothing.
+	Observer Observer
+	// Transport carries frames and control messages between the server and
+	// its clients. Nil selects the in-process transport (direct calls).
+	Transport Transport
 	// EchoNetwork reflects delivered packets back to the sending client
 	// (src/dst swapped), modelling a server answering — used by latency
 	// measurements.
@@ -40,7 +49,8 @@ type DeploymentOptions struct {
 	RouteBetweenClients bool
 }
 
-// ClientSpec configures one client joining a deployment.
+// ClientSpec configures one client joining a deployment. Data-path events
+// (inbound packets, alerts) are reported through the deployment's Observer.
 type ClientSpec struct {
 	// Mode is the enclave execution mode. Required.
 	Mode sgx.Mode
@@ -58,26 +68,26 @@ type ClientSpec struct {
 	FlagClientToClient bool
 	// NaiveEcalls selects the multi-ecall ablation data path.
 	NaiveEcalls bool
-	// Deliver receives inbound packets on the client (applications).
-	Deliver func(ip []byte)
-	// OnAlert receives middlebox alerts.
-	OnAlert func(click.Alert)
 }
 
-// Deployment is a wired-up EndBox system. Not safe for concurrent use; the
-// evaluation drives it from a single goroutine like the paper's
-// single-threaded OpenVPN processes.
+// Deployment is a wired-up EndBox system. It is safe for concurrent use:
+// any number of goroutines may add clients, push traffic and publish
+// updates simultaneously.
 type Deployment struct {
 	IAS    *attest.IAS
 	CA     *attest.CA
 	Server *Server
 
-	opts DeploymentOptions
+	opts      DeploymentOptions
+	transport Transport
 
-	mu      sync.Mutex
-	clients map[string]*Client
-	addrs   map[packet.Addr]string
-	nextIP  byte
+	mu        sync.Mutex
+	clients   map[string]*Client
+	links     map[string]ClientLink
+	addrs     map[packet.Addr]string // tunnel address -> client ID
+	addrByID  map[string]packet.Addr // reverse index (O(1) ClientAddr)
+	freeAddrs []packet.Addr          // released by RemoveClient, reused first
+	nextIP    byte
 }
 
 // CommunityRuleSets is the default rule-set map: the generated 377-rule
@@ -89,7 +99,9 @@ func CommunityRuleSets() map[string]string {
 }
 
 // NewDeployment builds the server side: IAS, CA, VPN + config servers, and
-// (for the OpenVPN+Click baseline) a server-side Click instance.
+// (for the OpenVPN+Click baseline) a server-side Click instance. The
+// deployment's transport is bound and ready for clients — in-process ones
+// via AddClient, or remote ones connecting through a socket transport.
 func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
@@ -105,14 +117,19 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 	// Keep the CA on the same clock as the rest of the deployment so
 	// virtual-time experiments issue certificates consistently.
 	ca.SetTimeSource(opts.Clock)
+	// The operator approves the client enclave build once, up front; every
+	// platform enrolling through the transport is checked against it.
+	ca.AllowMeasurement(ClientImage(ca.PublicKey()).Measure())
 
 	d := &Deployment{
-		IAS:     ias,
-		CA:      ca,
-		opts:    opts,
-		clients: make(map[string]*Client),
-		addrs:   make(map[packet.Addr]string),
-		nextIP:  2, // 10.8.0.1 is the server
+		IAS:      ias,
+		CA:       ca,
+		opts:     opts,
+		clients:  make(map[string]*Client),
+		links:    make(map[string]ClientLink),
+		addrs:    make(map[packet.Addr]string),
+		addrByID: make(map[string]packet.Addr),
+		nextIP:   2, // 10.8.0.1 is the server
 	}
 
 	var serverClick *click.Instance
@@ -125,6 +142,11 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 		serverClick = inst
 	}
 
+	d.transport = opts.Transport
+	if d.transport == nil {
+		d.transport = NewInProcessTransport()
+	}
+
 	srv, err := NewServer(ServerOptions{
 		CA:             ca,
 		Mode:           opts.Mode,
@@ -132,21 +154,68 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 		EncryptConfigs: opts.EncryptConfigs,
 		ServerClick:    serverClick,
 		Deliver:        d.deliver,
-		SendTo:         d.sendToClient,
+		SendTo:         d.transport.SendToClient,
 	})
 	if err != nil {
 		return nil, err
 	}
 	d.Server = srv
+
+	if err := d.transport.BindServer(d); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 
-// deliver routes packets accepted into the managed network: observation
-// hook, optional echo, optional client-to-client relay.
-func (d *Deployment) deliver(clientID string, ip []byte) {
-	if d.opts.OnDeliver != nil {
-		d.opts.OnDeliver(clientID, ip)
+// Transport returns the transport carrying this deployment's traffic.
+func (d *Deployment) Transport() Transport { return d.transport }
+
+// observer returns the configured observer or a no-op.
+func (d *Deployment) observe() Observer {
+	if d.opts.Observer != nil {
+		return d.opts.Observer
 	}
+	return ObserverFuncs{}
+}
+
+// RegisterPlatform implements ServerEndpoint: record the platform key with
+// the IAS and hand back the CA public key (paper Fig. 4 step 0: in real
+// deployments the CA key ships inside the enclave image).
+func (d *Deployment) RegisterPlatform(platformID string, key ed25519.PublicKey) (ed25519.PublicKey, error) {
+	if platformID == "" || len(key) == 0 {
+		return nil, fmt.Errorf("core: platform registration requires an ID and key")
+	}
+	d.IAS.RegisterPlatformKey(platformID, key)
+	return d.CA.PublicKey(), nil
+}
+
+// Enroll implements ServerEndpoint.
+func (d *Deployment) Enroll(q attest.Quote) (*attest.Provision, error) {
+	return d.CA.Enroll(q)
+}
+
+// AcceptHello implements ServerEndpoint.
+func (d *Deployment) AcceptHello(h *vpn.ClientHello) (*vpn.ServerHello, error) {
+	return d.Server.VPN().Accept(h)
+}
+
+// HandleFrame implements ServerEndpoint.
+func (d *Deployment) HandleFrame(clientID string, frame []byte) error {
+	return d.Server.VPN().HandleFrame(clientID, frame)
+}
+
+// FetchConfig implements ServerEndpoint (version 0 = latest).
+func (d *Deployment) FetchConfig(version uint64) ([]byte, error) {
+	if version == 0 {
+		version = d.Server.Configs().Latest()
+	}
+	return d.Server.Configs().Fetch(version)
+}
+
+// deliver routes packets accepted into the managed network: observer hook,
+// optional echo, optional client-to-client relay.
+func (d *Deployment) deliver(clientID string, ip []byte) {
+	d.observe().PacketDelivered(clientID, ip)
 	var p packet.IPv4
 	if err := p.Parse(ip); err != nil {
 		return
@@ -175,39 +244,73 @@ func (d *Deployment) deliver(clientID string, ip []byte) {
 	}
 }
 
-// sendToClient is the server->client transport (in-process direct call).
-func (d *Deployment) sendToClient(clientID string, frame []byte) error {
+// AddClient creates, attests, enrols and connects a client through the
+// deployment's transport. The returned client is ready to send traffic.
+// The context bounds the whole join sequence (attestation, enrolment,
+// handshake); it is safe to call from concurrent goroutines.
+func (d *Deployment) AddClient(ctx context.Context, id string, spec ClientSpec) (*Client, error) {
 	d.mu.Lock()
-	cli, ok := d.clients[clientID]
+	_, dup := d.clients[id]
 	d.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("core: no transport to client %q", clientID)
+	if dup {
+		// The VPN handshake would reject the duplicate anyway; failing here
+		// keeps the error identical across transports and avoids the
+		// attestation work.
+		return nil, fmt.Errorf("core: client %q already connected", id)
 	}
-	return cli.HandleFrame(frame)
-}
-
-// AddClient creates, attests, enrols and connects a client. The returned
-// client is ready to send traffic.
-func (d *Deployment) AddClient(id string, spec ClientSpec) (*Client, error) {
-	cli, err := d.buildClient(id, spec)
+	link, err := d.transport.Link(ctx, id)
 	if err != nil {
 		return nil, err
 	}
-	if err := cli.Connect(d.Server.VPN().Accept); err != nil {
-		cli.Close()
+	cli, err := d.buildClient(ctx, link, id, spec)
+	if err != nil {
+		link.Close()
 		return nil, err
 	}
+	link.SetDeliver(cli.HandleFrame)
+	if err := cli.Connect(ctx, func(h *vpn.ClientHello) (*vpn.ServerHello, error) {
+		return link.Hello(ctx, h)
+	}); err != nil {
+		cli.Close()
+		link.Close()
+		return nil, err
+	}
+
 	d.mu.Lock()
+	addr, ok := d.allocAddrLocked()
+	if !ok {
+		d.mu.Unlock()
+		d.Server.VPN().Disconnect(id)
+		cli.Close()
+		link.Close()
+		return nil, fmt.Errorf("core: tunnel address space exhausted (10.8.0.0/24)")
+	}
 	d.clients[id] = cli
-	addr := packet.AddrFrom(10, 8, 0, d.nextIP)
-	d.nextIP++
+	d.links[id] = link
 	d.addrs[addr] = id
+	d.addrByID[id] = addr
 	d.mu.Unlock()
 	return cli, nil
 }
 
+// allocAddrLocked hands out the next tunnel address, reusing addresses
+// released by RemoveClient before growing. Callers hold d.mu.
+func (d *Deployment) allocAddrLocked() (packet.Addr, bool) {
+	if n := len(d.freeAddrs); n > 0 {
+		addr := d.freeAddrs[n-1]
+		d.freeAddrs = d.freeAddrs[:n-1]
+		return addr, true
+	}
+	if d.nextIP == 255 { // 10.8.0.1 is the server; .255 is broadcast
+		return packet.Addr{}, false
+	}
+	addr := packet.AddrFrom(10, 8, 0, d.nextIP)
+	d.nextIP++
+	return addr, true
+}
+
 // buildClient performs everything except the VPN handshake.
-func (d *Deployment) buildClient(id string, spec ClientSpec) (*Client, error) {
+func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string, spec ClientSpec) (*Client, error) {
 	if spec.UseCase == 0 && spec.ClickConfig == "" {
 		spec.UseCase = click.UseCaseNOP
 	}
@@ -221,34 +324,39 @@ func (d *Deployment) buildClient(id string, spec ClientSpec) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.IAS.RegisterPlatform(qe)
-	d.CA.AllowMeasurement(ClientImage(d.CA.PublicKey()).Measure())
+	caPub, err := link.Register(ctx, qe.PlatformID(), qe.VerificationKey())
+	if err != nil {
+		return nil, err
+	}
 
 	ruleSets := CommunityRuleSets()
 	for name, text := range spec.ExtraRuleSets {
 		ruleSets[name] = text
 	}
 
+	obs := d.observe()
 	return NewClient(ClientOptions{
-		ID:                 id,
-		CPU:                cpu,
-		Mode:               spec.Mode,
-		BurnCPU:            spec.BurnCPU,
-		TransitionCost:     spec.TransitionCost,
-		CAPub:              d.CA.PublicKey(),
-		QE:                 qe,
-		Enroll:             d.CA.Enroll,
+		ID:             id,
+		CPU:            cpu,
+		Mode:           spec.Mode,
+		BurnCPU:        spec.BurnCPU,
+		TransitionCost: spec.TransitionCost,
+		CAPub:          caPub,
+		QE:             qe,
+		Enroll: func(q attest.Quote) (*attest.Provision, error) {
+			return link.Enroll(ctx, q)
+		},
 		ClickConfig:        cfg,
 		RuleSets:           ruleSets,
 		WireMode:           d.opts.Mode,
 		FlagClientToClient: spec.FlagClientToClient,
 		BatchEcalls:        !spec.NaiveEcalls,
-		FetchConfig:        d.Server.Configs().Fetch,
-		Send: func(frame []byte) error {
-			return d.Server.VPN().HandleFrame(id, frame)
+		FetchConfig: func(version uint64) ([]byte, error) {
+			return link.FetchConfig(context.Background(), version)
 		},
-		Deliver: spec.Deliver,
-		OnAlert: spec.OnAlert,
+		Send:    link.SendFrame,
+		Deliver: func(ip []byte) { obs.PacketReceived(id, ip) },
+		OnAlert: func(a click.Alert) { obs.Alert(id, a) },
 		Clock:   d.opts.Clock,
 	})
 }
@@ -257,12 +365,8 @@ func (d *Deployment) buildClient(id string, spec ClientSpec) (*Client, error) {
 func (d *Deployment) ClientAddr(id string) (packet.Addr, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for addr, cid := range d.addrs {
-		if cid == id {
-			return addr, true
-		}
-	}
-	return packet.Addr{}, false
+	addr, ok := d.addrByID[id]
+	return addr, ok
 }
 
 // Client returns a connected client by ID.
@@ -273,12 +377,46 @@ func (d *Deployment) Client(id string) (*Client, bool) {
 	return c, ok
 }
 
-// Close destroys all client enclaves.
+// RemoveClient disconnects one client, releasing its session, link, tunnel
+// address and enclave.
+func (d *Deployment) RemoveClient(id string) {
+	d.mu.Lock()
+	cli := d.clients[id]
+	link := d.links[id]
+	delete(d.clients, id)
+	delete(d.links, id)
+	if addr, ok := d.addrByID[id]; ok {
+		delete(d.addrs, addr)
+		delete(d.addrByID, id)
+		d.freeAddrs = append(d.freeAddrs, addr)
+	}
+	d.mu.Unlock()
+	d.Server.VPN().Disconnect(id)
+	if link != nil {
+		link.Close()
+	}
+	if cli != nil {
+		cli.Close()
+	}
+}
+
+// Close destroys all client enclaves and the transport.
 func (d *Deployment) Close() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	for _, c := range d.clients {
+	clients := d.clients
+	links := d.links
+	d.clients = make(map[string]*Client)
+	d.links = make(map[string]ClientLink)
+	d.addrs = make(map[packet.Addr]string)
+	d.addrByID = make(map[string]packet.Addr)
+	d.freeAddrs = nil
+	d.nextIP = 2
+	d.mu.Unlock()
+	for _, l := range links {
+		l.Close()
+	}
+	for _, c := range clients {
 		c.Close()
 	}
-	d.clients = make(map[string]*Client)
+	d.transport.Close()
 }

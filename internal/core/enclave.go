@@ -44,19 +44,20 @@ func ClientImage(caPub ed25519.PublicKey) sgx.Image {
 // run during normal operation (paper §IV-B: "ENDBOX defines only 4 ecalls
 // that are executed during normal operation"); the rest are initialisation.
 const (
-	ecallKeygen      = "keygen"
-	ecallProvision   = "provision"
-	ecallRestore     = "restore"
-	ecallHsSign      = "hs_sign"
-	ecallHsFinish    = "hs_finish"
-	ecallInitClick   = "init_click"
-	ecallProcessOut  = "process_out"  // *
-	ecallProcessIn   = "process_in"   // *
-	ecallControlMAC  = "control_mac"  // *
-	ecallControlVrfy = "control_vrfy" // *
-	ecallApplyConfig = "apply_config"
-	ecallForwardKey  = "forward_tls_key"
-	ecallGetCert     = "get_cert"
+	ecallKeygen          = "keygen"
+	ecallProvision       = "provision"
+	ecallRestore         = "restore"
+	ecallHsSign          = "hs_sign"
+	ecallHsFinish        = "hs_finish"
+	ecallInitClick       = "init_click"
+	ecallProcessOut      = "process_out"       // *
+	ecallProcessOutBatch = "process_out_batch" // *
+	ecallProcessIn       = "process_in"        // *
+	ecallControlMAC      = "control_mac"       // *
+	ecallControlVrfy     = "control_vrfy"      // *
+	ecallApplyConfig     = "apply_config"
+	ecallForwardKey      = "forward_tls_key"
+	ecallGetCert         = "get_cert"
 	// Naive per-stage ecalls used only by the §V-G(1) ablation.
 	ecallNaiveClick = "naive_click"
 	ecallNaiveCrypt = "naive_encrypt"
@@ -320,6 +321,23 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 			return nil, fmt.Errorf("core: bad outbound payload")
 		}
 		return st.sealOutbound(payload)
+	}); err != nil {
+		return err
+	}
+
+	// Batched egress: one boundary crossing seals a whole burst of packets
+	// (the transition-amortisation the paper's single-ecall design enables,
+	// taken one step further for send-heavy workloads).
+	if err := reg(ecallProcessOutBatch, func(_ *sgx.Ctx, arg any) (any, error) {
+		payloads, ok := arg.([][]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad outbound batch")
+		}
+		results := make([]vpn.SealResult, len(payloads))
+		for i, p := range payloads {
+			results[i].Frame, results[i].Err = st.sealOutbound(p)
+		}
+		return results, nil
 	}); err != nil {
 		return err
 	}

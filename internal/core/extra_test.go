@@ -68,11 +68,15 @@ func TestManyClientsConcurrentTraffic(t *testing.T) {
 // they arrive back intact.
 func TestPayloadFidelityProperty(t *testing.T) {
 	var received [][]byte
-	d := newDeployment(t, DeploymentOptions{EchoNetwork: true})
-	c := addClient(t, d, "fidelity", ClientSpec{
-		UseCase: click.UseCaseFW,
-		Deliver: func(ip []byte) { received = append(received, append([]byte(nil), ip...)) },
+	d := newDeployment(t, DeploymentOptions{
+		EchoNetwork: true,
+		Observer: ObserverFuncs{
+			OnReceived: func(_ string, ip []byte) {
+				received = append(received, append([]byte(nil), ip...))
+			},
+		},
 	})
+	c := addClient(t, d, "fidelity", ClientSpec{UseCase: click.UseCaseFW})
 
 	f := func(payload []byte) bool {
 		if len(payload) > 8000 {
@@ -115,12 +119,10 @@ func TestUpdateFetchFailureIsRecorded(t *testing.T) {
 	c.opts.FetchConfig = func(uint64) ([]byte, error) {
 		return nil, fmt.Errorf("config server unreachable")
 	}
-	if err := d.Server.PublishUpdate(&config.Update{
+	publish(t, d, &config.Update{
 		Version: 1, GraceSeconds: 300,
 		ClickConfig: click.StandardConfig(click.UseCaseFW),
-	}); err != nil {
-		t.Fatal(err)
-	}
+	})
 	if c.AppliedVersion() != 0 {
 		t.Fatalf("applied = %d despite broken fetch", c.AppliedVersion())
 	}
@@ -147,12 +149,10 @@ func TestUpdateFetchFailureIsRecorded(t *testing.T) {
 func TestCorruptedUpdateBlobRejected(t *testing.T) {
 	d := newDeployment(t, DeploymentOptions{EncryptConfigs: true})
 	c := addClient(t, d, "c1", ClientSpec{UseCase: click.UseCaseNOP})
-	if err := d.Server.PublishUpdate(&config.Update{
+	publish(t, d, &config.Update{
 		Version: 1, GraceSeconds: 300,
 		ClickConfig: click.StandardConfig(click.UseCaseNOP),
-	}); err != nil {
-		t.Fatal(err)
-	}
+	})
 	blob, err := d.Server.Configs().Fetch(1)
 	if err != nil {
 		t.Fatal(err)

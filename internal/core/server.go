@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"crypto/ed25519"
 	"crypto/rand"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"endbox/internal/attest"
@@ -44,12 +46,14 @@ type ServerOptions struct {
 
 // Server bundles the managed network's server side: VPN endpoint,
 // configuration file server and the administrator's management interface
-// (paper Fig. 5).
+// (paper Fig. 5). It is safe for concurrent use.
 type Server struct {
-	opts      ServerOptions
-	vpn       *vpn.Server
-	configs   *config.Server
-	signKey   ed25519.PrivateKey
+	opts    ServerOptions
+	vpn     *vpn.Server
+	configs *config.Server
+	signKey ed25519.PrivateKey
+
+	mu        sync.Mutex
 	nextVer   uint64
 	lastGrace time.Duration
 }
@@ -70,11 +74,17 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	var process func(ip []byte) bool
 	if opts.ServerClick != nil {
 		inst := opts.ServerClick
+		// The server-side Click instance is shared by every client's frame
+		// handling; serialise access like the paper's single-threaded
+		// OpenVPN+Click process.
+		var clickMu sync.Mutex
 		process = func(raw []byte) bool {
 			ip, err := packet.ParseIPv4(raw)
 			if err != nil {
 				return false
 			}
+			clickMu.Lock()
+			defer clickMu.Unlock()
 			return inst.Process(ip).Accepted
 		}
 	}
@@ -111,8 +121,12 @@ func (s *Server) Configs() *config.Server { return s.configs }
 // PublishUpdate is the administrator's one call to roll out a new
 // middlebox configuration (paper Fig. 5 steps 1-4): seal it under the CA
 // key (encrypting if configured), upload to the configuration server,
-// arm the grace-period policy and ping all clients.
-func (s *Server) PublishUpdate(u *config.Update) error {
+// arm the grace-period policy and ping all clients. The context bounds the
+// rollout (sealing plus the announcement fan-out).
+func (s *Server) PublishUpdate(ctx context.Context, u *config.Update) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var key []byte
 	if s.opts.EncryptConfigs {
 		key = s.opts.CA.SharedKey()
@@ -127,15 +141,23 @@ func (s *Server) PublishUpdate(u *config.Update) error {
 	if err := s.vpn.Policy().Announce(u.Version, u.GracePeriod()); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.nextVer = u.Version
 	s.lastGrace = u.GracePeriod()
+	s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return s.vpn.BroadcastPing(u.GracePeriod())
 }
 
 // BroadcastPing re-sends the periodic keepalive announcing the current
 // version.
 func (s *Server) BroadcastPing() error {
-	return s.vpn.BroadcastPing(s.lastGrace)
+	s.mu.Lock()
+	grace := s.lastGrace
+	s.mu.Unlock()
+	return s.vpn.BroadcastPing(grace)
 }
 
 // VanillaDeviceSetup performs the file-descriptor work vanilla Click's

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"crypto/ed25519"
+	"fmt"
+	"sync"
+
+	"endbox/internal/attest"
+	"endbox/internal/click"
+	"endbox/internal/vpn"
+)
+
+// ServerEndpoint is the server-side surface a Transport dispatches into:
+// everything a remote client may ask of the operator — platform
+// registration, remote attestation, the VPN handshake, configuration
+// fetches and data-channel frames. Deployment implements it; transports
+// must not assume any other methods.
+type ServerEndpoint interface {
+	// RegisterPlatform records a platform's quoting-enclave key with the
+	// IAS (standing in for Intel's manufacturing provisioning) and returns
+	// the CA public key clients bake into their enclave image.
+	RegisterPlatform(platformID string, key ed25519.PublicKey) (ed25519.PublicKey, error)
+	// Enroll submits an attestation quote to the CA (paper Fig. 4).
+	Enroll(q attest.Quote) (*attest.Provision, error)
+	// AcceptHello runs the server side of the VPN handshake.
+	AcceptHello(h *vpn.ClientHello) (*vpn.ServerHello, error)
+	// HandleFrame processes one sealed client->server frame.
+	HandleFrame(clientID string, frame []byte) error
+	// FetchConfig retrieves a sealed configuration blob; version 0 selects
+	// the latest published version.
+	FetchConfig(version uint64) ([]byte, error)
+}
+
+// ClientLink is one client's endpoint of a Transport: control-plane round
+// trips plus the sealed data channel. All methods are safe for concurrent
+// use once the link is established.
+type ClientLink interface {
+	// Register performs platform registration, returning the CA key.
+	Register(ctx context.Context, platformID string, key ed25519.PublicKey) (ed25519.PublicKey, error)
+	// Enroll performs remote attestation.
+	Enroll(ctx context.Context, q attest.Quote) (*attest.Provision, error)
+	// Hello performs the VPN handshake round trip.
+	Hello(ctx context.Context, h *vpn.ClientHello) (*vpn.ServerHello, error)
+	// FetchConfig retrieves a sealed configuration blob (0 = latest).
+	FetchConfig(ctx context.Context, version uint64) ([]byte, error)
+	// SendFrame transmits one sealed client->server frame.
+	SendFrame(frame []byte) error
+	// SetDeliver installs the handler for server->client frames. It must be
+	// called before the handshake; frames arriving earlier may be dropped.
+	SetDeliver(fn func(frame []byte) error)
+	// Close releases the link.
+	Close() error
+}
+
+// Transport moves sealed VPN frames and control-plane messages between the
+// server side of a deployment and its clients. The same Deployment code
+// drives an in-process transport (direct calls, zero copies — the unit-test
+// and benchmark configuration) or a socket transport (cmd/endbox-server and
+// cmd/endbox-client over UDP); implementations must be safe for concurrent
+// use.
+type Transport interface {
+	// BindServer attaches the server-side endpoint. It is called exactly
+	// once, before any Link or SendToClient.
+	BindServer(ep ServerEndpoint) error
+	// SendToClient pushes a sealed server->client frame.
+	SendToClient(clientID string, frame []byte) error
+	// Link opens the client-side endpoint for one client.
+	Link(ctx context.Context, clientID string) (ClientLink, error)
+	// Close releases all transport resources.
+	Close() error
+}
+
+// Observer receives deployment-wide data-path events. It replaces the bare
+// OnDeliver/Deliver/OnAlert callbacks of the original API: one composable
+// interface, with the client identified explicitly so a single observer can
+// watch any number of clients. Implementations must be safe for concurrent
+// use; the deployment invokes them from whichever goroutine carried the
+// packet.
+type Observer interface {
+	// PacketDelivered fires when a client packet is accepted into the
+	// managed network (server side, after middlebox + policy checks).
+	PacketDelivered(clientID string, ip []byte)
+	// PacketReceived fires when an inbound packet is delivered to a client
+	// application (client side, after in-enclave processing).
+	PacketReceived(clientID string, ip []byte)
+	// Alert fires for middlebox alerts raised inside a client's enclave.
+	Alert(clientID string, a click.Alert)
+}
+
+// ObserverFuncs adapts plain functions to Observer; nil fields ignore the
+// corresponding event.
+type ObserverFuncs struct {
+	OnDelivered func(clientID string, ip []byte)
+	OnReceived  func(clientID string, ip []byte)
+	OnAlert     func(clientID string, a click.Alert)
+}
+
+// PacketDelivered implements Observer.
+func (o ObserverFuncs) PacketDelivered(clientID string, ip []byte) {
+	if o.OnDelivered != nil {
+		o.OnDelivered(clientID, ip)
+	}
+}
+
+// PacketReceived implements Observer.
+func (o ObserverFuncs) PacketReceived(clientID string, ip []byte) {
+	if o.OnReceived != nil {
+		o.OnReceived(clientID, ip)
+	}
+}
+
+// Alert implements Observer.
+func (o ObserverFuncs) Alert(clientID string, a click.Alert) {
+	if o.OnAlert != nil {
+		o.OnAlert(clientID, a)
+	}
+}
+
+// MultiObserver fans events out to several observers in order.
+func MultiObserver(obs ...Observer) Observer { return multiObserver(obs) }
+
+type multiObserver []Observer
+
+func (m multiObserver) PacketDelivered(clientID string, ip []byte) {
+	for _, o := range m {
+		o.PacketDelivered(clientID, ip)
+	}
+}
+
+func (m multiObserver) PacketReceived(clientID string, ip []byte) {
+	for _, o := range m {
+		o.PacketReceived(clientID, ip)
+	}
+}
+
+func (m multiObserver) Alert(clientID string, a click.Alert) {
+	for _, o := range m {
+		o.Alert(clientID, a)
+	}
+}
+
+// InProcessTransport links clients to the server by direct function calls —
+// the configuration every in-memory deployment, test and benchmark uses.
+// Sends are synchronous: a SendFrame runs the server's frame handling on
+// the caller's stack, exactly like the original hardwired function
+// pointers, so the data path costs no goroutine hops.
+type InProcessTransport struct {
+	mu    sync.RWMutex
+	ep    ServerEndpoint
+	links map[string]*inprocLink
+}
+
+// NewInProcessTransport creates an empty in-process transport.
+func NewInProcessTransport() *InProcessTransport {
+	return &InProcessTransport{links: make(map[string]*inprocLink)}
+}
+
+// BindServer implements Transport.
+func (t *InProcessTransport) BindServer(ep ServerEndpoint) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ep != nil {
+		return fmt.Errorf("core: transport already bound")
+	}
+	t.ep = ep
+	return nil
+}
+
+// SendToClient implements Transport.
+func (t *InProcessTransport) SendToClient(clientID string, frame []byte) error {
+	t.mu.RLock()
+	l, ok := t.links[clientID]
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("core: no transport link to client %q", clientID)
+	}
+	return l.deliverFrame(frame)
+}
+
+// Link implements Transport.
+func (t *InProcessTransport) Link(ctx context.Context, clientID string) (ClientLink, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ep == nil {
+		return nil, fmt.Errorf("core: transport not bound to a server")
+	}
+	if _, dup := t.links[clientID]; dup {
+		return nil, fmt.Errorf("core: client %q already linked", clientID)
+	}
+	l := &inprocLink{t: t, clientID: clientID}
+	t.links[clientID] = l
+	return l, nil
+}
+
+// Close implements Transport.
+func (t *InProcessTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.links = make(map[string]*inprocLink)
+	return nil
+}
+
+// unlink removes a closed link from the registry.
+func (t *InProcessTransport) unlink(clientID string, l *inprocLink) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.links[clientID] == l {
+		delete(t.links, clientID)
+	}
+}
+
+// inprocLink is the client side of an InProcessTransport.
+type inprocLink struct {
+	t        *InProcessTransport
+	clientID string
+
+	mu      sync.RWMutex
+	deliver func(frame []byte) error
+	closed  bool
+}
+
+func (l *inprocLink) endpoint() (ServerEndpoint, error) {
+	l.mu.RLock()
+	closed := l.closed
+	l.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("core: link %q closed", l.clientID)
+	}
+	l.t.mu.RLock()
+	ep := l.t.ep
+	l.t.mu.RUnlock()
+	if ep == nil {
+		return nil, fmt.Errorf("core: transport not bound to a server")
+	}
+	return ep, nil
+}
+
+// Register implements ClientLink.
+func (l *inprocLink) Register(ctx context.Context, platformID string, key ed25519.PublicKey) (ed25519.PublicKey, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ep, err := l.endpoint()
+	if err != nil {
+		return nil, err
+	}
+	return ep.RegisterPlatform(platformID, key)
+}
+
+// Enroll implements ClientLink.
+func (l *inprocLink) Enroll(ctx context.Context, q attest.Quote) (*attest.Provision, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ep, err := l.endpoint()
+	if err != nil {
+		return nil, err
+	}
+	return ep.Enroll(q)
+}
+
+// Hello implements ClientLink.
+func (l *inprocLink) Hello(ctx context.Context, h *vpn.ClientHello) (*vpn.ServerHello, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ep, err := l.endpoint()
+	if err != nil {
+		return nil, err
+	}
+	return ep.AcceptHello(h)
+}
+
+// FetchConfig implements ClientLink.
+func (l *inprocLink) FetchConfig(ctx context.Context, version uint64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ep, err := l.endpoint()
+	if err != nil {
+		return nil, err
+	}
+	return ep.FetchConfig(version)
+}
+
+// SendFrame implements ClientLink.
+func (l *inprocLink) SendFrame(frame []byte) error {
+	ep, err := l.endpoint()
+	if err != nil {
+		return err
+	}
+	return ep.HandleFrame(l.clientID, frame)
+}
+
+// SetDeliver implements ClientLink.
+func (l *inprocLink) SetDeliver(fn func(frame []byte) error) {
+	l.mu.Lock()
+	l.deliver = fn
+	l.mu.Unlock()
+}
+
+// deliverFrame pushes a server->client frame into the registered handler.
+func (l *inprocLink) deliverFrame(frame []byte) error {
+	l.mu.RLock()
+	fn := l.deliver
+	closed := l.closed
+	l.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("core: link %q closed", l.clientID)
+	}
+	if fn == nil {
+		return fmt.Errorf("core: client %q has no frame handler", l.clientID)
+	}
+	return fn(frame)
+}
+
+// Close implements ClientLink.
+func (l *inprocLink) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.t.unlink(l.clientID, l)
+	return nil
+}

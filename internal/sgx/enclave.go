@@ -86,6 +86,13 @@ type Enclave struct {
 	ocalls     map[string]OcallFunc
 	validators map[string]OcallValidator
 
+	// execMu serialises ecall handler execution: the enclave is modelled
+	// with a single TCS, so in-enclave state needs no internal locking and
+	// concurrent callers queue at the boundary — making the whole client
+	// data path safe for concurrent use. Ocalls issued from within an ecall
+	// run under the same token (no re-acquisition, no self-deadlock).
+	execMu sync.Mutex
+
 	ecallCount  atomic.Uint64
 	ocallCount  atomic.Uint64
 	transitions atomic.Uint64
@@ -256,9 +263,11 @@ func (e *Enclave) Ecall(name string, arg any) (any, error) {
 	}
 
 	e.ecallCount.Add(1)
+	e.execMu.Lock()
 	e.crossBoundary() // EENTER
 	res, err := fn(&Ctx{e: e}, arg)
 	e.crossBoundary() // EEXIT
+	e.execMu.Unlock()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,518 @@
+package udptransport
+
+import (
+	"context"
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"endbox/internal/attest"
+	"endbox/internal/core"
+	"endbox/internal/vpn"
+)
+
+// Transport implements core.Transport over real UDP sockets: the server
+// side binds one datagram socket and dispatches control messages into the
+// deployment's ServerEndpoint; each client link dials its own socket. The
+// same Deployment code that runs in-process therefore runs across machines
+// unchanged — cmd/endbox-server and cmd/endbox-client are thin wrappers
+// around this type.
+type Transport struct {
+	listen string
+	// Logf, if set before BindServer, receives connection-level log lines
+	// (registrations, handshakes, send failures).
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ep     core.ServerEndpoint
+	conn   *net.UDPConn
+	addrs  map[string]*net.UDPAddr // client ID -> last UDP address
+	byAddr map[string]string       // UDP address -> client ID (reverse index)
+	closed bool
+}
+
+// NewTransport creates a UDP transport that will listen on the given
+// address once a server binds to it. Use ":0" to pick a free port (the
+// effective address is available from Addr after BindServer).
+func NewTransport(listen string) *Transport {
+	return &Transport{
+		listen: listen,
+		addrs:  make(map[string]*net.UDPAddr),
+		byAddr: make(map[string]string),
+	}
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.Logf != nil {
+		t.Logf(format, args...)
+	}
+}
+
+// Addr returns the bound server address (valid after BindServer).
+func (t *Transport) Addr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return t.listen
+	}
+	return t.conn.LocalAddr().String()
+}
+
+// BindServer implements core.Transport: bind the socket and start the
+// datagram dispatch loop.
+func (t *Transport) BindServer(ep core.ServerEndpoint) error {
+	addr, err := net.ResolveUDPAddr("udp", t.listen)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if t.ep != nil {
+		t.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("udptransport: transport already bound")
+	}
+	t.ep = ep
+	t.conn = conn
+	t.mu.Unlock()
+	go t.serve(conn, ep)
+	return nil
+}
+
+// serve is the datagram dispatch loop.
+func (t *Transport) serve(conn *net.UDPConn, ep core.ServerEndpoint) {
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if !closed {
+				// An unexpected socket failure, not a deliberate Close: say
+				// so loudly instead of leaving a silently deaf server.
+				t.logf("udptransport: server socket failed, no longer serving: %v", err)
+			}
+			return
+		}
+		msgType, body, err := Decode(buf[:n])
+		if err != nil {
+			continue
+		}
+		resp := t.handle(conn, ep, msgType, body, from)
+		if resp != nil {
+			if _, err := conn.WriteToUDP(resp, from); err != nil {
+				t.logf("udptransport: reply to %s: %v", from, err)
+			}
+		}
+	}
+}
+
+// handle processes one message and returns the response datagram (nil for
+// one-way messages).
+func (t *Transport) handle(conn *net.UDPConn, ep core.ServerEndpoint, msgType byte, body []byte, from *net.UDPAddr) []byte {
+	switch msgType {
+	case MsgRegister:
+		var reg Register
+		if err := DecodeJSON(body, &reg); err != nil {
+			return Errorf("register: %v", err)
+		}
+		caPub, err := ep.RegisterPlatform(reg.PlatformID, reg.Key)
+		if err != nil {
+			return Errorf("register refused: %v", err)
+		}
+		t.logf("registered platform %s", reg.PlatformID)
+		return Encode(MsgRegisterOK, caPub)
+
+	case MsgQuote:
+		var quote attest.Quote
+		if err := DecodeJSON(body, &quote); err != nil {
+			return Errorf("quote: %v", err)
+		}
+		prov, err := ep.Enroll(quote)
+		if err != nil {
+			return Errorf("enrolment refused: %v", err)
+		}
+		resp, err := EncodeJSON(MsgProvision, prov)
+		if err != nil {
+			return Errorf("provision: %v", err)
+		}
+		t.logf("enrolled platform %s (measurement %s)", quote.PlatformID, quote.Report.Measurement)
+		return resp
+
+	case MsgHello:
+		var hello vpn.ClientHello
+		if err := DecodeJSON(body, &hello); err != nil {
+			return Errorf("hello: %v", err)
+		}
+		sh, err := ep.AcceptHello(&hello)
+		if err != nil {
+			return Errorf("handshake refused: %v", err)
+		}
+		t.mu.Lock()
+		if prev, ok := t.addrs[hello.ClientID]; ok {
+			delete(t.byAddr, prev.String())
+		}
+		t.addrs[hello.ClientID] = from
+		t.byAddr[from.String()] = hello.ClientID
+		t.mu.Unlock()
+		resp, err := EncodeJSON(MsgServerHello, sh)
+		if err != nil {
+			return Errorf("server hello: %v", err)
+		}
+		t.logf("client %s connected from %s", hello.ClientID, from)
+		return resp
+
+	case MsgFrame:
+		t.mu.Lock()
+		clientID := t.byAddr[from.String()]
+		t.mu.Unlock()
+		if clientID == "" {
+			// Data frames are fire-and-forget: replying with MsgError would
+			// land in the sender's control queue and poison its next
+			// control round trip, so just drop and log.
+			t.logf("udptransport: frame from unknown address %s dropped", from)
+			return nil
+		}
+		if err := ep.HandleFrame(clientID, body); err != nil {
+			t.logf("frame from %s: %v", clientID, err)
+		}
+		return nil
+
+	case MsgFetch:
+		if len(body) != 8 {
+			return Errorf("fetch: bad version")
+		}
+		version := binary.BigEndian.Uint64(body)
+		blob, err := ep.FetchConfig(version)
+		if err != nil {
+			return Errorf("fetch v%d: %v", version, err)
+		}
+		// Configuration blobs exceed one datagram; stream the chunks and
+		// return nil (no single response).
+		for _, chunk := range EncodeChunks(blob) {
+			if _, err := conn.WriteToUDP(chunk, from); err != nil {
+				t.logf("config chunk to %s: %v", from, err)
+				break
+			}
+		}
+		return nil
+
+	default:
+		return Errorf("unknown message type %c", msgType)
+	}
+}
+
+// SendToClient implements core.Transport: push a sealed frame to a client's
+// last known address.
+func (t *Transport) SendToClient(clientID string, frame []byte) error {
+	t.mu.Lock()
+	addr, ok := t.addrs[clientID]
+	conn := t.conn
+	t.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("udptransport: transport not bound")
+	}
+	if !ok {
+		return fmt.Errorf("udptransport: no address for client %q", clientID)
+	}
+	_, err := conn.WriteToUDP(Encode(MsgFrame, frame), addr)
+	return err
+}
+
+// Link implements core.Transport: dial a fresh client socket to this
+// transport's server. The clientID is informational — the server learns it
+// from the handshake.
+func (t *Transport) Link(ctx context.Context, clientID string) (core.ClientLink, error) {
+	return Dial(ctx, t.Addr())
+}
+
+// Close implements core.Transport.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	conn := t.conn
+	t.conn = nil
+	t.closed = true
+	t.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// requestTimeout is the per-attempt control round-trip timeout.
+const requestTimeout = 2 * time.Second
+
+// Link is the client side of the UDP transport: a request/response helper
+// for control messages plus an async dispatch loop for pushed data frames.
+// It implements core.ClientLink.
+type Link struct {
+	conn    *net.UDPConn
+	control chan []byte // control responses (type+body)
+	frames  chan []byte // pushed data frames
+
+	ctrlMu sync.Mutex // serialises control-plane round trips
+
+	mu        sync.Mutex
+	deliverFn func(frame []byte) error
+	dispatch  bool
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Dial connects a client link to an endbox server's UDP address.
+func Dial(ctx context.Context, server string) (*Link, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	addr, err := net.ResolveUDPAddr("udp", server)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Link{
+		conn:    conn,
+		control: make(chan []byte, 4),
+		frames:  make(chan []byte, 256),
+		closed:  make(chan struct{}),
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+func (l *Link) readLoop() {
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, err := l.conn.Read(buf)
+		if err != nil {
+			close(l.frames)
+			return
+		}
+		msg := append([]byte(nil), buf[:n]...)
+		msgType, body, err := Decode(msg)
+		if err != nil {
+			continue
+		}
+		if msgType == MsgFrame {
+			select {
+			case l.frames <- body:
+			default: // shed on overload like a real NIC queue
+			}
+			continue
+		}
+		select {
+		case l.control <- msg:
+		default:
+		}
+	}
+}
+
+// drainControl drops stale responses from abandoned round trips so they
+// cannot be mistaken for the answer to the next one. Callers hold ctrlMu.
+func (l *Link) drainControl() {
+	for {
+		select {
+		case <-l.control:
+		default:
+			return
+		}
+	}
+}
+
+// request performs one control round trip with retries, honouring ctx.
+func (l *Link) request(ctx context.Context, datagram []byte) (byte, []byte, error) {
+	l.ctrlMu.Lock()
+	defer l.ctrlMu.Unlock()
+	l.drainControl()
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		if _, err := l.conn.Write(datagram); err != nil {
+			return 0, nil, err
+		}
+		select {
+		case resp := <-l.control:
+			msgType, body, err := Decode(resp)
+			if err != nil {
+				return 0, nil, err
+			}
+			if msgType == MsgError {
+				return 0, nil, fmt.Errorf("udptransport: server: %s", body)
+			}
+			return msgType, body, nil
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		case <-l.closed:
+			return 0, nil, fmt.Errorf("udptransport: link closed")
+		case <-time.After(requestTimeout):
+		}
+	}
+	return 0, nil, fmt.Errorf("udptransport: no response from server")
+}
+
+// Register implements core.ClientLink.
+func (l *Link) Register(ctx context.Context, platformID string, key ed25519.PublicKey) (ed25519.PublicKey, error) {
+	msg, err := EncodeJSON(MsgRegister, Register{PlatformID: platformID, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	msgType, body, err := l.request(ctx, msg)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: register: %w", err)
+	}
+	if msgType != MsgRegisterOK {
+		return nil, fmt.Errorf("udptransport: register: unexpected response %c", msgType)
+	}
+	return ed25519.PublicKey(append([]byte(nil), body...)), nil
+}
+
+// Enroll implements core.ClientLink.
+func (l *Link) Enroll(ctx context.Context, q attest.Quote) (*attest.Provision, error) {
+	msg, err := EncodeJSON(MsgQuote, q)
+	if err != nil {
+		return nil, err
+	}
+	msgType, body, err := l.request(ctx, msg)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != MsgProvision {
+		return nil, fmt.Errorf("udptransport: unexpected enrolment response %c", msgType)
+	}
+	var prov attest.Provision
+	if err := DecodeJSON(body, &prov); err != nil {
+		return nil, err
+	}
+	return &prov, nil
+}
+
+// Hello implements core.ClientLink.
+func (l *Link) Hello(ctx context.Context, h *vpn.ClientHello) (*vpn.ServerHello, error) {
+	msg, err := EncodeJSON(MsgHello, h)
+	if err != nil {
+		return nil, err
+	}
+	msgType, body, err := l.request(ctx, msg)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != MsgServerHello {
+		return nil, fmt.Errorf("udptransport: unexpected handshake response %c", msgType)
+	}
+	var sh vpn.ServerHello
+	if err := DecodeJSON(body, &sh); err != nil {
+		return nil, err
+	}
+	return &sh, nil
+}
+
+// FetchConfig implements core.ClientLink: request a blob (0 = latest) and
+// reassemble the chunk stream.
+func (l *Link) FetchConfig(ctx context.Context, version uint64) ([]byte, error) {
+	l.ctrlMu.Lock()
+	defer l.ctrlMu.Unlock()
+	l.drainControl()
+	var v [8]byte
+	binary.BigEndian.PutUint64(v[:], version)
+	if _, err := l.conn.Write(Encode(MsgFetch, v[:])); err != nil {
+		return nil, err
+	}
+	chunks := make(map[int][]byte)
+	want := -1
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case resp := <-l.control:
+			msgType, body, err := Decode(resp)
+			if err != nil {
+				return nil, err
+			}
+			switch msgType {
+			case MsgError:
+				return nil, fmt.Errorf("udptransport: server: %s", body)
+			case MsgConfig:
+				idx, total, data, err := DecodeChunk(body)
+				if err != nil {
+					return nil, err
+				}
+				want = total
+				chunks[idx] = append([]byte(nil), data...)
+				if len(chunks) == want {
+					var blob []byte
+					for i := 0; i < want; i++ {
+						part, ok := chunks[i]
+						if !ok {
+							return nil, fmt.Errorf("udptransport: missing config chunk %d", i)
+						}
+						blob = append(blob, part...)
+					}
+					return blob, nil
+				}
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-l.closed:
+			return nil, fmt.Errorf("udptransport: link closed")
+		case <-deadline:
+			return nil, fmt.Errorf("udptransport: configuration fetch timed out (%d/%d chunks)", len(chunks), want)
+		}
+	}
+}
+
+// SendFrame implements core.ClientLink.
+func (l *Link) SendFrame(frame []byte) error {
+	_, err := l.conn.Write(Encode(MsgFrame, frame))
+	return err
+}
+
+// SetDeliver implements core.ClientLink: install the handler for pushed
+// server->client frames and start the dispatch loop.
+func (l *Link) SetDeliver(fn func(frame []byte) error) {
+	l.mu.Lock()
+	l.deliverFn = fn
+	start := !l.dispatch
+	l.dispatch = true
+	l.mu.Unlock()
+	if !start {
+		return
+	}
+	go func() {
+		for {
+			select {
+			case frame, ok := <-l.frames:
+				if !ok {
+					return
+				}
+				l.mu.Lock()
+				h := l.deliverFn
+				l.mu.Unlock()
+				if h != nil {
+					_ = h(frame) // per-frame errors are data-path events, not link failures
+				}
+			case <-l.closed:
+				return
+			}
+		}
+	}()
+}
+
+// Close implements core.ClientLink.
+func (l *Link) Close() error {
+	var err error
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		err = l.conn.Close()
+	})
+	return err
+}

@@ -1,0 +1,181 @@
+package udptransport
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"endbox/internal/attest"
+	"endbox/internal/core"
+	"endbox/internal/vpn"
+)
+
+// fakeEndpoint implements core.ServerEndpoint with canned behaviour, so
+// the transport's dispatch and chunking are tested without a deployment.
+type fakeEndpoint struct {
+	mu        sync.Mutex
+	caPub     ed25519.PublicKey
+	blob      []byte
+	frames    [][]byte
+	platforms []string
+}
+
+func (f *fakeEndpoint) RegisterPlatform(id string, key ed25519.PublicKey) (ed25519.PublicKey, error) {
+	if id == "denied" {
+		return nil, fmt.Errorf("platform on deny list")
+	}
+	f.mu.Lock()
+	f.platforms = append(f.platforms, id)
+	f.mu.Unlock()
+	return f.caPub, nil
+}
+
+func (f *fakeEndpoint) Enroll(q attest.Quote) (*attest.Provision, error) {
+	return nil, fmt.Errorf("enrolment closed")
+}
+
+func (f *fakeEndpoint) AcceptHello(h *vpn.ClientHello) (*vpn.ServerHello, error) {
+	return &vpn.ServerHello{ChosenTLS: vpn.TLS13}, nil
+}
+
+func (f *fakeEndpoint) HandleFrame(clientID string, frame []byte) error {
+	f.mu.Lock()
+	f.frames = append(f.frames, append([]byte(nil), frame...))
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeEndpoint) FetchConfig(version uint64) ([]byte, error) {
+	if version == 404 {
+		return nil, fmt.Errorf("no such version")
+	}
+	return f.blob, nil
+}
+
+func startTransport(t *testing.T, ep core.ServerEndpoint) *Transport {
+	t.Helper()
+	tr := NewTransport("127.0.0.1:0")
+	if err := tr.BindServer(ep); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestTransportControlRoundTrips(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	pub, _, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A blob spanning several chunks exercises reassembly.
+	blob := bytes.Repeat([]byte("endbox-config-"), 10000) // ~140 kB
+	ep := &fakeEndpoint{caPub: pub, blob: blob}
+	tr := startTransport(t, ep)
+
+	link, err := Dial(ctx, tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	got, err := link.Register(ctx, "platform-1", pub)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if !got.Equal(pub) {
+		t.Error("CA key mangled in transit")
+	}
+	if _, err := link.Register(ctx, "denied", pub); err == nil {
+		t.Error("denied registration succeeded")
+	}
+	if _, err := link.Enroll(ctx, attest.Quote{}); err == nil {
+		t.Error("enrolment error not propagated")
+	}
+
+	fetched, err := link.FetchConfig(ctx, 1)
+	if err != nil {
+		t.Fatalf("FetchConfig: %v", err)
+	}
+	if !bytes.Equal(fetched, blob) {
+		t.Errorf("fetched blob differs: %d bytes vs %d", len(fetched), len(blob))
+	}
+	if _, err := link.FetchConfig(ctx, 404); err == nil {
+		t.Error("fetch error not propagated")
+	}
+}
+
+func TestTransportFramesAfterHello(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	pub, _, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := &fakeEndpoint{caPub: pub}
+	tr := startTransport(t, ep)
+
+	link, err := Dial(ctx, tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	// Frames from an address the server has not seen a handshake from are
+	// rejected, so none reach the endpoint.
+	if err := link.SendFrame([]byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := link.Hello(ctx, &vpn.ClientHello{ClientID: "c1"}); err != nil {
+		t.Fatalf("Hello: %v", err)
+	}
+	if err := link.SendFrame([]byte("frame-1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server -> client push.
+	inbound := make(chan []byte, 1)
+	link.SetDeliver(func(frame []byte) error {
+		inbound <- append([]byte(nil), frame...)
+		return nil
+	})
+	if err := waitFor(func() bool {
+		ep.mu.Lock()
+		defer ep.mu.Unlock()
+		return len(ep.frames) == 1
+	}); err != nil {
+		ep.mu.Lock()
+		t.Fatalf("server frames = %v (want exactly the post-hello frame)", ep.frames)
+	}
+	if err := tr.SendToClient("c1", []byte("push-1")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-inbound:
+		if string(f) != "push-1" {
+			t.Errorf("pushed frame = %q", f)
+		}
+	case <-ctx.Done():
+		t.Fatal("pushed frame never delivered")
+	}
+
+	if err := tr.SendToClient("unknown", []byte("x")); err == nil {
+		t.Error("SendToClient to unknown client succeeded")
+	}
+}
+
+func waitFor(cond func() bool) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("condition not met")
+}

@@ -77,6 +77,57 @@ func (c *Client) SendPacket(ip []byte) error {
 	return c.opts.Send(frame)
 }
 
+// SendPackets tunnels a batch of IP packets. On a BatchDataPlane the whole
+// batch crosses the enclave boundary once; otherwise it falls back to
+// per-packet sealing. Middlebox drops skip the affected packet without
+// aborting the batch. It returns the number of frames handed to the
+// transport and the first error encountered (drops included).
+func (c *Client) SendPackets(ips [][]byte) (int, error) {
+	payloads := make([][]byte, len(ips))
+	for i, ip := range ips {
+		p := make([]byte, 1+len(ip))
+		p[0] = FrameData
+		copy(p[1:], ip)
+		payloads[i] = p
+	}
+
+	var results []SealResult
+	if bp, ok := c.opts.Plane.(BatchDataPlane); ok {
+		var err error
+		results, err = bp.SealOutboundBatch(payloads)
+		if err != nil {
+			return 0, err
+		}
+		if len(results) != len(payloads) {
+			return 0, fmt.Errorf("vpn: batch seal returned %d results for %d packets", len(results), len(payloads))
+		}
+	} else {
+		results = make([]SealResult, len(payloads))
+		for i, p := range payloads {
+			results[i].Frame, results[i].Err = c.opts.Plane.SealOutbound(p)
+		}
+	}
+
+	sent := 0
+	var firstErr error
+	for _, r := range results {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			continue
+		}
+		if err := c.opts.Send(r.Frame); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, firstErr
+}
+
 // HandleFrame processes a frame from the server: open (verify, decrypt,
 // replay-check, run ingress middlebox), then deliver data or record pings.
 func (c *Client) HandleFrame(frame []byte) error {

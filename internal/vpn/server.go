@@ -215,12 +215,15 @@ func (s *Server) HandleFrame(clientID string, frame []byte) error {
 		s.mu.Unlock()
 		return nil
 	case FrameData:
-		if !s.policy.Accepts(atomicLoadVersion(s, sess)) {
+		s.mu.Lock()
+		reported := sess.reportedVersion
+		s.mu.Unlock()
+		if !s.policy.Accepts(reported) {
 			s.mu.Lock()
 			sess.stats.Dropped++
 			s.mu.Unlock()
 			return fmt.Errorf("%w: client %q at version %d, need %d",
-				ErrStaleConfig, clientID, sess.reportedVersion, s.policy.Current())
+				ErrStaleConfig, clientID, reported, s.policy.Current())
 		}
 		ip := payload[1:]
 		if s.opts.Process != nil && !s.opts.Process(ip) {
@@ -240,12 +243,6 @@ func (s *Server) HandleFrame(clientID string, frame []byte) error {
 	default:
 		return fmt.Errorf("vpn: unknown frame type %d from %q", payload[0], clientID)
 	}
-}
-
-func atomicLoadVersion(s *Server, sess *session) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return sess.reportedVersion
 }
 
 // SendTo tunnels a network packet to a client. Packets entering from the

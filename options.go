@@ -1,0 +1,67 @@
+package endbox
+
+import (
+	"time"
+)
+
+// Option configures a Deployment built with New. Options layer over the
+// DeploymentOptions struct, so the two construction paths compose: an
+// option is just a function mutating the struct.
+type Option func(*DeploymentOptions)
+
+// WithWireMode selects the data-channel protection: WireEncrypted (the
+// enterprise default) or WireIntegrityOnly (the ISP opt-in, paper §IV-A).
+func WithWireMode(m WireMode) Option {
+	return func(o *DeploymentOptions) { o.Mode = m }
+}
+
+// WithEncryptedConfigs encrypts published configuration updates with the
+// CA's shared key so only attested enclaves can read the rules (the
+// enterprise scenario; the ISP scenario publishes plaintext).
+func WithEncryptedConfigs() Option {
+	return func(o *DeploymentOptions) { o.EncryptConfigs = true }
+}
+
+// WithServerUseCase attaches a server-side Click pipeline running the
+// given use case — the OpenVPN+Click baseline the paper compares against.
+func WithServerUseCase(u UseCase) Option {
+	return func(o *DeploymentOptions) { o.ServerUseCase = u }
+}
+
+// WithClock sets the deployment-wide time source, letting tests and
+// virtual-time experiments drive grace periods deterministically.
+func WithClock(now func() time.Time) Option {
+	return func(o *DeploymentOptions) { o.Clock = now }
+}
+
+// WithObserver installs the deployment's data-path observer. Repeated use
+// composes: all observers receive every event.
+func WithObserver(obs Observer) Option {
+	return func(o *DeploymentOptions) {
+		if o.Observer != nil {
+			o.Observer = MultiObserver(o.Observer, obs)
+			return
+		}
+		o.Observer = obs
+	}
+}
+
+// WithTransport selects the transport carrying frames between the server
+// and its clients (default: in-process direct calls).
+func WithTransport(t Transport) Option {
+	return func(o *DeploymentOptions) { o.Transport = t }
+}
+
+// WithEchoNetwork makes the managed network reflect delivered packets back
+// to the sending client (src/dst swapped, ICMP echoes answered) —
+// modelling a server answering, used by latency measurements and demos.
+func WithEchoNetwork() Option {
+	return func(o *DeploymentOptions) { o.EchoNetwork = true }
+}
+
+// WithClientRouting relays packets addressed to another connected client's
+// tunnel address, preserving the 0xeb processed flag (paper §IV-A
+// client-to-client communication).
+func WithClientRouting() Option {
+	return func(o *DeploymentOptions) { o.RouteBetweenClients = true }
+}
