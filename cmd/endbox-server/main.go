@@ -40,6 +40,8 @@ func run() error {
 		useCase     = flag.String("usecase", "FW", "initial middlebox use case (NOP|LB|FW|IDPS|DDoS)")
 		grace       = flag.Int("grace", 30, "grace period in seconds for configuration updates")
 		updateAfter = flag.Int("update-after", 0, "publish a demo configuration update after N seconds (0 = never)")
+		shards      = flag.Int("shards", 0, "session-table shard count (0 = match CPUs, 1 = monolithic baseline)")
+		udpWorkers  = flag.Int("udp-workers", 0, "ingress worker pool size (0 = single serve goroutine)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -54,6 +56,8 @@ func run() error {
 
 	deployment, err := endbox.New(
 		endbox.WithTransport(transport),
+		endbox.WithShards(*shards),
+		endbox.WithUDPWorkers(*udpWorkers),
 		// Demo "managed network": echo packets back to the sender,
 		// answering ICMP echo requests properly.
 		endbox.WithEchoNetwork(),
@@ -91,7 +95,8 @@ func run() error {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (use case %s, CA ready)\n", transport.Addr(), uc)
+	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (use case %s, %d session shards, %d ingress workers, CA ready)\n",
+		transport.Addr(), uc, deployment.Server.VPN().ShardCount(), transport.Workers())
 
 	// The transport serves datagrams on its own goroutine; wait for an
 	// interrupt.

@@ -33,6 +33,7 @@ import (
 	"endbox/internal/core"
 	"endbox/internal/sgx"
 	"endbox/internal/udptransport"
+	"endbox/internal/vpn"
 	"endbox/internal/wire"
 )
 
@@ -89,6 +90,11 @@ type ObserverFuncs = core.ObserverFuncs
 
 // Alert is a middlebox alert raised inside a client's enclave.
 type Alert = click.Alert
+
+// VIFStats are one client's virtual-interface counters (packets/bytes in
+// each direction plus drops), read via Deployment.ClientStats or
+// aggregated over all clients via Deployment.AggregateStats (paper §V-E).
+type VIFStats = vpn.VIFStats
 
 // MultiObserver fans events out to several observers in order.
 func MultiObserver(obs ...Observer) Observer { return core.MultiObserver(obs...) }

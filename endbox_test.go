@@ -267,7 +267,7 @@ func TestTransportParity(t *testing.T) {
 		dropErr   bool
 	}
 
-	run := func(t *testing.T, transport Transport) result {
+	run := func(t *testing.T, transport Transport, extra ...Option) result {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 
@@ -293,6 +293,7 @@ func TestTransportParity(t *testing.T) {
 		if transport != nil {
 			opts = append(opts, WithTransport(transport))
 		}
+		opts = append(opts, extra...)
 		d, err := New(opts...)
 		if err != nil {
 			t.Fatal(err)
@@ -329,9 +330,15 @@ func TestTransportParity(t *testing.T) {
 
 	inproc := run(t, nil)
 	udp := run(t, NewUDPTransport("127.0.0.1:0"))
+	// The pipelined UDP ingress (worker pool + sharded table) must be
+	// behaviourally identical to both.
+	udpWorkers := run(t, NewUDPTransport("127.0.0.1:0"), WithUDPWorkers(4), WithShards(8))
 
 	if inproc != udp {
 		t.Errorf("transport behaviour diverged: in-process %+v, UDP %+v", inproc, udp)
+	}
+	if inproc != udpWorkers {
+		t.Errorf("worker-pool behaviour diverged: in-process %+v, UDP+workers %+v", inproc, udpWorkers)
 	}
 	if !inproc.dropErr || inproc.delivered != 1 || inproc.received != 1 {
 		t.Errorf("unexpected scenario outcome: %+v", inproc)

@@ -47,6 +47,17 @@ type DeploymentOptions struct {
 	// client's tunnel address, preserving the 0xeb flag (paper §IV-A
 	// client-to-client communication).
 	RouteBetweenClients bool
+	// Shards is the server session-table shard count: session lookups and
+	// per-client statistics contend only within a shard, so frames from
+	// many clients proceed in parallel. 0 picks a count matching the CPU;
+	// 1 reproduces the monolithic single-lock table (the pre-dataplane
+	// baseline).
+	Shards int
+	// UDPWorkers pipelines the UDP server's ingress across a worker pool
+	// of this size when the transport supports it (clients stay pinned to
+	// one worker, preserving per-client frame ordering). 0 keeps the
+	// transport's single serve goroutine.
+	UDPWorkers int
 }
 
 // ClientSpec configures one client joining a deployment. Data-path events
@@ -146,6 +157,11 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 	if d.transport == nil {
 		d.transport = NewInProcessTransport()
 	}
+	if opts.UDPWorkers > 0 {
+		if wt, ok := d.transport.(WorkerTransport); ok {
+			wt.SetWorkers(opts.UDPWorkers)
+		}
+	}
 
 	srv, err := NewServer(ServerOptions{
 		CA:             ca,
@@ -155,6 +171,7 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 		ServerClick:    serverClick,
 		Deliver:        d.deliver,
 		SendTo:         d.transport.SendToClient,
+		Shards:         opts.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -267,7 +284,16 @@ func (d *Deployment) AddClient(ctx context.Context, id string, spec ClientSpec) 
 		link.Close()
 		return nil, err
 	}
-	link.SetDeliver(cli.HandleFrame)
+	if bl, ok := link.(BatchClientLink); ok {
+		// Burst-capable links hand over several queued frames at once so
+		// they cross the client's enclave boundary in a single ecall.
+		bl.SetDeliverBatch(func(frames [][]byte) error {
+			_, err := cli.HandleFrames(frames)
+			return err
+		})
+	} else {
+		link.SetDeliver(cli.HandleFrame)
+	}
 	if err := cli.Connect(ctx, func(h *vpn.ClientHello) (*vpn.ServerHello, error) {
 		return link.Hello(ctx, h)
 	}); err != nil {
@@ -359,6 +385,18 @@ func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string
 		OnAlert: func(a click.Alert) { obs.Alert(id, a) },
 		Clock:   d.opts.Clock,
 	})
+}
+
+// ClientStats returns a connected client's virtual-interface counters,
+// read from the sharded session table's shard-local atomics.
+func (d *Deployment) ClientStats(id string) (vpn.VIFStats, error) {
+	return d.Server.VPN().Stats(id)
+}
+
+// AggregateStats sums virtual-interface counters over all connected
+// clients (the paper's §V-E aggregate-throughput view).
+func (d *Deployment) AggregateStats() vpn.VIFStats {
+	return d.Server.VPN().AggregateStats()
 }
 
 // ClientAddr returns the tunnel address of a connected client.

@@ -53,6 +53,7 @@ const (
 	ecallProcessOut      = "process_out"       // *
 	ecallProcessOutBatch = "process_out_batch" // *
 	ecallProcessIn       = "process_in"        // *
+	ecallProcessInBatch  = "process_in_batch"  // *
 	ecallControlMAC      = "control_mac"       // *
 	ecallControlVrfy     = "control_vrfy"      // *
 	ecallApplyConfig     = "apply_config"
@@ -348,6 +349,23 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 			return nil, fmt.Errorf("core: bad inbound frame")
 		}
 		return st.openInbound(frame)
+	}); err != nil {
+		return err
+	}
+
+	// Batched ingress: one boundary crossing opens a whole received burst —
+	// the ingress mirror of ecallProcessOutBatch, so receive-heavy
+	// workloads amortise the transition cost too.
+	if err := reg(ecallProcessInBatch, func(_ *sgx.Ctx, arg any) (any, error) {
+		frames, ok := arg.([][]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: bad inbound batch")
+		}
+		results := make([]vpn.OpenResult, len(frames))
+		for i, f := range frames {
+			results[i].Payload, results[i].Err = st.openInbound(f)
+		}
+		return results, nil
 	}); err != nil {
 		return err
 	}

@@ -42,6 +42,9 @@ type ServerOptions struct {
 	// CA's shared key (enterprise scenario hides rules; ISP scenario
 	// publishes plaintext so customers can inspect them, paper §III-E).
 	EncryptConfigs bool
+	// Shards is the VPN session-table shard count (0 = automatic; 1
+	// reproduces the monolithic single-lock table).
+	Shards int
 }
 
 // Server bundles the managed network's server side: VPN endpoint,
@@ -99,6 +102,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		Deliver:    opts.Deliver,
 		SendTo:     opts.SendTo,
 		Process:    process,
+		Shards:     opts.Shards,
 	})
 	if err != nil {
 		return nil, err

@@ -53,6 +53,27 @@ type ClientLink interface {
 	Close() error
 }
 
+// BatchClientLink is optionally implemented by client links that can
+// deliver server->client frames in bursts. A deployment prefers
+// SetDeliverBatch over SetDeliver when available, so a burst of queued
+// frames crosses the client's enclave boundary in one ecall instead of
+// one per frame.
+type BatchClientLink interface {
+	// SetDeliverBatch installs the burst handler for server->client
+	// frames. Like SetDeliver it must be called before the handshake;
+	// installing it replaces any per-frame handler.
+	SetDeliverBatch(fn func(frames [][]byte) error)
+}
+
+// WorkerTransport is optionally implemented by transports whose server
+// ingress can be pipelined across a worker pool. SetWorkers must be called
+// before BindServer.
+type WorkerTransport interface {
+	// SetWorkers sets the ingress worker count (0 restores the
+	// single-goroutine serve loop).
+	SetWorkers(n int)
+}
+
 // Transport moves sealed VPN frames and control-plane messages between the
 // server side of a deployment and its clients. The same Deployment code
 // drives an in-process transport (direct calls, zero copies — the unit-test

@@ -1,0 +1,116 @@
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultQueueDepth bounds each worker's ingress queue when the caller
+// does not choose one. Bounded queues shed load like a NIC ring instead of
+// buffering without limit.
+const DefaultQueueDepth = 256
+
+// PoolStats are cumulative ingress-pool counters.
+type PoolStats struct {
+	Submitted uint64 // frames accepted into a worker queue
+	Dropped   uint64 // frames shed because the owning worker's queue was full
+}
+
+// job is one queued ingress frame.
+type job struct {
+	clientID string
+	frame    []byte
+}
+
+// Pool is the pipelined ingress stage of the server data plane: W workers,
+// each draining its own bounded queue. A client is pinned to one worker by
+// the shared placement hash, so frames from one client are handled in
+// arrival order while different clients' frames proceed in parallel —
+// replacing the single serve goroutine that processed every datagram
+// sequentially.
+//
+// Submitted frames must be owned by the pool: callers hand over the slice
+// and must not reuse its backing array (copy reused read buffers first).
+type Pool struct {
+	workers []chan job
+	handler func(clientID string, frame []byte)
+	wg      sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs. in-flight Submits
+	closed bool
+
+	submitted atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewPool starts workers goroutines, each with a bounded queue of depth
+// frames (<=0 selects DefaultQueueDepth), delivering into handler. workers
+// <= 0 selects DefaultShards.
+func NewPool(workers, depth int, handler func(clientID string, frame []byte)) *Pool {
+	if workers <= 0 {
+		workers = DefaultShards()
+	}
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	p := &Pool{
+		workers: make([]chan job, workers),
+		handler: handler,
+	}
+	for i := range p.workers {
+		ch := make(chan job, depth)
+		p.workers[i] = ch
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range ch {
+				p.handler(j.clientID, j.frame)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Submit queues one frame for the worker owning clientID. It never blocks:
+// if that worker's queue is full the frame is shed (counted in Stats) and
+// Submit reports false. Submits after Close are refused.
+func (p *Pool) Submit(clientID string, frame []byte) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	ch := p.workers[Hash(clientID)%uint32(len(p.workers))]
+	select {
+	case ch <- job{clientID: clientID, frame: frame}:
+		p.submitted.Add(1)
+		return true
+	default:
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// Close stops accepting frames, drains every queue and waits for the
+// workers to finish the frames already accepted.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, ch := range p.workers {
+		close(ch)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats reads the cumulative counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Submitted: p.submitted.Load(), Dropped: p.dropped.Load()}
+}

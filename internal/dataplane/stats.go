@@ -1,0 +1,59 @@
+package dataplane
+
+import "sync/atomic"
+
+// VIFStats are per-client virtual interface counters; the scalability
+// experiments aggregate them across all clients (paper §V-E: "throughput
+// is aggregated over all virtual interfaces set up by the OpenVPN
+// servers").
+type VIFStats struct {
+	RxPackets, RxBytes uint64 // client -> network
+	TxPackets, TxBytes uint64 // network -> client
+	Dropped            uint64
+}
+
+// Add accumulates another snapshot into s.
+func (s *VIFStats) Add(o VIFStats) {
+	s.RxPackets += o.RxPackets
+	s.RxBytes += o.RxBytes
+	s.TxPackets += o.TxPackets
+	s.TxBytes += o.TxBytes
+	s.Dropped += o.Dropped
+}
+
+// VIFCounters is the live, shard-local form of VIFStats: plain atomics, so
+// the data path updates them without taking any lock — concurrent frames
+// for different clients (and even the same client's rx/tx directions)
+// never serialise on statistics.
+type VIFCounters struct {
+	rxPackets, rxBytes atomic.Uint64
+	txPackets, txBytes atomic.Uint64
+	dropped            atomic.Uint64
+}
+
+// CountRx records one accepted client->network packet of n bytes.
+func (c *VIFCounters) CountRx(n int) {
+	c.rxPackets.Add(1)
+	c.rxBytes.Add(uint64(n))
+}
+
+// CountTx records one network->client packet of n bytes.
+func (c *VIFCounters) CountTx(n int) {
+	c.txPackets.Add(1)
+	c.txBytes.Add(uint64(n))
+}
+
+// CountDrop records one packet rejected by policy or middlebox.
+func (c *VIFCounters) CountDrop() { c.dropped.Add(1) }
+
+// Snapshot reads a consistent-enough copy of the counters (each field is
+// individually atomic; cross-field skew is at most the in-flight packets).
+func (c *VIFCounters) Snapshot() VIFStats {
+	return VIFStats{
+		RxPackets: c.rxPackets.Load(),
+		RxBytes:   c.rxBytes.Load(),
+		TxPackets: c.txPackets.Load(),
+		TxBytes:   c.txBytes.Load(),
+		Dropped:   c.dropped.Load(),
+	}
+}

@@ -1,0 +1,173 @@
+// Package dataplane owns the server-side packet path: an N-way sharded
+// session table that replaces the single mutex-guarded map the VPN server
+// started with, shard-local statistics counters, and a pipelined ingress
+// worker pool. The design follows the scalability argument of the paper
+// (§V: middlebox work scales with the number of clients, so the server's
+// only remaining job — session lookup and frame fan-in — must not
+// serialise on one lock) and the session-state engineering of LightBox
+// (stateful lookup is the hot path worth sharding).
+//
+// The package is deliberately free of VPN/enclave dependencies: the table
+// is generic over its session type, the hash is fixed (FNV-1a over the
+// client ID), and both the table and the pool derive placement from the
+// same hash so a client's frames always land on the same shard and the
+// same worker — which is what preserves per-client frame ordering through
+// the pipelined server.
+package dataplane
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// Hash is the placement hash shared by the session table and the ingress
+// worker pool: FNV-1a over the client ID. Using one hash everywhere pins a
+// client to exactly one shard and one worker.
+func Hash(id string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return h.Sum32()
+}
+
+// DefaultShards picks a shard count for callers that do not specify one:
+// the number of CPUs rounded up to a power of two, clamped to [1, 64].
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	shards := 1
+	for shards < n && shards < 64 {
+		shards <<= 1
+	}
+	return shards
+}
+
+// shard is one lock domain of the table. The RWMutex guards only the map
+// structure; values carry their own synchronisation (e.g. VIFCounters).
+type shard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]V
+}
+
+// Table is an N-way sharded map keyed by client ID. Lookups, inserts and
+// deletes contend only within the owning shard, so operations on different
+// clients proceed in parallel — the property the monolithic session map
+// could not provide.
+type Table[V any] struct {
+	shards []shard[V]
+	mask   uint32
+}
+
+// NewTable creates a table with the given shard count. Counts that are not
+// powers of two are rounded up; zero or negative selects DefaultShards.
+func NewTable[V any](shards int) *Table[V] {
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	t := &Table[V]{shards: make([]shard[V], n), mask: uint32(n - 1)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]V)
+	}
+	return t
+}
+
+// ShardCount reports the number of shards (always a power of two).
+func (t *Table[V]) ShardCount() int { return len(t.shards) }
+
+// ShardIndex reports which shard owns a client ID.
+func (t *Table[V]) ShardIndex(id string) int { return int(Hash(id) & t.mask) }
+
+func (t *Table[V]) shard(id string) *shard[V] { return &t.shards[Hash(id)&t.mask] }
+
+// Insert adds a session; it reports false (without overwriting) if the ID
+// is already present.
+func (t *Table[V]) Insert(id string, v V) bool {
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[id]; dup {
+		return false
+	}
+	s.m[id] = v
+	return true
+}
+
+// Get looks up a session.
+func (t *Table[V]) Get(id string) (V, bool) {
+	s := t.shard(id)
+	s.mu.RLock()
+	v, ok := s.m[id]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Delete removes a session, reporting whether it was present.
+func (t *Table[V]) Delete(id string) bool {
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[id]; !ok {
+		return false
+	}
+	delete(s.m, id)
+	return true
+}
+
+// Len counts sessions across all shards.
+func (t *Table[V]) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardLen counts the sessions in one shard (distribution diagnostics).
+func (t *Table[V]) ShardLen(i int) int {
+	s := &t.shards[i]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Keys snapshots all client IDs. The snapshot is taken shard by shard, so
+// concurrent inserts/deletes may or may not be reflected — the same
+// guarantee the old single-lock iteration gave across its two lock
+// sections.
+func (t *Table[V]) Keys() []string {
+	ids := make([]string, 0, t.Len())
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for id := range s.m {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
+	}
+	return ids
+}
+
+// Range calls fn for every session until fn returns false. fn runs under
+// the owning shard's read lock: it must not call back into the table.
+func (t *Table[V]) Range(fn func(id string, v V) bool) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for id, v := range s.m {
+			if !fn(id, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}

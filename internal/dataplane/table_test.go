@@ -1,0 +1,148 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTableCRUD(t *testing.T) {
+	tab := NewTable[int](4)
+	if tab.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", tab.ShardCount())
+	}
+	if !tab.Insert("a", 1) {
+		t.Fatal("first insert refused")
+	}
+	if tab.Insert("a", 2) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if v, ok := tab.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; duplicate must not overwrite", v, ok)
+	}
+	if _, ok := tab.Get("missing"); ok {
+		t.Fatal("Get(missing) found something")
+	}
+	if !tab.Delete("a") {
+		t.Fatal("delete of present key reported absent")
+	}
+	if tab.Delete("a") {
+		t.Fatal("second delete reported present")
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after delete", tab.Len())
+	}
+}
+
+func TestTableShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		if got := NewTable[int](tc.in).ShardCount(); got != tc.want {
+			t.Errorf("NewTable(%d).ShardCount = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := NewTable[int](0).ShardCount(); got != DefaultShards() {
+		t.Errorf("NewTable(0).ShardCount = %d, want DefaultShards %d", got, DefaultShards())
+	}
+}
+
+// TestShardDistribution inserts realistic client IDs and demands no shard
+// holds more than twice the mean — the load-balance property the FNV
+// placement hash must provide for the sharding to pay off.
+func TestShardDistribution(t *testing.T) {
+	const clients = 1024
+	const shards = 16
+	tab := NewTable[struct{}](shards)
+	for i := 0; i < clients; i++ {
+		if !tab.Insert(fmt.Sprintf("client-%d", i), struct{}{}) {
+			t.Fatalf("insert client-%d refused", i)
+		}
+	}
+	mean := clients / shards
+	for i := 0; i < shards; i++ {
+		if n := tab.ShardLen(i); n > 2*mean {
+			t.Errorf("shard %d holds %d sessions, > 2x mean %d", i, n, mean)
+		}
+	}
+	if tab.Len() != clients {
+		t.Errorf("Len = %d, want %d", tab.Len(), clients)
+	}
+}
+
+// TestTableConcurrentStress drives 64 concurrent "clients" through the
+// table — insert, hot-path lookups with counter updates, snapshot reads,
+// key iteration, delete — and checks the per-client counters afterwards.
+// Run with -race.
+func TestTableConcurrentStress(t *testing.T) {
+	const clients = 64
+	const packetsPerClient = 200
+	tab := NewTable[*VIFCounters](0)
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("stress-%d", i)
+			if !tab.Insert(id, &VIFCounters{}) {
+				t.Errorf("insert %s refused", id)
+				return
+			}
+			for j := 0; j < packetsPerClient; j++ {
+				c, ok := tab.Get(id)
+				if !ok {
+					t.Errorf("%s vanished", id)
+					return
+				}
+				c.CountRx(1500)
+			}
+		}(i)
+	}
+	// Aggregation races against the senders, like a stats scrape.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			var agg VIFStats
+			tab.Range(func(_ string, c *VIFCounters) bool {
+				agg.Add(c.Snapshot())
+				return true
+			})
+			_ = tab.Keys()
+			_ = tab.Len()
+		}
+	}()
+	wg.Wait()
+
+	var agg VIFStats
+	tab.Range(func(_ string, c *VIFCounters) bool {
+		agg.Add(c.Snapshot())
+		return true
+	})
+	if agg.RxPackets != clients*packetsPerClient {
+		t.Errorf("RxPackets = %d, want %d", agg.RxPackets, clients*packetsPerClient)
+	}
+	if agg.RxBytes != clients*packetsPerClient*1500 {
+		t.Errorf("RxBytes = %d, want %d", agg.RxBytes, clients*packetsPerClient*1500)
+	}
+	for i := 0; i < clients; i++ {
+		if !tab.Delete(fmt.Sprintf("stress-%d", i)) {
+			t.Errorf("delete stress-%d reported absent", i)
+		}
+	}
+	if tab.Len() != 0 {
+		t.Errorf("Len = %d after deletes", tab.Len())
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	// FNV-1a is a fixed function; placement must never change between
+	// processes (a client reconnecting lands on the same shard).
+	if Hash("client-1") != Hash("client-1") {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash("client-1") == Hash("client-2") && Hash("client-3") == Hash("client-4") {
+		t.Fatal("hash suspiciously collides")
+	}
+}

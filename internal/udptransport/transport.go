@@ -11,6 +11,7 @@ import (
 
 	"endbox/internal/attest"
 	"endbox/internal/core"
+	"endbox/internal/dataplane"
 	"endbox/internal/vpn"
 )
 
@@ -26,12 +27,14 @@ type Transport struct {
 	// (registrations, handshakes, send failures).
 	Logf func(format string, args ...any)
 
-	mu     sync.Mutex
-	ep     core.ServerEndpoint
-	conn   *net.UDPConn
-	addrs  map[string]*net.UDPAddr // client ID -> last UDP address
-	byAddr map[string]string       // UDP address -> client ID (reverse index)
-	closed bool
+	mu      sync.Mutex
+	ep      core.ServerEndpoint
+	conn    *net.UDPConn
+	addrs   map[string]*net.UDPAddr // client ID -> last UDP address
+	byAddr  map[string]string       // UDP address -> client ID (reverse index)
+	closed  bool
+	workers int             // ingress pool width; 0 = handle frames inline
+	pool    *dataplane.Pool // set by BindServer when workers > 0
 }
 
 // NewTransport creates a UDP transport that will listen on the given
@@ -49,6 +52,25 @@ func (t *Transport) logf(format string, args ...any) {
 	if t.Logf != nil {
 		t.Logf(format, args...)
 	}
+}
+
+// SetWorkers implements core.WorkerTransport: pipeline the server's frame
+// ingress across n workers. Frames from one client stay pinned to one
+// worker (placement by the dataplane hash), preserving per-client
+// ordering; control messages keep running on the serve goroutine, whose
+// request/response pattern needs no pipelining. Must be called before
+// BindServer.
+func (t *Transport) SetWorkers(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.workers = n
+}
+
+// Workers reports the configured ingress pool width.
+func (t *Transport) Workers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.workers
 }
 
 // Addr returns the bound server address (valid after BindServer).
@@ -80,6 +102,13 @@ func (t *Transport) BindServer(ep core.ServerEndpoint) error {
 	}
 	t.ep = ep
 	t.conn = conn
+	if t.workers > 0 {
+		t.pool = dataplane.NewPool(t.workers, 0, func(clientID string, frame []byte) {
+			if err := ep.HandleFrame(clientID, frame); err != nil {
+				t.logf("frame from %s: %v", clientID, err)
+			}
+		})
+	}
 	t.mu.Unlock()
 	go t.serve(conn, ep)
 	return nil
@@ -172,6 +201,7 @@ func (t *Transport) handle(conn *net.UDPConn, ep core.ServerEndpoint, msgType by
 	case MsgFrame:
 		t.mu.Lock()
 		clientID := t.byAddr[from.String()]
+		pool := t.pool
 		t.mu.Unlock()
 		if clientID == "" {
 			// Data frames are fire-and-forget: replying with MsgError would
@@ -180,7 +210,18 @@ func (t *Transport) handle(conn *net.UDPConn, ep core.ServerEndpoint, msgType by
 			t.logf("udptransport: frame from unknown address %s dropped", from)
 			return nil
 		}
-		if err := ep.HandleFrame(clientID, body); err != nil {
+		// body aliases the serve loop's read buffer, which the next
+		// ReadFromUDP overwrites. The endpoint (or the pool's workers,
+		// which run after serve has moved on) may retain the frame past
+		// this call, so hand over a copy.
+		frame := append([]byte(nil), body...)
+		if pool != nil {
+			if !pool.Submit(clientID, frame) {
+				t.logf("udptransport: ingress queue full, frame from %s shed", clientID)
+			}
+			return nil
+		}
+		if err := ep.HandleFrame(clientID, frame); err != nil {
 			t.logf("frame from %s: %v", clientID, err)
 		}
 		return nil
@@ -237,13 +278,19 @@ func (t *Transport) Link(ctx context.Context, clientID string) (core.ClientLink,
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	conn := t.conn
+	pool := t.pool
 	t.conn = nil
+	t.pool = nil
 	t.closed = true
 	t.mu.Unlock()
+	var err error
 	if conn != nil {
-		return conn.Close()
+		err = conn.Close()
 	}
-	return nil
+	if pool != nil {
+		pool.Close()
+	}
+	return err
 }
 
 // requestTimeout is the per-attempt control round-trip timeout.
@@ -260,7 +307,7 @@ type Link struct {
 	ctrlMu sync.Mutex // serialises control-plane round trips
 
 	mu        sync.Mutex
-	deliverFn func(frame []byte) error
+	deliverFn func(frames [][]byte) error
 	dispatch  bool
 
 	closeOnce sync.Once
@@ -476,9 +523,34 @@ func (l *Link) SendFrame(frame []byte) error {
 	return err
 }
 
-// SetDeliver implements core.ClientLink: install the handler for pushed
-// server->client frames and start the dispatch loop.
+// maxDeliverBatch bounds how many queued frames one dispatch round hands
+// to the batch handler (and therefore how many cross the client's enclave
+// boundary in one ecall).
+const maxDeliverBatch = 32
+
+// SetDeliver implements core.ClientLink: install the per-frame handler for
+// pushed server->client frames and start the dispatch loop.
 func (l *Link) SetDeliver(fn func(frame []byte) error) {
+	l.setDeliver(func(frames [][]byte) error {
+		var firstErr error
+		for _, f := range frames {
+			if err := fn(f); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	})
+}
+
+// SetDeliverBatch implements core.BatchClientLink: bursts of frames that
+// queued while the handler was busy are handed over together, so the
+// receiving client can open them in a single enclave crossing.
+func (l *Link) SetDeliverBatch(fn func(frames [][]byte) error) {
+	l.setDeliver(fn)
+}
+
+// setDeliver installs the burst handler and starts the dispatch loop once.
+func (l *Link) setDeliver(fn func(frames [][]byte) error) {
 	l.mu.Lock()
 	l.deliverFn = fn
 	start := !l.dispatch
@@ -494,11 +566,26 @@ func (l *Link) SetDeliver(fn func(frame []byte) error) {
 				if !ok {
 					return
 				}
+				// Collect the burst that queued behind the first frame
+				// without blocking for more.
+				batch := [][]byte{frame}
+			drain:
+				for len(batch) < maxDeliverBatch {
+					select {
+					case f, ok := <-l.frames:
+						if !ok {
+							break drain
+						}
+						batch = append(batch, f)
+					default:
+						break drain
+					}
+				}
 				l.mu.Lock()
 				h := l.deliverFn
 				l.mu.Unlock()
 				if h != nil {
-					_ = h(frame) // per-frame errors are data-path events, not link failures
+					_ = h(batch) // per-frame errors are data-path events, not link failures
 				}
 			case <-l.closed:
 				return

@@ -169,6 +169,142 @@ func TestTransportFramesAfterHello(t *testing.T) {
 	}
 }
 
+// retainingEndpoint keeps the exact frame slices it is handed — the
+// behaviour a buffer-reusing serve loop would corrupt.
+type retainingEndpoint struct {
+	fakeEndpoint
+	retained [][]byte
+	byClient map[string][][]byte
+}
+
+func (r *retainingEndpoint) HandleFrame(clientID string, frame []byte) error {
+	r.mu.Lock()
+	r.retained = append(r.retained, frame) // deliberately no copy
+	if r.byClient == nil {
+		r.byClient = make(map[string][][]byte)
+	}
+	r.byClient[clientID] = append(r.byClient[clientID], frame)
+	r.mu.Unlock()
+	return nil
+}
+
+// TestFrameBodyNotAliased guards the serve loop's copy-before-dispatch: the
+// read buffer is reused across datagrams, so a handler that retains the
+// frame must still see the original bytes after later datagrams arrive.
+func TestFrameBodyNotAliased(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	pub, _, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := &retainingEndpoint{fakeEndpoint: fakeEndpoint{caPub: pub}}
+	tr := startTransport(t, ep)
+
+	link, err := Dial(ctx, tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	if _, err := link.Hello(ctx, &vpn.ClientHello{ClientID: "alias"}); err != nil {
+		t.Fatal(err)
+	}
+
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		if err := link.SendFrame([]byte(fmt.Sprintf("frame-%02d-padding-so-lengths-overlap", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := waitFor(func() bool {
+		ep.mu.Lock()
+		defer ep.mu.Unlock()
+		return len(ep.retained) == frames
+	}); err != nil {
+		t.Fatalf("frames did not all arrive: %v", err)
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for i, f := range ep.retained {
+		want := fmt.Sprintf("frame-%02d-padding-so-lengths-overlap", i)
+		if string(f) != want {
+			t.Errorf("retained frame %d clobbered: %q (want %q)", i, f, want)
+		}
+	}
+}
+
+// TestWorkerPoolIngress runs the server with a pipelined ingress pool and
+// checks every frame arrives and per-client ordering survives the fan-out.
+func TestWorkerPoolIngress(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	pub, _, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := &retainingEndpoint{fakeEndpoint: fakeEndpoint{caPub: pub}}
+	tr := NewTransport("127.0.0.1:0")
+	tr.SetWorkers(4)
+	if err := tr.BindServer(ep); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if got := tr.Workers(); got != 4 {
+		t.Fatalf("Workers = %d, want 4", got)
+	}
+
+	const clients = 3
+	const perClient = 50
+	links := make([]*Link, clients)
+	for i := range links {
+		link, err := Dial(ctx, tr.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer link.Close()
+		if _, err := link.Hello(ctx, &vpn.ClientHello{ClientID: fmt.Sprintf("w%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		links[i] = link
+	}
+	for j := 0; j < perClient; j++ {
+		for i, link := range links {
+			if err := link.SendFrame([]byte(fmt.Sprintf("w%d-seq-%03d", i, j))); err != nil {
+				t.Fatal(err)
+			}
+			// Loopback UDP plus a bounded ingress queue: pace slightly so
+			// the test asserts ordering, not shedding behaviour.
+			if j%16 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	if err := waitFor(func() bool {
+		ep.mu.Lock()
+		defer ep.mu.Unlock()
+		return len(ep.retained) == clients*perClient
+	}); err != nil {
+		ep.mu.Lock()
+		defer ep.mu.Unlock()
+		t.Fatalf("only %d/%d frames arrived", len(ep.retained), clients*perClient)
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for i := 0; i < clients; i++ {
+		id := fmt.Sprintf("w%d", i)
+		got := ep.byClient[id]
+		if len(got) != perClient {
+			t.Fatalf("%s: %d frames, want %d", id, len(got), perClient)
+		}
+		for j, f := range got {
+			want := fmt.Sprintf("w%d-seq-%03d", i, j)
+			if string(f) != want {
+				t.Fatalf("%s frame %d out of order: %q (want %q)", id, j, f, want)
+			}
+		}
+	}
+}
+
 func waitFor(cond func() bool) error {
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {

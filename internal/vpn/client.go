@@ -1,7 +1,6 @@
 package vpn
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -133,11 +132,55 @@ func (c *Client) SendPackets(ips [][]byte) (int, error) {
 func (c *Client) HandleFrame(frame []byte) error {
 	payload, err := c.opts.Plane.OpenInbound(frame)
 	if err != nil {
-		if errors.Is(err, ErrDropped) {
-			return err
-		}
 		return err
 	}
+	return c.dispatchPayload(payload)
+}
+
+// HandleFrames processes a burst of frames from the server. On a
+// BatchIngressPlane the whole burst crosses the enclave boundary once (one
+// ecall for N frames — the ingress mirror of SendPackets); otherwise it
+// falls back to per-frame opening. Dropped or malformed frames are skipped
+// without aborting the burst. It returns the number of frames fully
+// handled and the first error encountered (drops included).
+func (c *Client) HandleFrames(frames [][]byte) (int, error) {
+	var results []OpenResult
+	if bp, ok := c.opts.Plane.(BatchIngressPlane); ok {
+		var err error
+		results, err = bp.OpenInboundBatch(frames)
+		if err != nil {
+			return 0, err
+		}
+		if len(results) != len(frames) {
+			return 0, fmt.Errorf("vpn: batch open returned %d results for %d frames", len(results), len(frames))
+		}
+	} else {
+		results = make([]OpenResult, len(frames))
+		for i, f := range frames {
+			results[i].Payload, results[i].Err = c.opts.Plane.OpenInbound(f)
+		}
+	}
+
+	handled := 0
+	var firstErr error
+	for _, r := range results {
+		err := r.Err
+		if err == nil {
+			err = c.dispatchPayload(r.Payload)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		handled++
+	}
+	return handled, firstErr
+}
+
+// dispatchPayload routes one opened payload: deliver data or record pings.
+func (c *Client) dispatchPayload(payload []byte) error {
 	if len(payload) == 0 {
 		return fmt.Errorf("vpn: empty payload from server")
 	}

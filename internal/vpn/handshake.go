@@ -240,6 +240,22 @@ type BatchDataPlane interface {
 	SealOutboundBatch(payloads [][]byte) ([]SealResult, error)
 }
 
+// OpenResult is one frame's outcome in a batched open: the decrypted,
+// middlebox-approved payload, or the per-frame error (e.g. ErrDropped)
+// that excluded it.
+type OpenResult struct {
+	Payload []byte
+	Err     error
+}
+
+// BatchIngressPlane is implemented by data planes that can open many
+// inbound frames in one enclave crossing — the ingress mirror of
+// BatchDataPlane, amortising the transition cost over a received burst.
+// The result has one entry per frame, in order.
+type BatchIngressPlane interface {
+	OpenInboundBatch(frames [][]byte) ([]OpenResult, error)
+}
+
 // PlainDataPlane adapts a bare wire.Session as the DataPlane of a vanilla
 // OpenVPN endpoint (no middlebox, no enclave).
 type PlainDataPlane struct {

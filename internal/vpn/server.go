@@ -5,11 +5,12 @@ import (
 	"crypto/ed25519"
 	"crypto/rand"
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"endbox/internal/attest"
 	"endbox/internal/config"
+	"endbox/internal/dataplane"
 	"endbox/internal/packet"
 	"endbox/internal/wire"
 )
@@ -45,34 +46,37 @@ type ServerOptions struct {
 	// processed" QoS flag on packets entering from outside so external
 	// attackers cannot forge it (paper §IV-A). Enabled by default.
 	ScrubTOS *bool
+	// Shards is the session-table shard count (rounded up to a power of
+	// two; 0 selects dataplane.DefaultShards). One shard reproduces the
+	// monolithic single-lock table for baselines and ablations.
+	Shards int
 }
 
-// VIFStats are per-client virtual interface counters; the scalability
-// experiments aggregate them across all clients (paper §V-E: "throughput is
-// aggregated over all virtual interfaces set up by the OpenVPN servers").
-type VIFStats struct {
-	RxPackets, RxBytes uint64 // client -> network
-	TxPackets, TxBytes uint64 // network -> client
-	Dropped            uint64
-}
+// VIFStats are per-client virtual interface counters, kept shard-local in
+// the dataplane session table (paper §V-E aggregates them across clients).
+type VIFStats = dataplane.VIFStats
 
+// session is one connected client's server-side state. The wire session
+// carries its own lock; the version and counters are atomics, so frames
+// for one client never contend with frames for another — all cross-client
+// coordination lives in the sharded table's per-shard locks.
 type session struct {
 	sess            *wire.Session
 	cert            *attest.Certificate
-	reportedVersion uint64
-	stats           VIFStats
+	reportedVersion atomic.Uint64
+	stats           dataplane.VIFCounters
 }
 
 // Server is the EndBox VPN server: the sole entry point into the managed
 // network (paper §III-A). It accepts traffic only from attested clients
 // with valid certificates and, after a configuration update's grace period
 // expires, only from clients running the current middlebox configuration.
+// Sessions live in an N-way sharded table so concurrent frames from many
+// clients never serialise on one lock.
 type Server struct {
-	opts   ServerOptions
-	policy *config.Policy
-
-	mu       sync.Mutex
-	sessions map[string]*session
+	opts     ServerOptions
+	policy   *config.Policy
+	sessions *dataplane.Table[*session]
 }
 
 // NewServer validates options and creates a server.
@@ -102,7 +106,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	return &Server{
 		opts:     opts,
 		policy:   config.NewPolicy(func() time.Time { return opts.Clock() }),
-		sessions: make(map[string]*session),
+		sessions: dataplane.NewTable[*session](opts.Shards),
 	}, nil
 }
 
@@ -112,6 +116,9 @@ func (s *Server) Policy() *config.Policy { return s.policy }
 
 // Mode reports the data-channel protection mode.
 func (s *Server) Mode() wire.Mode { return s.opts.Mode }
+
+// ShardCount reports the session-table shard count.
+func (s *Server) ShardCount() int { return s.sessions.ShardCount() }
 
 // Accept runs the server side of the handshake: verify the certificate
 // chain and transcript signature, negotiate the TLS version, derive the
@@ -159,41 +166,32 @@ func (s *Server) Accept(hello *ClientHello) (*ServerHello, error) {
 		return nil, err
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.sessions[hello.ClientID]; dup {
+	entry := &session{sess: sess, cert: hello.Cert}
+	entry.reportedVersion.Store(hello.ConfigVersion)
+	if !s.sessions.Insert(hello.ClientID, entry) {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, hello.ClientID)
-	}
-	s.sessions[hello.ClientID] = &session{
-		sess:            sess,
-		cert:            hello.Cert,
-		reportedVersion: hello.ConfigVersion,
 	}
 	return sh, nil
 }
 
 // Disconnect removes a client session.
 func (s *Server) Disconnect(clientID string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.sessions, clientID)
+	s.sessions.Delete(clientID)
 }
 
 // ClientCount reports connected clients.
 func (s *Server) ClientCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	return s.sessions.Len()
 }
 
 // HandleFrame processes one frame arriving from a client: authenticate and
 // decrypt, reject replays, enforce the configuration policy, handle pings,
 // scrub the client-to-client QoS flag on delivery, and hand accepted
-// packets to the network.
+// packets to the network. The hot path takes one shard read-lock for the
+// session lookup and then runs lock-free (atomic counters, internally
+// locked wire session).
 func (s *Server) HandleFrame(clientID string, frame []byte) error {
-	s.mu.Lock()
-	sess, ok := s.sessions[clientID]
-	s.mu.Unlock()
+	sess, ok := s.sessions.Get(clientID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
@@ -210,32 +208,21 @@ func (s *Server) HandleFrame(clientID string, frame []byte) error {
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		sess.reportedVersion = ping.ConfigVersion
-		s.mu.Unlock()
+		sess.reportedVersion.Store(ping.ConfigVersion)
 		return nil
 	case FrameData:
-		s.mu.Lock()
-		reported := sess.reportedVersion
-		s.mu.Unlock()
+		reported := sess.reportedVersion.Load()
 		if !s.policy.Accepts(reported) {
-			s.mu.Lock()
-			sess.stats.Dropped++
-			s.mu.Unlock()
+			sess.stats.CountDrop()
 			return fmt.Errorf("%w: client %q at version %d, need %d",
 				ErrStaleConfig, clientID, reported, s.policy.Current())
 		}
 		ip := payload[1:]
 		if s.opts.Process != nil && !s.opts.Process(ip) {
-			s.mu.Lock()
-			sess.stats.Dropped++
-			s.mu.Unlock()
+			sess.stats.CountDrop()
 			return ErrDropped
 		}
-		s.mu.Lock()
-		sess.stats.RxPackets++
-		sess.stats.RxBytes += uint64(len(ip))
-		s.mu.Unlock()
+		sess.stats.CountRx(len(ip))
 		if s.opts.Deliver != nil {
 			s.opts.Deliver(clientID, ip)
 		}
@@ -250,9 +237,7 @@ func (s *Server) HandleFrame(clientID string, frame []byte) error {
 // attackers cannot claim middlebox processing already happened (paper
 // §IV-A); packets relayed between EndBox clients keep it.
 func (s *Server) SendTo(clientID string, ip []byte, fromClient bool) error {
-	s.mu.Lock()
-	sess, ok := s.sessions[clientID]
-	s.mu.Unlock()
+	sess, ok := s.sessions.Get(clientID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
@@ -266,10 +251,7 @@ func (s *Server) SendTo(clientID string, ip []byte, fromClient bool) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	sess.stats.TxPackets++
-	sess.stats.TxBytes += uint64(len(ip))
-	s.mu.Unlock()
+	sess.stats.CountTx(len(ip))
 	if s.opts.SendTo == nil {
 		return fmt.Errorf("vpn: no SendTo transport configured")
 	}
@@ -297,18 +279,9 @@ func (s *Server) BroadcastPing(grace time.Duration) error {
 	}
 	payload := EncodePing(ping)
 
-	s.mu.Lock()
-	ids := make([]string, 0, len(s.sessions))
-	for id := range s.sessions {
-		ids = append(ids, id)
-	}
-	s.mu.Unlock()
-
 	var firstErr error
-	for _, id := range ids {
-		s.mu.Lock()
-		sess, ok := s.sessions[id]
-		s.mu.Unlock()
+	for _, id := range s.sessions.Keys() {
+		sess, ok := s.sessions.Get(id)
 		if !ok {
 			continue
 		}
@@ -323,40 +296,32 @@ func (s *Server) BroadcastPing(grace time.Duration) error {
 	return firstErr
 }
 
-// Stats returns a copy of a client's virtual interface counters.
+// Stats returns a snapshot of a client's virtual interface counters.
 func (s *Server) Stats(clientID string) (VIFStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[clientID]
+	sess, ok := s.sessions.Get(clientID)
 	if !ok {
 		return VIFStats{}, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
-	return sess.stats, nil
+	return sess.stats.Snapshot(), nil
 }
 
-// AggregateStats sums counters over all virtual interfaces.
+// AggregateStats sums counters over all virtual interfaces, shard by
+// shard.
 func (s *Server) AggregateStats() VIFStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var agg VIFStats
-	for _, sess := range s.sessions {
-		agg.RxPackets += sess.stats.RxPackets
-		agg.RxBytes += sess.stats.RxBytes
-		agg.TxPackets += sess.stats.TxPackets
-		agg.TxBytes += sess.stats.TxBytes
-		agg.Dropped += sess.stats.Dropped
-	}
+	s.sessions.Range(func(_ string, sess *session) bool {
+		agg.Add(sess.stats.Snapshot())
+		return true
+	})
 	return agg
 }
 
 // ReportedVersion returns the configuration version a client last proved
 // via ping or handshake.
 func (s *Server) ReportedVersion(clientID string) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[clientID]
+	sess, ok := s.sessions.Get(clientID)
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
-	return sess.reportedVersion, nil
+	return sess.reportedVersion.Load(), nil
 }

@@ -52,6 +52,25 @@ func WithTransport(t Transport) Option {
 	return func(o *DeploymentOptions) { o.Transport = t }
 }
 
+// WithShards sets the server session-table shard count. Session lookups
+// and per-client statistics contend only within a shard, so frames from
+// many clients proceed in parallel (the paper's §V scalability argument
+// applied to the server's remaining work). The count rounds up to a power
+// of two; the default (0) matches the CPU count; 1 reproduces the
+// monolithic single-lock table as a baseline.
+func WithShards(n int) Option {
+	return func(o *DeploymentOptions) { o.Shards = n }
+}
+
+// WithUDPWorkers pipelines the UDP server's datagram ingress across n
+// workers when the deployment's transport supports it (the in-process
+// transport ignores it). Each client is pinned to one worker by the same
+// hash that places it in a table shard, preserving per-client frame
+// ordering while different clients' frames proceed in parallel.
+func WithUDPWorkers(n int) Option {
+	return func(o *DeploymentOptions) { o.UDPWorkers = n }
+}
+
 // WithEchoNetwork makes the managed network reflect delivered packets back
 // to the sending client (src/dst swapped, ICMP echoes answered) —
 // modelling a server answering, used by latency measurements and demos.
