@@ -1,0 +1,147 @@
+// Command benchgate guards the zero-allocation packet path in CI: it
+// compares allocs/op from a `go test -bench -benchmem` run against the
+// committed baseline (BENCH_zerocopy.json) and fails when any matched
+// benchmark regresses beyond the tolerance.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkDataPlanePath -benchtime 100x -benchmem . > bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_zerocopy.json -bench bench.txt
+//
+// Matching is by benchmark name with the "Benchmark" prefix and the
+// -GOMAXPROCS suffix stripped, so "BenchmarkDataPlanePath/sharded+batched/clients=8-4"
+// compares against the baseline entry "DataPlanePath/sharded+batched/clients=8".
+// Baseline entries with no allocs_per_op field and benchmarks absent from
+// the run are skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the committed benchmark JSON's shape; fields this
+// tool does not gate on are ignored.
+type baselineFile struct {
+	Benchmarks []struct {
+		Name        string   `json:"name"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_zerocopy.json", "committed baseline JSON")
+		benchPath    = flag.String("bench", "-", "benchmark output to check ('-' for stdin)")
+		match        = flag.String("match", "DataPlanePath", "gate benchmarks whose name contains this substring")
+		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional allocs/op regression")
+		slack        = flag.Float64("slack", 8, "absolute allocs/op slack on top of the tolerance (absorbs cold-pool warmup at short benchtimes)")
+	)
+	flag.Parse()
+	if err := run(*baselinePath, *benchPath, *match, *tolerance, *slack); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, benchPath, match string, tolerance, slack float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	baseline := make(map[string]float64)
+	for _, b := range base.Benchmarks {
+		if b.AllocsPerOp != nil && strings.Contains(b.Name, match) {
+			baseline[b.Name] = *b.AllocsPerOp
+		}
+	}
+	if len(baseline) == 0 {
+		return fmt.Errorf("no %q entries with allocs_per_op in %s", match, baselinePath)
+	}
+
+	in := os.Stdin
+	if benchPath != "-" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in, match)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("benchmark output contains no %q results with allocs/op (was -benchmem set?)", match)
+	}
+
+	failed := 0
+	for name, got := range current {
+		want, ok := baseline[name]
+		if !ok {
+			fmt.Printf("benchgate: %-45s %8.1f allocs/op (no baseline, skipped)\n", name, got)
+			continue
+		}
+		allowed := want*(1+tolerance) + slack
+		status := "ok"
+		if got > allowed {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("benchgate: %-45s %8.1f allocs/op (baseline %.1f, allowed %.1f) %s\n",
+			name, got, want, allowed, status)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%+%.0f allocs/op", failed, tolerance*100, slack)
+	}
+	return nil
+}
+
+// parseBench extracts "<name> ... N allocs/op" rows from go test output.
+func parseBench(in *os.File, match string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := normalizeName(fields[0])
+		if !strings.Contains(name, match) {
+			continue
+		}
+		for i := 1; i+1 < len(fields); i++ {
+			if fields[i+1] == "allocs/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op for %s: %q", name, fields[i])
+				}
+				out[name] = v
+				break
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// normalizeName strips the Benchmark prefix and the -GOMAXPROCS suffix so
+// run output matches committed baseline names across machines.
+func normalizeName(s string) string {
+	s = strings.TrimPrefix(s, "Benchmark")
+	if i := strings.LastIndex(s, "-"); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			s = s[:i]
+		}
+	}
+	return s
+}

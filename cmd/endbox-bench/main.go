@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -91,6 +92,7 @@ func run(args []string) error {
 		iterations = fs.Int("iterations", 50, "iterations per latency measurement")
 		list       = fs.Bool("list", false, "list experiments and exit")
 		calibrated = fs.Bool("calibrated", false, "drive the Fig. 10 cluster simulation with costs measured live on this host instead of the paper-derived costs")
+		memstats   = fs.Bool("memstats", true, "report per-experiment allocation counts (allocs/op against -packets) and GC pause totals")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,11 +147,37 @@ func run(args []string) error {
 	}
 
 	for _, e := range selected {
+		var before runtime.MemStats
+		if *memstats {
+			runtime.ReadMemStats(&before)
+		}
 		tab, err := e.run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		tab.Render(os.Stdout)
+		if *memstats {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			renderMemStats(os.Stdout, e.name, &before, &after, *packets)
+		}
 	}
 	return nil
+}
+
+// renderMemStats prints the allocation and GC footprint one experiment
+// left behind: total heap allocations, allocs per packet (the experiment's
+// wall-clock op), and the GC pause time the run accumulated — the numbers
+// the zero-allocation packet path exists to keep near zero.
+func renderMemStats(w *os.File, name string, before, after *runtime.MemStats, packets int) {
+	mallocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	gcs := after.NumGC - before.NumGC
+	pause := after.PauseTotalNs - before.PauseTotalNs
+	perOp := float64(mallocs)
+	if packets > 0 {
+		perOp = float64(mallocs) / float64(packets)
+	}
+	fmt.Fprintf(w, "[mem] %s: %d allocs (%.1f allocs/op at %d ops), %.1f MB allocated, %d GCs, %.2f ms GC pause\n\n",
+		name, mallocs, perOp, packets, float64(bytes)/(1<<20), gcs, float64(pause)/1e6)
 }

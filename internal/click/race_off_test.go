@@ -1,0 +1,5 @@
+//go:build !race
+
+package click
+
+const raceEnabled = false

@@ -16,9 +16,19 @@ type Router struct {
 	order    []string // declaration order, for deterministic iteration
 	input    Element  // the FromDevice entry point
 	output   *ToDevice
+
+	// res and pkt are the per-router scratch reused by every Process call,
+	// so the steady-state path allocates neither a Result nor a Packet
+	// wrapper. Routers are single-threaded by contract (Instance
+	// serialises), so one scratch pair suffices.
+	res Result
+	pkt Packet
 }
 
-// Result reports what the graph decided about one packet.
+// Result reports what the graph decided about one packet. The pointer
+// returned by Process (and its Packet) is the router's reused scratch: it
+// is valid only until the next Process call on the same router or
+// instance — callers that need the verdict later must copy the fields out.
 type Result struct {
 	// Accepted is true when the packet reached ToDevice (paper Fig. 3
 	// step 3: "the packet is either accepted or rejected").
@@ -136,10 +146,15 @@ func (r *Router) Element(name string) (Element, bool) {
 
 // Process pushes one packet through the graph and reports the verdict.
 // Routers are not safe for concurrent Process calls; Instance serialises.
+// The returned Result and its Packet are the router's reused scratch,
+// valid only until the next Process call (Tee-style fan-out still clones
+// fresh wrappers for its extra branches).
 func (r *Router) Process(ip *packet.IPv4) *Result {
-	p := NewPacket(ip)
+	p := &r.pkt
+	*p = Packet{IP: ip, Backend: -1}
 	r.input.Push(0, p)
-	res := &Result{Packet: p}
+	res := &r.res
+	*res = Result{Packet: p}
 	if p.delivered && !p.dropped {
 		res.Accepted = true
 	} else {
@@ -199,7 +214,9 @@ func NewInstance(config string, reg Registry, ctx *Context) (*Instance, error) {
 	return &Instance{reg: reg, ctx: ctx, router: router, config: config}, nil
 }
 
-// Process runs one packet through the current configuration.
+// Process runs one packet through the current configuration. The Result
+// (and its Packet) is the active router's reused scratch: read it before
+// the next Process call on this instance, copying anything kept longer.
 func (i *Instance) Process(ip *packet.IPv4) *Result {
 	i.mu.Lock()
 	defer i.mu.Unlock()

@@ -529,3 +529,60 @@ func BenchmarkUseCasePipelines1500(b *testing.B) {
 		})
 	}
 }
+
+// TestProcessReusesResult pins the zero-allocation contract of the packet
+// path: Process reuses one Result and one Packet wrapper per router, so
+// the scratch from a previous call is overwritten by the next one and the
+// steady state allocates nothing.
+func TestProcessReusesResult(t *testing.T) {
+	inst, err := NewInstance("FromDevice(tun0) -> ToDevice(tun0);", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip1 := mustPacket(t, "10.0.0.1", "10.0.0.2")
+	ip2 := mustPacket(t, "10.0.0.3", "10.0.0.4")
+
+	res1 := inst.Process(ip1)
+	if !res1.Accepted || res1.Packet.IP != ip1 {
+		t.Fatalf("first verdict wrong: %+v", res1)
+	}
+	res2 := inst.Process(ip2)
+	if res1 != res2 {
+		t.Error("Process allocated a fresh Result instead of reusing the scratch")
+	}
+	if res2.Packet.IP != ip2 {
+		t.Error("reused Packet does not carry the new packet")
+	}
+
+	var ip packet.IPv4
+	raw := ip1Raw(t)
+	if err := ip.Parse(raw); err != nil {
+		t.Fatal(err)
+	}
+	if raceEnabled {
+		return
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if res := inst.Process(&ip); !res.Accepted {
+			t.Fatal("packet rejected")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("Process allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+func mustPacket(t *testing.T, src, dst string) *packet.IPv4 {
+	t.Helper()
+	var ip packet.IPv4
+	raw := packet.NewUDP(packet.MustParseAddr(src), packet.MustParseAddr(dst), 1234, 80, []byte("x"))
+	if err := ip.Parse(raw); err != nil {
+		t.Fatal(err)
+	}
+	return ip.Clone()
+}
+
+func ip1Raw(t *testing.T) []byte {
+	t.Helper()
+	return packet.NewUDP(packet.MustParseAddr("10.0.0.1"), packet.MustParseAddr("10.0.0.2"), 1234, 80, []byte("x"))
+}

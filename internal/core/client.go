@@ -250,7 +250,9 @@ func (c *Client) dataPlane() vpn.DataPlane {
 }
 
 // batchedPlane is EndBox's optimised data path: one ecall per packet in
-// each direction (paper §IV-A "Enclave transitions").
+// each direction (paper §IV-A "Enclave transitions"), and for bursts one
+// ecall per slab — the whole burst packed into a single contiguous buffer
+// each way (vpn.SlabDataPlane / vpn.SlabIngressPlane).
 type batchedPlane struct{ c *Client }
 
 func (p *batchedPlane) SealOutbound(payload []byte) ([]byte, error) {
@@ -261,15 +263,21 @@ func (p *batchedPlane) SealOutbound(payload []byte) ([]byte, error) {
 	return res.([]byte), nil
 }
 
-// SealOutboundBatch implements vpn.BatchDataPlane: the whole batch crosses
-// the boundary in one ecall (2 transitions total instead of 2 per packet).
-func (p *batchedPlane) SealOutboundBatch(payloads [][]byte) ([]vpn.SealResult, error) {
-	res, err := p.c.enclave.Ecall(ecallProcessOutBatch, payloads)
+// SealOutboundSlab implements vpn.SlabDataPlane: the whole burst crosses
+// the boundary in one ecall as ONE contiguous buffer (2 transitions and
+// zero per-packet allocations at the boundary). The result slab is pooled;
+// the vpn client releases it after transmitting the frames.
+func (p *batchedPlane) SealOutboundSlab(slab []byte) ([]byte, error) {
+	res, err := p.c.enclave.Ecall(ecallProcessOutBatch, slab)
 	if err != nil {
 		return nil, err
 	}
-	return res.([]vpn.SealResult), nil
+	return res.([]byte), nil
 }
+
+// SlabBudget implements vpn.SlabDataPlane/SlabIngressPlane: slabs are
+// bounded by what one enclave crossing may carry.
+func (p *batchedPlane) SlabBudget() int { return p.c.enclave.MaxBoundaryBytes() }
 
 func (p *batchedPlane) OpenInbound(frame []byte) ([]byte, error) {
 	res, err := p.c.enclave.Ecall(ecallProcessIn, frame)
@@ -279,15 +287,15 @@ func (p *batchedPlane) OpenInbound(frame []byte) ([]byte, error) {
 	return res.([]byte), nil
 }
 
-// OpenInboundBatch implements vpn.BatchIngressPlane: a whole received burst
-// crosses the boundary in one ecall (the ingress mirror of
-// SealOutboundBatch).
-func (p *batchedPlane) OpenInboundBatch(frames [][]byte) ([]vpn.OpenResult, error) {
-	res, err := p.c.enclave.Ecall(ecallProcessInBatch, frames)
+// OpenInboundSlab implements vpn.SlabIngressPlane: a whole received burst
+// crosses the boundary in one ecall as one buffer (the ingress mirror of
+// SealOutboundSlab).
+func (p *batchedPlane) OpenInboundSlab(slab []byte) ([]byte, error) {
+	res, err := p.c.enclave.Ecall(ecallProcessInBatch, slab)
 	if err != nil {
 		return nil, err
 	}
-	return res.([]vpn.OpenResult), nil
+	return res.([]byte), nil
 }
 
 // naivePlane crosses the boundary once per processing stage (Click,

@@ -34,7 +34,9 @@ type DeploymentOptions struct {
 	Clock func() time.Time
 	// Observer watches the deployment's data path: packets accepted into
 	// the managed network, packets delivered to client applications, and
-	// middlebox alerts. Nil observes nothing.
+	// middlebox alerts. Nil observes nothing. Packet slices handed to the
+	// observer alias pooled buffers and are only valid for the duration of
+	// the callback; observers that keep packets must copy.
 	Observer Observer
 	// Transport carries frames and control messages between the server and
 	// its clients. Nil selects the in-process transport (direct calls).
@@ -187,12 +189,16 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 // Transport returns the transport carrying this deployment's traffic.
 func (d *Deployment) Transport() Transport { return d.transport }
 
+// noopObserver is the shared do-nothing observer, boxed once so the
+// per-packet deliver path never re-allocates the interface value.
+var noopObserver Observer = ObserverFuncs{}
+
 // observer returns the configured observer or a no-op.
 func (d *Deployment) observe() Observer {
 	if d.opts.Observer != nil {
 		return d.opts.Observer
 	}
-	return ObserverFuncs{}
+	return noopObserver
 }
 
 // RegisterPlatform implements ServerEndpoint: record the platform key with

@@ -91,6 +91,12 @@ type enclaveState struct {
 	minTLS  uint16
 	ruleSet map[string]string
 
+	// marshalBuf is the reusable serialisation scratch for packets the
+	// middlebox rewrote. Ecall handlers run serialised (single TCS), so
+	// one scratch per enclave is race-free; its contents are only valid
+	// until the next ecall.
+	marshalBuf []byte
+
 	lastSwap SwapTiming
 }
 
@@ -327,18 +333,30 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 	}
 
 	// Batched egress: one boundary crossing seals a whole burst of packets
-	// (the transition-amortisation the paper's single-ecall design enables,
-	// taken one step further for send-heavy workloads).
+	// packed into a single length-prefixed slab — one contiguous buffer in
+	// each direction, so the boundary cost AND the per-packet allocations
+	// are both amortised to (almost) zero (the transition-amortisation the
+	// paper's single-ecall design enables, taken one step further for
+	// send-heavy workloads).
 	if err := reg(ecallProcessOutBatch, func(_ *sgx.Ctx, arg any) (any, error) {
-		payloads, ok := arg.([][]byte)
+		slab, ok := arg.([]byte)
 		if !ok {
 			return nil, fmt.Errorf("core: bad outbound batch")
 		}
-		results := make([]vpn.SealResult, len(payloads))
-		for i, p := range payloads {
-			results[i].Frame, results[i].Err = st.sealOutbound(p)
+		n, err := vpn.SlabCount(slab)
+		if err != nil {
+			return nil, err
 		}
-		return results, nil
+		res := wire.GetBuffer(vpn.ResultSlabCap(len(slab), n))[:0]
+		r := vpn.NewSlabReader(slab)
+		for {
+			payload, ok := r.Next()
+			if !ok {
+				break
+			}
+			res = st.appendSealedOutbound(res, payload)
+		}
+		return res, nil
 	}); err != nil {
 		return err
 	}
@@ -348,24 +366,39 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 		if !ok {
 			return nil, fmt.Errorf("core: bad inbound frame")
 		}
-		return st.openInbound(frame)
+		return st.openInbound(frame, false)
 	}); err != nil {
 		return err
 	}
 
-	// Batched ingress: one boundary crossing opens a whole received burst —
-	// the ingress mirror of ecallProcessOutBatch, so receive-heavy
-	// workloads amortise the transition cost too.
+	// Batched ingress: one boundary crossing opens a whole received burst
+	// packed into a slab — the ingress mirror of ecallProcessOutBatch.
+	// Frames are decrypted in place inside the request slab; opened
+	// payloads are packed into the pooled result slab.
 	if err := reg(ecallProcessInBatch, func(_ *sgx.Ctx, arg any) (any, error) {
-		frames, ok := arg.([][]byte)
+		slab, ok := arg.([]byte)
 		if !ok {
 			return nil, fmt.Errorf("core: bad inbound batch")
 		}
-		results := make([]vpn.OpenResult, len(frames))
-		for i, f := range frames {
-			results[i].Payload, results[i].Err = st.openInbound(f)
+		n, err := vpn.SlabCount(slab)
+		if err != nil {
+			return nil, err
 		}
-		return results, nil
+		res := wire.GetBuffer(vpn.ResultSlabCap(len(slab), n))[:0]
+		r := vpn.NewSlabReader(slab)
+		for {
+			frame, ok := r.Next()
+			if !ok {
+				break
+			}
+			payload, err := st.openInbound(frame, true)
+			if err != nil {
+				res = vpn.AppendResultErr(res, err)
+				continue
+			}
+			res = vpn.AppendResultOK(res, payload)
+		}
+		return res, nil
 	}); err != nil {
 		return err
 	}
@@ -501,7 +534,9 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 }
 
 // sealOutbound is the single-ecall egress path (paper Fig. 3 steps 1-4):
-// Click processing, client-to-client flagging, then encrypt+MAC.
+// Click processing, client-to-client flagging, then encrypt+MAC into a
+// pooled frame buffer. Ownership of the frame transfers to the caller,
+// which releases it with wire.PutBuffer after transmission.
 func (st *enclaveState) sealOutbound(payload []byte) ([]byte, error) {
 	if st.session == nil {
 		return nil, ErrNoSession
@@ -513,18 +548,50 @@ func (st *enclaveState) sealOutbound(payload []byte) ([]byte, error) {
 		}
 		payload = out
 	}
-	return st.session.Seal(payload)
+	frame := wire.GetBuffer(st.session.SealedLen(len(payload)))
+	sealed, err := st.session.SealTo(payload, frame)
+	if err != nil {
+		wire.PutBuffer(frame)
+		return nil, err
+	}
+	return sealed, nil
+}
+
+// appendSealedOutbound is the slab egress path: Click + seal one
+// encapsulated payload, writing the sealed frame directly into the result
+// slab (or the error entry that excluded the packet).
+func (st *enclaveState) appendSealedOutbound(res, payload []byte) []byte {
+	if st.session == nil {
+		return vpn.AppendResultErr(res, ErrNoSession)
+	}
+	if len(payload) > 0 && payload[0] == vpn.FrameData {
+		out, err := st.clickOutbound(payload)
+		if err != nil {
+			return vpn.AppendResultErr(res, err)
+		}
+		payload = out
+	}
+	mark := len(res)
+	res, window := vpn.AppendResultReserve(res, st.session.SealedLen(len(payload)))
+	if _, err := st.session.SealTo(payload, window); err != nil {
+		return vpn.AppendResultErr(res[:mark], err)
+	}
+	return res
 }
 
 // clickOutbound runs the middlebox over a data payload, returning the
 // possibly rewritten payload or ErrDropped. Unmodified packets keep their
-// original serialisation (no re-marshal on the hot path).
+// original serialisation (no re-marshal on the hot path); rewritten ones
+// are serialised into the enclave's marshal scratch, which stays valid
+// only until the next ecall — both egress callers consume it before
+// returning (SealTo copies it into the outgoing frame).
 func (st *enclaveState) clickOutbound(payload []byte) ([]byte, error) {
 	if st.router == nil {
 		return nil, ErrNoSession
 	}
-	ip, err := packet.ParseIPv4(payload[1:])
-	if err != nil {
+	ip := packet.AcquireIPv4()
+	defer ip.Release()
+	if err := ip.Parse(payload[1:]); err != nil {
 		return nil, fmt.Errorf("core: outbound packet: %w", err)
 	}
 	res := st.router.Process(ip)
@@ -538,28 +605,46 @@ func (st *enclaveState) clickOutbound(payload []byte) ([]byte, error) {
 	if !res.Packet.Modified() {
 		return payload, nil
 	}
-	out := make([]byte, 1+res.Packet.IP.Len())
-	out[0] = vpn.FrameData
-	res.Packet.IP.MarshalTo(out[1:])
-	return out, nil
+	return st.marshalPayload(res.Packet.IP), nil
 }
 
-// openInbound is the single-ecall ingress path: verify+decrypt, then run
-// Click unless the packet carries a peer's 0xeb flag (paper §IV-A
-// "Client-to-client communication").
-func (st *enclaveState) openInbound(frame []byte) ([]byte, error) {
+// marshalPayload re-serialises a rewritten packet into the enclave's
+// reusable marshal scratch (ecalls are serialised, so one scratch per
+// enclave suffices).
+func (st *enclaveState) marshalPayload(ip *packet.IPv4) []byte {
+	need := 1 + ip.Len()
+	if cap(st.marshalBuf) < need {
+		st.marshalBuf = make([]byte, need, need+512)
+	}
+	out := st.marshalBuf[:need]
+	out[0] = vpn.FrameData
+	ip.MarshalTo(out[1:])
+	return out
+}
+
+// openInbound is the single-ecall ingress path: verify+decrypt in place
+// inside the caller's frame buffer, then run Click unless the packet
+// carries a peer's 0xeb flag (paper §IV-A "Client-to-client
+// communication"). The returned payload aliases frame except when the
+// middlebox rewrote the packet; inSlab selects where such rewrites are
+// serialised — the enclave's marshal scratch when the caller copies the
+// payload out before its next ecall (the slab batch handler), or a fresh
+// buffer when the payload outlives the call (the single-frame ecall,
+// whose caller hands it straight to the application).
+func (st *enclaveState) openInbound(frame []byte, inSlab bool) ([]byte, error) {
 	if st.session == nil {
 		return nil, ErrNoSession
 	}
-	payload, err := st.session.Open(frame)
+	payload, err := st.session.OpenInPlace(frame)
 	if err != nil {
 		return nil, err
 	}
 	if len(payload) == 0 || payload[0] != vpn.FrameData {
 		return payload, nil
 	}
-	ip, err := packet.ParseIPv4(payload[1:])
-	if err != nil {
+	ip := packet.AcquireIPv4()
+	defer ip.Release()
+	if err := ip.Parse(payload[1:]); err != nil {
 		return nil, fmt.Errorf("core: inbound packet: %w", err)
 	}
 	if st.flagC2C && ip.TOS == packet.ProcessedTOS {
@@ -574,7 +659,13 @@ func (st *enclaveState) openInbound(frame []byte) ([]byte, error) {
 	if !res.Packet.Modified() {
 		return payload, nil
 	}
-	out := make([]byte, 1+res.Packet.IP.Len())
+	if inSlab {
+		return st.marshalPayload(res.Packet.IP), nil
+	}
+	// Single-frame path: the payload crosses the boundary and outlives
+	// this ecall, so it cannot use the marshal scratch. The buffer is
+	// never explicitly released (the GC reclaims it; rewrites are rare).
+	out := wire.GetBuffer(1 + res.Packet.IP.Len())
 	out[0] = vpn.FrameData
 	res.Packet.IP.MarshalTo(out[1:])
 	return out, nil

@@ -25,7 +25,11 @@ type ServerEndpoint interface {
 	Enroll(q attest.Quote) (*attest.Provision, error)
 	// AcceptHello runs the server side of the VPN handshake.
 	AcceptHello(h *vpn.ClientHello) (*vpn.ServerHello, error)
-	// HandleFrame processes one sealed client->server frame.
+	// HandleFrame processes one sealed client->server frame. The frame
+	// buffer is lent for the duration of the call: the endpoint may
+	// decrypt it in place, and the transport may recycle it as soon as
+	// HandleFrame returns — neither side retains it (see DESIGN.md
+	// "Buffer ownership").
 	HandleFrame(clientID string, frame []byte) error
 	// FetchConfig retrieves a sealed configuration blob; version 0 selects
 	// the latest published version.
@@ -44,10 +48,14 @@ type ClientLink interface {
 	Hello(ctx context.Context, h *vpn.ClientHello) (*vpn.ServerHello, error)
 	// FetchConfig retrieves a sealed configuration blob (0 = latest).
 	FetchConfig(ctx context.Context, version uint64) ([]byte, error)
-	// SendFrame transmits one sealed client->server frame.
+	// SendFrame transmits one sealed client->server frame. The frame is
+	// lent for the duration of the call; the caller may recycle its buffer
+	// once SendFrame returns.
 	SendFrame(frame []byte) error
 	// SetDeliver installs the handler for server->client frames. It must be
 	// called before the handshake; frames arriving earlier may be dropped.
+	// Frames are lent to the handler for the duration of the call only —
+	// handlers that keep them must copy.
 	SetDeliver(fn func(frame []byte) error)
 	// Close releases the link.
 	Close() error

@@ -16,10 +16,13 @@ type PoolStats struct {
 	Dropped   uint64 // frames shed because the owning worker's queue was full
 }
 
-// job is one queued ingress frame.
+// job is one queued ingress frame. owner, when non-nil, is the pooled
+// buffer backing frame; the worker hands it to the pool's release hook
+// once the handler is done with it.
 type job struct {
 	clientID string
 	frame    []byte
+	owner    []byte
 }
 
 // Pool is the pipelined ingress stage of the server data plane: W workers,
@@ -30,10 +33,15 @@ type job struct {
 // sequentially.
 //
 // Submitted frames must be owned by the pool: callers hand over the slice
-// and must not reuse its backing array (copy reused read buffers first).
+// and must not reuse its backing array. SubmitOwned extends the handoff
+// with a release obligation — the pool gives the backing buffer back to
+// its origin (via the SetRelease hook) as soon as the worker's handler
+// returns, which is how the UDP transport recycles receive buffers
+// without copying every datagram.
 type Pool struct {
 	workers []chan job
 	handler func(clientID string, frame []byte)
+	release func(owner []byte)
 	wg      sync.WaitGroup
 
 	mu     sync.RWMutex // guards closed vs. in-flight Submits
@@ -65,10 +73,20 @@ func NewPool(workers, depth int, handler func(clientID string, frame []byte)) *P
 			defer p.wg.Done()
 			for j := range ch {
 				p.handler(j.clientID, j.frame)
+				if j.owner != nil && p.release != nil {
+					p.release(j.owner)
+				}
 			}
 		}()
 	}
 	return p
+}
+
+// SetRelease installs the hook that returns SubmitOwned buffers to their
+// origin once a worker finishes with them. It must be set before the
+// first SubmitOwned call and is typically wire.PutBuffer.
+func (p *Pool) SetRelease(fn func(owner []byte)) {
+	p.release = fn
 }
 
 // Workers reports the pool width.
@@ -78,14 +96,26 @@ func (p *Pool) Workers() int { return len(p.workers) }
 // if that worker's queue is full the frame is shed (counted in Stats) and
 // Submit reports false. Submits after Close are refused.
 func (p *Pool) Submit(clientID string, frame []byte) bool {
+	return p.submit(job{clientID: clientID, frame: frame})
+}
+
+// SubmitOwned queues one frame backed by a pooled buffer: on acceptance
+// the pool takes ownership of owner and hands it to the release hook when
+// the worker's handler returns. If SubmitOwned reports false the caller
+// keeps ownership (and typically releases the buffer itself).
+func (p *Pool) SubmitOwned(clientID string, frame, owner []byte) bool {
+	return p.submit(job{clientID: clientID, frame: frame, owner: owner})
+}
+
+func (p *Pool) submit(j job) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return false
 	}
-	ch := p.workers[Hash(clientID)%uint32(len(p.workers))]
+	ch := p.workers[Hash(j.clientID)%uint32(len(p.workers))]
 	select {
-	case ch <- job{clientID: clientID, frame: frame}:
+	case ch <- j:
 		p.submitted.Add(1)
 		return true
 	default:

@@ -125,3 +125,59 @@ func TestPoolConcurrentSubmitClose(t *testing.T) {
 	p.Close()
 	wg.Wait()
 }
+
+// TestPoolSubmitOwnedRelease verifies the buffer-ownership handoff: every
+// accepted owner buffer reaches the release hook exactly once, strictly
+// after its handler finished, and rejected submissions never do (the
+// caller keeps ownership).
+func TestPoolSubmitOwnedRelease(t *testing.T) {
+	var mu sync.Mutex
+	handled := make(map[string]bool)
+	released := make(map[string]int)
+	p := NewPool(2, 4, func(clientID string, frame []byte) {
+		mu.Lock()
+		handled[string(frame)] = true
+		mu.Unlock()
+	})
+	p.SetRelease(func(owner []byte) {
+		mu.Lock()
+		if !handled[string(owner)] {
+			t.Errorf("buffer %q released before its handler ran", owner)
+		}
+		released[string(owner)]++
+		mu.Unlock()
+	})
+
+	accepted := 0
+	for i := 0; i < 64; i++ {
+		buf := []byte(fmt.Sprintf("frame-%02d", i))
+		if p.SubmitOwned(fmt.Sprintf("client-%d", i%4), buf, buf) {
+			accepted++
+		}
+	}
+	p.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(released) != accepted {
+		t.Errorf("released %d distinct buffers, want %d", len(released), accepted)
+	}
+	for owner, n := range released {
+		if n != 1 {
+			t.Errorf("buffer %q released %d times", owner, n)
+		}
+	}
+}
+
+// TestPoolSubmitWithoutOwner keeps the plain Submit path working with a
+// release hook installed: frames without owners must not hit the hook.
+func TestPoolSubmitWithoutOwner(t *testing.T) {
+	p := NewPool(1, 4, func(string, []byte) {})
+	p.SetRelease(func(owner []byte) {
+		t.Errorf("release hook fired for ownerless frame %q", owner)
+	})
+	if !p.Submit("c", []byte("plain")) {
+		t.Fatal("Submit refused")
+	}
+	p.Close()
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Protocol numbers as assigned by IANA, restricted to those EndBox inspects.
@@ -142,6 +143,29 @@ func ParseIPv4(buf []byte) (*IPv4, error) {
 	return p, nil
 }
 
+// ipv4Pool recycles header scratch objects for the per-packet hot paths
+// (AcquireIPv4 / Release). The pooled objects hold no buffers of their own —
+// Options and Payload alias whatever buffer was parsed — so Release only
+// has to sever those aliases.
+var ipv4Pool = sync.Pool{New: func() any { return new(IPv4) }}
+
+// AcquireIPv4 returns a zeroed header scratch object from the pool. The
+// caller owns it until Release; it is not safe to share across goroutines.
+// Use it with Parse/MarshalTo on the data path instead of ParseIPv4 to keep
+// the steady state allocation-free.
+func AcquireIPv4() *IPv4 {
+	return ipv4Pool.Get().(*IPv4)
+}
+
+// Release returns the header to the pool. The caller must not touch p — or
+// any slice read from p.Options/p.Payload while it was held, which alias
+// the parse buffer — after the call. Releasing the same header twice is a
+// use-after-free, exactly like releasing a wire buffer twice.
+func (p *IPv4) Release() {
+	*p = IPv4{} // drop buffer aliases so the pool never retains packet data
+	ipv4Pool.Put(p)
+}
+
 // Parse decodes into an existing header value, allowing reuse without
 // allocation on the data path.
 func (p *IPv4) Parse(buf []byte) error {
@@ -198,10 +222,15 @@ func (p *IPv4) Marshal() []byte {
 }
 
 // MarshalTo serialises into buf, which must be at least p.Len() bytes, and
-// returns the number of bytes written.
+// returns the number of bytes written. An undersized buffer panics up
+// front — before any byte is written — instead of tearing the packet
+// partway through, matching encoding/binary's contract for fixed-size puts.
 func (p *IPv4) MarshalTo(buf []byte) int {
 	hl := p.HeaderLen()
 	total := hl + len(p.Payload)
+	if len(buf) < total {
+		panic(fmt.Sprintf("packet: MarshalTo buffer too small: %d < %d", len(buf), total))
+	}
 	buf[0] = 0x40 | byte(hl/4)
 	buf[1] = p.TOS
 	binary.BigEndian.PutUint16(buf[2:4], uint16(total))

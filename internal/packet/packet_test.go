@@ -462,3 +462,68 @@ func BenchmarkChecksum1500(b *testing.B) {
 		Checksum(buf)
 	}
 }
+
+// --- zero-allocation path tests (pooled headers, MarshalTo bounds) ---
+
+func TestMarshalToShortBuffer(t *testing.T) {
+	p := &IPv4{TTL: 64, Protocol: ProtoUDP, Payload: make([]byte, 100)}
+	for _, short := range []int{0, 1, IPv4HeaderLen, p.Len() - 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MarshalTo(len %d) did not panic for a %d-byte packet", short, p.Len())
+				}
+			}()
+			p.MarshalTo(make([]byte, short))
+		}()
+	}
+	// Exact-size buffer succeeds.
+	buf := make([]byte, p.Len())
+	if n := p.MarshalTo(buf); n != p.Len() {
+		t.Fatalf("MarshalTo wrote %d bytes, want %d", n, p.Len())
+	}
+}
+
+func TestAcquireReleaseIPv4(t *testing.T) {
+	raw := (&IPv4{TTL: 64, Protocol: ProtoUDP,
+		Src: AddrFrom(10, 8, 0, 2), Dst: AddrFrom(192, 0, 2, 1),
+		Payload: []byte("pooled-parse-payload")}).Marshal()
+
+	p := AcquireIPv4()
+	if err := p.Parse(raw); err != nil {
+		t.Fatal(err)
+	}
+	if p.Src != AddrFrom(10, 8, 0, 2) || string(p.Payload) != "pooled-parse-payload" {
+		t.Fatalf("pooled parse mismatch: %+v", p)
+	}
+	p.Release()
+
+	// A released header comes back zeroed, holding no alias of the old
+	// parse buffer.
+	q := AcquireIPv4()
+	if q.Payload != nil || q.Options != nil || q.TotalLen != 0 {
+		t.Fatalf("released header retained state: %+v", q)
+	}
+	q.Release()
+}
+
+func TestPooledParseMarshalAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse")
+	}
+	raw := (&IPv4{TTL: 64, Protocol: ProtoUDP,
+		Src: AddrFrom(10, 8, 0, 2), Dst: AddrFrom(192, 0, 2, 1),
+		Payload: make([]byte, 1400)}).Marshal()
+	out := make([]byte, len(raw))
+	allocs := testing.AllocsPerRun(100, func() {
+		p := AcquireIPv4()
+		if err := p.Parse(raw); err != nil {
+			t.Fatal(err)
+		}
+		p.MarshalTo(out)
+		p.Release()
+	})
+	if allocs > 0 {
+		t.Errorf("pooled parse+marshal allocates %.1f times per packet, want 0", allocs)
+	}
+}

@@ -162,6 +162,11 @@ func (c *CPU) CreateEnclave(img Image, cfg Config) (*Enclave, error) {
 // Measurement returns the enclave's code identity.
 func (e *Enclave) Measurement() Measurement { return e.meas }
 
+// MaxBoundaryBytes reports the per-argument boundary limit, letting
+// callers size batched arguments (ecall slabs) to what one crossing can
+// carry instead of discovering the limit by failing.
+func (e *Enclave) MaxBoundaryBytes() int { return e.cfg.MaxBoundaryBytes }
+
 // Mode reports the execution mode the enclave was created with.
 func (e *Enclave) Mode() Mode { return e.cfg.Mode }
 

@@ -13,6 +13,7 @@ import (
 	"endbox/internal/core"
 	"endbox/internal/dataplane"
 	"endbox/internal/vpn"
+	"endbox/internal/wire"
 )
 
 // Transport implements core.Transport over real UDP sockets: the server
@@ -108,17 +109,24 @@ func (t *Transport) BindServer(ep core.ServerEndpoint) error {
 				t.logf("frame from %s: %v", clientID, err)
 			}
 		})
+		// Receive buffers travel with their frames through the worker
+		// queues and return to the shared pool as soon as the handler is
+		// done — the zero-copy replacement for the old copy-before-dispatch.
+		t.pool.SetRelease(wire.PutBuffer)
 	}
 	t.mu.Unlock()
 	go t.serve(conn, ep)
 	return nil
 }
 
-// serve is the datagram dispatch loop.
+// serve is the datagram dispatch loop. Datagrams land in pooled receive
+// buffers; a buffer is reused for the next read unless a frame dispatch
+// transferred its ownership to the worker pool.
 func (t *Transport) serve(conn *net.UDPConn, ep core.ServerEndpoint) {
-	buf := make([]byte, MaxDatagram)
+	buf := wire.GetBuffer(MaxDatagram)
+	defer func() { wire.PutBuffer(buf) }()
 	for {
-		n, from, err := conn.ReadFromUDP(buf)
+		n, from, err := conn.ReadFromUDP(buf[:MaxDatagram])
 		if err != nil {
 			t.mu.Lock()
 			closed := t.closed
@@ -134,6 +142,12 @@ func (t *Transport) serve(conn *net.UDPConn, ep core.ServerEndpoint) {
 		if err != nil {
 			continue
 		}
+		if msgType == MsgFrame {
+			if t.dispatchFrame(ep, body, buf[:n], from) {
+				buf = wire.GetBuffer(MaxDatagram)
+			}
+			continue
+		}
 		resp := t.handle(conn, ep, msgType, body, from)
 		if resp != nil {
 			if _, err := conn.WriteToUDP(resp, from); err != nil {
@@ -141,6 +155,38 @@ func (t *Transport) serve(conn *net.UDPConn, ep core.ServerEndpoint) {
 			}
 		}
 	}
+}
+
+// dispatchFrame routes one data frame, reporting whether ownership of the
+// receive buffer (owner, whose tail is the frame body) moved to the worker
+// pool. Without a pool the frame is handled inline on the serve goroutine:
+// the endpoint may decrypt in place and must be done with the buffer when
+// it returns — the buffer is only reused for the next datagram afterwards,
+// which is the aliasing guarantee the old per-datagram copy bought, now
+// for free.
+func (t *Transport) dispatchFrame(ep core.ServerEndpoint, body, owner []byte, from *net.UDPAddr) bool {
+	t.mu.Lock()
+	clientID := t.byAddr[from.String()]
+	pool := t.pool
+	t.mu.Unlock()
+	if clientID == "" {
+		// Data frames are fire-and-forget: replying with MsgError would
+		// land in the sender's control queue and poison its next control
+		// round trip, so just drop and log.
+		t.logf("udptransport: frame from unknown address %s dropped", from)
+		return false
+	}
+	if pool != nil {
+		if !pool.SubmitOwned(clientID, body, owner) {
+			t.logf("udptransport: ingress queue full, frame from %s shed", clientID)
+			return false
+		}
+		return true
+	}
+	if err := ep.HandleFrame(clientID, body); err != nil {
+		t.logf("frame from %s: %v", clientID, err)
+	}
+	return false
 }
 
 // handle processes one message and returns the response datagram (nil for
@@ -198,34 +244,6 @@ func (t *Transport) handle(conn *net.UDPConn, ep core.ServerEndpoint, msgType by
 		t.logf("client %s connected from %s", hello.ClientID, from)
 		return resp
 
-	case MsgFrame:
-		t.mu.Lock()
-		clientID := t.byAddr[from.String()]
-		pool := t.pool
-		t.mu.Unlock()
-		if clientID == "" {
-			// Data frames are fire-and-forget: replying with MsgError would
-			// land in the sender's control queue and poison its next
-			// control round trip, so just drop and log.
-			t.logf("udptransport: frame from unknown address %s dropped", from)
-			return nil
-		}
-		// body aliases the serve loop's read buffer, which the next
-		// ReadFromUDP overwrites. The endpoint (or the pool's workers,
-		// which run after serve has moved on) may retain the frame past
-		// this call, so hand over a copy.
-		frame := append([]byte(nil), body...)
-		if pool != nil {
-			if !pool.Submit(clientID, frame) {
-				t.logf("udptransport: ingress queue full, frame from %s shed", clientID)
-			}
-			return nil
-		}
-		if err := ep.HandleFrame(clientID, frame); err != nil {
-			t.logf("frame from %s: %v", clientID, err)
-		}
-		return nil
-
 	case MsgFetch:
 		if len(body) != 8 {
 			return Errorf("fetch: bad version")
@@ -251,7 +269,9 @@ func (t *Transport) handle(conn *net.UDPConn, ep core.ServerEndpoint, msgType by
 }
 
 // SendToClient implements core.Transport: push a sealed frame to a client's
-// last known address.
+// last known address. The datagram is assembled in a pooled buffer (the
+// kernel copies it out during WriteToUDP) and the caller keeps ownership
+// of frame.
 func (t *Transport) SendToClient(clientID string, frame []byte) error {
 	t.mu.Lock()
 	addr, ok := t.addrs[clientID]
@@ -263,7 +283,11 @@ func (t *Transport) SendToClient(clientID string, frame []byte) error {
 	if !ok {
 		return fmt.Errorf("udptransport: no address for client %q", clientID)
 	}
-	_, err := conn.WriteToUDP(Encode(MsgFrame, frame), addr)
+	msg := wire.GetBuffer(1 + len(frame))
+	msg[0] = MsgFrame
+	copy(msg[1:], frame)
+	_, err := conn.WriteToUDP(msg, addr)
+	wire.PutBuffer(msg)
 	return err
 }
 
@@ -301,8 +325,8 @@ const requestTimeout = 2 * time.Second
 // It implements core.ClientLink.
 type Link struct {
 	conn    *net.UDPConn
-	control chan []byte // control responses (type+body)
-	frames  chan []byte // pushed data frames
+	control chan []byte // control responses (type+body), copied out of the read buffer
+	frames  chan []byte // pushed data datagrams (type+body) in pooled buffers the queue owns
 
 	ctrlMu sync.Mutex // serialises control-plane round trips
 
@@ -337,26 +361,31 @@ func Dial(ctx context.Context, server string) (*Link, error) {
 	return l, nil
 }
 
+// readLoop reads datagrams into pooled buffers. Data frames travel to the
+// dispatch loop inside their receive buffer — ownership moves with them
+// and the dispatcher releases the buffer after the handler's burst — while
+// the cold control path copies and reuses the same buffer.
 func (l *Link) readLoop() {
-	buf := make([]byte, MaxDatagram)
+	buf := wire.GetBuffer(MaxDatagram)
 	for {
-		n, err := l.conn.Read(buf)
+		n, err := l.conn.Read(buf[:MaxDatagram])
 		if err != nil {
+			wire.PutBuffer(buf)
 			close(l.frames)
 			return
 		}
-		msg := append([]byte(nil), buf[:n]...)
-		msgType, body, err := Decode(msg)
-		if err != nil {
+		if n == 0 {
 			continue
 		}
-		if msgType == MsgFrame {
+		if buf[0] == MsgFrame {
 			select {
-			case l.frames <- body:
-			default: // shed on overload like a real NIC queue
+			case l.frames <- buf[:n]:
+				buf = wire.GetBuffer(MaxDatagram)
+			default: // shed on overload like a real NIC queue; buffer reused
 			}
 			continue
 		}
+		msg := append([]byte(nil), buf[:n]...)
 		select {
 		case l.control <- msg:
 		default:
@@ -560,23 +589,37 @@ func (l *Link) setDeliver(fn func(frames [][]byte) error) {
 		return
 	}
 	go func() {
+		// The batch and its backing pooled datagrams are reused across
+		// rounds; handlers get the frames for the duration of the call
+		// only (the deployment's slab ingress copies them into its ecall
+		// slab) and the buffers go back to the pool right after.
+		batch := make([][]byte, 0, maxDeliverBatch)
+		owners := make([][]byte, 0, maxDeliverBatch)
+		release := func() {
+			for _, o := range owners {
+				wire.PutBuffer(o)
+			}
+			batch, owners = batch[:0], owners[:0]
+		}
 		for {
 			select {
-			case frame, ok := <-l.frames:
+			case msg, ok := <-l.frames:
 				if !ok {
 					return
 				}
 				// Collect the burst that queued behind the first frame
 				// without blocking for more.
-				batch := [][]byte{frame}
+				batch = append(batch, msg[1:])
+				owners = append(owners, msg)
 			drain:
 				for len(batch) < maxDeliverBatch {
 					select {
-					case f, ok := <-l.frames:
+					case m, ok := <-l.frames:
 						if !ok {
 							break drain
 						}
-						batch = append(batch, f)
+						batch = append(batch, m[1:])
+						owners = append(owners, m)
 					default:
 						break drain
 					}
@@ -587,6 +630,7 @@ func (l *Link) setDeliver(fn func(frames [][]byte) error) {
 				if h != nil {
 					_ = h(batch) // per-frame errors are data-path events, not link failures
 				}
+				release()
 			case <-l.closed:
 				return
 			}

@@ -169,8 +169,13 @@ func TestTransportFramesAfterHello(t *testing.T) {
 	}
 }
 
-// retainingEndpoint keeps the exact frame slices it is handed — the
-// behaviour a buffer-reusing serve loop would corrupt.
+// retainingEndpoint keeps a copy of every frame it is handed. Under the
+// pooled-buffer ownership rules a frame is lent to HandleFrame for the
+// duration of the call only (the buffer goes back to the receive pool when
+// the handler returns), so an endpoint that keeps frames MUST copy — this
+// endpoint is the reference implementation of that contract, and the tests
+// built on it verify the pool never recycles a buffer before its handler
+// has finished reading it.
 type retainingEndpoint struct {
 	fakeEndpoint
 	retained [][]byte
@@ -178,19 +183,21 @@ type retainingEndpoint struct {
 }
 
 func (r *retainingEndpoint) HandleFrame(clientID string, frame []byte) error {
+	kept := append([]byte(nil), frame...) // the ownership rules require the copy
 	r.mu.Lock()
-	r.retained = append(r.retained, frame) // deliberately no copy
+	r.retained = append(r.retained, kept)
 	if r.byClient == nil {
 		r.byClient = make(map[string][][]byte)
 	}
-	r.byClient[clientID] = append(r.byClient[clientID], frame)
+	r.byClient[clientID] = append(r.byClient[clientID], kept)
 	r.mu.Unlock()
 	return nil
 }
 
-// TestFrameBodyNotAliased guards the serve loop's copy-before-dispatch: the
-// read buffer is reused across datagrams, so a handler that retains the
-// frame must still see the original bytes after later datagrams arrive.
+// TestFrameBodyNotAliased guards the pooled receive buffers' ownership
+// handoff: each frame stays stable for the duration of its HandleFrame
+// call even while later datagrams arrive, so a handler that copies during
+// the call (the contract for retention) always sees the original bytes.
 func TestFrameBodyNotAliased(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

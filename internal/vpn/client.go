@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"endbox/internal/wire"
 )
 
 // ClientOptions configures a VPN client endpoint.
@@ -17,7 +19,9 @@ type ClientOptions struct {
 	// Send transmits frames to the server. Required.
 	Send func(frame []byte) error
 	// Deliver hands decrypted, accepted inbound packets to local
-	// applications. Optional.
+	// applications. Optional. The ip slice is only valid for the duration
+	// of the call (it aliases a pooled buffer); implementations that keep
+	// packets must copy.
 	Deliver func(ip []byte)
 	// OnAnnounce fires when a server ping announces a configuration
 	// version newer than the client's. The core update loop fetches and
@@ -64,59 +68,37 @@ func NewClient(opts ClientOptions) (*Client, error) {
 
 // SendPacket tunnels one IP packet: tag, hand to the data plane (Click +
 // seal inside the enclave for EndBox) and transmit. A middlebox drop is
-// reported as ErrDropped.
+// reported as ErrDropped. The encapsulation payload and the sealed frame
+// both cycle through the wire buffer pool: planes must return frames that
+// do not alias the payload and must not retain either buffer.
 func (c *Client) SendPacket(ip []byte) error {
-	payload := make([]byte, 1+len(ip))
+	payload := wire.GetBuffer(1 + len(ip))
 	payload[0] = FrameData
 	copy(payload[1:], ip)
 	frame, err := c.opts.Plane.SealOutbound(payload)
+	wire.PutBuffer(payload)
 	if err != nil {
 		return err
 	}
-	return c.opts.Send(frame)
+	err = c.opts.Send(frame)
+	wire.PutBuffer(frame)
+	return err
 }
 
-// SendPackets tunnels a batch of IP packets. On a BatchDataPlane the whole
-// batch crosses the enclave boundary once; otherwise it falls back to
-// per-packet sealing. Middlebox drops skip the affected packet without
-// aborting the batch. It returns the number of frames handed to the
-// transport and the first error encountered (drops included).
+// SendPackets tunnels a batch of IP packets. On a SlabDataPlane the whole
+// batch crosses the enclave boundary packed into a single pooled slab
+// (one buffer each way, no per-packet allocation); otherwise it falls
+// back to per-packet sealing. Middlebox drops skip the affected packet
+// without aborting the batch. It returns the number of frames handed to
+// the transport and the first error encountered (drops included).
 func (c *Client) SendPackets(ips [][]byte) (int, error) {
-	payloads := make([][]byte, len(ips))
-	for i, ip := range ips {
-		p := make([]byte, 1+len(ip))
-		p[0] = FrameData
-		copy(p[1:], ip)
-		payloads[i] = p
+	if sp, ok := c.opts.Plane.(SlabDataPlane); ok {
+		return c.sendPacketsSlab(sp, ips)
 	}
-
-	var results []SealResult
-	if bp, ok := c.opts.Plane.(BatchDataPlane); ok {
-		var err error
-		results, err = bp.SealOutboundBatch(payloads)
-		if err != nil {
-			return 0, err
-		}
-		if len(results) != len(payloads) {
-			return 0, fmt.Errorf("vpn: batch seal returned %d results for %d packets", len(results), len(payloads))
-		}
-	} else {
-		results = make([]SealResult, len(payloads))
-		for i, p := range payloads {
-			results[i].Frame, results[i].Err = c.opts.Plane.SealOutbound(p)
-		}
-	}
-
 	sent := 0
 	var firstErr error
-	for _, r := range results {
-		if r.Err != nil {
-			if firstErr == nil {
-				firstErr = r.Err
-			}
-			continue
-		}
-		if err := c.opts.Send(r.Frame); err != nil {
+	for _, ip := range ips {
+		if err := c.SendPacket(ip); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -125,6 +107,102 @@ func (c *Client) SendPackets(ips [][]byte) (int, error) {
 		sent++
 	}
 	return sent, firstErr
+}
+
+// sendPacketsSlab packs the burst into pooled request slabs, seals each
+// slab in one crossing and transmits the resulting frames.
+func (c *Client) sendPacketsSlab(sp SlabDataPlane, ips [][]byte) (int, error) {
+	return c.runSlabBatch(sp.SlabBudget(), ips,
+		func(slab, ip []byte) []byte { return AppendSlabFrame(slab, FrameData, ip) },
+		func(ip []byte) int { return SlabSize(1 + len(ip)) },
+		sp.SealOutboundSlab,
+		c.opts.Send,
+	)
+}
+
+// runSlabBatch is the shared chunk-and-flush skeleton of the slab data
+// paths: pack items into pooled request slabs, cross the boundary once per
+// slab, and hand each successful result entry to consume. Chunking is
+// bounded by budget in BOTH directions — the request slab must fit one
+// boundary crossing, and so must the result slab, whose size is bounded by
+// the request bytes plus slabResultOverhead per entry (AppendResultErr's
+// message cap makes that bound sound even for error-dominated results).
+// It returns the number of entries consumed without error and the first
+// per-entry error (a malformed slab or boundary failure aborts instead).
+func (c *Client) runSlabBatch(
+	budget int,
+	items [][]byte,
+	appendEntry func(slab, item []byte) []byte,
+	entrySize func(item []byte) int,
+	cross func(slab []byte) ([]byte, error),
+	consume func(data []byte) error,
+) (int, error) {
+	want := 0
+	for _, item := range items {
+		want += entrySize(item)
+	}
+	if want > budget {
+		want = budget
+	}
+	slab := wire.GetBuffer(want)[:0]
+	defer func() { wire.PutBuffer(slab) }()
+
+	done, count := 0, 0
+	var firstErr error
+	flush := func() error {
+		if count == 0 {
+			return nil
+		}
+		res, err := cross(slab)
+		if err != nil {
+			return err
+		}
+		r := NewResultReader(res)
+		for {
+			data, entryErr, ok := r.Next()
+			if !ok {
+				break
+			}
+			if entryErr == nil {
+				entryErr = consume(data)
+				if entryErr == nil {
+					done++
+				}
+			}
+			if entryErr != nil && firstErr == nil {
+				firstErr = entryErr
+			}
+		}
+		err = r.Err()
+		wire.PutBuffer(res)
+		slab = slab[:0]
+		count = 0
+		return err
+	}
+
+	for _, item := range items {
+		need := entrySize(item)
+		if need+slabResultOverhead > budget {
+			// Too large to ever cross the boundary, even alone in a slab:
+			// fail this item and keep the rest of the batch going, matching
+			// the per-packet path's behaviour for oversized packets.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("vpn: packet of %d bytes exceeds the %d-byte slab budget", need, budget)
+			}
+			continue
+		}
+		if count > 0 && len(slab)+need+(count+1)*slabResultOverhead > budget {
+			if err := flush(); err != nil {
+				return done, err
+			}
+		}
+		slab = appendEntry(slab, item)
+		count++
+	}
+	if err := flush(); err != nil {
+		return done, err
+	}
+	return done, firstErr
 }
 
 // HandleFrame processes a frame from the server: open (verify, decrypt,
@@ -138,36 +216,20 @@ func (c *Client) HandleFrame(frame []byte) error {
 }
 
 // HandleFrames processes a burst of frames from the server. On a
-// BatchIngressPlane the whole burst crosses the enclave boundary once (one
-// ecall for N frames — the ingress mirror of SendPackets); otherwise it
-// falls back to per-frame opening. Dropped or malformed frames are skipped
-// without aborting the burst. It returns the number of frames fully
-// handled and the first error encountered (drops included).
+// SlabIngressPlane the burst crosses the enclave boundary packed into a
+// single pooled slab (one buffer each way — the ingress mirror of
+// SendPackets' slab path); otherwise it falls back to per-frame opening.
+// Dropped or malformed frames are skipped without aborting the burst. It
+// returns the number of frames fully handled and the first error
+// encountered (drops included).
 func (c *Client) HandleFrames(frames [][]byte) (int, error) {
-	var results []OpenResult
-	if bp, ok := c.opts.Plane.(BatchIngressPlane); ok {
-		var err error
-		results, err = bp.OpenInboundBatch(frames)
-		if err != nil {
-			return 0, err
-		}
-		if len(results) != len(frames) {
-			return 0, fmt.Errorf("vpn: batch open returned %d results for %d frames", len(results), len(frames))
-		}
-	} else {
-		results = make([]OpenResult, len(frames))
-		for i, f := range frames {
-			results[i].Payload, results[i].Err = c.opts.Plane.OpenInbound(f)
-		}
+	if sp, ok := c.opts.Plane.(SlabIngressPlane); ok {
+		return c.handleFramesSlab(sp, frames)
 	}
-
 	handled := 0
 	var firstErr error
-	for _, r := range results {
-		err := r.Err
-		if err == nil {
-			err = c.dispatchPayload(r.Payload)
-		}
+	for _, f := range frames {
+		err := c.HandleFrame(f)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -177,6 +239,20 @@ func (c *Client) HandleFrames(frames [][]byte) (int, error) {
 		handled++
 	}
 	return handled, firstErr
+}
+
+// handleFramesSlab packs a received burst into pooled request slabs,
+// opens each slab in one enclave crossing and dispatches the resulting
+// payloads. Opened payloads are delivered to the application
+// synchronously and alias the pooled result slab, which is released
+// before returning.
+func (c *Client) handleFramesSlab(sp SlabIngressPlane, frames [][]byte) (int, error) {
+	return c.runSlabBatch(sp.SlabBudget(), frames,
+		AppendSlabEntry,
+		func(f []byte) int { return SlabSize(len(f)) },
+		sp.OpenInboundSlab,
+		c.dispatchPayload,
+	)
 }
 
 // dispatchPayload routes one opened payload: deliver data or record pings.

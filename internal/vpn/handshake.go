@@ -225,37 +225,6 @@ type DataPlane interface {
 // failure of the channel.
 var ErrDropped = errors.New("vpn: packet dropped by middlebox")
 
-// SealResult is one packet's outcome in a batched seal: the sealed frame,
-// or the per-packet error (e.g. ErrDropped) that excluded it.
-type SealResult struct {
-	Frame []byte
-	Err   error
-}
-
-// BatchDataPlane is implemented by data planes that can seal many outbound
-// payloads in one enclave crossing, amortising the transition cost. The
-// result has one entry per payload, in order; a batch-level failure is
-// returned as the second value.
-type BatchDataPlane interface {
-	SealOutboundBatch(payloads [][]byte) ([]SealResult, error)
-}
-
-// OpenResult is one frame's outcome in a batched open: the decrypted,
-// middlebox-approved payload, or the per-frame error (e.g. ErrDropped)
-// that excluded it.
-type OpenResult struct {
-	Payload []byte
-	Err     error
-}
-
-// BatchIngressPlane is implemented by data planes that can open many
-// inbound frames in one enclave crossing — the ingress mirror of
-// BatchDataPlane, amortising the transition cost over a received burst.
-// The result has one entry per frame, in order.
-type BatchIngressPlane interface {
-	OpenInboundBatch(frames [][]byte) ([]OpenResult, error)
-}
-
 // PlainDataPlane adapts a bare wire.Session as the DataPlane of a vanilla
 // OpenVPN endpoint (no middlebox, no enclave).
 type PlainDataPlane struct {

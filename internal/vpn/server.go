@@ -33,10 +33,13 @@ type ServerOptions struct {
 	// Clock is the time source (default time.Now).
 	Clock Clock
 	// Deliver receives decrypted, accepted packets bound for the managed
-	// network. Required for data traffic.
+	// network. Required for data traffic. The ip slice aliases the frame
+	// buffer being handled and is only valid for the duration of the call;
+	// implementations that keep packets must copy.
 	Deliver func(clientID string, ip []byte)
 	// SendTo transmits frames back to a client. Required for server->client
-	// traffic and pings.
+	// traffic and pings. The frame is a pooled buffer lent for the duration
+	// of the call; implementations must not retain it after returning.
 	SendTo func(clientID string, frame []byte) error
 	// Process optionally runs a server-side middlebox over decrypted
 	// client->network packets (the OpenVPN+Click baseline). It returns
@@ -189,13 +192,16 @@ func (s *Server) ClientCount() int {
 // scrub the client-to-client QoS flag on delivery, and hand accepted
 // packets to the network. The hot path takes one shard read-lock for the
 // session lookup and then runs lock-free (atomic counters, internally
-// locked wire session).
+// locked wire session) and allocation-free: the frame is decrypted in
+// place, so the caller lends the buffer for the duration of the call and
+// must treat its contents as consumed afterwards, and the ip slice handed
+// to Deliver aliases it (Deliver implementations that keep packets copy).
 func (s *Server) HandleFrame(clientID string, frame []byte) error {
 	sess, ok := s.sessions.Get(clientID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
-	payload, err := sess.sess.Open(frame)
+	payload, err := sess.sess.OpenInPlace(frame)
 	if err != nil {
 		return err
 	}
@@ -241,32 +247,45 @@ func (s *Server) SendTo(clientID string, ip []byte, fromClient bool) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
-	if *s.opts.ScrubTOS && !fromClient {
-		ip = scrubProcessedTOS(ip)
-	}
-	payload := make([]byte, 1+len(ip))
+	// Encapsulate into a pooled payload buffer; the caller's ip is never
+	// modified — the TOS scrub rewrites the pooled copy in place.
+	payload := wire.GetBuffer(1 + len(ip))
 	payload[0] = FrameData
 	copy(payload[1:], ip)
-	frame, err := sess.sess.Seal(payload)
+	if *s.opts.ScrubTOS && !fromClient {
+		scrubProcessedTOS(payload[1:])
+	}
+	frame := wire.GetBuffer(sess.sess.SealedLen(len(payload)))
+	sealed, err := sess.sess.SealTo(payload, frame)
+	wire.PutBuffer(payload)
 	if err != nil {
+		wire.PutBuffer(frame)
 		return err
 	}
 	sess.stats.CountTx(len(ip))
 	if s.opts.SendTo == nil {
+		wire.PutBuffer(frame)
 		return fmt.Errorf("vpn: no SendTo transport configured")
 	}
-	return s.opts.SendTo(clientID, frame)
+	err = s.opts.SendTo(clientID, sealed)
+	wire.PutBuffer(frame)
+	return err
 }
 
-// scrubProcessedTOS clears the 0xeb QoS byte, re-serialising the header
-// checksum. Unparsable packets pass unchanged (they will be dropped later).
-func scrubProcessedTOS(ip []byte) []byte {
-	var p packet.IPv4
+// scrubProcessedTOS clears the 0xeb QoS byte in place, re-serialising the
+// header checksum. The caller owns ip (the pooled encapsulation copy).
+// Unparsable packets pass unchanged (they will be dropped later).
+func scrubProcessedTOS(ip []byte) {
+	p := packet.AcquireIPv4()
+	defer p.Release()
 	if err := p.Parse(ip); err != nil || p.TOS != packet.ProcessedTOS {
-		return ip
+		return
 	}
-	p.TOS = 0
-	return p.Marshal()
+	ip[1] = 0 // TOS byte
+	ip[10], ip[11] = 0, 0
+	hl := p.HeaderLen()
+	sum := packet.Checksum(ip[:hl])
+	ip[10], ip[11] = byte(sum>>8), byte(sum)
 }
 
 // BroadcastPing sends the keepalive/config-announce ping to every connected

@@ -1,0 +1,100 @@
+package wire
+
+import "sync"
+
+// Frame buffer pool
+//
+// The steady-state packet path recycles every buffer it touches through
+// this pool: encapsulation payloads, sealed frames, ecall slabs and
+// transport receive buffers. Buffers come in a few capacity classes so one
+// pool serves MTU-sized frames, UDP-maximum datagrams and multi-packet
+// ecall slabs without fragmenting.
+//
+// Ownership rules (see DESIGN.md "Buffer ownership"):
+//
+//   - GetBuffer transfers ownership of the returned buffer to the caller.
+//   - Passing a buffer down a synchronous call (Send, HandleFrame, Deliver,
+//     an Observer hook) lends it for the duration of that call only; the
+//     callee must not retain it or write to it after returning.
+//   - Whoever owns a buffer when it goes out of use calls PutBuffer exactly
+//     once. Forgetting to release is safe (the buffer is garbage collected,
+//     costing only a missed reuse); releasing twice, or releasing a buffer
+//     someone else still aliases, is a use-after-free and is not.
+//   - PutBuffer accepts any byte slice: foreign buffers big enough for a
+//     class are adopted, the rest are dropped on the floor.
+
+// Buffer capacity classes: MTU frames, batched frame bursts, UDP-maximum
+// datagrams, and the enclave-boundary slab limit.
+var bufClasses = [...]int{2048, 16384, 65536, 262144}
+
+// bufClass holds pooled buffers of one capacity. Two pools cycle the same
+// objects: bufs holds full buffers, hdrs holds the spare slice headers left
+// behind when a buffer is checked out — so a steady Get/Put cycle allocates
+// nothing at all.
+type bufClass struct {
+	size int
+	bufs sync.Pool // *[]byte with len == cap == size
+	hdrs sync.Pool // *[]byte with nil contents, awaiting reuse by put
+}
+
+var classes = func() [len(bufClasses)]*bufClass {
+	var cs [len(bufClasses)]*bufClass
+	for i, size := range bufClasses {
+		cs[i] = &bufClass{size: size}
+	}
+	return cs
+}()
+
+// GetBuffer returns a buffer of length n from the pool (capacity is the
+// smallest class that fits, so append within the class never reallocates).
+// Requests beyond the largest class are served by plain make and simply
+// dropped again by PutBuffer. The buffer's contents are undefined.
+func GetBuffer(n int) []byte {
+	for _, c := range classes {
+		if n <= c.size {
+			return c.get(n)
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutBuffer returns a buffer to the pool. The caller must own b (see the
+// ownership rules above): after the call any alias of b — including
+// sub-slices handed to other components — is invalid. Buffers too small
+// for the smallest class are dropped, and so are buffers larger than the
+// biggest class (the GetBuffer make fallback): pooling one resliced to
+// class size would pin the whole oversized backing array for the pool's
+// lifetime.
+func PutBuffer(b []byte) {
+	if b == nil || cap(b) > classes[len(classes)-1].size {
+		return
+	}
+	// Select the largest class whose size fits within b's capacity, so a
+	// foreign (make'd) buffer is adopted at the capacity it can actually
+	// serve.
+	for i := len(classes) - 1; i >= 0; i-- {
+		if cap(b) >= classes[i].size {
+			classes[i].put(b[:classes[i].size:classes[i].size])
+			return
+		}
+	}
+}
+
+func (c *bufClass) get(n int) []byte {
+	if p, _ := c.bufs.Get().(*[]byte); p != nil {
+		b := (*p)[:n]
+		*p = nil
+		c.hdrs.Put(p)
+		return b
+	}
+	return make([]byte, n, c.size)
+}
+
+func (c *bufClass) put(b []byte) {
+	p, _ := c.hdrs.Get().(*[]byte)
+	if p == nil {
+		p = new([]byte)
+	}
+	*p = b
+	c.bufs.Put(p)
+}

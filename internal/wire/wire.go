@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"sync"
 )
 
@@ -95,10 +96,72 @@ func DeriveKeys(master []byte, direction string) Keys {
 
 // Codec seals and opens frames in one direction. It is stateless with
 // respect to packet IDs; Session adds ID assignment and replay checking.
+// Codecs are safe for concurrent use: the reusable crypto state (HMAC
+// hashes, CBC block modes) lives in internal pools.
 type Codec struct {
 	mode  Mode
 	block cipher.Block
 	mac   [MACKeySize]byte
+
+	// macs pools *macState so the steady-state path never re-derives the
+	// HMAC key schedule (hmac.New costs several allocations and two extra
+	// SHA-256 blocks per call).
+	macs sync.Pool
+	// encs / decs pool cipher.BlockModes that support SetIV, so CBC state
+	// is reused across packets.
+	encs, decs sync.Pool
+}
+
+// macState is a pooled HMAC instance plus a scratch array for Sum output,
+// heap-resident so Sum never forces an escape-analysis allocation.
+type macState struct {
+	h   hash.Hash
+	sum [sha256.Size]byte
+}
+
+// getMAC returns a reset HMAC instance from the pool.
+func (c *Codec) getMAC() *macState {
+	if st, _ := c.macs.Get().(*macState); st != nil {
+		st.h.Reset()
+		return st
+	}
+	return &macState{h: hmac.New(sha256.New, c.mac[:])}
+}
+
+func (c *Codec) putMAC(st *macState) { c.macs.Put(st) }
+
+// ivSetter is implemented by the standard library's CBC block modes; it
+// lets one BlockMode be reused across packets.
+type ivSetter interface{ SetIV([]byte) }
+
+// getEncrypter returns a CBC encrypter primed with iv, pooled when the
+// platform's BlockMode supports IV reuse.
+func (c *Codec) getEncrypter(iv []byte) cipher.BlockMode {
+	if m, _ := c.encs.Get().(cipher.BlockMode); m != nil {
+		m.(ivSetter).SetIV(iv)
+		return m
+	}
+	return cipher.NewCBCEncrypter(c.block, iv)
+}
+
+func (c *Codec) putEncrypter(m cipher.BlockMode) {
+	if _, ok := m.(ivSetter); ok {
+		c.encs.Put(m)
+	}
+}
+
+func (c *Codec) getDecrypter(iv []byte) cipher.BlockMode {
+	if m, _ := c.decs.Get().(cipher.BlockMode); m != nil {
+		m.(ivSetter).SetIV(iv)
+		return m
+	}
+	return cipher.NewCBCDecrypter(c.block, iv)
+}
+
+func (c *Codec) putDecrypter(m cipher.BlockMode) {
+	if _, ok := m.(ivSetter); ok {
+		c.decs.Put(m)
+	}
 }
 
 // NewCodec builds a codec from directional keys.
@@ -128,45 +191,114 @@ func (c *Codec) Overhead(n int) int {
 	}
 }
 
+// SealedLen returns the exact frame length for a payload of n bytes.
+func (c *Codec) SealedLen(n int) int { return n + c.Overhead(n) }
+
 // Seal frames a payload under the given packet ID:
 //
 //	encrypted:      id(8) || IV(16) || CBC(payload+pad) || HMAC(32)
 //	integrity-only: id(8) ||           payload          || HMAC(32)
 //
-// The HMAC covers everything before it (encrypt-then-MAC).
+// The HMAC covers everything before it (encrypt-then-MAC). The frame is
+// freshly allocated; SealTo is the pooled-buffer variant the packet path
+// uses.
 func (c *Codec) Seal(id uint64, payload []byte) ([]byte, error) {
-	var frame []byte
+	return c.SealTo(id, payload, make([]byte, c.SealedLen(len(payload))))
+}
+
+// SealTo seals payload into dst, which must not alias payload and must
+// have capacity of at least SealedLen(len(payload)) bytes. It returns the
+// frame, a slice of dst's backing array; ownership of dst stays with the
+// caller. SealTo performs no allocation on the steady-state path.
+func (c *Codec) SealTo(id uint64, payload, dst []byte) ([]byte, error) {
+	frameLen := c.SealedLen(len(payload))
+	if cap(dst) < frameLen {
+		return nil, fmt.Errorf("wire: SealTo destination too small: %d < %d", cap(dst), frameLen)
+	}
+	frame := dst[:frameLen]
+	binary.BigEndian.PutUint64(frame[:idLen], id)
 	switch c.mode {
 	case ModeEncrypted:
-		pad := aes.BlockSize - len(payload)%aes.BlockSize
-		ctLen := len(payload) + pad
-		frame = make([]byte, idLen+aes.BlockSize+ctLen+macLen)
-		binary.BigEndian.PutUint64(frame[:idLen], id)
 		iv := frame[idLen : idLen+aes.BlockSize]
 		if _, err := rand.Read(iv); err != nil {
 			return nil, fmt.Errorf("wire: IV: %w", err)
 		}
-		ct := frame[idLen+aes.BlockSize : idLen+aes.BlockSize+ctLen]
+		pad := aes.BlockSize - len(payload)%aes.BlockSize
+		ct := frame[idLen+aes.BlockSize : len(frame)-macLen]
 		copy(ct, payload)
-		for i := len(payload); i < ctLen; i++ {
+		for i := len(payload); i < len(ct); i++ {
 			ct[i] = byte(pad)
 		}
-		cipher.NewCBCEncrypter(c.block, iv).CryptBlocks(ct, ct)
+		enc := c.getEncrypter(iv)
+		enc.CryptBlocks(ct, ct)
+		c.putEncrypter(enc)
 	case ModeIntegrityOnly:
-		frame = make([]byte, idLen+len(payload)+macLen)
-		binary.BigEndian.PutUint64(frame[:idLen], id)
 		copy(frame[idLen:], payload)
 	}
-	m := hmac.New(sha256.New, c.mac[:])
-	m.Write(frame[:len(frame)-macLen])
-	m.Sum(frame[:len(frame)-macLen])
+	body := frame[:len(frame)-macLen]
+	st := c.getMAC()
+	st.h.Write(body)
+	st.h.Sum(body)
+	c.putMAC(st)
 	return frame, nil
 }
 
 // Open authenticates and (in encrypted mode) decrypts a frame, returning
 // the packet ID and payload. MAC verification happens before any decryption
 // so malformed ciphertexts never reach the cipher.
+//
+// In integrity-only mode the returned payload aliases frame (the copy the
+// previous version made bought nothing: callers consume the payload before
+// reusing the frame under the ownership rules in DESIGN.md). In encrypted
+// mode the payload is a fresh allocation and frame is left untouched;
+// OpenInPlace is the allocation-free variant that decrypts inside frame.
 func (c *Codec) Open(frame []byte) (uint64, []byte, error) {
+	id, body, err := c.verify(frame)
+	if err != nil {
+		return 0, nil, err
+	}
+	if c.mode == ModeIntegrityOnly {
+		return id, body[idLen:], nil
+	}
+	iv := body[idLen : idLen+aes.BlockSize]
+	ct := body[idLen+aes.BlockSize:]
+	if len(ct) == 0 || len(ct)%aes.BlockSize != 0 {
+		return 0, nil, ErrBadPadding
+	}
+	pt := make([]byte, len(ct))
+	dec := c.getDecrypter(iv)
+	dec.CryptBlocks(pt, ct)
+	c.putDecrypter(dec)
+	return c.unpad(id, pt)
+}
+
+// OpenInPlace authenticates a frame and decrypts it inside its own buffer,
+// returning the packet ID and a payload that aliases frame. The caller
+// keeps ownership of frame but must treat its contents as overwritten —
+// even on error, since a frame that authenticates but fails padding checks
+// has already been decrypted. No allocation happens on any path.
+func (c *Codec) OpenInPlace(frame []byte) (uint64, []byte, error) {
+	id, body, err := c.verify(frame)
+	if err != nil {
+		return 0, nil, err
+	}
+	if c.mode == ModeIntegrityOnly {
+		return id, body[idLen:], nil
+	}
+	iv := body[idLen : idLen+aes.BlockSize]
+	ct := body[idLen+aes.BlockSize:]
+	if len(ct) == 0 || len(ct)%aes.BlockSize != 0 {
+		return 0, nil, ErrBadPadding
+	}
+	dec := c.getDecrypter(iv)
+	dec.CryptBlocks(ct, ct)
+	c.putDecrypter(dec)
+	return c.unpad(id, ct)
+}
+
+// verify checks frame length and MAC, returning the packet ID and the
+// MAC-covered body (which aliases frame).
+func (c *Codec) verify(frame []byte) (uint64, []byte, error) {
 	minLen := idLen + macLen
 	if c.mode == ModeEncrypted {
 		minLen += aes.BlockSize
@@ -175,24 +307,19 @@ func (c *Codec) Open(frame []byte) (uint64, []byte, error) {
 		return 0, nil, ErrTruncFrame
 	}
 	body, tag := frame[:len(frame)-macLen], frame[len(frame)-macLen:]
-	m := hmac.New(sha256.New, c.mac[:])
-	m.Write(body)
-	if !hmac.Equal(m.Sum(nil), tag) {
+	st := c.getMAC()
+	st.h.Write(body)
+	sum := st.h.Sum(st.sum[:0])
+	ok := hmac.Equal(sum, tag)
+	c.putMAC(st)
+	if !ok {
 		return 0, nil, ErrAuthFailed
 	}
-	id := binary.BigEndian.Uint64(body[:idLen])
+	return binary.BigEndian.Uint64(body[:idLen]), body, nil
+}
 
-	if c.mode == ModeIntegrityOnly {
-		return id, append([]byte(nil), body[idLen:]...), nil
-	}
-
-	iv := body[idLen : idLen+aes.BlockSize]
-	ct := body[idLen+aes.BlockSize:]
-	if len(ct) == 0 || len(ct)%aes.BlockSize != 0 {
-		return 0, nil, ErrBadPadding
-	}
-	pt := make([]byte, len(ct))
-	cipher.NewCBCDecrypter(c.block, iv).CryptBlocks(pt, ct)
+// unpad validates and strips CBC padding from a decrypted plaintext.
+func (c *Codec) unpad(id uint64, pt []byte) (uint64, []byte, error) {
 	pad := int(pt[len(pt)-1])
 	if pad == 0 || pad > aes.BlockSize || pad > len(pt) {
 		return 0, nil, ErrBadPadding
@@ -290,18 +417,43 @@ func (s *Session) Mode() Mode { return s.send.mode }
 // Overhead reports framing overhead for a payload of n bytes.
 func (s *Session) Overhead(n int) int { return s.send.Overhead(n) }
 
+// SealedLen reports the exact frame length for a payload of n bytes.
+func (s *Session) SealedLen(n int) int { return s.send.SealedLen(n) }
+
 // Seal frames an outgoing payload with the next packet ID.
 func (s *Session) Seal(payload []byte) ([]byte, error) {
+	return s.send.Seal(s.takeID(), payload)
+}
+
+// SealTo frames an outgoing payload with the next packet ID into dst (see
+// Codec.SealTo for the capacity and aliasing requirements).
+func (s *Session) SealTo(payload, dst []byte) ([]byte, error) {
+	return s.send.SealTo(s.takeID(), payload, dst)
+}
+
+func (s *Session) takeID() uint64 {
 	s.mu.Lock()
 	id := s.nextID
 	s.nextID++
 	s.mu.Unlock()
-	return s.send.Seal(id, payload)
+	return id
 }
 
-// Open authenticates, replay-checks and decrypts an incoming frame.
+// Open authenticates, replay-checks and decrypts an incoming frame. In
+// integrity-only mode the payload aliases frame; see Codec.Open.
 func (s *Session) Open(frame []byte) ([]byte, error) {
-	id, payload, err := s.recv.Open(frame)
+	return s.open(s.recv.Open, frame)
+}
+
+// OpenInPlace authenticates, replay-checks and decrypts an incoming frame
+// inside its own buffer; the payload aliases frame and the frame contents
+// are consumed even on error (see Codec.OpenInPlace).
+func (s *Session) OpenInPlace(frame []byte) ([]byte, error) {
+	return s.open(s.recv.OpenInPlace, frame)
+}
+
+func (s *Session) open(via func([]byte) (uint64, []byte, error), frame []byte) ([]byte, error) {
+	id, payload, err := via(frame)
 	if err != nil {
 		return nil, err
 	}

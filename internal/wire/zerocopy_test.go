@@ -1,0 +1,346 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testSession(t testing.TB, mode Mode) (client, server *Session) {
+	t.Helper()
+	master := []byte("zerocopy-test-master-secret")
+	c, err := NewSession(master, mode, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(master, mode, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+// TestSealToMatchesSeal proves the pooled-buffer path and the allocating
+// path produce interchangeable frames in both modes.
+func TestSealToMatchesSeal(t *testing.T) {
+	for _, mode := range []Mode{ModeEncrypted, ModeIntegrityOnly} {
+		t.Run(mode.String(), func(t *testing.T) {
+			keys := DeriveKeys([]byte("m"), "client-to-server")
+			seal, err := NewCodec(mode, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			open, err := NewCodec(mode, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{0, 1, 15, 16, 17, 1500} {
+				payload := bytes.Repeat([]byte{byte(n)}, n)
+				dst := GetBuffer(seal.SealedLen(n))
+				frame, err := seal.SealTo(42, payload, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(frame) != seal.SealedLen(n) {
+					t.Fatalf("frame len %d, want SealedLen %d", len(frame), seal.SealedLen(n))
+				}
+				id, got, err := open.Open(frame)
+				if err != nil {
+					t.Fatalf("Open(SealTo frame): %v", err)
+				}
+				if id != 42 || !bytes.Equal(got, payload) {
+					t.Fatalf("round trip mismatch: id=%d payload %d bytes", id, len(got))
+				}
+				PutBuffer(dst)
+			}
+		})
+	}
+}
+
+// TestSealToShortBuffer checks the capacity guard fails loudly instead of
+// corrupting a neighbouring allocation.
+func TestSealToShortBuffer(t *testing.T) {
+	keys := DeriveKeys([]byte("m"), "client-to-server")
+	c, err := NewCodec(ModeEncrypted, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	if _, err := c.SealTo(1, payload, make([]byte, 0, c.SealedLen(100)-1)); err == nil {
+		t.Fatal("SealTo accepted an undersized destination")
+	}
+}
+
+// TestOpenInPlaceAliases proves OpenInPlace returns a payload inside the
+// frame's own buffer (no copy) and that Open's integrity-only payload
+// aliases too — the satellite fix for the gratuitous copy.
+func TestOpenInPlaceAliases(t *testing.T) {
+	for _, mode := range []Mode{ModeEncrypted, ModeIntegrityOnly} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cli, srv := testSession(t, mode)
+			payload := []byte("alias-me-please-16")
+			frame, err := cli.Seal(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := srv.OpenInPlace(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("payload mismatch: %q", got)
+			}
+			if &got[0] != &frame[idLen:][aliasOffset(mode)] {
+				t.Error("OpenInPlace payload does not alias the frame buffer")
+			}
+		})
+	}
+	// Open in integrity-only mode aliases as well.
+	cli, srv := testSession(t, ModeIntegrityOnly)
+	payload := []byte("integrity-only-alias")
+	frame, err := cli.Seal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Open(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &frame[idLen] {
+		t.Error("integrity-only Open still copies the payload")
+	}
+}
+
+// aliasOffset is where the plaintext starts within the frame body.
+func aliasOffset(mode Mode) int {
+	if mode == ModeEncrypted {
+		return 16 // after the IV
+	}
+	return 0
+}
+
+// TestOpenRejectsTamper covers both open paths against bit flips across the
+// whole frame.
+func TestOpenRejectsTamper(t *testing.T) {
+	for _, mode := range []Mode{ModeEncrypted, ModeIntegrityOnly} {
+		t.Run(mode.String(), func(t *testing.T) {
+			keys := DeriveKeys([]byte("m"), "client-to-server")
+			seal, _ := NewCodec(mode, keys)
+			open, _ := NewCodec(mode, keys)
+			frame, err := seal.Seal(7, []byte("tamper-evident-payload"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range frame {
+				bad := append([]byte(nil), frame...)
+				bad[i] ^= 0x80
+				if _, _, err := open.Open(bad); err == nil {
+					t.Fatalf("Open accepted frame with byte %d flipped", i)
+				}
+				bad[i] ^= 0x80 // restore; reuse as OpenInPlace input
+				bad[i] ^= 0x01
+				if _, _, err := open.OpenInPlace(bad); err == nil {
+					t.Fatalf("OpenInPlace accepted frame with byte %d flipped", i)
+				}
+			}
+		})
+	}
+}
+
+// FuzzSealOpenRoundTrip cross-checks all four seal/open combinations on
+// arbitrary payloads in both protection modes.
+func FuzzSealOpenRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), uint64(1))
+	f.Add([]byte("a"), uint64(2))
+	f.Add(bytes.Repeat([]byte{0xeb}, 1500), uint64(1<<40))
+	f.Add(bytes.Repeat([]byte{0x00}, 16), uint64(0))
+	f.Fuzz(func(t *testing.T, payload []byte, id uint64) {
+		for _, mode := range []Mode{ModeEncrypted, ModeIntegrityOnly} {
+			keys := DeriveKeys([]byte("fuzz"), "client-to-server")
+			seal, err := NewCodec(mode, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			open, err := NewCodec(mode, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := seal.Seal(id, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := GetBuffer(seal.SealedLen(len(payload)))
+			b, err := seal.SealTo(id, payload, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("Seal/SealTo length mismatch: %d vs %d", len(a), len(b))
+			}
+			for name, frame := range map[string][]byte{"Seal": a, "SealTo": b} {
+				gotID, got, err := open.Open(frame)
+				if err != nil {
+					t.Fatalf("%s/%s Open: %v", mode, name, err)
+				}
+				if gotID != id || !bytes.Equal(got, payload) {
+					t.Fatalf("%s/%s Open round trip mismatch", mode, name)
+				}
+				gotID, got, err = open.OpenInPlace(frame)
+				if err != nil {
+					t.Fatalf("%s/%s OpenInPlace: %v", mode, name, err)
+				}
+				if gotID != id || !bytes.Equal(got, payload) {
+					t.Fatalf("%s/%s OpenInPlace round trip mismatch", mode, name)
+				}
+			}
+			PutBuffer(dst)
+		}
+	})
+}
+
+// TestSealOpenAllocs pins the allocation-free property of the pooled
+// paths: SealTo and OpenInPlace must not allocate in steady state.
+func TestSealOpenAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse")
+	}
+	for _, mode := range []Mode{ModeEncrypted, ModeIntegrityOnly} {
+		t.Run(mode.String(), func(t *testing.T) {
+			keys := DeriveKeys([]byte("m"), "client-to-server")
+			seal, _ := NewCodec(mode, keys)
+			open, _ := NewCodec(mode, keys)
+			payload := bytes.Repeat([]byte{7}, 1400)
+			dst := GetBuffer(seal.SealedLen(len(payload)))
+			defer PutBuffer(dst)
+			// Warm the pools.
+			frame, err := seal.SealTo(1, payload, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := open.OpenInPlace(frame); err != nil {
+				t.Fatal(err)
+			}
+			id := uint64(2)
+			allocs := testing.AllocsPerRun(100, func() {
+				f, err := seal.SealTo(id, payload, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := open.OpenInPlace(f); err != nil {
+					t.Fatal(err)
+				}
+				id++
+			})
+			if allocs > 0 {
+				t.Errorf("SealTo+OpenInPlace allocates %.1f times per packet, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestBufferPoolClasses covers class selection, oversize fallbacks and
+// foreign-buffer adoption.
+func TestBufferPoolClasses(t *testing.T) {
+	for _, n := range []int{0, 1, 2048, 2049, 16384, 65536, 262144} {
+		b := GetBuffer(n)
+		if len(b) != n {
+			t.Fatalf("GetBuffer(%d) len = %d", n, len(b))
+		}
+		PutBuffer(b)
+	}
+	// Oversize requests fall back to make and are dropped by PutBuffer.
+	big := GetBuffer(262145)
+	if len(big) != 262145 {
+		t.Fatalf("oversize GetBuffer len = %d", len(big))
+	}
+	PutBuffer(big)
+	// Foreign buffers are adopted at the class their capacity serves.
+	PutBuffer(make([]byte, 3000))
+	PutBuffer(make([]byte, 10)) // too small for any class: dropped
+	b := GetBuffer(2048)
+	if cap(b) < 2048 {
+		t.Fatalf("pooled buffer cap = %d", cap(b))
+	}
+	PutBuffer(b)
+}
+
+// TestBufferPoolOwnershipRace is the -race stress test for the Release
+// protocol: concurrent owners stamp their buffers with a unique pattern,
+// verify it after real work, and release. Any buffer observed after
+// release — a double-put or a pool bug handing one buffer to two owners —
+// shows up as a pattern mismatch or a data race.
+func TestBufferPoolOwnershipRace(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				n := 64 + (i%4)*700 // exercise two classes
+				b := GetBuffer(n)
+				stamp := byte(w<<4) | byte(i&0x0f)
+				for j := range b {
+					b[j] = stamp
+				}
+				// Do unrelated pool traffic while holding b.
+				other := GetBuffer(n)
+				for j := range other {
+					other[j] = ^stamp
+				}
+				PutBuffer(other)
+				for j := range b {
+					if b[j] != stamp {
+						t.Errorf("worker %d round %d: buffer mutated while owned (byte %d = %#x)", w, i, j, b[j])
+						return
+					}
+				}
+				PutBuffer(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSessionConcurrentSealTo checks the pooled codec state is safe under
+// concurrent sealers and openers (the server seals to many clients from
+// many goroutines).
+func TestSessionConcurrentSealTo(t *testing.T) {
+	cli, srv := testSession(t, ModeEncrypted)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("goroutine-%d-payload", g))
+			for i := 0; i < 500; i++ {
+				dst := GetBuffer(cli.SealedLen(len(payload)))
+				frame, err := cli.SealTo(payload, dst)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Verify against the receive codec directly (the shared
+				// replay window would reject reordered IDs).
+				if _, got, err := srv.recv.OpenInPlace(frame); err != nil {
+					errs <- err
+					return
+				} else if !bytes.Equal(got, payload) {
+					errs <- fmt.Errorf("payload mismatch for goroutine %d", g)
+					return
+				}
+				PutBuffer(dst)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
