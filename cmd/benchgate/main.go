@@ -1,7 +1,10 @@
-// Command benchgate guards the zero-allocation packet path in CI: it
-// compares allocs/op from a `go test -bench -benchmem` run against the
+// Command benchgate guards the data-plane benchmarks in CI: it compares
+// allocs/op AND ns/op from a `go test -bench -benchmem` run against the
 // committed baseline (BENCH_zerocopy.json) and fails when any matched
-// benchmark regresses beyond the tolerance.
+// benchmark regresses beyond the tolerances. Gating both metrics means a
+// change cannot silently trade the zero-allocation property for speed or
+// vice versa — in particular, the control-path ARQ layer must leave the
+// data path's latency untouched, not just its allocation count.
 //
 // Usage:
 //
@@ -11,8 +14,9 @@
 // Matching is by benchmark name with the "Benchmark" prefix and the
 // -GOMAXPROCS suffix stripped, so "BenchmarkDataPlanePath/sharded+batched/clients=8-4"
 // compares against the baseline entry "DataPlanePath/sharded+batched/clients=8".
-// Baseline entries with no allocs_per_op field and benchmarks absent from
-// the run are skipped.
+// Baseline entries missing a metric and benchmarks absent from the run are
+// skipped. The ns/op tolerance is deliberately loose (CI machines vary);
+// the allocs/op tolerance is tight (allocation counts are deterministic).
 package main
 
 import (
@@ -31,25 +35,39 @@ type baselineFile struct {
 	Benchmarks []struct {
 		Name        string   `json:"name"`
 		AllocsPerOp *float64 `json:"allocs_per_op"`
+		NsPerOp     *float64 `json:"ns_per_op"`
 	} `json:"benchmarks"`
+}
+
+// metric is one gated quantity parsed from benchmark output.
+type metric struct {
+	unit      string  // go test unit suffix ("allocs/op", "ns/op")
+	tolerance float64 // allowed fractional regression
+	slack     float64 // absolute slack on top of the tolerance
 }
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_zerocopy.json", "committed baseline JSON")
-		benchPath    = flag.String("bench", "-", "benchmark output to check ('-' for stdin)")
-		match        = flag.String("match", "DataPlanePath", "gate benchmarks whose name contains this substring")
-		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional allocs/op regression")
-		slack        = flag.Float64("slack", 8, "absolute allocs/op slack on top of the tolerance (absorbs cold-pool warmup at short benchtimes)")
+		baselinePath  = flag.String("baseline", "BENCH_zerocopy.json", "committed baseline JSON")
+		benchPath     = flag.String("bench", "-", "benchmark output to check ('-' for stdin)")
+		match         = flag.String("match", "DataPlanePath", "gate benchmarks whose name contains this substring")
+		tolerance     = flag.Float64("tolerance", 0.10, "allowed fractional allocs/op regression")
+		slack         = flag.Float64("slack", 8, "absolute allocs/op slack on top of the tolerance (absorbs cold-pool warmup at short benchtimes)")
+		timeTolerance = flag.Float64("time-tolerance", 0.50, "allowed fractional ns/op regression (loose: CI machines vary)")
+		timeSlack     = flag.Float64("time-slack", 0, "absolute ns/op slack on top of the time tolerance")
 	)
 	flag.Parse()
-	if err := run(*baselinePath, *benchPath, *match, *tolerance, *slack); err != nil {
+	metrics := []metric{
+		{unit: "allocs/op", tolerance: *tolerance, slack: *slack},
+		{unit: "ns/op", tolerance: *timeTolerance, slack: *timeSlack},
+	}
+	if err := run(*baselinePath, *benchPath, *match, metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, benchPath, match string, tolerance, slack float64) error {
+func run(baselinePath, benchPath, match string, metrics []metric) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -58,14 +76,24 @@ func run(baselinePath, benchPath, match string, tolerance, slack float64) error 
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parse %s: %w", baselinePath, err)
 	}
-	baseline := make(map[string]float64)
+	// baseline[unit][name] = committed value.
+	baseline := map[string]map[string]float64{
+		"allocs/op": {},
+		"ns/op":     {},
+	}
 	for _, b := range base.Benchmarks {
-		if b.AllocsPerOp != nil && strings.Contains(b.Name, match) {
-			baseline[b.Name] = *b.AllocsPerOp
+		if !strings.Contains(b.Name, match) {
+			continue
+		}
+		if b.AllocsPerOp != nil {
+			baseline["allocs/op"][b.Name] = *b.AllocsPerOp
+		}
+		if b.NsPerOp != nil {
+			baseline["ns/op"][b.Name] = *b.NsPerOp
 		}
 	}
-	if len(baseline) == 0 {
-		return fmt.Errorf("no %q entries with allocs_per_op in %s", match, baselinePath)
+	if len(baseline["allocs/op"])+len(baseline["ns/op"]) == 0 {
+		return fmt.Errorf("no %q entries with gated metrics in %s", match, baselinePath)
 	}
 
 	in := os.Stdin
@@ -82,34 +110,42 @@ func run(baselinePath, benchPath, match string, tolerance, slack float64) error 
 		return err
 	}
 	if len(current) == 0 {
-		return fmt.Errorf("benchmark output contains no %q results with allocs/op (was -benchmem set?)", match)
+		return fmt.Errorf("benchmark output contains no %q results (was -benchmem set?)", match)
 	}
 
 	failed := 0
-	for name, got := range current {
-		want, ok := baseline[name]
-		if !ok {
-			fmt.Printf("benchgate: %-45s %8.1f allocs/op (no baseline, skipped)\n", name, got)
-			continue
+	for _, m := range metrics {
+		for name, values := range current {
+			got, ok := values[m.unit]
+			if !ok {
+				continue
+			}
+			want, ok := baseline[m.unit][name]
+			if !ok {
+				fmt.Printf("benchgate: %-45s %12.1f %-9s (no baseline, skipped)\n", name, got, m.unit)
+				continue
+			}
+			allowed := want*(1+m.tolerance) + m.slack
+			status := "ok"
+			if got > allowed {
+				status = "REGRESSED"
+				failed++
+			}
+			fmt.Printf("benchgate: %-45s %12.1f %-9s (baseline %.1f, allowed %.1f) %s\n",
+				name, got, m.unit, want, allowed, status)
 		}
-		allowed := want*(1+tolerance) + slack
-		status := "ok"
-		if got > allowed {
-			status = "REGRESSED"
-			failed++
-		}
-		fmt.Printf("benchgate: %-45s %8.1f allocs/op (baseline %.1f, allowed %.1f) %s\n",
-			name, got, want, allowed, status)
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%+%.0f allocs/op", failed, tolerance*100, slack)
+		return fmt.Errorf("%d benchmark metric(s) regressed beyond tolerance", failed)
 	}
 	return nil
 }
 
-// parseBench extracts "<name> ... N allocs/op" rows from go test output.
-func parseBench(in *os.File, match string) (map[string]float64, error) {
-	out := make(map[string]float64)
+// parseBench extracts "<name> ... <value> <unit>" rows from go test
+// output for the gated units.
+func parseBench(in *os.File, match string) (map[string]map[string]float64, error) {
+	gated := map[string]bool{"allocs/op": true, "ns/op": true}
+	out := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -121,14 +157,18 @@ func parseBench(in *os.File, match string) (map[string]float64, error) {
 			continue
 		}
 		for i := 1; i+1 < len(fields); i++ {
-			if fields[i+1] == "allocs/op" {
-				v, err := strconv.ParseFloat(fields[i], 64)
-				if err != nil {
-					return nil, fmt.Errorf("bad allocs/op for %s: %q", name, fields[i])
-				}
-				out[name] = v
-				break
+			unit := fields[i+1]
+			if !gated[unit] {
+				continue
 			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s for %s: %q", unit, name, fields[i])
+			}
+			if out[name] == nil {
+				out[name] = make(map[string]float64)
+			}
+			out[name][unit] = v
 		}
 	}
 	return out, sc.Err()

@@ -24,6 +24,7 @@ import (
 	"endbox/internal/attest"
 	"endbox/internal/config"
 	"endbox/internal/core"
+	"endbox/internal/netsim"
 	"endbox/internal/packet"
 	"endbox/internal/sgx"
 	"endbox/internal/udptransport"
@@ -38,18 +39,36 @@ func main() {
 
 func run() error {
 	var (
-		server  = flag.String("server", "127.0.0.1:11940", "endbox-server UDP address")
-		id      = flag.String("id", "client-1", "client identifier")
-		pings   = flag.Int("pings", 10, "tunnelled pings to send")
-		period  = flag.Duration("interval", 500*time.Millisecond, "ping interval")
-		timeout = flag.Duration("timeout", 30*time.Second, "attestation/handshake deadline")
+		server      = flag.String("server", "127.0.0.1:11940", "endbox-server UDP address")
+		id          = flag.String("id", "client-1", "client identifier")
+		pings       = flag.Int("pings", 10, "tunnelled pings to send")
+		period      = flag.Duration("interval", 500*time.Millisecond, "ping interval")
+		timeout     = flag.Duration("timeout", 30*time.Second, "attestation/handshake deadline")
+		arqTimeout  = flag.Duration("arq-timeout", 200*time.Millisecond, "initial control-path retransmit timeout")
+		arqRetries  = flag.Int("arq-retries", 5, "control-path retransmit budget per transfer")
+		arqOff      = flag.Bool("arq-off", false, "disable the control-path ARQ layer (fire-and-forget)")
+		lossDrop    = flag.Float64("loss", 0, "simulated control-path drop probability [0,1] (demo/testing)")
+		lossDup     = flag.Float64("loss-dup", 0, "simulated duplicate probability [0,1]")
+		lossReorder = flag.Float64("loss-reorder", 0, "simulated reorder probability [0,1]")
+		lossSeed    = flag.Int64("loss-seed", 2, "seed for the deterministic loss model")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	link, err := udptransport.Dial(ctx, *server)
+	dialOpts := []udptransport.DialOption{
+		udptransport.LinkRetransmit(udptransport.RetransmitConfig{
+			Timeout:    *arqTimeout,
+			MaxRetries: *arqRetries,
+			Disable:    *arqOff,
+		}),
+	}
+	if *lossDrop > 0 || *lossDup > 0 || *lossReorder > 0 {
+		faults := netsim.NewFaults(*lossSeed, *lossDrop, *lossDup, *lossReorder)
+		dialOpts = append(dialOpts, udptransport.LinkSendFilter(faults.Filter))
+	}
+	link, err := udptransport.Dial(ctx, *server, dialOpts...)
 	if err != nil {
 		return err
 	}
@@ -178,5 +197,9 @@ func run() error {
 	got := received
 	mu.Unlock()
 	fmt.Printf("done: %d/%d pings answered, configuration v%d\n", got, *pings, cli.AppliedVersion())
+	if st := link.ARQStats(); st.TransfersSent > 0 {
+		fmt.Printf("control-path ARQ: %d transfers sent, %d segments, %d retransmits (%d fast), %d duplicate segments absorbed\n",
+			st.TransfersSent, st.SegmentsSent, st.Retransmits+st.FastRetransmit, st.FastRetransmit, st.DupSegments)
+	}
 	return nil
 }

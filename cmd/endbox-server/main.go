@@ -42,6 +42,13 @@ func run() error {
 		updateAfter = flag.Int("update-after", 0, "publish a demo configuration update after N seconds (0 = never)")
 		shards      = flag.Int("shards", 0, "session-table shard count (0 = match CPUs, 1 = monolithic baseline)")
 		udpWorkers  = flag.Int("udp-workers", 0, "ingress worker pool size (0 = single serve goroutine)")
+		arqTimeout  = flag.Duration("arq-timeout", 200*time.Millisecond, "initial control-path retransmit timeout")
+		arqRetries  = flag.Int("arq-retries", 5, "control-path retransmit budget per transfer")
+		arqOff      = flag.Bool("arq-off", false, "disable the control-path ARQ layer (fire-and-forget, pre-reliability behaviour)")
+		lossDrop    = flag.Float64("loss", 0, "simulated control-path drop probability [0,1] (demo/testing)")
+		lossDup     = flag.Float64("loss-dup", 0, "simulated duplicate probability [0,1]")
+		lossReorder = flag.Float64("loss-reorder", 0, "simulated reorder probability [0,1]")
+		lossSeed    = flag.Int64("loss-seed", 1, "seed for the deterministic loss model")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -58,6 +65,17 @@ func run() error {
 		endbox.WithTransport(transport),
 		endbox.WithShards(*shards),
 		endbox.WithUDPWorkers(*udpWorkers),
+		endbox.WithRetransmit(endbox.RetransmitConfig{
+			Timeout:    *arqTimeout,
+			MaxRetries: *arqRetries,
+			Disable:    *arqOff,
+		}),
+		endbox.WithLossProfile(endbox.LossProfile{
+			Drop:      *lossDrop,
+			Duplicate: *lossDup,
+			Reorder:   *lossReorder,
+			Seed:      *lossSeed,
+		}),
 		// Demo "managed network": echo packets back to the sender,
 		// answering ICMP echo requests properly.
 		endbox.WithEchoNetwork(),
@@ -95,8 +113,15 @@ func run() error {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (use case %s, %d session shards, %d ingress workers, CA ready)\n",
-		transport.Addr(), uc, deployment.Server.VPN().ShardCount(), transport.Workers())
+	arqState := fmt.Sprintf("ARQ on, rto %v, %d retries", *arqTimeout, *arqRetries)
+	if *arqOff {
+		arqState = "ARQ off"
+	}
+	if *lossDrop > 0 || *lossDup > 0 || *lossReorder > 0 {
+		arqState += fmt.Sprintf(", simulated loss %.0f%%", *lossDrop*100)
+	}
+	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (use case %s, %d session shards, %d ingress workers, %s, CA ready)\n",
+		transport.Addr(), uc, deployment.Server.VPN().ShardCount(), transport.Workers(), arqState)
 
 	// The transport serves datagrams on its own goroutine; wait for an
 	// interrupt.

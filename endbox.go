@@ -11,8 +11,13 @@
 // enclave hosting the sensitive halves of the VPN and a Click modular
 // router), and push traffic. Deployments are safe for concurrent use and
 // transport-pluggable: the same code runs in-process (direct calls) or
-// over UDP sockets. See examples/ for runnable scenarios and DESIGN.md
-// for the architecture and the substitutions made for SGX hardware.
+// over UDP sockets, where control and configuration messages ride a
+// selective-repeat ARQ layer so attestation and multi-chunk rule
+// rollouts survive lossy networks (tune with WithRetransmit, inject
+// deterministic loss for tests with WithLossProfile; the wire protocol
+// is specified in docs/PROTOCOL.md). See examples/ for runnable
+// scenarios and DESIGN.md for the architecture and the substitutions
+// made for SGX hardware.
 //
 //	d, err := endbox.New(
 //	    endbox.WithObserver(endbox.ObserverFuncs{
@@ -71,6 +76,16 @@ type ServerOptions = core.ServerOptions
 // deployment's server side and its clients. The in-process implementation
 // is the default; NewUDPTransport runs the same deployment over sockets.
 type Transport = core.Transport
+
+// RetransmitConfig tunes the control-path ARQ layer of transports that
+// support reliable delivery over lossy networks (see WithRetransmit and
+// docs/PROTOCOL.md). The zero value selects the defaults with the layer
+// enabled.
+type RetransmitConfig = core.RetransmitConfig
+
+// LossProfile describes deterministic simulated impairment of a
+// transport's control-path datagrams (see WithLossProfile).
+type LossProfile = core.LossProfile
 
 // ClientLink is one client's endpoint of a Transport.
 type ClientLink = core.ClientLink

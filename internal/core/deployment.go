@@ -60,6 +60,16 @@ type DeploymentOptions struct {
 	// one worker, preserving per-client frame ordering). 0 keeps the
 	// transport's single serve goroutine.
 	UDPWorkers int
+	// Retransmit tunes the control-path ARQ layer when the transport
+	// supports reliable delivery (the UDP transport does; the in-process
+	// transport cannot lose messages and ignores it). The zero value keeps
+	// the defaults with the ARQ layer on; RetransmitConfig.Disable opts
+	// out. Data frames are never retransmitted.
+	Retransmit RetransmitConfig
+	// LossProfile injects deterministic, seeded control-path impairment
+	// (drop/duplicate/reorder) when the transport supports it — the
+	// loss-tolerance testing seam. The zero value impairs nothing.
+	LossProfile LossProfile
 }
 
 // ClientSpec configures one client joining a deployment. Data-path events
@@ -162,6 +172,14 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 	if opts.UDPWorkers > 0 {
 		if wt, ok := d.transport.(WorkerTransport); ok {
 			wt.SetWorkers(opts.UDPWorkers)
+		}
+	}
+	if rt, ok := d.transport.(ReliableTransport); ok {
+		rt.SetRetransmit(opts.Retransmit)
+	}
+	if !opts.LossProfile.Zero() {
+		if lt, ok := d.transport.(LossyTransport); ok {
+			lt.SetLossProfile(opts.LossProfile)
 		}
 	}
 

@@ -498,7 +498,12 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 		if err != nil {
 			return nil, err
 		}
-		return out, nil
+		// Rewritten packets land in the enclave's marshal scratch, which
+		// the next ecall reuses — and the naive plane makes two more
+		// ecalls (crypt, MAC) with this result while other goroutines'
+		// ecalls may interleave. Copy out; this is the deliberately
+		// unoptimised ablation path, so the allocation is the point.
+		return append([]byte(nil), out...), nil
 	}); err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"crypto/ed25519"
 	"fmt"
 	"sync"
+	"time"
 
 	"endbox/internal/attest"
 	"endbox/internal/click"
@@ -80,6 +81,115 @@ type WorkerTransport interface {
 	// SetWorkers sets the ingress worker count (0 restores the
 	// single-goroutine serve loop).
 	SetWorkers(n int)
+}
+
+// RetransmitConfig tunes the control-path ARQ layer of transports that
+// support reliable delivery over a lossy datagram network (see
+// ReliableTransport and docs/PROTOCOL.md). The zero value selects the
+// defaults with the ARQ layer enabled; set Disable to fall back to
+// fire-and-forget control messages. Data-channel frames are never
+// retransmitted — reliability applies to the control/configuration path
+// only, so the zero-allocation data path is untouched.
+type RetransmitConfig struct {
+	// Timeout is the initial retransmit timeout (RTO) armed when a
+	// transfer's first segments go out (default 200ms).
+	Timeout time.Duration
+	// Backoff multiplies the RTO after each fruitless timeout (default 2).
+	Backoff float64
+	// MaxRetries is the retry budget: how many consecutive fruitless
+	// timeout rounds a transfer survives before it fails (default 5).
+	// Acknowledged progress refills the budget.
+	MaxRetries int
+	// AckDelay is the receiver's gap-probe delay: how long an incomplete
+	// transfer waits for more segments before re-advertising its holes,
+	// asking the sender for exactly the missing chunks (default 50ms).
+	AckDelay time.Duration
+	// Window bounds how many unacknowledged segments a transfer keeps in
+	// flight (default 32; clamped to 32, the selective-ack bitmap width —
+	// a wider window would put segments in flight that acks cannot
+	// selectively report, silently degrading recovery to full-window
+	// timeout retransmits).
+	Window int
+	// Disable turns the ARQ layer off: control messages and configuration
+	// chunks are sent fire-and-forget as before, and a lost chunk fails
+	// the whole fetch.
+	Disable bool
+}
+
+// WithDefaults fills unset fields with the default ARQ tuning.
+func (c RetransmitConfig) WithDefaults() RetransmitConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 200 * time.Millisecond
+	}
+	if c.Backoff < 1 {
+		c.Backoff = 2
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.AckDelay <= 0 {
+		c.AckDelay = 50 * time.Millisecond
+	}
+	if c.Window <= 0 || c.Window > 32 {
+		c.Window = 32
+	}
+	return c
+}
+
+// TransferDeadline is the worst-case lifetime of one reliable transfer:
+// the full retransmission schedule (initial timeout plus every backed-off
+// retry) and the receiver's gap-probe delay. Round trips that span two
+// transfers (request plus response) should allow twice this.
+func (c RetransmitConfig) TransferDeadline() time.Duration {
+	c = c.WithDefaults()
+	d := c.AckDelay
+	rto := c.Timeout
+	for i := 0; i <= c.MaxRetries; i++ {
+		d += rto
+		rto = time.Duration(float64(rto) * c.Backoff)
+	}
+	return d
+}
+
+// ReliableTransport is optionally implemented by transports whose
+// control/configuration path can retransmit lost datagrams.
+// SetRetransmit must be called before BindServer.
+type ReliableTransport interface {
+	// SetRetransmit installs the ARQ tuning (zero value = defaults,
+	// enabled; RetransmitConfig.Disable opts out).
+	SetRetransmit(cfg RetransmitConfig)
+}
+
+// LossProfile describes simulated network impairment applied to a
+// transport's control-path datagrams — the testing seam behind
+// WithLossProfile. Probabilities are in [0, 1]; the zero value impairs
+// nothing. The profile drives a deterministic, seeded model
+// (netsim.Faults), so a test that completes under a given profile
+// completes every run.
+type LossProfile struct {
+	// Drop is the probability a datagram is silently discarded.
+	Drop float64
+	// Duplicate is the probability a datagram is delivered twice.
+	Duplicate float64
+	// Reorder is the probability a datagram is held back and delivered
+	// after the next one.
+	Reorder float64
+	// Seed seeds the deterministic fault sequence.
+	Seed int64
+}
+
+// Zero reports whether the profile impairs nothing.
+func (p LossProfile) Zero() bool {
+	return p.Drop == 0 && p.Duplicate == 0 && p.Reorder == 0
+}
+
+// LossyTransport is optionally implemented by transports that can inject
+// simulated control-path impairment for loss-tolerance tests.
+// SetLossProfile must be called before BindServer.
+type LossyTransport interface {
+	// SetLossProfile installs (or, with a zero profile, removes) the
+	// simulated impairment on control-path sends.
+	SetLossProfile(p LossProfile)
 }
 
 // Transport moves sealed VPN frames and control-plane messages between the

@@ -13,6 +13,15 @@
 // same hash so a client's frames always land on the same shard and the
 // same worker — which is what preserves per-client frame ordering through
 // the pipelined server.
+//
+// Buffer ownership: the ingress pool participates in the pooled-buffer
+// discipline of DESIGN.md "Buffer ownership". Pool.Submit lends the frame
+// to the handler for the duration of the call only; Pool.SubmitOwned is
+// the asynchronous handoff — ownership of the backing buffer travels
+// through the worker queue with the frame and the pool returns it via the
+// SetRelease hook (wired to wire.PutBuffer) the moment the handler
+// returns. A refused submit (full queue) leaves ownership with the
+// caller.
 package dataplane
 
 import (

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultStats count what a Faults instance did to the datagrams offered to
+// it. Offered is every datagram handed to Filter; the other counters
+// partition their fates (a duplicated datagram is transmitted twice, a
+// reordered one is held and transmitted behind its successor).
+type FaultStats struct {
+	Offered    uint64
+	Dropped    uint64
+	Duplicated uint64
+	Reordered  uint64
+}
+
+// Faults is a deterministic packet-impairment model: given a seed and
+// per-datagram probabilities it drops, duplicates and reorders a datagram
+// stream the same way on every run. It is the loss-injection half of the
+// ARQ story — internal/udptransport accepts a Filter-shaped hook on its
+// control-path sends, and the loss-tolerance tests drive it with a Faults
+// instance so "a config fetch completes at 15% loss" is a reproducible
+// claim rather than a flaky one.
+//
+// Reordering is modelled as a one-deep hold queue: a reordered datagram is
+// copied, held, and transmitted immediately after the next datagram (the
+// copy is required because transport send buffers are pooled and reused).
+// A held datagram with no successor stays held — indistinguishable from a
+// drop, which is exactly how a real network tail-loss looks; retransmitting
+// senders always produce a successor.
+//
+// Faults is safe for concurrent use; the fault sequence is deterministic
+// in the order Filter is called.
+type Faults struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	drop  float64
+	dup   float64
+	order float64
+	held  []byte
+	stats FaultStats
+}
+
+// NewFaults creates a fault model. Probabilities are clamped to [0, 1].
+func NewFaults(seed int64, drop, duplicate, reorder float64) *Faults {
+	clamp := func(p float64) float64 {
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return &Faults{
+		rng:   rand.New(rand.NewSource(seed)),
+		drop:  clamp(drop),
+		dup:   clamp(duplicate),
+		order: clamp(reorder),
+	}
+}
+
+// Filter decides the fate of one outgoing datagram and performs the
+// surviving transmissions through transmit. It matches the send-hook
+// shape of internal/udptransport: the datagram is lent for the duration
+// of the call (Filter copies when it must hold one back).
+func (f *Faults) Filter(datagram []byte, transmit func([]byte) error) error {
+	f.mu.Lock()
+	f.stats.Offered++
+	dropIt := f.rng.Float64() < f.drop
+	dupIt := f.rng.Float64() < f.dup
+	reorderIt := f.rng.Float64() < f.order
+	held := f.held
+	f.held = nil
+	var out [][]byte
+	switch {
+	case dropIt:
+		f.stats.Dropped++
+	case reorderIt:
+		f.stats.Reordered++
+		f.held = append([]byte(nil), datagram...)
+	default:
+		out = append(out, datagram)
+		if dupIt {
+			f.stats.Duplicated++
+			out = append(out, datagram)
+		}
+	}
+	if held != nil {
+		out = append(out, held)
+	}
+	f.mu.Unlock()
+
+	var firstErr error
+	for _, d := range out {
+		if err := transmit(d); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats snapshots the cumulative fault counters.
+func (f *Faults) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// collect returns a transmit function appending copies of every datagram.
+func collect(got *[][]byte) func([]byte) error {
+	return func(d []byte) error {
+		*got = append(*got, append([]byte(nil), d...))
+		return nil
+	}
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	run := func() ([][]byte, FaultStats) {
+		f := NewFaults(42, 0.2, 0.1, 0.1)
+		var got [][]byte
+		tx := collect(&got)
+		for i := 0; i < 500; i++ {
+			if err := f.Filter([]byte{byte(i), byte(i >> 8)}, tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return got, f.Stats()
+	}
+	a, as := run()
+	b, bs := run()
+	if as != bs {
+		t.Fatalf("stats differ across runs: %+v vs %+v", as, bs)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("delivery count differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("delivery %d differs: %x vs %x", i, a[i], b[i])
+		}
+	}
+	if as.Dropped == 0 || as.Duplicated == 0 || as.Reordered == 0 {
+		t.Errorf("expected every fault kind at 500 datagrams: %+v", as)
+	}
+	if as.Offered != 500 {
+		t.Errorf("Offered = %d, want 500", as.Offered)
+	}
+}
+
+func TestFaultsZeroProfilePassesEverything(t *testing.T) {
+	f := NewFaults(1, 0, 0, 0)
+	var got [][]byte
+	tx := collect(&got)
+	for i := 0; i < 100; i++ {
+		if err := f.Filter([]byte{byte(i)}, tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("delivered %d/100 with a zero profile", len(got))
+	}
+	for i, d := range got {
+		if d[0] != byte(i) {
+			t.Fatalf("datagram %d reordered by a zero profile", i)
+		}
+	}
+}
+
+func TestFaultsReorderSwapsNeighbours(t *testing.T) {
+	// Reorder probability 1 with no drops: every datagram is held for one
+	// step, so delivery runs exactly one behind the offered sequence.
+	f := NewFaults(7, 0, 0, 1)
+	var got [][]byte
+	tx := collect(&got)
+	for i := 0; i < 10; i++ {
+		if err := f.Filter([]byte{byte(i)}, tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 9 { // the final datagram is still held
+		t.Fatalf("delivered %d, want 9", len(got))
+	}
+	for i, d := range got {
+		if d[0] != byte(i) {
+			t.Fatalf("held-queue order broken at %d: got %d", i, d[0])
+		}
+	}
+}
+
+func TestFaultsDropRateRoughlyHonoured(t *testing.T) {
+	f := NewFaults(3, 0.15, 0, 0)
+	var got [][]byte
+	tx := collect(&got)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := f.Filter([]byte{1}, tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	rate := float64(st.Dropped) / float64(n)
+	if rate < 0.10 || rate > 0.20 {
+		t.Errorf("drop rate %.3f far from configured 0.15", rate)
+	}
+	if int(st.Offered)-int(st.Dropped) != len(got) {
+		t.Errorf("delivered %d, offered-dropped %d", len(got), st.Offered-st.Dropped)
+	}
+}
+
+func TestFaultsHeldCopyNotAliased(t *testing.T) {
+	// The held (reordered) datagram must be copied: the caller's buffer is
+	// reused immediately after Filter returns.
+	f := NewFaults(5, 0, 0, 1)
+	buf := []byte{0xAA}
+	var got [][]byte
+	tx := collect(&got)
+	if err := f.Filter(buf, tx); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 0xBB // caller reuses its buffer
+	if err := f.Filter(buf, tx); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0] != 0xAA {
+		t.Fatalf("held datagram clobbered by buffer reuse: %x", got)
+	}
+}
+
+func TestFaultsConcurrentUse(t *testing.T) {
+	f := NewFaults(9, 0.3, 0.2, 0.2)
+	var mu sync.Mutex
+	var n int
+	tx := func(d []byte) error {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		return nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = f.Filter([]byte(fmt.Sprintf("g%d-%d", g, i)), tx)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := f.Stats(); st.Offered != 1600 {
+		t.Errorf("Offered = %d, want 1600", st.Offered)
+	}
+}

@@ -12,9 +12,20 @@ import (
 	"endbox/internal/attest"
 	"endbox/internal/core"
 	"endbox/internal/dataplane"
+	"endbox/internal/netsim"
 	"endbox/internal/vpn"
 	"endbox/internal/wire"
 )
+
+// SendFilter intercepts control-path datagram transmission: it receives
+// the outgoing datagram and the raw transmit function and decides what
+// actually reaches the wire — dropping (return without transmitting),
+// duplicating, or holding datagrams back. It is the loss-injection seam
+// the ARQ layer is tested through; netsim.Faults provides a deterministic
+// seeded implementation. The datagram is lent for the duration of the
+// call. Data-channel frames (MsgFrame pushes and SendFrame) bypass the
+// filter: impairment, like reliability, is a control-path concern here.
+type SendFilter func(datagram []byte, transmit func([]byte) error) error
 
 // Transport implements core.Transport over real UDP sockets: the server
 // side binds one datagram socket and dispatches control messages into the
@@ -22,20 +33,30 @@ import (
 // same Deployment code that runs in-process therefore runs across machines
 // unchanged — cmd/endbox-server and cmd/endbox-client are thin wrappers
 // around this type.
+//
+// Control and configuration messages ride the selective-repeat ARQ layer
+// (arq.go) unless disabled via SetRetransmit: requests arrive wrapped in
+// MsgRel envelopes, responses — including multi-chunk configuration
+// fetches — are pushed back as reliable transfers that are retransmitted
+// until acknowledged. Unwrapped (legacy) control messages are still
+// answered fire-and-forget, so old clients keep working.
 type Transport struct {
 	listen string
 	// Logf, if set before BindServer, receives connection-level log lines
 	// (registrations, handshakes, send failures).
 	Logf func(format string, args ...any)
 
-	mu      sync.Mutex
-	ep      core.ServerEndpoint
-	conn    *net.UDPConn
-	addrs   map[string]*net.UDPAddr // client ID -> last UDP address
-	byAddr  map[string]string       // UDP address -> client ID (reverse index)
-	closed  bool
-	workers int             // ingress pool width; 0 = handle frames inline
-	pool    *dataplane.Pool // set by BindServer when workers > 0
+	mu         sync.Mutex
+	ep         core.ServerEndpoint
+	conn       *net.UDPConn
+	addrs      map[string]*net.UDPAddr // client ID -> last UDP address
+	byAddr     map[string]string       // UDP address -> client ID (reverse index)
+	closed     bool
+	workers    int             // ingress pool width; 0 = handle frames inline
+	pool       *dataplane.Pool // set by BindServer when workers > 0
+	retransmit RetransmitConfig
+	filter     SendFilter
+	arq        *arq // nil when RetransmitConfig.Disable is set
 }
 
 // NewTransport creates a UDP transport that will listen on the given
@@ -74,6 +95,63 @@ func (t *Transport) Workers() int {
 	return t.workers
 }
 
+// SetRetransmit implements core.ReliableTransport: tune (or, with
+// RetransmitConfig.Disable, turn off) the control-path ARQ layer. Must be
+// called before BindServer. Client links opened through Link inherit the
+// configuration, so both directions of a deployment share one tuning.
+func (t *Transport) SetRetransmit(cfg RetransmitConfig) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.retransmit = cfg
+}
+
+// SetLossProfile implements core.LossyTransport: apply deterministic
+// seeded impairment (netsim.Faults) to every control-path datagram this
+// transport and the client links it creates send. Must be called before
+// BindServer; a zero profile removes the filter.
+func (t *Transport) SetLossProfile(p core.LossProfile) {
+	if p.Zero() {
+		t.SetSendFilter(nil)
+		return
+	}
+	t.SetSendFilter(netsim.NewFaults(p.Seed, p.Drop, p.Duplicate, p.Reorder).Filter)
+}
+
+// SetSendFilter installs a raw control-path send filter (the seam behind
+// SetLossProfile). Must be called before BindServer.
+func (t *Transport) SetSendFilter(f SendFilter) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.filter = f
+}
+
+// ARQStats reports the server-side reliability counters (zero value when
+// the ARQ layer is disabled).
+func (t *Transport) ARQStats() ARQStats {
+	t.mu.Lock()
+	a := t.arq
+	t.mu.Unlock()
+	if a == nil {
+		return ARQStats{}
+	}
+	return a.snapshot()
+}
+
+// transmitTo writes one control-path datagram through the send filter.
+func (t *Transport) transmitTo(conn *net.UDPConn, to *net.UDPAddr, datagram []byte) error {
+	t.mu.Lock()
+	filter := t.filter
+	t.mu.Unlock()
+	raw := func(d []byte) error {
+		_, err := conn.WriteToUDP(d, to)
+		return err
+	}
+	if filter != nil {
+		return filter(datagram, raw)
+	}
+	return raw(datagram)
+}
+
 // Addr returns the bound server address (valid after BindServer).
 func (t *Transport) Addr() string {
 	t.mu.Lock()
@@ -95,6 +173,10 @@ func (t *Transport) BindServer(ep core.ServerEndpoint) error {
 	if err != nil {
 		return err
 	}
+	// Deep receive buffer (best effort; the kernel clamps to rmem_max):
+	// a configuration fetch answers with a burst of ~60 kB chunks, and
+	// every chunk the socket sheds is a retransmission round-trip.
+	_ = conn.SetReadBuffer(recvBufferSize)
 	t.mu.Lock()
 	if t.ep != nil {
 		t.mu.Unlock()
@@ -103,6 +185,11 @@ func (t *Transport) BindServer(ep core.ServerEndpoint) error {
 	}
 	t.ep = ep
 	t.conn = conn
+	if !t.retransmit.Disable {
+		t.arq = newARQ(t.retransmit, func(to *net.UDPAddr, datagram []byte) error {
+			return t.transmitTo(conn, to, datagram)
+		}, t.logf)
+	}
 	if t.workers > 0 {
 		t.pool = dataplane.NewPool(t.workers, 0, func(clientID string, frame []byte) {
 			if err := ep.HandleFrame(clientID, frame); err != nil {
@@ -148,10 +235,41 @@ func (t *Transport) serve(conn *net.UDPConn, ep core.ServerEndpoint) {
 			}
 			continue
 		}
-		resp := t.handle(conn, ep, msgType, body, from)
-		if resp != nil {
-			if _, err := conn.WriteToUDP(resp, from); err != nil {
-				t.logf("udptransport: reply to %s: %v", from, err)
+		t.mu.Lock()
+		a := t.arq
+		t.mu.Unlock()
+		switch msgType {
+		case MsgRel:
+			if a == nil {
+				continue // ARQ disabled: ignore wrapped traffic
+			}
+			// Unwrap, acknowledge and deduplicate; on first delivery run
+			// the control handler and push its response (single datagram
+			// or a whole chunked configuration) as a reliable transfer.
+			a.handleRel(from.String(), from, body, func(inner []byte) bool {
+				innerType, innerBody, err := Decode(inner)
+				if err != nil || innerType == MsgFrame {
+					return true // swallow: never re-deliver garbage
+				}
+				resp := t.handle(ep, innerType, innerBody, from)
+				if len(resp) > 0 {
+					if _, err := a.send(from.String(), from, resp); err != nil {
+						t.logf("udptransport: reliable reply to %s: %v", from, err)
+					}
+				}
+				return true
+			})
+		case MsgAck:
+			if a != nil {
+				a.handleAck(from.String(), body)
+			}
+		default:
+			// Legacy unwrapped control: answer fire-and-forget so clients
+			// without the ARQ layer keep working.
+			for _, resp := range t.handle(ep, msgType, body, from) {
+				if err := t.transmitTo(conn, from, resp); err != nil {
+					t.logf("udptransport: reply to %s: %v", from, err)
+				}
 			}
 		}
 	}
@@ -189,46 +307,49 @@ func (t *Transport) dispatchFrame(ep core.ServerEndpoint, body, owner []byte, fr
 	return false
 }
 
-// handle processes one message and returns the response datagram (nil for
-// one-way messages).
-func (t *Transport) handle(conn *net.UDPConn, ep core.ServerEndpoint, msgType byte, body []byte, from *net.UDPAddr) []byte {
+// handle processes one control message and returns the response datagrams
+// (nil for none; a configuration fetch yields the whole chunk list). The
+// caller decides the delivery class: reliably-received requests get
+// reliable responses, legacy requests are answered fire-and-forget.
+func (t *Transport) handle(ep core.ServerEndpoint, msgType byte, body []byte, from *net.UDPAddr) [][]byte {
+	one := func(d []byte) [][]byte { return [][]byte{d} }
 	switch msgType {
 	case MsgRegister:
 		var reg Register
 		if err := DecodeJSON(body, &reg); err != nil {
-			return Errorf("register: %v", err)
+			return one(Errorf("register: %v", err))
 		}
 		caPub, err := ep.RegisterPlatform(reg.PlatformID, reg.Key)
 		if err != nil {
-			return Errorf("register refused: %v", err)
+			return one(Errorf("register refused: %v", err))
 		}
 		t.logf("registered platform %s", reg.PlatformID)
-		return Encode(MsgRegisterOK, caPub)
+		return one(Encode(MsgRegisterOK, caPub))
 
 	case MsgQuote:
 		var quote attest.Quote
 		if err := DecodeJSON(body, &quote); err != nil {
-			return Errorf("quote: %v", err)
+			return one(Errorf("quote: %v", err))
 		}
 		prov, err := ep.Enroll(quote)
 		if err != nil {
-			return Errorf("enrolment refused: %v", err)
+			return one(Errorf("enrolment refused: %v", err))
 		}
 		resp, err := EncodeJSON(MsgProvision, prov)
 		if err != nil {
-			return Errorf("provision: %v", err)
+			return one(Errorf("provision: %v", err))
 		}
 		t.logf("enrolled platform %s (measurement %s)", quote.PlatformID, quote.Report.Measurement)
-		return resp
+		return one(resp)
 
 	case MsgHello:
 		var hello vpn.ClientHello
 		if err := DecodeJSON(body, &hello); err != nil {
-			return Errorf("hello: %v", err)
+			return one(Errorf("hello: %v", err))
 		}
 		sh, err := ep.AcceptHello(&hello)
 		if err != nil {
-			return Errorf("handshake refused: %v", err)
+			return one(Errorf("handshake refused: %v", err))
 		}
 		t.mu.Lock()
 		if prev, ok := t.addrs[hello.ClientID]; ok {
@@ -239,32 +360,28 @@ func (t *Transport) handle(conn *net.UDPConn, ep core.ServerEndpoint, msgType by
 		t.mu.Unlock()
 		resp, err := EncodeJSON(MsgServerHello, sh)
 		if err != nil {
-			return Errorf("server hello: %v", err)
+			return one(Errorf("server hello: %v", err))
 		}
 		t.logf("client %s connected from %s", hello.ClientID, from)
-		return resp
+		return one(resp)
 
 	case MsgFetch:
 		if len(body) != 8 {
-			return Errorf("fetch: bad version")
+			return one(Errorf("fetch: bad version"))
 		}
 		version := binary.BigEndian.Uint64(body)
 		blob, err := ep.FetchConfig(version)
 		if err != nil {
-			return Errorf("fetch v%d: %v", version, err)
+			return one(Errorf("fetch v%d: %v", version, err))
 		}
-		// Configuration blobs exceed one datagram; stream the chunks and
-		// return nil (no single response).
-		for _, chunk := range EncodeChunks(blob) {
-			if _, err := conn.WriteToUDP(chunk, from); err != nil {
-				t.logf("config chunk to %s: %v", from, err)
-				break
-			}
+		chunks, err := EncodeChunks(blob)
+		if err != nil {
+			return one(Errorf("fetch v%d: %v", version, err))
 		}
-		return nil
+		return chunks
 
 	default:
-		return Errorf("unknown message type %c", msgType)
+		return one(Errorf("unknown message type %c", msgType))
 	}
 }
 
@@ -293,9 +410,15 @@ func (t *Transport) SendToClient(clientID string, frame []byte) error {
 
 // Link implements core.Transport: dial a fresh client socket to this
 // transport's server. The clientID is informational — the server learns it
-// from the handshake.
+// from the handshake. The link inherits the transport's retransmit tuning
+// and send filter, so a deployment configured with WithRetransmit or
+// WithLossProfile applies them to both directions.
 func (t *Transport) Link(ctx context.Context, clientID string) (core.ClientLink, error) {
-	return Dial(ctx, t.Addr())
+	t.mu.Lock()
+	cfg := t.retransmit
+	filter := t.filter
+	t.mu.Unlock()
+	return Dial(ctx, t.Addr(), LinkRetransmit(cfg), LinkSendFilter(filter))
 }
 
 // Close implements core.Transport.
@@ -303,11 +426,16 @@ func (t *Transport) Close() error {
 	t.mu.Lock()
 	conn := t.conn
 	pool := t.pool
+	a := t.arq
 	t.conn = nil
 	t.pool = nil
+	t.arq = nil
 	t.closed = true
 	t.mu.Unlock()
 	var err error
+	if a != nil {
+		a.close()
+	}
 	if conn != nil {
 		err = conn.Close()
 	}
@@ -317,16 +445,38 @@ func (t *Transport) Close() error {
 	return err
 }
 
-// requestTimeout is the per-attempt control round-trip timeout.
+// requestTimeout is the per-attempt control round-trip timeout of the
+// legacy (ARQ-disabled) path.
 const requestTimeout = 2 * time.Second
+
+// recvBufferSize is the socket receive buffer both sides request (best
+// effort — the kernel clamps it to net.core.rmem_max). It covers a full
+// ARQ window of configuration chunks so a burst does not shed datagrams
+// the sender will only have to retransmit.
+const recvBufferSize = 4 << 20
+
+// controlQueue sizes the control-response channel. It must cover at least
+// one ARQ window of configuration chunks so the fetch loop never sheds a
+// segment the ARQ layer is about to acknowledge.
+const controlQueue = 64
 
 // Link is the client side of the UDP transport: a request/response helper
 // for control messages plus an async dispatch loop for pushed data frames.
 // It implements core.ClientLink.
+//
+// Control round trips ride the ARQ layer by default: the request goes out
+// as a reliable transfer (retransmitted on a backed-off timer until the
+// server acknowledges it) and the response arrives as a reliable transfer
+// from the server. Dial with LinkRetransmit(RetransmitConfig{Disable:
+// true}) to fall back to the legacy blind-resend path.
 type Link struct {
 	conn    *net.UDPConn
 	control chan []byte // control responses (type+body), copied out of the read buffer
 	frames  chan []byte // pushed data datagrams (type+body) in pooled buffers the queue owns
+
+	cfg    RetransmitConfig
+	arq    *arq       // nil when cfg.Disable
+	filter SendFilter // control-path impairment seam (tests)
 
 	ctrlMu sync.Mutex // serialises control-plane round trips
 
@@ -338,8 +488,23 @@ type Link struct {
 	closed    chan struct{}
 }
 
+// DialOption configures a Link at Dial time.
+type DialOption func(*Link)
+
+// LinkRetransmit sets the link's ARQ tuning (zero value = defaults,
+// enabled; RetransmitConfig.Disable opts out).
+func LinkRetransmit(cfg RetransmitConfig) DialOption {
+	return func(l *Link) { l.cfg = cfg }
+}
+
+// LinkSendFilter installs a control-path send filter (loss injection for
+// tests; see SendFilter). Nil leaves sends unfiltered.
+func LinkSendFilter(f SendFilter) DialOption {
+	return func(l *Link) { l.filter = f }
+}
+
 // Dial connects a client link to an endbox server's UDP address.
-func Dial(ctx context.Context, server string) (*Link, error) {
+func Dial(ctx context.Context, server string, opts ...DialOption) (*Link, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -351,14 +516,45 @@ func Dial(ctx context.Context, server string) (*Link, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Absorb whole chunk bursts instead of shedding them (best effort).
+	_ = conn.SetReadBuffer(recvBufferSize)
 	l := &Link{
 		conn:    conn,
-		control: make(chan []byte, 4),
+		control: make(chan []byte, controlQueue),
 		frames:  make(chan []byte, 256),
 		closed:  make(chan struct{}),
 	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	if !l.cfg.Disable {
+		l.arq = newARQ(l.cfg, func(_ *net.UDPAddr, datagram []byte) error {
+			return l.send(datagram)
+		}, nil)
+	}
 	go l.readLoop()
 	return l, nil
+}
+
+// send writes one control-path datagram through the link's send filter.
+func (l *Link) send(datagram []byte) error {
+	raw := func(d []byte) error {
+		_, err := l.conn.Write(d)
+		return err
+	}
+	if l.filter != nil {
+		return l.filter(datagram, raw)
+	}
+	return raw(datagram)
+}
+
+// ARQStats reports the link-side reliability counters (zero value when
+// the ARQ layer is disabled).
+func (l *Link) ARQStats() ARQStats {
+	if l.arq == nil {
+		return ARQStats{}
+	}
+	return l.arq.snapshot()
 }
 
 // readLoop reads datagrams into pooled buffers. Data frames travel to the
@@ -385,6 +581,28 @@ func (l *Link) readLoop() {
 			}
 			continue
 		}
+		if l.arq != nil {
+			switch buf[0] {
+			case MsgRel:
+				// Reliable control from the server: unwrap, deduplicate
+				// and acknowledge. A full control queue refuses delivery,
+				// which withholds the ack — the server retransmits, so
+				// nothing acknowledged is ever shed.
+				l.arq.handleRel("", nil, buf[1:n], func(inner []byte) bool {
+					msg := append([]byte(nil), inner...)
+					select {
+					case l.control <- msg:
+						return true
+					default:
+						return false
+					}
+				})
+				continue
+			case MsgAck:
+				l.arq.handleAck("", buf[1:n])
+				continue
+			}
+		}
 		msg := append([]byte(nil), buf[:n]...)
 		select {
 		case l.control <- msg:
@@ -405,16 +623,22 @@ func (l *Link) drainControl() {
 	}
 }
 
-// request performs one control round trip with retries, honouring ctx.
+// request performs one control round trip, honouring ctx. With the ARQ
+// layer the request goes out as a reliable transfer (the layer's timers
+// replace the legacy blind resend) and failure surfaces as soon as the
+// retry budget is spent; without it, three blind attempts as before.
 func (l *Link) request(ctx context.Context, datagram []byte) (byte, []byte, error) {
 	l.ctrlMu.Lock()
 	defer l.ctrlMu.Unlock()
 	l.drainControl()
+	if l.arq != nil {
+		return l.requestReliable(ctx, datagram)
+	}
 	for attempt := 0; attempt < 3; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
 		}
-		if _, err := l.conn.Write(datagram); err != nil {
+		if err := l.send(datagram); err != nil {
 			return 0, nil, err
 		}
 		select {
@@ -430,11 +654,43 @@ func (l *Link) request(ctx context.Context, datagram []byte) (byte, []byte, erro
 		case <-ctx.Done():
 			return 0, nil, ctx.Err()
 		case <-l.closed:
-			return 0, nil, fmt.Errorf("udptransport: link closed")
+			return 0, nil, ErrLinkClosed
 		case <-time.After(requestTimeout):
 		}
 	}
 	return 0, nil, fmt.Errorf("udptransport: no response from server")
+}
+
+// requestReliable is the ARQ round trip. Callers hold ctrlMu.
+func (l *Link) requestReliable(ctx context.Context, datagram []byte) (byte, []byte, error) {
+	x, err := l.arq.send("", nil, [][]byte{datagram})
+	if err != nil {
+		return 0, nil, err
+	}
+	defer l.arq.cancel(x)
+	// The response is its own reliable transfer; allow the worst-case
+	// schedule of both directions before declaring the server mute.
+	deadline := time.NewTimer(2 * l.cfg.TransferDeadline())
+	defer deadline.Stop()
+	select {
+	case resp := <-l.control:
+		msgType, body, err := Decode(resp)
+		if err != nil {
+			return 0, nil, err
+		}
+		if msgType == MsgError {
+			return 0, nil, fmt.Errorf("udptransport: server: %s", body)
+		}
+		return msgType, body, nil
+	case err := <-x.failed:
+		return 0, nil, fmt.Errorf("udptransport: request undeliverable: %w", err)
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	case <-l.closed:
+		return 0, nil, ErrLinkClosed
+	case <-deadline.C:
+		return 0, nil, fmt.Errorf("udptransport: no response from server")
+	}
 }
 
 // Register implements core.ClientLink.
@@ -494,19 +750,38 @@ func (l *Link) Hello(ctx context.Context, h *vpn.ClientHello) (*vpn.ServerHello,
 }
 
 // FetchConfig implements core.ClientLink: request a blob (0 = latest) and
-// reassemble the chunk stream.
+// reassemble the chunk stream. With the ARQ layer the chunk stream is a
+// reliable transfer — lost chunks are retransmitted (and holes actively
+// re-requested by the receiver's gap probes) instead of timing out the
+// whole fetch; the Assembler rejects inconsistent chunk streams with
+// typed errors either way.
 func (l *Link) FetchConfig(ctx context.Context, version uint64) ([]byte, error) {
 	l.ctrlMu.Lock()
 	defer l.ctrlMu.Unlock()
 	l.drainControl()
 	var v [8]byte
 	binary.BigEndian.PutUint64(v[:], version)
-	if _, err := l.conn.Write(Encode(MsgFetch, v[:])); err != nil {
+	fetch := Encode(MsgFetch, v[:])
+	fetchDeadline := 5 * time.Second
+	var x *xmit
+	if l.arq != nil {
+		var err error
+		if x, err = l.arq.send("", nil, [][]byte{fetch}); err != nil {
+			return nil, err
+		}
+		defer l.arq.cancel(x)
+		// Request transfer plus a chunk-stream transfer, worst case.
+		fetchDeadline = 2 * l.cfg.TransferDeadline()
+	} else if err := l.send(fetch); err != nil {
 		return nil, err
 	}
-	chunks := make(map[int][]byte)
-	want := -1
-	deadline := time.After(5 * time.Second)
+	var asm Assembler
+	deadline := time.NewTimer(fetchDeadline)
+	defer deadline.Stop()
+	var failed chan error
+	if x != nil {
+		failed = x.failed
+	}
 	for {
 		select {
 		case resp := <-l.control:
@@ -518,30 +793,23 @@ func (l *Link) FetchConfig(ctx context.Context, version uint64) ([]byte, error) 
 			case MsgError:
 				return nil, fmt.Errorf("udptransport: server: %s", body)
 			case MsgConfig:
-				idx, total, data, err := DecodeChunk(body)
+				complete, err := asm.Add(body)
 				if err != nil {
 					return nil, err
 				}
-				want = total
-				chunks[idx] = append([]byte(nil), data...)
-				if len(chunks) == want {
-					var blob []byte
-					for i := 0; i < want; i++ {
-						part, ok := chunks[i]
-						if !ok {
-							return nil, fmt.Errorf("udptransport: missing config chunk %d", i)
-						}
-						blob = append(blob, part...)
-					}
-					return blob, nil
+				if complete {
+					return asm.Blob()
 				}
 			}
+		case err := <-failed:
+			return nil, fmt.Errorf("udptransport: fetch undeliverable: %w", err)
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-l.closed:
-			return nil, fmt.Errorf("udptransport: link closed")
-		case <-deadline:
-			return nil, fmt.Errorf("udptransport: configuration fetch timed out (%d/%d chunks)", len(chunks), want)
+			return nil, ErrLinkClosed
+		case <-deadline.C:
+			got, want := asm.Received()
+			return nil, fmt.Errorf("udptransport: configuration fetch timed out (%d/%d chunks)", got, want)
 		}
 	}
 }
@@ -638,11 +906,15 @@ func (l *Link) setDeliver(fn func(frames [][]byte) error) {
 	}()
 }
 
-// Close implements core.ClientLink.
+// Close implements core.ClientLink. Pending reliable transfers fail with
+// ErrLinkClosed and every ARQ timer is stopped.
 func (l *Link) Close() error {
 	var err error
 	l.closeOnce.Do(func() {
 		close(l.closed)
+		if l.arq != nil {
+			l.arq.close()
+		}
 		err = l.conn.Close()
 	})
 	return err

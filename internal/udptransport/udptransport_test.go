@@ -60,7 +60,10 @@ func TestChunkRoundTrip(t *testing.T) {
 		for i := range blob {
 			blob[i] = byte(i)
 		}
-		chunks := EncodeChunks(blob)
+		chunks, err := EncodeChunks(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
 		wantChunks := (size + ChunkPayload - 1) / ChunkPayload
 		if wantChunks == 0 {
 			wantChunks = 1
@@ -91,8 +94,12 @@ func TestChunkRoundTrip(t *testing.T) {
 
 func TestChunkProperty(t *testing.T) {
 	f := func(blob []byte) bool {
+		chunks, err := EncodeChunks(blob)
+		if err != nil {
+			return false
+		}
 		var back []byte
-		for _, c := range EncodeChunks(blob) {
+		for _, c := range chunks {
 			_, body, err := Decode(c)
 			if err != nil {
 				return false

@@ -10,6 +10,18 @@
 //
 // All Seal/Open operations run inside the enclave in the real system; the
 // packages layered above arrange that (see internal/core).
+//
+// Buffer ownership: this package also owns the size-classed frame-buffer
+// pool (GetBuffer/PutBuffer) the whole packet path recycles through. The
+// rules, stated fully in DESIGN.md "Buffer ownership", are: GetBuffer
+// transfers ownership to the caller, who releases with PutBuffer exactly
+// once (double-release is a use-after-free; abandoning to the GC is safe);
+// passing a buffer down a synchronous call lends it for the duration of
+// that call only; asynchronous handoffs transfer ownership together with
+// the release obligation. Aliasing is legal within a lend — SealTo writes
+// into a caller-supplied buffer, OpenInPlace decrypts inside the frame's
+// own buffer and returns an aliasing payload, and all such aliases die
+// when the lend ends.
 package wire
 
 import (

@@ -71,6 +71,29 @@ func WithUDPWorkers(n int) Option {
 	return func(o *DeploymentOptions) { o.UDPWorkers = n }
 }
 
+// WithRetransmit tunes the control-path ARQ layer of transports that
+// support reliable delivery (the UDP transport; the in-process transport
+// cannot lose messages and ignores it). The ARQ layer is on by default
+// with sensible timers — use this option to tighten them for tests, widen
+// them for high-latency links, or disable the layer entirely
+// (RetransmitConfig{Disable: true}) to reproduce the fire-and-forget
+// behaviour. Data-channel frames are never retransmitted: reliability is
+// a control/configuration concern, and the zero-allocation data path is
+// untouched. See docs/PROTOCOL.md for the ACK/retransmit state machines.
+func WithRetransmit(cfg RetransmitConfig) Option {
+	return func(o *DeploymentOptions) { o.Retransmit = cfg }
+}
+
+// WithLossProfile injects deterministic, seeded impairment — drops,
+// duplicates, reorders — into every control-path datagram a supporting
+// transport sends, in both directions. It exists so loss-tolerance tests
+// are reproducible: the same seed impairs the same datagrams every run,
+// and the ARQ layer (WithRetransmit) must recover. A zero profile impairs
+// nothing. Data frames bypass the profile along with the ARQ layer.
+func WithLossProfile(p LossProfile) Option {
+	return func(o *DeploymentOptions) { o.LossProfile = p }
+}
+
 // WithEchoNetwork makes the managed network reflect delivered packets back
 // to the sending client (src/dst swapped, ICMP echoes answered) —
 // modelling a server answering, used by latency measurements and demos.
