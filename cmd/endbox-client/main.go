@@ -29,6 +29,7 @@ import (
 	"endbox/internal/sgx"
 	"endbox/internal/udptransport"
 	"endbox/internal/vpn"
+	"endbox/mbox"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run() error {
 	var (
 		server      = flag.String("server", "127.0.0.1:11940", "endbox-server UDP address")
 		id          = flag.String("id", "client-1", "client identifier")
+		pipeline    = flag.String("pipeline", "", "boot with this raw Click pipeline instead of the fetched configuration (validated locally; server updates still apply)")
 		pings       = flag.Int("pings", 10, "tunnelled pings to send")
 		period      = flag.Duration("interval", 500*time.Millisecond, "ping interval")
 		timeout     = flag.Duration("timeout", 30*time.Second, "attestation/handshake deadline")
@@ -101,6 +103,18 @@ func run() error {
 	}
 	fmt.Printf("boot configuration v%d fetched (%d rule sets)\n", initial.Version, len(initial.RuleSets))
 
+	// An explicit -pipeline overrides the fetched boot configuration; it
+	// is compiled and validated here (against the fetched rule sets) so a
+	// typo fails before the enclave is even created.
+	bootCfg := initial.ClickConfig
+	if *pipeline != "" {
+		bootCfg, err = mbox.Compile(mbox.Raw(*pipeline), initial.RuleSets)
+		if err != nil {
+			return fmt.Errorf("-pipeline: %w", err)
+		}
+		fmt.Println("boot configuration overridden by -pipeline")
+	}
+
 	// RTT bookkeeping for the tunnelled pings. Replies arrive on the
 	// link's dispatch goroutine, so the state is mutex-guarded.
 	var (
@@ -117,7 +131,7 @@ func run() error {
 		CAPub:         caPub,
 		QE:            qe,
 		Enroll:        func(q attest.Quote) (*attest.Provision, error) { return link.Enroll(ctx, q) },
-		ClickConfig:   initial.ClickConfig,
+		ClickConfig:   bootCfg,
 		RuleSets:      initial.RuleSets,
 		ConfigVersion: initial.Version,
 		BatchEcalls:   true,

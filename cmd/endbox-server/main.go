@@ -26,6 +26,7 @@ import (
 
 	"endbox"
 	"endbox/internal/click"
+	"endbox/mbox"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func run() error {
 	var (
 		listen      = flag.String("listen", "127.0.0.1:11940", "UDP address to listen on")
 		useCase     = flag.String("usecase", "FW", "initial middlebox use case (NOP|LB|FW|IDPS|DDoS)")
+		pipeline    = flag.String("pipeline", "", "initial middlebox pipeline as raw Click configuration text (overrides -usecase; validated before publishing)")
 		grace       = flag.Int("grace", 30, "grace period in seconds for configuration updates")
 		updateAfter = flag.Int("update-after", 0, "publish a demo configuration update after N seconds (0 = never)")
 		shards      = flag.Int("shards", 0, "session-table shard count (0 = match CPUs, 1 = monolithic baseline)")
@@ -53,9 +55,22 @@ func run() error {
 	flag.Parse()
 	ctx := context.Background()
 
+	// Resolve the initial middlebox function: an explicit -pipeline, or
+	// the stock pipeline of -usecase. Either way it is compiled and
+	// validated here — a typo fails at startup, not inside an enclave.
 	uc, err := parseUseCase(*useCase)
 	if err != nil {
 		return err
+	}
+	boot := mbox.Stock(uc)
+	bootLabel := uc.String()
+	if *pipeline != "" {
+		boot = mbox.Raw(*pipeline)
+		bootLabel = "custom pipeline"
+	}
+	bootCfg, err := mbox.Compile(boot, endbox.CommunityRuleSets())
+	if err != nil {
+		return fmt.Errorf("-pipeline: %w", err)
 	}
 
 	transport := endbox.NewUDPTransport(*listen)
@@ -91,7 +106,7 @@ func run() error {
 	if err := deployment.Server.PublishUpdate(ctx, &endbox.Update{
 		Version:      1,
 		GraceSeconds: uint32(*grace),
-		ClickConfig:  endbox.StandardConfig(uc),
+		ClickConfig:  bootCfg,
 		RuleSets:     endbox.CommunityRuleSets(),
 	}); err != nil {
 		return err
@@ -120,8 +135,8 @@ func run() error {
 	if *lossDrop > 0 || *lossDup > 0 || *lossReorder > 0 {
 		arqState += fmt.Sprintf(", simulated loss %.0f%%", *lossDrop*100)
 	}
-	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (use case %s, %d session shards, %d ingress workers, %s, CA ready)\n",
-		transport.Addr(), uc, deployment.Server.VPN().ShardCount(), transport.Workers(), arqState)
+	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (%s, %d session shards, %d ingress workers, %s, CA ready)\n",
+		transport.Addr(), bootLabel, deployment.Server.VPN().ShardCount(), transport.Workers(), arqState)
 
 	// The transport serves datagrams on its own goroutine; wait for an
 	// interrupt.

@@ -15,9 +15,17 @@
 // selective-repeat ARQ layer so attestation and multi-chunk rule
 // rollouts survive lossy networks (tune with WithRetransmit, inject
 // deterministic loss for tests with WithLossProfile; the wire protocol
-// is specified in docs/PROTOCOL.md). See examples/ for runnable
-// scenarios and DESIGN.md for the architecture and the substitutions
-// made for SGX hardware.
+// is specified in docs/PROTOCOL.md).
+//
+// Middlebox functions are open and typed: the sibling package mbox
+// registers custom element classes into the enclave router
+// (mbox.Register) and builds validated pipelines (mbox.Chain, mbox.Raw,
+// mbox.Stock) for ClientSpec.Pipeline; Deployment.Rollout publishes a
+// typed update to a label-selected subset of clients with per-group grace
+// periods; and Client.PipelineStats reads per-element packet/drop/alert
+// counters out of the enclave. See examples/ for runnable scenarios and
+// DESIGN.md for the architecture and the substitutions made for SGX
+// hardware.
 //
 //	d, err := endbox.New(
 //	    endbox.WithObserver(endbox.ObserverFuncs{
@@ -40,6 +48,7 @@ import (
 	"endbox/internal/udptransport"
 	"endbox/internal/vpn"
 	"endbox/internal/wire"
+	"endbox/mbox"
 )
 
 // Deployment is a complete EndBox system: attestation infrastructure
@@ -103,8 +112,42 @@ type Observer = core.Observer
 // corresponding event.
 type ObserverFuncs = core.ObserverFuncs
 
-// Alert is a middlebox alert raised inside a client's enclave.
+// Alert is a middlebox alert raised inside a client's enclave, carrying
+// the raising element's instance name and class.
 type Alert = click.Alert
+
+// Pipeline is a typed, validated middlebox function description. Build
+// one with the mbox package (mbox.Chain, mbox.Raw, mbox.Stock) and set it
+// on ClientSpec.Pipeline or Rollout.Pipeline; it is compiled and
+// validated before anything reaches an enclave, and misconfigurations
+// surface as errors wrapping ErrBadPipeline.
+type Pipeline = mbox.Pipeline
+
+// Stage is one element instance in a Pipeline (see mbox's stage
+// constructors: mbox.Firewall, mbox.IDS, mbox.Custom, ...).
+type Stage = mbox.Stage
+
+// ElementStats is one pipeline element's runtime counters — packets,
+// drops, alerts — read per client via Client.PipelineStats.
+type ElementStats = mbox.ElementStats
+
+// Rollout describes a middlebox configuration rollout: a pipeline, the
+// version it publishes as, a grace period, and a Selector choosing which
+// clients it applies to. Publish it with Deployment.Rollout.
+type Rollout = core.Rollout
+
+// Selector picks the clients a targeted Rollout applies to, by ID and/or
+// by ClientSpec.Labels. The zero Selector means every client.
+type Selector = core.Selector
+
+// RolloutResult reports the published version and the clients a rollout
+// was announced to.
+type RolloutResult = core.RolloutResult
+
+// ErrBadPipeline is the typed error AddClient, Deployment.Rollout and
+// mbox.Compile return for middlebox pipelines and Click configurations
+// that cannot be compiled into a runnable router.
+var ErrBadPipeline = mbox.ErrBadPipeline
 
 // VIFStats are one client's virtual-interface counters (packets/bytes in
 // each direction plus drops), read via Deployment.ClientStats or
@@ -123,6 +166,10 @@ type Update = config.Update
 type SwapTiming = core.SwapTiming
 
 // UseCase selects one of the five evaluated middlebox functions.
+//
+// Deprecated: UseCase is a shim over the stock pipelines; new code should
+// set ClientSpec.Pipeline (mbox.Stock(u) reproduces each use case, and
+// mbox.Chain composes arbitrary ones).
 type UseCase = click.UseCase
 
 // The five middlebox functions of the paper's evaluation (§V-B).
@@ -136,6 +183,10 @@ const (
 
 // StandardConfig returns the Click configuration for a use case as used in
 // the evaluation.
+//
+// Deprecated: StandardConfig is a thin shim compiling mbox.Stock(u); new
+// code should carry typed pipelines (mbox.Compile emits the text when a
+// string is genuinely needed).
 func StandardConfig(u UseCase) string { return click.StandardConfig(u) }
 
 // EnclaveMode selects how client enclaves execute.

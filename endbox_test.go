@@ -85,7 +85,7 @@ func TestOptionComposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	cli, err := d.AddClient(ctx, "c", ClientSpec{Mode: ModeSimulation})
+	cli, err := d.AddClient(ctx, "c", ClientSpec{Mode: ModeSimulation, UseCase: UseCaseNOP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +415,7 @@ func TestContextCancellation(t *testing.T) {
 
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := d.AddClient(cancelled, "c", ClientSpec{Mode: ModeSimulation}); !errors.Is(err, context.Canceled) {
+	if _, err := d.AddClient(cancelled, "c", ClientSpec{Mode: ModeSimulation, UseCase: UseCaseNOP}); !errors.Is(err, context.Canceled) {
 		t.Errorf("AddClient with cancelled ctx: %v", err)
 	}
 	if err := d.Server.PublishUpdate(cancelled, &Update{
@@ -425,7 +425,7 @@ func TestContextCancellation(t *testing.T) {
 	}
 
 	// The client slot must be reusable after the failed join.
-	if _, err := d.AddClient(context.Background(), "c", ClientSpec{Mode: ModeSimulation}); err != nil {
+	if _, err := d.AddClient(context.Background(), "c", ClientSpec{Mode: ModeSimulation, UseCase: UseCaseNOP}); err != nil {
 		t.Errorf("AddClient after cancelled attempt: %v", err)
 	}
 }
@@ -494,11 +494,11 @@ func TestDuplicateAddClient(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer d.Close()
-			first, err := d.AddClient(ctx, "dup", ClientSpec{Mode: ModeSimulation})
+			first, err := d.AddClient(ctx, "dup", ClientSpec{Mode: ModeSimulation, UseCase: UseCaseNOP})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := d.AddClient(ctx, "dup", ClientSpec{Mode: ModeSimulation}); err == nil {
+			if _, err := d.AddClient(ctx, "dup", ClientSpec{Mode: ModeSimulation, UseCase: UseCaseNOP}); err == nil {
 				t.Fatal("duplicate AddClient succeeded")
 			}
 			// The original client is unharmed.
@@ -519,7 +519,7 @@ func TestRemoveClient(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	if _, err := d.AddClient(ctx, "c", ClientSpec{Mode: ModeSimulation}); err != nil {
+	if _, err := d.AddClient(ctx, "c", ClientSpec{Mode: ModeSimulation, UseCase: UseCaseNOP}); err != nil {
 		t.Fatal(err)
 	}
 	firstAddr, _ := d.ClientAddr("c")
@@ -530,7 +530,7 @@ func TestRemoveClient(t *testing.T) {
 	if _, ok := d.ClientAddr("c"); ok {
 		t.Error("address still allocated after RemoveClient")
 	}
-	cli, err := d.AddClient(ctx, "c", ClientSpec{Mode: ModeSimulation})
+	cli, err := d.AddClient(ctx, "c", ClientSpec{Mode: ModeSimulation, UseCase: UseCaseNOP})
 	if err != nil {
 		t.Fatalf("rejoin: %v", err)
 	}

@@ -1,0 +1,180 @@
+// Customnf: plugging an application-defined middlebox function into
+// client enclaves through the public mbox API.
+//
+// A custom "BurstCap" element — a per-client packet budget, the minimal
+// shape of a rate limiter — is registered into the process-wide element
+// registry, deployed to two labelled clients as a typed pipeline, and
+// then raised for one site only with a targeted Deployment.Rollout. The
+// per-element counters come back out of the enclaves via PipelineStats.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"endbox"
+	"endbox/internal/packet"
+	"endbox/internal/vpn"
+	"endbox/mbox"
+)
+
+// burstCap forwards at most BUDGET packets and drops the rest — state
+// that lives inside the client's enclave and survives hot-swaps via
+// TakeState. A production rate limiter would refill the budget from
+// Context.TrustedTime (see TrustedSplitter); the fixed budget keeps this
+// walkthrough deterministic.
+type burstCap struct {
+	mbox.Base
+	budget uint64
+	seen   uint64
+}
+
+// Class implements mbox.Element.
+func (*burstCap) Class() string { return "BurstCap" }
+
+// Configure implements mbox.Element: BurstCap(BUDGET 5).
+func (e *burstCap) Configure(args []string, _ *mbox.Context) error {
+	e.budget = 5
+	for _, arg := range args {
+		val, ok := strings.CutPrefix(arg, "BUDGET ")
+		if !ok {
+			return fmt.Errorf("BurstCap: unknown argument %q", arg)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+		if err != nil || n == 0 {
+			return fmt.Errorf("BurstCap: bad BUDGET %q", val)
+		}
+		e.budget = n
+	}
+	return nil
+}
+
+// InPorts and OutPorts implement mbox.Element.
+func (*burstCap) InPorts() int  { return mbox.AnyPorts }
+func (*burstCap) OutPorts() int { return 1 }
+
+// Push implements mbox.Element: spend budget or drop.
+func (e *burstCap) Push(_ int, p *mbox.Packet) {
+	if e.seen++; e.seen > e.budget {
+		p.Drop(e.Name())
+		return
+	}
+	e.Forward(0, p)
+}
+
+// TakeState implements mbox.StateCarrier: the spent budget survives
+// configuration hot-swaps (a rollout must not reset the limiter).
+func (e *burstCap) TakeState(old mbox.Element) {
+	if prev, ok := old.(*burstCap); ok {
+		e.seen = prev.seen
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// Register the custom element class once, process-wide. Every enclave
+	// router — current and future — can now instantiate it.
+	if err := mbox.Register("BurstCap", func() mbox.Element { return &burstCap{} }); err != nil {
+		return err
+	}
+	fmt.Println("BurstCap registered into the element registry")
+
+	deployment, err := endbox.New()
+	if err != nil {
+		return err
+	}
+	defer deployment.Close()
+
+	// The boot pipeline: a typed chain ending in the custom element. The
+	// pipeline is compiled and validated at AddClient time — a typo in
+	// the stage arguments fails here, not inside the enclave.
+	cap := mbox.Custom("BurstCap", "BUDGET 5")
+	cap.Name = "cap"
+	pipeline := mbox.Chain(mbox.Count("in"), cap)
+
+	addSite := func(id, site string) (*endbox.Client, error) {
+		return deployment.AddClient(ctx, id, endbox.ClientSpec{
+			Mode:     endbox.ModeSimulation,
+			Pipeline: pipeline,
+			Labels:   map[string]string{"site": site},
+		})
+	}
+	berlin, err := addSite("ws-berlin", "berlin")
+	if err != nil {
+		return err
+	}
+	lisbon, err := addSite("ws-lisbon", "lisbon")
+	if err != nil {
+		return err
+	}
+	fmt.Println("two clients attested and connected (sites berlin, lisbon)")
+
+	// Both clients burst 8 packets: the in-enclave cap passes 5 each.
+	send := func(cli *endbox.Client, n int) (sent, dropped int) {
+		pkt := packet.NewUDP(packet.AddrFrom(10, 8, 0, 2), packet.AddrFrom(192, 0, 2, 1),
+			40000, 80, []byte("burst"))
+		for i := 0; i < n; i++ {
+			switch err := cli.SendPacket(pkt); {
+			case err == nil:
+				sent++
+			case errors.Is(err, vpn.ErrDropped):
+				dropped++
+			}
+		}
+		return
+	}
+	bs, bd := send(berlin, 8)
+	ls, ld := send(lisbon, 8)
+	fmt.Printf("berlin: %d delivered, %d capped; lisbon: %d delivered, %d capped\n", bs, bd, ls, ld)
+
+	// The per-element counters come straight out of the enclave.
+	printStats := func(id string, cli *endbox.Client) error {
+		stats, err := cli.PipelineStats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s pipeline:", id)
+		for _, s := range stats {
+			fmt.Printf("  %s(%s) pkts=%d drops=%d", s.Name, s.Class, s.Packets, s.Drops)
+		}
+		fmt.Println()
+		return nil
+	}
+	if err := printStats("berlin", berlin); err != nil {
+		return err
+	}
+
+	// Targeted rollout: raise the budget for the berlin site only. The
+	// spent budget survives the hot-swap (TakeState), so berlin gets 95
+	// more packets while lisbon stays capped.
+	bigger := mbox.Custom("BurstCap", "BUDGET 100")
+	bigger.Name = "cap"
+	res, err := deployment.Rollout(ctx, endbox.Rollout{
+		Version:      1,
+		GraceSeconds: 60,
+		Pipeline:     mbox.Chain(mbox.Count("in"), bigger),
+		RuleSets:     endbox.CommunityRuleSets(),
+		Target:       endbox.Selector{Labels: map[string]string{"site": "berlin"}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rollout v%d announced to %v (lisbon untouched)\n", res.Version, res.Clients)
+
+	bs, bd = send(berlin, 8)
+	ls, ld = send(lisbon, 8)
+	fmt.Printf("after rollout — berlin: %d delivered, %d capped (v%d); lisbon: %d delivered, %d capped (v%d)\n",
+		bs, bd, berlin.AppliedVersion(), ls, ld, lisbon.AppliedVersion())
+	return printStats("berlin", berlin)
+}

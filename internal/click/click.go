@@ -15,6 +15,7 @@ package click
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"endbox/internal/packet"
@@ -36,6 +37,10 @@ type Packet struct {
 	droppedBy string
 	delivered bool
 	modified  bool
+
+	// owner is the router processing the packet; Drop reports per-element
+	// drop counts through it. Nil for packets built outside a router.
+	owner *Router
 }
 
 // NewPacket wraps a parsed IP packet for processing.
@@ -48,6 +53,9 @@ func (p *Packet) Drop(by string) {
 	if !p.dropped {
 		p.dropped = true
 		p.droppedBy = by
+		if p.owner != nil {
+			p.owner.countDrop(by)
+		}
 	}
 }
 
@@ -64,19 +72,27 @@ func (p *Packet) MarkModified() { p.modified = true }
 // Modified reports whether any element rewrote the packet.
 func (p *Packet) Modified() bool { return p.modified }
 
-// clone duplicates the packet for Tee-style fan-out.
+// clone duplicates the packet for Tee-style fan-out. The Plaintext
+// annotation keeps its nil-ness: nil (no TLS plaintext recovered) stays
+// nil without allocating — the common case for non-TLS traffic — and an
+// empty-but-present annotation stays non-nil, so downstream DPI elements
+// make the same plaintext-vs-ciphertext decision on every branch.
 func (p *Packet) clone() *Packet {
 	q := *p
 	q.IP = p.IP.Clone()
-	q.Plaintext = append([]byte(nil), p.Plaintext...)
+	if p.Plaintext != nil {
+		q.Plaintext = append(make([]byte, 0, len(p.Plaintext)), p.Plaintext...)
+	}
 	return &q
 }
 
 // Alert is a notification produced by detection elements, delivered to the
 // Context's Alert hook (the paper logs these via the VPN management
-// channel).
+// channel). Element is the raising element's instance name (the key into
+// Router.Stats / Client.PipelineStats), Class its element class.
 type Alert struct {
 	Element string
+	Class   string
 	SID     int
 	Msg     string
 }
@@ -154,20 +170,58 @@ type Element interface {
 	connectOutput(out int, target Element, targetPort int) error
 	outputCount() int
 	forwardTarget(out int) (Element, int, bool)
+	counters() *elemCounters
 }
 
-// Base provides naming and output wiring for elements; embed it in every
-// element implementation.
+// elemCounters are the uniform per-element runtime counters every element
+// carries via Base, read out as ElementStats through Router.Stats. They
+// are maintained by the framework (Forward, Drop, the router's alert
+// hook), so custom elements get them for free.
+type elemCounters struct {
+	packets atomic.Uint64
+	drops   atomic.Uint64
+	alerts  atomic.Uint64
+}
+
+// copyFrom transplants counters across a hot-swap.
+func (c *elemCounters) copyFrom(old *elemCounters) {
+	c.packets.Store(old.packets.Load())
+	c.drops.Store(old.drops.Load())
+	c.alerts.Store(old.alerts.Load())
+}
+
+// ElementStats is one element instance's runtime counters: packets pushed
+// into it, packets it dropped, and alerts it raised. Read a router's
+// per-element breakdown with Instance.Stats (or, through the enclave
+// boundary, Client.PipelineStats).
+type ElementStats struct {
+	// Name is the instance name from the configuration (anonymous
+	// elements get parser-assigned names like "IPFilter@1").
+	Name string
+	// Class is the Click element class.
+	Class string
+	// Packets counts packets pushed into the element.
+	Packets uint64
+	// Drops counts packets the element discarded.
+	Drops uint64
+	// Alerts counts alerts the element raised.
+	Alerts uint64
+}
+
+// Base provides naming, output wiring and runtime counters for elements;
+// embed it in every element implementation.
 type Base struct {
 	name    string
+	stats   elemCounters
 	targets []struct {
 		el   Element
 		port int
 	}
 }
 
-func (b *Base) setName(n string)    { b.name = n }
-func (b *Base) elementName() string { return b.name }
+func (b *Base) setName(n string)        { b.name = n }
+func (b *Base) elementName() string     { return b.name }
+func (b *Base) counters() *elemCounters { return &b.stats }
 func (b *Base) bindOutputs(n int) {
 	b.targets = make([]struct {
 		el   Element
@@ -199,12 +253,13 @@ func (b *Base) forwardTarget(out int) (Element, int, bool) {
 	return t.el, t.port, true
 }
 
-// Forward pushes a packet out of the given output port. Pushing to an
-// unconnected port drops the packet (routers validate connectivity at
-// assembly, so this only happens for optional ports such as a splitter's
-// overflow output).
+// Forward pushes a packet out of the given output port, counting the
+// arrival on the target element. Pushing to an unconnected port drops the
+// packet (routers validate connectivity at assembly, so this only happens
+// for optional ports such as a splitter's overflow output).
 func (b *Base) Forward(out int, p *Packet) {
 	if el, port, ok := b.forwardTarget(out); ok {
+		el.counters().packets.Add(1)
 		el.Push(port, p)
 		return
 	}

@@ -49,34 +49,16 @@ func (u UseCase) String() string {
 // the paper's setups: the FW rules match no evaluation packet, the IDPS
 // uses the community rule set (resolved via Context.RuleSet), and the DDoS
 // splitter samples trusted time every 500,000 packets.
+//
+// Deprecated: StandardConfig is a thin shim compiling StockPipeline(u);
+// new code should build pipelines with the typed Stage/Chain API (public
+// surface: package mbox) and compile them explicitly.
 func StandardConfig(u UseCase) string {
-	switch u {
-	case UseCaseNOP:
-		return "FromDevice -> ToDevice;"
-	case UseCaseLB:
-		return `
-FromDevice -> rr :: RoundRobinSwitch;
-rr[0] -> td :: ToDevice;
-rr[1] -> td;
-rr[2] -> td;
-rr[3] -> td;
-`
-	case UseCaseFW:
-		return fmt.Sprintf("FromDevice -> fw :: IPFilter(%s) -> ToDevice;", FirewallRules(16))
-	case UseCaseIDPS:
-		return "FromDevice -> ids :: IDSMatcher(RULESET community) -> ToDevice;"
-	case UseCaseDDoS:
-		// The shaper is provisioned above the evaluation rate (as in the
-		// paper, where measurement traffic is not throttled); the BURST
-		// covers the interval between trusted-time samples.
-		return `
-FromDevice -> ids :: IDSMatcher(RULESET community)
-  -> shaper :: TrustedSplitter(RATE 10G, BURST 4000000000, SAMPLE 500000)
-  -> ToDevice;
-`
-	default:
+	cfg, err := StockPipeline(u).Config()
+	if err != nil {
 		return ""
 	}
+	return cfg
 }
 
 // ServerConfig is StandardConfig for a server-side vanilla Click instance
@@ -84,11 +66,15 @@ FromDevice -> ids :: IDSMatcher(RULESET community)
 // uses UntrustedSplitter with per-packet system time, as in the paper.
 func ServerConfig(u UseCase) string {
 	if u == UseCaseDDoS {
-		return `
-FromDevice -> ids :: IDSMatcher(RULESET community)
-  -> shaper :: UntrustedSplitter(RATE 10G, BURST 4000000000)
-  -> ToDevice;
-`
+		cfg, err := Chain(
+			Stage{Name: "ids", Class: "IDSMatcher", Args: []string{"RULESET community"}},
+			Stage{Name: "shaper", Class: "UntrustedSplitter",
+				Args: []string{"RATE 10G", "BURST 4000000000"}},
+		).Config()
+		if err != nil {
+			return ""
+		}
+		return cfg
 	}
 	return StandardConfig(u)
 }

@@ -91,7 +91,7 @@ func (e *IDSMatcher) Push(_ int, p *Packet) {
 		res = e.engine.Evaluate(p.IP)
 	}
 	for _, a := range res.Alerts {
-		e.alert(Alert{Element: e.Name(), SID: a.SID, Msg: a.Msg})
+		e.alert(Alert{Element: e.Name(), Class: e.Class(), SID: a.SID, Msg: a.Msg})
 	}
 	if e.enforce && res.Verdict == idps.VerdictDrop {
 		p.Drop(e.Name())
@@ -349,7 +349,7 @@ func (e *TLSDecrypt) Push(_ int, p *Packet) {
 	}
 	plaintext, _, err := tlstap.DecryptStream(key, tcp.Payload)
 	if err != nil {
-		e.alert(Alert{Element: e.Name(), Msg: fmt.Sprintf("TLS decrypt failed for %s: %v", flow, err)})
+		e.alert(Alert{Element: e.Name(), Class: e.Class(), Msg: fmt.Sprintf("TLS decrypt failed for %s: %v", flow, err)})
 		e.Forward(0, p)
 		return
 	}

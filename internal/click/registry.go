@@ -1,0 +1,113 @@
+package click
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Resolver resolves Click class names to element factories. Registry (a
+// plain map, for single-owner use) and SharedRegistry (concurrency-safe,
+// for process-wide registration) both implement it; router building takes
+// a Resolver so hot-swaps pick up classes registered after the instance
+// was created.
+type Resolver interface {
+	Lookup(class string) (Factory, bool)
+}
+
+// Lookup implements Resolver.
+func (r Registry) Lookup(class string) (Factory, bool) {
+	f, ok := r[class]
+	return f, ok
+}
+
+// SharedRegistry is a concurrency-safe element-class registry layered over
+// the built-in Registry: the built-in classes are fixed at construction,
+// custom classes may be registered at any time from any goroutine.
+// Registration is append-only — a class, once registered, can neither be
+// replaced nor removed, so a router built concurrently with registrations
+// sees a consistent factory for every class it resolves (the ownership
+// rule the public mbox package documents).
+type SharedRegistry struct {
+	builtin Registry
+
+	mu     sync.RWMutex
+	custom map[string]Factory
+}
+
+// NewSharedRegistry returns a shared registry over the built-in classes.
+func NewSharedRegistry() *SharedRegistry {
+	return &SharedRegistry{
+		builtin: NewRegistry(),
+		custom:  make(map[string]Factory),
+	}
+}
+
+// DefaultRegistry is the process-wide registry: routers built with a nil
+// Resolver (including the in-enclave instances) resolve against it, and
+// the public mbox.Register delegates to it.
+var DefaultRegistry = NewSharedRegistry()
+
+// Register adds a custom element class. The class name must be a valid
+// Click identifier, must not collide with a built-in class, and must not
+// already be registered; the factory must produce a fresh element per
+// call. Safe for concurrent use with itself and with Lookup.
+func (r *SharedRegistry) Register(class string, f Factory) error {
+	if !validClassName(class) {
+		return fmt.Errorf("%w: invalid element class name %q", ErrBadPipeline, class)
+	}
+	if f == nil {
+		return fmt.Errorf("%w: nil factory for element class %q", ErrBadPipeline, class)
+	}
+	if _, builtin := r.builtin[class]; builtin {
+		return fmt.Errorf("%w: element class %q is built in and cannot be overridden", ErrBadPipeline, class)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.custom[class]; dup {
+		return fmt.Errorf("%w: element class %q already registered", ErrBadPipeline, class)
+	}
+	r.custom[class] = f
+	return nil
+}
+
+// Lookup implements Resolver: custom classes shadow nothing (built-ins win
+// registration-time, not lookup-time — Register rejects collisions).
+func (r *SharedRegistry) Lookup(class string) (Factory, bool) {
+	if f, ok := r.builtin[class]; ok {
+		return f, true
+	}
+	r.mu.RLock()
+	f, ok := r.custom[class]
+	r.mu.RUnlock()
+	return f, ok
+}
+
+// Classes returns every resolvable class name, sorted.
+func (r *SharedRegistry) Classes() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.builtin)+len(r.custom))
+	for name := range r.builtin {
+		out = append(out, name)
+	}
+	for name := range r.custom {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// validClassName reports whether s lexes as a single Click identifier, so
+// configurations emitted for the class re-parse.
+func validClassName(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -40,14 +40,30 @@ type Result struct {
 }
 
 // BuildRouter instantiates a parsed graph: create elements, configure them,
-// size and validate ports, and wire connections.
-func BuildRouter(g *Graph, reg Registry, ctx *Context) (*Router, error) {
+// size and validate ports, and wire connections. A nil reg resolves
+// against DefaultRegistry (built-in classes plus everything registered
+// through the public mbox API).
+func BuildRouter(g *Graph, reg Resolver, ctx *Context) (*Router, error) {
+	if reg == nil {
+		reg = DefaultRegistry
+	}
 	ctx = ctx.withDefaults()
 	r := &Router{elements: make(map[string]Element, len(g.Decls))}
 
+	// Count alerts against the raising element; the hook elements capture
+	// at Configure time runs only once the router processes traffic, so
+	// reading r.elements (fully populated by then) is safe.
+	userAlert := ctx.Alert
+	ctx.Alert = func(a Alert) {
+		if el, ok := r.elements[a.Element]; ok {
+			el.counters().alerts.Add(1)
+		}
+		userAlert(a)
+	}
+
 	// Instantiate and configure.
 	for _, d := range g.Decls {
-		factory, ok := reg[d.Class]
+		factory, ok := reg.Lookup(d.Class)
 		if !ok {
 			return nil, fmt.Errorf("click: unknown element class %q", d.Class)
 		}
@@ -151,7 +167,8 @@ func (r *Router) Element(name string) (Element, bool) {
 // fresh wrappers for its extra branches).
 func (r *Router) Process(ip *packet.IPv4) *Result {
 	p := &r.pkt
-	*p = Packet{IP: ip, Backend: -1}
+	*p = Packet{IP: ip, Backend: -1, owner: r}
+	r.input.counters().packets.Add(1)
 	r.input.Push(0, p)
 	res := &r.res
 	*res = Result{Packet: p}
@@ -166,22 +183,48 @@ func (r *Router) Process(ip *packet.IPv4) *Result {
 	return res
 }
 
+// countDrop attributes a packet drop to the deciding element (called from
+// Packet.Drop through the packet's owner pointer, so custom elements that
+// drop packets are counted without any code of their own).
+func (r *Router) countDrop(name string) {
+	if el, ok := r.elements[name]; ok {
+		el.counters().drops.Add(1)
+	}
+}
+
+// Stats snapshots every element's runtime counters in declaration order.
+func (r *Router) Stats() []ElementStats {
+	out := make([]ElementStats, 0, len(r.order))
+	for _, name := range r.order {
+		el := r.elements[name]
+		c := el.counters()
+		out = append(out, ElementStats{
+			Name:    name,
+			Class:   el.Class(),
+			Packets: c.packets.Load(),
+			Drops:   c.drops.Load(),
+			Alerts:  c.alerts.Load(),
+		})
+	}
+	return out
+}
+
 // transplantState moves state from the old router's elements into this one
-// for every element that kept its name and class across the swap.
+// for every element that kept its name and class across the swap: the
+// uniform runtime counters always, element-specific state via StateCarrier.
 func (r *Router) transplantState(old *Router) {
 	if old == nil {
 		return
 	}
 	for name, el := range r.elements {
-		carrier, ok := el.(StateCarrier)
-		if !ok {
-			continue
-		}
 		prev, ok := old.elements[name]
 		if !ok || prev.Class() != el.Class() {
 			continue
 		}
-		carrier.TakeState(prev)
+		el.counters().copyFrom(prev.counters())
+		if carrier, ok := el.(StateCarrier); ok {
+			carrier.TakeState(prev)
+		}
 	}
 }
 
@@ -190,7 +233,7 @@ func (r *Router) transplantState(old *Router) {
 // packet processing is serialised through the instance, so a swap is
 // atomic with respect to traffic — Click's single-threaded model.
 type Instance struct {
-	reg Registry
+	reg Resolver
 	ctx *Context
 
 	mu     sync.Mutex
@@ -198,10 +241,12 @@ type Instance struct {
 	config string
 }
 
-// NewInstance builds the initial configuration.
-func NewInstance(config string, reg Registry, ctx *Context) (*Instance, error) {
+// NewInstance builds the initial configuration. A nil reg resolves
+// against DefaultRegistry, and the instance keeps resolving live: element
+// classes registered after creation are available to later Swaps.
+func NewInstance(config string, reg Resolver, ctx *Context) (*Instance, error) {
 	if reg == nil {
-		reg = NewRegistry()
+		reg = DefaultRegistry
 	}
 	g, err := ParseConfig(config)
 	if err != nil {
@@ -235,6 +280,15 @@ func (i *Instance) Element(name string) (Element, bool) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return i.router.Element(name)
+}
+
+// Stats snapshots the active configuration's per-element counters in
+// declaration order. Counters survive hot-swaps for elements that keep
+// their name and class.
+func (i *Instance) Stats() []ElementStats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.router.Stats()
 }
 
 // Swap hot-swaps to a new configuration, transplanting state from same-name

@@ -240,13 +240,27 @@ func (s *Server) Latest() uint64 {
 
 // Policy is the VPN server's update enforcement state (paper §III-E): both
 // the current and previous configuration versions are accepted during the
-// grace period; afterwards only the current one.
+// grace period; afterwards only the current one. Targeted rollouts
+// (Deployment.Rollout with a selector) layer per-client requirements on
+// top of the global state: a targeted client must converge on its group's
+// version within the group's grace period, while untargeted clients keep
+// being judged against the global versions only.
 type Policy struct {
 	mu       sync.Mutex
 	current  uint64
 	previous uint64
 	deadline time.Time
+	targets  map[string]targetState // clientID -> targeted requirement
 	now      func() time.Time
+}
+
+// targetState is one client's targeted-rollout requirement: the version
+// it must reach, the version it is coming from (accepted until the
+// group's grace deadline), and that deadline.
+type targetState struct {
+	version  uint64
+	previous uint64
+	deadline time.Time
 }
 
 // NewPolicy creates a policy accepting only version 0 (no update yet).
@@ -259,7 +273,13 @@ func NewPolicy(now func() time.Time) *Policy {
 
 // Announce installs a new current version with the given grace period
 // (paper Fig. 5 steps 2-3: the VPN server starts a timer that, when
-// expired, blocks clients with old configurations).
+// expired, blocks clients with old configurations). A global announcement
+// supersedes targeted requirements at or below the new version — but a
+// client converged on a superseded target gets the same grace as
+// everyone else: its requirement is rewritten to the new version with
+// the old target as its accepted previous, rather than dropped (dropping
+// it would reject the canary's traffic instantly, since its version is
+// neither the new current nor the global previous).
 func (p *Policy) Announce(version uint64, grace time.Duration) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -269,7 +289,63 @@ func (p *Policy) Announce(version uint64, grace time.Duration) error {
 	p.previous = p.current
 	p.current = version
 	p.deadline = p.now().Add(grace)
+	for id, t := range p.targets {
+		if t.version <= version {
+			p.targets[id] = targetState{version: version, previous: t.version, deadline: p.deadline}
+		}
+	}
 	return nil
+}
+
+// AnnounceTarget arms a targeted requirement for a set of clients: each
+// must reach version within the grace period; until the deadline its
+// previous version (an earlier target, or the global current) is still
+// accepted. The targeted version must be newer than the global current
+// and than any target already armed for the client.
+func (p *Policy) AnnounceTarget(clientIDs []string, version uint64, grace time.Duration) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if version <= p.current {
+		return fmt.Errorf("%w: %d <= %d", ErrStaleVersion, version, p.current)
+	}
+	for _, id := range clientIDs {
+		if t, ok := p.targets[id]; ok && version <= t.version {
+			return fmt.Errorf("%w: %d <= %d (client %q)", ErrStaleVersion, version, t.version, id)
+		}
+	}
+	if p.targets == nil {
+		p.targets = make(map[string]targetState, len(clientIDs))
+	}
+	deadline := p.now().Add(grace)
+	for _, id := range clientIDs {
+		from := p.current
+		if t, ok := p.targets[id]; ok {
+			from = t.version
+		}
+		p.targets[id] = targetState{version: version, previous: from, deadline: deadline}
+	}
+	return nil
+}
+
+// ForgetClient drops a client's targeted requirement. The deployment
+// calls it when a client is removed, so target state cannot accumulate
+// across churning clients and a later client reusing the ID is judged
+// globally.
+func (p *Policy) ForgetClient(clientID string) {
+	p.mu.Lock()
+	delete(p.targets, clientID)
+	p.mu.Unlock()
+}
+
+// Target reports the version a specific client is required to run (its
+// targeted version if one is armed, the global current otherwise).
+func (p *Policy) Target(clientID string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t, ok := p.targets[clientID]; ok {
+		return t.version
+	}
+	return p.current
 }
 
 // Current returns the version clients must (eventually) run.
@@ -280,15 +356,45 @@ func (p *Policy) Current() uint64 {
 }
 
 // Accepts reports whether a client at the given configuration version may
-// pass traffic now.
+// pass traffic now, judged against the global versions only.
 func (p *Policy) Accepts(clientVersion uint64) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if clientVersion == p.current {
+	return p.acceptsGlobalLocked(clientVersion)
+}
+
+func (p *Policy) acceptsGlobalLocked(v uint64) bool {
+	if v == p.current {
 		return true
 	}
-	if clientVersion == p.previous && p.now().Before(p.deadline) {
-		return true
+	return v == p.previous && p.now().Before(p.deadline)
+}
+
+// AcceptsClient reports whether a specific client at the given version may
+// pass traffic now: its targeted requirement when one is armed (target
+// version always; the version it came from until the group deadline),
+// the global rule otherwise. This is the per-frame check the VPN server
+// runs; with no targeted rollouts armed it costs the same as Accepts.
+func (p *Policy) AcceptsClient(clientID string, clientVersion uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t, ok := p.targets[clientID]; ok {
+		// At or beyond the target counts as converged: a targeted client
+		// may legitimately boot into a newer published version (e.g. a
+		// later rollout) — rejecting it would strand the client on a
+		// requirement it has already surpassed.
+		if clientVersion >= t.version {
+			return true
+		}
+		// Until the group deadline the client may still run what it came
+		// from (or anything globally acceptable — it hasn't converged
+		// yet); afterwards only the targeted version passes, even though
+		// the old version may still be globally current for untargeted
+		// clients.
+		if p.now().Before(t.deadline) {
+			return clientVersion == t.previous || p.acceptsGlobalLocked(clientVersion)
+		}
+		return false
 	}
-	return false
+	return p.acceptsGlobalLocked(clientVersion)
 }

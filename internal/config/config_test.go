@@ -279,3 +279,122 @@ func TestPolicyZeroGrace(t *testing.T) {
 		t.Error("grace 0 still accepts old version")
 	}
 }
+
+func TestPolicyTargetedRollout(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := NewPolicy(func() time.Time { return now })
+
+	// A targeted version must be newer than the global current.
+	if err := p.AnnounceTarget([]string{"a"}, 0, time.Minute); !errors.Is(err, ErrStaleVersion) {
+		t.Errorf("stale target announce: err = %v", err)
+	}
+	if err := p.AnnounceTarget([]string{"a", "b"}, 2, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Targeted clients: target version accepted, old version only during
+	// the group grace period. Untargeted clients judged globally.
+	if !p.AcceptsClient("a", 2) || !p.AcceptsClient("a", 0) {
+		t.Error("targeted client rejected during grace")
+	}
+	if !p.AcceptsClient("c", 0) {
+		t.Error("untargeted client rejected at global version")
+	}
+	if p.AcceptsClient("c", 2) {
+		t.Error("untargeted client accepted at targeted-only version")
+	}
+	if p.Target("a") != 2 || p.Target("c") != 0 {
+		t.Errorf("Target = %d/%d, want 2/0", p.Target("a"), p.Target("c"))
+	}
+
+	// After the group deadline: targeted clients must have converged,
+	// even though the old version is still globally current.
+	now = now.Add(31 * time.Second)
+	if p.AcceptsClient("a", 0) {
+		t.Error("targeted client still accepted at old version after grace")
+	}
+	if !p.AcceptsClient("a", 2) {
+		t.Error("converged targeted client rejected")
+	}
+	if !p.AcceptsClient("c", 0) {
+		t.Error("untargeted client rejected after unrelated group deadline")
+	}
+
+	// Re-targeting the same group to a newer version: the previous target
+	// stays acceptable during the new grace window.
+	if err := p.AnnounceTarget([]string{"a"}, 3, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !p.AcceptsClient("a", 2) || !p.AcceptsClient("a", 3) {
+		t.Error("chained target: old or new version rejected during grace")
+	}
+	if err := p.AnnounceTarget([]string{"a"}, 3, time.Second); !errors.Is(err, ErrStaleVersion) {
+		t.Errorf("re-announcing the same target version: err = %v", err)
+	}
+
+	// A global announcement at or above the targets supersedes them.
+	if err := p.Announce(7, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !p.AcceptsClient("a", 7) || !p.AcceptsClient("b", 7) {
+		t.Error("global announce did not supersede targets")
+	}
+	if p.Target("a") != 7 {
+		t.Errorf("Target after global announce = %d, want 7", p.Target("a"))
+	}
+}
+
+func TestPolicyTargetConvergedBeyond(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := NewPolicy(func() time.Time { return now })
+	if err := p.AnnounceTarget([]string{"a"}, 2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Second) // group deadline passed
+
+	// A targeted client running a NEWER published version than its
+	// target has converged and must not be stranded.
+	if !p.AcceptsClient("a", 3) {
+		t.Error("client beyond its target rejected")
+	}
+	if p.AcceptsClient("a", 1) {
+		t.Error("client below its target accepted after deadline")
+	}
+
+	// Removing the client drops its requirement: a later client reusing
+	// the ID is judged globally again.
+	p.ForgetClient("a")
+	if !p.AcceptsClient("a", 0) {
+		t.Error("forgotten client still judged against stale target")
+	}
+}
+
+func TestPolicySupersededTargetKeepsGrace(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := NewPolicy(func() time.Time { return now })
+	if err := p.Announce(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AnnounceTarget([]string{"canary"}, 5, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The canary converged to v5; the admin then promotes the fleet to
+	// v6 with a 60s grace period. The canary's v5 must enjoy that grace
+	// like everyone else's v1 — not be rejected instantly.
+	if err := p.Announce(6, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !p.AcceptsClient("canary", 5) {
+		t.Error("converged canary rejected right after global promotion")
+	}
+	if !p.AcceptsClient("other", 1) {
+		t.Error("untargeted client rejected during global grace")
+	}
+	now = now.Add(2 * time.Minute)
+	if p.AcceptsClient("canary", 5) {
+		t.Error("canary still accepted at superseded version after grace")
+	}
+	if !p.AcceptsClient("canary", 6) {
+		t.Error("canary rejected at the promoted version")
+	}
+}

@@ -423,6 +423,19 @@ func (c *Client) ForwardTLSKey(flow packet.Flow, key tlstap.SessionKey) error {
 	return err
 }
 
+// PipelineStats snapshots the per-element runtime counters — packets,
+// drops, alerts per element instance — of the middlebox pipeline running
+// inside the enclave (the observability surface stateful custom functions
+// need; counters survive hot-swaps for elements that keep their name and
+// class). Elements appear in configuration declaration order.
+func (c *Client) PipelineStats() ([]click.ElementStats, error) {
+	res, err := c.enclave.Ecall(ecallPipelineStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.([]click.ElementStats), nil
+}
+
 // AppliedVersion reports the active middlebox configuration version.
 func (c *Client) AppliedVersion() uint64 {
 	c.appliedMu <- struct{}{}

@@ -74,6 +74,14 @@ type DeploymentOptions struct {
 
 // ClientSpec configures one client joining a deployment. Data-path events
 // (inbound packets, alerts) are reported through the deployment's Observer.
+//
+// Exactly one source selects the initial middlebox configuration, in
+// precedence order: Pipeline (typed, preferred), ClickConfig (raw text),
+// UseCase (the five paper pipelines). All three are compiled and
+// validated at AddClient time — a spec that selects nothing, names an
+// unknown use case, or carries a configuration that does not build
+// returns an error wrapping ErrBadPipeline instead of failing inside the
+// enclave.
 type ClientSpec struct {
 	// Mode is the enclave execution mode. Required.
 	Mode sgx.Mode
@@ -81,16 +89,77 @@ type ClientSpec struct {
 	BurnCPU bool
 	// TransitionCost overrides the enclave transition cost.
 	TransitionCost time.Duration
-	// UseCase selects the initial middlebox configuration (default NOP).
+	// Pipeline is the typed middlebox pipeline the client boots with
+	// (build with the public mbox package: mbox.Chain, mbox.Raw,
+	// mbox.Stock). Takes precedence over ClickConfig and UseCase.
+	Pipeline click.Pipeline
+	// UseCase selects one of the five stock middlebox configurations.
+	//
+	// Deprecated: prefer Pipeline (mbox.Stock reproduces the use cases).
 	UseCase click.UseCase
 	// ClickConfig overrides UseCase with an explicit configuration.
+	//
+	// Deprecated: prefer Pipeline (mbox.Raw wraps verbatim text).
 	ClickConfig string
 	// ExtraRuleSets adds named IDPS rule sets beyond the community set.
 	ExtraRuleSets map[string]string
+	// Labels attach operator-defined metadata to the client, matched by
+	// Deployment.Rollout selectors for targeted configuration rollouts
+	// (e.g. {"site": "berlin", "ring": "canary"}).
+	Labels map[string]string
 	// FlagClientToClient enables the 0xeb optimisation.
 	FlagClientToClient bool
 	// NaiveEcalls selects the multi-ecall ablation data path.
 	NaiveEcalls bool
+}
+
+// ErrBadPipeline is the typed error AddClient and Rollout return for
+// middlebox configurations that cannot be compiled (re-exported from the
+// click layer so callers need only this package).
+var ErrBadPipeline = click.ErrBadPipeline
+
+// compileConfig resolves the typed-pipeline-vs-raw-text configuration
+// source shared by ClientSpec and Rollout, fully validating whichever is
+// set against the process registry and the given rule sets (errors wrap
+// ErrBadPipeline). Both empty returns "", nil — the caller supplies its
+// own default or error.
+func compileConfig(p click.Pipeline, raw string, ruleSets map[string]string) (string, error) {
+	switch {
+	case !p.Zero():
+		return p.Compile(nil, ruleSets)
+	case raw != "":
+		if err := click.ValidateConfig(raw, nil, ruleSets); err != nil {
+			return "", err
+		}
+		return raw, nil
+	default:
+		return "", nil
+	}
+}
+
+// mergedRuleSets is the community set plus the given extras — what a
+// client resolves rule-set names against.
+func mergedRuleSets(extra map[string]string) map[string]string {
+	ruleSets := CommunityRuleSets()
+	for name, text := range extra {
+		ruleSets[name] = text
+	}
+	return ruleSets
+}
+
+// compileSpec resolves a ClientSpec's middlebox configuration source
+// (Pipeline, ClickConfig, or UseCase) and fully validates it. Errors
+// wrap ErrBadPipeline.
+func compileSpec(spec ClientSpec, ruleSets map[string]string) (string, error) {
+	cfg, err := compileConfig(spec.Pipeline, spec.ClickConfig, ruleSets)
+	if err != nil || cfg != "" {
+		return cfg, err
+	}
+	if cfg = click.StandardConfig(spec.UseCase); cfg == "" {
+		return "", fmt.Errorf("%w: ClientSpec selects no middlebox function (set Pipeline, ClickConfig or a known UseCase; got UseCase %d)",
+			ErrBadPipeline, int(spec.UseCase))
+	}
+	return cfg, nil
 }
 
 // Deployment is a wired-up EndBox system. It is safe for concurrent use:
@@ -107,6 +176,9 @@ type Deployment struct {
 	mu        sync.Mutex
 	clients   map[string]*Client
 	links     map[string]ClientLink
+	labels    map[string]map[string]string // client ID -> rollout labels
+	joinSeq   map[string]uint64            // client ID -> join generation (see Rollout)
+	lastSeq   uint64
 	addrs     map[packet.Addr]string // tunnel address -> client ID
 	addrByID  map[string]packet.Addr // reverse index (O(1) ClientAddr)
 	freeAddrs []packet.Addr          // released by RemoveClient, reused first
@@ -150,6 +222,8 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 		opts:     opts,
 		clients:  make(map[string]*Client),
 		links:    make(map[string]ClientLink),
+		labels:   make(map[string]map[string]string),
+		joinSeq:  make(map[string]uint64),
 		addrs:    make(map[packet.Addr]string),
 		addrByID: make(map[string]packet.Addr),
 		nextIP:   2, // 10.8.0.1 is the server
@@ -245,10 +319,16 @@ func (d *Deployment) HandleFrame(clientID string, frame []byte) error {
 	return d.Server.VPN().HandleFrame(clientID, frame)
 }
 
-// FetchConfig implements ServerEndpoint (version 0 = latest).
+// FetchConfig implements ServerEndpoint. Version 0 resolves to the
+// latest globally published version — not the store's absolute latest,
+// which a targeted rollout may have advanced past the fleet-wide
+// configuration. Booting an untargeted client into a canary-only
+// version would get all its traffic rejected as stale, so a deployment
+// that has only ever published targeted rollouts deliberately fails the
+// boot fetch (ErrNotFound) until a global configuration exists.
 func (d *Deployment) FetchConfig(version uint64) ([]byte, error) {
 	if version == 0 {
-		version = d.Server.Configs().Latest()
+		version = d.Server.LatestGlobal()
 	}
 	return d.Server.Configs().Fetch(version)
 }
@@ -337,6 +417,15 @@ func (d *Deployment) AddClient(ctx context.Context, id string, spec ClientSpec) 
 	}
 	d.clients[id] = cli
 	d.links[id] = link
+	d.lastSeq++
+	d.joinSeq[id] = d.lastSeq
+	if len(spec.Labels) > 0 {
+		labels := make(map[string]string, len(spec.Labels))
+		for k, v := range spec.Labels {
+			labels[k] = v
+		}
+		d.labels[id] = labels
+	}
 	d.addrs[addr] = id
 	d.addrByID[id] = addr
 	d.mu.Unlock()
@@ -361,12 +450,13 @@ func (d *Deployment) allocAddrLocked() (packet.Addr, bool) {
 
 // buildClient performs everything except the VPN handshake.
 func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string, spec ClientSpec) (*Client, error) {
-	if spec.UseCase == 0 && spec.ClickConfig == "" {
-		spec.UseCase = click.UseCaseNOP
-	}
-	cfg := spec.ClickConfig
-	if cfg == "" {
-		cfg = click.StandardConfig(spec.UseCase)
+	ruleSets := mergedRuleSets(spec.ExtraRuleSets)
+	// Compile and validate the middlebox configuration before any enclave
+	// or attestation work: a bad pipeline fails here with a typed error
+	// instead of deep inside ecallInitClick.
+	cfg, err := compileSpec(spec, ruleSets)
+	if err != nil {
+		return nil, err
 	}
 
 	cpu := sgx.NewCPU("client-cpu-" + id)
@@ -377,11 +467,6 @@ func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string
 	caPub, err := link.Register(ctx, qe.PlatformID(), qe.VerificationKey())
 	if err != nil {
 		return nil, err
-	}
-
-	ruleSets := CommunityRuleSets()
-	for name, text := range spec.ExtraRuleSets {
-		ruleSets[name] = text
 	}
 
 	obs := d.observe()
@@ -447,6 +532,8 @@ func (d *Deployment) RemoveClient(id string) {
 	link := d.links[id]
 	delete(d.clients, id)
 	delete(d.links, id)
+	delete(d.labels, id)
+	delete(d.joinSeq, id)
 	if addr, ok := d.addrByID[id]; ok {
 		delete(d.addrs, addr)
 		delete(d.addrByID, id)
@@ -454,6 +541,7 @@ func (d *Deployment) RemoveClient(id string) {
 	}
 	d.mu.Unlock()
 	d.Server.VPN().Disconnect(id)
+	d.Server.VPN().Policy().ForgetClient(id)
 	if link != nil {
 		link.Close()
 	}
@@ -469,6 +557,8 @@ func (d *Deployment) Close() {
 	links := d.links
 	d.clients = make(map[string]*Client)
 	d.links = make(map[string]ClientLink)
+	d.labels = make(map[string]map[string]string)
+	d.joinSeq = make(map[string]uint64)
 	d.addrs = make(map[packet.Addr]string)
 	d.addrByID = make(map[string]packet.Addr)
 	d.freeAddrs = nil
@@ -477,7 +567,8 @@ func (d *Deployment) Close() {
 	for _, l := range links {
 		l.Close()
 	}
-	for _, c := range clients {
+	for id, c := range clients {
+		d.Server.VPN().Policy().ForgetClient(id)
 		c.Close()
 	}
 	d.transport.Close()

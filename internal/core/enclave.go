@@ -59,6 +59,7 @@ const (
 	ecallApplyConfig     = "apply_config"
 	ecallForwardKey      = "forward_tls_key"
 	ecallGetCert         = "get_cert"
+	ecallPipelineStats   = "pipeline_stats"
 	// Naive per-stage ecalls used only by the §V-G(1) ablation.
 	ecallNaiveClick = "naive_click"
 	ecallNaiveCrypt = "naive_encrypt"
@@ -461,6 +462,17 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 		st.applied = u.Version
 		st.lastSwap = SwapTiming{Decrypt: decryptDur, Hotswap: swapDur}
 		return applyResult{version: u.Version, timing: st.lastSwap}, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallPipelineStats, func(_ *sgx.Ctx, _ any) (any, error) {
+		if st.router == nil {
+			return nil, ErrNoSession
+		}
+		// The snapshot is freshly allocated counter values — no enclave
+		// state crosses the boundary.
+		return st.router.Stats(), nil
 	}); err != nil {
 		return err
 	}

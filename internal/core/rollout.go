@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"endbox/internal/click"
+	"endbox/internal/config"
+)
+
+// Selector picks the clients a targeted rollout applies to. The zero
+// Selector matches every connected client (a global rollout). Both
+// restrictions compose: a client matches when its ID is in IDs (or IDs is
+// empty) AND every Labels entry equals the client's label.
+type Selector struct {
+	// IDs restricts the target set to these client IDs.
+	IDs []string
+	// Labels must all be present, with equal values, in a client's
+	// ClientSpec.Labels.
+	Labels map[string]string
+}
+
+// Empty reports whether the selector matches everything (global rollout).
+func (s Selector) Empty() bool { return len(s.IDs) == 0 && len(s.Labels) == 0 }
+
+// matches reports whether a client with the given ID and labels is
+// selected.
+func (s Selector) matches(id string, labels map[string]string) bool {
+	if len(s.IDs) > 0 {
+		found := false
+		for _, want := range s.IDs {
+			if want == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for k, v := range s.Labels {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Rollout describes one middlebox configuration rollout: a pipeline (or
+// raw configuration), the version it publishes as, the grace period
+// within which targeted clients must converge, and the set of clients it
+// applies to. A zero Target rolls out globally — the typed successor of
+// Server.PublishUpdate; a non-empty Target publishes the update, arms a
+// per-client policy requirement for the selected clients only, and
+// announces the version to exactly those clients, leaving the rest of the
+// fleet on the globally current configuration (canary rings, per-site
+// configurations, staged migrations).
+type Rollout struct {
+	// Version is the update's version; it must be newer than every
+	// previously published version. Required.
+	Version uint64
+	// GraceSeconds is how long the VPN server keeps accepting the
+	// clients' previous configuration version (paper §III-E). For a
+	// targeted rollout the deadline applies per target group.
+	GraceSeconds uint32
+	// Pipeline is the typed pipeline to roll out (takes precedence over
+	// ClickConfig). Compiled and validated before anything is published.
+	Pipeline click.Pipeline
+	// ClickConfig is the raw-text alternative to Pipeline.
+	ClickConfig string
+	// RuleSets ships named IDPS rule sets with the update.
+	RuleSets map[string]string
+	// Target selects the clients to roll out to (zero = all).
+	Target Selector
+}
+
+// GracePeriod returns the grace period as a duration.
+func (r Rollout) GracePeriod() time.Duration {
+	return time.Duration(r.GraceSeconds) * time.Second
+}
+
+// RolloutResult reports what a rollout did.
+type RolloutResult struct {
+	// Version is the published version.
+	Version uint64
+	// Clients are the IDs the rollout was announced to, sorted. A
+	// targeted rollout with no matching connected clients publishes the
+	// update (late joiners can fetch it) but announces to nobody.
+	Clients []string
+}
+
+// Rollout publishes a typed middlebox update to a targeted set of clients
+// (or, with an empty Target, to the whole fleet — equivalent to
+// Server.PublishUpdate). The pipeline is compiled and validated first, so
+// a bad configuration returns an error wrapping ErrBadPipeline before
+// anything is published or announced. The context bounds the sealing and
+// the announcement fan-out.
+func (d *Deployment) Rollout(ctx context.Context, r Rollout) (RolloutResult, error) {
+	if err := ctx.Err(); err != nil {
+		return RolloutResult{}, err
+	}
+	if r.Version == 0 {
+		return RolloutResult{}, fmt.Errorf("core: rollout needs a version")
+	}
+	// Validate against the community set plus whatever the update ships:
+	// that is what a freshly joined client resolves rule sets from. The
+	// helper is the same one AddClient uses, so the two API entry points
+	// cannot drift in what they accept.
+	cfg, err := compileConfig(r.Pipeline, r.ClickConfig, mergedRuleSets(r.RuleSets))
+	if err != nil {
+		return RolloutResult{}, err
+	}
+	if cfg == "" {
+		return RolloutResult{}, fmt.Errorf("%w: rollout selects no middlebox function (set Pipeline or ClickConfig)", ErrBadPipeline)
+	}
+
+	u := &config.Update{
+		Version:      r.Version,
+		GraceSeconds: r.GraceSeconds,
+		ClickConfig:  cfg,
+		RuleSets:     r.RuleSets,
+	}
+	if r.Target.Empty() {
+		if err := d.Server.PublishUpdate(ctx, u); err != nil {
+			return RolloutResult{}, err
+		}
+		return RolloutResult{Version: r.Version, Clients: d.connectedIDs()}, nil
+	}
+	ids, seqs := d.selectClients(r.Target)
+	if err := d.Server.PublishTargeted(ctx, u, ids); err != nil {
+		return RolloutResult{}, err
+	}
+	// Close the race with a concurrent RemoveClient (or a remove + same-ID
+	// rejoin): an ID whose join generation changed between the selector
+	// snapshot and the announcement must not keep the freshly armed
+	// target — the client it now names was never part of this rollout.
+	d.mu.Lock()
+	for _, id := range ids {
+		if d.joinSeq[id] != seqs[id] {
+			d.Server.VPN().Policy().ForgetClient(id)
+		}
+	}
+	d.mu.Unlock()
+	return RolloutResult{Version: r.Version, Clients: ids}, nil
+}
+
+// selectClients returns the sorted IDs of connected clients the selector
+// matches, plus their join generations for the post-publish race check.
+func (d *Deployment) selectClients(sel Selector) ([]string, map[string]uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]string, 0, len(d.clients))
+	seqs := make(map[string]uint64, len(d.clients))
+	for id := range d.clients {
+		if sel.matches(id, d.labels[id]) {
+			ids = append(ids, id)
+			seqs[id] = d.joinSeq[id]
+		}
+	}
+	sort.Strings(ids)
+	return ids, seqs
+}
+
+// connectedIDs returns every connected client ID, sorted.
+func (d *Deployment) connectedIDs() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]string, 0, len(d.clients))
+	for id := range d.clients {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -131,15 +131,7 @@ func (s *Server) PublishUpdate(ctx context.Context, u *config.Update) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	var key []byte
-	if s.opts.EncryptConfigs {
-		key = s.opts.CA.SharedKey()
-	}
-	blob, err := config.Seal(u, s.opts.CA.SignConfig, key)
-	if err != nil {
-		return err
-	}
-	if err := s.configs.Publish(u.Version, blob); err != nil {
+	if err := s.sealAndPublish(u); err != nil {
 		return err
 	}
 	if err := s.vpn.Policy().Announce(u.Version, u.GracePeriod()); err != nil {
@@ -153,6 +145,54 @@ func (s *Server) PublishUpdate(ctx context.Context, u *config.Update) error {
 		return err
 	}
 	return s.vpn.BroadcastPing(u.GracePeriod())
+}
+
+// PublishTargeted seals and publishes an update like PublishUpdate but
+// announces it only to the given clients: the configuration server stores
+// the blob (any client may fetch it), the policy arms a per-client
+// requirement for exactly the targeted IDs, and only they are pinged.
+// Untargeted clients keep being judged against the globally current
+// version. Deployment.Rollout is the public entry point.
+func (s *Server) PublishTargeted(ctx context.Context, u *config.Update, clientIDs []string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := s.sealAndPublish(u); err != nil {
+		return err
+	}
+	if err := s.vpn.Policy().AnnounceTarget(clientIDs, u.Version, u.GracePeriod()); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.vpn.PingClients(clientIDs, u.Version, u.GracePeriod())
+}
+
+// sealAndPublish seals an update under the CA key (encrypting when the
+// deployment is configured to) and stores it on the configuration file
+// server — the publication steps shared by global and targeted rollouts.
+func (s *Server) sealAndPublish(u *config.Update) error {
+	var key []byte
+	if s.opts.EncryptConfigs {
+		key = s.opts.CA.SharedKey()
+	}
+	blob, err := config.Seal(u, s.opts.CA.SignConfig, key)
+	if err != nil {
+		return err
+	}
+	return s.configs.Publish(u.Version, blob)
+}
+
+// LatestGlobal reports the most recent globally published version (0
+// when none). Targeted rollouts advance the configuration store's latest
+// but not this, so boot-time fetches of "the current configuration"
+// resolve to the fleet-wide one — a client outside a canary ring must
+// not boot into the canary's version and be rejected as stale.
+func (s *Server) LatestGlobal() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextVer
 }
 
 // BroadcastPing re-sends the periodic keepalive announcing the current

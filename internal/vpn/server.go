@@ -218,10 +218,10 @@ func (s *Server) HandleFrame(clientID string, frame []byte) error {
 		return nil
 	case FrameData:
 		reported := sess.reportedVersion.Load()
-		if !s.policy.Accepts(reported) {
+		if !s.policy.AcceptsClient(clientID, reported) {
 			sess.stats.CountDrop()
 			return fmt.Errorf("%w: client %q at version %d, need %d",
-				ErrStaleConfig, clientID, reported, s.policy.Current())
+				ErrStaleConfig, clientID, reported, s.policy.Target(clientID))
 		}
 		ip := payload[1:]
 		if s.opts.Process != nil && !s.opts.Process(ip) {
@@ -288,22 +288,39 @@ func scrubProcessedTOS(ip []byte) {
 	ip[10], ip[11] = byte(sum>>8), byte(sum)
 }
 
-// BroadcastPing sends the keepalive/config-announce ping to every connected
-// client (paper Fig. 5 step 4).
+// BroadcastPing sends the keepalive/config-announce ping to every
+// connected client (paper Fig. 5 step 4). Each client is announced the
+// version *it* is required to run — its targeted version when a rollout
+// armed one, the global current otherwise — so a targeted client that
+// missed the rollout's one-shot announcement (lost datagram, VPN
+// reconnect) is re-announced by every keepalive, the same recovery
+// global updates get.
 func (s *Server) BroadcastPing(grace time.Duration) error {
-	ping := Ping{
-		SentUnixNano:  s.opts.Clock().UnixNano(),
-		ConfigVersion: s.policy.Current(),
-		GraceSeconds:  uint32(grace / time.Second),
-	}
-	payload := EncodePing(ping)
+	return s.pingClients(s.sessions.Keys(), s.policy.Target, grace)
+}
+
+// PingClients announces a specific configuration version to a subset of
+// clients — the fan-out of a targeted rollout. Unknown client IDs are
+// skipped (they may have disconnected since the target set was computed).
+func (s *Server) PingClients(clientIDs []string, version uint64, grace time.Duration) error {
+	return s.pingClients(clientIDs, func(string) uint64 { return version }, grace)
+}
+
+func (s *Server) pingClients(clientIDs []string, versionFor func(clientID string) uint64, grace time.Duration) error {
+	now := s.opts.Clock().UnixNano()
+	graceSec := uint32(grace / time.Second)
 
 	var firstErr error
-	for _, id := range s.sessions.Keys() {
+	for _, id := range clientIDs {
 		sess, ok := s.sessions.Get(id)
 		if !ok {
 			continue
 		}
+		payload := EncodePing(Ping{
+			SentUnixNano:  now,
+			ConfigVersion: versionFor(id),
+			GraceSeconds:  graceSec,
+		})
 		frame, err := sess.sess.Seal(payload)
 		if err == nil && s.opts.SendTo != nil {
 			err = s.opts.SendTo(id, frame)

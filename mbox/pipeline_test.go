@@ -1,0 +1,27 @@
+package mbox
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestLoadBalancerBounds pins that a degenerate backend count fails with
+// the typed error instead of silently compiling to a pass-through.
+func TestLoadBalancerBounds(t *testing.T) {
+	for _, n := range []int{-3, 0, 1} {
+		if _, err := Chain(LoadBalancer(n)).Config(); !errors.Is(err, ErrBadPipeline) {
+			t.Errorf("LoadBalancer(%d): err = %v, want ErrBadPipeline", n, err)
+		}
+	}
+	if cfg, err := Chain(LoadBalancer(4)).Config(); err != nil || cfg == "" {
+		t.Errorf("LoadBalancer(4): %v", err)
+	}
+}
+
+// TestQuotedCommaArgSurvives pins that commas inside quotes are legal
+// stage arguments (they do not drift across argument boundaries).
+func TestQuotedCommaArgSurvives(t *testing.T) {
+	if _, err := Chain(Stage{Class: "Counter", Args: []string{`"a,b"`}}).Config(); err != nil {
+		t.Errorf("quoted comma rejected: %v", err)
+	}
+}
