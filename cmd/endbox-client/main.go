@@ -53,6 +53,8 @@ func run() error {
 		lossDup     = flag.Float64("loss-dup", 0, "simulated duplicate probability [0,1]")
 		lossReorder = flag.Float64("loss-reorder", 0, "simulated reorder probability [0,1]")
 		lossSeed    = flag.Int64("loss-seed", 2, "seed for the deterministic loss model")
+		flowCap     = flag.Int("flow-capacity", 0, "bound on concurrently tracked flows in the enclave flow table (0 = default 16384)")
+		flowTTL     = flag.Duration("flow-ttl", 0, "flow idle timeout before expiry (0 = default 2m)")
 	)
 	flag.Parse()
 
@@ -135,6 +137,8 @@ func run() error {
 		RuleSets:      initial.RuleSets,
 		ConfigVersion: initial.Version,
 		BatchEcalls:   true,
+		FlowCapacity:  *flowCap,
+		FlowTTL:       *flowTTL,
 		FetchConfig:   func(v uint64) ([]byte, error) { return link.FetchConfig(context.Background(), v) },
 		Send:          link.SendFrame,
 		Deliver: func(ip []byte) {

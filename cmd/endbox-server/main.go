@@ -51,6 +51,8 @@ func run() error {
 		lossDup     = flag.Float64("loss-dup", 0, "simulated duplicate probability [0,1]")
 		lossReorder = flag.Float64("loss-reorder", 0, "simulated reorder probability [0,1]")
 		lossSeed    = flag.Int64("loss-seed", 1, "seed for the deterministic loss model")
+		flowCap     = flag.Int("flow-capacity", 0, "bound on concurrently tracked flows per client enclave (0 = default 16384)")
+		flowTTL     = flag.Duration("flow-ttl", 0, "flow idle timeout before expiry (0 = default 2m)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -91,6 +93,7 @@ func run() error {
 			Reorder:   *lossReorder,
 			Seed:      *lossSeed,
 		}),
+		endbox.WithFlowTable(*flowCap, *flowTTL),
 		// Demo "managed network": echo packets back to the sender,
 		// answering ICMP echo requests properly.
 		endbox.WithEchoNetwork(),

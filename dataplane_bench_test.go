@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"endbox/internal/packet"
+	"endbox/mbox"
 )
 
 // benchDeployment builds a deployment with n connected NOP clients.
@@ -79,12 +80,17 @@ func BenchmarkDataPlanePath(b *testing.B) {
 	const batchSize = 32
 	for _, clients := range []int{8, 64} {
 		for _, cfg := range []struct {
-			name    string
-			shards  int
-			batched bool
+			name      string
+			shards    int
+			batched   bool
+			conntrack bool
 		}{
-			{"monolithic", 1, false},
-			{"sharded+batched", 16, true},
+			{"monolithic", 1, false, false},
+			{"sharded+batched", 16, true, false},
+			// The stateful variant pins that adding flow tracking to the
+			// in-enclave pipeline does not add per-batch allocations to
+			// the shipped data plane.
+			{"sharded+batched+conntrack", 16, true, true},
 		} {
 			b.Run(fmt.Sprintf("%s/clients=%d", cfg.name, clients), func(b *testing.B) {
 				d, err := New(WithShards(cfg.shards))
@@ -94,8 +100,11 @@ func BenchmarkDataPlanePath(b *testing.B) {
 				defer d.Close()
 				cls := make([]*Client, clients)
 				for i := range cls {
-					cli, err := d.AddClient(context.Background(), fmt.Sprintf("hw-%d", i),
-						ClientSpec{Mode: ModeHardware, BurnCPU: true, UseCase: UseCaseNOP})
+					spec := ClientSpec{Mode: ModeHardware, BurnCPU: true, UseCase: UseCaseNOP}
+					if cfg.conntrack {
+						spec.Pipeline = mbox.Chain(mbox.ConnTrack(mbox.ConnTrackOptions{}))
+					}
+					cli, err := d.AddClient(context.Background(), fmt.Sprintf("hw-%d", i), spec)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -128,8 +128,15 @@ type Pipeline = mbox.Pipeline
 type Stage = mbox.Stage
 
 // ElementStats is one pipeline element's runtime counters — packets,
-// drops, alerts — read per client via Client.PipelineStats.
+// drops, alerts, live flow-state records — read per client via
+// Client.PipelineStats.
 type ElementStats = mbox.ElementStats
+
+// FlowStats is a snapshot of one client enclave's flow-table counters
+// (active flows, capacity, hits, expiries, evictions), read via
+// Client.FlowStats. Size the table with WithFlowTable or
+// ClientSpec.FlowCapacity/FlowTTL.
+type FlowStats = mbox.FlowStats
 
 // Rollout describes a middlebox configuration rollout: a pipeline, the
 // version it publishes as, a grace period, and a Selector choosing which

@@ -1,0 +1,239 @@
+package endbox
+
+// End-to-end tests for the stateful flow engine: connection state
+// surviving targeted rollouts on both transports, and the capacity-bound
+// behaviour under a simulated SYN flood.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"endbox/internal/netsim"
+	"endbox/internal/packet"
+	"endbox/internal/vpn"
+	"endbox/mbox"
+)
+
+var (
+	flowCli = packet.AddrFrom(10, 8, 0, 2)
+	flowSrv = packet.AddrFrom(192, 0, 2, 1)
+)
+
+func flowSeg(srcPort uint16, fromServer bool, seq, ack uint32, flags byte, payload []byte) []byte {
+	if fromServer {
+		return packet.NewTCP(flowSrv, flowCli, 80, srcPort, seq, ack, flags, payload)
+	}
+	return packet.NewTCP(flowCli, flowSrv, srcPort, 80, seq, ack, flags, payload)
+}
+
+// establish runs a full TCP handshake for cli's port srcPort through the
+// deployment: SYN out, SYN|ACK in (via the server's VPN, waiting on the
+// received channel for asynchronous transports), ACK out.
+func establish(t *testing.T, d *Deployment, cli *Client, id string, srcPort uint16, received chan struct{}) {
+	t.Helper()
+	if err := cli.SendPacket(flowSeg(srcPort, false, 100, 0, packet.TCPSyn, nil)); err != nil {
+		t.Fatalf("SYN: %v", err)
+	}
+	if err := d.Server.VPN().SendTo(id, flowSeg(srcPort, true, 300, 101, packet.TCPSyn|packet.TCPAck, nil), false); err != nil {
+		t.Fatalf("SYN|ACK: %v", err)
+	}
+	select {
+	case <-received:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SYN|ACK never reached the client")
+	}
+	if err := cli.SendPacket(flowSeg(srcPort, false, 101, 301, packet.TCPAck, nil)); err != nil {
+		t.Fatalf("ACK: %v", err)
+	}
+}
+
+// TestFlowStateSurvivesRollout is the rollout-survival acceptance test:
+// an established TCP connection tracked by a strict ConnTrack pipeline
+// keeps flowing across a targeted Deployment.Rollout, because flow state
+// lives in the instance's flow table — which hot-swaps preserve — and the
+// replacement element reclaims its predecessor's state by name. Runs over
+// both the in-process and the UDP transport.
+func TestFlowStateSurvivesRollout(t *testing.T) {
+	run := func(t *testing.T, transport Transport) {
+		ctx := context.Background()
+		received := make(chan struct{}, 16)
+		opts := []Option{
+			WithFlowTable(1024, time.Minute),
+			WithObserver(ObserverFuncs{
+				OnReceived: func(string, []byte) { received <- struct{}{} },
+			}),
+		}
+		if transport != nil {
+			opts = append(opts, WithTransport(transport))
+		}
+		d, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+
+		cli, err := d.AddClient(ctx, "ct-1", ClientSpec{
+			Mode:     ModeSimulation,
+			Pipeline: mbox.Chain(mbox.ConnTrack(mbox.ConnTrackOptions{})),
+			Labels:   map[string]string{"ring": "canary"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Strict conntrack is live: midstream data with no handshake drops.
+		if err := cli.SendPacket(flowSeg(39999, false, 5, 1, packet.TCPAck, []byte("mid"))); !errors.Is(err, vpn.ErrDropped) {
+			t.Fatalf("midstream data not dropped: %v", err)
+		}
+
+		establish(t, d, cli, "ct-1", 40000, received)
+
+		// Roll a new pipeline out to this client only; the ConnTrack stage
+		// keeps its name, so it reclaims the live connection state.
+		if _, err := d.Rollout(ctx, Rollout{
+			Version:      1,
+			GraceSeconds: 60,
+			Pipeline: mbox.Chain(
+				mbox.ConnTrack(mbox.ConnTrackOptions{}),
+				mbox.Firewall("allow all"),
+			),
+			RuleSets: CommunityRuleSets(),
+			Target:   Selector{Labels: map[string]string{"ring": "canary"}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for cli.AppliedVersion() != 1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("rollout never applied (err: %v)", cli.LastUpdateError())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		// The established connection keeps flowing through the new config...
+		if err := cli.SendPacket(flowSeg(40000, false, 101, 301, packet.TCPAck, []byte("GET /"))); err != nil {
+			t.Fatalf("established connection broken by rollout: %v", err)
+		}
+		// ...while fresh midstream flows still drop (strictness survived too).
+		if err := cli.SendPacket(flowSeg(39998, false, 5, 1, packet.TCPAck, []byte("mid"))); !errors.Is(err, vpn.ErrDropped) {
+			t.Fatalf("midstream data not dropped after rollout: %v", err)
+		}
+
+		// Management plane: the enclave's flow table reports the live state.
+		fs, err := cli.FlowStats()
+		if err != nil {
+			t.Fatalf("FlowStats: %v", err)
+		}
+		if fs.Capacity != 1024 {
+			t.Errorf("flow capacity = %d, want 1024 (WithFlowTable)", fs.Capacity)
+		}
+		if fs.Active == 0 {
+			t.Error("no active flows after an established connection")
+		}
+		stats, err := cli.PipelineStats()
+		if err != nil {
+			t.Fatalf("PipelineStats: %v", err)
+		}
+		var found bool
+		for _, es := range stats {
+			if es.Name == "ct" {
+				found = true
+				if es.Flows == 0 {
+					t.Error("ct holds no flow state after rollout (transplant lost)")
+				}
+			}
+		}
+		if !found {
+			t.Error("no pipeline stats for ct")
+		}
+	}
+
+	t.Run("inprocess", func(t *testing.T) { run(t, nil) })
+	t.Run("udp", func(t *testing.T) { run(t, NewUDPTransport("127.0.0.1:0")) })
+}
+
+// TestSYNFloodBoundedEviction pins the capacity bound under attack: a
+// seeded netsim SYN flood against a client with a small flow table must
+// never push the table past its capacity, must recycle entries by
+// evicting oldest-idle flows (the refreshed established connection
+// survives), and must behave identically across runs with the same seed.
+func TestSYNFloodBoundedEviction(t *testing.T) {
+	const (
+		capacity  = 256
+		floodPkts = 2048
+	)
+	run := func(t *testing.T) FlowStats {
+		ctx := context.Background()
+		received := make(chan struct{}, 16)
+		d, err := New(WithObserver(ObserverFuncs{
+			OnReceived: func(string, []byte) { received <- struct{}{} },
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		cli, err := d.AddClient(ctx, "victim", ClientSpec{
+			Mode:         ModeSimulation,
+			Pipeline:     mbox.Chain(mbox.ConnTrack(mbox.ConnTrackOptions{})),
+			FlowCapacity: capacity,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		establish(t, d, cli, "victim", 40000, received)
+
+		flood := netsim.NewSYNFlood(42, flowSrv, 80)
+		for i := 0; i < floodPkts; i++ {
+			if err := cli.SendPacket(flood.Next()); err != nil {
+				t.Fatalf("flood packet %d rejected: %v", i, err)
+			}
+			if i%64 == 0 {
+				// The legitimate connection stays active during the attack.
+				if err := cli.SendPacket(flowSeg(40000, false, 101, 301, packet.TCPAck, []byte("keep"))); err != nil {
+					t.Fatalf("established connection lost mid-flood at %d: %v", i, err)
+				}
+			}
+			if i%128 == 0 {
+				fs, err := cli.FlowStats()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fs.Active > capacity {
+					t.Fatalf("flow table grew past capacity: %d > %d", fs.Active, capacity)
+				}
+			}
+		}
+
+		// The attack filled the table to exactly its bound and every
+		// over-capacity insert evicted one oldest-idle flow — nothing grew.
+		fs, err := cli.FlowStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.Active != capacity {
+			t.Errorf("active = %d, want capacity %d", fs.Active, capacity)
+		}
+		if fs.Evicted == 0 || fs.Inserts-fs.Expired-fs.Evicted != fs.Active {
+			t.Errorf("flow accounting broken: %+v", fs)
+		}
+		// The established flow survived the whole flood (oldest-idle
+		// eviction spares refreshed flows).
+		if err := cli.SendPacket(flowSeg(40000, false, 101, 301, packet.TCPAck, []byte("alive"))); err != nil {
+			t.Errorf("established connection evicted by flood: %v", err)
+		}
+		return fs
+	}
+
+	a := run(t)
+	b := run(t)
+	if a != b {
+		t.Errorf("same seed, different behaviour:\n  run 1: %+v\n  run 2: %+v", a, b)
+	}
+	if testing.Verbose() {
+		fmt.Printf("flood stats: %+v\n", a)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"endbox/internal/flow"
 	"endbox/internal/packet"
 	"endbox/internal/tlstap"
 )
@@ -37,6 +38,12 @@ type Packet struct {
 	droppedBy string
 	delivered bool
 	modified  bool
+
+	// flowEntry caches the packet's flow binding (Base.TrackFlow): the
+	// flow is resolved and its counters bumped once per packet, no matter
+	// how many stateful elements the packet traverses.
+	flowEntry *flow.Entry
+	flowDir   flow.Dir
 
 	// owner is the router processing the packet; Drop reports per-element
 	// drop counts through it. Nil for packets built outside a router.
@@ -72,11 +79,20 @@ func (p *Packet) MarkModified() { p.modified = true }
 // Modified reports whether any element rewrote the packet.
 func (p *Packet) Modified() bool { return p.modified }
 
+// FlowEntry returns the packet's cached flow binding, if a stateful
+// element has tracked it (Base.TrackFlow).
+func (p *Packet) FlowEntry() (*flow.Entry, flow.Dir, bool) {
+	return p.flowEntry, p.flowDir, p.flowEntry != nil
+}
+
 // clone duplicates the packet for Tee-style fan-out. The Plaintext
 // annotation keeps its nil-ness: nil (no TLS plaintext recovered) stays
 // nil without allocating — the common case for non-TLS traffic — and an
 // empty-but-present annotation stays non-nil, so downstream DPI elements
 // make the same plaintext-vs-ciphertext decision on every branch.
+// The flow annotation is shared, not re-bound: both branches refer to the
+// same flow entry, whose per-flow counters already counted this packet
+// exactly once.
 func (p *Packet) clone() *Packet {
 	q := *p
 	q.IP = p.IP.Clone()
@@ -119,6 +135,12 @@ type Context struct {
 	// work EndBox avoids because OpenVPN owns the tunnel device, which is
 	// why EndBox hot-swaps faster (paper Table II). Nil is a no-op.
 	DeviceSetup func() error
+	// Flows is the flow-state service stateful elements (ConnTrack,
+	// FlowNAT, FlowRateLimit, StreamAssembler, and custom elements via
+	// Base.TrackFlow) attach per-flow state through. Nil gets a
+	// default-sized table; Instance keeps the same service across
+	// hot-swaps, so flow state survives configuration rollouts.
+	Flows *flow.Context
 }
 
 func (c *Context) withDefaults() *Context {
@@ -139,6 +161,9 @@ func (c *Context) withDefaults() *Context {
 	}
 	if out.Alert == nil {
 		out.Alert = func(Alert) {}
+	}
+	if out.Flows == nil {
+		out.Flows = flow.NewContext(flow.Config{Now: out.SystemTime})
 	}
 	return out
 }
@@ -181,6 +206,7 @@ type elemCounters struct {
 	packets atomic.Uint64
 	drops   atomic.Uint64
 	alerts  atomic.Uint64
+	flows   atomic.Uint64
 }
 
 // copyFrom transplants counters across a hot-swap.
@@ -188,6 +214,7 @@ func (c *elemCounters) copyFrom(old *elemCounters) {
 	c.packets.Store(old.packets.Load())
 	c.drops.Store(old.drops.Load())
 	c.alerts.Store(old.alerts.Load())
+	c.flows.Store(old.flows.Load())
 }
 
 // ElementStats is one element instance's runtime counters: packets pushed
@@ -206,6 +233,10 @@ type ElementStats struct {
 	Drops uint64
 	// Alerts counts alerts the element raised.
 	Alerts uint64
+	// Flows counts the per-flow state records the element currently
+	// holds in the flow table (stateful elements only; see
+	// Base.FlowStateCreated).
+	Flows uint64
 }
 
 // Base provides naming, output wiring and runtime counters for elements;
@@ -269,6 +300,31 @@ func (b *Base) Forward(out int, p *Packet) {
 // Name returns the element's instance name from the configuration.
 func (b *Base) Name() string { return b.name }
 
+// TrackFlow resolves the packet's flow through the given flow service,
+// caching the binding on the packet: the first stateful element in the
+// chain pays for the table lookup and counts the packet in the flow's
+// per-direction counters; every later element — and every Tee-cloned
+// branch — reuses the cached entry. The returned direction is relative to
+// the flow's initiator (flow.Fwd = same direction as the first packet).
+func (b *Base) TrackFlow(fc *flow.Context, p *Packet) (*flow.Entry, flow.Dir) {
+	if p.flowEntry != nil {
+		return p.flowEntry, p.flowDir
+	}
+	e, d := fc.Bind(packet.FlowOf(p.IP), p.IP.Len())
+	p.flowEntry = e
+	p.flowDir = d
+	return e, d
+}
+
+// FlowStateCreated counts one per-flow state record created by this
+// element (reported as ElementStats.Flows); pair it with
+// FlowStateReleased from the flow slot's release hook.
+func (b *Base) FlowStateCreated() { b.stats.flows.Add(1) }
+
+// FlowStateReleased counts one per-flow state record released back to
+// the element.
+func (b *Base) FlowStateReleased() { b.stats.flows.Add(^uint64(0)) }
+
 // StateCarrier lets stateful elements survive hot-swaps: when a new
 // configuration contains an element with the same name and class as the old
 // one, the router calls TakeState with the old instance (Click's hot-swap
@@ -301,6 +357,10 @@ func NewRegistry() Registry {
 	r["TrustedSplitter"] = func() Element { return &TrustedSplitter{} }
 	r["UntrustedSplitter"] = func() Element { return &UntrustedSplitter{} }
 	r["TLSDecrypt"] = func() Element { return &TLSDecrypt{} }
+	r["ConnTrack"] = func() Element { return &ConnTrack{} }
+	r["FlowNAT"] = func() Element { return &FlowNAT{} }
+	r["FlowRateLimit"] = func() Element { return &FlowRateLimit{} }
+	r["StreamAssembler"] = func() Element { return &StreamAssembler{} }
 	return r
 }
 

@@ -67,6 +67,12 @@ func (e *IDSMatcher) Configure(args []string, ctx *Context) error {
 	if err != nil {
 		return fmt.Errorf("IDSMatcher: %w", err)
 	}
+	if len(rules) == 0 {
+		// An empty rule set would compile into a matcher that inspects
+		// nothing — surface the misconfiguration at build time instead of
+		// silently running a NOP stage.
+		return fmt.Errorf("IDSMatcher: rule set %q contains no rules", ruleset)
+	}
 	engine, err := idps.NewEngine(rules)
 	if err != nil {
 		return fmt.Errorf("IDSMatcher: %w", err)

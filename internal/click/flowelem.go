@@ -1,0 +1,726 @@
+package click
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"endbox/internal/flow"
+	"endbox/internal/packet"
+)
+
+// This file holds the connection-tracking element classes built on the
+// flow engine (internal/flow): ConnTrack, FlowNAT, FlowRateLimit and
+// StreamAssembler. They share a pattern:
+//
+//   - Base.TrackFlow binds the packet to its flow entry (once per packet,
+//     cached on the Packet, shared across Tee clones).
+//   - Per-flow state lives in a named flow slot; the slot name includes
+//     the element's instance name, so a hot-swapped element with the same
+//     name reclaims its predecessor's live state — established
+//     connections stay established across a Rollout.
+//   - State structs are pooled per element and recovered through the
+//     slot's release hook when flows expire or are evicted, keeping the
+//     steady-state packet path allocation-free.
+
+// tcpSegment reads the TCP flags, sequence number and payload straight
+// from an IPv4 payload without allocating (packet.ParseTCP returns a
+// heap value, which the per-packet path cannot afford).
+func tcpSegment(payload []byte) (flags byte, seq uint32, data []byte, ok bool) {
+	if len(payload) < packet.TCPHeaderLen {
+		return 0, 0, nil, false
+	}
+	dataOff := int(payload[12]>>4) * 4
+	if dataOff < packet.TCPHeaderLen || dataOff > len(payload) {
+		return 0, 0, nil, false
+	}
+	return payload[13], binary.BigEndian.Uint32(payload[4:8]), payload[dataOff:], true
+}
+
+// tcpState is the conntrack connection state.
+type tcpState uint8
+
+const (
+	tcpNone tcpState = iota
+	tcpSynSent
+	tcpSynRecv
+	tcpEstablished
+	tcpFinWait
+	tcpClosing
+	tcpClosed
+	tcpStateCount // sentinel for fuzzing
+)
+
+func (s tcpState) String() string {
+	switch s {
+	case tcpNone:
+		return "none"
+	case tcpSynSent:
+		return "syn-sent"
+	case tcpSynRecv:
+		return "syn-recv"
+	case tcpEstablished:
+		return "established"
+	case tcpFinWait:
+		return "fin-wait"
+	case tcpClosing:
+		return "closing"
+	case tcpClosed:
+		return "closed"
+	}
+	return "invalid"
+}
+
+// tcpTransition advances the connection state machine for one segment
+// travelling in direction d. It returns the next state and whether the
+// segment is valid in the current state; invalid segments leave the
+// state unchanged (strict-mode ConnTrack drops them).
+func tcpTransition(s tcpState, d flow.Dir, flags byte) (tcpState, bool) {
+	if flags&packet.TCPRst != 0 {
+		if s == tcpNone {
+			return tcpNone, false
+		}
+		return tcpClosed, true
+	}
+	syn := flags&packet.TCPSyn != 0
+	ack := flags&packet.TCPAck != 0
+	fin := flags&packet.TCPFin != 0
+	switch s {
+	case tcpNone:
+		// Only an initiator SYN opens a connection; anything else is a
+		// midstream pickup.
+		if syn && !ack && d == flow.Fwd {
+			return tcpSynSent, true
+		}
+		return s, false
+	case tcpSynSent:
+		if syn && ack && d == flow.Rev {
+			return tcpSynRecv, true
+		}
+		if syn && !ack && d == flow.Fwd { // SYN retransmit
+			return tcpSynSent, true
+		}
+		return s, false
+	case tcpSynRecv:
+		if fin {
+			return tcpFinWait, true
+		}
+		if syn && ack && d == flow.Rev { // SYN|ACK retransmit
+			return tcpSynRecv, true
+		}
+		if ack && !syn && d == flow.Fwd {
+			return tcpEstablished, true
+		}
+		return s, false
+	case tcpEstablished:
+		if fin {
+			return tcpFinWait, true
+		}
+		if !syn {
+			return tcpEstablished, true
+		}
+		return s, false
+	case tcpFinWait:
+		if fin { // the second direction's FIN
+			return tcpClosing, true
+		}
+		if !syn {
+			return tcpFinWait, true
+		}
+		return s, false
+	case tcpClosing:
+		if fin { // FIN retransmit
+			return tcpClosing, true
+		}
+		if ack && !syn {
+			return tcpClosed, true
+		}
+		return s, false
+	case tcpClosed:
+		if syn && !ack && d == flow.Fwd { // connection reuse
+			return tcpSynSent, true
+		}
+		return s, false
+	}
+	return s, false
+}
+
+// ConnTrack is a stateful firewall: it tracks every flow through the
+// router's flow table and runs a TCP connection state machine per flow.
+//
+// Configuration:
+//
+//	ConnTrack()              // strict: out-of-state TCP segments are dropped
+//	ConnTrack(MODE loose)    // track and count, never drop
+//
+// In strict mode (the default) TCP segments that are invalid in the
+// connection's current state — a data segment with no preceding
+// handshake, a SYN inside an established connection, anything after a
+// final close — are dropped. Non-TCP protocols are tracked (flow
+// counters, TTL) and forwarded. Connection state survives configuration
+// hot-swaps: it lives in the router instance's flow table, not in the
+// element.
+type ConnTrack struct {
+	Base
+	flows   *flow.Context
+	slot    flow.Slot
+	strict  bool
+	pool    sync.Pool
+	invalid uint64
+}
+
+type connState struct {
+	state tcpState
+}
+
+// Class implements Element.
+func (*ConnTrack) Class() string { return "ConnTrack" }
+
+// Configure implements Element.
+func (e *ConnTrack) Configure(args []string, ctx *Context) error {
+	e.strict = true
+	for _, arg := range args {
+		key, val, _ := strings.Cut(arg, " ")
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "MODE":
+			switch val {
+			case "strict", "":
+				e.strict = true
+			case "loose":
+				e.strict = false
+			default:
+				return fmt.Errorf("ConnTrack: unknown MODE %q", val)
+			}
+		default:
+			return fmt.Errorf("ConnTrack: unknown argument %q", key)
+		}
+	}
+	e.flows = ctx.Flows
+	e.pool.New = func() any { return new(connState) }
+	slot, err := ctx.Flows.RegisterSlot("ConnTrack/"+e.Name(), func(v any) {
+		e.pool.Put(v)
+		e.FlowStateReleased()
+	})
+	if err != nil {
+		return fmt.Errorf("ConnTrack: %w", err)
+	}
+	e.slot = slot
+	return nil
+}
+
+// InPorts implements Element.
+func (*ConnTrack) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*ConnTrack) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *ConnTrack) Push(_ int, p *Packet) {
+	entry, dir := e.TrackFlow(e.flows, p)
+	if p.IP.Protocol != packet.ProtoTCP {
+		e.Forward(0, p)
+		return
+	}
+	flags, _, _, ok := tcpSegment(p.IP.Payload)
+	if !ok {
+		e.invalid++
+		if e.strict {
+			p.Drop(e.Name())
+			return
+		}
+		e.Forward(0, p)
+		return
+	}
+	st, _ := entry.Get(e.slot).(*connState)
+	if st == nil {
+		st = e.pool.Get().(*connState)
+		st.state = tcpNone
+		entry.Set(e.slot, st)
+		e.FlowStateCreated()
+	}
+	next, valid := tcpTransition(st.state, dir, flags)
+	if !valid {
+		e.invalid++
+		if e.strict {
+			p.Drop(e.Name())
+			return
+		}
+		e.Forward(0, p)
+		return
+	}
+	st.state = next
+	e.Forward(0, p)
+}
+
+// Invalid reports segments rejected by the state machine.
+func (e *ConnTrack) Invalid() uint64 { return e.invalid }
+
+// StateOf reports the tracked connection state for a 5-tuple — test and
+// diagnostic surface.
+func (e *ConnTrack) StateOf(f packet.Flow) (string, bool) {
+	entry, ok := e.flows.Lookup(f)
+	if !ok {
+		return "", false
+	}
+	st, ok := entry.Get(e.slot).(*connState)
+	if !ok {
+		return "", false
+	}
+	return st.state.String(), true
+}
+
+// FlowNAT rewrites each flow's initiator endpoint to a configured NAT
+// address with a per-flow port from a bounded range (masquerading), and
+// restores replies addressed to that NAT endpoint. Transport checksums
+// are patched incrementally (RFC 1624), never recomputed.
+//
+// Configuration:
+//
+//	FlowNAT(ADDR 198.51.100.1, PORTS 40000-40999)
+//
+// Place it before other stateful elements: replies are translated back
+// to the original 5-tuple on entry, so downstream elements (and the flow
+// table) only ever see pre-NAT flows. The port map travels across
+// hot-swaps via StateCarrier as long as the address and port range are
+// unchanged; changing either resets the bindings.
+type FlowNAT struct {
+	Base
+	flows     *flow.Context
+	slot      flow.Slot
+	natAddr   packet.Addr
+	portBase  uint16
+	portCount int
+
+	freePorts []uint16
+	portMap   map[uint16]*natState
+	pool      sync.Pool
+	exhausted uint64
+}
+
+type natState struct {
+	origAddr packet.Addr
+	origPort uint16
+	natPort  uint16
+}
+
+// Class implements Element.
+func (*FlowNAT) Class() string { return "FlowNAT" }
+
+// Configure implements Element.
+func (e *FlowNAT) Configure(args []string, ctx *Context) error {
+	e.portBase, e.portCount = 40000, 1000
+	var haveAddr bool
+	for _, arg := range args {
+		key, val, _ := strings.Cut(arg, " ")
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "ADDR":
+			addr, err := packet.ParseAddr(val)
+			if err != nil {
+				return fmt.Errorf("FlowNAT: bad ADDR %q", val)
+			}
+			e.natAddr = addr
+			haveAddr = true
+		case "PORTS":
+			lo, hi, okRange := strings.Cut(val, "-")
+			l, err1 := strconv.ParseUint(strings.TrimSpace(lo), 10, 16)
+			h, err2 := strconv.ParseUint(strings.TrimSpace(hi), 10, 16)
+			if !okRange || err1 != nil || err2 != nil || h < l || l == 0 {
+				return fmt.Errorf("FlowNAT: bad PORTS %q (want lo-hi)", val)
+			}
+			e.portBase, e.portCount = uint16(l), int(h-l)+1
+		default:
+			return fmt.Errorf("FlowNAT: unknown argument %q", key)
+		}
+	}
+	if !haveAddr {
+		return fmt.Errorf("FlowNAT: ADDR is required")
+	}
+	e.flows = ctx.Flows
+	e.pool.New = func() any { return new(natState) }
+	e.portMap = make(map[uint16]*natState, e.portCount)
+	e.freePorts = make([]uint16, 0, e.portCount)
+	for i := e.portCount - 1; i >= 0; i-- { // pop order: lowest port first
+		e.freePorts = append(e.freePorts, e.portBase+uint16(i))
+	}
+	slot, err := ctx.Flows.RegisterSlot("FlowNAT/"+e.Name(), func(v any) {
+		st := v.(*natState)
+		if _, ok := e.portMap[st.natPort]; ok {
+			delete(e.portMap, st.natPort)
+			e.freePorts = append(e.freePorts, st.natPort)
+		}
+		e.pool.Put(st)
+		e.FlowStateReleased()
+	})
+	if err != nil {
+		return fmt.Errorf("FlowNAT: %w", err)
+	}
+	e.slot = slot
+	return nil
+}
+
+// TakeState implements StateCarrier: live port bindings survive a
+// hot-swap when the NAT address and port range are unchanged.
+func (e *FlowNAT) TakeState(old Element) {
+	prev, ok := old.(*FlowNAT)
+	if !ok || prev.natAddr != e.natAddr || prev.portBase != e.portBase || prev.portCount != e.portCount {
+		return
+	}
+	e.freePorts = append(e.freePorts[:0], prev.freePorts...)
+	for port, st := range prev.portMap {
+		e.portMap[port] = st
+	}
+	e.exhausted = prev.exhausted
+}
+
+// InPorts implements Element.
+func (*FlowNAT) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*FlowNAT) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *FlowNAT) Push(_ int, p *Packet) {
+	ip := p.IP
+	if ip.Protocol != packet.ProtoTCP && ip.Protocol != packet.ProtoUDP {
+		e.TrackFlow(e.flows, p)
+		e.Forward(0, p)
+		return
+	}
+	if len(ip.Payload) < 4 {
+		e.Forward(0, p)
+		return
+	}
+	// Reply path first: restore the original endpoint before the flow
+	// lookup, so the flow table and downstream elements see pre-NAT
+	// 5-tuples only.
+	if ip.Dst == e.natAddr {
+		dstPort := binary.BigEndian.Uint16(ip.Payload[2:4])
+		if st, ok := e.portMap[dstPort]; ok {
+			e.rewrite(ip, false, st.origAddr, st.origPort)
+			p.MarkModified()
+			e.TrackFlow(e.flows, p)
+			e.Forward(0, p)
+			return
+		}
+	}
+	entry, _ := e.TrackFlow(e.flows, p)
+	st, _ := entry.Get(e.slot).(*natState)
+	if st == nil {
+		n := len(e.freePorts)
+		if n == 0 {
+			e.exhausted++
+			p.Drop(e.Name())
+			return
+		}
+		port := e.freePorts[n-1]
+		e.freePorts = e.freePorts[:n-1]
+		st = e.pool.Get().(*natState)
+		st.origAddr = ip.Src
+		st.origPort = binary.BigEndian.Uint16(ip.Payload[0:2])
+		st.natPort = port
+		e.portMap[port] = st
+		entry.Set(e.slot, st)
+		e.FlowStateCreated()
+	}
+	e.rewrite(ip, true, e.natAddr, st.natPort)
+	p.MarkModified()
+	e.Forward(0, p)
+}
+
+// rewrite replaces the packet's source (src=true) or destination
+// endpoint and patches the transport checksum incrementally. The IPv4
+// header checksum is recomputed on re-marshal (MarkModified).
+func (e *FlowNAT) rewrite(ip *packet.IPv4, src bool, addr packet.Addr, port uint16) {
+	var oldAddr packet.Addr
+	var oldPort uint16
+	if src {
+		oldAddr, ip.Src = ip.Src, addr
+		oldPort = binary.BigEndian.Uint16(ip.Payload[0:2])
+		binary.BigEndian.PutUint16(ip.Payload[0:2], port)
+	} else {
+		oldAddr, ip.Dst = ip.Dst, addr
+		oldPort = binary.BigEndian.Uint16(ip.Payload[2:4])
+		binary.BigEndian.PutUint16(ip.Payload[2:4], port)
+	}
+	var sumOff int
+	switch ip.Protocol {
+	case packet.ProtoTCP:
+		sumOff = 16
+	case packet.ProtoUDP:
+		sumOff = 6
+	}
+	if len(ip.Payload) < sumOff+2 {
+		return
+	}
+	sum := binary.BigEndian.Uint16(ip.Payload[sumOff : sumOff+2])
+	if ip.Protocol == packet.ProtoUDP && sum == 0 {
+		return // checksum disabled (RFC 768)
+	}
+	sum = packet.UpdateChecksum32(sum, oldAddr.Uint32(), addr.Uint32())
+	sum = packet.UpdateChecksum16(sum, oldPort, port)
+	binary.BigEndian.PutUint16(ip.Payload[sumOff:sumOff+2], sum)
+}
+
+// Exhausted reports packets dropped because the port range was full.
+func (e *FlowNAT) Exhausted() uint64 { return e.exhausted }
+
+// ActiveBindings reports live NAT port bindings.
+func (e *FlowNAT) ActiveBindings() int { return len(e.portMap) }
+
+// FlowRateLimit shapes each flow independently with a per-flow token
+// bucket — per-subscriber fairness instead of the aggregate bucket of
+// TrustedSplitter/UntrustedSplitter.
+//
+// Configuration:
+//
+//	FlowRateLimit(RATE 10M, BURST 65536)
+//
+// RATE is bits/s (k/M/G suffixes); BURST is the per-flow bucket capacity
+// in bytes. Non-conforming packets are dropped. Bucket levels live in the
+// flow table and therefore survive hot-swaps.
+type FlowRateLimit struct {
+	Base
+	flows   *flow.Context
+	slot    flow.Slot
+	rateBps float64 // bytes per second
+	burst   float64
+	now     func() time.Time
+	pool    sync.Pool
+	shaped  uint64
+}
+
+type rlState struct {
+	tokens float64
+	last   int64 // unix nanoseconds of the last refill
+}
+
+// Class implements Element.
+func (*FlowRateLimit) Class() string { return "FlowRateLimit" }
+
+// Configure implements Element.
+func (e *FlowRateLimit) Configure(args []string, ctx *Context) error {
+	e.rateBps = 12.5e6 // 100 Mbit/s default
+	e.burst = 256 << 10
+	for _, arg := range args {
+		key, val, _ := strings.Cut(arg, " ")
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "RATE":
+			bits, err := parseRate(val)
+			if err != nil {
+				return fmt.Errorf("FlowRateLimit: bad RATE %q", val)
+			}
+			e.rateBps = bits / 8
+		case "BURST":
+			n, err := strconv.ParseFloat(val, 64)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("FlowRateLimit: bad BURST %q", val)
+			}
+			e.burst = n
+		default:
+			return fmt.Errorf("FlowRateLimit: unknown argument %q", key)
+		}
+	}
+	e.flows = ctx.Flows
+	e.now = ctx.SystemTime
+	e.pool.New = func() any { return new(rlState) }
+	slot, err := ctx.Flows.RegisterSlot("FlowRateLimit/"+e.Name(), func(v any) {
+		e.pool.Put(v)
+		e.FlowStateReleased()
+	})
+	if err != nil {
+		return fmt.Errorf("FlowRateLimit: %w", err)
+	}
+	e.slot = slot
+	return nil
+}
+
+// InPorts implements Element.
+func (*FlowRateLimit) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*FlowRateLimit) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *FlowRateLimit) Push(_ int, p *Packet) {
+	entry, _ := e.TrackFlow(e.flows, p)
+	now := e.now().UnixNano()
+	st, _ := entry.Get(e.slot).(*rlState)
+	if st == nil {
+		st = e.pool.Get().(*rlState)
+		st.tokens = e.burst
+		st.last = now
+		entry.Set(e.slot, st)
+		e.FlowStateCreated()
+	}
+	if dt := now - st.last; dt > 0 {
+		st.tokens += float64(dt) / 1e9 * e.rateBps
+		if st.tokens > e.burst {
+			st.tokens = e.burst
+		}
+	}
+	st.last = now
+	need := float64(p.IP.Len())
+	if st.tokens < need {
+		e.shaped++
+		p.Drop(e.Name())
+		return
+	}
+	st.tokens -= need
+	e.Forward(0, p)
+}
+
+// Shaped reports packets dropped for exceeding their flow's rate.
+func (e *FlowRateLimit) Shaped() uint64 { return e.shaped }
+
+// StreamAssembler reassembles each TCP direction's in-order byte stream
+// across packet boundaries and publishes it as the packet's Plaintext
+// annotation, so a downstream IDSMatcher matches signatures that span
+// segments — the cross-packet evasion the paper's per-packet IDS misses.
+//
+// Configuration:
+//
+//	StreamAssembler(WINDOW 8192)
+//
+// WINDOW bounds the bytes buffered per direction per flow; the newest
+// bytes win when it overflows. Out-of-order segments reset the window to
+// the new segment (no retransmission queue — this is IDS-grade
+// reassembly, not a TCP implementation).
+type StreamAssembler struct {
+	Base
+	flows  *flow.Context
+	slot   flow.Slot
+	window int
+	pool   sync.Pool
+	gaps   uint64
+}
+
+type streamDir struct {
+	expected uint32
+	buf      []byte
+	started  bool
+}
+
+type streamState struct {
+	dirs [2]streamDir
+}
+
+// Class implements Element.
+func (*StreamAssembler) Class() string { return "StreamAssembler" }
+
+// Configure implements Element.
+func (e *StreamAssembler) Configure(args []string, ctx *Context) error {
+	e.window = 8192
+	for _, arg := range args {
+		key, val, _ := strings.Cut(arg, " ")
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "WINDOW":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("StreamAssembler: bad WINDOW %q", val)
+			}
+			e.window = n
+		default:
+			return fmt.Errorf("StreamAssembler: unknown argument %q", key)
+		}
+	}
+	e.flows = ctx.Flows
+	window := e.window
+	e.pool.New = func() any {
+		return &streamState{dirs: [2]streamDir{
+			{buf: make([]byte, 0, window)},
+			{buf: make([]byte, 0, window)},
+		}}
+	}
+	slot, err := ctx.Flows.RegisterSlot("StreamAssembler/"+e.Name(), func(v any) {
+		st := v.(*streamState)
+		for i := range st.dirs {
+			st.dirs[i].buf = st.dirs[i].buf[:0]
+			st.dirs[i].started = false
+		}
+		e.pool.Put(st)
+		e.FlowStateReleased()
+	})
+	if err != nil {
+		return fmt.Errorf("StreamAssembler: %w", err)
+	}
+	e.slot = slot
+	return nil
+}
+
+// InPorts implements Element.
+func (*StreamAssembler) InPorts() int { return AnyPorts }
+
+// OutPorts implements Element.
+func (*StreamAssembler) OutPorts() int { return 1 }
+
+// Push implements Element.
+func (e *StreamAssembler) Push(_ int, p *Packet) {
+	if p.IP.Protocol != packet.ProtoTCP {
+		e.Forward(0, p)
+		return
+	}
+	flags, seq, data, ok := tcpSegment(p.IP.Payload)
+	if !ok {
+		e.Forward(0, p)
+		return
+	}
+	entry, dir := e.TrackFlow(e.flows, p)
+	st, _ := entry.Get(e.slot).(*streamState)
+	if st == nil {
+		st = e.pool.Get().(*streamState)
+		entry.Set(e.slot, st)
+		e.FlowStateCreated()
+	}
+	d := &st.dirs[dir]
+	if flags&packet.TCPSyn != 0 {
+		d.expected = seq + 1 // SYN occupies one sequence number
+		d.buf = d.buf[:0]
+		d.started = true
+	}
+	if len(data) > 0 {
+		switch {
+		case !d.started:
+			d.started = true
+			d.expected = seq
+			fallthrough
+		case seq == d.expected:
+			d.append(data, e.window)
+			d.expected = seq + uint32(len(data))
+		default:
+			// Gap or retransmission: restart the window at this segment.
+			e.gaps++
+			d.buf = d.buf[:0]
+			d.append(data, e.window)
+			d.expected = seq + uint32(len(data))
+		}
+		if len(d.buf) > 0 {
+			p.Plaintext = d.buf
+		}
+	}
+	e.Forward(0, p)
+}
+
+// append adds data to the direction's window, keeping the newest bytes
+// when the window overflows. It never grows buf past its initial
+// capacity, so the packet path stays allocation-free.
+func (d *streamDir) append(data []byte, window int) {
+	if len(data) >= window {
+		d.buf = append(d.buf[:0], data[len(data)-window:]...)
+		return
+	}
+	if over := len(d.buf) + len(data) - window; over > 0 {
+		n := copy(d.buf, d.buf[over:])
+		d.buf = d.buf[:n]
+	}
+	d.buf = append(d.buf, data...)
+}
+
+// Gaps reports segments that arrived out of order and reset the window.
+func (e *StreamAssembler) Gaps() uint64 { return e.gaps }

@@ -1,0 +1,538 @@
+package click
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"endbox/internal/flow"
+	"endbox/internal/packet"
+)
+
+// flowTCP builds a parsed TCP packet for an arbitrary 5-tuple, unlike the
+// fixed-endpoint helpers in router_test.go — conntrack tests need both
+// directions of a connection.
+func flowTCP(t *testing.T, src, dst string, sp, dp uint16, seq, ack uint32, flags byte, payload []byte) *packet.IPv4 {
+	t.Helper()
+	raw := packet.NewTCP(packet.MustParseAddr(src), packet.MustParseAddr(dst),
+		sp, dp, seq, ack, flags, payload)
+	ip, err := packet.ParseIPv4(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ip
+}
+
+// handshake runs the three-way handshake for 10.8.0.2:40000 -> 10.8.0.1:80
+// through the instance, failing the test if any segment is dropped.
+func handshake(t *testing.T, inst *Instance) {
+	t.Helper()
+	segs := []*packet.IPv4{
+		flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 100, 0, packet.TCPSyn, nil),
+		flowTCP(t, "10.8.0.1", "10.8.0.2", 80, 40000, 300, 101, packet.TCPSyn|packet.TCPAck, nil),
+		flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 101, 301, packet.TCPAck, nil),
+	}
+	for i, ip := range segs {
+		if res := inst.Process(ip); !res.Accepted {
+			t.Fatalf("handshake segment %d dropped by %s", i, res.DroppedBy)
+		}
+	}
+}
+
+func clientFlow() packet.Flow {
+	return packet.Flow{
+		Src: packet.MustParseAddr("10.8.0.2"), Dst: packet.MustParseAddr("10.8.0.1"),
+		SrcPort: 40000, DstPort: 80, Protocol: packet.ProtoTCP,
+	}
+}
+
+func TestConnTrackHandshakeEstablishes(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t, "FromDevice -> ct :: ConnTrack -> ToDevice;", ctx)
+	handshake(t, inst)
+
+	ct, _ := inst.Element("ct")
+	state, ok := ct.(*ConnTrack).StateOf(clientFlow())
+	if !ok || state != "established" {
+		t.Fatalf("state after handshake = %q (%v), want established", state, ok)
+	}
+
+	// Data both ways inside the connection is valid.
+	data := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 101, 301, packet.TCPAck, []byte("GET /"))
+	if res := inst.Process(data); !res.Accepted {
+		t.Fatalf("in-connection data dropped by %s", res.DroppedBy)
+	}
+	reply := flowTCP(t, "10.8.0.1", "10.8.0.2", 80, 40000, 301, 106, packet.TCPAck, []byte("200"))
+	if res := inst.Process(reply); !res.Accepted {
+		t.Fatalf("in-connection reply dropped by %s", res.DroppedBy)
+	}
+	if ct.(*ConnTrack).Invalid() != 0 {
+		t.Errorf("valid traffic counted as invalid: %d", ct.(*ConnTrack).Invalid())
+	}
+}
+
+func TestConnTrackStrictDropsMidstream(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t, "FromDevice -> ct :: ConnTrack -> ToDevice;", ctx)
+
+	// A data segment with no preceding handshake is a midstream pickup.
+	data := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 500, 1, packet.TCPAck, []byte("sneak"))
+	if res := inst.Process(data); res.Accepted {
+		t.Fatal("strict conntrack accepted midstream data")
+	} else if res.DroppedBy != "ct" {
+		t.Fatalf("dropped by %s, want ct", res.DroppedBy)
+	}
+
+	// A SYN|ACK from the responder side without an initiator SYN is invalid.
+	synack := flowTCP(t, "10.8.0.1", "10.8.0.2", 80, 40000, 1, 1, packet.TCPSyn|packet.TCPAck, nil)
+	if res := inst.Process(synack); res.Accepted {
+		t.Fatal("strict conntrack accepted unsolicited SYN|ACK")
+	}
+
+	ct, _ := inst.Element("ct")
+	if got := ct.(*ConnTrack).Invalid(); got != 2 {
+		t.Errorf("invalid = %d, want 2", got)
+	}
+}
+
+func TestConnTrackLooseForwardsInvalid(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t, "FromDevice -> ct :: ConnTrack(MODE loose) -> ToDevice;", ctx)
+	data := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 500, 1, packet.TCPAck, []byte("x"))
+	if res := inst.Process(data); !res.Accepted {
+		t.Fatalf("loose conntrack dropped: %s", res.DroppedBy)
+	}
+	ct, _ := inst.Element("ct")
+	if ct.(*ConnTrack).Invalid() != 1 {
+		t.Error("loose mode did not count the invalid segment")
+	}
+}
+
+func TestConnTrackCloseAndReuse(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t, "FromDevice -> ct :: ConnTrack -> ToDevice;", ctx)
+	handshake(t, inst)
+	ct, _ := inst.Element("ct")
+	tracker := ct.(*ConnTrack)
+
+	steps := []struct {
+		src, dst string
+		sp, dp   uint16
+		flags    byte
+		state    string
+	}{
+		{"10.8.0.2", "10.8.0.1", 40000, 80, packet.TCPFin | packet.TCPAck, "fin-wait"},
+		{"10.8.0.1", "10.8.0.2", 80, 40000, packet.TCPFin | packet.TCPAck, "closing"},
+		{"10.8.0.2", "10.8.0.1", 40000, 80, packet.TCPAck, "closed"},
+	}
+	for _, s := range steps {
+		ip := flowTCP(t, s.src, s.dst, s.sp, s.dp, 200, 200, s.flags, nil)
+		if res := inst.Process(ip); !res.Accepted {
+			t.Fatalf("close segment (%s) dropped by %s", s.state, res.DroppedBy)
+		}
+		if got, _ := tracker.StateOf(clientFlow()); got != s.state {
+			t.Fatalf("state = %q, want %q", got, s.state)
+		}
+	}
+
+	// A fresh initiator SYN on the closed 5-tuple starts a new connection.
+	syn := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 9000, 0, packet.TCPSyn, nil)
+	if res := inst.Process(syn); !res.Accepted {
+		t.Fatalf("connection-reuse SYN dropped by %s", res.DroppedBy)
+	}
+	if got, _ := tracker.StateOf(clientFlow()); got != "syn-sent" {
+		t.Errorf("state after reuse SYN = %q, want syn-sent", got)
+	}
+}
+
+func TestConnTrackRSTCloses(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t, "FromDevice -> ct :: ConnTrack -> ToDevice;", ctx)
+	handshake(t, inst)
+	rst := flowTCP(t, "10.8.0.1", "10.8.0.2", 80, 40000, 301, 0, packet.TCPRst, nil)
+	if res := inst.Process(rst); !res.Accepted {
+		t.Fatalf("RST dropped by %s", res.DroppedBy)
+	}
+	ct, _ := inst.Element("ct")
+	if got, _ := ct.(*ConnTrack).StateOf(clientFlow()); got != "closed" {
+		t.Errorf("state after RST = %q, want closed", got)
+	}
+	// Data after the RST is invalid.
+	data := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 101, 301, packet.TCPAck, []byte("late"))
+	if res := inst.Process(data); res.Accepted {
+		t.Error("data accepted after RST closed the connection")
+	}
+}
+
+// TestConnTrackStateSurvivesSwap is the rollout-survival contract at the
+// element level: an established connection stays established across a
+// configuration hot-swap because connection state lives in the instance's
+// flow table, which Swap preserves, and the replacement element reclaims
+// its predecessor's flow slot by name.
+func TestConnTrackStateSurvivesSwap(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t, "FromDevice -> ct :: ConnTrack -> ToDevice;", ctx)
+	handshake(t, inst)
+
+	// Swap to a config that still carries the ConnTrack (same name) but
+	// adds a counter stage — the shape of a targeted rollout.
+	if _, err := inst.Swap("FromDevice -> ct :: ConnTrack -> c :: Counter -> ToDevice;"); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+
+	// Midstream data on the established connection must still flow; on a
+	// fresh table strict conntrack would drop it (see
+	// TestConnTrackStrictDropsMidstream).
+	data := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 101, 301, packet.TCPAck, []byte("GET /"))
+	if res := inst.Process(data); !res.Accepted {
+		t.Fatalf("established connection broken by swap: dropped by %s", res.DroppedBy)
+	}
+	ct, _ := inst.Element("ct")
+	if got, _ := ct.(*ConnTrack).StateOf(clientFlow()); got != "established" {
+		t.Errorf("state after swap = %q, want established", got)
+	}
+
+	// The per-element flow-state gauge transplants with the swap.
+	var found bool
+	for _, st := range inst.Stats() {
+		if st.Name == "ct" {
+			found = true
+			if st.Flows != 1 {
+				t.Errorf("ct Flows = %d after swap, want 1", st.Flows)
+			}
+		}
+	}
+	if !found {
+		t.Error("no stats row for ct after swap")
+	}
+}
+
+// TestTeeClonesShareFlowEntry pins the Packet.clone contract: a Tee clone
+// carries the original's flow-entry annotation, so stateful elements on
+// both branches bind the same entry and the flow's counters count each
+// packet once, not once per branch.
+func TestTeeClonesShareFlowEntry(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t, `
+FromDevice -> ct :: ConnTrack(MODE loose) -> tee :: Tee;
+tee[0] -> main :: FlowRateLimit -> ToDevice;
+tee[1] -> tap :: FlowRateLimit -> Discard;
+`, ctx)
+	const n = 3
+	for i := 0; i < n; i++ {
+		if res := inst.Process(testUDP(t, "dup")); !res.Accepted {
+			t.Fatalf("packet %d dropped by %s", i, res.DroppedBy)
+		}
+	}
+	f := packet.Flow{
+		Src: packet.MustParseAddr("10.8.0.2"), Dst: packet.MustParseAddr("10.8.0.1"),
+		SrcPort: 40000, DstPort: 5201, Protocol: packet.ProtoUDP,
+	}
+	entry, ok := inst.Flows().Lookup(f)
+	if !ok {
+		t.Fatal("flow not tracked")
+	}
+	if got := entry.Packets(flow.Fwd); got != n {
+		t.Errorf("flow packet count = %d, want %d (clones must not double-count)", got, n)
+	}
+	// Both branches' elements resolved the binding from the packet
+	// annotation: one table lookup per packet, not one per branch.
+	if s := inst.FlowStats(); s.Lookups != n {
+		t.Errorf("table lookups = %d, want %d", s.Lookups, n)
+	}
+}
+
+func TestFlowNATRewritesAndRestores(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t,
+		"FromDevice -> nat :: FlowNAT(ADDR 198.51.100.1, PORTS 41000-41009) -> ToDevice;", ctx)
+
+	// Egress: the initiator's endpoint is masqueraded.
+	out := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 100, 0, packet.TCPSyn, nil)
+	fillTCPChecksum(t, out)
+	if res := inst.Process(out); !res.Accepted {
+		t.Fatalf("egress dropped by %s", res.DroppedBy)
+	}
+	if out.Src != packet.MustParseAddr("198.51.100.1") {
+		t.Fatalf("src not rewritten: %v", out.Src)
+	}
+	natPort := binary.BigEndian.Uint16(out.Payload[0:2])
+	if natPort != 41000 {
+		t.Fatalf("nat port = %d, want 41000 (lowest first, deterministic)", natPort)
+	}
+	if !tcpChecksumValid(out) {
+		t.Error("egress transport checksum invalid after incremental update")
+	}
+
+	// Reply to the NAT endpoint: restored to the original 5-tuple.
+	in := flowTCP(t, "10.8.0.1", "198.51.100.1", 80, natPort, 300, 101, packet.TCPSyn|packet.TCPAck, nil)
+	fillTCPChecksum(t, in)
+	if res := inst.Process(in); !res.Accepted {
+		t.Fatalf("reply dropped by %s", res.DroppedBy)
+	}
+	if in.Dst != packet.MustParseAddr("10.8.0.2") {
+		t.Fatalf("reply dst not restored: %v", in.Dst)
+	}
+	if got := binary.BigEndian.Uint16(in.Payload[2:4]); got != 40000 {
+		t.Fatalf("reply dst port = %d, want 40000", got)
+	}
+	if !tcpChecksumValid(in) {
+		t.Error("reply transport checksum invalid after incremental update")
+	}
+
+	// The flow table saw only the pre-NAT tuple, both directions.
+	entry, ok := inst.Flows().Lookup(clientFlow())
+	if !ok {
+		t.Fatal("pre-NAT flow not in table")
+	}
+	if entry.Packets(0) != 1 || entry.Packets(1) != 1 {
+		t.Errorf("flow counters = %d/%d, want 1/1", entry.Packets(0), entry.Packets(1))
+	}
+
+	// The same flow keeps its port on subsequent packets.
+	again := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 101, 301, packet.TCPAck, nil)
+	inst.Process(again)
+	if got := binary.BigEndian.Uint16(again.Payload[0:2]); got != natPort {
+		t.Errorf("port binding unstable: %d then %d", natPort, got)
+	}
+	nat, _ := inst.Element("nat")
+	if got := nat.(*FlowNAT).ActiveBindings(); got != 1 {
+		t.Errorf("active bindings = %d, want 1", got)
+	}
+}
+
+func TestFlowNATPortExhaustion(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t,
+		"FromDevice -> nat :: FlowNAT(ADDR 198.51.100.1, PORTS 41000-41001) -> ToDevice;", ctx)
+	for i := 0; i < 2; i++ {
+		ip := flowTCP(t, "10.8.0.2", "10.8.0.1", uint16(40000+i), 80, 1, 0, packet.TCPSyn, nil)
+		if res := inst.Process(ip); !res.Accepted {
+			t.Fatalf("flow %d dropped by %s", i, res.DroppedBy)
+		}
+	}
+	ip := flowTCP(t, "10.8.0.2", "10.8.0.1", 40002, 80, 1, 0, packet.TCPSyn, nil)
+	if res := inst.Process(ip); res.Accepted {
+		t.Fatal("packet accepted past port-range exhaustion")
+	}
+	nat, _ := inst.Element("nat")
+	if nat.(*FlowNAT).Exhausted() != 1 {
+		t.Error("exhaustion not counted")
+	}
+}
+
+func TestFlowNATBindingsSurviveSwap(t *testing.T) {
+	cfg := "FromDevice -> nat :: FlowNAT(ADDR 198.51.100.1, PORTS 41000-41009) -> ToDevice;"
+	ctx, _ := testContext(t)
+	inst := mustInstance(t, cfg, ctx)
+
+	out := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 100, 0, packet.TCPSyn, nil)
+	inst.Process(out)
+	natPort := binary.BigEndian.Uint16(out.Payload[0:2])
+
+	if _, err := inst.Swap(cfg); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	nat, _ := inst.Element("nat")
+	if got := nat.(*FlowNAT).ActiveBindings(); got != 1 {
+		t.Fatalf("bindings after same-config swap = %d, want 1", got)
+	}
+	// Replies still route through the carried-over binding.
+	in := flowTCP(t, "10.8.0.1", "198.51.100.1", 80, natPort, 300, 101, packet.TCPSyn|packet.TCPAck, nil)
+	if res := inst.Process(in); !res.Accepted {
+		t.Fatalf("reply dropped after swap by %s", res.DroppedBy)
+	}
+	if in.Dst != packet.MustParseAddr("10.8.0.2") {
+		t.Error("reply not restored after swap")
+	}
+
+	// Changing the port range resets bindings (old ports may not exist).
+	if _, err := inst.Swap("FromDevice -> nat :: FlowNAT(ADDR 198.51.100.1, PORTS 42000-42009) -> ToDevice;"); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	nat, _ = inst.Element("nat")
+	if got := nat.(*FlowNAT).ActiveBindings(); got != 0 {
+		t.Errorf("bindings survived a range change: %d", got)
+	}
+}
+
+// fillTCPChecksum gives a built TCP packet a valid transport checksum
+// (packet.NewTCP leaves it zero), so incremental-update tests start from
+// a verifiable state.
+func fillTCPChecksum(t *testing.T, ip *packet.IPv4) {
+	t.Helper()
+	ip.Payload[16], ip.Payload[17] = 0, 0
+	binary.BigEndian.PutUint16(ip.Payload[16:18], pseudoChecksum(ip))
+}
+
+// tcpChecksumValid verifies the transport checksum against the
+// pseudo-header, from scratch — the ground truth the incremental RFC 1624
+// updates must agree with.
+func tcpChecksumValid(ip *packet.IPv4) bool {
+	return pseudoChecksum(ip) == 0
+}
+
+func pseudoChecksum(ip *packet.IPv4) uint16 {
+	buf := make([]byte, 12+len(ip.Payload))
+	binary.BigEndian.PutUint32(buf[0:4], ip.Src.Uint32())
+	binary.BigEndian.PutUint32(buf[4:8], ip.Dst.Uint32())
+	buf[9] = ip.Protocol
+	binary.BigEndian.PutUint16(buf[10:12], uint16(len(ip.Payload)))
+	copy(buf[12:], ip.Payload)
+	return packet.Checksum(buf)
+}
+
+func TestFlowRateLimitShapesPerFlow(t *testing.T) {
+	clk := time.Unix(1_700_000_000, 0)
+	ctx, _ := testContext(t)
+	ctx.SystemTime = func() time.Time { return clk }
+	// RATE 8k bits/s = 1000 bytes/s; BURST 2000 bytes.
+	inst := mustInstance(t, "FromDevice -> shaper :: FlowRateLimit(RATE 8k, BURST 2000) -> ToDevice;", ctx)
+
+	mk := func(srcPort uint16) *packet.IPv4 {
+		// 20 IP + 8 UDP + 972 payload = 1000 bytes on the wire.
+		raw := packet.NewUDP(packet.MustParseAddr("10.8.0.2"), packet.MustParseAddr("10.8.0.1"),
+			srcPort, 5201, []byte(strings.Repeat("x", 972)))
+		ip, err := packet.ParseIPv4(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ip
+	}
+
+	// The burst admits two packets; the third exceeds the flow's bucket.
+	for i := 0; i < 2; i++ {
+		if res := inst.Process(mk(40000)); !res.Accepted {
+			t.Fatalf("in-burst packet %d dropped by %s", i, res.DroppedBy)
+		}
+	}
+	if res := inst.Process(mk(40000)); res.Accepted {
+		t.Fatal("packet accepted past the flow's burst")
+	}
+	// A different flow has its own bucket.
+	if res := inst.Process(mk(40001)); !res.Accepted {
+		t.Fatalf("independent flow shaped by %s", res.DroppedBy)
+	}
+	// One second refills 1000 bytes — one more packet.
+	clk = clk.Add(time.Second)
+	if res := inst.Process(mk(40000)); !res.Accepted {
+		t.Fatalf("post-refill packet dropped by %s", res.DroppedBy)
+	}
+	if res := inst.Process(mk(40000)); res.Accepted {
+		t.Fatal("refill admitted more than rate × time")
+	}
+	shaper, _ := inst.Element("shaper")
+	if got := shaper.(*FlowRateLimit).Shaped(); got != 2 {
+		t.Errorf("shaped = %d, want 2", got)
+	}
+}
+
+// TestStreamAssemblerCrossPacketIDS is the paper-motivating case for
+// reassembly: a signature split across two TCP segments, invisible to
+// per-packet matching, is caught when the assembler publishes the joined
+// stream as the packet's plaintext annotation.
+func TestStreamAssemblerCrossPacketIDS(t *testing.T) {
+	ctx, alerts := testContext(t)
+	inst := mustInstance(t,
+		"FromDevice -> stream :: StreamAssembler -> ids :: IDSMatcher(RULESET strict, MODE enforce) -> ToDevice;", ctx)
+
+	syn := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 100, 0, packet.TCPSyn, nil)
+	if res := inst.Process(syn); !res.Accepted {
+		t.Fatalf("SYN dropped by %s", res.DroppedBy)
+	}
+	// "X-Worm" split across segments: neither half matches alone.
+	seg1 := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 101, 0, packet.TCPAck, []byte("AAAX-Wo"))
+	if res := inst.Process(seg1); !res.Accepted {
+		t.Fatalf("benign prefix dropped by %s", res.DroppedBy)
+	}
+	seg2 := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 108, 0, packet.TCPAck, []byte("rm!"))
+	res := inst.Process(seg2)
+	if res.Accepted {
+		t.Fatal("cross-packet signature not detected")
+	}
+	if res.DroppedBy != "ids" {
+		t.Fatalf("dropped by %s, want ids", res.DroppedBy)
+	}
+	if len(*alerts) == 0 {
+		t.Error("no alert raised for the reassembled match")
+	}
+
+	// An out-of-order jump resets the window (counted as a gap) instead
+	// of matching stale bytes.
+	far := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 5000, 0, packet.TCPAck, []byte("rm!"))
+	if res := inst.Process(far); !res.Accepted {
+		t.Fatalf("post-gap segment dropped by %s", res.DroppedBy)
+	}
+	stream, _ := inst.Element("stream")
+	if stream.(*StreamAssembler).Gaps() != 1 {
+		t.Errorf("gaps = %d, want 1", stream.(*StreamAssembler).Gaps())
+	}
+}
+
+// TestEmptyRuleSetRejected pins the fix for silently-accepting rule sets:
+// a rule set name that resolves to text containing no rules must fail at
+// build time, not compile into a matcher that inspects nothing.
+func TestEmptyRuleSetRejected(t *testing.T) {
+	ctx, _ := testContext(t)
+	ctx.RuleSet = func(name string) (string, error) {
+		switch name {
+		case "empty":
+			return "", nil
+		case "comments":
+			return "# only comments\n\n# no rules\n", nil
+		}
+		return "", fmt.Errorf("unknown rule set %q", name)
+	}
+	for _, name := range []string{"empty", "comments"} {
+		cfg := "FromDevice -> IDSMatcher(RULESET " + name + ") -> ToDevice;"
+		if _, err := NewInstance(cfg, nil, ctx); err == nil {
+			t.Errorf("rule set %q with no rules accepted", name)
+		}
+	}
+}
+
+// TestCompileRejectsEmptyRuleSet covers the same contract at the typed
+// pipeline layer used by the public mbox API.
+func TestCompileRejectsEmptyRuleSet(t *testing.T) {
+	p := Chain(Stage{Name: "ids", Class: "IDSMatcher", Args: []string{"RULESET empty"}})
+	_, err := p.Compile(nil, map[string]string{"empty": ""})
+	if err == nil {
+		t.Fatal("Compile accepted an empty rule set")
+	}
+	if !errors.Is(err, ErrBadPipeline) {
+		t.Errorf("error not ErrBadPipeline: %v", err)
+	}
+}
+
+// FuzzTCPTransition drives the conntrack state machine with arbitrary
+// segment sequences: the state must stay inside the defined range, and a
+// fresh connection must only ever open on an initiator SYN.
+func FuzzTCPTransition(f *testing.F) {
+	f.Add([]byte{0x02, 0x12, 0x10})       // handshake (flags only, alternating dir)
+	f.Add([]byte{0x10, 0x04, 0x02})       // midstream ACK, RST, SYN
+	f.Add([]byte{0x01, 0x11, 0x10, 0x02}) // FIN close then reuse
+	f.Fuzz(func(t *testing.T, seq []byte) {
+		st := tcpNone
+		for i, b := range seq {
+			d := flow.Dir(i & 1) // alternate directions
+			next, valid := tcpTransition(st, d, b&0x3f)
+			if next >= tcpStateCount {
+				t.Fatalf("state %d out of range (from %v, flags %#x)", next, st, b)
+			}
+			if !valid && next != st {
+				t.Fatalf("invalid segment changed state %v -> %v", st, next)
+			}
+			if st == tcpNone && next != tcpNone {
+				syn := b&packet.TCPSyn != 0
+				ack := b&packet.TCPAck != 0
+				if !(syn && !ack && d == flow.Fwd) {
+					t.Fatalf("connection opened by flags %#x dir %v", b, d)
+				}
+			}
+			st = next
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"endbox/internal/flow"
 	"endbox/internal/packet"
 )
 
@@ -204,6 +205,7 @@ func (r *Router) Stats() []ElementStats {
 			Packets: c.packets.Load(),
 			Drops:   c.drops.Load(),
 			Alerts:  c.alerts.Load(),
+			Flows:   c.flows.Load(),
 		})
 	}
 	return out
@@ -248,6 +250,11 @@ func NewInstance(config string, reg Resolver, ctx *Context) (*Instance, error) {
 	if reg == nil {
 		reg = DefaultRegistry
 	}
+	// Normalise the context once and keep the normalised copy: services
+	// that withDefaults creates (notably the flow-state table) must be
+	// the same objects across every Swap, or per-flow state would silently
+	// reset on each configuration rollout.
+	ctx = ctx.withDefaults()
 	g, err := ParseConfig(config)
 	if err != nil {
 		return nil, err
@@ -290,6 +297,13 @@ func (i *Instance) Stats() []ElementStats {
 	defer i.mu.Unlock()
 	return i.router.Stats()
 }
+
+// Flows returns the instance's flow-state service — the one shared by
+// every configuration this instance ever runs (state survives Swap).
+func (i *Instance) Flows() *flow.Context { return i.ctx.Flows }
+
+// FlowStats snapshots the instance's flow-table counters.
+func (i *Instance) FlowStats() flow.Stats { return i.ctx.Flows.Stats() }
 
 // Swap hot-swaps to a new configuration, transplanting state from same-name
 // same-class elements, and returns the time the swap took (Table II's

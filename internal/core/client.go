@@ -10,6 +10,7 @@ import (
 
 	"endbox/internal/attest"
 	"endbox/internal/click"
+	"endbox/internal/flow"
 	"endbox/internal/packet"
 	"endbox/internal/sgx"
 	"endbox/internal/tlstap"
@@ -56,6 +57,13 @@ type ClientOptions struct {
 	MinTLS uint16
 	// FlagClientToClient enables the 0xeb QoS optimisation (paper §IV-A).
 	FlagClientToClient bool
+	// FlowCapacity bounds the enclave flow table (concurrent tracked
+	// flows); 0 selects the default (16384). Past the bound, the
+	// oldest-idle flow is evicted deterministically.
+	FlowCapacity int
+	// FlowTTL is how long a flow may stay idle before expiring; 0 selects
+	// the default (2 minutes).
+	FlowTTL time.Duration
 	// BatchEcalls selects the optimised single-ecall-per-packet data path
 	// (true, EndBox's design) or the naive multi-ecall path used by the
 	// §V-G(1) ablation (false).
@@ -212,12 +220,14 @@ func NewClient(opts ClientOptions) (*Client, error) {
 
 	// Install the middlebox inside the enclave.
 	if _, err := encl.Ecall(ecallInitClick, initClickArg{
-		clickConfig: opts.ClickConfig,
-		ruleSets:    opts.RuleSets,
-		version:     opts.ConfigVersion,
-		flagC2C:     opts.FlagClientToClient,
-		mode:        opts.WireMode,
-		minTLS:      opts.MinTLS,
+		clickConfig:  opts.ClickConfig,
+		ruleSets:     opts.RuleSets,
+		version:      opts.ConfigVersion,
+		flagC2C:      opts.FlagClientToClient,
+		mode:         opts.WireMode,
+		minTLS:       opts.MinTLS,
+		flowCapacity: opts.FlowCapacity,
+		flowTTL:      opts.FlowTTL,
 	}); err != nil {
 		encl.Destroy()
 		return nil, err
@@ -434,6 +444,18 @@ func (c *Client) PipelineStats() ([]click.ElementStats, error) {
 		return nil, err
 	}
 	return res.([]click.ElementStats), nil
+}
+
+// FlowStats snapshots the enclave flow table's counters: active flows,
+// capacity, lookup/hit/insert totals, and how many flows the TTL wheel
+// expired or capacity pressure evicted. The table is shared by every
+// stateful element and survives configuration hot-swaps.
+func (c *Client) FlowStats() (flow.Stats, error) {
+	res, err := c.enclave.Ecall(ecallFlowStats, nil)
+	if err != nil {
+		return flow.Stats{}, err
+	}
+	return res.(flow.Stats), nil
 }
 
 // AppliedVersion reports the active middlebox configuration version.

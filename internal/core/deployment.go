@@ -70,6 +70,13 @@ type DeploymentOptions struct {
 	// (drop/duplicate/reorder) when the transport supports it — the
 	// loss-tolerance testing seam. The zero value impairs nothing.
 	LossProfile LossProfile
+	// FlowCapacity bounds every client enclave's flow table (concurrent
+	// tracked flows); 0 selects the default (16384). ClientSpec can
+	// override per client.
+	FlowCapacity int
+	// FlowTTL is the flow idle timeout; 0 selects the default (2
+	// minutes). ClientSpec can override per client.
+	FlowTTL time.Duration
 }
 
 // ClientSpec configures one client joining a deployment. Data-path events
@@ -111,6 +118,12 @@ type ClientSpec struct {
 	FlagClientToClient bool
 	// NaiveEcalls selects the multi-ecall ablation data path.
 	NaiveEcalls bool
+	// FlowCapacity overrides the deployment's flow-table bound for this
+	// client (0 inherits DeploymentOptions.FlowCapacity).
+	FlowCapacity int
+	// FlowTTL overrides the deployment's flow idle timeout for this
+	// client (0 inherits DeploymentOptions.FlowTTL).
+	FlowTTL time.Duration
 }
 
 // ErrBadPipeline is the typed error AddClient and Rollout return for
@@ -469,6 +482,15 @@ func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string
 		return nil, err
 	}
 
+	flowCapacity := spec.FlowCapacity
+	if flowCapacity == 0 {
+		flowCapacity = d.opts.FlowCapacity
+	}
+	flowTTL := spec.FlowTTL
+	if flowTTL == 0 {
+		flowTTL = d.opts.FlowTTL
+	}
+
 	obs := d.observe()
 	return NewClient(ClientOptions{
 		ID:             id,
@@ -486,6 +508,8 @@ func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string
 		WireMode:           d.opts.Mode,
 		FlagClientToClient: spec.FlagClientToClient,
 		BatchEcalls:        !spec.NaiveEcalls,
+		FlowCapacity:       flowCapacity,
+		FlowTTL:            flowTTL,
 		FetchConfig: func(version uint64) ([]byte, error) {
 			return link.FetchConfig(context.Background(), version)
 		},

@@ -21,6 +21,7 @@ import (
 	"endbox/internal/attest"
 	"endbox/internal/click"
 	"endbox/internal/config"
+	"endbox/internal/flow"
 	"endbox/internal/packet"
 	"endbox/internal/sgx"
 	"endbox/internal/tlstap"
@@ -60,6 +61,7 @@ const (
 	ecallForwardKey      = "forward_tls_key"
 	ecallGetCert         = "get_cert"
 	ecallPipelineStats   = "pipeline_stats"
+	ecallFlowStats       = "flow_stats"
 	// Naive per-stage ecalls used only by the §V-G(1) ablation.
 	ecallNaiveClick = "naive_click"
 	ecallNaiveCrypt = "naive_encrypt"
@@ -131,12 +133,14 @@ type hsFinishArg struct {
 
 // initClickArg configures the in-enclave Click instance.
 type initClickArg struct {
-	clickConfig string
-	ruleSets    map[string]string
-	version     uint64
-	flagC2C     bool
-	mode        wire.Mode
-	minTLS      uint16
+	clickConfig  string
+	ruleSets     map[string]string
+	version      uint64
+	flagC2C      bool
+	mode         wire.Mode
+	minTLS       uint16
+	flowCapacity int
+	flowTTL      time.Duration
 }
 
 // applyConfigArg carries a fetched (possibly encrypted) update blob.
@@ -311,6 +315,12 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 			},
 			Keys:  st.keys,
 			Alert: alert,
+			// Flow expiry reads the cheap untrusted clock: a skewed clock
+			// can only age flows out early or late, never corrupt state.
+			Flows: flow.NewContext(flow.Config{
+				Capacity: a.flowCapacity,
+				TTL:      a.flowTTL,
+			}),
 			// No DeviceSetup: OpenVPN owns the tunnel device, the reason
 			// EndBox hot-swaps faster than vanilla Click (Table II).
 		})
@@ -462,6 +472,15 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 		st.applied = u.Version
 		st.lastSwap = SwapTiming{Decrypt: decryptDur, Hotswap: swapDur}
 		return applyResult{version: u.Version, timing: st.lastSwap}, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := reg(ecallFlowStats, func(_ *sgx.Ctx, _ any) (any, error) {
+		if st.router == nil {
+			return nil, ErrNoSession
+		}
+		return st.router.FlowStats(), nil
 	}); err != nil {
 		return err
 	}

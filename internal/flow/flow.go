@@ -1,0 +1,259 @@
+// Package flow is EndBox's in-enclave flow-state engine: a 5-tuple flow
+// table that turns the stateless Click elements of the paper's evaluation
+// into connection-tracking middlebox functions (firewall, NAT, per-flow
+// shaping, stream reassembly) without giving up the data path's
+// zero-allocation discipline.
+//
+// The design follows LightBox's argument (PAPERS.md) that efficient flow
+// lookup is what makes stateful in-enclave middleboxing viable at line
+// rate:
+//
+//   - Lookup is robin-hood open addressing over a power-of-two slot array
+//     at ≤50% load, keyed by a precomputed splitmix64 hash of the
+//     canonical 5-tuple. Probe chains stay short and branch-predictable;
+//     deletion is backward-shift, so there are no tombstones.
+//   - Entries are pooled (free list backed by sync.Pool) and expiry is a
+//     256-bucket timing wheel swept incrementally from the packet path,
+//     so steady-state lookup/insert/expire allocate nothing and never
+//     scan the table.
+//   - The table is capacity-bounded with deterministic oldest-idle
+//     eviction: a SYN flood recycles the least-recently-active entries in
+//     a fixed order instead of growing the heap.
+//
+// Elements attach typed per-flow state through named slots: RegisterSlot
+// returns a stable index into each Entry's slot array plus a release hook
+// that runs when the flow leaves the table, which is how element state
+// pools recover their objects. Slots are registered by name so a
+// hot-swapped element reclaims its predecessor's slot (and its live
+// per-flow state) instead of leaking it.
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"endbox/internal/packet"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	// DefaultCapacity bounds the table at 16Ki concurrent flows — small
+	// enough for enclave memory budgets (paper §V-D: EPC pressure), large
+	// enough for a client machine's connection load.
+	DefaultCapacity = 16384
+	// DefaultTTL idles flows out after two minutes without traffic.
+	DefaultTTL = 2 * time.Minute
+)
+
+// Config sizes a flow Context.
+type Config struct {
+	// Capacity is the maximum number of concurrently tracked flows.
+	// Inserting past it evicts the oldest-idle flow. 0 means
+	// DefaultCapacity.
+	Capacity int
+	// TTL is how long a flow may stay idle before expiring. 0 means
+	// DefaultTTL.
+	TTL time.Duration
+	// Now is the time source used for expiry. Nil means time.Now. Expiry
+	// only ever needs monotonic-ish time, so the cheap untrusted clock is
+	// the right source even inside an enclave.
+	Now func() time.Time
+	// Seed perturbs the table hash so an attacker cannot precompute
+	// colliding 5-tuples. 0 derives a fixed seed (deterministic tests).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = DefaultCapacity
+	}
+	if c.TTL <= 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x9e3779b97f4a7c15
+	}
+	return c
+}
+
+// Slot indexes one element kind's per-flow state inside every Entry.
+// Obtain one with Context.RegisterSlot.
+type Slot int
+
+// Stats is a point-in-time snapshot of a flow table's counters, exported
+// through the enclave's flow_stats ecall (Client.FlowStats).
+type Stats struct {
+	// Active is the number of currently tracked flows.
+	Active uint64
+	// Capacity is the configured flow limit.
+	Capacity uint64
+	// Lookups counts Bind calls; Hits the ones that found a live flow.
+	Lookups uint64
+	Hits    uint64
+	// Inserts counts flows created.
+	Inserts uint64
+	// Expired counts flows idled out by the TTL wheel.
+	Expired uint64
+	// Evicted counts flows removed to make room at capacity.
+	Evicted uint64
+}
+
+// Context is the flow-state service handed to elements through
+// click.Context. One Context (and its table) is shared by every element
+// of a router instance and survives configuration hot-swaps, which is how
+// established connections stay established across a Rollout.
+//
+// The packet path (Bind) is single-threaded by the router's contract;
+// RegisterSlot happens at element Configure time, which the router also
+// serialises. Stats may be read concurrently.
+type Context struct {
+	cfg   Config
+	table *table
+
+	slotNames []string
+	releases  []func(any)
+}
+
+// NewContext builds a flow service. The table itself is allocated lazily
+// on the first Bind, so contexts created for validation-only routers
+// (pipeline compile checks) cost nothing.
+func NewContext(cfg Config) *Context {
+	return &Context{cfg: cfg.withDefaults()}
+}
+
+// Capacity returns the configured flow limit.
+func (c *Context) Capacity() int { return c.cfg.Capacity }
+
+// TTL returns the configured idle timeout.
+func (c *Context) TTL() time.Duration { return c.cfg.TTL }
+
+// RegisterSlot claims the per-flow state slot for the given name,
+// creating it on first use. The release hook runs whenever a flow
+// carrying non-nil state in this slot leaves the table (expiry, eviction,
+// overwrite via Remove) — elements use it to return state to their pools
+// and decrement their live-flow counters.
+//
+// Registration is idempotent by name: a hot-swapped element re-registers
+// and receives the same Slot index, and the hook is replaced so releases
+// after the swap are delivered to the new element instance.
+func (c *Context) RegisterSlot(name string, release func(any)) (Slot, error) {
+	for i, n := range c.slotNames {
+		if n == name {
+			c.releases[i] = release
+			return Slot(i), nil
+		}
+	}
+	if len(c.slotNames) >= MaxSlots {
+		return 0, fmt.Errorf("flow: all %d state slots in use (wanted %q)", MaxSlots, name)
+	}
+	c.slotNames = append(c.slotNames, name)
+	c.releases = append(c.releases, release)
+	return Slot(len(c.slotNames) - 1), nil
+}
+
+// releaseEntry runs the registered hooks for every occupied slot.
+func (c *Context) releaseEntry(e *Entry) {
+	for i := range c.releases {
+		if v := e.slots[i]; v != nil {
+			if rel := c.releases[i]; rel != nil {
+				rel(v)
+			}
+			e.slots[i] = nil
+		}
+	}
+}
+
+func (c *Context) ensureTable() *table {
+	if c.table == nil {
+		c.table = newTable(c.cfg.Capacity, c.cfg.TTL.Nanoseconds(), c.cfg.Seed, c.releaseEntry)
+	}
+	return c.table
+}
+
+// Bind resolves a packet's 5-tuple to its flow entry, creating the flow
+// on first sight (evicting the oldest-idle flow if at capacity), and
+// returns the packet's direction relative to the flow's initiator. It
+// refreshes the idle deadline, advances the expiry wheel, and counts the
+// packet's size in the per-direction counters. Zero allocations at steady
+// state.
+func (c *Context) Bind(f packet.Flow, size int) (*Entry, Dir) {
+	t := c.ensureTable()
+	now := c.cfg.Now().UnixNano()
+	k, lo := KeyOf(f)
+	e, _ := t.bind(k, lo, now)
+	d := Fwd
+	if lo != e.origLo {
+		d = Rev
+	}
+	e.pkts[d]++
+	e.bytes[d] += uint64(size)
+	return e, d
+}
+
+// Lookup finds a live flow without creating, touching, or counting it.
+func (c *Context) Lookup(f packet.Flow) (*Entry, bool) {
+	if c.table == nil {
+		return nil, false
+	}
+	k, _ := KeyOf(f)
+	e := c.table.find(k)
+	return e, e != nil
+}
+
+// Remove deletes a flow immediately, running slot release hooks.
+func (c *Context) Remove(f packet.Flow) bool {
+	if c.table == nil {
+		return false
+	}
+	k, _ := KeyOf(f)
+	if e := c.table.find(k); e != nil {
+		c.table.drop(e)
+		return true
+	}
+	return false
+}
+
+// Expire sweeps the wheel up to the context's current time, idling out
+// flows whose TTL passed — what the packet path does implicitly on every
+// Bind, exposed for quiescent periods and tests.
+func (c *Context) Expire() {
+	if c.table == nil {
+		return
+	}
+	c.table.advance(c.cfg.Now().UnixNano())
+}
+
+// Active returns the number of currently tracked flows.
+func (c *Context) Active() int {
+	if c.table == nil {
+		return 0
+	}
+	return int(c.table.active.Load())
+}
+
+// Stats snapshots the table counters. Safe to call concurrently with the
+// packet path.
+func (c *Context) Stats() Stats {
+	s := Stats{Capacity: uint64(c.cfg.Capacity)}
+	if t := c.table; t != nil {
+		s.Active = t.active.Load()
+		s.Lookups = t.lookups.Load()
+		s.Hits = t.hits.Load()
+		s.Inserts = t.inserts.Load()
+		s.Expired = t.expired.Load()
+		s.Evicted = t.evicted.Load()
+	}
+	return s
+}
+
+// TableSize reports the allocated slot-array length (0 before first use)
+// — diagnostics for tests asserting the ≤50% load factor.
+func (c *Context) TableSize() int {
+	if c.table == nil {
+		return 0
+	}
+	return len(c.table.slots)
+}

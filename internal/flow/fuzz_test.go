@@ -1,0 +1,42 @@
+package flow
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzKeyCodec checks the 13-byte key codec invariants on arbitrary
+// input: DecodeKey either rejects, or returns a canonical key whose
+// re-encoding is byte-identical to the input (decode∘encode = id), and
+// encoding any decoded key round-trips through DecodeKey.
+func FuzzKeyCodec(f *testing.F) {
+	f.Add([]byte{10, 0, 0, 1, 10, 0, 0, 2, 0, 80, 156, 64, 6})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 1, 255, 255, 0, 0, 17})
+	f.Add(bytes.Repeat([]byte{0xaa}, KeySize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := DecodeKey(data)
+		if err != nil {
+			return
+		}
+		if len(data) != KeySize {
+			t.Fatalf("accepted %d-byte encoding", len(data))
+		}
+		var out [KeySize]byte
+		k.Encode(out[:])
+		if !bytes.Equal(out[:], data) {
+			t.Fatalf("decode∘encode not identity: %x -> %v -> %x", data, k, out)
+		}
+		k2, err := DecodeKey(out[:])
+		if err != nil || k2 != k {
+			t.Fatalf("re-decode failed: %v %v", k2, err)
+		}
+		if !loFirst(k.LoAddr, k.LoPort, k.HiAddr, k.HiPort) {
+			t.Fatalf("decoded key not canonical: %v", k)
+		}
+		// The hash must be deterministic and never the empty-slot marker.
+		if k.hash(1) != k.hash(1) || k.hash(1) == 0 {
+			t.Fatal("hash unstable or zero")
+		}
+	})
+}

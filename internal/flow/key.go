@@ -1,0 +1,140 @@
+package flow
+
+import (
+	"fmt"
+
+	"endbox/internal/packet"
+)
+
+// Key is the canonical 5-tuple identifying one bidirectional flow. Both
+// directions of a connection map to the same Key: the (address, port)
+// endpoint pair is stored in a fixed order (lowest endpoint first), and
+// the direction of a concrete packet relative to the flow is recovered
+// separately (Dir). Keys are comparable values, so they can be hashed and
+// compared without touching the packet again.
+type Key struct {
+	// LoAddr/LoPort and HiAddr/HiPort are the two endpoints in canonical
+	// order: the endpoint with the numerically smaller (address, port)
+	// pair is "lo".
+	LoAddr, HiAddr packet.Addr
+	LoPort, HiPort uint16
+	// Proto is the IP protocol number (TCP, UDP, ICMP, ...).
+	Proto uint8
+}
+
+// KeySize is the length of a Key's wire encoding: two addresses, two
+// ports, one protocol byte.
+const KeySize = 13
+
+// Dir is a packet's direction relative to its flow: Fwd packets travel in
+// the direction of the flow's first-seen (initiating) packet, Rev packets
+// travel the opposite way.
+type Dir uint8
+
+// Packet directions relative to the flow initiator.
+const (
+	Fwd Dir = iota
+	Rev
+)
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	if d == Fwd {
+		return "fwd"
+	}
+	return "rev"
+}
+
+// loFirst reports whether endpoint (a1, p1) sorts at or before (a2, p2)
+// in the canonical endpoint order.
+func loFirst(a1 packet.Addr, p1 uint16, a2 packet.Addr, p2 uint16) bool {
+	u1, u2 := a1.Uint32(), a2.Uint32()
+	if u1 != u2 {
+		return u1 < u2
+	}
+	return p1 <= p2
+}
+
+// KeyOf canonicalises a parsed 5-tuple. The boolean reports the packet's
+// orientation: true when (Src, SrcPort) is the canonical "lo" endpoint.
+// Orientation is an encoding detail — callers get a flow-relative Dir
+// from Context.Bind, which compares orientations against the flow's
+// first packet.
+func KeyOf(f packet.Flow) (Key, bool) {
+	if loFirst(f.Src, f.SrcPort, f.Dst, f.DstPort) {
+		return Key{
+			LoAddr: f.Src, HiAddr: f.Dst,
+			LoPort: f.SrcPort, HiPort: f.DstPort,
+			Proto: f.Protocol,
+		}, true
+	}
+	return Key{
+		LoAddr: f.Dst, HiAddr: f.Src,
+		LoPort: f.DstPort, HiPort: f.SrcPort,
+		Proto: f.Protocol,
+	}, false
+}
+
+// Encode writes the key's 13-byte canonical encoding into dst, which must
+// be at least KeySize bytes long. The encoding is deterministic and
+// self-contained, so it doubles as the hashing input and as a stable
+// format for diagnostics and fuzzing.
+func (k Key) Encode(dst []byte) {
+	_ = dst[KeySize-1]
+	copy(dst[0:4], k.LoAddr[:])
+	copy(dst[4:8], k.HiAddr[:])
+	dst[8] = byte(k.LoPort >> 8)
+	dst[9] = byte(k.LoPort)
+	dst[10] = byte(k.HiPort >> 8)
+	dst[11] = byte(k.HiPort)
+	dst[12] = k.Proto
+}
+
+// DecodeKey parses a 13-byte encoding produced by Encode. It rejects
+// inputs of the wrong length and non-canonical encodings (an endpoint
+// pair in "hi, lo" order), so Encode∘DecodeKey is the identity on valid
+// keys and DecodeKey∘Encode is the identity on valid encodings.
+func DecodeKey(src []byte) (Key, error) {
+	if len(src) != KeySize {
+		return Key{}, fmt.Errorf("flow: key encoding must be %d bytes, got %d", KeySize, len(src))
+	}
+	var k Key
+	copy(k.LoAddr[:], src[0:4])
+	copy(k.HiAddr[:], src[4:8])
+	k.LoPort = uint16(src[8])<<8 | uint16(src[9])
+	k.HiPort = uint16(src[10])<<8 | uint16(src[11])
+	k.Proto = src[12]
+	if !loFirst(k.LoAddr, k.LoPort, k.HiAddr, k.HiPort) {
+		return Key{}, fmt.Errorf("flow: non-canonical key encoding (endpoints out of order)")
+	}
+	return k, nil
+}
+
+// String renders the key for diagnostics.
+func (k Key) String() string {
+	return fmt.Sprintf("proto %d %s:%d<->%s:%d", k.Proto, k.LoAddr, k.LoPort, k.HiAddr, k.HiPort)
+}
+
+// hash mixes the key into a 64-bit table hash under the given seed. The
+// two halves of the encoding are folded through a splitmix64 finalizer —
+// cheap, alloc-free, and well distributed for open addressing. The result
+// is never zero: zero marks an empty table slot.
+func (k Key) hash(seed uint64) uint64 {
+	a := uint64(k.LoAddr.Uint32())<<32 | uint64(k.HiAddr.Uint32())
+	b := uint64(k.LoPort)<<32 | uint64(k.HiPort)<<16 | uint64(k.Proto)
+	h := mix64(seed ^ mix64(a) ^ b)
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,383 @@
+package flow
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MaxSlots is the number of per-flow state slots an Entry carries.
+// Elements claim slots by name through Context.RegisterSlot; a pipeline
+// can therefore run up to MaxSlots distinct stateful element kinds.
+const MaxSlots = 8
+
+// wheelBuckets is the timing-wheel size. The wheel tick is TTL/64, so the
+// wheel spans 4×TTL of virtual time: live deadlines (at most TTL ahead)
+// occupy at most a quarter of the wheel and never alias across laps.
+const wheelBuckets = 256
+
+const ttlTickShift = 6 // tick = TTL / 64
+
+// Entry is one tracked flow. Entries are owned by the table: elements
+// hold them only for the duration of one Push (via the packet annotation)
+// and attach state through the slot API. All fields are maintained on the
+// single-threaded packet path.
+type Entry struct {
+	key    Key
+	hash   uint64
+	origLo bool // orientation of the flow's first packet (true = lo→hi)
+
+	// timing-wheel intrusive list
+	wheelNext, wheelPrev *Entry
+	wheelBucket          int32 // -1 when unlinked
+	deadline             int64 // unix nanoseconds when the flow idles out
+
+	firstSeen int64 // unix nanoseconds of the first packet
+	lastSeen  int64
+
+	pkts  [2]uint64 // packets per Dir
+	bytes [2]uint64 // bytes per Dir
+
+	slots [MaxSlots]any
+}
+
+// Key returns the flow's canonical 5-tuple.
+func (e *Entry) Key() Key { return e.key }
+
+// Packets returns the packet count seen in the given direction.
+func (e *Entry) Packets(d Dir) uint64 { return e.pkts[d] }
+
+// Bytes returns the byte count seen in the given direction.
+func (e *Entry) Bytes(d Dir) uint64 { return e.bytes[d] }
+
+// Get reads the per-flow state stored in a registered slot (nil when the
+// owning element has not attached state to this flow yet).
+func (e *Entry) Get(s Slot) any { return e.slots[s] }
+
+// Set attaches per-flow state to a registered slot. The value is released
+// through the slot's release hook when the flow expires, is evicted, or
+// is overwritten.
+func (e *Entry) Set(s Slot, v any) { e.slots[s] = v }
+
+// tableSlot is one open-addressing position: the entry's hash is cached
+// inline so probing never dereferences cold entries, and hash 0 marks an
+// empty position (Key.hash never returns 0).
+type tableSlot struct {
+	hash uint64
+	e    *Entry
+}
+
+// table is the robin-hood 5-tuple flow table with TTL-wheel expiry. It is
+// single-threaded by contract — the click router that owns it serialises
+// all packet processing — so lookups, inserts and the incremental expiry
+// sweep run without locks and without allocating.
+type table struct {
+	slots []tableSlot
+	mask  uint64
+	seed  uint64
+
+	capacity int
+	ttl      int64 // nanoseconds
+	tick     int64 // wheel tick, ttl>>ttlTickShift
+
+	wheel     [wheelBuckets]*Entry
+	wheelTail [wheelBuckets]*Entry
+	cursor    int64 // last wheel tick swept
+
+	freeList *Entry // recycled entries, linked through wheelNext
+	freeLen  int
+	pool     *sync.Pool
+
+	// release runs the registered slot hooks when an entry leaves the
+	// table (expiry, eviction, Remove).
+	release func(*Entry)
+
+	// counters are atomic only so management-plane readers (Stats) can
+	// observe them without stopping traffic; the packet path is the sole
+	// writer.
+	active   atomic.Uint64
+	lookups  atomic.Uint64
+	hits     atomic.Uint64
+	inserts  atomic.Uint64
+	expired  atomic.Uint64
+	evicted  atomic.Uint64
+	searches atomic.Uint64 // total probe steps, for load diagnostics
+}
+
+func newTable(capacity int, ttlNanos int64, seed uint64, release func(*Entry)) *table {
+	size := 1
+	for size < capacity*2 {
+		size <<= 1
+	}
+	tick := ttlNanos >> ttlTickShift
+	if tick <= 0 {
+		tick = 1
+	}
+	t := &table{
+		slots:    make([]tableSlot, size),
+		mask:     uint64(size - 1),
+		seed:     seed,
+		capacity: capacity,
+		ttl:      ttlNanos,
+		tick:     tick,
+		cursor:   -1,
+		release:  release,
+		pool:     &sync.Pool{New: func() any { return new(Entry) }},
+	}
+	for i := range t.wheel {
+		t.wheel[i] = nil
+	}
+	return t
+}
+
+// probeDist is how far a hash has been displaced from its home position.
+func probeDist(hash, pos, mask uint64) uint64 {
+	return (pos - hash) & mask
+}
+
+// lookup finds the live entry for a key, or nil.
+func (t *table) lookup(k Key, h uint64) *Entry {
+	i := h & t.mask
+	var dist uint64
+	for {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			return nil
+		}
+		if s.hash == h && s.e.key == k {
+			return s.e
+		}
+		// Robin-hood invariant: every stored entry sits at least as far
+		// from home as anything probing past it — once we out-distance a
+		// resident, the key is absent.
+		if probeDist(s.hash, i, t.mask) < dist {
+			return nil
+		}
+		i = (i + 1) & t.mask
+		dist++
+	}
+}
+
+// insert places a new entry, displacing richer residents (robin hood).
+// The caller has verified the key is absent and capacity is available.
+func (t *table) insert(e *Entry) {
+	h := e.hash
+	i := h & t.mask
+	cur := tableSlot{hash: h, e: e}
+	var dist uint64
+	for {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			*s = cur
+			return
+		}
+		if d := probeDist(s.hash, i, t.mask); d < dist {
+			cur, *s = *s, cur
+			dist = d
+		}
+		i = (i + 1) & t.mask
+		dist++
+		t.searches.Add(1)
+	}
+}
+
+// remove deletes the key's slot using backward-shift deletion, keeping
+// probe sequences tight (no tombstones).
+func (t *table) remove(k Key, h uint64) {
+	i := h & t.mask
+	var dist uint64
+	for {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			return
+		}
+		if s.hash == h && s.e.key == k {
+			break
+		}
+		if probeDist(s.hash, i, t.mask) < dist {
+			return
+		}
+		i = (i + 1) & t.mask
+		dist++
+	}
+	// Shift successors back until a hole or a home-positioned entry.
+	for {
+		next := (i + 1) & t.mask
+		s := &t.slots[next]
+		if s.hash == 0 || probeDist(s.hash, next, t.mask) == 0 {
+			t.slots[i] = tableSlot{}
+			return
+		}
+		t.slots[i] = *s
+		i = next
+	}
+}
+
+// bucketOf maps a deadline to its wheel bucket.
+func (t *table) bucketOf(deadline int64) int32 {
+	return int32((deadline / t.tick) & (wheelBuckets - 1))
+}
+
+// wheelLink prepends the entry to its deadline's bucket. Links happen in
+// time order and deadline = linktime + TTL, so within a bucket the list
+// runs newest (head) to oldest (tail): the tail is always the bucket's
+// earliest deadline, which makes oldest-idle eviction O(1).
+func (t *table) wheelLink(e *Entry) {
+	b := t.bucketOf(e.deadline)
+	e.wheelBucket = b
+	e.wheelPrev = nil
+	e.wheelNext = t.wheel[b]
+	if e.wheelNext != nil {
+		e.wheelNext.wheelPrev = e
+	} else {
+		t.wheelTail[b] = e
+	}
+	t.wheel[b] = e
+}
+
+func (t *table) wheelUnlink(e *Entry) {
+	if e.wheelBucket < 0 {
+		return
+	}
+	if e.wheelPrev != nil {
+		e.wheelPrev.wheelNext = e.wheelNext
+	} else {
+		t.wheel[e.wheelBucket] = e.wheelNext
+	}
+	if e.wheelNext != nil {
+		e.wheelNext.wheelPrev = e.wheelPrev
+	} else {
+		t.wheelTail[e.wheelBucket] = e.wheelPrev
+	}
+	e.wheelNext, e.wheelPrev = nil, nil
+	e.wheelBucket = -1
+}
+
+// touch refreshes an entry's idle deadline and moves it to the head of
+// its (possibly new) wheel bucket. Relinking even within the same bucket
+// keeps every list in exact least-recently-seen order, so eviction picks
+// the true oldest-idle flow even when many flows share one tick.
+func (t *table) touch(e *Entry, now int64) {
+	e.lastSeen = now
+	t.wheelUnlink(e)
+	e.deadline = now + t.ttl
+	t.wheelLink(e)
+}
+
+// advance sweeps the wheel incrementally up to the current time, expiring
+// idle flows. Each call processes only the buckets whose tick has passed
+// since the previous call — on the steady state that is zero or one
+// bucket — so expiry cost is amortised across the packet path, never a
+// full-table scan.
+func (t *table) advance(now int64) {
+	nowTick := now / t.tick
+	if t.cursor < 0 {
+		t.cursor = nowTick - 1
+	}
+	if nowTick-t.cursor > wheelBuckets {
+		// Clock jumped more than a full lap: every bucket needs one sweep.
+		t.cursor = nowTick - wheelBuckets
+	}
+	for t.cursor < nowTick {
+		t.cursor++
+		b := t.cursor & (wheelBuckets - 1)
+		e := t.wheel[b]
+		for e != nil {
+			next := e.wheelNext
+			if e.deadline <= now {
+				t.expired.Add(1)
+				t.drop(e)
+			}
+			e = next
+		}
+	}
+}
+
+// evict removes the oldest-idle flow to make room, deterministically: the
+// first non-empty bucket at or after the sweep cursor holds the earliest
+// deadlines (all live deadlines fall within TTL of now, a quarter lap, so
+// bucket order is deadline order), and that bucket's tail is its earliest
+// deadline — the flow refreshed least recently. O(1) once the bucket is
+// found, so a SYN flood pays a bounded, constant eviction cost per packet.
+func (t *table) evict() {
+	for off := int64(0); off < wheelBuckets; off++ {
+		b := (t.cursor + 1 + off) & (wheelBuckets - 1)
+		victim := t.wheelTail[b]
+		if victim == nil {
+			continue
+		}
+		t.evicted.Add(1)
+		t.drop(victim)
+		return
+	}
+}
+
+// drop releases an entry: slot hooks run, the table slot is freed, and
+// the entry returns to the free list for reuse.
+func (t *table) drop(e *Entry) {
+	t.wheelUnlink(e)
+	t.remove(e.key, e.hash)
+	if t.release != nil {
+		t.release(e)
+	}
+	t.active.Add(^uint64(0))
+	t.recycle(e)
+}
+
+func (t *table) recycle(e *Entry) {
+	*e = Entry{wheelBucket: -1}
+	if t.freeLen < t.capacity {
+		e.wheelNext = t.freeList
+		t.freeList = e
+		t.freeLen++
+		return
+	}
+	t.pool.Put(e)
+}
+
+func (t *table) newEntry() *Entry {
+	if e := t.freeList; e != nil {
+		t.freeList = e.wheelNext
+		t.freeLen--
+		e.wheelNext = nil
+		return e
+	}
+	e := t.pool.Get().(*Entry)
+	*e = Entry{wheelBucket: -1}
+	return e
+}
+
+// bind looks the key up, inserting a fresh entry on miss (evicting the
+// oldest-idle flow first when the table is at capacity). It refreshes the
+// entry's idle deadline and reports whether the entry was created by this
+// call. Zero allocations on the steady state: entries recycle through the
+// free list.
+func (t *table) bind(k Key, lo bool, now int64) (*Entry, bool) {
+	t.advance(now)
+	h := k.hash(t.seed)
+	t.lookups.Add(1)
+	if e := t.lookup(k, h); e != nil {
+		t.hits.Add(1)
+		t.touch(e, now)
+		return e, false
+	}
+	if int(t.active.Load()) >= t.capacity {
+		t.evict()
+	}
+	e := t.newEntry()
+	e.key = k
+	e.hash = h
+	e.origLo = lo
+	e.firstSeen = now
+	e.lastSeen = now
+	e.deadline = now + t.ttl
+	t.insert(e)
+	t.wheelLink(e)
+	t.active.Add(1)
+	t.inserts.Add(1)
+	return e, true
+}
+
+// find is lookup without insertion or deadline refresh.
+func (t *table) find(k Key) *Entry {
+	return t.lookup(k, k.hash(t.seed))
+}

@@ -1,0 +1,321 @@
+package flow
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"endbox/internal/packet"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ now time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func (c *fakeClock) Set(t time.Time)         { c.now = t }
+func (c *fakeClock) Config(cap int, ttl time.Duration) Config {
+	return Config{Capacity: cap, TTL: ttl, Now: c.Now}
+}
+
+func tuple(a, b string, sp, dp uint16, proto uint8) packet.Flow {
+	return packet.Flow{
+		Src: packet.MustParseAddr(a), Dst: packet.MustParseAddr(b),
+		SrcPort: sp, DstPort: dp, Protocol: proto,
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	f := tuple("10.0.0.2", "10.0.0.1", 40000, 80, packet.ProtoTCP)
+	k1, lo1 := KeyOf(f)
+	k2, lo2 := KeyOf(f.Reverse())
+	if k1 != k2 {
+		t.Fatalf("forward and reverse keys differ: %v vs %v", k1, k2)
+	}
+	if lo1 == lo2 {
+		t.Fatalf("both orientations report the same side")
+	}
+	if k1.LoAddr != packet.MustParseAddr("10.0.0.1") {
+		t.Errorf("lo endpoint not canonical: %v", k1)
+	}
+}
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	keys := []packet.Flow{
+		tuple("10.0.0.1", "10.0.0.2", 1, 2, packet.ProtoTCP),
+		tuple("255.255.255.255", "0.0.0.1", 65535, 0, packet.ProtoUDP),
+		tuple("10.0.0.1", "10.0.0.1", 80, 80, packet.ProtoICMP),
+	}
+	for _, f := range keys {
+		k, _ := KeyOf(f)
+		var buf [KeySize]byte
+		k.Encode(buf[:])
+		got, err := DecodeKey(buf[:])
+		if err != nil {
+			t.Fatalf("DecodeKey(%v): %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("roundtrip mismatch: %v -> %v", k, got)
+		}
+	}
+	if _, err := DecodeKey(make([]byte, KeySize-1)); err == nil {
+		t.Error("short encoding accepted")
+	}
+	// Non-canonical: hi endpoint first.
+	var buf [KeySize]byte
+	k, _ := KeyOf(tuple("10.0.0.1", "10.0.0.2", 1, 2, packet.ProtoTCP))
+	k.LoAddr, k.HiAddr = k.HiAddr, k.LoAddr
+	k.Encode(buf[:])
+	if _, err := DecodeKey(buf[:]); err == nil {
+		t.Error("non-canonical encoding accepted")
+	}
+}
+
+func TestBindCreatesAndTracksDirections(t *testing.T) {
+	clk := newFakeClock()
+	c := NewContext(clk.Config(64, time.Minute))
+	f := tuple("10.0.0.2", "10.0.0.1", 40000, 80, packet.ProtoTCP)
+
+	e1, d1 := c.Bind(f, 100)
+	if d1 != Fwd {
+		t.Fatalf("first packet direction = %v, want fwd", d1)
+	}
+	e2, d2 := c.Bind(f.Reverse(), 200)
+	if e1 != e2 {
+		t.Fatal("reverse packet bound to a different flow")
+	}
+	if d2 != Rev {
+		t.Fatalf("reply direction = %v, want rev", d2)
+	}
+	if e1.Packets(Fwd) != 1 || e1.Packets(Rev) != 1 {
+		t.Errorf("packet counters = %d/%d, want 1/1", e1.Packets(Fwd), e1.Packets(Rev))
+	}
+	if e1.Bytes(Fwd) != 100 || e1.Bytes(Rev) != 200 {
+		t.Errorf("byte counters = %d/%d, want 100/200", e1.Bytes(Fwd), e1.Bytes(Rev))
+	}
+	if got := c.Active(); got != 1 {
+		t.Errorf("active = %d, want 1", got)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clk := newFakeClock()
+	c := NewContext(clk.Config(64, time.Minute))
+	f := tuple("10.0.0.2", "10.0.0.1", 40000, 80, packet.ProtoUDP)
+	c.Bind(f, 10)
+
+	// Keep-alives inside the TTL keep the flow live.
+	for i := 0; i < 5; i++ {
+		clk.Advance(30 * time.Second)
+		if _, ok := c.Lookup(f); !ok {
+			t.Fatalf("flow expired despite keep-alive at step %d", i)
+		}
+		c.Bind(f, 10)
+	}
+
+	clk.Advance(61 * time.Second)
+	c.Expire()
+	if _, ok := c.Lookup(f); ok {
+		t.Fatal("flow survived past its TTL")
+	}
+	s := c.Stats()
+	if s.Expired != 1 || s.Active != 0 {
+		t.Errorf("stats after expiry = %+v", s)
+	}
+}
+
+func TestCapacityBoundAndDeterministicEviction(t *testing.T) {
+	const capacity = 32
+	run := func() []uint64 {
+		clk := newFakeClock()
+		c := NewContext(clk.Config(capacity, time.Minute))
+		// Insert 3× capacity distinct flows, one per millisecond.
+		var order []uint64
+		for i := 0; i < capacity*3; i++ {
+			clk.Advance(time.Millisecond)
+			f := tuple("10.1.0.1", "10.0.0.1", uint16(1000+i), 80, packet.ProtoTCP)
+			c.Bind(f, 60)
+			order = append(order, c.Stats().Evicted)
+		}
+		if got := c.Active(); got != capacity {
+			t.Fatalf("active = %d, want capacity %d", got, capacity)
+		}
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("eviction sequence diverged at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if a[len(a)-1] != capacity*2 {
+		t.Errorf("evictions = %d, want %d", a[len(a)-1], capacity*2)
+	}
+}
+
+func TestEvictionPrefersOldestIdle(t *testing.T) {
+	clk := newFakeClock()
+	c := NewContext(clk.Config(8, time.Minute))
+	var flows []packet.Flow
+	for i := 0; i < 8; i++ {
+		clk.Advance(time.Second)
+		f := tuple("10.1.0.1", "10.0.0.1", uint16(1000+i), 80, packet.ProtoTCP)
+		flows = append(flows, f)
+		c.Bind(f, 60)
+	}
+	// Refresh flow 0 so flow 1 becomes the oldest-idle.
+	clk.Advance(time.Second)
+	c.Bind(flows[0], 60)
+
+	clk.Advance(time.Second)
+	c.Bind(tuple("10.2.0.1", "10.0.0.1", 999, 80, packet.ProtoTCP), 60)
+
+	if _, ok := c.Lookup(flows[1]); ok {
+		t.Error("oldest-idle flow survived eviction")
+	}
+	if _, ok := c.Lookup(flows[0]); !ok {
+		t.Error("recently refreshed flow was evicted")
+	}
+}
+
+func TestSlotReleaseHooks(t *testing.T) {
+	clk := newFakeClock()
+	c := NewContext(clk.Config(4, time.Minute))
+	released := map[int]bool{}
+	slot, err := c.RegisterSlot("test", func(v any) { released[v.(int)] = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-registration by name returns the same slot.
+	slot2, err := c.RegisterSlot("test", func(v any) { released[v.(int)] = true })
+	if err != nil || slot2 != slot {
+		t.Fatalf("re-registration: slot %v err %v, want %v", slot2, err, slot)
+	}
+
+	for i := 0; i < 4; i++ {
+		f := tuple("10.1.0.1", "10.0.0.1", uint16(1000+i), 80, packet.ProtoTCP)
+		e, _ := c.Bind(f, 60)
+		e.Set(slot, i)
+	}
+	// Evict one (capacity), expire the rest (TTL).
+	e, _ := c.Bind(tuple("10.2.0.1", "10.0.0.1", 999, 80, packet.ProtoTCP), 60)
+	e.Set(slot, 99)
+	clk.Advance(2 * time.Minute)
+	c.Expire()
+
+	for i := 0; i < 4; i++ {
+		if !released[i] {
+			t.Errorf("state %d never released", i)
+		}
+	}
+	if !released[99] {
+		t.Error("state of expired flow 99 never released")
+	}
+}
+
+func TestSlotLimit(t *testing.T) {
+	c := NewContext(Config{})
+	for i := 0; i < MaxSlots; i++ {
+		if _, err := c.RegisterSlot(fmt.Sprintf("s%d", i), nil); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	if _, err := c.RegisterSlot("overflow", nil); err == nil {
+		t.Error("slot overflow accepted")
+	}
+}
+
+func TestLoadFactorBound(t *testing.T) {
+	c := NewContext(Config{Capacity: 1000, Now: newFakeClock().Now})
+	c.Bind(tuple("10.0.0.1", "10.0.0.2", 1, 2, packet.ProtoTCP), 1)
+	if size := c.TableSize(); size < 2000 {
+		t.Errorf("table size %d gives load factor above 50%% at capacity 1000", size)
+	}
+}
+
+// TestChurn100k cycles 100k flows through a small table — insert, expire,
+// reinsert — and checks the table stays consistent and bounded. Run under
+// -race in CI.
+func TestChurn100k(t *testing.T) {
+	const (
+		capacity = 1 << 10
+		total    = 100_000
+	)
+	clk := newFakeClock()
+	c := NewContext(clk.Config(capacity, time.Minute))
+	slot, _ := c.RegisterSlot("churn", nil)
+
+	live := 0
+	for i := 0; i < total; i++ {
+		clk.Advance(10 * time.Millisecond)
+		f := tuple("10.1.0.1", "10.0.0.1", uint16(i%50_021), uint16(80+i%7), packet.ProtoTCP)
+		e, _ := c.Bind(f, 60)
+		e.Set(slot, i)
+		if a := c.Active(); a > capacity {
+			t.Fatalf("active %d exceeds capacity %d at step %d", a, capacity, i)
+		} else {
+			live = a
+		}
+	}
+	s := c.Stats()
+	if s.Inserts < uint64(total)/10 {
+		t.Errorf("suspiciously few inserts: %+v", s)
+	}
+	if s.Lookups != uint64(total) {
+		t.Errorf("lookups = %d, want %d", s.Lookups, total)
+	}
+	if uint64(live) != s.Active {
+		t.Errorf("active mismatch: %d vs %+v", live, s)
+	}
+	// Drain: everything expires, all entries recycle.
+	clk.Advance(5 * time.Minute)
+	c.Expire()
+	if c.Active() != 0 {
+		t.Errorf("flows survived the drain: %d", c.Active())
+	}
+	if s.Expired+s.Evicted == 0 {
+		t.Error("no expiry or eviction in 100k churn")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	clk := newFakeClock()
+	c := NewContext(clk.Config(16, time.Minute))
+	f := tuple("10.0.0.2", "10.0.0.1", 40000, 80, packet.ProtoTCP)
+	c.Bind(f, 10)
+	if !c.Remove(f.Reverse()) { // removal works from either orientation
+		t.Fatal("Remove did not find the flow")
+	}
+	if _, ok := c.Lookup(f); ok {
+		t.Fatal("flow survived Remove")
+	}
+	if c.Remove(f) {
+		t.Fatal("second Remove succeeded")
+	}
+}
+
+// TestBindSteadyStateAllocs pins the zero-allocation contract: once the
+// table and its entries exist, lookups, inserts (recycled entries) and
+// expiry sweeps allocate nothing.
+func TestBindSteadyStateAllocs(t *testing.T) {
+	clk := newFakeClock()
+	c := NewContext(clk.Config(256, time.Minute))
+	flows := make([]packet.Flow, 128)
+	for i := range flows {
+		flows[i] = tuple("10.1.0.1", "10.0.0.1", uint16(1000+i), 80, packet.ProtoTCP)
+		c.Bind(flows[i], 60)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(10_000, func() {
+		clk.Advance(time.Millisecond)
+		c.Bind(flows[i%len(flows)], 60)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Bind allocates %.2f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,36 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"endbox/internal/packet"
+)
+
+// SYNFlood is a deterministic SYN-flood traffic generator: a seeded
+// stream of TCP SYN packets, each from a fresh spoofed source endpoint
+// toward one target. It exists so capacity-bound tests of the flow
+// engine are reproducible — the same seed emits the same attack 5-tuples
+// in the same order, which makes the table's oldest-idle eviction
+// sequence fully deterministic.
+type SYNFlood struct {
+	rng    *rand.Rand
+	target packet.Addr
+	port   uint16
+	seq    uint32
+}
+
+// NewSYNFlood creates a generator attacking target:port.
+func NewSYNFlood(seed int64, target packet.Addr, port uint16) *SYNFlood {
+	return &SYNFlood{rng: rand.New(rand.NewSource(seed)), target: target, port: port}
+}
+
+// Next emits the next SYN packet of the flood: a spoofed source address
+// in 100.64.0.0/10 (carrier-grade NAT space, never a tunnel address) and
+// a random high source port, so every packet opens a distinct flow.
+func (f *SYNFlood) Next() []byte {
+	f.seq++
+	src := packet.AddrFrom(
+		100, byte(64+f.rng.Intn(64)), byte(f.rng.Intn(256)), byte(1+f.rng.Intn(254)))
+	srcPort := uint16(1024 + f.rng.Intn(64511))
+	return packet.NewTCP(src, f.target, srcPort, f.port, f.seq, 0, packet.TCPSyn, nil)
+}

@@ -1,0 +1,21 @@
+package packet
+
+// UpdateChecksum16 folds the replacement of one 16-bit word (old → new)
+// into an existing Internet checksum without re-summing the data —
+// RFC 1624's HC' = ~(~HC + ~m + m'). NAT-style header rewrites use it to
+// keep transport checksums (which cover the pseudo-header) valid while
+// touching only the changed words.
+func UpdateChecksum16(sum, old, new uint16) uint16 {
+	x := uint32(^sum) + uint32(^old) + uint32(new)
+	for x>>16 != 0 {
+		x = x&0xffff + x>>16
+	}
+	return ^uint16(x)
+}
+
+// UpdateChecksum32 folds the replacement of one 32-bit word (an IPv4
+// address in the pseudo-header) into an existing Internet checksum.
+func UpdateChecksum32(sum uint16, old, new uint32) uint16 {
+	sum = UpdateChecksum16(sum, uint16(old>>16), uint16(new>>16))
+	return UpdateChecksum16(sum, uint16(old), uint16(new))
+}

@@ -65,6 +65,7 @@ package mbox
 
 import (
 	"endbox/internal/click"
+	"endbox/internal/flow"
 )
 
 // Element is the unit of composition: one middlebox processing step.
@@ -103,6 +104,34 @@ type StateCarrier = click.StateCarrier
 
 // AnyPorts marks an element whose port count adapts to its connections.
 const AnyPorts = click.AnyPorts
+
+// FlowContext is the flow-state service available to elements as
+// Context.Flows: a capacity-bounded, TTL-expiring 5-tuple flow table.
+// Custom stateful elements bind packets to flows with Base.TrackFlow and
+// attach per-flow state through named slots (FlowContext.RegisterSlot);
+// state lives in the table, so it survives configuration hot-swaps.
+type FlowContext = flow.Context
+
+// FlowEntry is one tracked flow: canonical 5-tuple key, per-direction
+// packet/byte counters, and the per-element state slots.
+type FlowEntry = flow.Entry
+
+// FlowSlot indexes one element's per-flow state inside every FlowEntry.
+type FlowSlot = flow.Slot
+
+// FlowDir is a packet's direction relative to its flow's initiator.
+type FlowDir = flow.Dir
+
+// Packet directions relative to the flow initiator.
+const (
+	FlowFwd = flow.Fwd
+	FlowRev = flow.Rev
+)
+
+// FlowStats is a snapshot of a flow table's counters (active flows,
+// hit/insert/expiry/eviction totals), read per client via
+// Client.FlowStats.
+type FlowStats = flow.Stats
 
 // ErrBadPipeline is the typed error returned — from Compile, AddClient
 // and Deployment.Rollout — for pipelines and configurations that cannot

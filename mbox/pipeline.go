@@ -116,6 +116,78 @@ func Count(name string) Stage {
 	return Stage{Name: name, Class: "Counter"}
 }
 
+// ConnTrackOptions configures a ConnTrack stage.
+type ConnTrackOptions struct {
+	// Loose tracks connections (flow counters, state, TTL) without
+	// dropping out-of-state TCP segments. The default is strict: segments
+	// invalid in the connection's current state are dropped.
+	Loose bool
+}
+
+// ConnTrack is a stateful-firewall stage (instance name "ct"): every flow
+// is tracked in the enclave's flow table and TCP connections run a state
+// machine (handshake → established → close). Connection state survives
+// configuration hot-swaps, and the stage's live-flow count appears as
+// ElementStats.Flows in Client.PipelineStats.
+func ConnTrack(o ConnTrackOptions) Stage {
+	var args []string
+	if o.Loose {
+		args = []string{"MODE loose"}
+	}
+	return Stage{Name: "ct", Class: "ConnTrack", Args: args}
+}
+
+// NATOptions configures a NAT stage.
+type NATOptions struct {
+	// Address is the NAT (masquerade) address flows are rewritten to.
+	// Required.
+	Address string
+	// PortLo..PortHi is the translated port range; both zero selects
+	// 40000-40999. The range bounds concurrent NAT'd flows.
+	PortLo, PortHi uint16
+}
+
+// NAT is a FlowNAT stage (instance name "nat"): each flow's initiator
+// endpoint is rewritten to the NAT address with a per-flow port, replies
+// are translated back, and transport checksums are patched incrementally
+// (RFC 1624). Port bindings survive hot-swaps while the address and
+// range are unchanged.
+func NAT(o NATOptions) Stage {
+	args := []string{"ADDR " + o.Address}
+	if o.PortLo != 0 || o.PortHi != 0 {
+		args = append(args, fmt.Sprintf("PORTS %d-%d", o.PortLo, o.PortHi))
+	}
+	return Stage{Name: "nat", Class: "FlowNAT", Args: args}
+}
+
+// FlowRateLimit is a per-flow token-bucket stage (instance name
+// "flowshaper"): every flow is shaped independently to rate (bits/s,
+// k/M/G suffixes) with the given bucket capacity in bytes — per-
+// subscriber fairness, where RateLimit shapes the aggregate.
+func FlowRateLimit(rate string, burstBytes uint64) Stage {
+	return Stage{Name: "flowshaper", Class: "FlowRateLimit",
+		Args: []string{"RATE " + rate, fmt.Sprintf("BURST %d", burstBytes)}}
+}
+
+// StreamOptions configures a StreamAssembler stage.
+type StreamOptions struct {
+	// WindowBytes bounds the reassembled bytes buffered per direction per
+	// flow; 0 selects 8192.
+	WindowBytes int
+}
+
+// StreamAssembler reassembles each TCP direction's in-order byte stream
+// (instance name "stream") and hands it to downstream DPI stages as the
+// packet's plaintext, so an IDS stage placed after it matches signatures
+// spanning segment boundaries.
+func StreamAssembler(o StreamOptions) Stage {
+	var args []string
+	if o.WindowBytes > 0 {
+		args = []string{fmt.Sprintf("WINDOW %d", o.WindowBytes)}
+	}
+	return Stage{Name: "stream", Class: "StreamAssembler", Args: args}
+}
+
 // Custom is a stage of any element class — built-in or registered through
 // Register — with the given configuration arguments. The instance gets a
 // parser-assigned anonymous name; set Stage.Name for a stable one:

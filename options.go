@@ -94,6 +94,19 @@ func WithLossProfile(p LossProfile) Option {
 	return func(o *DeploymentOptions) { o.LossProfile = p }
 }
 
+// WithFlowTable sizes every client enclave's flow-state table: capacity
+// is the bound on concurrently tracked flows (past it the oldest-idle
+// flow is evicted deterministically — a SYN flood recycles entries
+// instead of growing the heap), ttl the idle timeout after which flows
+// expire. Zero values keep the defaults (16384 flows, 2 minutes).
+// ClientSpec.FlowCapacity/FlowTTL override per client.
+func WithFlowTable(capacity int, ttl time.Duration) Option {
+	return func(o *DeploymentOptions) {
+		o.FlowCapacity = capacity
+		o.FlowTTL = ttl
+	}
+}
+
 // WithEchoNetwork makes the managed network reflect delivered packets back
 // to the sending client (src/dst swapped, ICMP echoes answered) —
 // modelling a server answering, used by latency measurements and demos.
