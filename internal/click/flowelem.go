@@ -48,11 +48,24 @@ const (
 	tcpSynSent
 	tcpSynRecv
 	tcpEstablished
-	tcpFinWait
+	// The half-closed state records which direction sent the first FIN,
+	// so a retransmitted FIN from the same peer is not mistaken for the
+	// other side's close (which would march the connection to closed and
+	// drop the peer's still-valid data in strict mode).
+	tcpFinWaitFwd
+	tcpFinWaitRev
 	tcpClosing
 	tcpClosed
 	tcpStateCount // sentinel for fuzzing
 )
+
+// finWait returns the half-closed state tagged with the FIN's direction.
+func finWait(d flow.Dir) tcpState {
+	if d == flow.Fwd {
+		return tcpFinWaitFwd
+	}
+	return tcpFinWaitRev
+}
 
 func (s tcpState) String() string {
 	switch s {
@@ -64,7 +77,7 @@ func (s tcpState) String() string {
 		return "syn-recv"
 	case tcpEstablished:
 		return "established"
-	case tcpFinWait:
+	case tcpFinWaitFwd, tcpFinWaitRev:
 		return "fin-wait"
 	case tcpClosing:
 		return "closing"
@@ -106,7 +119,7 @@ func tcpTransition(s tcpState, d flow.Dir, flags byte) (tcpState, bool) {
 		return s, false
 	case tcpSynRecv:
 		if fin {
-			return tcpFinWait, true
+			return finWait(d), true
 		}
 		if syn && ack && d == flow.Rev { // SYN|ACK retransmit
 			return tcpSynRecv, true
@@ -117,18 +130,21 @@ func tcpTransition(s tcpState, d flow.Dir, flags byte) (tcpState, bool) {
 		return s, false
 	case tcpEstablished:
 		if fin {
-			return tcpFinWait, true
+			return finWait(d), true
 		}
 		if !syn {
 			return tcpEstablished, true
 		}
 		return s, false
-	case tcpFinWait:
-		if fin { // the second direction's FIN
-			return tcpClosing, true
+	case tcpFinWaitFwd, tcpFinWaitRev:
+		if fin {
+			if s == finWait(d) { // FIN retransmit from the same peer
+				return s, true
+			}
+			return tcpClosing, true // the second direction's FIN
 		}
 		if !syn {
-			return tcpFinWait, true
+			return s, true
 		}
 		return s, false
 	case tcpClosing:
@@ -349,7 +365,11 @@ func (e *FlowNAT) Configure(args []string, ctx *Context) error {
 	}
 	slot, err := ctx.Flows.RegisterSlot("FlowNAT/"+e.Name(), func(v any) {
 		st := v.(*natState)
-		if _, ok := e.portMap[st.natPort]; ok {
+		// Free the port only if it is still mapped to this very state:
+		// after a hot-swap that reset the bindings (TakeState bailed) the
+		// port may belong to a different flow, and releasing a stale
+		// record must not double-free it.
+		if e.portMap[st.natPort] == st {
 			delete(e.portMap, st.natPort)
 			e.freePorts = append(e.freePorts, st.natPort)
 		}
@@ -401,7 +421,10 @@ func (e *FlowNAT) Push(_ int, p *Packet) {
 	if ip.Dst == e.natAddr {
 		dstPort := binary.BigEndian.Uint16(ip.Payload[2:4])
 		if st, ok := e.portMap[dstPort]; ok {
-			e.rewrite(ip, false, st.origAddr, st.origPort)
+			if !e.rewrite(ip, false, st.origAddr, st.origPort) {
+				p.Drop(e.Name())
+				return
+			}
 			p.MarkModified()
 			e.TrackFlow(e.flows, p)
 			e.Forward(0, p)
@@ -410,7 +433,12 @@ func (e *FlowNAT) Push(_ int, p *Packet) {
 	}
 	entry, _ := e.TrackFlow(e.flows, p)
 	st, _ := entry.Get(e.slot).(*natState)
-	if st == nil {
+	// A state whose port is not mapped back to it is stale: a hot-swap
+	// reset the bindings (TakeState bailed on an address or range change)
+	// while the flow entry kept its record. Rebind it to a fresh port in
+	// place instead of rewriting to a port we no longer own.
+	fresh, stale := st == nil, st != nil && e.portMap[st.natPort] != st
+	if fresh || stale {
 		n := len(e.freePorts)
 		if n == 0 {
 			e.exhausted++
@@ -419,23 +447,41 @@ func (e *FlowNAT) Push(_ int, p *Packet) {
 		}
 		port := e.freePorts[n-1]
 		e.freePorts = e.freePorts[:n-1]
-		st = e.pool.Get().(*natState)
+		if fresh {
+			st = e.pool.Get().(*natState)
+			entry.Set(e.slot, st)
+			e.FlowStateCreated()
+		}
 		st.origAddr = ip.Src
 		st.origPort = binary.BigEndian.Uint16(ip.Payload[0:2])
 		st.natPort = port
 		e.portMap[port] = st
-		entry.Set(e.slot, st)
-		e.FlowStateCreated()
 	}
-	e.rewrite(ip, true, e.natAddr, st.natPort)
+	if !e.rewrite(ip, true, e.natAddr, st.natPort) {
+		p.Drop(e.Name())
+		return
+	}
 	p.MarkModified()
 	e.Forward(0, p)
 }
 
 // rewrite replaces the packet's source (src=true) or destination
 // endpoint and patches the transport checksum incrementally. The IPv4
-// header checksum is recomputed on re-marshal (MarkModified).
-func (e *FlowNAT) rewrite(ip *packet.IPv4, src bool, addr packet.Addr, port uint16) {
+// header checksum is recomputed on re-marshal (MarkModified). It reports
+// false — touching nothing — when the transport header is too short to
+// hold its checksum: rewriting the port without fixing the checksum
+// would emit a corrupted packet.
+func (e *FlowNAT) rewrite(ip *packet.IPv4, src bool, addr packet.Addr, port uint16) bool {
+	var sumOff int
+	switch ip.Protocol {
+	case packet.ProtoTCP:
+		sumOff = 16
+	case packet.ProtoUDP:
+		sumOff = 6
+	}
+	if len(ip.Payload) < sumOff+2 {
+		return false
+	}
 	var oldAddr packet.Addr
 	var oldPort uint16
 	if src {
@@ -447,23 +493,21 @@ func (e *FlowNAT) rewrite(ip *packet.IPv4, src bool, addr packet.Addr, port uint
 		oldPort = binary.BigEndian.Uint16(ip.Payload[2:4])
 		binary.BigEndian.PutUint16(ip.Payload[2:4], port)
 	}
-	var sumOff int
-	switch ip.Protocol {
-	case packet.ProtoTCP:
-		sumOff = 16
-	case packet.ProtoUDP:
-		sumOff = 6
-	}
-	if len(ip.Payload) < sumOff+2 {
-		return
-	}
 	sum := binary.BigEndian.Uint16(ip.Payload[sumOff : sumOff+2])
 	if ip.Protocol == packet.ProtoUDP && sum == 0 {
-		return // checksum disabled (RFC 768)
+		return true // checksum disabled (RFC 768)
 	}
 	sum = packet.UpdateChecksum32(sum, oldAddr.Uint32(), addr.Uint32())
 	sum = packet.UpdateChecksum16(sum, oldPort, port)
+	if ip.Protocol == packet.ProtoUDP && sum == 0 {
+		// A UDP checksum that folds to zero must go on the wire as 0xFFFF:
+		// a transmitted 0 means "no checksum" (RFC 768, RFC 1624 §4), and
+		// the reply path's disabled-checksum guard would then skip
+		// restoring it.
+		sum = 0xffff
+	}
 	binary.BigEndian.PutUint16(ip.Payload[sumOff:sumOff+2], sum)
+	return true
 }
 
 // Exhausted reports packets dropped because the port range was full.

@@ -148,6 +148,46 @@ func TestConnTrackCloseAndReuse(t *testing.T) {
 	}
 }
 
+// TestConnTrackFinRetransmit pins the half-close direction contract: a
+// retransmitted FIN from the peer that already closed its direction is
+// not the other side's FIN — the connection stays half-closed and the
+// other direction's data keeps flowing in strict mode.
+func TestConnTrackFinRetransmit(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t, "FromDevice -> ct :: ConnTrack -> ToDevice;", ctx)
+	handshake(t, inst)
+	ct, _ := inst.Element("ct")
+	tracker := ct.(*ConnTrack)
+
+	fin := func() *packet.IPv4 {
+		return flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 200, 300,
+			packet.TCPFin|packet.TCPAck, nil)
+	}
+	if res := inst.Process(fin()); !res.Accepted {
+		t.Fatalf("first FIN dropped by %s", res.DroppedBy)
+	}
+	if res := inst.Process(fin()); !res.Accepted {
+		t.Fatalf("retransmitted FIN dropped by %s", res.DroppedBy)
+	}
+	if got, _ := tracker.StateOf(clientFlow()); got != "fin-wait" {
+		t.Fatalf("state after FIN retransmit = %q, want fin-wait", got)
+	}
+	// The responder's data is still valid during the half-close.
+	data := flowTCP(t, "10.8.0.1", "10.8.0.2", 80, 40000, 301, 201, packet.TCPAck, []byte("tail"))
+	if res := inst.Process(data); !res.Accepted {
+		t.Fatalf("responder data dropped during half-close by %s", res.DroppedBy)
+	}
+	// Only the opposite direction's FIN completes the close.
+	finRev := flowTCP(t, "10.8.0.1", "10.8.0.2", 80, 40000, 305, 201,
+		packet.TCPFin|packet.TCPAck, nil)
+	if res := inst.Process(finRev); !res.Accepted {
+		t.Fatalf("responder FIN dropped by %s", res.DroppedBy)
+	}
+	if got, _ := tracker.StateOf(clientFlow()); got != "closing" {
+		t.Errorf("state after responder FIN = %q, want closing", got)
+	}
+}
+
 func TestConnTrackRSTCloses(t *testing.T) {
 	ctx, _ := testContext(t)
 	inst := mustInstance(t, "FromDevice -> ct :: ConnTrack -> ToDevice;", ctx)
@@ -356,6 +396,177 @@ func TestFlowNATBindingsSurviveSwap(t *testing.T) {
 	nat, _ = inst.Element("nat")
 	if got := nat.(*FlowNAT).ActiveBindings(); got != 0 {
 		t.Errorf("bindings survived a range change: %d", got)
+	}
+}
+
+// TestFlowNATRangeChangeRebindsStaleFlows pins the bailed-TakeState
+// contract: after a swap that changes the port range, live flows still
+// carry their old natState records, but those ports are no longer
+// theirs. Traffic on such a flow must be rebound to a fresh port from
+// the new pool — never rewritten to a port that the fresh pool may hand
+// to another flow.
+func TestFlowNATRangeChangeRebindsStaleFlows(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t,
+		"FromDevice -> nat :: FlowNAT(ADDR 198.51.100.1, PORTS 41000-41009) -> ToDevice;", ctx)
+
+	// Flow 1 binds 41000 pre-swap.
+	out := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 100, 0, packet.TCPSyn, nil)
+	inst.Process(out)
+
+	// Shrink to an overlapping range: TakeState bails and resets the
+	// bindings, while flow 1's record stays attached to its flow entry.
+	if _, err := inst.Swap("FromDevice -> nat :: FlowNAT(ADDR 198.51.100.1, PORTS 41000-41001) -> ToDevice;"); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	nat, _ := inst.Element("nat")
+
+	// A post-swap flow takes 41000 from the fresh pool.
+	o2 := flowTCP(t, "10.8.0.2", "10.8.0.1", 40001, 80, 100, 0, packet.TCPSyn, nil)
+	inst.Process(o2)
+	p2 := binary.BigEndian.Uint16(o2.Payload[0:2])
+	if p2 != 41000 {
+		t.Fatalf("post-swap flow port = %d, want 41000", p2)
+	}
+
+	// Flow 1's stale record points at 41000 too — it must be rebound,
+	// not share flow 2's port.
+	again := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 101, 0, packet.TCPAck, nil)
+	if res := inst.Process(again); !res.Accepted {
+		t.Fatalf("stale flow dropped by %s", res.DroppedBy)
+	}
+	p1 := binary.BigEndian.Uint16(again.Payload[0:2])
+	if p1 == p2 {
+		t.Fatalf("two flows share NAT port %d", p1)
+	}
+	if got := nat.(*FlowNAT).ActiveBindings(); got != 2 {
+		t.Fatalf("bindings = %d, want 2", got)
+	}
+
+	// The rebinding is stable on later packets.
+	more := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 102, 0, packet.TCPAck, nil)
+	inst.Process(more)
+	if got := binary.BigEndian.Uint16(more.Payload[0:2]); got != p1 {
+		t.Fatalf("rebound port unstable: %d then %d", p1, got)
+	}
+}
+
+// TestFlowNATStaleReleaseDoesNotFreeForeignPort is the double-free side
+// of the bailed-TakeState contract: when a flow carrying a stale record
+// dies, its release must not free the port out from under the post-swap
+// flow that now legitimately owns it.
+func TestFlowNATStaleReleaseDoesNotFreeForeignPort(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t,
+		"FromDevice -> nat :: FlowNAT(ADDR 198.51.100.1, PORTS 41000-41009) -> ToDevice;", ctx)
+
+	// Flow A binds 41000, then the range change resets the bindings.
+	a := flowTCP(t, "10.8.0.2", "10.8.0.1", 40000, 80, 100, 0, packet.TCPSyn, nil)
+	inst.Process(a)
+	if _, err := inst.Swap("FromDevice -> nat :: FlowNAT(ADDR 198.51.100.1, PORTS 41000-41001) -> ToDevice;"); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	nat, _ := inst.Element("nat")
+
+	// Flow C takes 41000 from the fresh pool.
+	c := flowTCP(t, "10.8.0.2", "10.8.0.1", 40002, 80, 100, 0, packet.TCPSyn, nil)
+	inst.Process(c)
+	if got := binary.BigEndian.Uint16(c.Payload[0:2]); got != 41000 {
+		t.Fatalf("flow C port = %d, want 41000", got)
+	}
+
+	// Flow A dies without ever sending post-swap traffic: its stale
+	// record names 41000, which now belongs to flow C.
+	if !inst.Flows().Remove(clientFlow()) {
+		t.Fatal("flow A not tracked")
+	}
+	if got := nat.(*FlowNAT).ActiveBindings(); got != 1 {
+		t.Fatalf("bindings after stale release = %d, want 1 (flow C's)", got)
+	}
+
+	// The next fresh flow must get 41001 — 41000 is still bound.
+	d := flowTCP(t, "10.8.0.2", "10.8.0.1", 40003, 80, 100, 0, packet.TCPSyn, nil)
+	inst.Process(d)
+	if got := binary.BigEndian.Uint16(d.Payload[0:2]); got != 41001 {
+		t.Fatalf("fresh flow port = %d, want 41001 (41000 double-freed)", got)
+	}
+	// Flow C's replies still translate back to its original endpoint.
+	in := flowTCP(t, "10.8.0.1", "198.51.100.1", 80, 41000, 300, 101, packet.TCPSyn|packet.TCPAck, nil)
+	if res := inst.Process(in); !res.Accepted {
+		t.Fatalf("flow C reply dropped by %s", res.DroppedBy)
+	}
+	if got := binary.BigEndian.Uint16(in.Payload[2:4]); got != 40002 {
+		t.Fatalf("flow C reply port = %d, want 40002", got)
+	}
+}
+
+// TestFlowNATUDPChecksumNeverZero sweeps every possible pre-rewrite
+// checksum: the patched UDP checksum must never be emitted as 0 (wire
+// meaning "no checksum", RFC 768), which would also make the reply
+// path's disabled-checksum guard skip restoring it. The value that folds
+// to zero goes out as its one's-complement equivalent 0xFFFF.
+func TestFlowNATUDPChecksumNeverZero(t *testing.T) {
+	e := &FlowNAT{}
+	natAddr := packet.MustParseAddr("198.51.100.1")
+	sawFold := false
+	for s := 0; s <= 0xffff; s++ {
+		raw := packet.NewUDP(packet.MustParseAddr("10.8.0.2"), packet.MustParseAddr("10.8.0.1"),
+			40000, 53, []byte("x"))
+		ip, err := packet.ParseIPv4(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.BigEndian.PutUint16(ip.Payload[6:8], uint16(s))
+		if !e.rewrite(ip, true, natAddr, 41000) {
+			t.Fatalf("rewrite refused a full UDP header (checksum %#x)", s)
+		}
+		got := binary.BigEndian.Uint16(ip.Payload[6:8])
+		if s == 0 {
+			if got != 0 {
+				t.Fatal("checksum-disabled packet was patched")
+			}
+			continue
+		}
+		if got == 0 {
+			t.Fatalf("checksum %#x patched to the checksum-disabled value 0", s)
+		}
+		if got == 0xffff {
+			sawFold = true
+		}
+	}
+	if !sawFold {
+		t.Error("no input exercised the zero fold — sweep is broken")
+	}
+}
+
+// TestFlowNATTruncatedTransportDropped: a transport header too short to
+// hold its checksum cannot be rewritten consistently; FlowNAT must drop
+// it rather than emit a port-rewritten packet with a stale checksum.
+func TestFlowNATTruncatedTransportDropped(t *testing.T) {
+	ctx, _ := testContext(t)
+	inst := mustInstance(t,
+		"FromDevice -> nat :: FlowNAT(ADDR 198.51.100.1, PORTS 41000-41009) -> ToDevice;", ctx)
+
+	// 10 bytes of TCP: ports and sequence number, no checksum field.
+	payload := make([]byte, 10)
+	binary.BigEndian.PutUint16(payload[0:2], 40000)
+	binary.BigEndian.PutUint16(payload[2:4], 80)
+	trunc := &packet.IPv4{
+		TTL:      64,
+		Protocol: packet.ProtoTCP,
+		Src:      packet.MustParseAddr("10.8.0.2"),
+		Dst:      packet.MustParseAddr("10.8.0.1"),
+		Payload:  payload,
+	}
+	res := inst.Process(trunc)
+	if res.Accepted {
+		t.Fatal("truncated TCP header NAT-rewritten and forwarded")
+	}
+	if res.DroppedBy != "nat" {
+		t.Fatalf("dropped by %s, want nat", res.DroppedBy)
+	}
+	if got := binary.BigEndian.Uint16(trunc.Payload[0:2]); got != 40000 {
+		t.Errorf("source port rewritten to %d on a dropped packet", got)
 	}
 }
 

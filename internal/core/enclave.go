@@ -317,9 +317,12 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 			Alert: alert,
 			// Flow expiry reads the cheap untrusted clock: a skewed clock
 			// can only age flows out early or late, never corrupt state.
+			// The hash seed is drawn per enclave so an attacker cannot
+			// precompute 5-tuples that collide in the flow table.
 			Flows: flow.NewContext(flow.Config{
 				Capacity: a.flowCapacity,
 				TTL:      a.flowTTL,
+				Seed:     flow.RandomSeed(),
 			}),
 			// No DeviceSetup: OpenVPN owns the tunnel device, the reason
 			// EndBox hot-swaps faster than vanilla Click (Table II).

@@ -29,6 +29,8 @@
 package flow
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -59,8 +61,22 @@ type Config struct {
 	// the right source even inside an enclave.
 	Now func() time.Time
 	// Seed perturbs the table hash so an attacker cannot precompute
-	// colliding 5-tuples. 0 derives a fixed seed (deterministic tests).
+	// colliding 5-tuples. Production paths must set it to RandomSeed();
+	// 0 derives a fixed seed, acceptable only for deterministic tests.
 	Seed uint64
+}
+
+// RandomSeed draws a hash seed from crypto/rand, giving each table an
+// unpredictable 5-tuple hash: the hash-flood defense Config.Seed
+// documents only exists when the seed is secret. On the (never observed)
+// failure of the system entropy source it returns 0, degrading to the
+// fixed deterministic seed rather than refusing service.
+func RandomSeed() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b[:])
 }
 
 func (c Config) withDefaults() Config {

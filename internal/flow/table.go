@@ -268,6 +268,14 @@ func (t *table) touch(e *Entry, now int64) {
 // since the previous call — on the steady state that is zero or one
 // bucket — so expiry cost is amortised across the packet path, never a
 // full-table scan.
+//
+// The cursor only moves past fully elapsed ticks. The current tick's
+// bucket is swept too, but the cursor stays behind it: a deadline later
+// in the still-running tick must be re-checked by a later advance, not
+// stranded for a full wheel lap (4×TTL) because its bucket was marked
+// done mid-tick. The current bucket only ever holds flows whose deadline
+// falls within this tick, so the re-sweep touches at most the flows
+// expiring right now.
 func (t *table) advance(now int64) {
 	nowTick := now / t.tick
 	if t.cursor < 0 {
@@ -277,18 +285,23 @@ func (t *table) advance(now int64) {
 		// Clock jumped more than a full lap: every bucket needs one sweep.
 		t.cursor = nowTick - wheelBuckets
 	}
-	for t.cursor < nowTick {
+	for t.cursor < nowTick-1 {
 		t.cursor++
-		b := t.cursor & (wheelBuckets - 1)
-		e := t.wheel[b]
-		for e != nil {
-			next := e.wheelNext
-			if e.deadline <= now {
-				t.expired.Add(1)
-				t.drop(e)
-			}
-			e = next
+		t.sweepBucket(t.cursor&(wheelBuckets-1), now)
+	}
+	t.sweepBucket(nowTick&(wheelBuckets-1), now)
+}
+
+// sweepBucket drops every entry in the bucket whose deadline has passed.
+func (t *table) sweepBucket(b, now int64) {
+	e := t.wheel[b]
+	for e != nil {
+		next := e.wheelNext
+		if e.deadline <= now {
+			t.expired.Add(1)
+			t.drop(e)
 		}
+		e = next
 	}
 }
 

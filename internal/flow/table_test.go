@@ -128,6 +128,47 @@ func TestTTLExpiry(t *testing.T) {
 	}
 }
 
+// TestExpiryMidTickUnderTraffic pins the sweep-cursor contract: a flow
+// whose deadline falls in the middle of a wheel tick must still expire
+// within one tick of its TTL when every advance happens mid-tick (the
+// common case — packets arrive at arbitrary phases). A cursor that marks
+// the current bucket swept before its tick has fully elapsed would
+// strand such flows for a whole wheel lap (4×TTL).
+func TestExpiryMidTickUnderTraffic(t *testing.T) {
+	clk := newFakeClock()
+	const ttl = time.Minute
+	tick := ttl >> ttlTickShift
+	c := NewContext(clk.Config(64, ttl))
+
+	keep := tuple("10.9.0.1", "10.0.0.1", 500, 80, packet.ProtoTCP)
+	c.Bind(keep, 10)
+
+	// Bind the idle flow a third of a tick later, so its deadline falls
+	// mid-tick relative to the keep-alive traffic's phase.
+	clk.Advance(tick / 3)
+	idle := tuple("10.9.0.2", "10.0.0.1", 600, 80, packet.ProtoTCP)
+	c.Bind(idle, 10)
+	deadline := clk.Now().Add(ttl)
+
+	// Keep-alive traffic on the other flow once per tick, phased so each
+	// sweep runs while the idle flow's deadline tick is still in
+	// progress (deadline later in the tick than the sweep).
+	clk.Advance(tick / 3)
+	for i := 0; i < 2*int(ttl/tick); i++ {
+		clk.Advance(tick)
+		c.Bind(keep, 10)
+		if _, ok := c.Lookup(idle); ok && clk.Now().After(deadline.Add(tick)) {
+			t.Fatalf("idle flow still live %v past its deadline", clk.Now().Sub(deadline))
+		}
+	}
+	if _, ok := c.Lookup(idle); ok {
+		t.Fatal("idle flow never expired")
+	}
+	if s := c.Stats(); s.Expired != 1 {
+		t.Errorf("expired = %d, want 1", s.Expired)
+	}
+}
+
 func TestCapacityBoundAndDeterministicEviction(t *testing.T) {
 	const capacity = 32
 	run := func() []uint64 {
@@ -226,6 +267,20 @@ func TestSlotLimit(t *testing.T) {
 	}
 	if _, err := c.RegisterSlot("overflow", nil); err == nil {
 		t.Error("slot overflow accepted")
+	}
+}
+
+func TestRandomSeed(t *testing.T) {
+	a, b := RandomSeed(), RandomSeed()
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("RandomSeed not random: %#x, %#x", a, b)
+	}
+	// The table behaves identically under an arbitrary seed.
+	c := NewContext(Config{Capacity: 8, Seed: a, Now: newFakeClock().Now})
+	f := tuple("10.0.0.2", "10.0.0.1", 40000, 80, packet.ProtoTCP)
+	c.Bind(f, 1)
+	if _, ok := c.Lookup(f); !ok {
+		t.Fatal("lookup failed under a random seed")
 	}
 }
 

@@ -5,6 +5,11 @@ package packet
 // RFC 1624's HC' = ~(~HC + ~m + m'). NAT-style header rewrites use it to
 // keep transport checksums (which cover the pseudo-header) valid while
 // touching only the changed words.
+//
+// The result can be 0x0000. UDP callers must transmit that as 0xFFFF
+// (the two are equal in one's-complement arithmetic): a zero UDP
+// checksum on the wire means "no checksum at all" (RFC 768, RFC 1624
+// §4).
 func UpdateChecksum16(sum, old, new uint16) uint16 {
 	x := uint32(^sum) + uint32(^old) + uint32(new)
 	for x>>16 != 0 {
