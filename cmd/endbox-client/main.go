@@ -15,9 +15,13 @@ package main
 
 import (
 	"context"
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -31,6 +35,54 @@ import (
 	"endbox/internal/vpn"
 	"endbox/mbox"
 )
+
+// resumeFile is the on-disk resume state (-resume-state): everything a
+// restarted client process needs to re-establish its session in one round
+// trip. The sealed blobs only unseal on the same (simulated) CPU, and the
+// ticket only opens under the server's in-memory ticket key, so the file
+// is not a credential on its own.
+type resumeFile struct {
+	ClientID       string            `json:"client_id"`
+	CAPub          ed25519.PublicKey `json:"ca_pub"`
+	SealedIdentity []byte            `json:"sealed_identity"`
+	Secret         []byte            `json:"secret"`
+	Ticket         []byte            `json:"ticket"`
+	Version        uint64            `json:"version"`
+}
+
+func loadResumeState(path string) (*resumeFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st resumeFile
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, err
+	}
+	if len(st.Ticket) == 0 || len(st.Secret) == 0 || len(st.SealedIdentity) == 0 || len(st.CAPub) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("incomplete resume state")
+	}
+	return &st, nil
+}
+
+func saveResumeState(path, id string, caPub ed25519.PublicKey, cli *core.Client) error {
+	secret, err := cli.ResumeSecret()
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(resumeFile{
+		ClientID:       id,
+		CAPub:          caPub,
+		SealedIdentity: cli.SealedIdentity(),
+		Secret:         secret,
+		Ticket:         cli.Ticket(),
+		Version:        cli.AppliedVersion(),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o600)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -55,6 +107,7 @@ func run() error {
 		lossSeed    = flag.Int64("loss-seed", 2, "seed for the deterministic loss model")
 		flowCap     = flag.Int("flow-capacity", 0, "bound on concurrently tracked flows in the enclave flow table (0 = default 16384)")
 		flowTTL     = flag.Duration("flow-ttl", 0, "flow idle timeout before expiry (0 = default 2m)")
+		resumePath  = flag.String("resume-state", "", "resume-state file: written after connecting; when present and valid, a fast resume (one round trip, no attestation) replaces the full handshake")
 	)
 	flag.Parse()
 
@@ -78,44 +131,24 @@ func run() error {
 	}
 	defer link.Close()
 
-	// Platform setup: CPU, quoting enclave, IAS registration (which also
-	// returns the CA public key that real deployments bake into the
-	// enclave image at build time).
-	cpu := sgx.NewCPU("machine-" + *id)
-	qe, err := attest.NewQuotingEnclave(cpu, "platform-"+*id)
-	if err != nil {
-		return err
-	}
-	caPub, err := link.Register(ctx, qe.PlatformID(), qe.VerificationKey())
-	if err != nil {
-		return fmt.Errorf("register: %w", err)
-	}
-	fmt.Println("platform registered; CA key received")
-
-	// Fetch the current middlebox configuration before connecting (paper
-	// §III-E: the config server is publicly readable so clients can always
-	// obtain up-to-date configurations before connecting).
-	blob, err := link.FetchConfig(ctx, 0)
-	if err != nil {
-		return fmt.Errorf("initial configuration: %w", err)
-	}
-	initial, err := config.Open(blob, caPub, nil)
-	if err != nil {
-		return fmt.Errorf("initial configuration: %w", err)
-	}
-	fmt.Printf("boot configuration v%d fetched (%d rule sets)\n", initial.Version, len(initial.RuleSets))
-
-	// An explicit -pipeline overrides the fetched boot configuration; it
-	// is compiled and validated here (against the fetched rule sets) so a
-	// typo fails before the enclave is even created.
-	bootCfg := initial.ClickConfig
-	if *pipeline != "" {
-		bootCfg, err = mbox.Compile(mbox.Raw(*pipeline), initial.RuleSets)
-		if err != nil {
-			return fmt.Errorf("-pipeline: %w", err)
+	// A prior run's resume state lets this one skip platform registration,
+	// attestation and the full handshake: one MsgResume round trip instead
+	// (the state file holds the sealed session secret, the resumption
+	// ticket and the sealed enclave identity — all useless off this CPU).
+	var state *resumeFile
+	if *resumePath != "" {
+		st, err := loadResumeState(*resumePath)
+		switch {
+		case err == nil && st.ClientID == *id:
+			state = st
+		case err == nil:
+			log.Printf("resume state %s belongs to %q, not %q; ignoring", *resumePath, st.ClientID, *id)
+		case !errors.Is(err, os.ErrNotExist):
+			log.Printf("resume state %s unusable (%v); falling back to full attestation", *resumePath, err)
 		}
-		fmt.Println("boot configuration overridden by -pipeline")
 	}
+
+	cpu := sgx.NewCPU("machine-" + *id)
 
 	// RTT bookkeeping for the tunnelled pings. Replies arrive on the
 	// link's dispatch goroutine, so the state is mutex-guarded.
@@ -125,64 +158,151 @@ func run() error {
 		received = 0
 	)
 	done := make(chan struct{})
+	deliver := func(ip []byte) {
+		var p packet.IPv4
+		if p.Parse(ip) != nil || p.Protocol != packet.ProtoICMP {
+			return
+		}
+		icmp, err := packet.ParseICMP(p.Payload)
+		if err != nil || icmp.Type != packet.ICMPEchoReply {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if t0, ok := sentAt[icmp.Seq]; ok {
+			fmt.Printf("ping seq=%d rtt=%v (through the enclave, both directions)\n",
+				icmp.Seq, time.Since(t0).Round(10*time.Microsecond))
+			delete(sentAt, icmp.Seq)
+			received++
+			if received == *pings {
+				close(done)
+			}
+		}
+	}
 
-	cli, err := core.NewClient(core.ClientOptions{
-		ID:            *id,
-		CPU:           cpu,
-		Mode:          sgx.ModeHardware,
-		CAPub:         caPub,
-		QE:            qe,
-		Enroll:        func(q attest.Quote) (*attest.Provision, error) { return link.Enroll(ctx, q) },
-		ClickConfig:   bootCfg,
-		RuleSets:      initial.RuleSets,
-		ConfigVersion: initial.Version,
-		BatchEcalls:   true,
-		FlowCapacity:  *flowCap,
-		FlowTTL:       *flowTTL,
-		FetchConfig:   func(v uint64) ([]byte, error) { return link.FetchConfig(context.Background(), v) },
-		Send:          link.SendFrame,
-		Deliver: func(ip []byte) {
-			var p packet.IPv4
-			if p.Parse(ip) != nil || p.Protocol != packet.ProtoICMP {
-				return
+	var caPub ed25519.PublicKey
+	establish := func(st *resumeFile) (*core.Client, error) {
+		var qe *attest.QuotingEnclave
+		if st != nil {
+			caPub = st.CAPub
+			fmt.Println("resume state loaded; skipping platform registration and attestation")
+		} else {
+			// Platform setup: CPU, quoting enclave, IAS registration
+			// (which also returns the CA public key that real deployments
+			// bake into the enclave image at build time).
+			var err error
+			qe, err = attest.NewQuotingEnclave(cpu, "platform-"+*id)
+			if err != nil {
+				return nil, err
 			}
-			icmp, err := packet.ParseICMP(p.Payload)
-			if err != nil || icmp.Type != packet.ICMPEchoReply {
-				return
+			caPub, err = link.Register(ctx, qe.PlatformID(), qe.VerificationKey())
+			if err != nil {
+				return nil, fmt.Errorf("register: %w", err)
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			if t0, ok := sentAt[icmp.Seq]; ok {
-				fmt.Printf("ping seq=%d rtt=%v (through the enclave, both directions)\n",
-					icmp.Seq, time.Since(t0).Round(10*time.Microsecond))
-				delete(sentAt, icmp.Seq)
-				received++
-				if received == *pings {
-					close(done)
-				}
+			fmt.Println("platform registered; CA key received")
+		}
+
+		// Fetch the current middlebox configuration before connecting
+		// (paper §III-E: the config server is publicly readable so clients
+		// can always obtain up-to-date configurations before connecting).
+		blob, err := link.FetchConfig(ctx, 0)
+		if err != nil {
+			return nil, fmt.Errorf("initial configuration: %w", err)
+		}
+		initial, err := config.Open(blob, caPub, nil)
+		if err != nil {
+			return nil, fmt.Errorf("initial configuration: %w", err)
+		}
+		fmt.Printf("boot configuration v%d fetched (%d rule sets)\n", initial.Version, len(initial.RuleSets))
+
+		// An explicit -pipeline overrides the fetched boot configuration;
+		// it is compiled and validated here (against the fetched rule sets)
+		// so a typo fails before the enclave is even created.
+		bootCfg := initial.ClickConfig
+		if *pipeline != "" {
+			bootCfg, err = mbox.Compile(mbox.Raw(*pipeline), initial.RuleSets)
+			if err != nil {
+				return nil, fmt.Errorf("-pipeline: %w", err)
 			}
-		},
-	})
+			fmt.Println("boot configuration overridden by -pipeline")
+		}
+
+		copts := core.ClientOptions{
+			ID:            *id,
+			CPU:           cpu,
+			Mode:          sgx.ModeHardware,
+			CAPub:         caPub,
+			ClickConfig:   bootCfg,
+			RuleSets:      initial.RuleSets,
+			ConfigVersion: initial.Version,
+			BatchEcalls:   true,
+			FlowCapacity:  *flowCap,
+			FlowTTL:       *flowTTL,
+			FetchConfig:   func(v uint64) ([]byte, error) { return link.FetchConfig(context.Background(), v) },
+			Send:          link.SendFrame,
+			Deliver:       deliver,
+		}
+		if st != nil {
+			copts.SealedIdentity = st.SealedIdentity
+		} else {
+			copts.QE = qe
+			copts.Enroll = func(q attest.Quote) (*attest.Provision, error) { return link.Enroll(ctx, q) }
+		}
+		cli, err := core.NewClient(copts)
+		if err != nil {
+			return nil, err
+		}
+
+		// Pump inbound frames into the client, then establish the session.
+		link.SetDeliver(func(frame []byte) error {
+			if err := cli.HandleFrame(frame); err != nil {
+				log.Printf("inbound frame: %v", err)
+			}
+			return nil
+		})
+		if st != nil {
+			err = cli.Resume(ctx, st.Secret, st.Ticket, func(r *vpn.ResumeRequest) (*vpn.ResumeReply, error) {
+				return link.Resume(ctx, r)
+			})
+			if err != nil {
+				cli.Close()
+				return nil, fmt.Errorf("fast resume: %w", err)
+			}
+			fmt.Println("VPN resumed (no attestation, no key exchange)")
+			return cli, nil
+		}
+		fmt.Println("enclave created, attested and provisioned")
+		err = cli.Connect(ctx, func(hello *vpn.ClientHello) (*vpn.ServerHello, error) {
+			return link.Hello(ctx, hello)
+		})
+		if err != nil {
+			cli.Close()
+			return nil, fmt.Errorf("VPN handshake: %w", err)
+		}
+		fmt.Println("VPN connected")
+		return cli, nil
+	}
+
+	cli, err := establish(state)
+	if err != nil && state != nil {
+		// A stale ticket (server restart, eviction past the ticket TTL)
+		// is recoverable: discard the state and attest from scratch.
+		log.Printf("%v; falling back to full attestation", err)
+		os.Remove(*resumePath)
+		cli, err = establish(nil)
+	}
 	if err != nil {
 		return err
 	}
 	defer cli.Close()
-	fmt.Println("enclave created, attested and provisioned")
 
-	// Pump inbound frames into the client, then shake hands over UDP.
-	link.SetDeliver(func(frame []byte) error {
-		if err := cli.HandleFrame(frame); err != nil {
-			log.Printf("inbound frame: %v", err)
+	if *resumePath != "" {
+		if err := saveResumeState(*resumePath, *id, caPub, cli); err != nil {
+			log.Printf("resume state not saved: %v", err)
+		} else {
+			fmt.Printf("resume state saved to %s\n", *resumePath)
 		}
-		return nil
-	})
-	err = cli.Connect(ctx, func(hello *vpn.ClientHello) (*vpn.ServerHello, error) {
-		return link.Hello(ctx, hello)
-	})
-	if err != nil {
-		return fmt.Errorf("VPN handshake: %w", err)
 	}
-	fmt.Println("VPN connected")
 
 	// Tunnelled pings to a host "in the managed network" (the demo server
 	// echoes them).

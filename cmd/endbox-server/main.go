@@ -53,6 +53,11 @@ func run() error {
 		lossSeed    = flag.Int64("loss-seed", 1, "seed for the deterministic loss model")
 		flowCap     = flag.Int("flow-capacity", 0, "bound on concurrently tracked flows per client enclave (0 = default 16384)")
 		flowTTL     = flag.Duration("flow-ttl", 0, "flow idle timeout before expiry (0 = default 2m)")
+		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle for this long (0 = never evict)")
+		hsRate      = flag.Float64("hs-rate", 0, "admitted handshakes per second, token-bucket refill (0 = unlimited)")
+		hsBurst     = flag.Int("hs-burst", 0, "handshake token-bucket depth (0 = derived from -hs-rate)")
+		hsInflight  = flag.Int("hs-inflight", 0, "cap on concurrently in-flight handshakes (0 = unlimited)")
+		maxSessions = flag.Int("max-sessions", 0, "hard bound on established sessions (0 = unlimited)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -94,6 +99,13 @@ func run() error {
 			Seed:      *lossSeed,
 		}),
 		endbox.WithFlowTable(*flowCap, *flowTTL),
+		endbox.WithSessionTTL(*sessionTTL),
+		endbox.WithAdmission(endbox.AdmissionConfig{
+			HandshakeRate:  *hsRate,
+			HandshakeBurst: *hsBurst,
+			MaxConcurrent:  *hsInflight,
+			MaxSessions:    *maxSessions,
+		}),
 		// Demo "managed network": echo packets back to the sender,
 		// answering ICMP echo requests properly.
 		endbox.WithEchoNetwork(),
@@ -137,6 +149,12 @@ func run() error {
 	}
 	if *lossDrop > 0 || *lossDup > 0 || *lossReorder > 0 {
 		arqState += fmt.Sprintf(", simulated loss %.0f%%", *lossDrop*100)
+	}
+	if *sessionTTL > 0 {
+		arqState += fmt.Sprintf(", session TTL %v", *sessionTTL)
+	}
+	if *maxSessions > 0 || *hsRate > 0 || *hsInflight > 0 {
+		arqState += ", admission control on"
 	}
 	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (%s, %d session shards, %d ingress workers, %s, CA ready)\n",
 		transport.Addr(), bootLabel, deployment.Server.VPN().ShardCount(), transport.Workers(), arqState)

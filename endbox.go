@@ -44,6 +44,7 @@ import (
 	"endbox/internal/click"
 	"endbox/internal/config"
 	"endbox/internal/core"
+	"endbox/internal/lifecycle"
 	"endbox/internal/sgx"
 	"endbox/internal/udptransport"
 	"endbox/internal/vpn"
@@ -160,6 +161,31 @@ var ErrBadPipeline = mbox.ErrBadPipeline
 // each direction plus drops), read via Deployment.ClientStats or
 // aggregated over all clients via Deployment.AggregateStats (paper §V-E).
 type VIFStats = vpn.VIFStats
+
+// AdmissionConfig tunes handshake admission control (see WithAdmission):
+// a token bucket on handshake starts, a concurrent-handshake cap and a
+// hard session bound, all enforced before expensive crypto.
+type AdmissionConfig = lifecycle.AdmissionConfig
+
+// LifecycleStats is the session-lifecycle snapshot read via
+// Deployment.LifecycleStats: active/tracked/evicted/resumed session
+// counters plus admission-control accept/throttle/reject totals.
+type LifecycleStats = lifecycle.Stats
+
+// ResumeState is the portable snapshot that lets a client re-establish
+// its session after a process restart without re-running attestation —
+// capture with Deployment.ResumeState, replay with Deployment.ResumeClient.
+type ResumeState = core.ResumeState
+
+// ErrAdmissionThrottled is returned (wrapped) when admission control
+// refuses a handshake because the token bucket is empty or too many
+// handshakes are already in flight; the client should back off and retry.
+var ErrAdmissionThrottled = lifecycle.ErrAdmissionThrottled
+
+// ErrServerFull is returned (wrapped) when the deployment is at its
+// configured hard session bound; retrying is useless until sessions are
+// evicted or removed.
+var ErrServerFull = lifecycle.ErrServerFull
 
 // MultiObserver fans events out to several observers in order.
 func MultiObserver(obs ...Observer) Observer { return core.MultiObserver(obs...) }

@@ -93,6 +93,9 @@ type Client struct {
 	appliedMu chan struct{} // 1-token semaphore guarding update state
 	version   uint64
 	updateErr error
+
+	ticketMu sync.Mutex
+	ticket   []byte // latest server-issued resumption ticket (opaque)
 }
 
 // alertQueue buffers middlebox alerts raised inside an ecall until the
@@ -378,7 +381,75 @@ func (c *Client) Connect(ctx context.Context, accept func(*vpn.ClientHello) (*vp
 	if _, err := c.enclave.Ecall(ecallHsFinish, hsFinishArg{st: st, sh: sh}); err != nil {
 		return err
 	}
+	c.setTicket(sh.Ticket)
 	return nil
+}
+
+// Resume re-establishes the VPN session from a resumption ticket
+// (paper-faithful fast reconnect: no attestation, no enrolment, no
+// certificate walk — one signed round trip). secret is the enclave-sealed
+// resume secret from ResumeSecret; empty resumes from the enclave's
+// in-memory session (the in-place case, e.g. after the server evicted an
+// idle session). send performs the MsgResume round trip.
+func (c *Client) Resume(ctx context.Context, secret, ticket []byte, send func(*vpn.ResumeRequest) (*vpn.ResumeReply, error)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(ticket) == 0 {
+		ticket = c.Ticket()
+	}
+	if len(ticket) == 0 {
+		return fmt.Errorf("core: no resumption ticket for %q", c.opts.ID)
+	}
+	sign := func(transcript []byte) ([]byte, error) {
+		sig, err := c.enclave.Ecall(ecallHsSign, transcript)
+		if err != nil {
+			return nil, err
+		}
+		return sig.([]byte), nil
+	}
+	req, err := vpn.NewResumeRequest(c.opts.ID, ticket, c.AppliedVersion(), sign)
+	if err != nil {
+		return err
+	}
+	reply, err := send(req)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if _, err := c.enclave.Ecall(ecallResumeFinish, resumeFinishArg{sealed: secret, req: req, reply: reply}); err != nil {
+		return err
+	}
+	c.setTicket(reply.Ticket)
+	return nil
+}
+
+// ResumeSecret exports the current session secret sealed to this enclave
+// — together with Ticket it is everything a restarted client needs to
+// resume without re-attesting. Fails with ErrNoSession before Connect.
+func (c *Client) ResumeSecret() ([]byte, error) {
+	res, err := c.enclave.Ecall(ecallExportResume, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.([]byte), nil
+}
+
+// Ticket returns the latest server-issued resumption ticket (nil before
+// Connect). The ticket is opaque and public-safe: the session secret
+// inside is sealed under the server's in-memory key.
+func (c *Client) Ticket() []byte {
+	c.ticketMu.Lock()
+	defer c.ticketMu.Unlock()
+	return append([]byte(nil), c.ticket...)
+}
+
+func (c *Client) setTicket(t []byte) {
+	c.ticketMu.Lock()
+	c.ticket = append([]byte(nil), t...)
+	c.ticketMu.Unlock()
 }
 
 // certificate exports the provisioned certificate from the enclave. The

@@ -10,6 +10,7 @@ import (
 	"endbox/internal/attest"
 	"endbox/internal/click"
 	"endbox/internal/idps"
+	"endbox/internal/lifecycle"
 	"endbox/internal/packet"
 	"endbox/internal/sgx"
 	"endbox/internal/vpn"
@@ -77,6 +78,25 @@ type DeploymentOptions struct {
 	// FlowTTL is the flow idle timeout; 0 selects the default (2
 	// minutes). ClientSpec can override per client.
 	FlowTTL time.Duration
+	// SessionTTL enables liveness-driven session eviction: a client that
+	// produces no authenticated frames (data or keepalive pongs) for this
+	// long is evicted by the background sweep, its tunnel address and
+	// session-table slot reclaimed. 0 disables eviction (the
+	// pre-lifecycle behaviour: sessions live forever).
+	SessionTTL time.Duration
+	// SweepInterval is how often the background sweep runs when
+	// SessionTTL is set (default SessionTTL/4, floor 10ms). Tests with a
+	// virtual Clock disable it with a negative value and call
+	// SweepSessions directly.
+	SweepInterval time.Duration
+	// Admission bounds the handshake/resume path: handshake rate, the
+	// concurrent-handshake cost cap and a hard session bound, checked
+	// before any expensive crypto. The zero value admits everything.
+	Admission lifecycle.AdmissionConfig
+	// TicketTTL bounds how long a resumption ticket stays valid (0 = for
+	// the life of the server process; a restart always invalidates all
+	// tickets because the sealing key is in-memory only).
+	TicketTTL time.Duration
 }
 
 // ClientSpec configures one client joining a deployment. Data-path events
@@ -186,6 +206,12 @@ type Deployment struct {
 	opts      DeploymentOptions
 	transport Transport
 
+	// admission is nil unless DeploymentOptions.Admission enables a
+	// check; sweepStop stops the background eviction loop.
+	admission *lifecycle.Admission
+	sweepStop chan struct{}
+	sweepOnce sync.Once
+
 	mu        sync.Mutex
 	clients   map[string]*Client
 	links     map[string]ClientLink
@@ -214,6 +240,9 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	if err := opts.Admission.Validate(); err != nil {
+		return nil, err
+	}
 	ias, err := attest.NewIAS()
 	if err != nil {
 		return nil, err
@@ -240,6 +269,9 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 		addrs:    make(map[packet.Addr]string),
 		addrByID: make(map[string]packet.Addr),
 		nextIP:   2, // 10.8.0.1 is the server
+	}
+	if opts.Admission.Enabled() {
+		d.admission = lifecycle.NewAdmission(opts.Admission)
 	}
 
 	var serverClick *click.Instance
@@ -279,6 +311,8 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 		Deliver:        d.deliver,
 		SendTo:         d.transport.SendToClient,
 		Shards:         opts.Shards,
+		SessionTTL:     opts.SessionTTL,
+		TicketTTL:      opts.TicketTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -288,7 +322,78 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 	if err := d.transport.BindServer(d); err != nil {
 		return nil, err
 	}
+	if opts.SessionTTL > 0 && opts.SweepInterval >= 0 {
+		interval := opts.SweepInterval
+		if interval == 0 {
+			interval = opts.SessionTTL / 4
+		}
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		d.sweepStop = make(chan struct{})
+		go d.sweepLoop(interval)
+	}
 	return d, nil
+}
+
+// sweepLoop periodically evicts idle sessions until the deployment closes.
+// The ticker runs on wall time; the liveness decision itself reads the
+// deployment Clock, so virtual-time tests call SweepSessions directly
+// (with SweepInterval < 0 to suppress this loop).
+func (d *Deployment) sweepLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.sweepStop:
+			return
+		case <-t.C:
+			d.SweepSessions()
+		}
+	}
+}
+
+// SweepSessions advances the liveness wheel once, evicting every session
+// whose TTL lapsed and reclaiming its deployment state: tunnel address
+// (returned to the free list for reuse), transport link, rollout labels
+// and — for in-process clients — the enclave. It returns the evicted
+// client IDs. The background sweep calls this on a timer; tests with a
+// virtual clock call it directly.
+func (d *Deployment) SweepSessions() []string {
+	evicted := d.Server.VPN().SweepExpired()
+	for _, id := range evicted {
+		d.reclaim(id)
+		if lo, ok := d.observe().(LifecycleObserver); ok {
+			lo.SessionEvicted(id)
+		}
+	}
+	return evicted
+}
+
+// reclaim releases the deployment-side state of a session the VPN layer
+// already evicted. Unlike RemoveClient it must not touch the VPN session
+// table: the slot may already be owned by a successor (takeover).
+func (d *Deployment) reclaim(id string) {
+	d.mu.Lock()
+	cli := d.clients[id]
+	link := d.links[id]
+	delete(d.clients, id)
+	delete(d.links, id)
+	delete(d.labels, id)
+	delete(d.joinSeq, id)
+	if addr, ok := d.addrByID[id]; ok {
+		delete(d.addrs, addr)
+		delete(d.addrByID, id)
+		d.freeAddrs = append(d.freeAddrs, addr)
+	}
+	d.mu.Unlock()
+	d.Server.VPN().Policy().ForgetClient(id)
+	if link != nil {
+		link.Close()
+	}
+	if cli != nil {
+		cli.Close()
+	}
 }
 
 // Transport returns the transport carrying this deployment's traffic.
@@ -322,9 +427,52 @@ func (d *Deployment) Enroll(q attest.Quote) (*attest.Provision, error) {
 	return d.CA.Enroll(q)
 }
 
-// AcceptHello implements ServerEndpoint.
+// admit runs the admission gate (when configured) before the expensive
+// handshake crypto. It returns the release for the concurrency slot; the
+// caller must invoke it when the handshake finishes either way.
+func (d *Deployment) admit(clientID string) (func(), error) {
+	if d.admission == nil {
+		return func() {}, nil
+	}
+	done, err := d.admission.Begin(d.Server.VPN().ClientCount(), d.opts.Clock().UnixNano())
+	if err != nil {
+		if lo, ok := d.observe().(LifecycleObserver); ok {
+			lo.AdmissionRefused(clientID, err)
+		}
+		return nil, err
+	}
+	return done, nil
+}
+
+// AcceptHello implements ServerEndpoint. The admission gate runs first:
+// a throttled or full server refuses here, before certificate
+// verification, ECDH and ticket sealing burn any CPU.
 func (d *Deployment) AcceptHello(h *vpn.ClientHello) (*vpn.ServerHello, error) {
+	done, err := d.admit(h.ClientID)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
 	return d.Server.VPN().Accept(h)
+}
+
+// AcceptResume implements ServerEndpoint: the fast-resume path. It
+// shares the admission gate with AcceptHello — resumes are cheap but not
+// free, and a replayed-ticket storm must not bypass the rate limit.
+func (d *Deployment) AcceptResume(r *vpn.ResumeRequest) (*vpn.ResumeReply, error) {
+	done, err := d.admit(r.ClientID)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	reply, err := d.Server.VPN().Resume(r)
+	if err != nil {
+		return nil, err
+	}
+	if lo, ok := d.observe().(LifecycleObserver); ok {
+		lo.SessionResumed(r.ClientID)
+	}
+	return reply, nil
 }
 
 // HandleFrame implements ServerEndpoint.
@@ -387,10 +535,16 @@ func (d *Deployment) AddClient(ctx context.Context, id string, spec ClientSpec) 
 	_, dup := d.clients[id]
 	d.mu.Unlock()
 	if dup {
-		// The VPN handshake would reject the duplicate anyway; failing here
-		// keeps the error identical across transports and avoids the
-		// attestation work.
-		return nil, fmt.Errorf("core: client %q already connected", id)
+		// A crashed-and-rebooted client reconnects under its old ID. If
+		// the old session's liveness lapsed, reclaim it and let the fresh
+		// join take the slot over; a still-live duplicate is refused — the
+		// VPN handshake would reject it anyway, and failing here keeps the
+		// error identical across transports and avoids the attestation
+		// work.
+		if !d.Server.VPN().SessionExpired(id) {
+			return nil, fmt.Errorf("core: client %q already connected", id)
+		}
+		d.RemoveClient(id)
 	}
 	link, err := d.transport.Link(ctx, id)
 	if err != nil {
@@ -520,6 +674,196 @@ func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string
 	})
 }
 
+// ResumeState is everything a client needs to re-establish its session
+// without repeating attestation, enrolment or the full handshake: the
+// enclave-sealed identity and session secret, the server's opaque
+// resumption ticket, the applied configuration version, and the tunnel
+// address to reclaim. The two sealed blobs are useless off the client's
+// own (virtual) CPU; the ticket is useless without the attested signing
+// key. Snapshot it with Deployment.ResumeState before a planned restart,
+// or persist it the way cmd/endbox-client does.
+type ResumeState struct {
+	ClientID       string
+	Addr           packet.Addr
+	Version        uint64
+	SealedIdentity []byte
+	Secret         []byte
+	Ticket         []byte
+}
+
+// ResumeState snapshots a connected client's resumption state.
+func (d *Deployment) ResumeState(id string) (ResumeState, error) {
+	d.mu.Lock()
+	cli := d.clients[id]
+	addr := d.addrByID[id]
+	d.mu.Unlock()
+	if cli == nil {
+		return ResumeState{}, fmt.Errorf("core: client %q not connected", id)
+	}
+	secret, err := cli.ResumeSecret()
+	if err != nil {
+		return ResumeState{}, err
+	}
+	return ResumeState{
+		ClientID:       id,
+		Addr:           addr,
+		Version:        cli.AppliedVersion(),
+		SealedIdentity: cli.SealedIdentity(),
+		Secret:         secret,
+		Ticket:         cli.Ticket(),
+	}, nil
+}
+
+// ResumeClient re-establishes a client from a ResumeState snapshot: the
+// enclave is rebuilt from the sealed identity (no attestation, no
+// enrolment round trips), the session from the resumption ticket (no
+// certificate walk, no ECDH), and the previous tunnel address is
+// reclaimed when still free. Any lingering local incarnation of the
+// client is replaced — the ticket plus a signature under the attested
+// key is proof the same principal is reclaiming its slot.
+func (d *Deployment) ResumeClient(ctx context.Context, state ResumeState, spec ClientSpec) (*Client, error) {
+	id := state.ClientID
+	if id == "" || len(state.SealedIdentity) == 0 || len(state.Secret) == 0 || len(state.Ticket) == 0 {
+		return nil, fmt.Errorf("core: incomplete resume state for client %q", id)
+	}
+	d.mu.Lock()
+	_, dup := d.clients[id]
+	d.mu.Unlock()
+	if dup {
+		d.RemoveClient(id)
+	}
+	link, err := d.transport.Link(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	rl, ok := link.(ResumeLink)
+	if !ok {
+		link.Close()
+		return nil, fmt.Errorf("core: transport cannot resume client %q (no ResumeLink); use AddClient", id)
+	}
+	cli, err := d.buildResumedClient(ctx, link, id, spec, state)
+	if err != nil {
+		link.Close()
+		return nil, err
+	}
+	if bl, ok := link.(BatchClientLink); ok {
+		bl.SetDeliverBatch(func(frames [][]byte) error {
+			_, err := cli.HandleFrames(frames)
+			return err
+		})
+	} else {
+		link.SetDeliver(cli.HandleFrame)
+	}
+	if err := cli.Resume(ctx, state.Secret, state.Ticket, func(r *vpn.ResumeRequest) (*vpn.ResumeReply, error) {
+		return rl.Resume(ctx, r)
+	}); err != nil {
+		cli.Close()
+		link.Close()
+		return nil, err
+	}
+
+	d.mu.Lock()
+	addr, ok := d.takeAddrLocked(state.Addr)
+	if !ok {
+		d.mu.Unlock()
+		d.Server.VPN().Disconnect(id)
+		cli.Close()
+		link.Close()
+		return nil, fmt.Errorf("core: tunnel address space exhausted (10.8.0.0/24)")
+	}
+	d.clients[id] = cli
+	d.links[id] = link
+	d.lastSeq++
+	d.joinSeq[id] = d.lastSeq
+	if len(spec.Labels) > 0 {
+		labels := make(map[string]string, len(spec.Labels))
+		for k, v := range spec.Labels {
+			labels[k] = v
+		}
+		d.labels[id] = labels
+	}
+	d.addrs[addr] = id
+	d.addrByID[id] = addr
+	d.mu.Unlock()
+	return cli, nil
+}
+
+// takeAddrLocked reclaims the session's previous tunnel address when it
+// sits on the free list (same VIF across resume, the common case) and
+// falls back to a fresh allocation. It never hands out an address the
+// allocator has not released: an arbitrary prev could collide with
+// nextIP's future allocations. Callers hold d.mu.
+func (d *Deployment) takeAddrLocked(prev packet.Addr) (packet.Addr, bool) {
+	if prev != (packet.Addr{}) {
+		for i, a := range d.freeAddrs {
+			if a == prev {
+				d.freeAddrs = append(d.freeAddrs[:i], d.freeAddrs[i+1:]...)
+				return a, true
+			}
+		}
+	}
+	return d.allocAddrLocked()
+}
+
+// buildResumedClient rebuilds a client's enclave from its sealed
+// identity: everything buildClient does except the attestation and
+// enrolment round trips (Register, Quote, Enroll), which the sealed
+// identity replaces.
+func (d *Deployment) buildResumedClient(ctx context.Context, link ClientLink, id string, spec ClientSpec, state ResumeState) (*Client, error) {
+	ruleSets := mergedRuleSets(spec.ExtraRuleSets)
+	cfg, err := compileSpec(spec, ruleSets)
+	if err != nil {
+		return nil, err
+	}
+	flowCapacity := spec.FlowCapacity
+	if flowCapacity == 0 {
+		flowCapacity = d.opts.FlowCapacity
+	}
+	flowTTL := spec.FlowTTL
+	if flowTTL == 0 {
+		flowTTL = d.opts.FlowTTL
+	}
+	obs := d.observe()
+	return NewClient(ClientOptions{
+		ID: id,
+		// The same seed rebuilds the same virtual CPU, so the sealed
+		// blobs unseal — the simulation's equivalent of restarting on the
+		// same physical machine.
+		CPU:                sgx.NewCPU("client-cpu-" + id),
+		Mode:               spec.Mode,
+		BurnCPU:            spec.BurnCPU,
+		TransitionCost:     spec.TransitionCost,
+		CAPub:              d.CA.PublicKey(),
+		SealedIdentity:     state.SealedIdentity,
+		ClickConfig:        cfg,
+		RuleSets:           ruleSets,
+		ConfigVersion:      state.Version,
+		WireMode:           d.opts.Mode,
+		FlagClientToClient: spec.FlagClientToClient,
+		BatchEcalls:        !spec.NaiveEcalls,
+		FlowCapacity:       flowCapacity,
+		FlowTTL:            flowTTL,
+		FetchConfig: func(version uint64) ([]byte, error) {
+			return link.FetchConfig(context.Background(), version)
+		},
+		Send:    link.SendFrame,
+		Deliver: func(ip []byte) { obs.PacketReceived(id, ip) },
+		OnAlert: func(a click.Alert) { obs.Alert(id, a) },
+		Clock:   d.opts.Clock,
+	})
+}
+
+// LifecycleStats snapshots the deployment's session lifecycle counters:
+// active/tracked sessions, evictions, resumes, takeovers, and the
+// admission gate's admitted/throttled/refused tallies.
+func (d *Deployment) LifecycleStats() lifecycle.Stats {
+	st := lifecycle.Stats{Sessions: d.Server.VPN().SessionStats()}
+	if d.admission != nil {
+		st.Admission = d.admission.Stats()
+	}
+	return st
+}
+
 // ClientStats returns a connected client's virtual-interface counters,
 // read from the sharded session table's shard-local atomics.
 func (d *Deployment) ClientStats(id string) (vpn.VIFStats, error) {
@@ -551,31 +895,15 @@ func (d *Deployment) Client(id string) (*Client, bool) {
 // RemoveClient disconnects one client, releasing its session, link, tunnel
 // address and enclave.
 func (d *Deployment) RemoveClient(id string) {
-	d.mu.Lock()
-	cli := d.clients[id]
-	link := d.links[id]
-	delete(d.clients, id)
-	delete(d.links, id)
-	delete(d.labels, id)
-	delete(d.joinSeq, id)
-	if addr, ok := d.addrByID[id]; ok {
-		delete(d.addrs, addr)
-		delete(d.addrByID, id)
-		d.freeAddrs = append(d.freeAddrs, addr)
-	}
-	d.mu.Unlock()
 	d.Server.VPN().Disconnect(id)
-	d.Server.VPN().Policy().ForgetClient(id)
-	if link != nil {
-		link.Close()
-	}
-	if cli != nil {
-		cli.Close()
-	}
+	d.reclaim(id)
 }
 
 // Close destroys all client enclaves and the transport.
 func (d *Deployment) Close() {
+	if d.sweepStop != nil {
+		d.sweepOnce.Do(func() { close(d.sweepStop) })
+	}
 	d.mu.Lock()
 	clients := d.clients
 	links := d.links

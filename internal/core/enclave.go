@@ -14,6 +14,7 @@ import (
 	"crypto/ecdh"
 	"crypto/ed25519"
 	"crypto/rand"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -50,6 +51,8 @@ const (
 	ecallRestore         = "restore"
 	ecallHsSign          = "hs_sign"
 	ecallHsFinish        = "hs_finish"
+	ecallExportResume    = "export_resume"
+	ecallResumeFinish    = "resume_finish"
 	ecallInitClick       = "init_click"
 	ecallProcessOut      = "process_out"       // *
 	ecallProcessOutBatch = "process_out_batch" // *
@@ -86,6 +89,10 @@ type enclaveState struct {
 	shared   []byte
 
 	session *wire.Session
+	// master is the current VPN session's master secret, retained for
+	// fast resume: the resumed master is derived from it inside the
+	// enclave, so it never crosses the boundary except sealed.
+	master  []byte
 	router  *click.Instance
 	keys    *tlstap.KeyTable
 	applied uint64
@@ -129,6 +136,22 @@ type provisionArg struct {
 type hsFinishArg struct {
 	st *vpn.HandshakeState
 	sh *vpn.ServerHello
+}
+
+// sealedResume is the enclave-sealed session secret a client exports to
+// survive a restart: presenting it back (with the server's resumption
+// ticket) re-establishes the session without re-attesting.
+type sealedResume struct {
+	Master []byte `json:"master"`
+}
+
+// resumeFinishArg crosses the boundary for ecallResumeFinish. sealed is
+// the exported resume secret; empty selects the in-memory master (an
+// in-place resume after the server evicted the session).
+type resumeFinishArg struct {
+	sealed []byte
+	req    *vpn.ResumeRequest
+	reply  *vpn.ResumeReply
 }
 
 // initClickArg configures the in-enclave Click instance.
@@ -287,6 +310,63 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 			return nil, err
 		}
 		st.session = sess
+		st.master = master
+		return nil, nil
+	}); err != nil {
+		return err
+	}
+
+	// Export the current session secret sealed to this enclave, so a
+	// restarted client can resume without re-attesting (the resume
+	// analogue of the sealed identity).
+	if err := reg(ecallExportResume, func(ctx *sgx.Ctx, _ any) (any, error) {
+		if st.master == nil {
+			return nil, ErrNoSession
+		}
+		blob, err := json.Marshal(sealedResume{Master: st.master})
+		if err != nil {
+			return nil, fmt.Errorf("core: marshal resume secret: %w", err)
+		}
+		return ctx.Seal(blob, []byte("endbox-resume"))
+	}); err != nil {
+		return err
+	}
+
+	// Finish a fast resume: verify the server's reply and derive the
+	// rotated master inside the enclave — the previous master (sealed or
+	// in-memory) never crosses the boundary in the clear, mirroring
+	// ecallHsFinish. The client-side downgrade floor was already pinned
+	// at the original handshake; resume cannot renegotiate it.
+	if err := reg(ecallResumeFinish, func(ctx *sgx.Ctx, arg any) (any, error) {
+		a, ok := arg.(resumeFinishArg)
+		if !ok || a.req == nil || a.reply == nil {
+			return nil, fmt.Errorf("core: bad resume-finish argument")
+		}
+		prev := st.master
+		if len(a.sealed) > 0 {
+			blob, err := ctx.Unseal(a.sealed, []byte("endbox-resume"))
+			if err != nil {
+				return nil, err
+			}
+			var sr sealedResume
+			if err := json.Unmarshal(blob, &sr); err != nil {
+				return nil, fmt.Errorf("core: unmarshal resume secret: %w", err)
+			}
+			prev = sr.Master
+		}
+		if prev == nil {
+			return nil, ErrNoSession
+		}
+		master, err := vpn.FinishResume(a.req, a.reply, st.caPub, prev)
+		if err != nil {
+			return nil, err
+		}
+		sess, err := wire.NewSession(master, st.mode, true)
+		if err != nil {
+			return nil, err
+		}
+		st.session = sess
+		st.master = master
 		return nil, nil
 	}); err != nil {
 		return err

@@ -45,6 +45,12 @@ type ServerOptions struct {
 	// Shards is the VPN session-table shard count (0 = automatic; 1
 	// reproduces the monolithic single-lock table).
 	Shards int
+	// SessionTTL enables liveness-driven eviction: sessions idle for
+	// this long may be swept. 0 disables (sessions live forever).
+	SessionTTL time.Duration
+	// TicketTTL bounds resumption-ticket age (0 = life of the server's
+	// in-memory ticket key).
+	TicketTTL time.Duration
 }
 
 // Server bundles the managed network's server side: VPN endpoint,
@@ -103,6 +109,8 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		SendTo:     opts.SendTo,
 		Process:    process,
 		Shards:     opts.Shards,
+		SessionTTL: opts.SessionTTL,
+		TicketTTL:  opts.TicketTTL,
 	})
 	if err != nil {
 		return nil, err

@@ -26,6 +26,11 @@ type ServerEndpoint interface {
 	Enroll(q attest.Quote) (*attest.Provision, error)
 	// AcceptHello runs the server side of the VPN handshake.
 	AcceptHello(h *vpn.ClientHello) (*vpn.ServerHello, error)
+	// AcceptResume runs the server side of a fast session resume
+	// (MsgResume): a ticket check and one signature verification instead
+	// of the full handshake — and no attestation or enrolment round
+	// trips upstream of it.
+	AcceptResume(r *vpn.ResumeRequest) (*vpn.ResumeReply, error)
 	// HandleFrame processes one sealed client->server frame. The frame
 	// buffer is lent for the duration of the call: the endpoint may
 	// decrypt it in place, and the transport may recycle it as soon as
@@ -60,6 +65,15 @@ type ClientLink interface {
 	SetDeliver(fn func(frame []byte) error)
 	// Close releases the link.
 	Close() error
+}
+
+// ResumeLink is optionally implemented by client links that can carry
+// the fast-resume round trip (MsgResume). Both built-in transports do;
+// a deployment resuming a client over a link without it falls back to a
+// full handshake error so the caller can AddClient instead.
+type ResumeLink interface {
+	// Resume performs the resume round trip.
+	Resume(ctx context.Context, r *vpn.ResumeRequest) (*vpn.ResumeReply, error)
 }
 
 // BatchClientLink is optionally implemented by client links that can
@@ -227,12 +241,32 @@ type Observer interface {
 	Alert(clientID string, a click.Alert)
 }
 
-// ObserverFuncs adapts plain functions to Observer; nil fields ignore the
+// LifecycleObserver is optionally implemented by Observers that also
+// want session lifecycle events: evictions by the liveness sweep, fast
+// resumes, and admission-control refusals. The deployment type-asserts
+// its observer once; a plain Observer sees only data-path events.
+type LifecycleObserver interface {
+	// SessionEvicted fires when the liveness sweep evicts an idle
+	// session (its VIF address and shard slot have been reclaimed).
+	SessionEvicted(clientID string)
+	// SessionResumed fires when a client re-establishes its session from
+	// a resumption ticket.
+	SessionResumed(clientID string)
+	// AdmissionRefused fires when admission control turns a handshake or
+	// resume away; err is ErrAdmissionThrottled or ErrServerFull.
+	AdmissionRefused(clientID string, err error)
+}
+
+// ObserverFuncs adapts plain functions to Observer (and, via the
+// lifecycle fields, to LifecycleObserver); nil fields ignore the
 // corresponding event.
 type ObserverFuncs struct {
 	OnDelivered func(clientID string, ip []byte)
 	OnReceived  func(clientID string, ip []byte)
 	OnAlert     func(clientID string, a click.Alert)
+	OnEvicted   func(clientID string)
+	OnResumed   func(clientID string)
+	OnRefused   func(clientID string, err error)
 }
 
 // PacketDelivered implements Observer.
@@ -256,6 +290,27 @@ func (o ObserverFuncs) Alert(clientID string, a click.Alert) {
 	}
 }
 
+// SessionEvicted implements LifecycleObserver.
+func (o ObserverFuncs) SessionEvicted(clientID string) {
+	if o.OnEvicted != nil {
+		o.OnEvicted(clientID)
+	}
+}
+
+// SessionResumed implements LifecycleObserver.
+func (o ObserverFuncs) SessionResumed(clientID string) {
+	if o.OnResumed != nil {
+		o.OnResumed(clientID)
+	}
+}
+
+// AdmissionRefused implements LifecycleObserver.
+func (o ObserverFuncs) AdmissionRefused(clientID string, err error) {
+	if o.OnRefused != nil {
+		o.OnRefused(clientID, err)
+	}
+}
+
 // MultiObserver fans events out to several observers in order.
 func MultiObserver(obs ...Observer) Observer { return multiObserver(obs) }
 
@@ -276,6 +331,33 @@ func (m multiObserver) PacketReceived(clientID string, ip []byte) {
 func (m multiObserver) Alert(clientID string, a click.Alert) {
 	for _, o := range m {
 		o.Alert(clientID, a)
+	}
+}
+
+// multiObserver also fans out lifecycle events, to whichever members
+// implement LifecycleObserver.
+
+func (m multiObserver) SessionEvicted(clientID string) {
+	for _, o := range m {
+		if lo, ok := o.(LifecycleObserver); ok {
+			lo.SessionEvicted(clientID)
+		}
+	}
+}
+
+func (m multiObserver) SessionResumed(clientID string) {
+	for _, o := range m {
+		if lo, ok := o.(LifecycleObserver); ok {
+			lo.SessionResumed(clientID)
+		}
+	}
+}
+
+func (m multiObserver) AdmissionRefused(clientID string, err error) {
+	for _, o := range m {
+		if lo, ok := o.(LifecycleObserver); ok {
+			lo.AdmissionRefused(clientID, err)
+		}
 	}
 }
 
@@ -412,6 +494,18 @@ func (l *inprocLink) Hello(ctx context.Context, h *vpn.ClientHello) (*vpn.Server
 		return nil, err
 	}
 	return ep.AcceptHello(h)
+}
+
+// Resume implements ResumeLink.
+func (l *inprocLink) Resume(ctx context.Context, r *vpn.ResumeRequest) (*vpn.ResumeReply, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ep, err := l.endpoint()
+	if err != nil {
+		return nil, err
+	}
+	return ep.AcceptResume(r)
 }
 
 // FetchConfig implements ClientLink.

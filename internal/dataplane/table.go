@@ -128,6 +128,24 @@ func (t *Table[V]) Delete(id string) bool {
 	return true
 }
 
+// DeleteIf removes a session only if cond approves the stored value,
+// reporting whether a removal happened. cond runs under the owning
+// shard's write lock (it must be cheap and must not call back into the
+// table). The lifecycle sweep uses it to evict by pointer identity, so
+// a session concurrently replaced by a handshake takeover is never
+// deleted by a stale eviction decision.
+func (t *Table[V]) DeleteIf(id string, cond func(V) bool) bool {
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[id]
+	if !ok || !cond(v) {
+		return false
+	}
+	delete(s.m, id)
+	return true
+}
+
 // Len counts sessions across all shards.
 func (t *Table[V]) Len() int {
 	n := 0

@@ -1,0 +1,127 @@
+package lifecycle
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig bounds the handshake path. The zero value disables
+// every check (legacy behaviour: everything is admitted).
+type AdmissionConfig struct {
+	// HandshakeRate is the sustained handshake rate admitted per second
+	// (token-bucket refill). 0 disables rate limiting.
+	HandshakeRate float64
+	// HandshakeBurst is the token-bucket depth — how many handshakes
+	// may arrive back to back before the rate limit bites. 0 defaults
+	// to max(1, ceil(HandshakeRate)).
+	HandshakeBurst int
+	// MaxConcurrent caps handshakes in flight at once (the cost cap: a
+	// handshake holds CPU for certificate verification and ECDH, so a
+	// storm of concurrent ones starves the data plane). 0 disables.
+	MaxConcurrent int
+	// MaxSessions is the hard bound on established sessions. Attempts
+	// beyond it fail with ErrServerFull. 0 disables.
+	MaxSessions int
+}
+
+// Enabled reports whether any check is configured.
+func (c AdmissionConfig) Enabled() bool {
+	return c.HandshakeRate > 0 || c.MaxConcurrent > 0 || c.MaxSessions > 0
+}
+
+// Validate rejects nonsensical configurations.
+func (c AdmissionConfig) Validate() error {
+	if c.HandshakeRate < 0 || c.HandshakeBurst < 0 || c.MaxConcurrent < 0 || c.MaxSessions < 0 {
+		return fmt.Errorf("lifecycle: negative admission bound: %+v", c)
+	}
+	return nil
+}
+
+// Admission is the handshake admission gate. Begin is called with the
+// current session count before any expensive crypto; the returned
+// release function must be called when the handshake (or resume)
+// finishes, successfully or not, to free the concurrency slot.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	tokens   float64
+	lastFill int64 // unix nanoseconds of the last refill
+	inflight int
+
+	admitted    atomic.Uint64
+	throttled   atomic.Uint64
+	refusedFull atomic.Uint64
+}
+
+// NewAdmission creates the gate with a full token bucket.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.HandshakeRate > 0 && cfg.HandshakeBurst == 0 {
+		cfg.HandshakeBurst = int(cfg.HandshakeRate)
+		if float64(cfg.HandshakeBurst) < cfg.HandshakeRate {
+			cfg.HandshakeBurst++
+		}
+		if cfg.HandshakeBurst < 1 {
+			cfg.HandshakeBurst = 1
+		}
+	}
+	return &Admission{cfg: cfg, tokens: float64(cfg.HandshakeBurst), lastFill: -1}
+}
+
+// Begin runs every admission check in cheapest-to-most-binding order:
+// the hard session bound, the concurrency cap, then the token bucket
+// (checked last so a refused-full attempt does not burn a token). On
+// success it returns an idempotent release for the concurrency slot.
+func (a *Admission) Begin(sessions int, now int64) (func(), error) {
+	if a.cfg.MaxSessions > 0 && sessions >= a.cfg.MaxSessions {
+		a.refusedFull.Add(1)
+		return nil, fmt.Errorf("%w: %d sessions at bound %d", ErrServerFull, sessions, a.cfg.MaxSessions)
+	}
+	a.mu.Lock()
+	if a.cfg.MaxConcurrent > 0 && a.inflight >= a.cfg.MaxConcurrent {
+		a.mu.Unlock()
+		a.throttled.Add(1)
+		return nil, fmt.Errorf("%w: %d handshakes in flight at cap %d", ErrAdmissionThrottled, a.cfg.MaxConcurrent, a.cfg.MaxConcurrent)
+	}
+	if a.cfg.HandshakeRate > 0 {
+		if a.lastFill < 0 {
+			a.lastFill = now
+		}
+		if elapsed := now - a.lastFill; elapsed > 0 {
+			a.tokens += float64(elapsed) / float64(time.Second) * a.cfg.HandshakeRate
+			if max := float64(a.cfg.HandshakeBurst); a.tokens > max {
+				a.tokens = max
+			}
+			a.lastFill = now
+		}
+		if a.tokens < 1 {
+			a.mu.Unlock()
+			a.throttled.Add(1)
+			return nil, fmt.Errorf("%w: handshake rate %.3g/s exceeded", ErrAdmissionThrottled, a.cfg.HandshakeRate)
+		}
+		a.tokens--
+	}
+	a.inflight++
+	a.mu.Unlock()
+	a.admitted.Add(1)
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflight--
+			a.mu.Unlock()
+		})
+	}, nil
+}
+
+// Stats snapshots the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		Admitted:    a.admitted.Load(),
+		Throttled:   a.throttled.Load(),
+		RefusedFull: a.refusedFull.Load(),
+	}
+}

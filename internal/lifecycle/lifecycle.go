@@ -1,0 +1,70 @@
+// Package lifecycle is the session lifecycle engine for long-running
+// EndBox deployments (ROADMAP: "session lifecycle for millions of
+// clients"). It supplies the three mechanisms that turn the sharded
+// session table from a benchmark artifact into a service that survives
+// real churn:
+//
+//   - Tracker: per-session liveness fed from the data path by a
+//     lock-free Touch, swept lazily by a timing wheel (the
+//     internal/flow wheel pattern) so idle sessions past a TTL are
+//     found in amortised O(1) without scanning the table.
+//   - Admission: a token bucket on handshake attempts, a concurrent-
+//     handshake cost cap, and a hard max-sessions bound — all checked
+//     before any expensive crypto, so a connect storm is refused with a
+//     typed error instead of starving the data plane.
+//   - TicketSealer: AEAD-sealed resumption tickets bound to the
+//     client's attested certificate key, letting a returning client
+//     re-establish its session without repeating attestation and
+//     enrolment (the session-resumption trick of Secure
+//     Middlebox-Assisted QUIC, PAPERS.md).
+//
+// The package is transport- and enclave-agnostic: internal/vpn wires
+// the tracker and tickets into the handshake and frame path, and
+// internal/core owns the admission gate and the eviction sweep.
+package lifecycle
+
+import "errors"
+
+// Typed admission errors, returned before any expensive crypto runs.
+var (
+	// ErrAdmissionThrottled reports that the handshake token bucket or
+	// the concurrent-handshake cap refused the attempt; the client
+	// should back off and retry.
+	ErrAdmissionThrottled = errors.New("lifecycle: handshake throttled by admission control")
+	// ErrServerFull reports that the hard session bound is reached; the
+	// attempt will keep failing until sessions are evicted or removed.
+	ErrServerFull = errors.New("lifecycle: session limit reached")
+)
+
+// AdmissionStats counts admission-control outcomes.
+type AdmissionStats struct {
+	// Admitted handshake attempts that passed every check.
+	Admitted uint64
+	// Throttled attempts refused by the token bucket or concurrency cap.
+	Throttled uint64
+	// RefusedFull attempts refused by the hard session bound.
+	RefusedFull uint64
+}
+
+// SessionStats counts session lifecycle outcomes on the server.
+type SessionStats struct {
+	// Active is the number of established sessions.
+	Active int
+	// Tracked is the number of sessions with liveness tracking (equals
+	// Active when a TTL is configured, 0 otherwise).
+	Tracked int
+	// Evicted counts sessions removed because their liveness lapsed.
+	Evicted uint64
+	// Resumed counts sessions re-established from a resumption ticket.
+	Resumed uint64
+	// Takeovers counts expired sessions replaced in place by a fresh
+	// handshake or resume for the same client ID.
+	Takeovers uint64
+}
+
+// Stats is the combined lifecycle snapshot exposed by
+// Deployment.LifecycleStats.
+type Stats struct {
+	Sessions  SessionStats
+	Admission AdmissionStats
+}

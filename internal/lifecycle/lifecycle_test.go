@@ -1,0 +1,294 @@
+package lifecycle
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTrackerSilentEntryExpiresWithinTTLPlusTick(t *testing.T) {
+	ttl := time.Minute
+	tr := NewTracker(ttl)
+	start := time.Unix(1000, 0).UnixNano()
+	tr.Add("c1", start)
+
+	tick := ttl.Nanoseconds() >> ttlTickShift
+	// Just before the deadline nothing expires.
+	if lapsed := tr.Sweep(start + ttl.Nanoseconds() - 1); len(lapsed) != 0 {
+		t.Fatalf("expired before TTL: %v", lapsed)
+	}
+	// One TTL plus one tick later the entry must be gone.
+	lapsed := tr.Sweep(start + ttl.Nanoseconds() + tick)
+	if len(lapsed) != 1 || lapsed[0].ID() != "c1" {
+		t.Fatalf("want [c1] expired, got %v", lapsed)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tracker still holds %d entries", tr.Len())
+	}
+}
+
+func TestTrackerTouchKeepsEntryAlive(t *testing.T) {
+	ttl := time.Minute
+	tr := NewTracker(ttl)
+	now := time.Unix(1000, 0).UnixNano()
+	e := tr.Add("c1", now)
+
+	// Touch every half TTL for ten TTLs; sweeps in between must never
+	// expire the entry even though it is never relinked by Touch.
+	for i := 0; i < 20; i++ {
+		now += ttl.Nanoseconds() / 2
+		e.Touch(now)
+		if lapsed := tr.Sweep(now); len(lapsed) != 0 {
+			t.Fatalf("live entry expired at step %d: %v", i, lapsed)
+		}
+	}
+	// Go silent: one TTL + one tick later it expires.
+	now += ttl.Nanoseconds() + (ttl.Nanoseconds() >> ttlTickShift)
+	if lapsed := tr.Sweep(now); len(lapsed) != 1 {
+		t.Fatalf("silent entry not expired: %v", lapsed)
+	}
+}
+
+func TestTrackerClockJumpSweepsEverything(t *testing.T) {
+	tr := NewTracker(time.Second)
+	now := time.Unix(1000, 0).UnixNano()
+	for i := 0; i < 50; i++ {
+		tr.Add(fmt.Sprintf("c%d", i), now)
+	}
+	// Jump far beyond a full wheel lap.
+	lapsed := tr.Sweep(now + time.Hour.Nanoseconds())
+	if len(lapsed) != 50 {
+		t.Fatalf("want all 50 expired after clock jump, got %d", len(lapsed))
+	}
+}
+
+func TestTrackerRemoveIsPointerExact(t *testing.T) {
+	tr := NewTracker(time.Minute)
+	now := time.Unix(1000, 0).UnixNano()
+	old := tr.Add("c1", now)
+	fresh := tr.Add("c1", now) // takeover replaces the entry
+
+	tr.Remove(old) // stale remove must not disturb the fresh entry
+	if tr.Len() != 1 {
+		t.Fatalf("stale Remove evicted the fresh entry")
+	}
+	tr.Remove(fresh)
+	if tr.Len() != 0 {
+		t.Fatalf("Remove left %d entries", tr.Len())
+	}
+	tr.Remove(fresh) // idempotent
+}
+
+func TestTrackerExpired(t *testing.T) {
+	ttl := time.Minute
+	tr := NewTracker(ttl)
+	now := time.Unix(1000, 0).UnixNano()
+	e := tr.Add("c1", now)
+	if tr.Expired(e, now+ttl.Nanoseconds()-1) {
+		t.Fatal("expired before TTL")
+	}
+	if !tr.Expired(e, now+ttl.Nanoseconds()) {
+		t.Fatal("not expired at TTL")
+	}
+	if tr.Expired(nil, now) {
+		t.Fatal("nil entry reported expired")
+	}
+}
+
+func TestAdmissionMaxSessions(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxSessions: 2})
+	if _, err := a.Begin(1, 0); err != nil {
+		t.Fatalf("below bound refused: %v", err)
+	}
+	_, err := a.Begin(2, 0)
+	if !errors.Is(err, ErrServerFull) {
+		t.Fatalf("want ErrServerFull, got %v", err)
+	}
+	st := a.Stats()
+	if st.Admitted != 1 || st.RefusedFull != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAdmissionConcurrencyCap(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2})
+	done1, err := a.Begin(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2, err := a.Begin(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Begin(0, 0); !errors.Is(err, ErrAdmissionThrottled) {
+		t.Fatalf("want throttled at cap, got %v", err)
+	}
+	done1()
+	done1() // idempotent: must not free a second slot
+	if _, err := a.Begin(0, 0); err != nil {
+		t.Fatalf("slot not freed: %v", err)
+	}
+	if _, err := a.Begin(0, 0); !errors.Is(err, ErrAdmissionThrottled) {
+		t.Fatal("double release freed two slots")
+	}
+	done2()
+}
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{HandshakeRate: 2, HandshakeBurst: 2})
+	now := time.Unix(1000, 0).UnixNano()
+	for i := 0; i < 2; i++ {
+		if _, err := a.Begin(0, now); err != nil {
+			t.Fatalf("burst attempt %d refused: %v", i, err)
+		}
+	}
+	if _, err := a.Begin(0, now); !errors.Is(err, ErrAdmissionThrottled) {
+		t.Fatalf("want throttled after burst, got %v", err)
+	}
+	// Half a second refills one token at 2/s.
+	now += time.Second.Nanoseconds() / 2
+	if _, err := a.Begin(0, now); err != nil {
+		t.Fatalf("refill not applied: %v", err)
+	}
+	if _, err := a.Begin(0, now); !errors.Is(err, ErrAdmissionThrottled) {
+		t.Fatal("refill over-credited")
+	}
+	// A long quiet period caps at the burst, not unbounded credit.
+	now += time.Hour.Nanoseconds()
+	for i := 0; i < 2; i++ {
+		if _, err := a.Begin(0, now); err != nil {
+			t.Fatalf("post-idle attempt %d refused: %v", i, err)
+		}
+	}
+	if _, err := a.Begin(0, now); !errors.Is(err, ErrAdmissionThrottled) {
+		t.Fatal("burst cap not enforced after idle")
+	}
+}
+
+func TestAdmissionDisabledAdmitsEverything(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{})
+	for i := 0; i < 1000; i++ {
+		done, err := a.Begin(1<<20, 0)
+		if err != nil {
+			t.Fatalf("zero config refused: %v", err)
+		}
+		done()
+	}
+}
+
+func TestTicketRoundTrip(t *testing.T) {
+	s, err := NewTicketSealer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, _, _ := ed25519.GenerateKey(nil)
+	in := Ticket{
+		ClientID:       "c1",
+		SignPub:        pub,
+		Master:         []byte("0123456789abcdef0123456789abcdef"),
+		ConfigVersion:  7,
+		IssuedUnixNano: 42,
+	}
+	blob, err := s.Seal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Open(blob, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ClientID != in.ClientID || !pub.Equal(out.SignPub) ||
+		string(out.Master) != string(in.Master) || out.ConfigVersion != 7 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestTicketRejectsTamperAndForeignKey(t *testing.T) {
+	s1, _ := NewTicketSealer(0)
+	s2, _ := NewTicketSealer(0)
+	pub, _, _ := ed25519.GenerateKey(nil)
+	blob, err := s1.Seal(Ticket{ClientID: "c1", SignPub: pub, Master: []byte("m")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Open(blob, 0); !errors.Is(err, ErrBadTicket) {
+		t.Fatalf("foreign key accepted: %v", err)
+	}
+	blob[len(blob)-1] ^= 1
+	if _, err := s1.Open(blob, 0); !errors.Is(err, ErrBadTicket) {
+		t.Fatalf("tampered ticket accepted: %v", err)
+	}
+	if _, err := s1.Open(nil, 0); !errors.Is(err, ErrBadTicket) {
+		t.Fatalf("empty blob accepted: %v", err)
+	}
+}
+
+func TestTicketMaxAge(t *testing.T) {
+	s, _ := NewTicketSealer(time.Minute)
+	pub, _, _ := ed25519.GenerateKey(nil)
+	blob, err := s.Seal(Ticket{ClientID: "c1", SignPub: pub, Master: []byte("m"), IssuedUnixNano: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open(blob, time.Minute.Nanoseconds()); err != nil {
+		t.Fatalf("ticket at max age refused: %v", err)
+	}
+	if _, err := s.Open(blob, time.Minute.Nanoseconds()+1); !errors.Is(err, ErrBadTicket) {
+		t.Fatalf("expired ticket accepted: %v", err)
+	}
+}
+
+// TestStress100kTracker churns a 100k-session tracker under concurrent
+// touches, sweeps, adds and removes. Run under -race in CI; correctness
+// assertion is that live (touched) sessions survive and silent ones are
+// fully reclaimed.
+func TestStress100kTracker(t *testing.T) {
+	const n = 100_000
+	ttl := time.Minute
+	tr := NewTracker(ttl)
+	base := time.Unix(1000, 0).UnixNano()
+
+	entries := make([]*Entry, n)
+	for i := range entries {
+		entries[i] = tr.Add(fmt.Sprintf("s%d", i), base)
+	}
+
+	// Half the fleet stays live (touched by 8 goroutines), half goes
+	// silent; a sweeper advances virtual time past several TTLs.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for step := 0; step < 4; step++ {
+				now := base + int64(step+1)*ttl.Nanoseconds()/2
+				for i := g; i < n/2; i += 8 {
+					entries[i].Touch(now)
+				}
+			}
+		}(g)
+	}
+	var lapsed int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for step := 0; step < 8; step++ {
+			now := base + int64(step+1)*ttl.Nanoseconds()/2
+			lapsed += len(tr.Sweep(now))
+		}
+	}()
+	wg.Wait()
+
+	// Final deterministic accounting: everything now silent expires.
+	final := base + 100*ttl.Nanoseconds()
+	lapsed += len(tr.Sweep(final))
+	if lapsed != n {
+		t.Fatalf("lapsed %d of %d entries", lapsed, n)
+	}
+	if got := tr.Len(); got != 0 {
+		t.Fatalf("%d entries leaked", got)
+	}
+}

@@ -1,0 +1,97 @@
+package lifecycle
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBadTicket reports a resumption ticket that failed to open: wrong
+// key (server restarted), tampered, truncated, or past its maximum age.
+var ErrBadTicket = errors.New("lifecycle: resumption ticket invalid")
+
+// Ticket is the server's sealed resumption state for one client. It is
+// opaque to the client (AEAD under a server-local key) and binds the
+// resumable session to the signing key of the client's attested
+// certificate: resuming requires a signature under SignPub, so a stolen
+// ticket alone is useless, and the server re-admits the client without
+// repeating attestation or enrolment — the certificate was already
+// earned (paper §III-C: clients attest once).
+type Ticket struct {
+	ClientID       string            `json:"id"`
+	SignPub        ed25519.PublicKey `json:"spub"`
+	Master         []byte            `json:"master"`
+	ConfigVersion  uint64            `json:"ver"`
+	IssuedUnixNano int64             `json:"iat"`
+}
+
+// TicketSealer seals and opens resumption tickets with AES-GCM under a
+// random in-memory key: a server restart invalidates all outstanding
+// tickets, which is the desired failure mode (clients fall back to the
+// full handshake).
+type TicketSealer struct {
+	aead   cipher.AEAD
+	maxAge int64 // nanoseconds; 0 = unlimited
+}
+
+// NewTicketSealer creates a sealer with a fresh random key. maxAge
+// bounds how long an issued ticket stays resumable (0 = for the life of
+// the server key).
+func NewTicketSealer(maxAge time.Duration) (*TicketSealer, error) {
+	var key [32]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return nil, fmt.Errorf("lifecycle: ticket key: %w", err)
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &TicketSealer{aead: aead, maxAge: maxAge.Nanoseconds()}, nil
+}
+
+// Seal encodes and encrypts the ticket.
+func (s *TicketSealer) Seal(t Ticket) ([]byte, error) {
+	plain, err := json.Marshal(t)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, s.aead.NonceSize(), s.aead.NonceSize()+len(plain)+s.aead.Overhead())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("lifecycle: ticket nonce: %w", err)
+	}
+	return s.aead.Seal(nonce, nonce, plain, nil), nil
+}
+
+// Open decrypts and decodes a ticket, rejecting expired ones. This is
+// the entire cryptographic cost of admitting a resume attempt before
+// the signature check — one AEAD open, no certificate chain, no ECDH.
+func (s *TicketSealer) Open(blob []byte, now int64) (Ticket, error) {
+	ns := s.aead.NonceSize()
+	if len(blob) < ns+s.aead.Overhead() {
+		return Ticket{}, fmt.Errorf("%w: short blob", ErrBadTicket)
+	}
+	plain, err := s.aead.Open(nil, blob[:ns], blob[ns:], nil)
+	if err != nil {
+		return Ticket{}, fmt.Errorf("%w: %v", ErrBadTicket, err)
+	}
+	var t Ticket
+	if err := json.Unmarshal(plain, &t); err != nil {
+		return Ticket{}, fmt.Errorf("%w: %v", ErrBadTicket, err)
+	}
+	if len(t.SignPub) != ed25519.PublicKeySize || len(t.Master) == 0 || t.ClientID == "" {
+		return Ticket{}, fmt.Errorf("%w: incomplete ticket", ErrBadTicket)
+	}
+	if s.maxAge > 0 && now-t.IssuedUnixNano > s.maxAge {
+		return Ticket{}, fmt.Errorf("%w: expired", ErrBadTicket)
+	}
+	return t, nil
+}

@@ -1,0 +1,204 @@
+package lifecycle
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// wheelBuckets is the timing-wheel size. The wheel tick is TTL/64, so
+// the wheel spans 4×TTL of virtual time: live deadlines (at most TTL
+// ahead) occupy at most a quarter of the wheel and never alias across
+// laps. Same geometry as the internal/flow wheel.
+const wheelBuckets = 256
+
+const ttlTickShift = 6 // tick = TTL / 64
+
+// Entry is one tracked session's liveness record. The data path holds a
+// pointer to it inside the session struct and refreshes it with Touch —
+// a single atomic store, no lock, no map lookup — while the sweep
+// re-buckets entries lazily from their last-seen time. An entry that
+// has been removed from its tracker is inert: stale Touches on it are
+// harmless.
+type Entry struct {
+	id       string
+	lastSeen atomic.Int64
+
+	// wheel intrusive list, guarded by Tracker.mu
+	next, prev *Entry
+	bucket     int32 // -1 when unlinked
+	deadline   int64 // unix nanoseconds when liveness lapses (as of link time)
+}
+
+// ID returns the session identifier the entry tracks.
+func (e *Entry) ID() string { return e.id }
+
+// Touch records activity. It is the data-path hook: lock-free, so a
+// frame flood for one client never contends with the sweep or with
+// other clients' touches.
+func (e *Entry) Touch(now int64) { e.lastSeen.Store(now) }
+
+// LastSeen returns the most recent activity timestamp.
+func (e *Entry) LastSeen() int64 { return e.lastSeen.Load() }
+
+// Tracker maps session IDs to liveness entries and finds lapsed ones
+// with a hashed timing wheel. Entries are bucketed by the deadline
+// implied by their last-seen time at link time; because Touch does not
+// relink (it must stay lock-free), a swept bucket re-checks the atomic
+// last-seen and relinks still-live entries forward instead of expiring
+// them — the classic lazy re-bucketing trade: Touch is O(1) wait-free,
+// Sweep pays one relink per live entry per TTL.
+type Tracker struct {
+	mu      sync.Mutex
+	ttl     int64
+	tick    int64
+	entries map[string]*Entry
+	wheel   [wheelBuckets]*Entry
+	cursor  int64 // last wheel tick fully swept
+}
+
+// NewTracker creates a tracker with the given idle TTL (must be > 0).
+func NewTracker(ttl time.Duration) *Tracker {
+	tick := ttl.Nanoseconds() >> ttlTickShift
+	if tick <= 0 {
+		tick = 1
+	}
+	return &Tracker{
+		ttl:     ttl.Nanoseconds(),
+		tick:    tick,
+		entries: make(map[string]*Entry),
+		cursor:  -1,
+	}
+}
+
+// TTL returns the configured idle TTL.
+func (t *Tracker) TTL() time.Duration { return time.Duration(t.ttl) }
+
+// Add starts tracking id from now, returning the entry the data path
+// should Touch. An existing entry for id is replaced (takeover).
+func (t *Tracker) Add(id string, now int64) *Entry {
+	e := &Entry{id: id, bucket: -1}
+	e.lastSeen.Store(now)
+	t.mu.Lock()
+	if old := t.entries[id]; old != nil {
+		t.unlink(old)
+	}
+	t.entries[id] = e
+	e.deadline = now + t.ttl
+	t.link(e)
+	t.mu.Unlock()
+	return e
+}
+
+// Remove stops tracking the entry. It is idempotent and pointer-exact:
+// if id has since been re-added with a fresh entry (takeover), the new
+// entry is left alone.
+func (t *Tracker) Remove(e *Entry) {
+	if e == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.entries[e.id] == e {
+		delete(t.entries, e.id)
+		t.unlink(e)
+	}
+	t.mu.Unlock()
+}
+
+// Len reports the number of tracked sessions.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	n := len(t.entries)
+	t.mu.Unlock()
+	return n
+}
+
+// Expired reports whether the entry's liveness has lapsed as of now.
+func (t *Tracker) Expired(e *Entry, now int64) bool {
+	return e != nil && now-e.lastSeen.Load() >= t.ttl
+}
+
+// Sweep advances the wheel to now and returns the entries whose
+// liveness lapsed, removed from the tracker. Each call processes only
+// the buckets whose tick has passed since the previous call, so the
+// steady-state cost is zero or one bucket; live entries found in a
+// swept bucket are relinked to the bucket their current last-seen time
+// implies. The caller evicts the corresponding sessions; pointer
+// identity (session.live == entry) lets it skip sessions that were
+// concurrently taken over.
+func (t *Tracker) Sweep(now int64) []*Entry {
+	var lapsed []*Entry
+	t.mu.Lock()
+	nowTick := now / t.tick
+	if t.cursor < 0 {
+		// First sweep: cover a full lap, so entries added long before
+		// the first Sweep call land in buckets the cursor will visit.
+		t.cursor = nowTick - wheelBuckets
+	}
+	if nowTick-t.cursor > wheelBuckets {
+		// Clock jumped more than a full lap: every bucket needs one sweep.
+		t.cursor = nowTick - wheelBuckets
+	}
+	for t.cursor < nowTick-1 {
+		t.cursor++
+		lapsed = t.sweepBucket(t.cursor&(wheelBuckets-1), now, lapsed)
+	}
+	// Sweep the current tick's bucket too, but leave the cursor behind
+	// it: deadlines later in the still-running tick must be re-checked
+	// by the next Sweep, not stranded for a full wheel lap.
+	lapsed = t.sweepBucket(nowTick&(wheelBuckets-1), now, lapsed)
+	t.mu.Unlock()
+	return lapsed
+}
+
+func (t *Tracker) sweepBucket(b int64, now int64, lapsed []*Entry) []*Entry {
+	e := t.wheel[b]
+	for e != nil {
+		next := e.next
+		deadline := e.lastSeen.Load() + t.ttl
+		switch {
+		case deadline <= now:
+			delete(t.entries, e.id)
+			t.unlink(e)
+			lapsed = append(lapsed, e)
+		case deadline != e.deadline:
+			// Touched since it was linked: relink where its current
+			// deadline lives. The new bucket is strictly ahead (the
+			// deadline is in the future), so iteration never loops.
+			t.unlink(e)
+			e.deadline = deadline
+			t.link(e)
+		}
+		e = next
+	}
+	return lapsed
+}
+
+// link prepends the entry to its deadline's bucket (mu held).
+func (t *Tracker) link(e *Entry) {
+	b := int32((e.deadline / t.tick) & (wheelBuckets - 1))
+	e.bucket = b
+	e.prev = nil
+	e.next = t.wheel[b]
+	if e.next != nil {
+		e.next.prev = e
+	}
+	t.wheel[b] = e
+}
+
+// unlink detaches the entry from its bucket if linked (mu held).
+func (t *Tracker) unlink(e *Entry) {
+	if e.bucket < 0 {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		t.wheel[e.bucket] = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	e.next, e.prev = nil, nil
+	e.bucket = -1
+}

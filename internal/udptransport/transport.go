@@ -365,6 +365,31 @@ func (t *Transport) handle(ep core.ServerEndpoint, msgType byte, body []byte, fr
 		t.logf("client %s connected from %s", hello.ClientID, from)
 		return one(resp)
 
+	case MsgResume:
+		var req vpn.ResumeRequest
+		if err := DecodeJSON(body, &req); err != nil {
+			return one(Errorf("resume: %v", err))
+		}
+		reply, err := ep.AcceptResume(&req)
+		if err != nil {
+			return one(Errorf("resume refused: %v", err))
+		}
+		// The resumed session's frames will come from this address; rebind
+		// it exactly like a fresh handshake does.
+		t.mu.Lock()
+		if prev, ok := t.addrs[req.ClientID]; ok {
+			delete(t.byAddr, prev.String())
+		}
+		t.addrs[req.ClientID] = from
+		t.byAddr[from.String()] = req.ClientID
+		t.mu.Unlock()
+		resp, err := EncodeJSON(MsgResumeOK, reply)
+		if err != nil {
+			return one(Errorf("resume reply: %v", err))
+		}
+		t.logf("client %s resumed from %s", req.ClientID, from)
+		return one(resp)
+
 	case MsgFetch:
 		if len(body) != 8 {
 			return one(Errorf("fetch: bad version"))
@@ -747,6 +772,26 @@ func (l *Link) Hello(ctx context.Context, h *vpn.ClientHello) (*vpn.ServerHello,
 		return nil, err
 	}
 	return &sh, nil
+}
+
+// Resume implements core.ResumeLink: the MsgResume round trip.
+func (l *Link) Resume(ctx context.Context, r *vpn.ResumeRequest) (*vpn.ResumeReply, error) {
+	msg, err := EncodeJSON(MsgResume, r)
+	if err != nil {
+		return nil, err
+	}
+	msgType, body, err := l.request(ctx, msg)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != MsgResumeOK {
+		return nil, fmt.Errorf("udptransport: unexpected resume response %c", msgType)
+	}
+	var reply vpn.ResumeReply
+	if err := DecodeJSON(body, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
 }
 
 // FetchConfig implements core.ClientLink: request a blob (0 = latest) and

@@ -42,6 +42,10 @@ func (f *fakeEndpoint) AcceptHello(h *vpn.ClientHello) (*vpn.ServerHello, error)
 	return &vpn.ServerHello{ChosenTLS: vpn.TLS13}, nil
 }
 
+func (f *fakeEndpoint) AcceptResume(r *vpn.ResumeRequest) (*vpn.ResumeReply, error) {
+	return &vpn.ResumeReply{}, nil
+}
+
 func (f *fakeEndpoint) HandleFrame(clientID string, frame []byte) error {
 	f.mu.Lock()
 	f.frames = append(f.frames, append([]byte(nil), frame...))

@@ -50,6 +50,13 @@ const (
 	MsgHello byte = 'H'
 	// MsgServerHello answers the handshake.
 	MsgServerHello byte = 'S'
+	// MsgResume opens a fast session resume: a resumption ticket and a
+	// signed transcript replace the certificate walk and key exchange of
+	// a full handshake (docs/PROTOCOL.md §8).
+	MsgResume byte = 'u'
+	// MsgResumeOK answers a resume with the rotated ticket and the
+	// server's signature.
+	MsgResumeOK byte = 'U'
 	// MsgFrame carries one sealed data-channel frame (either direction).
 	MsgFrame byte = 'D'
 	// MsgFetch requests a configuration blob by version (8-byte big

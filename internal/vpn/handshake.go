@@ -85,7 +85,12 @@ type ServerHello struct {
 	ConfigVersion uint64
 	ServerPub     ed25519.PublicKey
 	ServerPubSig  []byte // CA endorsement of ServerPub
-	Signature     []byte
+	// Ticket is the sealed resumption state for this session (opaque to
+	// the client): presenting it in a ResumeRequest re-establishes the
+	// session without re-running attestation or enrolment. Covered by
+	// the transcript signature, so it cannot be swapped in transit.
+	Ticket    []byte
+	Signature []byte
 }
 
 func (h *ServerHello) transcript(clientTranscript []byte) []byte {
@@ -97,6 +102,7 @@ func (h *ServerHello) transcript(clientTranscript []byte) []byte {
 	buf = append(buf, tmp[:2]...)
 	binary.BigEndian.PutUint64(tmp[:], h.ConfigVersion)
 	buf = append(buf, tmp[:]...)
+	buf = append(buf, h.Ticket...)
 	return buf
 }
 

@@ -1,0 +1,114 @@
+package vpn
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"endbox/internal/attest"
+	"endbox/internal/lifecycle"
+)
+
+// ErrBadTicket re-exports the lifecycle ticket error at the protocol
+// boundary.
+var ErrBadTicket = lifecycle.ErrBadTicket
+
+// ResumeRequest is the client's fast-reconnect opener (MsgResume on the
+// wire). Instead of a certificate and an ECDH share it carries the
+// server-sealed resumption ticket from the previous session plus a
+// fresh nonce, signed with the same attested key the ticket is bound
+// to: proof that the bearer is the enclave the CA certified, with one
+// signature verification instead of a certificate chain walk, transcript
+// check and key exchange — and no attestation or enrolment round trips.
+type ResumeRequest struct {
+	ClientID string
+	// Ticket is the server-sealed resumption state (opaque to the
+	// client) issued by the previous ServerHello or ResumeReply.
+	Ticket []byte
+	// ConfigVersion is the configuration version the client still has
+	// applied; the server seeds policy enforcement with it exactly like
+	// ClientHello.ConfigVersion.
+	ConfigVersion uint64
+	Nonce         [32]byte
+	Signature     []byte
+}
+
+// Transcript is the signed byte string. Exported because EndBox clients
+// sign it via an ecall (the key lives in the enclave) while the request
+// itself is assembled outside.
+func (r *ResumeRequest) Transcript() []byte {
+	buf := []byte("endbox-resume-v1:")
+	buf = append(buf, r.ClientID...)
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], r.ConfigVersion)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, r.Nonce[:]...)
+	buf = append(buf, r.Ticket...)
+	return buf
+}
+
+// ResumeReply answers a ResumeRequest: the server's nonce (the resumed
+// master mixes both nonces, so neither side can replay an old session),
+// the version the client must run, a re-issued ticket sealed over the
+// rotated master, and the server credential + transcript signature —
+// verified inside the enclave exactly like a ServerHello.
+type ResumeReply struct {
+	Nonce         [32]byte
+	ConfigVersion uint64
+	Ticket        []byte // rotated: sealed over the resumed master
+	ServerPub     ed25519.PublicKey
+	ServerPubSig  []byte // CA endorsement of ServerPub
+	Signature     []byte
+}
+
+func (r *ResumeReply) transcript(reqTranscript []byte) []byte {
+	buf := append([]byte("endbox-resumed-v1:"), reqTranscript...)
+	buf = append(buf, r.Nonce[:]...)
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], r.ConfigVersion)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, r.Ticket...)
+	return buf
+}
+
+// ResumeMaster derives the resumed session's master secret from the
+// ticket master and both nonces.
+func ResumeMaster(ticketMaster []byte, cNonce, sNonce [32]byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("endbox-resume-master-v1:"))
+	h.Write(ticketMaster)
+	h.Write(cNonce[:])
+	h.Write(sNonce[:])
+	return h.Sum(nil)
+}
+
+// NewResumeRequest builds and signs a resume opener. sign must use the
+// key certified by the CA for this client (an ecall for EndBox clients).
+func NewResumeRequest(clientID string, ticket []byte, configVersion uint64, sign SignFunc) (*ResumeRequest, error) {
+	r := &ResumeRequest{ClientID: clientID, Ticket: ticket, ConfigVersion: configVersion}
+	if _, err := rand.Read(r.Nonce[:]); err != nil {
+		return nil, fmt.Errorf("vpn: nonce: %w", err)
+	}
+	sig, err := sign(r.Transcript())
+	if err != nil {
+		return nil, fmt.Errorf("vpn: sign resume: %w", err)
+	}
+	r.Signature = sig
+	return r, nil
+}
+
+// FinishResume verifies the server's reply — CA endorsement of the
+// server key and the transcript signature — and derives the resumed
+// master from the previous session's master. In EndBox this runs inside
+// the enclave (the old master never leaves SGX), mirroring FinishClient.
+func FinishResume(req *ResumeRequest, reply *ResumeReply, caPub ed25519.PublicKey, prevMaster []byte) ([]byte, error) {
+	if !attest.VerifyServerKey(caPub, reply.ServerPub, reply.ServerPubSig) {
+		return nil, ErrBadServerCred
+	}
+	if !ed25519.Verify(reply.ServerPub, reply.transcript(req.Transcript()), reply.Signature) {
+		return nil, ErrBadSignature
+	}
+	return ResumeMaster(prevMaster, req.Nonce, reply.Nonce), nil
+}

@@ -11,6 +11,7 @@ import (
 	"endbox/internal/attest"
 	"endbox/internal/config"
 	"endbox/internal/dataplane"
+	"endbox/internal/lifecycle"
 	"endbox/internal/packet"
 	"endbox/internal/wire"
 )
@@ -53,6 +54,16 @@ type ServerOptions struct {
 	// two; 0 selects dataplane.DefaultShards). One shard reproduces the
 	// monolithic single-lock table for baselines and ablations.
 	Shards int
+	// SessionTTL enables liveness tracking: a session that produces no
+	// authenticated frames (data or keepalive) for this long is
+	// considered dead — SweepExpired evicts it and a fresh handshake or
+	// resume for the same client ID may take it over. 0 disables
+	// tracking (sessions live forever, the pre-lifecycle behaviour).
+	SessionTTL time.Duration
+	// TicketTTL bounds how long an issued resumption ticket stays
+	// resumable. 0 means for the life of the server's in-memory ticket
+	// key (a restart always invalidates all tickets).
+	TicketTTL time.Duration
 }
 
 // VIFStats are per-client virtual interface counters, kept shard-local in
@@ -66,8 +77,13 @@ type VIFStats = dataplane.VIFStats
 type session struct {
 	sess            *wire.Session
 	cert            *attest.Certificate
+	signPub         ed25519.PublicKey
 	reportedVersion atomic.Uint64
 	stats           dataplane.VIFCounters
+	// live is the liveness entry the data path touches; nil when
+	// SessionTTL is disabled. Eviction matches on this pointer, so a
+	// takeover (new session, new entry) is never hit by a stale sweep.
+	live *lifecycle.Entry
 }
 
 // Server is the EndBox VPN server: the sole entry point into the managed
@@ -80,6 +96,15 @@ type Server struct {
 	opts     ServerOptions
 	policy   *config.Policy
 	sessions *dataplane.Table[*session]
+
+	// lifecycle: tracker is nil when SessionTTL is 0; tickets is always
+	// present (resumption works even without eviction).
+	tracker *lifecycle.Tracker
+	tickets *lifecycle.TicketSealer
+
+	evicted   atomic.Uint64
+	resumed   atomic.Uint64
+	takeovers atomic.Uint64
 }
 
 // NewServer validates options and creates a server.
@@ -106,11 +131,20 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		scrub := true
 		opts.ScrubTOS = &scrub
 	}
-	return &Server{
+	tickets, err := lifecycle.NewTicketSealer(opts.TicketTTL)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
 		opts:     opts,
 		policy:   config.NewPolicy(func() time.Time { return opts.Clock() }),
 		sessions: dataplane.NewTable[*session](opts.Shards),
-	}, nil
+		tickets:  tickets,
+	}
+	if opts.SessionTTL > 0 {
+		s.tracker = lifecycle.NewTracker(opts.SessionTTL)
+	}
+	return s, nil
 }
 
 // Policy exposes the configuration enforcement policy; the management
@@ -158,28 +192,185 @@ func (s *Server) Accept(hello *ClientHello) (*ServerHello, error) {
 	if _, err := rand.Read(sh.Nonce[:]); err != nil {
 		return nil, fmt.Errorf("vpn: nonce: %w", err)
 	}
-	sh.Signature = ed25519.Sign(s.opts.SignKey, sh.transcript(hello.transcript()))
 
+	now := s.opts.Clock().UnixNano()
 	master, err := deriveMaster(eph, hello.EphPub, hello.Nonce, sh.Nonce)
 	if err != nil {
 		return nil, err
 	}
+	// Seal the resumption ticket over the session master before signing:
+	// the transcript signature covers the ticket.
+	sh.Ticket, err = s.tickets.Seal(lifecycle.Ticket{
+		ClientID:       hello.ClientID,
+		SignPub:        hello.Cert.Keys.SignPub,
+		Master:         master,
+		ConfigVersion:  sh.ConfigVersion,
+		IssuedUnixNano: now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh.Signature = ed25519.Sign(s.opts.SignKey, sh.transcript(hello.transcript()))
+
 	sess, err := wire.NewSession(master, s.opts.Mode, false)
 	if err != nil {
 		return nil, err
 	}
 
-	entry := &session{sess: sess, cert: hello.Cert}
+	entry := &session{sess: sess, cert: hello.Cert, signPub: hello.Cert.Keys.SignPub}
 	entry.reportedVersion.Store(hello.ConfigVersion)
-	if !s.sessions.Insert(hello.ClientID, entry) {
-		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, hello.ClientID)
+	if err := s.install(hello.ClientID, entry, now, false); err != nil {
+		return nil, err
 	}
 	return sh, nil
 }
 
+// install inserts a freshly established session, taking over an existing
+// one for the same client ID when allowed: a resume (proof of ticket
+// possession under the attested key — the same principal reclaiming its
+// own slot) always may; a cold handshake only once the old session's
+// liveness has expired, so a second machine presenting a valid
+// certificate for a live ID still bounces on ErrDuplicateID.
+func (s *Server) install(clientID string, entry *session, now int64, resumed bool) error {
+	for {
+		if s.sessions.Insert(clientID, entry) {
+			break
+		}
+		old, ok := s.sessions.Get(clientID)
+		if ok {
+			expired := s.tracker != nil && s.tracker.Expired(old.live, now)
+			if !resumed && !expired {
+				return fmt.Errorf("%w: %q", ErrDuplicateID, clientID)
+			}
+			if s.tracker != nil {
+				s.tracker.Remove(old.live)
+			}
+			// Delete by pointer identity: if another handshake won the
+			// slot in between, leave it alone and re-evaluate.
+			if s.sessions.DeleteIf(clientID, func(se *session) bool { return se == old }) {
+				s.takeovers.Add(1)
+			}
+		}
+	}
+	if s.tracker != nil {
+		entry.live = s.tracker.Add(clientID, now)
+	}
+	return nil
+}
+
 // Disconnect removes a client session.
 func (s *Server) Disconnect(clientID string) {
+	if sess, ok := s.sessions.Get(clientID); ok && s.tracker != nil {
+		s.tracker.Remove(sess.live)
+	}
 	s.sessions.Delete(clientID)
+}
+
+// SessionExpired reports whether the client's session exists but its
+// liveness has lapsed — the condition under which a duplicate client ID
+// may be taken over. Always false when SessionTTL is disabled.
+func (s *Server) SessionExpired(clientID string) bool {
+	if s.tracker == nil {
+		return false
+	}
+	sess, ok := s.sessions.Get(clientID)
+	if !ok {
+		return false
+	}
+	return s.tracker.Expired(sess.live, s.opts.Clock().UnixNano())
+}
+
+// SweepExpired advances the liveness wheel and evicts every session
+// whose TTL lapsed, returning the evicted client IDs. Eviction matches
+// the tracked entry by pointer, so a session taken over between the
+// sweep decision and the delete survives. The caller (Deployment's
+// sweep loop) reclaims transport and address state for the returned IDs.
+func (s *Server) SweepExpired() []string {
+	if s.tracker == nil {
+		return nil
+	}
+	lapsed := s.tracker.Sweep(s.opts.Clock().UnixNano())
+	evicted := make([]string, 0, len(lapsed))
+	for _, e := range lapsed {
+		e := e
+		if s.sessions.DeleteIf(e.ID(), func(se *session) bool { return se.live == e }) {
+			s.evicted.Add(1)
+			evicted = append(evicted, e.ID())
+		}
+	}
+	return evicted
+}
+
+// SessionTTL reports the configured liveness TTL (0 = disabled).
+func (s *Server) SessionTTL() time.Duration { return s.opts.SessionTTL }
+
+// SessionStats snapshots the server-side lifecycle counters.
+func (s *Server) SessionStats() lifecycle.SessionStats {
+	st := lifecycle.SessionStats{
+		Active:    s.sessions.Len(),
+		Evicted:   s.evicted.Load(),
+		Resumed:   s.resumed.Load(),
+		Takeovers: s.takeovers.Load(),
+	}
+	if s.tracker != nil {
+		st.Tracked = s.tracker.Len()
+	}
+	return st
+}
+
+// Resume re-establishes a session from a resumption ticket (MsgResume):
+// one AEAD open and one signature verification replace the certificate
+// chain walk, transcript check, ECDH and — upstream of this call — the
+// attestation and enrolment round trips of a cold join. The resumed
+// session gets a fresh master (both nonces are mixed in) and a rotated
+// ticket. A live session for the same ID is replaced: the signature
+// under the ticket-bound attested key proves the same principal is
+// reclaiming its own slot.
+func (s *Server) Resume(req *ResumeRequest) (*ResumeReply, error) {
+	now := s.opts.Clock().UnixNano()
+	tk, err := s.tickets.Open(req.Ticket, now)
+	if err != nil {
+		return nil, err
+	}
+	if tk.ClientID != req.ClientID {
+		return nil, fmt.Errorf("%w: ticket bound to %q, presented by %q", ErrBadTicket, tk.ClientID, req.ClientID)
+	}
+	if !ed25519.Verify(tk.SignPub, req.Transcript(), req.Signature) {
+		return nil, ErrBadSignature
+	}
+
+	reply := &ResumeReply{
+		ConfigVersion: s.policy.Target(req.ClientID),
+		ServerPub:     s.opts.SignKey.Public().(ed25519.PublicKey),
+		ServerPubSig:  s.opts.Credential,
+	}
+	if _, err := rand.Read(reply.Nonce[:]); err != nil {
+		return nil, fmt.Errorf("vpn: nonce: %w", err)
+	}
+	master := ResumeMaster(tk.Master, req.Nonce, reply.Nonce)
+	reply.Ticket, err = s.tickets.Seal(lifecycle.Ticket{
+		ClientID:       req.ClientID,
+		SignPub:        tk.SignPub,
+		Master:         master,
+		ConfigVersion:  reply.ConfigVersion,
+		IssuedUnixNano: now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reply.Signature = ed25519.Sign(s.opts.SignKey, reply.transcript(req.Transcript()))
+
+	sess, err := wire.NewSession(master, s.opts.Mode, false)
+	if err != nil {
+		return nil, err
+	}
+	entry := &session{sess: sess, signPub: tk.SignPub}
+	entry.reportedVersion.Store(req.ConfigVersion)
+	if err := s.install(req.ClientID, entry, now, true); err != nil {
+		return nil, err
+	}
+	s.resumed.Add(1)
+	return reply, nil
 }
 
 // ClientCount reports connected clients.
@@ -204,6 +395,12 @@ func (s *Server) HandleFrame(clientID string, frame []byte) error {
 	payload, err := sess.sess.OpenInPlace(frame)
 	if err != nil {
 		return err
+	}
+	// Every authenticated frame — keepalive pings included — proves the
+	// client is alive; the touch is one atomic store, so the hot path
+	// stays lock-free and allocation-free.
+	if sess.live != nil {
+		sess.live.Touch(s.opts.Clock().UnixNano())
 	}
 	if len(payload) == 0 {
 		return fmt.Errorf("vpn: empty payload from %q", clientID)

@@ -1,0 +1,124 @@
+package vpn
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLifecycleStress100k exercises the session-lifecycle machinery at
+// the paper's million-client scale point (scaled to 100k to stay inside
+// CI budgets): 100 000 sessions installed into the sharded table and
+// liveness wheel, half kept alive by concurrent touches racing the
+// sweeper, the silent half evicted, and a takeover wave over the
+// survivors. Lightweight session records stand in for handshake-derived
+// ones — the structures under stress (table, tracker, counters) never
+// look inside the wire session. Run under -race.
+func TestLifecycleStress100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-session stress; run without -short")
+	}
+	const (
+		total   = 100_000
+		workers = 8
+		ttl     = time.Minute
+	)
+	var now atomic.Int64
+	now.Store(time.Unix(1_000_000, 0).UnixNano())
+
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerOptions{
+		CAPub:      priv.Public().(ed25519.PublicKey),
+		SignKey:    priv,
+		Credential: []byte("stress"),
+		Clock:      func() time.Time { return time.Unix(0, now.Load()) },
+		SessionTTL: ttl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make([]string, total)
+	sessions := make([]*session, total)
+	t0 := now.Load()
+	for i := range sessions {
+		ids[i] = fmt.Sprintf("c%06d", i)
+		sessions[i] = &session{}
+		if err := srv.install(ids[i], sessions[i], t0, false); err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+	}
+	if n := srv.ClientCount(); n != total {
+		t.Fatalf("ClientCount = %d after install, want %d", n, total)
+	}
+
+	// Five TTL/4 steps. Each step, worker goroutines touch every
+	// even-index session while the sweeper runs concurrently — the
+	// data-path race the lock-free Touch is designed for. Even sessions
+	// are never more than TTL/4 stale, so no interleaving can evict
+	// them; odd sessions go silent at t0 and must all lapse by
+	// t0 + 1.25×TTL.
+	evicted := 0
+	for step := 1; step <= 5; step++ {
+		ts := now.Add(int64(ttl / 4))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 2 * w; i < total; i += 2 * workers {
+					sessions[i].live.Touch(ts)
+				}
+			}()
+		}
+		evicted += len(srv.SweepExpired())
+		wg.Wait()
+	}
+	// A final sweep after the touches settle catches any odd session the
+	// concurrent sweep visited before its bucket's tick had passed.
+	evicted += len(srv.SweepExpired())
+
+	if evicted != total/2 {
+		t.Fatalf("evicted %d sessions, want %d (the silent half)", evicted, total/2)
+	}
+	if n := srv.ClientCount(); n != total/2 {
+		t.Fatalf("ClientCount = %d after sweep, want %d", n, total/2)
+	}
+	for i := 0; i < total; i += 2 {
+		if _, ok := srv.sessions.Get(ids[i]); !ok {
+			t.Fatalf("live session %s was evicted", ids[i])
+		}
+	}
+	if st := srv.SessionStats(); st.Evicted != uint64(total/2) || st.Active != total/2 || st.Tracked != total/2 {
+		t.Fatalf("SessionStats = %+v", st)
+	}
+
+	// Takeover wave: resume-style installs replace 10k live sessions
+	// (the same-principal path), and the evicted IDs rejoin cold.
+	tNow := now.Load()
+	for i := 0; i < 20_000; i += 2 {
+		if err := srv.install(ids[i], &session{}, tNow, true); err != nil {
+			t.Fatalf("takeover install %s: %v", ids[i], err)
+		}
+	}
+	for i := 1; i < 20_000; i += 2 {
+		if err := srv.install(ids[i], &session{}, tNow, false); err != nil {
+			t.Fatalf("rejoin install %s: %v", ids[i], err)
+		}
+	}
+	st := srv.SessionStats()
+	if st.Takeovers != 10_000 {
+		t.Errorf("Takeovers = %d, want 10000", st.Takeovers)
+	}
+	if want := total/2 + 10_000; st.Active != want {
+		t.Errorf("Active = %d after rejoin wave, want %d", st.Active, want)
+	}
+}

@@ -120,3 +120,40 @@ func WithEchoNetwork() Option {
 func WithClientRouting() Option {
 	return func(o *DeploymentOptions) { o.RouteBetweenClients = true }
 }
+
+// WithSessionTTL enables liveness-driven session eviction: a client whose
+// frames and keepalive answers stop arriving for ttl is swept, its VPN
+// session torn down and its virtual-interface address reclaimed for reuse.
+// A background sweeper runs every ttl/4 (override with WithSweepInterval).
+// Zero disables eviction — sessions live until RemoveClient, the pre-v1
+// behaviour. Evicted clients can reconnect (full handshake) or resume
+// (Deployment.ResumeClient) at any time.
+func WithSessionTTL(ttl time.Duration) Option {
+	return func(o *DeploymentOptions) { o.SessionTTL = ttl }
+}
+
+// WithSweepInterval overrides the eviction sweeper's cadence (default
+// SessionTTL/4). A negative interval disables the background goroutine so
+// tests with fake clocks can drive Deployment.SweepSessions manually.
+func WithSweepInterval(interval time.Duration) Option {
+	return func(o *DeploymentOptions) { o.SweepInterval = interval }
+}
+
+// WithAdmission enables handshake admission control: a token bucket on
+// handshake starts, a cap on concurrently in-flight handshakes, and a hard
+// bound on total sessions — all enforced before any expensive asymmetric
+// crypto runs, so a connect storm is refused cheaply instead of collapsing
+// the server (typed errors ErrAdmissionThrottled / ErrServerFull). The
+// zero config disables admission entirely; zero-valued fields within a
+// non-zero config leave that particular limit unenforced.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(o *DeploymentOptions) { o.Admission = cfg }
+}
+
+// WithTicketTTL bounds the age of resumption tickets accepted by fast
+// resume (see Deployment.ResumeClient). Zero accepts any ticket sealed
+// under the server's in-memory ticket key — which a server restart
+// discards, so tickets never outlive the process either way.
+func WithTicketTTL(ttl time.Duration) Option {
+	return func(o *DeploymentOptions) { o.TicketTTL = ttl }
+}
