@@ -22,10 +22,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"endbox/internal/attest"
+	"endbox/internal/click"
 	"endbox/internal/config"
 	"endbox/internal/core"
 	"endbox/internal/netsim"
@@ -84,6 +87,34 @@ func saveResumeState(path, id string, caPub ed25519.PublicKey, cli *core.Client)
 	return os.WriteFile(path, raw, 0o600)
 }
 
+// loadLKG reads a persisted last-known-good version (-lkg-state); 0 when
+// the file is absent or unreadable — the client then simply has no local
+// revert point until its first clean version change.
+func loadLKG(path string) uint64 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("lkg state %s unusable (%v); starting without a revert point", path, err)
+		}
+		return 0
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		log.Printf("lkg state %s unusable (%v); starting without a revert point", path, err)
+		return 0
+	}
+	return v
+}
+
+func saveLKG(path string, v uint64) {
+	if v == 0 {
+		return
+	}
+	if err := os.WriteFile(path, []byte(strconv.FormatUint(v, 10)+"\n"), 0o600); err != nil {
+		log.Printf("lkg state not saved: %v", err)
+	}
+}
+
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
@@ -108,6 +139,7 @@ func run() error {
 		flowCap     = flag.Int("flow-capacity", 0, "bound on concurrently tracked flows in the enclave flow table (0 = default 16384)")
 		flowTTL     = flag.Duration("flow-ttl", 0, "flow idle timeout before expiry (0 = default 2m)")
 		resumePath  = flag.String("resume-state", "", "resume-state file: written after connecting; when present and valid, a fast resume (one round trip, no attestation) replaces the full handshake")
+		lkgPath     = flag.String("lkg-state", "", "last-known-good state file: persists the last configuration version that ran cleanly, so a restarted client can self-revert to it if a freshly applied configuration trips quarantine")
 	)
 	flag.Parse()
 
@@ -145,6 +177,16 @@ func run() error {
 			log.Printf("resume state %s belongs to %q, not %q; ignoring", *resumePath, st.ClientID, *id)
 		case !errors.Is(err, os.ErrNotExist):
 			log.Printf("resume state %s unusable (%v); falling back to full attestation", *resumePath, err)
+		}
+	}
+
+	// A persisted last-known-good version gives the fresh process a local
+	// revert point: if the configuration it applies next trips quarantine,
+	// it can fall back without waiting for the server.
+	var lkg uint64
+	if *lkgPath != "" {
+		if lkg = loadLKG(*lkgPath); lkg != 0 {
+			fmt.Printf("last-known-good v%d loaded from %s\n", lkg, *lkgPath)
 		}
 	}
 
@@ -238,9 +280,21 @@ func run() error {
 			BatchEcalls:   true,
 			FlowCapacity:  *flowCap,
 			FlowTTL:       *flowTTL,
-			FetchConfig:   func(v uint64) ([]byte, error) { return link.FetchConfig(context.Background(), v) },
-			Send:          link.SendFrame,
-			Deliver:       deliver,
+			FailurePolicy: click.FailurePolicy{Contain: true},
+			LKGVersion:    lkg,
+			OnElementFault: func(f click.ElementFault) {
+				if f.Quarantined {
+					log.Printf("element %s quarantined after repeated panics; self-reverting to last-known-good", f.Element)
+				} else {
+					log.Printf("element %s fault contained: %v", f.Element, f.Err)
+				}
+			},
+			OnUpdateFailed: func(version uint64, err error) {
+				log.Printf("configuration v%d rejected: %v (server notified)", version, err)
+			},
+			FetchConfig: func(v uint64) ([]byte, error) { return link.FetchConfig(context.Background(), v) },
+			Send:        link.SendFrame,
+			Deliver:     deliver,
 		}
 		if st != nil {
 			copts.SealedIdentity = st.SealedIdentity
@@ -323,6 +377,9 @@ func run() error {
 		if v := cli.AppliedVersion(); v != lastVersion {
 			fmt.Printf("configuration hot-swapped to v%d\n", v)
 			lastVersion = v
+			if *lkgPath != "" {
+				saveLKG(*lkgPath, cli.LKGVersion())
+			}
 		}
 		time.Sleep(*period)
 	}
@@ -335,6 +392,9 @@ func run() error {
 	got := received
 	mu.Unlock()
 	fmt.Printf("done: %d/%d pings answered, configuration v%d\n", got, *pings, cli.AppliedVersion())
+	if *lkgPath != "" {
+		saveLKG(*lkgPath, cli.LKGVersion())
+	}
 	if st := link.ARQStats(); st.TransfersSent > 0 {
 		fmt.Printf("control-path ARQ: %d transfers sent, %d segments, %d retransmits (%d fast), %d duplicate segments absorbed\n",
 			st.TransfersSent, st.SegmentsSent, st.Retransmits+st.FastRetransmit, st.FastRetransmit, st.DupSegments)

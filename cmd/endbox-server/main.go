@@ -51,6 +51,10 @@ func run() error {
 		lossDup     = flag.Float64("loss-dup", 0, "simulated duplicate probability [0,1]")
 		lossReorder = flag.Float64("loss-reorder", 0, "simulated reorder probability [0,1]")
 		lossSeed    = flag.Int64("loss-seed", 1, "seed for the deterministic loss model")
+		lossCorrupt = flag.Uint64("loss-corrupt", 0, "corrupt every Nth control-path datagram with a bit flip (0 = never; corrupted sealed frames fail authentication and are retransmitted)")
+		canaryFrac  = flag.Float64("canary-fraction", 0, "stage -update-after's demo update as a health-gated canary to this fraction of the fleet first (0 = publish directly, no canary)")
+		canaryWait  = flag.Duration("canary-deadline", 30*time.Second, "canary observation window: every cohort member must ack healthily within it or the rollout auto-rolls-back")
+		failOpen    = flag.Bool("fail-open", false, "quarantined pipeline elements bypass traffic instead of dropping it (default fail-closed)")
 		flowCap     = flag.Int("flow-capacity", 0, "bound on concurrently tracked flows per client enclave (0 = default 16384)")
 		flowTTL     = flag.Duration("flow-ttl", 0, "flow idle timeout before expiry (0 = default 2m)")
 		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle for this long (0 = never evict)")
@@ -93,11 +97,13 @@ func run() error {
 			Disable:    *arqOff,
 		}),
 		endbox.WithLossProfile(endbox.LossProfile{
-			Drop:      *lossDrop,
-			Duplicate: *lossDup,
-			Reorder:   *lossReorder,
-			Seed:      *lossSeed,
+			Drop:         *lossDrop,
+			Duplicate:    *lossDup,
+			Reorder:      *lossReorder,
+			Seed:         *lossSeed,
+			CorruptEvery: *lossCorrupt,
 		}),
+		endbox.WithFailurePolicy(endbox.FailurePolicy{FailOpen: *failOpen}),
 		endbox.WithFlowTable(*flowCap, *flowTTL),
 		endbox.WithSessionTTL(*sessionTTL),
 		endbox.WithAdmission(endbox.AdmissionConfig{
@@ -130,6 +136,30 @@ func run() error {
 	if *updateAfter > 0 {
 		go func() {
 			time.Sleep(time.Duration(*updateAfter) * time.Second)
+			if *canaryFrac > 0 {
+				log.Printf("staging demo update v2 as a canary to %.0f%% of the fleet (deadline %v)",
+					*canaryFrac*100, *canaryWait)
+				res, err := deployment.RolloutCanary(ctx, endbox.CanaryRollout{
+					Rollout: endbox.Rollout{
+						Version:      2,
+						GraceSeconds: uint32(*grace),
+						ClickConfig:  endbox.StandardConfig(endbox.UseCaseFW),
+						RuleSets:     endbox.CommunityRuleSets(),
+					},
+					Fraction: *canaryFrac,
+					Deadline: *canaryWait,
+				})
+				switch {
+				case err != nil:
+					log.Printf("canary failed: %v", err)
+				case res.Promoted:
+					log.Printf("canary v2 healthy on %v, promoted fleet-wide", res.Canary)
+				default:
+					log.Printf("canary v2 rolled back to last-known-good as v%d: %s",
+						res.RollbackVersion, res.Reason)
+				}
+				return
+			}
 			log.Printf("publishing demo update v2 (use case FW with tightened rules)")
 			err := deployment.Server.PublishUpdate(ctx, &endbox.Update{
 				Version:      2,
@@ -155,6 +185,9 @@ func run() error {
 	}
 	if *maxSessions > 0 || *hsRate > 0 || *hsInflight > 0 {
 		arqState += ", admission control on"
+	}
+	if *failOpen {
+		arqState += ", fail-open containment"
 	}
 	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (%s, %d session shards, %d ingress workers, %s, CA ready)\n",
 		transport.Addr(), bootLabel, deployment.Server.VPN().ShardCount(), transport.Workers(), arqState)

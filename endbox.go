@@ -152,6 +152,46 @@ type Selector = core.Selector
 // was announced to.
 type RolloutResult = core.RolloutResult
 
+// CanaryRollout stages a Rollout to a fraction of the selected clients
+// first, gates promotion on the cohort's sealed health reports over a
+// deadline, and rolls the cohort back to the last-known-good
+// configuration automatically on a nack, a quarantine report, or a
+// missed acknowledgement. Run it with Deployment.RolloutCanary.
+type CanaryRollout = core.CanaryRollout
+
+// CanaryResult reports what a canary rollout did: the cohort it staged
+// to, whether the version was promoted fleet-wide or rolled back (and
+// why), and the health reports and nacks collected during the watch.
+type CanaryResult = core.CanaryResult
+
+// FailurePolicy tunes element fault containment inside client enclaves:
+// the trip threshold that quarantines a repeatedly panicking element and
+// whether a quarantined stage fails closed (drop, the default) or open
+// (bypass). Set it with WithFailurePolicy; containment itself is on by
+// default (WithoutContainment opts out).
+type FailurePolicy = click.FailurePolicy
+
+// ElementFault is one containment event in a client's pipeline — a
+// recovered element panic, and possibly the trip that quarantined the
+// element. Delivered to FaultObserver implementations.
+type ElementFault = click.ElementFault
+
+// FaultObserver is optionally implemented by Observers that also want
+// robustness events: element faults inside client enclaves and announced
+// configuration versions a client could not apply (ObserverFuncs.OnFault
+// / ObserverFuncs.OnUpdateError adapt plain functions).
+type FaultObserver = core.FaultObserver
+
+// HealthReport is a client's sealed self-assessment of one applied
+// configuration version: hot-swap timing on success, panic/quarantine
+// counters and the faulting element on failure. Canary rollouts gate
+// promotion on these; read one directly via Client.HealthReport.
+type HealthReport = vpn.HealthReport
+
+// Nack is a client's sealed, typed rejection of an announced
+// configuration version, carrying the reason it could not be applied.
+type Nack = vpn.Nack
+
 // ErrBadPipeline is the typed error AddClient, Deployment.Rollout and
 // mbox.Compile return for middlebox pipelines and Click configurations
 // that cannot be compiled into a runnable router.

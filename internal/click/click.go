@@ -113,6 +113,63 @@ type Alert struct {
 	Msg     string
 }
 
+// FailurePolicy configures element fault containment for a pipeline. The
+// zero value disables containment, preserving the library's historical
+// behaviour (a panicking element unwinds out of Router.Process). With
+// Contain set, a panic inside an element is caught at the Instance
+// boundary, counted against the element, and — once TripThreshold
+// consecutive faults accumulate — the element is quarantined: every
+// connection into it is rewired to a gate that fail-closes (drops the
+// packet at the broken stage, the secure default) or fail-opens (bypasses
+// the element via its first output). After Cooldown a half-open probe
+// lets one packet through; a clean pass restores the original wiring, a
+// fresh panic re-arms the quarantine for another cooldown.
+type FailurePolicy struct {
+	// Contain enables panic containment for the pipeline.
+	Contain bool `json:"contain,omitempty"`
+	// FailOpen bypasses a quarantined element instead of dropping at it.
+	// Leave false for the secure default: a broken filter must not become
+	// an open filter.
+	FailOpen bool `json:"fail_open,omitempty"`
+	// TripThreshold is the number of faults that quarantine an element
+	// (default DefaultTripThreshold).
+	TripThreshold int `json:"trip_threshold,omitempty"`
+	// Cooldown is how long a quarantine holds before a half-open probe
+	// re-tests the element (default DefaultCooldown).
+	Cooldown time.Duration `json:"cooldown,omitempty"`
+}
+
+// Containment defaults: three strikes, thirty seconds in the box.
+const (
+	DefaultTripThreshold = 3
+	DefaultCooldown      = 30 * time.Second
+)
+
+func (f FailurePolicy) withDefaults() FailurePolicy {
+	if f.TripThreshold <= 0 {
+		f.TripThreshold = DefaultTripThreshold
+	}
+	if f.Cooldown <= 0 {
+		f.Cooldown = DefaultCooldown
+	}
+	return f
+}
+
+// ElementFault is a containment event delivered to the Context's Fault
+// hook: an element panicked (Quarantined false) or panicked often enough
+// to be quarantined — or failed its half-open probe (Quarantined true).
+type ElementFault struct {
+	// Element is the faulting element's instance name.
+	Element string `json:"element"`
+	// Class is its Click element class.
+	Class string `json:"class"`
+	// Err is the recovered panic value, formatted.
+	Err string `json:"err"`
+	// Quarantined reports whether the fault tripped (or re-armed) a
+	// quarantine.
+	Quarantined bool `json:"quarantined"`
+}
+
 // Context supplies platform services to elements. Inside EndBox the
 // trusted services come from the enclave (trusted time, the TLS key table);
 // a vanilla server-side Click uses the untrusted defaults.
@@ -141,6 +198,12 @@ type Context struct {
 	// default-sized table; Instance keeps the same service across
 	// hot-swaps, so flow state survives configuration rollouts.
 	Flows *flow.Context
+	// Failure is the pipeline's fault-containment policy. The zero value
+	// disables containment.
+	Failure FailurePolicy
+	// Fault receives containment events (element panics, quarantine
+	// trips, failed probes). Nil discards them.
+	Fault func(ElementFault)
 }
 
 func (c *Context) withDefaults() *Context {
@@ -165,6 +228,7 @@ func (c *Context) withDefaults() *Context {
 	if out.Flows == nil {
 		out.Flows = flow.NewContext(flow.Config{Now: out.SystemTime})
 	}
+	out.Failure = out.Failure.withDefaults()
 	return out
 }
 
@@ -193,6 +257,7 @@ type Element interface {
 	elementName() string
 	bindOutputs(n int)
 	connectOutput(out int, target Element, targetPort int) error
+	retargetOutput(out int, target Element, targetPort int)
 	outputCount() int
 	forwardTarget(out int) (Element, int, bool)
 	counters() *elemCounters
@@ -207,6 +272,7 @@ type elemCounters struct {
 	drops   atomic.Uint64
 	alerts  atomic.Uint64
 	flows   atomic.Uint64
+	panics  atomic.Uint64
 }
 
 // copyFrom transplants counters across a hot-swap.
@@ -215,6 +281,7 @@ func (c *elemCounters) copyFrom(old *elemCounters) {
 	c.drops.Store(old.drops.Load())
 	c.alerts.Store(old.alerts.Load())
 	c.flows.Store(old.flows.Load())
+	c.panics.Store(old.panics.Load())
 }
 
 // ElementStats is one element instance's runtime counters: packets pushed
@@ -237,6 +304,16 @@ type ElementStats struct {
 	// holds in the flow table (stateful elements only; see
 	// Base.FlowStateCreated).
 	Flows uint64
+	// Panics counts panics recovered from the element by fault
+	// containment (FailurePolicy.Contain). Like the other counters it
+	// survives hot-swaps.
+	Panics uint64
+	// Quarantined reports whether the element is currently quarantined:
+	// packets reaching it are dropped (or bypass it, under a fail-open
+	// policy) until a half-open probe re-admits it. Quarantine state does
+	// not survive hot-swaps — a freshly applied configuration starts with
+	// a clean slate.
+	Quarantined bool
 }
 
 // Base provides naming, output wiring and runtime counters for elements;
@@ -274,6 +351,16 @@ func (b *Base) connectOutput(out int, target Element, targetPort int) error {
 	return nil
 }
 
+// retargetOutput rewires an already-connected output, bypassing the
+// connected-twice check — the containment layer uses it to splice
+// quarantine gates in and out of a live graph.
+func (b *Base) retargetOutput(out int, target Element, targetPort int) {
+	b.targets[out] = struct {
+		el   Element
+		port int
+	}{target, targetPort}
+}
+
 func (b *Base) outputCount() int { return len(b.targets) }
 
 func (b *Base) forwardTarget(out int) (Element, int, bool) {
@@ -290,6 +377,9 @@ func (b *Base) forwardTarget(out int) (Element, int, bool) {
 // for optional ports such as a splitter's overflow output).
 func (b *Base) Forward(out int, p *Packet) {
 	if el, port, ok := b.forwardTarget(out); ok {
+		if o := p.owner; o != nil {
+			o.cur = el // best-effort fault attribution (see containPanic)
+		}
 		el.counters().packets.Add(1)
 		el.Push(port, p)
 		return

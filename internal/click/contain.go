@@ -1,0 +1,190 @@
+package click
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fault containment (FailurePolicy): a panicking element is recovered at
+// the Instance boundary, counted, and — after TripThreshold faults —
+// quarantined by rewiring the graph, not by guarding the hot path: every
+// connection into the broken element is spliced over to a gate, so the
+// steady-state packet path through healthy elements is byte-for-byte the
+// same code it was before containment existed. The only per-packet costs
+// are one deferred recover() in Instance.Process and the owner.cur store
+// in Base.Forward that makes panic attribution possible.
+
+// quarantine tracks one tripped element: the gate standing in for it, the
+// connections that were rewired to reach the gate (restored when a probe
+// succeeds), and when the trip happened (starts the cooldown clock).
+type quarantine struct {
+	el    Element
+	gate  *gate
+	moved []rewired
+	entry bool // the element was the router's entry point
+	since time.Time
+}
+
+// rewired records one connection spliced from the quarantined element to
+// its gate, so unquarantine can restore the original wiring exactly.
+type rewired struct {
+	src  Element
+	out  int
+	port int
+}
+
+// gate stands in for a quarantined element. Under the fail-closed policy
+// (the default) it drops arriving packets, attributing the drop to the
+// quarantined element; under fail-open it forwards them to the element's
+// first downstream target, bypassing the broken stage. Once the cooldown
+// elapses it runs a half-open probe: the next packet is pushed into the
+// real element, and a clean pass restores the original wiring while a
+// fresh panic re-arms the quarantine.
+type gate struct {
+	Base
+	r *Router
+	q *quarantine
+}
+
+func (g *gate) Class() string                      { return "Quarantine" }
+func (g *gate) Configure([]string, *Context) error { return nil }
+func (g *gate) InPorts() int                       { return AnyPorts }
+func (g *gate) OutPorts() int                      { return AnyPorts }
+
+func (g *gate) Push(port int, p *Packet) {
+	r := g.r
+	if r.now().Sub(g.q.since) >= r.policy.Cooldown {
+		// Half-open probe. A panic below unwinds to Instance.Process,
+		// whose containPanic sees the element already quarantined and
+		// re-arms it; on a normal return the element has earned its way
+		// back into the graph.
+		el := g.q.el
+		r.cur = el
+		el.counters().packets.Add(1)
+		el.Push(port, p)
+		r.unquarantine(g.q)
+		return
+	}
+	if r.policy.FailOpen {
+		if _, _, ok := g.forwardTarget(0); ok {
+			g.Forward(0, p)
+			return
+		}
+		// No downstream to bypass to (the quarantined element was a
+		// sink); fall through to the drop.
+	}
+	g.q.el.counters().packets.Add(1)
+	p.Drop(g.q.el.elementName())
+}
+
+// containPanic is the recovery path behind Instance.Process: attribute
+// the panic, count it, quarantine the element if it has used up its
+// strikes, and turn the half-processed packet into a drop verdict at the
+// faulting element. It runs with the instance lock held and the router's
+// scratch packet in whatever state the unwind left it.
+func (r *Router) containPanic(rec any) *Result {
+	el := r.cur
+	if g, ok := el.(*gate); ok {
+		// A panic surfacing while a gate was current belongs to the
+		// element it guards (e.g. a probe that blew up before the element
+		// forwarded anywhere).
+		el = g.q.el
+	}
+	if el == nil {
+		el = r.input
+	}
+	name := el.elementName()
+	el.counters().panics.Add(1)
+	msg := fmt.Sprintf("panic: %v", rec)
+
+	if q, ok := r.quar[name]; ok {
+		// A half-open probe failed: back in the box for another cooldown.
+		q.since = r.now()
+		r.fireFault(el, msg, true)
+	} else {
+		if r.trips == nil {
+			r.trips = make(map[string]int)
+		}
+		r.trips[name]++
+		tripped := r.trips[name] >= r.policy.TripThreshold
+		if tripped {
+			r.quarantineElement(el)
+		}
+		r.fireFault(el, msg, tripped)
+	}
+
+	p := &r.pkt
+	p.Drop(name) // no-op if some element already dropped it before the panic
+	res := &r.res
+	*res = Result{Packet: p, DroppedBy: p.droppedBy}
+	return res
+}
+
+// quarantineElement splices a gate in front of el: every connection in
+// the graph that targets el — including other quarantines' bypass wiring
+// — is retargeted at the gate, and if el was the router's entry point the
+// gate takes that over too. el's own outputs are left alone, so a
+// half-open probe flows downstream normally.
+func (r *Router) quarantineElement(el Element) {
+	name := el.elementName()
+	q := &quarantine{el: el, since: r.now()}
+	g := &gate{r: r, q: q}
+	g.setName(name + "!quarantine")
+	if tgt, port, ok := el.forwardTarget(0); ok {
+		// Wire the fail-open bypass through real Base wiring so that a
+		// later quarantine of the bypass target rewires this gate too.
+		g.bindOutputs(1)
+		_ = g.connectOutput(0, tgt, port)
+	}
+	q.gate = g
+	for _, n := range r.order {
+		r.redirect(r.elements[n], el, g, q)
+	}
+	for _, oq := range r.quar {
+		r.redirect(oq.gate, el, g, q)
+	}
+	if r.entry == el {
+		q.entry = true
+		r.entry = g
+	}
+	if r.quar == nil {
+		r.quar = make(map[string]*quarantine)
+	}
+	r.quar[name] = q
+}
+
+// redirect retargets every output of src that points at from over to the
+// gate, recording each splice for restoration.
+func (r *Router) redirect(src, from Element, g *gate, q *quarantine) {
+	for out := 0; out < src.outputCount(); out++ {
+		if tgt, port, ok := src.forwardTarget(out); ok && tgt == from {
+			q.moved = append(q.moved, rewired{src: src, out: out, port: port})
+			src.retargetOutput(out, g, port)
+		}
+	}
+}
+
+// unquarantine restores the wiring recorded at quarantine time and wipes
+// the element's strike count — a probed-healthy element starts fresh.
+func (r *Router) unquarantine(q *quarantine) {
+	for _, m := range q.moved {
+		m.src.retargetOutput(m.out, q.el, m.port)
+	}
+	if q.entry {
+		r.entry = q.el
+	}
+	delete(r.quar, q.el.elementName())
+	delete(r.trips, q.el.elementName())
+}
+
+func (r *Router) fireFault(el Element, msg string, quarantined bool) {
+	if r.fault == nil {
+		return
+	}
+	r.fault(ElementFault{
+		Element:     el.elementName(),
+		Class:       el.Class(),
+		Err:         msg,
+		Quarantined: quarantined,
+	})
+}

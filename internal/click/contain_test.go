@@ -1,0 +1,256 @@
+package click
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// boomElement panics on every packet from the Nth onward — the minimal
+// stand-in for a buggy custom element hitting poisoned state.
+type boomElement struct {
+	Base
+	after int
+	seen  int
+}
+
+func (*boomElement) Class() string { return "Boom" }
+func (b *boomElement) Configure(args []string, _ *Context) error {
+	b.after = 1
+	if len(args) > 0 && args[0] == "NEVER" {
+		b.after = 1 << 30
+	}
+	return nil
+}
+func (*boomElement) InPorts() int  { return 1 }
+func (*boomElement) OutPorts() int { return 1 }
+func (b *boomElement) Push(_ int, p *Packet) {
+	b.seen++
+	if b.seen >= b.after {
+		panic("boom: poisoned state")
+	}
+	b.Forward(0, p)
+}
+
+// configurePanics panics at Configure time.
+type configurePanics struct{ Base }
+
+func (*configurePanics) Class() string                      { return "ConfBoom" }
+func (*configurePanics) Configure([]string, *Context) error { panic("bad configure") }
+func (*configurePanics) InPorts() int                       { return 1 }
+func (*configurePanics) OutPorts() int                      { return 1 }
+func (*configurePanics) Push(int, *Packet)                  {}
+
+func chaosRegistry() Registry {
+	r := NewRegistry()
+	r["Boom"] = func() Element { return &boomElement{} }
+	r["ConfBoom"] = func() Element { return &configurePanics{} }
+	return r
+}
+
+func containCtx(t *testing.T, policy FailurePolicy, now *time.Time) (*Context, *[]ElementFault) {
+	t.Helper()
+	var faults []ElementFault
+	base := time.Unix(1700000000, 0)
+	if now == nil {
+		now = &base
+	}
+	ctx := &Context{
+		SystemTime: func() time.Time { return *now },
+		Failure:    policy,
+		Fault:      func(f ElementFault) { faults = append(faults, f) },
+	}
+	return ctx, &faults
+}
+
+func statsFor(t *testing.T, inst *Instance, name string) ElementStats {
+	t.Helper()
+	for _, s := range inst.Stats() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no stats for element %q", name)
+	return ElementStats{}
+}
+
+const boomConfig = "FromDevice -> b :: Boom -> ToDevice;"
+
+func boomInstance(t *testing.T, policy FailurePolicy, now *time.Time) (*Instance, *[]ElementFault) {
+	t.Helper()
+	ctx, faults := containCtx(t, policy, now)
+	inst, err := NewInstance(boomConfig, chaosRegistry(), ctx)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst, faults
+}
+
+func TestContainmentDisabledPanicsPropagate(t *testing.T) {
+	inst, _ := boomInstance(t, FailurePolicy{}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected the element panic to propagate with containment off")
+		}
+	}()
+	inst.Process(testUDP(t, "x"))
+}
+
+func TestContainmentTripsAndQuarantines(t *testing.T) {
+	inst, faults := boomInstance(t, FailurePolicy{Contain: true, TripThreshold: 3}, nil)
+	ip := testUDP(t, "x")
+	for i := 0; i < 5; i++ {
+		res := inst.Process(ip)
+		if res.Accepted {
+			t.Fatalf("packet %d accepted through a panicking element", i)
+		}
+		if res.DroppedBy != "b" {
+			t.Fatalf("packet %d dropped by %q, want b", i, res.DroppedBy)
+		}
+	}
+	st := statsFor(t, inst, "b")
+	if st.Panics != 3 {
+		t.Errorf("Panics = %d, want 3 (quarantine stops further panics)", st.Panics)
+	}
+	if !st.Quarantined {
+		t.Error("element not quarantined after trip threshold")
+	}
+	if st.Drops != 5 {
+		t.Errorf("Drops = %d, want 5 (every packet dropped at the broken stage)", st.Drops)
+	}
+	fs := *faults
+	if len(fs) != 3 {
+		t.Fatalf("fault events = %d, want 3", len(fs))
+	}
+	if fs[0].Quarantined || fs[1].Quarantined || !fs[2].Quarantined {
+		t.Errorf("quarantine flags = %v %v %v, want false false true",
+			fs[0].Quarantined, fs[1].Quarantined, fs[2].Quarantined)
+	}
+	if fs[2].Element != "b" || fs[2].Class != "Boom" || !strings.Contains(fs[2].Err, "poisoned state") {
+		t.Errorf("fault event = %+v", fs[2])
+	}
+}
+
+func TestContainmentFailOpenBypasses(t *testing.T) {
+	inst, _ := boomInstance(t, FailurePolicy{Contain: true, FailOpen: true, TripThreshold: 1}, nil)
+	ip := testUDP(t, "x")
+	if res := inst.Process(ip); res.Accepted {
+		t.Fatal("first packet accepted (element panics on it)")
+	}
+	// Quarantined after one strike; fail-open routes around the element.
+	for i := 0; i < 3; i++ {
+		if res := inst.Process(ip); !res.Accepted {
+			t.Fatalf("bypass packet %d dropped by %q under fail-open", i, res.DroppedBy)
+		}
+	}
+	if st := statsFor(t, inst, "b"); !st.Quarantined || st.Panics != 1 {
+		t.Errorf("stats = %+v, want quarantined with 1 panic", st)
+	}
+}
+
+func TestContainmentHalfOpenProbeRestoresHealthyElement(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	inst, _ := boomInstance(t, FailurePolicy{Contain: true, TripThreshold: 1, Cooldown: time.Minute}, &now)
+	ip := testUDP(t, "x")
+	inst.Process(ip) // trip & quarantine
+	if st := statsFor(t, inst, "b"); !st.Quarantined {
+		t.Fatal("not quarantined")
+	}
+	// Heal the element, then let the cooldown elapse: the probe should
+	// pass and restore the original wiring.
+	el, _ := inst.Element("b")
+	el.(*boomElement).after = 1 << 30
+	now = now.Add(61 * time.Second)
+	if res := inst.Process(ip); !res.Accepted {
+		t.Fatalf("probe packet dropped by %q", res.DroppedBy)
+	}
+	if st := statsFor(t, inst, "b"); st.Quarantined {
+		t.Error("still quarantined after a clean probe")
+	}
+	if res := inst.Process(ip); !res.Accepted {
+		t.Fatal("packet dropped after re-admission")
+	}
+}
+
+func TestContainmentFailedProbeRearms(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	inst, faults := boomInstance(t, FailurePolicy{Contain: true, TripThreshold: 1, Cooldown: time.Minute}, &now)
+	ip := testUDP(t, "x")
+	inst.Process(ip) // trip & quarantine
+	now = now.Add(61 * time.Second)
+	if res := inst.Process(ip); res.Accepted {
+		t.Fatal("failed probe accepted a packet")
+	}
+	if st := statsFor(t, inst, "b"); !st.Quarantined || st.Panics != 2 {
+		t.Errorf("stats after failed probe = %+v, want quarantined with 2 panics", st)
+	}
+	// Re-armed: the very next packet must hit the gate, not the element.
+	if res := inst.Process(ip); res.Accepted {
+		t.Fatal("packet accepted while re-quarantined")
+	}
+	if st := statsFor(t, inst, "b"); st.Panics != 2 {
+		t.Error("element ran again during a fresh cooldown")
+	}
+	fs := *faults
+	if len(fs) != 2 || !fs[1].Quarantined {
+		t.Errorf("fault events = %+v, want 2 with the probe failure re-quarantining", fs)
+	}
+}
+
+func TestQuarantineResetsOnSwap(t *testing.T) {
+	inst, _ := boomInstance(t, FailurePolicy{Contain: true, TripThreshold: 1}, nil)
+	ip := testUDP(t, "x")
+	inst.Process(ip)
+	if st := statsFor(t, inst, "b"); !st.Quarantined {
+		t.Fatal("not quarantined")
+	}
+	if _, err := inst.Swap("FromDevice -> b :: Boom(NEVER) -> ToDevice;"); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	st := statsFor(t, inst, "b")
+	if st.Quarantined {
+		t.Error("quarantine survived a hot-swap; a fresh config must start clean")
+	}
+	if st.Panics != 1 {
+		t.Errorf("Panics = %d, want 1 carried across the swap", st.Panics)
+	}
+	if res := inst.Process(ip); !res.Accepted {
+		t.Fatalf("healthy swapped config dropped packet (by %q)", res.DroppedBy)
+	}
+}
+
+func TestConfigurePanicBecomesSwapError(t *testing.T) {
+	ctx, _ := containCtx(t, FailurePolicy{Contain: true}, nil)
+	inst, err := NewInstance("FromDevice -> ToDevice;", chaosRegistry(), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Swap("FromDevice -> ConfBoom -> ToDevice;"); err == nil {
+		t.Fatal("Swap of a Configure-panicking element returned nil error")
+	} else if !strings.Contains(err.Error(), "panicked during build") {
+		t.Errorf("err = %v", err)
+	}
+	// Old configuration must still be live.
+	if res := inst.Process(testUDP(t, "x")); !res.Accepted {
+		t.Fatalf("old config broken after failed swap (dropped by %q)", res.DroppedBy)
+	}
+}
+
+func TestEntryElementQuarantine(t *testing.T) {
+	// The FromDevice entry itself can be gated: wire Boom as the first
+	// element a packet meets after the entry... and also quarantine the
+	// entry's direct successor, exercising the entry-rewire path via a
+	// config whose FromDevice feeds Boom directly.
+	inst, _ := boomInstance(t, FailurePolicy{Contain: true, TripThreshold: 1}, nil)
+	ip := testUDP(t, "x")
+	inst.Process(ip)
+	// b quarantined; FromDevice's output was rewired to the gate.
+	for i := 0; i < 3; i++ {
+		if res := inst.Process(ip); res.Accepted || res.DroppedBy != "b" {
+			t.Fatalf("packet %d: accepted=%v droppedBy=%q", i, res.Accepted, res.DroppedBy)
+		}
+	}
+	if st := statsFor(t, inst, "b"); st.Panics != 1 {
+		t.Errorf("Panics = %d, want 1 (gate must intercept before the element runs)", st.Panics)
+	}
+}

@@ -18,6 +18,19 @@ type Router struct {
 	input    Element  // the FromDevice entry point
 	output   *ToDevice
 
+	// Fault containment (contain.go). entry is where Process injects
+	// packets — normally input, or its quarantine gate while the input
+	// element is tripped. cur tracks the element currently executing Push
+	// (stored by Base.Forward) so a recovered panic can be attributed.
+	// quar and trips are nil until the first fault.
+	entry  Element
+	cur    Element
+	policy FailurePolicy
+	fault  func(ElementFault)
+	now    func() time.Time
+	quar   map[string]*quarantine
+	trips  map[string]int
+
 	// res and pkt are the per-router scratch reused by every Process call,
 	// so the steady-state path allocates neither a Result nor a Packet
 	// wrapper. Routers are single-threaded by contract (Instance
@@ -137,6 +150,10 @@ func BuildRouter(g *Graph, reg Resolver, ctx *Context) (*Router, error) {
 	if r.input == nil {
 		return nil, ErrNoInput
 	}
+	r.entry = r.input
+	r.policy = ctx.Failure
+	r.fault = ctx.Fault
+	r.now = ctx.TrustedTime
 
 	// Mandatory outputs must be connected (except ToDevice/Discard sinks
 	// and optional overflow ports, which elements declare via OutPorts).
@@ -169,8 +186,10 @@ func (r *Router) Element(name string) (Element, bool) {
 func (r *Router) Process(ip *packet.IPv4) *Result {
 	p := &r.pkt
 	*p = Packet{IP: ip, Backend: -1, owner: r}
-	r.input.counters().packets.Add(1)
-	r.input.Push(0, p)
+	in := r.entry
+	r.cur = in
+	in.counters().packets.Add(1)
+	in.Push(0, p)
 	res := &r.res
 	*res = Result{Packet: p}
 	if p.delivered && !p.dropped {
@@ -199,13 +218,16 @@ func (r *Router) Stats() []ElementStats {
 	for _, name := range r.order {
 		el := r.elements[name]
 		c := el.counters()
+		_, quarantined := r.quar[name]
 		out = append(out, ElementStats{
-			Name:    name,
-			Class:   el.Class(),
-			Packets: c.packets.Load(),
-			Drops:   c.drops.Load(),
-			Alerts:  c.alerts.Load(),
-			Flows:   c.flows.Load(),
+			Name:        name,
+			Class:       el.Class(),
+			Packets:     c.packets.Load(),
+			Drops:       c.drops.Load(),
+			Alerts:      c.alerts.Load(),
+			Flows:       c.flows.Load(),
+			Panics:      c.panics.Load(),
+			Quarantined: quarantined,
 		})
 	}
 	return out
@@ -259,7 +281,7 @@ func NewInstance(config string, reg Resolver, ctx *Context) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	router, err := BuildRouter(g, reg, ctx)
+	router, err := buildRecovering(g, reg, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -269,9 +291,26 @@ func NewInstance(config string, reg Resolver, ctx *Context) (*Instance, error) {
 // Process runs one packet through the current configuration. The Result
 // (and its Packet) is the active router's reused scratch: read it before
 // the next Process call on this instance, copying anything kept longer.
-func (i *Instance) Process(ip *packet.IPv4) *Result {
+//
+// With containment enabled (Context.Failure.Contain) a panicking element
+// is recovered here — the instance boundary, where the router's scratch
+// state can be safely rebuilt — and turned into a drop verdict at the
+// faulting element (see Router.containPanic).
+func (i *Instance) Process(ip *packet.IPv4) (res *Result) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	// The recover frame is unconditional so the defer stays open-coded
+	// (a conditional defer closure costs several ns per packet); with
+	// containment disabled the panic is re-raised and propagates as
+	// before. The happy-path price is one deferred recover check.
+	defer func() {
+		if rec := recover(); rec != nil {
+			if !i.ctx.Failure.Contain {
+				panic(rec)
+			}
+			res = i.router.containPanic(rec)
+		}
+	}()
 	return i.router.Process(ip)
 }
 
@@ -307,21 +346,50 @@ func (i *Instance) FlowStats() flow.Stats { return i.ctx.Flows.Stats() }
 
 // Swap hot-swaps to a new configuration, transplanting state from same-name
 // same-class elements, and returns the time the swap took (Table II's
-// "hotswap" phase). On error the old configuration stays active.
+// "hotswap" phase). On error the old configuration stays active — and a
+// panic inside an element's Configure or TakeState is converted into an
+// error rather than unwinding into the caller, so a broken configuration
+// can never take down a working pipeline.
 func (i *Instance) Swap(config string) (time.Duration, error) {
 	start := time.Now()
 	g, err := ParseConfig(config)
 	if err != nil {
 		return 0, err
 	}
-	router, err := BuildRouter(g, i.reg, i.ctx)
+	router, err := buildRecovering(g, i.reg, i.ctx)
 	if err != nil {
 		return 0, err
 	}
+	if err := i.install(router, config); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// buildRecovering is BuildRouter with element panics (a user element's
+// Configure blowing up) converted to errors.
+func buildRecovering(g *Graph, reg Resolver, ctx *Context) (r *Router, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("click: element panicked during build: %v", rec)
+		}
+	}()
+	return BuildRouter(g, reg, ctx)
+}
+
+// install swaps the live router under the instance lock. A panic inside a
+// StateCarrier's TakeState leaves the old router active and reports an
+// error.
+func (i *Instance) install(router *Router, config string) (err error) {
 	i.mu.Lock()
+	defer i.mu.Unlock()
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("click: element panicked during state transplant: %v", rec)
+		}
+	}()
 	router.transplantState(i.router)
 	i.router = router
 	i.config = config
-	i.mu.Unlock()
-	return time.Since(start), nil
+	return nil
 }

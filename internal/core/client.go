@@ -77,6 +77,21 @@ type ClientOptions struct {
 	Deliver func(ip []byte)
 	// OnAlert receives middlebox alerts. Optional.
 	OnAlert func(click.Alert)
+	// FailurePolicy configures in-enclave element fault containment
+	// (panic recovery, quarantine, fail-open/closed). The zero value
+	// disables containment; Deployment enables it by default.
+	FailurePolicy click.FailurePolicy
+	// OnElementFault receives containment events (element panics,
+	// quarantine trips) from the enclave pipeline. Optional.
+	OnElementFault func(click.ElementFault)
+	// OnUpdateFailed fires when a server-announced configuration version
+	// cannot be applied, so operators need not poll LastUpdateError.
+	// Optional.
+	OnUpdateFailed func(version uint64, err error)
+	// LKGVersion seeds the last-known-good configuration version (e.g.
+	// restored from an -lkg-state file across a restart). 0 means none
+	// yet: the first successful update establishes it.
+	LKGVersion uint64
 	// Clock for ping timestamps (default time.Now).
 	Clock func() time.Time
 }
@@ -89,10 +104,19 @@ type Client struct {
 	vpn     *vpn.Client
 	sealed  []byte
 	alerts  *alertQueue
+	faults  *faultQueue
 
 	appliedMu chan struct{} // 1-token semaphore guarding update state
 	version   uint64
 	updateErr error
+	// lkgVersion is the last configuration version that applied cleanly
+	// before the current one — the local rollback point when a fresh
+	// configuration trips quarantine. badVersions records versions the
+	// client has rolled back from, so a keepalive re-announcing one is
+	// nacked instead of re-applied (the flap damper until the server's
+	// canary rollback republishes good content under a new version).
+	lkgVersion  uint64
+	badVersions map[uint64]string
 
 	ticketMu sync.Mutex
 	ticket   []byte // latest server-issued resumption ticket (opaque)
@@ -131,6 +155,42 @@ func (q *alertQueue) flush() {
 	}
 }
 
+// faultQueue is the containment analogue of alertQueue: element faults
+// fire inside an ecall under the enclave execution lock, so they are
+// buffered and delivered after the boundary is released — the fault
+// handler re-enters the enclave (health report, self-revert).
+type faultQueue struct {
+	fn func(click.ElementFault) // set once at construction, before traffic
+
+	mu      sync.Mutex
+	pending []click.ElementFault
+}
+
+func (q *faultQueue) enqueue(f click.ElementFault) {
+	q.mu.Lock()
+	q.pending = append(q.pending, f)
+	q.mu.Unlock()
+}
+
+func (q *faultQueue) flush() {
+	q.mu.Lock()
+	pending := q.pending
+	q.pending = nil
+	q.mu.Unlock()
+	for _, f := range pending {
+		if q.fn != nil {
+			q.fn(f)
+		}
+	}
+}
+
+// flushEvents drains both post-ecall queues (alerts, then faults) on the
+// caller's stack.
+func (c *Client) flushEvents() {
+	c.alerts.flush()
+	c.faults.flush()
+}
+
 // NewClient creates the enclave, performs (or restores) attestation, and
 // prepares the client for Connect. It does not contact the VPN server yet.
 func NewClient(opts ClientOptions) (*Client, error) {
@@ -160,6 +220,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 		alert = func(click.Alert) {}
 	}
 	alerts := &alertQueue{fn: alert}
+	faults := &faultQueue{}
 
 	encl, err := opts.CPU.CreateEnclave(ClientImage(opts.CAPub), sgx.Config{
 		Mode:           opts.Mode,
@@ -169,7 +230,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := registerEcalls(encl, opts.CAPub, alerts.enqueue); err != nil {
+	if err := registerEcalls(encl, opts.CAPub, alerts.enqueue, faults.enqueue); err != nil {
 		encl.Destroy()
 		return nil, err
 	}
@@ -179,12 +240,15 @@ func NewClient(opts ClientOptions) (*Client, error) {
 	}
 
 	c := &Client{
-		opts:      opts,
-		enclave:   encl,
-		alerts:    alerts,
-		version:   opts.ConfigVersion,
-		appliedMu: make(chan struct{}, 1),
+		opts:       opts,
+		enclave:    encl,
+		alerts:     alerts,
+		faults:     faults,
+		version:    opts.ConfigVersion,
+		lkgVersion: opts.LKGVersion,
+		appliedMu:  make(chan struct{}, 1),
 	}
+	faults.fn = c.handleFault
 
 	// Bootstrap identity: restore a sealed one, or run remote attestation.
 	if len(opts.SealedIdentity) > 0 {
@@ -231,6 +295,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 		minTLS:       opts.MinTLS,
 		flowCapacity: opts.FlowCapacity,
 		flowTTL:      opts.FlowTTL,
+		failure:      opts.FailurePolicy,
 	}); err != nil {
 		encl.Destroy()
 		return nil, err
@@ -464,7 +529,7 @@ func (c *Client) certificate() (*attest.Certificate, error) {
 
 // SendPacket tunnels one application packet (egress).
 func (c *Client) SendPacket(ip []byte) error {
-	defer c.alerts.flush()
+	defer c.flushEvents()
 	return c.vpn.SendPacket(ip)
 }
 
@@ -474,13 +539,13 @@ func (c *Client) SendPacket(ip []byte) error {
 // it returns the number of packets handed to the transport and the first
 // error encountered (middlebox drops included).
 func (c *Client) SendPackets(ips [][]byte) (int, error) {
-	defer c.alerts.flush()
+	defer c.flushEvents()
 	return c.vpn.SendPackets(ips)
 }
 
 // HandleFrame processes a frame arriving from the server (ingress).
 func (c *Client) HandleFrame(frame []byte) error {
-	defer c.alerts.flush()
+	defer c.flushEvents()
 	return c.vpn.HandleFrame(frame)
 }
 
@@ -490,7 +555,7 @@ func (c *Client) HandleFrame(frame []byte) error {
 // it returns the number of frames fully handled and the first error
 // encountered (middlebox drops included).
 func (c *Client) HandleFrames(frames [][]byte) (int, error) {
-	defer c.alerts.flush()
+	defer c.flushEvents()
 	return c.vpn.HandleFrames(frames)
 }
 
@@ -550,33 +615,158 @@ func (c *Client) LastUpdateError() error {
 // prove the update with a ping (paper Fig. 5 steps 5-9). It runs inline;
 // the fetch and decrypt do not stall traffic because the caller's ping
 // handling is already off the data path.
+//
+// Failures are no longer silent: a version the client has rolled back
+// from is nacked without re-applying (the damper against announce/revert
+// flapping), and any apply failure pushes a typed Nack so the server's
+// canary watcher learns immediately instead of waiting out its deadline.
 func (c *Client) onAnnounce(version uint64, _ time.Duration) {
+	c.appliedMu <- struct{}{}
+	reason, known := c.badVersions[version]
+	<-c.appliedMu
+	if known {
+		_ = c.vpn.SendNack(vpn.Nack{Version: version, Reason: "rolled back: " + reason})
+		return
+	}
 	_, timing, err := c.applyVersion(version)
-	_ = timing
 	if err != nil {
 		c.appliedMu <- struct{}{}
 		c.updateErr = err
 		<-c.appliedMu
+		if c.opts.OnUpdateFailed != nil {
+			c.opts.OnUpdateFailed(version, err)
+		}
+		_ = c.vpn.SendNack(vpn.Nack{Version: version, Reason: err.Error()})
 		return
 	}
-	// Prove the update (best effort; next periodic ping also carries it).
+	// Ack with swap timing, then prove the update (best effort; the next
+	// periodic ping also carries the version).
+	_ = c.vpn.SendHealth(vpn.HealthReport{
+		Version:   version,
+		OK:        true,
+		SwapNanos: timing.Hotswap.Nanoseconds(),
+	})
 	_ = c.SendPing()
 }
 
 // ApplyUpdateBlob verifies and applies a fetched update blob, returning the
-// in-enclave timing breakdown.
+// in-enclave timing breakdown. The previously applied version becomes the
+// client's last-known-good rollback point.
 func (c *Client) ApplyUpdateBlob(blob []byte) (SwapTiming, error) {
-	defer c.alerts.flush()
+	defer c.flushEvents()
 	res, err := c.enclave.Ecall(ecallApplyConfig, applyConfigArg{blob: blob})
 	if err != nil {
 		return SwapTiming{}, err
 	}
 	applied := res.(applyResult)
 	c.appliedMu <- struct{}{}
+	if c.version != applied.version {
+		c.lkgVersion = c.version
+	}
 	c.version = applied.version
 	c.updateErr = nil
 	<-c.appliedMu
 	return applied.timing, nil
+}
+
+// handleFault delivers containment events raised inside the enclave. A
+// quarantine trip on the running pipeline means the configuration itself
+// is suspect: the client reports unhealthy to the server and, if it has a
+// last-known-good version, self-reverts locally rather than limping on a
+// quarantined pipeline until the server notices.
+func (c *Client) handleFault(f click.ElementFault) {
+	if c.opts.OnElementFault != nil {
+		c.opts.OnElementFault(f)
+	}
+	if !f.Quarantined {
+		return
+	}
+	if h, err := c.HealthReport(); err == nil {
+		h.OK = false
+		h.Fault = f.Element
+		_ = c.vpn.SendHealth(h)
+	}
+	c.selfRevert(f)
+}
+
+// selfRevert rolls the pipeline back to the last-known-good version after
+// the current configuration tripped quarantine. The revert is guarded by
+// an in-enclave compare-and-swap on the applied version (expectApplied),
+// so a server-side rollback landing concurrently wins: the stale revert
+// is rejected inside the enclave instead of downgrading a fresh config.
+func (c *Client) selfRevert(f click.ElementFault) {
+	c.appliedMu <- struct{}{}
+	bad, lkg := c.version, c.lkgVersion
+	_, alreadyBad := c.badVersions[bad]
+	revert := lkg != 0 && bad != lkg && !alreadyBad
+	if revert {
+		if c.badVersions == nil {
+			c.badVersions = make(map[uint64]string)
+		}
+		c.badVersions[bad] = fmt.Sprintf("element %s quarantined: %s", f.Element, f.Err)
+	}
+	<-c.appliedMu
+	if !revert {
+		return
+	}
+	if c.opts.FetchConfig == nil {
+		return
+	}
+	blob, err := c.opts.FetchConfig(lkg)
+	if err != nil {
+		return
+	}
+	if err := c.applyRollback(blob, bad); err != nil {
+		return
+	}
+	_ = c.SendPing()
+	_ = c.vpn.SendNack(vpn.Nack{Version: bad, Reason: "self-revert: " + f.Err})
+}
+
+// applyRollback applies a last-known-good blob with the enclave's
+// monotonic-version check waived (the blob is still CA-signed, so the
+// replay surface is limited to operator-shipped configurations) and a CAS
+// on the currently applied version. On success the applied version moves
+// backwards; the LKG pointer is left untouched.
+func (c *Client) applyRollback(blob []byte, expectApplied uint64) error {
+	defer c.flushEvents()
+	res, err := c.enclave.Ecall(ecallApplyConfig, applyConfigArg{
+		blob:          blob,
+		allowRollback: true,
+		expectApplied: expectApplied,
+	})
+	if err != nil {
+		return err
+	}
+	applied := res.(applyResult)
+	c.appliedMu <- struct{}{}
+	c.version = applied.version
+	c.updateErr = nil
+	<-c.appliedMu
+	return nil
+}
+
+// HealthReport snapshots the client's pipeline health: the applied
+// version, last swap timing, cumulative panic/drop counters, and any
+// quarantined elements. OK is true iff nothing is quarantined.
+func (c *Client) HealthReport() (vpn.HealthReport, error) {
+	res, err := c.enclave.Ecall(ecallHealthReport, nil)
+	if err != nil {
+		return vpn.HealthReport{}, err
+	}
+	h := res.(vpn.HealthReport)
+	h.OK = h.Quarantined == 0
+	return h, nil
+}
+
+// LKGVersion reports the last-known-good configuration version — the
+// local rollback point, suitable for persisting across restarts (the
+// endbox-client -lkg-state flag).
+func (c *Client) LKGVersion() uint64 {
+	c.appliedMu <- struct{}{}
+	v := c.lkgVersion
+	<-c.appliedMu
+	return v
 }
 
 // applyVersion fetches and applies a specific version.

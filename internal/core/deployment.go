@@ -97,6 +97,15 @@ type DeploymentOptions struct {
 	// the life of the server process; a restart always invalidates all
 	// tickets because the sealing key is in-memory only).
 	TicketTTL time.Duration
+	// FailurePolicy tunes element fault containment in every client
+	// enclave. The zero value selects the deployment default: containment
+	// on, fail-closed, stock trip threshold and cooldown. Set FailOpen to
+	// bypass quarantined elements instead of dropping at them.
+	FailurePolicy click.FailurePolicy
+	// DisableContainment runs pipelines bare — an element panic unwinds
+	// through the data path (the pre-containment behaviour, and the raw
+	// library default). FailurePolicy is ignored when set.
+	DisableContainment bool
 }
 
 // ClientSpec configures one client joining a deployment. Data-path events
@@ -212,6 +221,12 @@ type Deployment struct {
 	sweepStop chan struct{}
 	sweepOnce sync.Once
 
+	// watch is the active canary observation, nil outside RolloutCanary.
+	// Client nacks and health reports are fed to it by the VPN server's
+	// sealed-frame hooks.
+	watchMu sync.Mutex
+	watch   *canaryWatch
+
 	mu        sync.Mutex
 	clients   map[string]*Client
 	links     map[string]ClientLink
@@ -313,6 +328,8 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 		Shards:         opts.Shards,
 		SessionTTL:     opts.SessionTTL,
 		TicketTTL:      opts.TicketTTL,
+		OnNack:         d.onNack,
+		OnHealth:       d.onHealth,
 	})
 	if err != nil {
 		return nil, err
@@ -411,6 +428,41 @@ func (d *Deployment) observe() Observer {
 	return noopObserver
 }
 
+// failurePolicy resolves the containment policy every client enclave
+// boots with. Unlike the raw library (whose zero value is inert), a
+// deployment contains element panics by default: a managed fleet should
+// degrade one element, not crash a client's data path.
+func (d *Deployment) failurePolicy() click.FailurePolicy {
+	if d.opts.DisableContainment {
+		return click.FailurePolicy{}
+	}
+	p := d.opts.FailurePolicy
+	p.Contain = true
+	return p
+}
+
+// onNack routes a client's sealed configuration rejection to the active
+// canary watch (if any).
+func (d *Deployment) onNack(clientID string, n vpn.Nack) {
+	d.watchMu.Lock()
+	w := d.watch
+	d.watchMu.Unlock()
+	if w != nil {
+		w.onNack(clientID, n)
+	}
+}
+
+// onHealth routes a client's sealed health report to the active canary
+// watch (if any).
+func (d *Deployment) onHealth(clientID string, h vpn.HealthReport) {
+	d.watchMu.Lock()
+	w := d.watch
+	d.watchMu.Unlock()
+	if w != nil {
+		w.onHealth(clientID, h)
+	}
+}
+
 // RegisterPlatform implements ServerEndpoint: record the platform key with
 // the IAS and hand back the CA public key (paper Fig. 4 step 0: in real
 // deployments the CA key ships inside the enclave image).
@@ -478,6 +530,13 @@ func (d *Deployment) AcceptResume(r *vpn.ResumeRequest) (*vpn.ResumeReply, error
 // HandleFrame implements ServerEndpoint.
 func (d *Deployment) HandleFrame(clientID string, frame []byte) error {
 	return d.Server.VPN().HandleFrame(clientID, frame)
+}
+
+// FrameShed implements the transport's optional shed-accounting hook:
+// a frame discarded by ingress overload shedding is recorded against the
+// client's virtual interface (VIFStats.Shed).
+func (d *Deployment) FrameShed(clientID string) {
+	d.Server.VPN().CountShed(clientID)
 }
 
 // FetchConfig implements ServerEndpoint. Version 0 resolves to the
@@ -667,10 +726,21 @@ func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string
 		FetchConfig: func(version uint64) ([]byte, error) {
 			return link.FetchConfig(context.Background(), version)
 		},
-		Send:    link.SendFrame,
-		Deliver: func(ip []byte) { obs.PacketReceived(id, ip) },
-		OnAlert: func(a click.Alert) { obs.Alert(id, a) },
-		Clock:   d.opts.Clock,
+		Send:          link.SendFrame,
+		Deliver:       func(ip []byte) { obs.PacketReceived(id, ip) },
+		OnAlert:       func(a click.Alert) { obs.Alert(id, a) },
+		FailurePolicy: d.failurePolicy(),
+		OnElementFault: func(f click.ElementFault) {
+			if fo, ok := obs.(FaultObserver); ok {
+				fo.OnElementFault(id, f)
+			}
+		},
+		OnUpdateFailed: func(version uint64, err error) {
+			if fo, ok := obs.(FaultObserver); ok {
+				fo.OnUpdateFailed(id, version, err)
+			}
+		},
+		Clock: d.opts.Clock,
 	})
 }
 
@@ -683,9 +753,13 @@ func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string
 // key. Snapshot it with Deployment.ResumeState before a planned restart,
 // or persist it the way cmd/endbox-client does.
 type ResumeState struct {
-	ClientID       string
-	Addr           packet.Addr
-	Version        uint64
+	ClientID string
+	Addr     packet.Addr
+	Version  uint64
+	// LKG is the last-known-good configuration version — the client's
+	// local rollback point, preserved across the restart so a bad update
+	// applied right after resuming can still be self-reverted.
+	LKG            uint64
 	SealedIdentity []byte
 	Secret         []byte
 	Ticket         []byte
@@ -708,6 +782,7 @@ func (d *Deployment) ResumeState(id string) (ResumeState, error) {
 		ClientID:       id,
 		Addr:           addr,
 		Version:        cli.AppliedVersion(),
+		LKG:            cli.LKGVersion(),
 		SealedIdentity: cli.SealedIdentity(),
 		Secret:         secret,
 		Ticket:         cli.Ticket(),
@@ -846,10 +921,22 @@ func (d *Deployment) buildResumedClient(ctx context.Context, link ClientLink, id
 		FetchConfig: func(version uint64) ([]byte, error) {
 			return link.FetchConfig(context.Background(), version)
 		},
-		Send:    link.SendFrame,
-		Deliver: func(ip []byte) { obs.PacketReceived(id, ip) },
-		OnAlert: func(a click.Alert) { obs.Alert(id, a) },
-		Clock:   d.opts.Clock,
+		Send:          link.SendFrame,
+		Deliver:       func(ip []byte) { obs.PacketReceived(id, ip) },
+		OnAlert:       func(a click.Alert) { obs.Alert(id, a) },
+		FailurePolicy: d.failurePolicy(),
+		LKGVersion:    state.LKG,
+		OnElementFault: func(f click.ElementFault) {
+			if fo, ok := obs.(FaultObserver); ok {
+				fo.OnElementFault(id, f)
+			}
+		},
+		OnUpdateFailed: func(version uint64, err error) {
+			if fo, ok := obs.(FaultObserver); ok {
+				fo.OnUpdateFailed(id, version, err)
+			}
+		},
+		Clock: d.opts.Clock,
 	})
 }
 

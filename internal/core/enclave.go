@@ -65,6 +65,7 @@ const (
 	ecallGetCert         = "get_cert"
 	ecallPipelineStats   = "pipeline_stats"
 	ecallFlowStats       = "flow_stats"
+	ecallHealthReport    = "health_report"
 	// Naive per-stage ecalls used only by the §V-G(1) ablation.
 	ecallNaiveClick = "naive_click"
 	ecallNaiveCrypt = "naive_encrypt"
@@ -164,11 +165,22 @@ type initClickArg struct {
 	minTLS       uint16
 	flowCapacity int
 	flowTTL      time.Duration
+	failure      click.FailurePolicy
 }
 
 // applyConfigArg carries a fetched (possibly encrypted) update blob.
+// allowRollback waives the monotonic-version check for the client's local
+// self-revert to last-known-good: the blob is still CA-signed (any
+// previously published version can be re-applied, nothing else), so the
+// replay surface is limited to configurations the operator shipped.
+// expectApplied is a compare-and-swap guard for rollbacks: the revert is
+// rejected unless the currently applied version still equals it, so a
+// self-revert racing a server-side rollback cannot downgrade a fresher
+// configuration that landed in between.
 type applyConfigArg struct {
-	blob []byte
+	blob          []byte
+	allowRollback bool
+	expectApplied uint64
 }
 
 // applyResult reports the applied version and phase timings back across
@@ -187,7 +199,7 @@ type forwardKeyArg struct {
 // registerEcalls installs the full EndBox enclave interface onto e. The
 // returned state pointer is captured only by the handlers — mirroring
 // memory that exists only inside the enclave.
-func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Alert)) error {
+func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Alert), fault func(click.ElementFault)) error {
 	st := &enclaveState{
 		caPub:   caPub,
 		keys:    tlstap.NewKeyTable(),
@@ -395,6 +407,12 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 			},
 			Keys:  st.keys,
 			Alert: alert,
+			// Fault containment: a panicking element is recovered at the
+			// router boundary instead of unwinding out of the ecall, and
+			// containment events surface through the fault hook (queued
+			// outside the enclave exactly like alerts).
+			Failure: a.failure,
+			Fault:   fault,
 			// Flow expiry reads the cheap untrusted clock: a skewed clock
 			// can only age flows out early or late, never corrupt state.
 			// The hash seed is drawn per enclave so an attacker cannot
@@ -538,9 +556,16 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 		// Replay protection: versions increase monotonically (paper
 		// §III-E: "To prevent clients from replaying old configuration
 		// files, the version number ... is incorporated inside the update
-		// itself").
-		if u.Version <= st.applied {
+		// itself"). The one sanctioned exception is an explicit local
+		// rollback to a previously applied (CA-signed) version, used by
+		// the self-revert path when a fresh configuration trips
+		// quarantine.
+		if u.Version <= st.applied && !a.allowRollback {
 			return nil, fmt.Errorf("%w: %d <= %d", ErrStaleUpdate, u.Version, st.applied)
+		}
+		if a.allowRollback && st.applied != a.expectApplied {
+			return nil, fmt.Errorf("%w: rollback expected applied %d, have %d",
+				ErrStaleUpdate, a.expectApplied, st.applied)
 		}
 		if st.router == nil {
 			return nil, ErrNoSession
@@ -575,6 +600,30 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 		// The snapshot is freshly allocated counter values — no enclave
 		// state crosses the boundary.
 		return st.router.Stats(), nil
+	}); err != nil {
+		return err
+	}
+
+	// Health summary for canary rollouts: the applied version, the last
+	// swap's timing, and the pipeline's cumulative fault counters. All
+	// public information (counters, not packet contents).
+	if err := reg(ecallHealthReport, func(_ *sgx.Ctx, _ any) (any, error) {
+		if st.router == nil {
+			return nil, ErrNoSession
+		}
+		h := vpn.HealthReport{
+			Version:   st.applied,
+			SwapNanos: st.lastSwap.Hotswap.Nanoseconds(),
+		}
+		for _, s := range st.router.Stats() {
+			h.Panics += s.Panics
+			h.Drops += s.Drops
+			if s.Quarantined {
+				h.Quarantined++
+				h.Fault = s.Name
+			}
+		}
+		return h, nil
 	}); err != nil {
 		return err
 	}

@@ -159,6 +159,19 @@ func (d *Deployment) selectClients(sel Selector) ([]string, map[string]uint64) {
 			seqs[id] = d.joinSeq[id]
 		}
 	}
+	// Standalone clients (cmd/endbox-client) handshake over the transport
+	// without passing through AddClient, so they exist only in the VPN
+	// session table. Include them: ID and catch-all selectors must see
+	// them, though label selectors can't match (they carry no labels).
+	for _, id := range d.Server.VPN().ClientIDs() {
+		if _, inproc := d.clients[id]; inproc {
+			continue
+		}
+		if sel.matches(id, nil) {
+			ids = append(ids, id)
+			seqs[id] = d.joinSeq[id] // 0: remote joins don't bump the generation
+		}
+	}
 	sort.Strings(ids)
 	return ids, seqs
 }
@@ -170,6 +183,11 @@ func (d *Deployment) connectedIDs() []string {
 	ids := make([]string, 0, len(d.clients))
 	for id := range d.clients {
 		ids = append(ids, id)
+	}
+	for _, id := range d.Server.VPN().ClientIDs() {
+		if _, inproc := d.clients[id]; !inproc {
+			ids = append(ids, id)
+		}
 	}
 	sort.Strings(ids)
 	return ids

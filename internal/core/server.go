@@ -51,6 +51,12 @@ type ServerOptions struct {
 	// TicketTTL bounds resumption-ticket age (0 = life of the server's
 	// in-memory ticket key).
 	TicketTTL time.Duration
+	// OnNack receives clients' typed configuration rejections (sealed
+	// FrameNack frames). Optional; the canary engine uses it.
+	OnNack func(clientID string, n vpn.Nack)
+	// OnHealth receives clients' health reports (sealed FrameHealth
+	// frames): apply acks and fault notifications. Optional.
+	OnHealth func(clientID string, h vpn.HealthReport)
 }
 
 // Server bundles the managed network's server side: VPN endpoint,
@@ -65,6 +71,10 @@ type Server struct {
 	mu        sync.Mutex
 	nextVer   uint64
 	lastGrace time.Duration
+	// journal records every published update by version — the rollback
+	// source: a canary failure republishes the last-known-good entry's
+	// content under a fresh (higher) version.
+	journal map[uint64]*config.Update
 }
 
 // NewServer creates the server-side deployment.
@@ -111,6 +121,8 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		Shards:     opts.Shards,
 		SessionTTL: opts.SessionTTL,
 		TicketTTL:  opts.TicketTTL,
+		OnNack:     opts.OnNack,
+		OnHealth:   opts.OnHealth,
 	})
 	if err != nil {
 		return nil, err
@@ -120,6 +132,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		vpn:     vsrv,
 		configs: config.NewServer(),
 		signKey: serverPriv,
+		journal: make(map[uint64]*config.Update),
 	}, nil
 }
 
@@ -189,7 +202,46 @@ func (s *Server) sealAndPublish(u *config.Update) error {
 	if err != nil {
 		return err
 	}
-	return s.configs.Publish(u.Version, blob)
+	if err := s.configs.Publish(u.Version, blob); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.journal[u.Version] = u
+	s.mu.Unlock()
+	return nil
+}
+
+// JournalEntry returns the published update recorded under a version.
+// Entries are immutable after publication; callers must not modify the
+// returned update.
+func (s *Server) JournalEntry(version uint64) (*config.Update, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.journal[version]
+	return u, ok
+}
+
+// AnnounceGlobal promotes an already published version to the fleet-wide
+// requirement: the policy's global current moves to it (absorbing any
+// per-client targets at or below it) and every client is pinged. The
+// canary engine widens a successful canary with this — the blob was
+// published when the cohort was staged, so promotion is pure policy plus
+// announcement, with no second seal.
+func (s *Server) AnnounceGlobal(ctx context.Context, version uint64, grace time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if _, ok := s.JournalEntry(version); !ok {
+		return fmt.Errorf("core: version %d was never published", version)
+	}
+	if err := s.vpn.Policy().Announce(version, grace); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.nextVer = version
+	s.lastGrace = grace
+	s.mu.Unlock()
+	return s.vpn.BroadcastPing(grace)
 }
 
 // LatestGlobal reports the most recent globally published version (0

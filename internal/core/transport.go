@@ -188,13 +188,17 @@ type LossProfile struct {
 	// Reorder is the probability a datagram is held back and delivered
 	// after the next one.
 	Reorder float64
+	// CorruptEvery flips one seeded bit in every Nth surviving datagram
+	// (0 = never). Sealed frames so mangled must fail authentication at
+	// the receiver — the corruption-tolerance testing seam.
+	CorruptEvery uint64
 	// Seed seeds the deterministic fault sequence.
 	Seed int64
 }
 
 // Zero reports whether the profile impairs nothing.
 func (p LossProfile) Zero() bool {
-	return p.Drop == 0 && p.Duplicate == 0 && p.Reorder == 0
+	return p.Drop == 0 && p.Duplicate == 0 && p.Reorder == 0 && p.CorruptEvery == 0
 }
 
 // LossyTransport is optionally implemented by transports that can inject
@@ -257,16 +261,34 @@ type LifecycleObserver interface {
 	AdmissionRefused(clientID string, err error)
 }
 
+// FaultObserver is optionally implemented by Observers that also want
+// robustness events: element faults (recovered panics, quarantine trips)
+// inside client enclaves, and announced configuration versions a client
+// could not apply. The deployment type-asserts its observer once, like
+// LifecycleObserver; a plain Observer sees only data-path events.
+type FaultObserver interface {
+	// OnElementFault fires for every containment event in a client's
+	// pipeline: each recovered panic, and the trip that quarantines the
+	// element (Quarantined true).
+	OnElementFault(clientID string, f click.ElementFault)
+	// OnUpdateFailed fires when a client fails to apply a
+	// server-announced configuration version — previously only visible
+	// by polling Client.LastUpdateError.
+	OnUpdateFailed(clientID string, version uint64, err error)
+}
+
 // ObserverFuncs adapts plain functions to Observer (and, via the
-// lifecycle fields, to LifecycleObserver); nil fields ignore the
-// corresponding event.
+// lifecycle and fault fields, to LifecycleObserver and FaultObserver);
+// nil fields ignore the corresponding event.
 type ObserverFuncs struct {
-	OnDelivered func(clientID string, ip []byte)
-	OnReceived  func(clientID string, ip []byte)
-	OnAlert     func(clientID string, a click.Alert)
-	OnEvicted   func(clientID string)
-	OnResumed   func(clientID string)
-	OnRefused   func(clientID string, err error)
+	OnDelivered   func(clientID string, ip []byte)
+	OnReceived    func(clientID string, ip []byte)
+	OnAlert       func(clientID string, a click.Alert)
+	OnEvicted     func(clientID string)
+	OnResumed     func(clientID string)
+	OnRefused     func(clientID string, err error)
+	OnFault       func(clientID string, f click.ElementFault)
+	OnUpdateError func(clientID string, version uint64, err error)
 }
 
 // PacketDelivered implements Observer.
@@ -308,6 +330,20 @@ func (o ObserverFuncs) SessionResumed(clientID string) {
 func (o ObserverFuncs) AdmissionRefused(clientID string, err error) {
 	if o.OnRefused != nil {
 		o.OnRefused(clientID, err)
+	}
+}
+
+// OnElementFault implements FaultObserver.
+func (o ObserverFuncs) OnElementFault(clientID string, f click.ElementFault) {
+	if o.OnFault != nil {
+		o.OnFault(clientID, f)
+	}
+}
+
+// OnUpdateFailed implements FaultObserver.
+func (o ObserverFuncs) OnUpdateFailed(clientID string, version uint64, err error) {
+	if o.OnUpdateError != nil {
+		o.OnUpdateError(clientID, version, err)
 	}
 }
 
@@ -357,6 +393,25 @@ func (m multiObserver) AdmissionRefused(clientID string, err error) {
 	for _, o := range m {
 		if lo, ok := o.(LifecycleObserver); ok {
 			lo.AdmissionRefused(clientID, err)
+		}
+	}
+}
+
+// multiObserver fans fault events out to whichever members implement
+// FaultObserver.
+
+func (m multiObserver) OnElementFault(clientID string, f click.ElementFault) {
+	for _, o := range m {
+		if fo, ok := o.(FaultObserver); ok {
+			fo.OnElementFault(clientID, f)
+		}
+	}
+}
+
+func (m multiObserver) OnUpdateFailed(clientID string, version uint64, err error) {
+	for _, o := range m {
+		if fo, ok := o.(FaultObserver); ok {
+			fo.OnUpdateFailed(clientID, version, err)
 		}
 	}
 }

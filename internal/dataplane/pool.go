@@ -10,10 +10,16 @@ import (
 // buffering without limit.
 const DefaultQueueDepth = 256
 
+// DefaultWatermark is the shedding threshold matching DefaultQueueDepth:
+// data frames shed once a queue is 3/4 full, reserving the last quarter
+// for control-critical frames (SubmitControl).
+const DefaultWatermark = DefaultQueueDepth - DefaultQueueDepth/4
+
 // PoolStats are cumulative ingress-pool counters.
 type PoolStats struct {
 	Submitted uint64 // frames accepted into a worker queue
 	Dropped   uint64 // frames shed because the owning worker's queue was full
+	Shed      uint64 // data frames shed at the watermark (queue not yet full)
 }
 
 // job is one queued ingress frame. owner, when non-nil, is the pooled
@@ -42,13 +48,21 @@ type Pool struct {
 	workers []chan job
 	handler func(clientID string, frame []byte)
 	release func(owner []byte)
+	onShed  func(clientID string)
 	wg      sync.WaitGroup
+
+	// watermark is the per-queue occupancy at which data submissions are
+	// shed (drop-newest) even though the queue is not full — the reserved
+	// headroom keeps SubmitControl frames flowing and bounds queueing
+	// delay under flood. 0 disables (data sheds only when full).
+	watermark int
 
 	mu     sync.RWMutex // guards closed vs. in-flight Submits
 	closed bool
 
 	submitted atomic.Uint64
 	dropped   atomic.Uint64
+	shed      atomic.Uint64
 }
 
 // NewPool starts workers goroutines, each with a bounded queue of depth
@@ -89,6 +103,24 @@ func (p *Pool) SetRelease(fn func(owner []byte)) {
 	p.release = fn
 }
 
+// SetWatermark arms overload shedding: a data submission whose worker
+// queue already holds n or more frames is shed (drop-newest) even though
+// the queue is not full. The headroom above the watermark stays available
+// to SubmitControl, and the queueing delay of accepted data frames is
+// bounded by the watermark instead of the full depth — under flood the
+// server loses throughput, not latency. Must be set before traffic;
+// 0 disables (the pre-shedding behaviour: data sheds only when full).
+func (p *Pool) SetWatermark(n int) {
+	p.watermark = n
+}
+
+// SetOnShed installs a per-shed notification hook (e.g. the per-client
+// VIFCounters.CountShed). It runs inline on the submitting goroutine.
+// Must be set before traffic.
+func (p *Pool) SetOnShed(fn func(clientID string)) {
+	p.onShed = fn
+}
+
 // Workers reports the pool width.
 func (p *Pool) Workers() int { return len(p.workers) }
 
@@ -96,7 +128,7 @@ func (p *Pool) Workers() int { return len(p.workers) }
 // if that worker's queue is full the frame is shed (counted in Stats) and
 // Submit reports false. Submits after Close are refused.
 func (p *Pool) Submit(clientID string, frame []byte) bool {
-	return p.submit(job{clientID: clientID, frame: frame})
+	return p.submit(job{clientID: clientID, frame: frame}, false)
 }
 
 // SubmitOwned queues one frame backed by a pooled buffer: on acceptance
@@ -104,22 +136,40 @@ func (p *Pool) Submit(clientID string, frame []byte) bool {
 // the worker's handler returns. If SubmitOwned reports false the caller
 // keeps ownership (and typically releases the buffer itself).
 func (p *Pool) SubmitOwned(clientID string, frame, owner []byte) bool {
-	return p.submit(job{clientID: clientID, frame: frame, owner: owner})
+	return p.submit(job{clientID: clientID, frame: frame, owner: owner}, false)
 }
 
-func (p *Pool) submit(j job) bool {
+// SubmitControl queues one control-critical frame, ignoring the shedding
+// watermark: control is only refused when the queue is genuinely full.
+// The watermark's reserved headroom exists for exactly these frames — a
+// flood of data must not starve the messages that manage the fleet.
+func (p *Pool) SubmitControl(clientID string, frame []byte) bool {
+	return p.submit(job{clientID: clientID, frame: frame}, true)
+}
+
+func (p *Pool) submit(j job, control bool) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return false
 	}
 	ch := p.workers[Hash(j.clientID)%uint32(len(p.workers))]
+	if !control && p.watermark > 0 && len(ch) >= p.watermark {
+		p.shed.Add(1)
+		if p.onShed != nil {
+			p.onShed(j.clientID)
+		}
+		return false
+	}
 	select {
 	case ch <- j:
 		p.submitted.Add(1)
 		return true
 	default:
 		p.dropped.Add(1)
+		if p.onShed != nil {
+			p.onShed(j.clientID)
+		}
 		return false
 	}
 }
@@ -142,5 +192,9 @@ func (p *Pool) Close() {
 
 // Stats reads the cumulative counters.
 func (p *Pool) Stats() PoolStats {
-	return PoolStats{Submitted: p.submitted.Load(), Dropped: p.dropped.Load()}
+	return PoolStats{
+		Submitted: p.submitted.Load(),
+		Dropped:   p.dropped.Load(),
+		Shed:      p.shed.Load(),
+	}
 }

@@ -181,3 +181,98 @@ func TestPoolSubmitWithoutOwner(t *testing.T) {
 	}
 	p.Close()
 }
+
+// TestPoolWatermarkShedsDataNotControl pins the overload-shedding
+// contract: once a worker queue reaches the watermark, data submissions
+// are shed (drop-newest) while SubmitControl keeps landing in the
+// reserved headroom — a flood of data must not starve fleet-management
+// messages. Per-shed notifications carry the client ID.
+func TestPoolWatermarkShedsDataNotControl(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	p := NewPool(1, 4, func(string, []byte) {
+		once.Do(func() { close(started) })
+		<-block
+	})
+	defer func() { close(block); p.Close() }()
+	var shedFor []string
+	p.SetOnShed(func(id string) { shedFor = append(shedFor, id) })
+	p.SetWatermark(2)
+
+	// Occupy the worker so queue occupancy is deterministic.
+	if !p.Submit("c", []byte{0}) {
+		t.Fatal("first submit refused")
+	}
+	<-started
+	// Two data frames fill the queue to the watermark.
+	if !p.Submit("c", []byte{1}) || !p.Submit("c", []byte{2}) {
+		t.Fatal("pre-watermark submits refused")
+	}
+	// At the watermark: data sheds, control still lands.
+	if p.Submit("c", []byte{3}) {
+		t.Error("data submit at watermark accepted")
+	}
+	if !p.SubmitControl("c", []byte{4}) {
+		t.Error("control submit refused in reserved headroom")
+	}
+	if !p.SubmitControl("c", []byte{5}) {
+		t.Error("control submit refused at last queue slot")
+	}
+	// Queue genuinely full now: even control is refused, and counted.
+	if p.SubmitControl("c", []byte{6}) {
+		t.Error("control submit into a full queue accepted")
+	}
+
+	st := p.Stats()
+	if st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1 (the watermark-shed data frame)", st.Shed)
+	}
+	if st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1 (the full-queue control frame)", st.Dropped)
+	}
+	if len(shedFor) != 2 || shedFor[0] != "c" || shedFor[1] != "c" {
+		t.Errorf("shed notifications = %v, want [c c]", shedFor)
+	}
+}
+
+// TestPoolZeroWatermarkKeepsOldBehaviour: without SetWatermark, data
+// sheds only when the queue is genuinely full.
+func TestPoolZeroWatermarkKeepsOldBehaviour(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	p := NewPool(1, 2, func(string, []byte) {
+		once.Do(func() { close(started) })
+		<-block
+	})
+	defer func() { close(block); p.Close() }()
+	if !p.Submit("c", []byte{0}) {
+		t.Fatal("first submit refused")
+	}
+	<-started
+	if !p.Submit("c", []byte{1}) || !p.Submit("c", []byte{2}) {
+		t.Error("submits into a non-full queue refused")
+	}
+	if st := p.Stats(); st.Shed != 0 {
+		t.Errorf("Shed = %d without a watermark, want 0", st.Shed)
+	}
+}
+
+// TestVIFCountersShed pins the per-client shed accounting surfaced in
+// VIFStats.
+func TestVIFCountersShed(t *testing.T) {
+	var c VIFCounters
+	c.CountShed()
+	c.CountShed()
+	s := c.Snapshot()
+	if s.Shed != 2 {
+		t.Errorf("Shed = %d, want 2", s.Shed)
+	}
+	var agg VIFStats
+	agg.Add(s)
+	agg.Add(s)
+	if agg.Shed != 4 {
+		t.Errorf("aggregated Shed = %d, want 4", agg.Shed)
+	}
+}

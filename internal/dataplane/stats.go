@@ -10,6 +10,11 @@ type VIFStats struct {
 	RxPackets, RxBytes uint64 // client -> network
 	TxPackets, TxBytes uint64 // network -> client
 	Dropped            uint64
+	// Shed counts frames discarded by overload shedding before any
+	// processing — distinct from Dropped (policy/middlebox rejections):
+	// shed frames say the server was saturated, dropped frames say the
+	// traffic was unwanted.
+	Shed uint64
 }
 
 // Add accumulates another snapshot into s.
@@ -19,6 +24,7 @@ func (s *VIFStats) Add(o VIFStats) {
 	s.TxPackets += o.TxPackets
 	s.TxBytes += o.TxBytes
 	s.Dropped += o.Dropped
+	s.Shed += o.Shed
 }
 
 // VIFCounters is the live, shard-local form of VIFStats: plain atomics, so
@@ -29,6 +35,7 @@ type VIFCounters struct {
 	rxPackets, rxBytes atomic.Uint64
 	txPackets, txBytes atomic.Uint64
 	dropped            atomic.Uint64
+	shed               atomic.Uint64
 }
 
 // CountRx records one accepted client->network packet of n bytes.
@@ -46,6 +53,9 @@ func (c *VIFCounters) CountTx(n int) {
 // CountDrop records one packet rejected by policy or middlebox.
 func (c *VIFCounters) CountDrop() { c.dropped.Add(1) }
 
+// CountShed records one frame discarded by overload shedding.
+func (c *VIFCounters) CountShed() { c.shed.Add(1) }
+
 // Snapshot reads a consistent-enough copy of the counters (each field is
 // individually atomic; cross-field skew is at most the in-flight packets).
 func (c *VIFCounters) Snapshot() VIFStats {
@@ -55,5 +65,6 @@ func (c *VIFCounters) Snapshot() VIFStats {
 		TxPackets: c.txPackets.Load(),
 		TxBytes:   c.txBytes.Load(),
 		Dropped:   c.dropped.Load(),
+		Shed:      c.shed.Load(),
 	}
 }

@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"endbox/internal/click"
+)
+
+// Fault modes for the Faulty chaos element.
+const (
+	// FaultPanic makes the element panic — the stand-in for a buggy
+	// custom element hitting poisoned state, exercising the containment
+	// layer end to end.
+	FaultPanic = "PANIC"
+	// FaultStall makes the element sleep before forwarding — a slow
+	// element dragging down the data path.
+	FaultStall = "STALL"
+	// FaultCorrupt flips a payload bit before forwarding — an element
+	// mangling traffic without failing loudly.
+	FaultCorrupt = "CORRUPT"
+)
+
+// FaultyElement is the chaos harness's in-pipeline fault injector: it
+// behaves from the Nth packet onward (persistently — every packet from
+// then on faults, like real poisoned state, not a one-shot glitch).
+// Configured as
+//
+//	Faulty(PANIC 3)        // panic on every packet from the 3rd
+//	Faulty(STALL 10 2ms)   // sleep 2ms per packet from the 10th
+//	Faulty(CORRUPT 1)      // flip a payload bit in every packet
+//
+// Register it with RegisterFaulty before building configurations that
+// name it.
+type FaultyElement struct {
+	click.Base
+	mode  string
+	nth   uint64
+	stall time.Duration
+	seen  uint64
+}
+
+// Class implements click.Element.
+func (*FaultyElement) Class() string { return "Faulty" }
+
+// Configure implements click.Element: Faulty(MODE N [STALL-DURATION]).
+func (e *FaultyElement) Configure(args []string, _ *click.Context) error {
+	e.mode, e.nth, e.stall = FaultPanic, 1, time.Millisecond
+	for _, arg := range args {
+		fields := strings.Fields(arg)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case FaultPanic, FaultStall, FaultCorrupt:
+			e.mode = fields[0]
+		default:
+			return fmt.Errorf("Faulty: unknown mode %q", fields[0])
+		}
+		if len(fields) > 1 {
+			n, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil || n == 0 {
+				return fmt.Errorf("Faulty: bad packet number %q", fields[1])
+			}
+			e.nth = n
+		}
+		if len(fields) > 2 {
+			d, err := time.ParseDuration(fields[2])
+			if err != nil || d < 0 {
+				return fmt.Errorf("Faulty: bad stall duration %q", fields[2])
+			}
+			e.stall = d
+		}
+	}
+	return nil
+}
+
+// InPorts and OutPorts implement click.Element.
+func (*FaultyElement) InPorts() int  { return 1 }
+func (*FaultyElement) OutPorts() int { return 1 }
+
+// Push implements click.Element: forward until the Nth packet, fault from
+// then on.
+func (e *FaultyElement) Push(_ int, p *click.Packet) {
+	e.seen++
+	if e.seen < e.nth {
+		e.Forward(0, p)
+		return
+	}
+	switch e.mode {
+	case FaultStall:
+		time.Sleep(e.stall)
+		e.Forward(0, p)
+	case FaultCorrupt:
+		if pl := p.IP.Payload; len(pl) > 0 {
+			pl[0] ^= 0x80
+		}
+		e.Forward(0, p)
+	default: // FaultPanic
+		panic(fmt.Sprintf("netsim: injected fault in %s (packet %d)", e.Name(), e.seen))
+	}
+}
+
+var faultyOnce sync.Once
+
+// RegisterFaulty adds the Faulty element class to the process-wide
+// registry. Idempotent and safe from any goroutine; chaos tests and
+// examples call it before deploying configurations that name Faulty.
+func RegisterFaulty() {
+	faultyOnce.Do(func() {
+		if err := click.DefaultRegistry.Register("Faulty", func() click.Element { return &FaultyElement{} }); err != nil {
+			panic(fmt.Sprintf("netsim: registering Faulty: %v", err))
+		}
+	})
+}

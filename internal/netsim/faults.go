@@ -14,6 +14,7 @@ type FaultStats struct {
 	Dropped    uint64
 	Duplicated uint64
 	Reordered  uint64
+	Corrupted  uint64
 }
 
 // Faults is a deterministic packet-impairment model: given a seed and
@@ -34,13 +35,15 @@ type FaultStats struct {
 // Faults is safe for concurrent use; the fault sequence is deterministic
 // in the order Filter is called.
 type Faults struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
-	drop  float64
-	dup   float64
-	order float64
-	held  []byte
-	stats FaultStats
+	mu           sync.Mutex
+	rng          *rand.Rand
+	drop         float64
+	dup          float64
+	order        float64
+	corruptEvery uint64
+	sent         uint64
+	held         []byte
+	stats        FaultStats
 }
 
 // NewFaults creates a fault model. Probabilities are clamped to [0, 1].
@@ -60,6 +63,35 @@ func NewFaults(seed int64, drop, duplicate, reorder float64) *Faults {
 		dup:   clamp(duplicate),
 		order: clamp(reorder),
 	}
+}
+
+// SetCorruptEvery makes every Nth surviving transmission carry a
+// single seeded bit-flip in its body (the byte after the leading type
+// byte onward). 0 disables corruption. The corrupted datagram is a copy —
+// transport send buffers are pooled and must not be mutated in place.
+// Corruption models an on-path attacker or a mangling middlebox: sealed
+// frames must fail authentication at the receiver, never decode garbage.
+func (f *Faults) SetCorruptEvery(n uint64) {
+	f.mu.Lock()
+	f.corruptEvery = n
+	f.mu.Unlock()
+}
+
+// corruptLocked applies the every-Nth bit-flip policy to a datagram about
+// to be transmitted, returning the (possibly copied-and-corrupted)
+// datagram. Callers hold f.mu.
+func (f *Faults) corruptLocked(datagram []byte) []byte {
+	f.sent++
+	if f.corruptEvery == 0 || f.sent%f.corruptEvery != 0 || len(datagram) < 2 {
+		return datagram
+	}
+	c := append([]byte(nil), datagram...)
+	// Flip one seeded bit somewhere in the body, sparing the type byte so
+	// the datagram still reaches the codec that must reject it.
+	i := 1 + f.rng.Intn(len(c)-1)
+	c[i] ^= 1 << uint(f.rng.Intn(8))
+	f.stats.Corrupted++
+	return c
 }
 
 // Filter decides the fate of one outgoing datagram and performs the
@@ -82,10 +114,11 @@ func (f *Faults) Filter(datagram []byte, transmit func([]byte) error) error {
 		f.stats.Reordered++
 		f.held = append([]byte(nil), datagram...)
 	default:
-		out = append(out, datagram)
+		d := f.corruptLocked(datagram)
+		out = append(out, d)
 		if dupIt {
 			f.stats.Duplicated++
-			out = append(out, datagram)
+			out = append(out, d)
 		}
 	}
 	if held != nil {

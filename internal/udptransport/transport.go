@@ -27,6 +27,13 @@ import (
 // filter: impairment, like reliability, is a control-path concern here.
 type SendFilter func(datagram []byte, transmit func([]byte) error) error
 
+// ShedCounter is optionally implemented by server endpoints that want
+// per-client accounting of frames shed by ingress overload protection
+// (core.Deployment records them in the client's VIF statistics).
+type ShedCounter interface {
+	FrameShed(clientID string)
+}
+
 // Transport implements core.Transport over real UDP sockets: the server
 // side binds one datagram socket and dispatches control messages into the
 // deployment's ServerEndpoint; each client link dials its own socket. The
@@ -56,7 +63,8 @@ type Transport struct {
 	pool       *dataplane.Pool // set by BindServer when workers > 0
 	retransmit RetransmitConfig
 	filter     SendFilter
-	arq        *arq // nil when RetransmitConfig.Disable is set
+	faults     *netsim.Faults // set by SetLossProfile; nil otherwise
+	arq        *arq           // nil when RetransmitConfig.Disable is set
 }
 
 // NewTransport creates a UDP transport that will listen on the given
@@ -111,10 +119,32 @@ func (t *Transport) SetRetransmit(cfg RetransmitConfig) {
 // BindServer; a zero profile removes the filter.
 func (t *Transport) SetLossProfile(p core.LossProfile) {
 	if p.Zero() {
+		t.mu.Lock()
+		t.faults = nil
+		t.mu.Unlock()
 		t.SetSendFilter(nil)
 		return
 	}
-	t.SetSendFilter(netsim.NewFaults(p.Seed, p.Drop, p.Duplicate, p.Reorder).Filter)
+	f := netsim.NewFaults(p.Seed, p.Drop, p.Duplicate, p.Reorder)
+	f.SetCorruptEvery(p.CorruptEvery)
+	t.mu.Lock()
+	t.faults = f
+	t.mu.Unlock()
+	t.SetSendFilter(f.Filter)
+}
+
+// FaultStats reports the injected-impairment counters of the loss profile
+// installed by SetLossProfile (zero value when none is installed) — how
+// many control-path datagrams were genuinely dropped, duplicated,
+// reordered or corrupted during a chaos run.
+func (t *Transport) FaultStats() netsim.FaultStats {
+	t.mu.Lock()
+	f := t.faults
+	t.mu.Unlock()
+	if f == nil {
+		return netsim.FaultStats{}
+	}
+	return f.Stats()
 }
 
 // SetSendFilter installs a raw control-path send filter (the seam behind
@@ -200,6 +230,15 @@ func (t *Transport) BindServer(ep core.ServerEndpoint) error {
 		// queues and return to the shared pool as soon as the handler is
 		// done — the zero-copy replacement for the old copy-before-dispatch.
 		t.pool.SetRelease(wire.PutBuffer)
+		// Overload shedding: data frames are shed drop-newest once a
+		// worker queue passes the watermark, so a flood costs throughput
+		// instead of collapsing latency for everyone behind the queue.
+		// Per-client shed counts land in the VIF statistics when the
+		// endpoint can record them.
+		t.pool.SetWatermark(dataplane.DefaultWatermark)
+		if sc, ok := ep.(ShedCounter); ok {
+			t.pool.SetOnShed(sc.FrameShed)
+		}
 	}
 	t.mu.Unlock()
 	go t.serve(conn, ep)

@@ -64,6 +64,13 @@ type ServerOptions struct {
 	// resumable. 0 means for the life of the server's in-memory ticket
 	// key (a restart always invalidates all tickets).
 	TicketTTL time.Duration
+	// OnNack receives a client's typed rejection of an announced
+	// configuration version. Like every frame it arrives authenticated by
+	// the channel MAC — a forged nack cannot trigger a rollback. Optional.
+	OnNack func(clientID string, n Nack)
+	// OnHealth receives client health reports (apply acks with swap
+	// timing, post-swap fault notifications). Optional.
+	OnHealth func(clientID string, h HealthReport)
 }
 
 // VIFStats are per-client virtual interface counters, kept shard-local in
@@ -83,7 +90,10 @@ type session struct {
 	// live is the liveness entry the data path touches; nil when
 	// SessionTTL is disabled. Eviction matches on this pointer, so a
 	// takeover (new session, new entry) is never hit by a stale sweep.
-	live *lifecycle.Entry
+	// Atomic because install publishes the session into the sharded map
+	// before the tracker assigns the entry — a concurrent Disconnect or
+	// frame must observe either nil or the fully linked entry.
+	live atomic.Pointer[lifecycle.Entry]
 }
 
 // Server is the EndBox VPN server: the sole entry point into the managed
@@ -238,12 +248,12 @@ func (s *Server) install(clientID string, entry *session, now int64, resumed boo
 		}
 		old, ok := s.sessions.Get(clientID)
 		if ok {
-			expired := s.tracker != nil && s.tracker.Expired(old.live, now)
+			expired := s.tracker != nil && s.tracker.Expired(old.live.Load(), now)
 			if !resumed && !expired {
 				return fmt.Errorf("%w: %q", ErrDuplicateID, clientID)
 			}
 			if s.tracker != nil {
-				s.tracker.Remove(old.live)
+				s.tracker.Remove(old.live.Load())
 			}
 			// Delete by pointer identity: if another handshake won the
 			// slot in between, leave it alone and re-evaluate.
@@ -253,7 +263,7 @@ func (s *Server) install(clientID string, entry *session, now int64, resumed boo
 		}
 	}
 	if s.tracker != nil {
-		entry.live = s.tracker.Add(clientID, now)
+		entry.live.Store(s.tracker.Add(clientID, now))
 	}
 	return nil
 }
@@ -261,7 +271,7 @@ func (s *Server) install(clientID string, entry *session, now int64, resumed boo
 // Disconnect removes a client session.
 func (s *Server) Disconnect(clientID string) {
 	if sess, ok := s.sessions.Get(clientID); ok && s.tracker != nil {
-		s.tracker.Remove(sess.live)
+		s.tracker.Remove(sess.live.Load())
 	}
 	s.sessions.Delete(clientID)
 }
@@ -277,7 +287,7 @@ func (s *Server) SessionExpired(clientID string) bool {
 	if !ok {
 		return false
 	}
-	return s.tracker.Expired(sess.live, s.opts.Clock().UnixNano())
+	return s.tracker.Expired(sess.live.Load(), s.opts.Clock().UnixNano())
 }
 
 // SweepExpired advances the liveness wheel and evicts every session
@@ -293,7 +303,7 @@ func (s *Server) SweepExpired() []string {
 	evicted := make([]string, 0, len(lapsed))
 	for _, e := range lapsed {
 		e := e
-		if s.sessions.DeleteIf(e.ID(), func(se *session) bool { return se.live == e }) {
+		if s.sessions.DeleteIf(e.ID(), func(se *session) bool { return se.live.Load() == e }) {
 			s.evicted.Add(1)
 			evicted = append(evicted, e.ID())
 		}
@@ -374,6 +384,14 @@ func (s *Server) Resume(req *ResumeRequest) (*ResumeReply, error) {
 }
 
 // ClientCount reports connected clients.
+// ClientIDs returns the IDs of every connected client, in shard order
+// (unsorted). Unlike the deployment's client registry this includes
+// standalone clients that handshook over a transport without ever
+// passing through AddClient.
+func (s *Server) ClientIDs() []string {
+	return s.sessions.Keys()
+}
+
 func (s *Server) ClientCount() int {
 	return s.sessions.Len()
 }
@@ -399,8 +417,8 @@ func (s *Server) HandleFrame(clientID string, frame []byte) error {
 	// Every authenticated frame — keepalive pings included — proves the
 	// client is alive; the touch is one atomic store, so the hot path
 	// stays lock-free and allocation-free.
-	if sess.live != nil {
-		sess.live.Touch(s.opts.Clock().UnixNano())
+	if live := sess.live.Load(); live != nil {
+		live.Touch(s.opts.Clock().UnixNano())
 	}
 	if len(payload) == 0 {
 		return fmt.Errorf("vpn: empty payload from %q", clientID)
@@ -412,6 +430,24 @@ func (s *Server) HandleFrame(clientID string, frame []byte) error {
 			return err
 		}
 		sess.reportedVersion.Store(ping.ConfigVersion)
+		return nil
+	case FrameNack:
+		n, err := DecodeNack(payload[1:])
+		if err != nil {
+			return err
+		}
+		if s.opts.OnNack != nil {
+			s.opts.OnNack(clientID, n)
+		}
+		return nil
+	case FrameHealth:
+		h, err := DecodeHealth(payload[1:])
+		if err != nil {
+			return err
+		}
+		if s.opts.OnHealth != nil {
+			s.opts.OnHealth(clientID, h)
+		}
 		return nil
 	case FrameData:
 		reported := sess.reportedVersion.Load()
@@ -527,6 +563,16 @@ func (s *Server) pingClients(clientIDs []string, versionFor func(clientID string
 		}
 	}
 	return firstErr
+}
+
+// CountShed records one overload-shed frame against a client's virtual
+// interface. The transport's ingress pool calls it for frames discarded
+// at the shedding watermark — before decryption, so the only cost of a
+// shed frame is this counter bump.
+func (s *Server) CountShed(clientID string) {
+	if sess, ok := s.sessions.Get(clientID); ok {
+		sess.stats.CountShed()
+	}
 }
 
 // Stats returns a snapshot of a client's virtual interface counters.

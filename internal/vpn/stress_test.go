@@ -75,7 +75,7 @@ func TestLifecycleStress100k(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				for i := 2 * w; i < total; i += 2 * workers {
-					sessions[i].live.Touch(ts)
+					sessions[i].live.Load().Touch(ts)
 				}
 			}()
 		}

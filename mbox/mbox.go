@@ -133,6 +133,24 @@ const (
 // Client.FlowStats.
 type FlowStats = flow.Stats
 
+// FailurePolicy configures element fault containment for a pipeline:
+// whether a panicking element is caught and counted, how many strikes
+// quarantine it, and whether a quarantined stage fails closed (drops, the
+// secure default) or open (is bypassed). Deployments enable containment
+// by default; see endbox.WithFailurePolicy.
+type FailurePolicy = click.FailurePolicy
+
+// ElementFault is a containment event: an element panicked, and possibly
+// tripped (or re-armed) its quarantine. Delivered through the Observer's
+// OnElementFault hook.
+type ElementFault = click.ElementFault
+
+// Containment defaults: three strikes, thirty seconds quarantined.
+const (
+	DefaultTripThreshold = click.DefaultTripThreshold
+	DefaultCooldown      = click.DefaultCooldown
+)
+
 // ErrBadPipeline is the typed error returned — from Compile, AddClient
 // and Deployment.Rollout — for pipelines and configurations that cannot
 // be compiled into a runnable router.

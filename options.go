@@ -150,6 +150,24 @@ func WithAdmission(cfg AdmissionConfig) Option {
 	return func(o *DeploymentOptions) { o.Admission = cfg }
 }
 
+// WithFailurePolicy tunes element fault containment: the number of
+// recovered panics that quarantines an element (default 3) and whether a
+// quarantined stage fails closed (drop, the default — an IDPS that cannot
+// inspect must not forward) or open (bypass, for functions whose absence
+// is safer than a blackhole, e.g. a NOP accounting stage). Containment
+// itself is always on under this option.
+func WithFailurePolicy(p FailurePolicy) Option {
+	return func(o *DeploymentOptions) { o.FailurePolicy = p }
+}
+
+// WithoutContainment disables element fault containment entirely: an
+// element panic propagates out of the enclave ecall and crashes the
+// process, the pre-robustness behaviour. Meant for debugging pipelines
+// under development, where a loud crash beats a quarantine.
+func WithoutContainment() Option {
+	return func(o *DeploymentOptions) { o.DisableContainment = true }
+}
+
 // WithTicketTTL bounds the age of resumption tickets accepted by fast
 // resume (see Deployment.ResumeClient). Zero accepts any ticket sealed
 // under the server's in-memory ticket key — which a server restart
