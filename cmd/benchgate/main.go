@@ -1,10 +1,14 @@
 // Command benchgate guards the data-plane benchmarks in CI: it compares
-// allocs/op AND ns/op from a `go test -bench -benchmem` run against the
-// committed baseline (BENCH_zerocopy.json) and fails when any matched
-// benchmark regresses beyond the tolerances. Gating both metrics means a
-// change cannot silently trade the zero-allocation property for speed or
-// vice versa — in particular, the control-path ARQ layer must leave the
-// data path's latency untouched, not just its allocation count.
+// allocs/op, ns/op AND MB/s from a `go test -bench -benchmem` run against
+// a committed baseline (BENCH_zerocopy.json, BENCH_scenarios.json, ...)
+// and fails when any matched benchmark regresses beyond the tolerances.
+// Gating costs and throughput together means a change cannot silently
+// trade the zero-allocation property for speed or vice versa — in
+// particular, the control-path ARQ layer must leave the data path's
+// latency untouched, not just its allocation count. MB/s gates in the
+// opposite direction (a regression is falling below the baseline), and
+// -require-all additionally fails when a baseline entry is missing from
+// the run — the scenario matrix must run whole, not just the fast parts.
 //
 // Usage:
 //
@@ -36,14 +40,18 @@ type baselineFile struct {
 		Name        string   `json:"name"`
 		AllocsPerOp *float64 `json:"allocs_per_op"`
 		NsPerOp     *float64 `json:"ns_per_op"`
+		MBPerS      *float64 `json:"mb_per_s"`
 	} `json:"benchmarks"`
 }
 
 // metric is one gated quantity parsed from benchmark output.
 type metric struct {
-	unit      string  // go test unit suffix ("allocs/op", "ns/op")
+	unit      string  // go test unit suffix ("allocs/op", "ns/op", "MB/s")
 	tolerance float64 // allowed fractional regression
 	slack     float64 // absolute slack on top of the tolerance
+	// higherBetter inverts the check: the metric regresses by falling
+	// below the baseline (throughput), not by exceeding it (costs).
+	higherBetter bool
 }
 
 func main() {
@@ -55,19 +63,22 @@ func main() {
 		slack         = flag.Float64("slack", 8, "absolute allocs/op slack on top of the tolerance (absorbs cold-pool warmup at short benchtimes)")
 		timeTolerance = flag.Float64("time-tolerance", 0.50, "allowed fractional ns/op regression (loose: CI machines vary)")
 		timeSlack     = flag.Float64("time-slack", 0, "absolute ns/op slack on top of the time tolerance")
+		tputTolerance = flag.Float64("throughput-tolerance", 0.50, "allowed fractional MB/s shortfall below baseline (loose: CI machines vary)")
+		requireAll    = flag.Bool("require-all", false, "fail when a matched baseline entry is missing from the benchmark output (the run must cover every gated benchmark)")
 	)
 	flag.Parse()
 	metrics := []metric{
 		{unit: "allocs/op", tolerance: *tolerance, slack: *slack},
 		{unit: "ns/op", tolerance: *timeTolerance, slack: *timeSlack},
+		{unit: "MB/s", tolerance: *tputTolerance, higherBetter: true},
 	}
-	if err := run(*baselinePath, *benchPath, *match, metrics); err != nil {
+	if err := run(*baselinePath, *benchPath, *match, metrics, *requireAll); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, benchPath, match string, metrics []metric) error {
+func run(baselinePath, benchPath, match string, metrics []metric, requireAll bool) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -80,19 +91,27 @@ func run(baselinePath, benchPath, match string, metrics []metric) error {
 	baseline := map[string]map[string]float64{
 		"allocs/op": {},
 		"ns/op":     {},
+		"MB/s":      {},
 	}
+	gatedNames := map[string]bool{}
 	for _, b := range base.Benchmarks {
 		if !strings.Contains(b.Name, match) {
 			continue
 		}
 		if b.AllocsPerOp != nil {
 			baseline["allocs/op"][b.Name] = *b.AllocsPerOp
+			gatedNames[b.Name] = true
 		}
 		if b.NsPerOp != nil {
 			baseline["ns/op"][b.Name] = *b.NsPerOp
+			gatedNames[b.Name] = true
+		}
+		if b.MBPerS != nil {
+			baseline["MB/s"][b.Name] = *b.MBPerS
+			gatedNames[b.Name] = true
 		}
 	}
-	if len(baseline["allocs/op"])+len(baseline["ns/op"]) == 0 {
+	if len(gatedNames) == 0 {
 		return fmt.Errorf("no %q entries with gated metrics in %s", match, baselinePath)
 	}
 
@@ -125,9 +144,17 @@ func run(baselinePath, benchPath, match string, metrics []metric) error {
 				fmt.Printf("benchgate: %-45s %12.1f %-9s (no baseline, skipped)\n", name, got, m.unit)
 				continue
 			}
-			allowed := want*(1+m.tolerance) + m.slack
+			var allowed float64
+			regressed := false
+			if m.higherBetter {
+				allowed = want*(1-m.tolerance) - m.slack
+				regressed = got < allowed
+			} else {
+				allowed = want*(1+m.tolerance) + m.slack
+				regressed = got > allowed
+			}
 			status := "ok"
-			if got > allowed {
+			if regressed {
 				status = "REGRESSED"
 				failed++
 			}
@@ -135,8 +162,16 @@ func run(baselinePath, benchPath, match string, metrics []metric) error {
 				name, got, m.unit, want, allowed, status)
 		}
 	}
+	if requireAll {
+		for name := range gatedNames {
+			if _, ran := current[name]; !ran {
+				fmt.Printf("benchgate: %-45s MISSING from benchmark output\n", name)
+				failed++
+			}
+		}
+	}
 	if failed > 0 {
-		return fmt.Errorf("%d benchmark metric(s) regressed beyond tolerance", failed)
+		return fmt.Errorf("%d benchmark metric(s) regressed beyond tolerance or went missing", failed)
 	}
 	return nil
 }
@@ -144,7 +179,7 @@ func run(baselinePath, benchPath, match string, metrics []metric) error {
 // parseBench extracts "<name> ... <value> <unit>" rows from go test
 // output for the gated units.
 func parseBench(in *os.File, match string) (map[string]map[string]float64, error) {
-	gated := map[string]bool{"allocs/op": true, "ns/op": true}
+	gated := map[string]bool{"allocs/op": true, "ns/op": true, "MB/s": true}
 	out := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {

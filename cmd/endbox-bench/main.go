@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,7 +21,30 @@ import (
 	"strings"
 
 	"endbox/internal/bench"
+	"endbox/internal/scenario"
 )
+
+// runScenario runs one trace-driven scenario from the matrix and prints
+// its Result as JSON — the same shape BENCH_scenarios.json aggregates.
+func runScenario(spec, transport string) error {
+	if spec == "list" {
+		for _, name := range scenario.Names() {
+			s, _ := scenario.Lookup(name)
+			fmt.Printf("%-16s %s\n", name, s.Description)
+		}
+		return nil
+	}
+	res, err := scenario.Run(spec, transport)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
 
 // experiment couples a name with its runner.
 type experiment struct {
@@ -93,9 +117,15 @@ func run(args []string) error {
 		list       = fs.Bool("list", false, "list experiments and exit")
 		calibrated = fs.Bool("calibrated", false, "drive the Fig. 10 cluster simulation with costs measured live on this host instead of the paper-derived costs")
 		memstats   = fs.Bool("memstats", true, "report per-experiment allocation counts (allocs/op against -packets) and GC pause totals")
+		scenSpec   = fs.String("scenario", "", "run one end-to-end scenario instead of a paper experiment: a spec like 'ddos-flood:syn=2000,capacity=512' ('list' prints the matrix); result is one JSON object")
+		transport  = fs.String("transport", scenario.TransportInProcess, "scenario transport: inprocess (direct calls) or udp (real sockets)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *scenSpec != "" {
+		return runScenario(*scenSpec, *transport)
 	}
 
 	exps := experiments()

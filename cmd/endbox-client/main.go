@@ -138,6 +138,7 @@ func run() error {
 		lossSeed    = flag.Int64("loss-seed", 2, "seed for the deterministic loss model")
 		flowCap     = flag.Int("flow-capacity", 0, "bound on concurrently tracked flows in the enclave flow table (0 = default 16384)")
 		flowTTL     = flag.Duration("flow-ttl", 0, "flow idle timeout before expiry (0 = default 2m)")
+		flood       = flag.Int("flood", 0, "before pinging, push this many spoofed SYN-flood packets through the tunnel — a self-inflicted DDoS that exercises the enclave's ConnTrack/FlowRateLimit pipeline (pair with endbox-server -usecase ddos)")
 		resumePath  = flag.String("resume-state", "", "resume-state file: written after connecting; when present and valid, a fast resume (one round trip, no attestation) replaces the full handshake")
 		lkgPath     = flag.String("lkg-state", "", "last-known-good state file: persists the last configuration version that ran cleanly, so a restarted client can self-revert to it if a freshly applied configuration trips quarantine")
 	)
@@ -294,6 +295,7 @@ func run() error {
 			},
 			FetchConfig: func(v uint64) ([]byte, error) { return link.FetchConfig(context.Background(), v) },
 			Send:        link.SendFrame,
+			SendControl: link.SendControlFrame,
 			Deliver:     deliver,
 		}
 		if st != nil {
@@ -355,6 +357,31 @@ func run() error {
 			log.Printf("resume state not saved: %v", err)
 		} else {
 			fmt.Printf("resume state saved to %s\n", *resumePath)
+		}
+	}
+
+	// Optional self-inflicted DDoS: spoofed SYNs from all over 100.64/10
+	// pushed through the tunnel. The client-side middlebox pipeline sees
+	// them before the wire does, so with a ddos pipeline most are dropped
+	// or rate-limited inside the enclave — the flow-table counters printed
+	// afterwards show the table staying bounded while it happens.
+	if *flood > 0 {
+		victim := packet.AddrFrom(10, 99, 0, 1)
+		gen := netsim.NewSYNFlood(42, victim, 443)
+		var floodDropped int
+		for i := 0; i < *flood; i++ {
+			if err := cli.SendPacket(gen.Next()); err != nil {
+				if errors.Is(err, vpn.ErrDropped) {
+					floodDropped++
+					continue
+				}
+				return fmt.Errorf("flood packet %d: %w", i, err)
+			}
+		}
+		fmt.Printf("flood: %d spoofed SYNs sent, %d dropped by the enclave pipeline\n", *flood, floodDropped)
+		if fs, err := cli.FlowStats(); err == nil {
+			fmt.Printf("flood: flow table %d/%d active, %d evicted, %d expired\n",
+				fs.Active, fs.Capacity, fs.Evicted, fs.Expired)
 		}
 	}
 

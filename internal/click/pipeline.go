@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"endbox/internal/idps"
 	"endbox/internal/tlstap"
 )
 
@@ -244,6 +245,11 @@ func ValidateConfig(cfg string, reg Resolver, ruleSets map[string]string) error 
 		RuleSet: func(name string) (string, error) {
 			if text, ok := ruleSets[name]; ok {
 				return text, nil
+			}
+			// Scaled provider names ("generated:<n>[:<seed>]") resolve
+			// without shipping the rule text in the update blob.
+			if text, ok, err := idps.ResolveGenerated(name); ok {
+				return text, err
 			}
 			return "", fmt.Errorf("unknown rule set %q", name)
 		},

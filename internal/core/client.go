@@ -73,6 +73,11 @@ type ClientOptions struct {
 	FetchConfig func(version uint64) ([]byte, error)
 	// Send transmits frames to the VPN server. Required.
 	Send func(frame []byte) error
+	// SendControl transmits control-class frames (pings, nacks, health
+	// reports). Wire it to ControlLink.SendControlFrame on transports that
+	// shed data under overload so control survives a flood. Optional;
+	// defaults to Send.
+	SendControl func(frame []byte) error
 	// Deliver hands accepted inbound packets to applications. Optional.
 	Deliver func(ip []byte)
 	// OnAlert receives middlebox alerts. Optional.
@@ -305,6 +310,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 		ID:            opts.ID,
 		Plane:         c.dataPlane(),
 		Send:          opts.Send,
+		SendControl:   opts.SendControl,
 		Deliver:       opts.Deliver,
 		Clock:         vpn.Clock(opts.Clock),
 		ConfigVersion: func() uint64 { return c.AppliedVersion() },

@@ -674,6 +674,17 @@ func (d *Deployment) allocAddrLocked() (packet.Addr, bool) {
 	return addr, true
 }
 
+// controlSend selects the link's control-class send path when the
+// transport distinguishes delivery classes (ControlLink), so pings, nacks
+// and health reports bypass the server's overload-shedding watermark. Nil
+// otherwise — the client falls back to its data send.
+func controlSend(link ClientLink) func(frame []byte) error {
+	if cl, ok := link.(ControlLink); ok {
+		return cl.SendControlFrame
+	}
+	return nil
+}
+
 // buildClient performs everything except the VPN handshake.
 func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string, spec ClientSpec) (*Client, error) {
 	ruleSets := mergedRuleSets(spec.ExtraRuleSets)
@@ -727,6 +738,7 @@ func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string
 			return link.FetchConfig(context.Background(), version)
 		},
 		Send:          link.SendFrame,
+		SendControl:   controlSend(link),
 		Deliver:       func(ip []byte) { obs.PacketReceived(id, ip) },
 		OnAlert:       func(a click.Alert) { obs.Alert(id, a) },
 		FailurePolicy: d.failurePolicy(),
@@ -922,6 +934,7 @@ func (d *Deployment) buildResumedClient(ctx context.Context, link ClientLink, id
 			return link.FetchConfig(context.Background(), version)
 		},
 		Send:          link.SendFrame,
+		SendControl:   controlSend(link),
 		Deliver:       func(ip []byte) { obs.PacketReceived(id, ip) },
 		OnAlert:       func(a click.Alert) { obs.Alert(id, a) },
 		FailurePolicy: d.failurePolicy(),

@@ -23,6 +23,7 @@ import (
 	"endbox/internal/click"
 	"endbox/internal/config"
 	"endbox/internal/flow"
+	"endbox/internal/idps"
 	"endbox/internal/packet"
 	"endbox/internal/sgx"
 	"endbox/internal/tlstap"
@@ -399,11 +400,15 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 		inst, err := click.NewInstance(a.clickConfig, nil, &click.Context{
 			TrustedTime: func() time.Time { return ctx.TrustedTime() },
 			RuleSet: func(name string) (string, error) {
-				text, ok := st.ruleSet[name]
-				if !ok {
-					return "", fmt.Errorf("core: unknown rule set %q", name)
+				if text, ok := st.ruleSet[name]; ok {
+					return text, nil
 				}
-				return text, nil
+				// Scaled provider names regenerate deterministically
+				// inside the enclave instead of riding the update blob.
+				if text, ok, err := idps.ResolveGenerated(name); ok {
+					return text, err
+				}
+				return "", fmt.Errorf("core: unknown rule set %q", name)
 			},
 			Keys:  st.keys,
 			Alert: alert,

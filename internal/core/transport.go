@@ -67,6 +67,19 @@ type ClientLink interface {
 	Close() error
 }
 
+// ControlLink is optionally implemented by client links whose transport
+// distinguishes delivery classes: SendControlFrame transmits a sealed
+// frame marked control-class, which the server's ingress pool accepts
+// past its overload-shedding watermark. Keepalive pings, nacks and health
+// reports ride it so a data flood cannot silence the signals that manage
+// the fleet. Links without it (the in-process transport never sheds) use
+// SendFrame for everything.
+type ControlLink interface {
+	// SendControlFrame transmits one sealed control-class frame. Lending
+	// semantics match SendFrame.
+	SendControlFrame(frame []byte) error
+}
+
 // ResumeLink is optionally implemented by client links that can carry
 // the fast-resume round trip (MsgResume). Both built-in transports do;
 // a deployment resuming a client over a link without it falls back to a

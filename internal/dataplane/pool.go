@@ -147,6 +147,14 @@ func (p *Pool) SubmitControl(clientID string, frame []byte) bool {
 	return p.submit(job{clientID: clientID, frame: frame}, true)
 }
 
+// SubmitControlOwned is SubmitControl with SubmitOwned's buffer handoff:
+// a control-critical frame backed by a pooled buffer. On acceptance the
+// pool owns owner and releases it after the handler returns; on refusal
+// (queue genuinely full) the caller keeps ownership.
+func (p *Pool) SubmitControlOwned(clientID string, frame, owner []byte) bool {
+	return p.submit(job{clientID: clientID, frame: frame, owner: owner}, true)
+}
+
 func (p *Pool) submit(j job, control bool) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()

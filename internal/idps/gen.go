@@ -3,7 +3,9 @@ package idps
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // CommunityRuleCount is the size of the Snort community rule subset the
@@ -70,6 +72,64 @@ func genToken(rnd *rand.Rand) string {
 	}
 	fmt.Fprintf(&b, "-%04d%%", rnd.Intn(10000))
 	return b.String()
+}
+
+// GeneratedPrefix introduces the scaled rule-set provider names resolved
+// by ResolveGenerated: "generated:<n>" (default seed) or
+// "generated:<n>:<seed>". Configurations reference these names exactly
+// like "community" — an IDSMatcher configured with
+// "RULESET generated:5000" runs at five thousand rules without anyone
+// shipping a five-megabyte rule file through a config blob.
+const GeneratedPrefix = "generated:"
+
+// GeneratedSeed is the default seed of generated provider names without
+// an explicit one, matching the community set's.
+const GeneratedSeed = 2018
+
+// MaxGeneratedRules bounds provider-name rule counts, keeping a typo
+// like "generated:10000000" from stalling an enclave building a
+// gigabyte automaton.
+const MaxGeneratedRules = 100000
+
+// GeneratedSetName returns the provider name for n rules at the default
+// seed (e.g. "generated:5000").
+func GeneratedSetName(n int) string {
+	return GeneratedPrefix + strconv.Itoa(n)
+}
+
+// genCache memoises generated rule sets by full provider name: the same
+// name can be resolved at validation time, in every client enclave and in
+// benchmark setup without regenerating megabytes of rule text each time.
+var genCache sync.Map // string -> string
+
+// ResolveGenerated resolves a scaled rule-set provider name. It reports
+// ok=false when name is not a generated provider name at all (callers
+// fall through to their explicit rule-set maps / "unknown rule set"
+// errors), and a non-nil err when it is one but malformed or out of
+// bounds.
+func ResolveGenerated(name string) (text string, ok bool, err error) {
+	if !strings.HasPrefix(name, GeneratedPrefix) {
+		return "", false, nil
+	}
+	if cached, hit := genCache.Load(name); hit {
+		return cached.(string), true, nil
+	}
+	spec := name[len(GeneratedPrefix):]
+	countStr, seedStr, hasSeed := strings.Cut(spec, ":")
+	n, err := strconv.Atoi(countStr)
+	if err != nil || n < 1 || n > MaxGeneratedRules {
+		return "", true, fmt.Errorf("idps: bad generated rule-set %q: count must be 1..%d", name, MaxGeneratedRules)
+	}
+	seed := int64(GeneratedSeed)
+	if hasSeed {
+		seed, err = strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return "", true, fmt.Errorf("idps: bad generated rule-set %q: bad seed", name)
+		}
+	}
+	text = GenerateRuleSet(n, seed)
+	genCache.Store(name, text)
+	return text, true, nil
 }
 
 // CommunityEngine builds the default evaluation engine: CommunityRuleCount

@@ -34,3 +34,33 @@ func (f *SYNFlood) Next() []byte {
 	srcPort := uint16(1024 + f.rng.Intn(64511))
 	return packet.NewTCP(src, f.target, srcPort, f.port, f.seq, 0, packet.TCPSyn, nil)
 }
+
+// UDPFlood is the UDP sibling of SYNFlood: a seeded stream of fixed-size
+// UDP datagrams, each from a fresh spoofed 100.64.0.0/10 source toward
+// one target port — an amplification-style volumetric flood where every
+// packet opens a distinct flow.
+type UDPFlood struct {
+	rng     *rand.Rand
+	target  packet.Addr
+	port    uint16
+	payload []byte
+}
+
+// NewUDPFlood creates a generator flooding target:port with datagrams
+// carrying payloadSize zero bytes (the scanners never match them).
+func NewUDPFlood(seed int64, target packet.Addr, port uint16, payloadSize int) *UDPFlood {
+	return &UDPFlood{
+		rng:     rand.New(rand.NewSource(seed)),
+		target:  target,
+		port:    port,
+		payload: make([]byte, payloadSize),
+	}
+}
+
+// Next emits the next flood datagram from a fresh spoofed source.
+func (f *UDPFlood) Next() []byte {
+	src := packet.AddrFrom(
+		100, byte(64+f.rng.Intn(64)), byte(f.rng.Intn(256)), byte(1+f.rng.Intn(254)))
+	srcPort := uint16(1024 + f.rng.Intn(64511))
+	return packet.NewUDP(src, f.target, srcPort, f.port, f.payload)
+}

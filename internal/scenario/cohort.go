@@ -1,0 +1,260 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"endbox/internal/core"
+	"endbox/internal/idps"
+	"endbox/internal/packet"
+	"endbox/internal/sgx"
+	"endbox/internal/trace"
+	"endbox/mbox"
+)
+
+func init() {
+	Register(Scenario{
+		Name: "mixed-cohort",
+		Description: "four labeled clients with heterogeneous pipelines; mid-run, " +
+			"a targeted rollout upgrades one cohort while a silent client is " +
+			"liveness-evicted and fast-resumed — with zero lost sessions",
+		Defaults: Params{
+			"bulk":  "48",   // datagrams per client per round
+			"rules": "1000", // generated rule-set size for the ids cohort
+			"ttl":   "120",  // session TTL, seconds (virtual time)
+		},
+		Setup: setupMixedCohort,
+	})
+}
+
+// cohortVictim is the client that goes silent mid-run and is evicted.
+const cohortVictim = "cohort-stock"
+
+func setupMixedCohort(cfg Config) (*Instance, error) {
+	bulk, err := cfg.Params.Int("bulk")
+	if err != nil {
+		return nil, err
+	}
+	ruleCount, err := cfg.Params.Int("rules")
+	if err != nil {
+		return nil, err
+	}
+	ttlSecs, err := cfg.Params.Int("ttl")
+	if err != nil {
+		return nil, err
+	}
+	if ttlSecs < 2 {
+		return nil, fmt.Errorf("%w: ttl=%d (need at least 2 seconds)", ErrBadSpec, ttlSecs)
+	}
+	// The mid-run rollout doubles the rule count; both sizes must be
+	// resolvable generated sets.
+	if ruleCount < 1 || 2*ruleCount > idps.MaxGeneratedRules {
+		return nil, fmt.Errorf("%w: rules=%d out of range 1..%d",
+			ErrBadSpec, ruleCount, idps.MaxGeneratedRules/2)
+	}
+	ttl := time.Duration(ttlSecs) * time.Second
+
+	e, err := newEnv(cfg.Transport, core.DeploymentOptions{
+		SessionTTL: ttl,
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+
+	specs := map[string]core.ClientSpec{
+		"cohort-edge": {
+			Mode:     sgx.ModeSimulation,
+			Labels:   map[string]string{"ring": "edge"},
+			Pipeline: mbox.Chain(mbox.Firewall("allow all")),
+		},
+		"cohort-ids": {
+			Mode:     sgx.ModeSimulation,
+			Labels:   map[string]string{"ring": "ids"},
+			Pipeline: mbox.Chain(mbox.IDS(mbox.GeneratedRuleSet(ruleCount))),
+		},
+		"cohort-ddos": {
+			Mode:   sgx.ModeSimulation,
+			Labels: map[string]string{"ring": "ddos"},
+			Pipeline: mbox.Chain(
+				mbox.ConnTrack(mbox.ConnTrackOptions{}),
+				mbox.FlowRateLimit("100M", 1<<20),
+			),
+		},
+		cohortVictim: {
+			Mode:     sgx.ModeSimulation,
+			Labels:   map[string]string{"ring": "stock"},
+			Pipeline: mbox.Chain(), // NOP: FromDevice wired straight through
+		},
+	}
+	order := []string{"cohort-edge", "cohort-ids", "cohort-ddos", cohortVictim}
+
+	clients := make(map[string]*core.Client, len(specs))
+	for _, id := range order {
+		cli, err := e.d.AddClient(context.Background(), id, specs[id])
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("adding %s: %w", id, err)
+		}
+		clients[id] = cli
+	}
+
+	src := packet.AddrFrom(10, 8, 0, 2)
+	dst := packet.AddrFrom(203, 0, 113, 7)
+	bulkFlow, err := trace.NewBulkFlow(src, dst, 1200)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+
+	var packets, bytes, dropped uint64
+	send := func(id string, p []byte) error {
+		if err := sendTolerant(clients[id], p, &dropped); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		packets++
+		bytes += uint64(len(p))
+		return nil
+	}
+
+	play := func() error {
+		for i := 0; i < bulk; i++ {
+			for _, id := range order {
+				if err := send(id, bulkFlow.Next()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// waitRx polls until the server has accepted at least want frames
+	// from the client — the liveness-touch confirmation the virtual clock
+	// needs before it may advance (on UDP, frames land asynchronously).
+	waitRx := func(id string, want uint64) error {
+		ok := pollUntil(pollBudget(cfg.Transport), func() bool {
+			st, err := e.d.ClientStats(id)
+			return err == nil && st.RxPackets >= want
+		})
+		if !ok {
+			return fmt.Errorf("mixed-cohort: %s traffic never reached the server", id)
+		}
+		return nil
+	}
+
+	mid := func() error {
+		ctx := context.Background()
+
+		// 1. Targeted rollout: only the ids cohort moves to v2 (a larger
+		// rule set); everyone else stays on their boot configuration.
+		res, err := e.d.Rollout(ctx, core.Rollout{
+			Version:      2,
+			GraceSeconds: 60,
+			Pipeline:     mbox.Chain(mbox.IDS(mbox.GeneratedRuleSet(2 * ruleCount))),
+			Target:       core.Selector{Labels: map[string]string{"ring": "ids"}},
+		})
+		if err != nil {
+			return fmt.Errorf("targeted rollout: %w", err)
+		}
+		if len(res.Clients) != 1 || res.Clients[0] != "cohort-ids" {
+			return fmt.Errorf("targeted rollout selected %v, want [cohort-ids]", res.Clients)
+		}
+		if !pollUntil(pollBudget(cfg.Transport), func() bool {
+			return clients["cohort-ids"].AppliedVersion() == 2
+		}) {
+			return fmt.Errorf("cohort-ids never converged to v2")
+		}
+		for _, id := range []string{"cohort-edge", "cohort-ddos", cohortVictim} {
+			if v := clients[id].AppliedVersion(); v != 0 {
+				return fmt.Errorf("targeted rollout leaked to %s (applied v%d)", id, v)
+			}
+		}
+
+		// 2. Liveness eviction and fast resume. Let every in-flight frame
+		// land first: a delayed frame from the victim arriving after the
+		// clock advance would refresh its liveness and mask the eviction.
+		state, err := e.d.ResumeState(cohortVictim)
+		if err != nil {
+			return fmt.Errorf("snapshotting resume state: %w", err)
+		}
+		e.settle()
+		e.clock.Advance(ttl / 2)
+		// Everyone but the victim refreshes, and the refresh must be
+		// server-confirmed before the clock may move again.
+		for _, id := range []string{"cohort-edge", "cohort-ids", "cohort-ddos"} {
+			st, err := e.d.ClientStats(id)
+			if err != nil {
+				return err
+			}
+			if err := send(id, bulkFlow.Next()); err != nil {
+				return err
+			}
+			if err := waitRx(id, st.RxPackets+1); err != nil {
+				return err
+			}
+		}
+		e.clock.Advance(ttl/2 + 5*time.Second)
+		evicted := e.d.SweepSessions()
+		if len(evicted) != 1 || evicted[0] != cohortVictim {
+			return fmt.Errorf("sweep evicted %v, want [%s]", evicted, cohortVictim)
+		}
+		resumed, err := e.d.ResumeClient(ctx, state, specs[cohortVictim])
+		if err != nil {
+			return fmt.Errorf("resuming %s: %w", cohortVictim, err)
+		}
+		clients[cohortVictim] = resumed
+		// The resumed session must carry traffic again immediately.
+		st, err := e.d.ClientStats(cohortVictim)
+		if err != nil {
+			return err
+		}
+		if err := send(cohortVictim, bulkFlow.Next()); err != nil {
+			return err
+		}
+		return waitRx(cohortVictim, st.RxPackets+1)
+	}
+
+	collect := func() (*Result, error) {
+		e.settle()
+		ls := e.d.LifecycleStats()
+		if ls.Sessions.Evicted != 1 {
+			return nil, fmt.Errorf("mixed-cohort: %d evictions, want exactly 1", ls.Sessions.Evicted)
+		}
+		if ls.Sessions.Resumed != 1 {
+			return nil, fmt.Errorf("mixed-cohort: %d resumes, want exactly 1", ls.Sessions.Resumed)
+		}
+		if n := e.d.Server.VPN().ClientCount(); n != len(order) {
+			return nil, fmt.Errorf("mixed-cohort: %d connected sessions, want %d (lost sessions)",
+				n, len(order))
+		}
+		stats := e.d.AggregateStats()
+		var flows Result
+		for _, id := range order {
+			fs, err := clients[id].FlowStats()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", id, err)
+			}
+			flows.FlowsActive += fs.Active
+			flows.FlowCapacity += fs.Capacity
+			flows.FlowsEvicted += fs.Evicted
+		}
+		return &Result{
+			Packets:        packets,
+			Bytes:          bytes,
+			Delivered:      e.delivered.Load(),
+			Dropped:        dropped + stats.Dropped,
+			Shed:           stats.Shed,
+			Alerts:         e.alerts.Load(),
+			FlowsActive:    flows.FlowsActive,
+			FlowCapacity:   flows.FlowCapacity,
+			FlowsEvicted:   flows.FlowsEvicted,
+			Retransmits:    e.retransmits(),
+			Evicted:        ls.Sessions.Evicted,
+			Resumed:        ls.Sessions.Resumed,
+			RolloutVersion: 2,
+			ControlOK:      true,
+		}, nil
+	}
+
+	return &Instance{Play: play, Mid: mid, Collect: collect, Close: e.Close}, nil
+}

@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"endbox/internal/core"
+	"endbox/internal/netsim"
+	"endbox/internal/packet"
+	"endbox/internal/sgx"
+	"endbox/internal/trace"
+	"endbox/mbox"
+)
+
+func init() {
+	Register(Scenario{
+		Name: "ddos-flood",
+		Description: "volumetric SYN and UDP floods from spoofed sources against " +
+			"a ConnTrack+FlowRateLimit pipeline with a small flow table: occupancy " +
+			"must stay bounded under eviction pressure and control-plane pings " +
+			"must survive the flood",
+		Defaults: Params{
+			"syn":      "600", // spoofed SYN packets per round
+			"udpflood": "400", // spoofed UDP datagrams per round
+			"legit":    "200", // legitimate bulk datagrams per round
+			"capacity": "256", // client flow-table bound
+		},
+		Setup: setupDDoSFlood,
+	})
+}
+
+func setupDDoSFlood(cfg Config) (*Instance, error) {
+	syn, err := cfg.Params.Int("syn")
+	if err != nil {
+		return nil, err
+	}
+	udpflood, err := cfg.Params.Int("udpflood")
+	if err != nil {
+		return nil, err
+	}
+	legit, err := cfg.Params.Int("legit")
+	if err != nil {
+		return nil, err
+	}
+	capacity, err := cfg.Params.Int("capacity")
+	if err != nil {
+		return nil, err
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: capacity=%d (need at least 1)", ErrBadSpec, capacity)
+	}
+
+	e, err := newEnv(cfg.Transport, core.DeploymentOptions{
+		FlowCapacity: capacity,
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	pipe := mbox.Chain(
+		mbox.ConnTrack(mbox.ConnTrackOptions{}),
+		mbox.FlowRateLimit("100M", 1<<20),
+	)
+	client, err := e.d.AddClient(context.Background(), "gw-1", core.ClientSpec{
+		Mode:     sgx.ModeSimulation,
+		Pipeline: pipe,
+	})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+
+	victim := packet.AddrFrom(10, 99, 0, 1)
+	legitSrc := packet.AddrFrom(10, 8, 0, 2)
+	synFlood := netsim.NewSYNFlood(42, victim, 443)
+	udpFlood := netsim.NewUDPFlood(43, victim, 53, 64)
+	bulkFlow, err := trace.NewBulkFlow(legitSrc, victim, 1400)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+
+	var packets, bytes, dropped uint64
+	play := func() error {
+		send := func(p []byte) error {
+			if err := sendTolerant(client, p, &dropped); err != nil {
+				return err
+			}
+			packets++
+			bytes += uint64(len(p))
+			return nil
+		}
+		// Interleave attack and legitimate traffic so the legitimate flow
+		// stays refreshed (never the oldest-idle eviction victim).
+		steps := syn
+		if udpflood > steps {
+			steps = udpflood
+		}
+		if legit > steps {
+			steps = legit
+		}
+		for i := 0; i < steps; i++ {
+			if i < syn {
+				if err := send(synFlood.Next()); err != nil {
+					return err
+				}
+			}
+			if i < udpflood {
+				if err := send(udpFlood.Next()); err != nil {
+					return err
+				}
+			}
+			if i < legit {
+				if err := send(bulkFlow.Next()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	collect := func() (*Result, error) {
+		// Control-plane survival: run the whole update control loop with
+		// the flood's frames still in flight — announce v1, let the client
+		// fetch and apply it, and wait for its version-reporting ping (on
+		// UDP the ping rides the control delivery class past the shedding
+		// watermark). ReportedVersion moving 0 -> 1 is the proof the ping
+		// landed; a bare ping would re-report 0 indistinguishably.
+		if _, err := e.d.Rollout(context.Background(), core.Rollout{
+			Version: 1, GraceSeconds: 60, Pipeline: pipe,
+		}); err != nil {
+			return nil, fmt.Errorf("ddos-flood: rollout under flood: %w", err)
+		}
+		controlOK := pollUntil(pollBudget(cfg.Transport), func() bool {
+			v, err := e.d.Server.VPN().ReportedVersion("gw-1")
+			return err == nil && v == 1
+		})
+		if !controlOK {
+			return nil, fmt.Errorf("ddos-flood: control ping never reached the server under flood")
+		}
+
+		e.settle()
+		fs, err := client.FlowStats()
+		if err != nil {
+			return nil, err
+		}
+		if fs.Active > fs.Capacity {
+			return nil, fmt.Errorf("ddos-flood: flow table overflowed its bound: %d active > %d capacity",
+				fs.Active, fs.Capacity)
+		}
+		if fs.Evicted == 0 {
+			return nil, fmt.Errorf("ddos-flood: flood never pressured the flow table (0 evictions)")
+		}
+		stats := e.d.AggregateStats()
+		return &Result{
+			Packets:        packets,
+			Bytes:          bytes,
+			Delivered:      e.delivered.Load(),
+			Dropped:        dropped + stats.Dropped,
+			Shed:           stats.Shed,
+			Alerts:         e.alerts.Load(),
+			FlowsActive:    fs.Active,
+			FlowCapacity:   fs.Capacity,
+			FlowsEvicted:   fs.Evicted,
+			Retransmits:    e.retransmits(),
+			RolloutVersion: 1,
+			ControlOK:      controlOK,
+		}, nil
+	}
+
+	return &Instance{Play: play, Collect: collect, Close: e.Close}, nil
+}
+
+// pollBudget sizes the asynchronous-delivery wait: generous on UDP (real
+// sockets, worker queues), tiny in-process (delivery is synchronous).
+func pollBudget(transport string) time.Duration {
+	if transport == TransportUDP {
+		return 5 * time.Second
+	}
+	return 100 * time.Millisecond
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"endbox/internal/core"
+	"endbox/internal/packet"
+	"endbox/internal/sgx"
+	"endbox/internal/tlstap"
+	"endbox/internal/trace"
+	"endbox/mbox"
+)
+
+func init() {
+	Register(Scenario{
+		Name: "enterprise-tls",
+		Description: "TLS-heavy mixed enterprise traffic: per-round TLS session " +
+			"churn through TLSInspect key escrow, DLP alerts on marked documents, " +
+			"plus bulk flows and an uninspected stock-TLS flow",
+		Defaults: Params{
+			"flows": "6",  // fresh TLS sessions per round (key-table churn)
+			"docs":  "24", // encrypted uploads per TLS session
+			"bulk":  "64", // background bulk datagrams per round
+			"size":  "512",
+		},
+		Setup: setupEnterpriseTLS,
+	})
+}
+
+// dlpRule alerts (not drops) on marked documents so the workload plays
+// error-free while the alert counter proves the inspection saw plaintext.
+const dlpRule = `alert tcp any any -> any 443 (msg:"DLP: confidential document"; content:"CONFIDENTIAL"; sid:4001;)`
+
+func setupEnterpriseTLS(cfg Config) (*Instance, error) {
+	flows, err := cfg.Params.Int("flows")
+	if err != nil {
+		return nil, err
+	}
+	docs, err := cfg.Params.Int("docs")
+	if err != nil {
+		return nil, err
+	}
+	bulk, err := cfg.Params.Int("bulk")
+	if err != nil {
+		return nil, err
+	}
+	size, err := cfg.Params.Int("size")
+	if err != nil {
+		return nil, err
+	}
+	if flows < 1 || docs < 1 || size < 1 {
+		return nil, fmt.Errorf("%w: enterprise-tls needs flows, docs and size >= 1", ErrBadSpec)
+	}
+
+	e, err := newEnv(cfg.Transport, core.DeploymentOptions{}, false)
+	if err != nil {
+		return nil, err
+	}
+	client, err := e.d.AddClient(context.Background(), "desk-1", core.ClientSpec{
+		Mode:          sgx.ModeSimulation,
+		Pipeline:      mbox.Chain(mbox.TLSInspect(443), mbox.IDS("dlp")),
+		ExtraRuleSets: map[string]string{"dlp": dlpRule},
+	})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+
+	src := packet.AddrFrom(10, 8, 0, 2)
+	cloud := packet.AddrFrom(93, 184, 216, 34)
+	bulkFlow, err := trace.NewBulkFlow(src, cloud, 1400)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+
+	// The inspected application's TLS library escrows each session key to
+	// the enclave; the stock one does not, so its traffic passes opaque.
+	lib := tlstap.NewClientLibrary(func(f packet.Flow, k tlstap.SessionKey) {
+		_ = client.ForwardTLSKey(f, k)
+	})
+	stock := tlstap.NewClientLibrary(nil)
+
+	doc := trace.HTTPSGet(size).ResponseBody()
+	marked := append([]byte("CONFIDENTIAL: "), doc...)
+
+	var packets, bytes, dropped uint64
+	nextPort := uint16(40100)
+
+	play := func() error {
+		send := func(p []byte) error {
+			if err := sendTolerant(client, p, &dropped); err != nil {
+				return err
+			}
+			packets++
+			bytes += uint64(len(p))
+			return nil
+		}
+		for f := 0; f < flows; f++ {
+			nextPort++
+			flow := packet.Flow{Src: src, SrcPort: nextPort, Dst: cloud,
+				DstPort: 443, Protocol: packet.ProtoTCP}
+			if _, err := lib.Handshake(flow); err != nil {
+				return err
+			}
+			for d := 0; d < docs; d++ {
+				body := doc
+				if d%8 == 7 {
+					body = marked // raises a DLP alert inside the enclave
+				}
+				rec, err := lib.Encrypt(flow, body)
+				if err != nil {
+					return err
+				}
+				if err := send(packet.NewTCP(src, cloud, nextPort, 443,
+					uint32(d+1), 0, packet.TCPAck, rec)); err != nil {
+					return err
+				}
+			}
+			lib.Close(flow)
+		}
+		// A stock-TLS application on the same machine: no escrowed key,
+		// traffic passes encrypted and uninspected.
+		nextPort++
+		opaque := packet.Flow{Src: src, SrcPort: nextPort, Dst: cloud,
+			DstPort: 443, Protocol: packet.ProtoTCP}
+		if _, err := stock.Handshake(opaque); err != nil {
+			return err
+		}
+		rec, err := stock.Encrypt(opaque, marked)
+		if err != nil {
+			return err
+		}
+		if err := send(packet.NewTCP(src, cloud, nextPort, 443, 1, 0,
+			packet.TCPAck, rec)); err != nil {
+			return err
+		}
+		for i := 0; i < bulk; i++ {
+			if err := send(bulkFlow.Next()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	collect := func() (*Result, error) {
+		e.settle()
+		stats := e.d.AggregateStats()
+		fs, err := client.FlowStats()
+		if err != nil {
+			return nil, err
+		}
+		alerts := e.alerts.Load()
+		if alerts == 0 {
+			return nil, fmt.Errorf("enterprise-tls: DLP saw no plaintext (0 alerts)")
+		}
+		return &Result{
+			Packets:      packets,
+			Bytes:        bytes,
+			Delivered:    e.delivered.Load(),
+			Dropped:      dropped + stats.Dropped,
+			Shed:         stats.Shed,
+			Alerts:       alerts,
+			FlowsActive:  fs.Active,
+			FlowCapacity: fs.Capacity,
+			FlowsEvicted: fs.Evicted,
+			Retransmits:  e.retransmits(),
+			ControlOK:    true,
+		}, nil
+	}
+
+	return &Instance{Play: play, Collect: collect, Close: e.Close}, nil
+}

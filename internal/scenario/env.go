@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"endbox/internal/click"
+	"endbox/internal/core"
+	"endbox/internal/udptransport"
+	"endbox/internal/vpn"
+)
+
+// env is the deployment every scenario runs against: a real Deployment
+// (IAS, CA, VPN server, config server) over the selected transport, with
+// an observer counting the data-path events every Result reports.
+type env struct {
+	d   *core.Deployment
+	udp *udptransport.Transport
+	// clock is non-nil when the scenario asked for virtual time (session
+	// eviction without real waiting).
+	clock *virtualClock
+
+	delivered atomic.Uint64
+	alerts    atomic.Uint64
+}
+
+// newEnv builds a deployment over the named transport. The caller presets
+// everything scenario-specific on opts (FlowCapacity, SessionTTL, ...);
+// newEnv owns the transport, the observer and — with virtualTime — the
+// clock and sweep configuration.
+func newEnv(transport string, opts core.DeploymentOptions, virtualTime bool) (*env, error) {
+	e := &env{}
+	opts.Observer = core.ObserverFuncs{
+		OnDelivered: func(string, []byte) { e.delivered.Add(1) },
+		OnAlert:     func(string, click.Alert) { e.alerts.Add(1) },
+	}
+
+	switch transport {
+	case TransportInProcess:
+		// nil Transport selects the in-process transport.
+	case TransportUDP:
+		e.udp = udptransport.NewTransport("127.0.0.1:0")
+		opts.Transport = e.udp
+		if opts.UDPWorkers == 0 {
+			opts.UDPWorkers = 2
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown transport %q", ErrBadSpec, transport)
+	}
+
+	if virtualTime {
+		e.clock = newVirtualClock()
+		opts.Clock = e.clock.Now
+		// Tests drive eviction explicitly: no background sweep racing the
+		// virtual clock.
+		opts.SweepInterval = -1
+	}
+
+	d, err := core.NewDeployment(opts)
+	if err != nil {
+		return nil, err
+	}
+	e.d = d
+	return e, nil
+}
+
+func (e *env) Close() { e.d.Close() }
+
+// retransmits returns the server-side ARQ retransmission count (0 on the
+// in-process transport, which cannot lose messages).
+func (e *env) retransmits() uint64 {
+	if e.udp == nil {
+		return 0
+	}
+	return e.udp.ARQStats().Retransmits
+}
+
+// settle waits until the server-side packet counters stop moving — on the
+// UDP transport, data frames are processed asynchronously by the worker
+// pool, so Collect must let in-flight frames land before reading stats.
+// Two consecutive identical samples a few milliseconds apart count as
+// settled; the in-process transport settles immediately.
+func (e *env) settle() {
+	if e.udp == nil {
+		return
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	read := func() vpn.VIFStats { return e.d.AggregateStats() }
+	prev := read()
+	for time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		cur := read()
+		if cur == prev {
+			return
+		}
+		prev = cur
+	}
+}
+
+// pollUntil polls cond every millisecond until it holds or the timeout
+// expires.
+func pollUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// sendTolerant sends a packet through a client, treating middlebox drops
+// as a counted outcome rather than an error (scenarios inject traffic
+// their own pipelines are meant to reject).
+func sendTolerant(c *core.Client, ip []byte, dropped *uint64) error {
+	err := c.SendPacket(ip)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, vpn.ErrDropped):
+		*dropped++
+		return nil
+	default:
+		return err
+	}
+}
+
+// virtualClock is a manually advanced time source, anchored an hour in
+// the past so certificates issued on the deployment clock never post-date
+// the enclaves' trusted wall-clock time.
+type virtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newVirtualClock() *virtualClock {
+	return &virtualClock{now: time.Now().Add(-time.Hour)}
+}
+
+func (c *virtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseSpec pins the spec parser's contract under arbitrary input:
+// it either returns a well-formed Spec or an error wrapping ErrBadSpec —
+// never a panic, never an untyped error, never a half-parsed result.
+// Specs arrive from command lines and CI configuration, so this is the
+// input-validation boundary of the whole harness.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"enterprise-tls",
+		"ddos-flood:syn=2000,capacity=512",
+		"mixed-cohort:bulk=8,rules=200,rounds=2",
+		"idps-at-scale:rules=5000",
+		"", ":", "a:", "a:=", "a:k=", "a:k=v,", "a:k=v,k=v",
+		"a:k==v", "a,b", "a:b:c", "UPPER", "weird\xffbytes",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("ParseSpec(%q): untyped error %v", s, err)
+			}
+			return
+		}
+		if err := checkIdent("scenario name", spec.Name); err != nil {
+			t.Fatalf("ParseSpec(%q) accepted invalid name %q", s, spec.Name)
+		}
+		for k, v := range spec.Params {
+			if err := checkIdent("parameter key", k); err != nil {
+				t.Fatalf("ParseSpec(%q) accepted invalid key %q", s, k)
+			}
+			if v == "" {
+				t.Fatalf("ParseSpec(%q) accepted empty value for %q", s, k)
+			}
+		}
+		// Accepted specs round-trip through Run's validation layer
+		// without panicking (they may still be unknown scenarios).
+		_, runErr := Run(s, "no-such-transport")
+		if runErr == nil || !errors.Is(runErr, ErrBadSpec) {
+			t.Fatalf("Run(%q) with bad transport: %v, want ErrBadSpec", s, runErr)
+		}
+	})
+}

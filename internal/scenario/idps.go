@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"endbox/internal/core"
+	"endbox/internal/idps"
+	"endbox/internal/packet"
+	"endbox/internal/sgx"
+	"endbox/internal/trace"
+	"endbox/mbox"
+)
+
+func init() {
+	Register(Scenario{
+		Name: "idps-at-scale",
+		Description: "the IDPS use case at production rule counts: an enforcing " +
+			"matcher over thousands of generated rules, driven with clean bulk " +
+			"traffic plus crafted packets matching known alert and drop rules",
+		Defaults: Params{
+			"rules":   "5000", // generated rule-set size
+			"bulk":    "256",  // clean bulk datagrams per round
+			"crafted": "16",   // matching packets per class per round
+		},
+		Setup: setupIDPSAtScale,
+	})
+}
+
+func setupIDPSAtScale(cfg Config) (*Instance, error) {
+	ruleCount, err := cfg.Params.Int("rules")
+	if err != nil {
+		return nil, err
+	}
+	bulk, err := cfg.Params.Int("bulk")
+	if err != nil {
+		return nil, err
+	}
+	crafted, err := cfg.Params.Int("crafted")
+	if err != nil {
+		return nil, err
+	}
+	if ruleCount < 1 || ruleCount > idps.MaxGeneratedRules {
+		return nil, fmt.Errorf("%w: rules=%d out of range 1..%d",
+			ErrBadSpec, ruleCount, idps.MaxGeneratedRules)
+	}
+
+	src := packet.AddrFrom(10, 8, 0, 2)
+	dst := packet.AddrFrom(203, 0, 113, 80)
+	alertPkt, dropPkt, err := craftMatching(ruleCount, src, dst)
+	if err != nil {
+		return nil, err
+	}
+
+	e, err := newEnv(cfg.Transport, core.DeploymentOptions{}, false)
+	if err != nil {
+		return nil, err
+	}
+	client, err := e.d.AddClient(context.Background(), "sensor-1", core.ClientSpec{
+		Mode:     sgx.ModeSimulation,
+		Pipeline: mbox.Chain(mbox.IPS(mbox.GeneratedRuleSet(ruleCount))),
+	})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	bulkFlow, err := trace.NewBulkFlow(src, dst, 1400)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+
+	var packets, bytes, dropped uint64
+	play := func() error {
+		send := func(p []byte) error {
+			if err := sendTolerant(client, p, &dropped); err != nil {
+				return err
+			}
+			packets++
+			bytes += uint64(len(p))
+			return nil
+		}
+		for i := 0; i < bulk; i++ {
+			if err := send(bulkFlow.Next()); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < crafted; i++ {
+			if err := send(alertPkt); err != nil {
+				return err
+			}
+			if err := send(dropPkt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	collect := func() (*Result, error) {
+		e.settle()
+		stats := e.d.AggregateStats()
+		fs, err := client.FlowStats()
+		if err != nil {
+			return nil, err
+		}
+		want := uint64(crafted * cfg.Rounds)
+		if e.alerts.Load() < want {
+			return nil, fmt.Errorf("idps-at-scale: %d alerts, want at least %d "+
+				"(crafted alert packets missed the matcher)", e.alerts.Load(), want)
+		}
+		if dropped < want {
+			return nil, fmt.Errorf("idps-at-scale: %d drops, want at least %d "+
+				"(crafted drop packets missed the enforcing matcher)", dropped, want)
+		}
+		return &Result{
+			Packets:      packets,
+			Bytes:        bytes,
+			Delivered:    e.delivered.Load(),
+			Dropped:      dropped + stats.Dropped,
+			Shed:         stats.Shed,
+			Alerts:       e.alerts.Load(),
+			FlowsActive:  fs.Active,
+			FlowCapacity: fs.Capacity,
+			FlowsEvicted: fs.Evicted,
+			Retransmits:  e.retransmits(),
+			ControlOK:    true,
+		}, nil
+	}
+
+	return &Instance{Play: play, Collect: collect, Close: e.Close}, nil
+}
+
+// craftMatching builds one packet matching the generated set's first TCP
+// alert rule and one matching its first TCP drop rule: ports are chosen to
+// satisfy the rule's port specs and the payload concatenates every content
+// pattern, so the match is deterministic for any seed.
+func craftMatching(ruleCount int, src, dst packet.Addr) (alertPkt, dropPkt []byte, err error) {
+	text, ok, err := idps.ResolveGenerated(idps.GeneratedSetName(ruleCount))
+	if !ok || err != nil {
+		return nil, nil, fmt.Errorf("resolving generated rule set: %v", err)
+	}
+	rules, err := idps.ParseRules(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	build := func(action idps.Action) ([]byte, error) {
+		for _, r := range rules {
+			if r.Action != action || r.Proto != idps.ProtoTCP {
+				continue
+			}
+			sp, ok1 := satisfyPort(r.SrcPort)
+			dp, ok2 := satisfyPort(r.DstPort)
+			if !ok1 || !ok2 {
+				continue
+			}
+			var payload []byte
+			for _, c := range r.Contents {
+				payload = append(payload, c.Bytes...)
+			}
+			return packet.NewTCP(src, dst, sp, dp, 1, 0, packet.TCPAck, payload), nil
+		}
+		return nil, fmt.Errorf("no satisfiable TCP %v rule in generated:%d", action, ruleCount)
+	}
+	if alertPkt, err = build(idps.ActionAlert); err != nil {
+		return nil, nil, err
+	}
+	if dropPkt, err = build(idps.ActionDrop); err != nil {
+		return nil, nil, err
+	}
+	return alertPkt, dropPkt, nil
+}
+
+// satisfyPort finds a concrete port matching the spec, preferring the
+// well-known ports the generator draws from.
+func satisfyPort(spec idps.PortSpec) (uint16, bool) {
+	for _, p := range []uint16{40000, 80, 443, 25, 53, 110, 143, 8080, 2000} {
+		if spec.Matches(p) {
+			return p, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("ddos-flood:syn=2000,capacity=512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "ddos-flood" || spec.Params["syn"] != "2000" || spec.Params["capacity"] != "512" {
+		t.Fatalf("parsed %+v", spec)
+	}
+	if spec, err := ParseSpec("enterprise-tls"); err != nil || len(spec.Params) != 0 {
+		t.Fatalf("bare name: %+v, %v", spec, err)
+	}
+
+	for _, bad := range []string{
+		"", ":", "name:", "name:k", "name:k=", "name:=v", "name:k=v,k=w",
+		"Name", "na me", "name:K=v", "name:k=v,,k2=v2", "name:k=v,",
+	} {
+		if _, err := ParseSpec(bad); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseSpec(%q) = %v, want ErrBadSpec", bad, err)
+		}
+	}
+}
+
+func TestRunRejectsBadSpecs(t *testing.T) {
+	cases := []struct{ spec, transport string }{
+		{"no-such-scenario", TransportInProcess},
+		{"ddos-flood", "carrier-pigeon"},
+		{"ddos-flood:unknown_param=1", TransportInProcess},
+		{"ddos-flood:syn=notanumber", TransportInProcess},
+		{"ddos-flood:rounds=0", TransportInProcess},
+		{"ddos-flood:capacity=0", TransportInProcess},
+		{"mixed-cohort:ttl=1", TransportInProcess},
+		{"mixed-cohort:rules=999999", TransportInProcess},
+		{"idps-at-scale:rules=0", TransportInProcess},
+		{"enterprise-tls:flows=0", TransportInProcess},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.spec, c.transport); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Run(%q, %q) = %v, want ErrBadSpec", c.spec, c.transport, err)
+		}
+	}
+}
+
+func TestNamesRegistered(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"enterprise-tls", "idps-at-scale", "ddos-flood", "mixed-cohort"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scenario %q not registered (have %v)", want, names)
+		}
+	}
+}
+
+// shortSpec scales a scenario down for -short (and -race) runs; full runs
+// use the registered defaults.
+func shortSpec(t *testing.T, name string) string {
+	if !testing.Short() {
+		return name
+	}
+	switch name {
+	case "enterprise-tls":
+		return name + ":flows=2,docs=8,bulk=8,rounds=2"
+	case "idps-at-scale":
+		return name + ":rules=800,bulk=16,crafted=4,rounds=2"
+	case "ddos-flood":
+		return name + ":syn=300,udpflood=200,legit=50,capacity=64,rounds=2"
+	case "mixed-cohort":
+		return name + ":bulk=8,rules=200,rounds=2"
+	default:
+		t.Fatalf("no short spec for %q", name)
+		return ""
+	}
+}
+
+// TestScenarioMatrix runs every registered scenario over both transports
+// and checks the uniform Result invariants. The scenario-specific
+// acceptance criteria (occupancy bounds, control survival, exact
+// eviction/resume counts) are asserted inside each scenario's Collect, so
+// a violation fails Run itself.
+func TestScenarioMatrix(t *testing.T) {
+	for _, name := range []string{"enterprise-tls", "idps-at-scale", "ddos-flood", "mixed-cohort"} {
+		for _, transport := range []string{TransportInProcess, TransportUDP} {
+			t.Run(name+"/"+transport, func(t *testing.T) {
+				res, err := Run(shortSpec(t, name), transport)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Scenario != name || res.Transport != transport {
+					t.Fatalf("result labeled %s/%s", res.Scenario, res.Transport)
+				}
+				if res.Packets == 0 || res.Bytes == 0 {
+					t.Fatalf("no traffic played: %+v", res)
+				}
+				if res.Elapsed <= 0 || res.MBps <= 0 {
+					t.Fatalf("no throughput measured: %+v", res)
+				}
+				if res.Delivered == 0 {
+					t.Fatalf("nothing delivered: %+v", res)
+				}
+				if !res.ControlOK {
+					t.Fatalf("control plane did not survive: %+v", res)
+				}
+				if res.FlowsActive > res.FlowCapacity {
+					t.Fatalf("flow occupancy exceeds capacity: %+v", res)
+				}
+				t.Logf("%s/%s: %d pkts, %.1f MB/s, delivered=%d dropped=%d shed=%d alerts=%d flows=%d/%d evicted=%d retransmits=%d",
+					name, transport, res.Packets, res.MBps, res.Delivered, res.Dropped,
+					res.Shed, res.Alerts, res.FlowsActive, res.FlowCapacity,
+					res.FlowsEvicted, res.Retransmits)
+			})
+		}
+	}
+}
+
+// TestDDoSAcceptance pins the ddos-flood acceptance criteria explicitly:
+// bounded occupancy with real eviction pressure, and a control-plane
+// round trip (rollout announce -> fetch -> apply -> ping) under flood.
+func TestDDoSAcceptance(t *testing.T) {
+	res, err := Run(shortSpec(t, "ddos-flood"), TransportUDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowsActive > res.FlowCapacity {
+		t.Fatalf("flow table exceeded its bound: %d > %d", res.FlowsActive, res.FlowCapacity)
+	}
+	if res.FlowsEvicted == 0 {
+		t.Fatal("flood never pressured the flow table")
+	}
+	if !res.ControlOK || res.RolloutVersion != 1 {
+		t.Fatalf("control plane did not survive the flood: %+v", res)
+	}
+}
+
+// TestMixedCohortAcceptance pins the mixed-cohort acceptance criteria:
+// the targeted rollout converges, exactly one session is evicted and
+// resumed mid-run, and no sessions are lost.
+func TestMixedCohortAcceptance(t *testing.T) {
+	for _, transport := range []string{TransportInProcess, TransportUDP} {
+		t.Run(transport, func(t *testing.T) {
+			res, err := Run(shortSpec(t, "mixed-cohort"), transport)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Evicted != 1 || res.Resumed != 1 {
+				t.Fatalf("evicted=%d resumed=%d, want 1/1", res.Evicted, res.Resumed)
+			}
+			if res.RolloutVersion != 2 {
+				t.Fatalf("rollout version %d, want 2", res.RolloutVersion)
+			}
+		})
+	}
+}
+
+func TestResultJSONStable(t *testing.T) {
+	res, err := Run("enterprise-tls:flows=1,docs=8,bulk=4,rounds=1", TransportInProcess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"scenario"`, `"mb_per_s"`, `"shed"`, `"flows_active"`} {
+		if !strings.Contains(mustJSON(t, res), field) {
+			t.Errorf("result JSON missing %s", field)
+		}
+	}
+}

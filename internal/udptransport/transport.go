@@ -268,8 +268,8 @@ func (t *Transport) serve(conn *net.UDPConn, ep core.ServerEndpoint) {
 		if err != nil {
 			continue
 		}
-		if msgType == MsgFrame {
-			if t.dispatchFrame(ep, body, buf[:n], from) {
+		if msgType == MsgFrame || msgType == MsgControl {
+			if t.dispatchFrame(ep, body, buf[:n], from, msgType == MsgControl) {
 				buf = wire.GetBuffer(MaxDatagram)
 			}
 			continue
@@ -287,7 +287,7 @@ func (t *Transport) serve(conn *net.UDPConn, ep core.ServerEndpoint) {
 			// or a whole chunked configuration) as a reliable transfer.
 			a.handleRel(from.String(), from, body, func(inner []byte) bool {
 				innerType, innerBody, err := Decode(inner)
-				if err != nil || innerType == MsgFrame {
+				if err != nil || innerType == MsgFrame || innerType == MsgControl {
 					return true // swallow: never re-deliver garbage
 				}
 				resp := t.handle(ep, innerType, innerBody, from)
@@ -320,8 +320,9 @@ func (t *Transport) serve(conn *net.UDPConn, ep core.ServerEndpoint) {
 // the endpoint may decrypt in place and must be done with the buffer when
 // it returns — the buffer is only reused for the next datagram afterwards,
 // which is the aliasing guarantee the old per-datagram copy bought, now
-// for free.
-func (t *Transport) dispatchFrame(ep core.ServerEndpoint, body, owner []byte, from *net.UDPAddr) bool {
+// for free. Control-class frames (MsgControl) are submitted past the
+// shedding watermark so a data flood cannot starve them.
+func (t *Transport) dispatchFrame(ep core.ServerEndpoint, body, owner []byte, from *net.UDPAddr, control bool) bool {
 	t.mu.Lock()
 	clientID := t.byAddr[from.String()]
 	pool := t.pool
@@ -334,7 +335,11 @@ func (t *Transport) dispatchFrame(ep core.ServerEndpoint, body, owner []byte, fr
 		return false
 	}
 	if pool != nil {
-		if !pool.SubmitOwned(clientID, body, owner) {
+		submit := pool.SubmitOwned
+		if control {
+			submit = pool.SubmitControlOwned
+		}
+		if !submit(clientID, body, owner) {
 			t.logf("udptransport: ingress queue full, frame from %s shed", clientID)
 			return false
 		}
@@ -637,7 +642,7 @@ func (l *Link) readLoop() {
 		if n == 0 {
 			continue
 		}
-		if buf[0] == MsgFrame {
+		if buf[0] == MsgFrame || buf[0] == MsgControl {
 			select {
 			case l.frames <- buf[:n]:
 				buf = wire.GetBuffer(MaxDatagram)
@@ -901,6 +906,15 @@ func (l *Link) FetchConfig(ctx context.Context, version uint64) ([]byte, error) 
 // SendFrame implements core.ClientLink.
 func (l *Link) SendFrame(frame []byte) error {
 	_, err := l.conn.Write(Encode(MsgFrame, frame))
+	return err
+}
+
+// SendControlFrame implements core.ControlLink: send one sealed frame in
+// the control delivery class (MsgControl). The server submits it to its
+// ingress pool past the shedding watermark, so keepalive pings, nacks and
+// health reports keep arriving while a flood is shedding data frames.
+func (l *Link) SendControlFrame(frame []byte) error {
+	_, err := l.conn.Write(Encode(MsgControl, frame))
 	return err
 }
 

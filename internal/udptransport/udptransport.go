@@ -59,6 +59,16 @@ const (
 	MsgResumeOK byte = 'U'
 	// MsgFrame carries one sealed data-channel frame (either direction).
 	MsgFrame byte = 'D'
+	// MsgControl carries one sealed control-class frame (keepalive pings,
+	// nacks, health reports). It is identical to MsgFrame on the wire
+	// except for the delivery class: the server submits it to the ingress
+	// pool with SubmitControl semantics, so it keeps flowing through the
+	// watermark headroom while data frames are being shed under flood.
+	// The type byte is outside the sealed frame and therefore
+	// unauthenticated — an attacker marking flood datagrams as control
+	// only gains the bounded headroom between the watermark and the hard
+	// queue depth, and the frames still fail sealed-frame authentication.
+	MsgControl byte = 'k'
 	// MsgFetch requests a configuration blob by version (8-byte big
 	// endian body).
 	MsgFetch byte = 'F'

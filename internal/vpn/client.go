@@ -18,6 +18,11 @@ type ClientOptions struct {
 	Plane DataPlane
 	// Send transmits frames to the server. Required.
 	Send func(frame []byte) error
+	// SendControl transmits control-class frames (pings, nacks, health
+	// reports) to the server. Transports that distinguish delivery classes
+	// route these past the overload-shedding watermark so they survive a
+	// data flood. Optional; defaults to Send.
+	SendControl func(frame []byte) error
 	// Deliver hands decrypted, accepted inbound packets to local
 	// applications. Optional. The ip slice is only valid for the duration
 	// of the call (it aliases a pooled buffer); implementations that keep
@@ -56,6 +61,9 @@ func NewClient(opts ClientOptions) (*Client, error) {
 	}
 	if opts.Send == nil {
 		return nil, fmt.Errorf("vpn: ClientOptions.Send required")
+	}
+	if opts.SendControl == nil {
+		opts.SendControl = opts.Send
 	}
 	if opts.Clock == nil {
 		opts.Clock = time.Now
@@ -295,7 +303,7 @@ func (c *Client) SendPing() error {
 	if err != nil {
 		return err
 	}
-	return c.opts.Send(frame)
+	return c.opts.SendControl(frame)
 }
 
 // LastPing returns the most recent ping received from the server.

@@ -104,7 +104,7 @@ func (c *Client) SendNack(n Nack) error {
 	if err != nil {
 		return err
 	}
-	return c.opts.Send(frame)
+	return c.opts.SendControl(frame)
 }
 
 // SendHealth seals and sends a health report to the server.
@@ -117,5 +117,5 @@ func (c *Client) SendHealth(h HealthReport) error {
 	if err != nil {
 		return err
 	}
-	return c.opts.Send(frame)
+	return c.opts.SendControl(frame)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"endbox/internal/click"
+	"endbox/internal/idps"
 )
 
 // Pipeline is a typed, validated middlebox function description: an
@@ -72,6 +73,13 @@ func Firewall(rules ...string) Stage {
 func IDS(ruleSet string) Stage {
 	return Stage{Name: "ids", Class: "IDSMatcher", Args: []string{"RULESET " + ruleSet}}
 }
+
+// GeneratedRuleSet names a deterministic generated rule set of n rules
+// (production-scale IDPS evaluation: 1k–10k rules instead of the 377-rule
+// community subset). The name resolves everywhere rule-set names do —
+// IDS(GeneratedRuleSet(5000)) runs the matcher at five thousand rules
+// without shipping the rule text through a configuration blob.
+func GeneratedRuleSet(n int) string { return idps.GeneratedSetName(n) }
 
 // IPS is an IDSMatcher stage in enforce mode (instance name "ids"):
 // packets matched by drop rules are dropped.
