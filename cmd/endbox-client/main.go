@@ -125,6 +125,7 @@ func run() error {
 	var (
 		server      = flag.String("server", "127.0.0.1:11940", "endbox-server UDP address")
 		id          = flag.String("id", "client-1", "client identifier")
+		build       = flag.String("build", "", "client enclave build version: participates in the measurement, so the server's -allow-builds/-revoke policy sees this client as that build (empty = the default build)")
 		pipeline    = flag.String("pipeline", "", "boot with this raw Click pipeline instead of the fetched configuration (validated locally; server updates still apply)")
 		pings       = flag.Int("pings", 10, "tunnelled pings to send")
 		period      = flag.Duration("interval", 500*time.Millisecond, "ping interval")
@@ -272,6 +273,7 @@ func run() error {
 
 		copts := core.ClientOptions{
 			ID:            *id,
+			BuildVersion:  *build,
 			CPU:           cpu,
 			Mode:          sgx.ModeHardware,
 			CAPub:         caPub,

@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +63,9 @@ func run() error {
 		hsBurst     = flag.Int("hs-burst", 0, "handshake token-bucket depth (0 = derived from -hs-rate)")
 		hsInflight  = flag.Int("hs-inflight", 0, "cap on concurrently in-flight handshakes (0 = unlimited)")
 		maxSessions = flag.Int("max-sessions", 0, "hard bound on established sessions (0 = unlimited)")
+		allowBuilds = flag.String("allow-builds", "", "register and allowlist enclave builds: comma-separated name=measurement pairs, measurement as 64 hex chars or @buildVersion to measure the named client-image build here (@ alone = the default build endbox-client runs); registration order is lineage order, @-entries after plain ones")
+		revoke      = flag.String("revoke", "", "revoke these registered builds (comma-separated names) after -revoke-after: their handshakes are refused and live sessions evicted")
+		revokeAfter = flag.Duration("revoke-after", 0, "delay before -revoke fires (0 = at startup)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -84,10 +88,39 @@ func run() error {
 		return fmt.Errorf("-pipeline: %w", err)
 	}
 
+	// Attested-identity policy: -allow-builds names the enclave builds
+	// that may enrol; -revoke revokes some of them live, evicting their
+	// sessions. Plain name=64hex entries carry externally computed
+	// measurements and register up front; name=@version entries need the
+	// deployment's CA key to measure the client image, so they register
+	// after the deployment exists.
+	var pol *endbox.Policy
+	var computedBuilds [][2]string
+	if *allowBuilds != "" {
+		pol = endbox.NewPolicy()
+		var hexEntries []string
+		for _, entry := range strings.Split(*allowBuilds, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(entry), "=")
+			if ok && strings.HasPrefix(val, "@") {
+				computedBuilds = append(computedBuilds, [2]string{name, strings.TrimPrefix(val, "@")})
+				continue
+			}
+			hexEntries = append(hexEntries, entry)
+		}
+		if len(hexEntries) > 0 {
+			if err := pol.RegisterSpec(strings.Join(hexEntries, ",")); err != nil {
+				return fmt.Errorf("-allow-builds: %w", err)
+			}
+		}
+	}
+	if *revoke != "" && pol == nil {
+		return fmt.Errorf("-revoke requires -allow-builds (revocation names registered builds)")
+	}
+
 	transport := endbox.NewUDPTransport(*listen)
 	transport.Logf = log.Printf
 
-	deployment, err := endbox.New(
+	opts := []endbox.Option{
 		endbox.WithTransport(transport),
 		endbox.WithShards(*shards),
 		endbox.WithUDPWorkers(*udpWorkers),
@@ -115,11 +148,47 @@ func run() error {
 		// Demo "managed network": echo packets back to the sender,
 		// answering ICMP echo requests properly.
 		endbox.WithEchoNetwork(),
-	)
+	}
+	if pol != nil {
+		opts = append(opts, endbox.WithPolicy(pol), endbox.WithSealToMeasurement())
+	}
+	deployment, err := endbox.New(opts...)
 	if err != nil {
 		return err
 	}
 	defer deployment.Close()
+
+	for _, b := range computedBuilds {
+		m, err := deployment.RegisterBuild(b[0], b[1])
+		if err != nil {
+			return fmt.Errorf("-allow-builds: %w", err)
+		}
+		version := b[1]
+		if version == "" {
+			version = "default"
+		}
+		log.Printf("registered build %s (client image %s) measurement %s", b[0], version, m)
+	}
+
+	if *revoke != "" {
+		names := strings.Split(*revoke, ",")
+		go func() {
+			if *revokeAfter > 0 {
+				time.Sleep(*revokeAfter)
+			}
+			for _, name := range names {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				if err := deployment.RevokeBuild(name); err != nil {
+					log.Printf("revoke %s: %v", name, err)
+					continue
+				}
+				log.Printf("revoked build %s: new handshakes refused, live sessions evicted", name)
+			}
+		}()
+	}
 
 	// Publish the initial configuration as version 1 so clients can fetch
 	// it (they boot with the same use case, so this also exercises the
@@ -188,6 +257,9 @@ func run() error {
 	}
 	if *failOpen {
 		arqState += ", fail-open containment"
+	}
+	if pol != nil {
+		arqState += fmt.Sprintf(", %d builds registered", len(pol.Builds()))
 	}
 	fmt.Fprintf(os.Stderr, "endbox-server listening on %s (%s, %d session shards, %d ingress workers, %s, CA ready)\n",
 		transport.Addr(), bootLabel, deployment.Server.VPN().ShardCount(), transport.Workers(), arqState)

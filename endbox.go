@@ -45,6 +45,7 @@ import (
 	"endbox/internal/config"
 	"endbox/internal/core"
 	"endbox/internal/lifecycle"
+	"endbox/internal/policy"
 	"endbox/internal/sgx"
 	"endbox/internal/udptransport"
 	"endbox/internal/vpn"
@@ -289,6 +290,49 @@ type CA = attest.CA
 
 // Certificate binds an attested enclave's keys to its measurement.
 type Certificate = attest.Certificate
+
+// Policy is the attested-identity policy registry: named enclave builds,
+// their lineage (which build supersedes which) and revocation state.
+// Create one with NewPolicy, attach it with WithPolicy, name builds with
+// Deployment.RegisterBuild, and revoke them live with
+// Deployment.RevokeBuild (new handshakes refused before crypto, live
+// sessions evicted).
+type Policy = policy.Registry
+
+// Build is one registered enclave build: an operator-chosen name bound
+// to the enclave measurement that build attests with.
+type Build = policy.Build
+
+// Measurement is an enclave code identity (MRENCLAVE): a SHA-256 digest
+// over the enclave image. It is what attestation proves and what the
+// policy engine names, targets and revokes.
+type Measurement = sgx.Measurement
+
+// ParseMeasurement parses the 64-hex-char form Measurement.String prints.
+func ParseMeasurement(s string) (Measurement, error) { return sgx.ParseMeasurement(s) }
+
+// NewPolicy creates an empty attested-identity policy registry.
+func NewPolicy() *Policy { return policy.NewRegistry() }
+
+// RevocationObserver is optionally implemented by Observers that also
+// want build-revocation events (ObserverFuncs.OnRevoked adapts a plain
+// function).
+type RevocationObserver = core.RevocationObserver
+
+// ErrBuildRevoked is returned (wrapped) when a handshake or resume is
+// refused because the client's attested enclave build was revoked.
+var ErrBuildRevoked = policy.ErrBuildRevoked
+
+// ErrSealedToOtherBuild is the typed error a client reports when an
+// update blob is measurement-sealed to a different enclave build: the
+// client cannot decrypt it and keeps its last-known-good configuration.
+var ErrSealedToOtherBuild = config.ErrSealedToOtherBuild
+
+// ErrMeasurementDenied is returned (wrapped) when the CA refuses to
+// certify an enclave whose measurement is not allowlisted — including
+// builds whose measurement was revoked. It survives errors.Is across
+// both transports.
+var ErrMeasurementDenied = attest.ErrMeasurementDenied
 
 // New builds the operator side of an EndBox system from functional
 // options. With no options it is an encrypted in-process deployment.

@@ -29,6 +29,7 @@ import (
 var (
 	ErrUnknownPlatform    = errors.New("attest: quote from unknown platform")
 	ErrBadQuote           = errors.New("attest: quote signature invalid")
+	ErrBadMeasurement     = errors.New("attest: implausible enclave measurement")
 	ErrMeasurementDenied  = errors.New("attest: measurement not in CA allowlist")
 	ErrBadCertificate     = errors.New("attest: certificate signature invalid")
 	ErrCertificateExpired = errors.New("attest: certificate expired")
@@ -159,9 +160,28 @@ func (s *IAS) Verify(q Quote) (Verdict, error) {
 	if !ed25519.Verify(pub, q.signedBytes(), q.Signature) {
 		return Verdict{}, ErrBadQuote
 	}
+	if implausibleMeasurement(q.Report.Measurement) {
+		return Verdict{}, fmt.Errorf("%w: %s", ErrBadMeasurement, q.Report.Measurement)
+	}
 	v := Verdict{OK: true, Measurement: q.Report.Measurement, UserData: q.Report.UserData}
 	v.Signature = ed25519.Sign(s.priv, v.signedBytes())
 	return v, nil
+}
+
+// implausibleMeasurement rejects measurements no real Image.Measure could
+// produce: the all-zero value (unset memory) and the all-ones value (the
+// classic garbage fill). A SHA-256 output hitting either is negligible, so
+// quotes carrying them are forgeries or corruption, never enclaves.
+func implausibleMeasurement(m sgx.Measurement) bool {
+	if m.IsZero() {
+		return true
+	}
+	for _, b := range m {
+		if b != 0xff {
+			return false
+		}
+	}
+	return true
 }
 
 // VerifyVerdict authenticates a verdict as coming from the IAS.

@@ -335,3 +335,79 @@ func TestSerialNumbersIncrease(t *testing.T) {
 		last = prov.Certificate.Serial
 	}
 }
+
+// TestCertificateRenewal covers the renewal path expiry forces: the old
+// certificate lapses, a fresh enrolment under the same (still allowlisted)
+// measurement issues a new certificate valid in the new window, with a
+// later serial — the old one stays dead.
+func TestCertificateRenewal(t *testing.T) {
+	a := newEnclaveActor(t, "cpu-renew", "1.0.0")
+	qe, _, ca := testPKI(t, a)
+	ca.SetLifetime(time.Hour)
+	base := time.Unix(50000, 0)
+	now := base
+	ca.SetTimeSource(func() time.Time { return now })
+
+	quote, err := qe.Quote(a.report(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := ca.Enroll(quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two hours later the first certificate is dead...
+	now = base.Add(2 * time.Hour)
+	if err := first.Certificate.Verify(ca.PublicKey(), now); !errors.Is(err, ErrCertificateExpired) {
+		t.Fatalf("old cert after lifetime: err = %v, want ErrCertificateExpired", err)
+	}
+	// ...and renewal is just enrolment again: same quote, fresh window.
+	renewed, err := ca.Enroll(quote)
+	if err != nil {
+		t.Fatalf("renewal enrolment: %v", err)
+	}
+	if err := renewed.Certificate.Verify(ca.PublicKey(), now); err != nil {
+		t.Fatalf("renewed cert invalid: %v", err)
+	}
+	if renewed.Certificate.Serial <= first.Certificate.Serial {
+		t.Fatalf("renewed serial %d not after %d", renewed.Certificate.Serial, first.Certificate.Serial)
+	}
+	// The renewed certificate does not resurrect the old one.
+	if err := first.Certificate.Verify(ca.PublicKey(), now); !errors.Is(err, ErrCertificateExpired) {
+		t.Fatalf("old cert revived: err = %v", err)
+	}
+}
+
+// TestVerifyRejectsImplausibleMeasurement pins the quote-verification
+// gate against forged identities: even a quote correctly signed by a
+// registered platform key is rejected when it carries a measurement no
+// real enclave build could hash to — all-zero (unset memory) or all-ones
+// (garbage fill). This models a compromised platform key, the one place
+// the measurement is not backed by a real enclave.
+func TestVerifyRejectsImplausibleMeasurement(t *testing.T) {
+	ias, err := NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias.RegisterPlatformKey("stolen-platform", pub)
+
+	var zero, ones sgx.Measurement
+	for i := range ones {
+		ones[i] = 0xff
+	}
+	for _, m := range []sgx.Measurement{zero, ones} {
+		q := Quote{
+			Report:     sgx.Report{Measurement: m, UserData: []byte("keys")},
+			PlatformID: "stolen-platform",
+		}
+		q.Signature = ed25519.Sign(priv, q.signedBytes())
+		if _, err := ias.Verify(q); !errors.Is(err, ErrBadMeasurement) {
+			t.Errorf("measurement %s: err = %v, want ErrBadMeasurement", m, err)
+		}
+	}
+}

@@ -5,11 +5,14 @@ import (
 	"crypto/cipher"
 	"crypto/ecdh"
 	"crypto/ed25519"
+	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
 	"fmt"
 	"sync"
 	"time"
+
+	"endbox/internal/sgx"
 )
 
 // DefaultCertLifetime bounds certificate validity; enclaves re-attest after
@@ -31,9 +34,13 @@ type CA struct {
 	mu        sync.Mutex
 	allowed   map[string]bool // hex measurement -> allowed
 	sharedKey []byte
-	serial    uint64
-	lifetime  time.Duration
-	now       func() time.Time
+	// configMaster roots the per-measurement configuration keys: each
+	// enclave build's key is derived from it and the build's measurement,
+	// so a config sealed to build B is unopenable by any other build.
+	configMaster []byte
+	serial       uint64
+	lifetime     time.Duration
+	now          func() time.Time
 }
 
 // NewCA creates a CA trusting the given IAS, with a freshly generated
@@ -47,14 +54,19 @@ func NewCA(ias *IAS) (*CA, error) {
 	if _, err := rand.Read(shared); err != nil {
 		return nil, fmt.Errorf("attest: generate shared key: %w", err)
 	}
+	master := make([]byte, SharedKeySize)
+	if _, err := rand.Read(master); err != nil {
+		return nil, fmt.Errorf("attest: generate config master key: %w", err)
+	}
 	return &CA{
-		ias:       ias,
-		priv:      priv,
-		pub:       pub,
-		allowed:   make(map[string]bool),
-		sharedKey: shared,
-		lifetime:  DefaultCertLifetime,
-		now:       time.Now,
+		ias:          ias,
+		priv:         priv,
+		pub:          pub,
+		allowed:      make(map[string]bool),
+		sharedKey:    shared,
+		configMaster: master,
+		lifetime:     DefaultCertLifetime,
+		now:          time.Now,
 	}, nil
 }
 
@@ -90,17 +102,54 @@ func (ca *CA) SetTimeSource(now func() time.Time) {
 
 // AllowMeasurement adds an enclave build to the set of known-good
 // measurements. Operators update this when rolling out new client builds.
-func (ca *CA) AllowMeasurement(m fmt.Stringer) {
+func (ca *CA) AllowMeasurement(m sgx.Measurement) {
 	ca.mu.Lock()
 	defer ca.mu.Unlock()
 	ca.allowed[m.String()] = true
 }
 
 // RevokeMeasurement removes a build, e.g. after a vulnerability disclosure.
-func (ca *CA) RevokeMeasurement(m fmt.Stringer) {
+// Certificates already issued for the build stay valid until they expire;
+// live-session revocation is the policy engine's job (internal/policy).
+func (ca *CA) RevokeMeasurement(m sgx.Measurement) {
 	ca.mu.Lock()
 	defer ca.mu.Unlock()
 	delete(ca.allowed, m.String())
+}
+
+// AllowMeasurementOf admits whatever m's String() prints.
+//
+// Deprecated: use AllowMeasurement with a typed sgx.Measurement — the
+// Stringer form let arbitrary strings into the allowlist, where they could
+// never match a real enclave identity.
+func (ca *CA) AllowMeasurementOf(m fmt.Stringer) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	ca.allowed[m.String()] = true
+}
+
+// RevokeMeasurementOf removes whatever m's String() prints.
+//
+// Deprecated: use RevokeMeasurement with a typed sgx.Measurement.
+func (ca *CA) RevokeMeasurementOf(m fmt.Stringer) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	delete(ca.allowed, m.String())
+}
+
+// MeasurementKey derives the configuration key for one enclave build:
+// HMAC(configMaster, measurement). Deterministic per (CA, build), so the
+// operator can seal an update to a build at any time, and never stored —
+// re-derived on demand and provisioned only to enclaves that attested
+// exactly that measurement.
+func (ca *CA) MeasurementKey(m sgx.Measurement) []byte {
+	ca.mu.Lock()
+	master := ca.configMaster
+	ca.mu.Unlock()
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte("endbox-measurement-key-v1:"))
+	mac.Write(m[:])
+	return mac.Sum(nil)
 }
 
 // Provision is the CA's enrolment answer (paper Fig. 4 step 6): the signed
@@ -112,6 +161,14 @@ type Provision struct {
 	EphemeralPub []byte `json:"ephemeral_pub"`
 	// SealedKey is nonce || AES-256-GCM(sharedKey) under the ECDH secret.
 	SealedKey []byte `json:"sealed_key"`
+	// BuildKeyPub and SealedBuildKey carry the per-measurement
+	// configuration key (CA.MeasurementKey of the attested measurement),
+	// sealed to the enclave's box key exactly like SealedKey. Only
+	// enclaves that attested measurement M ever receive M's key, which is
+	// what makes measurement-sealed configuration updates (config.SealTo)
+	// cryptographically unopenable by other builds.
+	BuildKeyPub    []byte `json:"build_key_pub,omitempty"`
+	SealedBuildKey []byte `json:"sealed_build_key,omitempty"`
 }
 
 // Enroll runs the server side of remote attestation: relay the quote to the
@@ -160,7 +217,17 @@ func (ca *CA) Enroll(q Quote) (*Provision, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Provision{Certificate: cert, EphemeralPub: ephPub, SealedKey: sealed}, nil
+	buildPub, sealedBuild, err := boxSeal(keys.BoxPub, ca.MeasurementKey(verdict.Measurement))
+	if err != nil {
+		return nil, err
+	}
+	return &Provision{
+		Certificate:    cert,
+		EphemeralPub:   ephPub,
+		SealedKey:      sealed,
+		BuildKeyPub:    buildPub,
+		SealedBuildKey: sealedBuild,
+	}, nil
 }
 
 // IssueDirect signs a certificate without attestation — the ordinary

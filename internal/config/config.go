@@ -33,6 +33,12 @@ var (
 	ErrStaleVersion    = errors.New("config: version not newer than current")
 	ErrDecrypt         = errors.New("config: payload decryption failed")
 	ErrNotFound        = errors.New("config: version not found")
+	// ErrSealedToOtherBuild marks an update encrypted under another enclave
+	// build's measurement key: this enclave is not the build the update was
+	// sealed to, and the right reaction is a nack — keep serving on the
+	// last-known-good configuration. Distinct from ErrDecrypt (key material
+	// present but wrong) so clients can tell targeting from corruption.
+	ErrSealedToOtherBuild = errors.New("config: update sealed to another enclave build")
 )
 
 // Update is one middlebox configuration update: the Click graph, its rule
@@ -58,12 +64,18 @@ func (u *Update) GracePeriod() time.Duration {
 type Envelope struct {
 	Version   uint64 `json:"version"`
 	Encrypted bool   `json:"encrypted"`
+	// SealedTo, when non-empty, is the hex measurement of the one enclave
+	// build whose derived key encrypts the payload (see SealTo). It rides
+	// outside the ciphertext so a mistargeted client fails fast with
+	// ErrSealedToOtherBuild instead of a bare decryption error, and inside
+	// the signature so it cannot be stripped or swapped in transit.
+	SealedTo  string `json:"sealed_to,omitempty"`
 	Payload   []byte `json:"payload"`
 	Signature []byte `json:"signature"`
 }
 
-func envelopeSignedBytes(version uint64, encrypted bool, payload []byte) []byte {
-	buf := make([]byte, 0, 9+len(payload))
+func envelopeSignedBytes(version uint64, encrypted bool, sealedTo string, payload []byte) []byte {
+	buf := make([]byte, 0, 17+len(sealedTo)+len(payload))
 	var v [8]byte
 	binary.BigEndian.PutUint64(v[:], version)
 	buf = append(buf, v[:]...)
@@ -72,6 +84,9 @@ func envelopeSignedBytes(version uint64, encrypted bool, payload []byte) []byte 
 	} else {
 		buf = append(buf, 0)
 	}
+	binary.BigEndian.PutUint64(v[:], uint64(len(sealedTo)))
+	buf = append(buf, v[:]...)
+	buf = append(buf, sealedTo...)
 	return append(buf, payload...)
 }
 
@@ -82,13 +97,26 @@ type SignFunc func(data []byte) []byte
 // sharedKey (nil leaves the payload readable, the ISP-scenario choice), and
 // sign. The administrator runs this (paper Fig. 5 step 1).
 func Seal(u *Update, sign SignFunc, sharedKey []byte) ([]byte, error) {
+	return SealTo(u, sign, sharedKey, "")
+}
+
+// SealTo is Seal's measurement-sealed mode: with a non-empty sealedTo (the
+// hex measurement of one enclave build) the payload is encrypted under that
+// build's key — CA.MeasurementKey, which the CA provisions only to enclaves
+// that attested exactly that measurement — so no other build can open it,
+// cryptographically and not merely by policy. An empty sealedTo is plain
+// Seal.
+func SealTo(u *Update, sign SignFunc, key []byte, sealedTo string) ([]byte, error) {
+	if sealedTo != "" && len(key) == 0 {
+		return nil, fmt.Errorf("config: sealing to measurement %s requires a key", sealedTo)
+	}
 	payload, err := json.Marshal(u)
 	if err != nil {
 		return nil, fmt.Errorf("config: marshal update: %w", err)
 	}
 	encrypted := false
-	if len(sharedKey) > 0 {
-		payload, err = encrypt(sharedKey, payload)
+	if len(key) > 0 {
+		payload, err = encrypt(key, payload)
 		if err != nil {
 			return nil, err
 		}
@@ -97,8 +125,9 @@ func Seal(u *Update, sign SignFunc, sharedKey []byte) ([]byte, error) {
 	env := Envelope{
 		Version:   u.Version,
 		Encrypted: encrypted,
+		SealedTo:  sealedTo,
 		Payload:   payload,
-		Signature: sign(envelopeSignedBytes(u.Version, encrypted, payload)),
+		Signature: sign(envelopeSignedBytes(u.Version, encrypted, sealedTo, payload)),
 	}
 	blob, err := json.Marshal(env)
 	if err != nil {
@@ -110,17 +139,37 @@ func Seal(u *Update, sign SignFunc, sharedKey []byte) ([]byte, error) {
 // Open verifies and decodes an update blob. It checks the CA signature,
 // decrypts with sharedKey when the payload is encrypted, and verifies the
 // inner version matches the envelope. In EndBox this runs inside the
-// enclave (paper Fig. 5 step 8).
+// enclave (paper Fig. 5 step 8). Measurement-sealed blobs fail with
+// ErrSealedToOtherBuild — use OpenFor with the enclave's own identity and
+// provisioned build key.
 func Open(blob []byte, caPub ed25519.PublicKey, sharedKey []byte) (*Update, error) {
+	return OpenFor(blob, caPub, sharedKey, "", nil)
+}
+
+// OpenFor is Open for an enclave that knows its own measurement: a
+// measurement-sealed envelope opens only when the enclave's measurement
+// matches the envelope's SealedTo, using the per-build key the CA
+// provisioned at enrolment; any other build gets ErrSealedToOtherBuild
+// (and could not decrypt the payload even if it ignored the field).
+func OpenFor(blob []byte, caPub ed25519.PublicKey, sharedKey []byte, measurement string, buildKey []byte) (*Update, error) {
 	var env Envelope
 	if err := json.Unmarshal(blob, &env); err != nil {
 		return nil, fmt.Errorf("config: parse envelope: %w", err)
 	}
-	if !attest.VerifyConfigSig(caPub, envelopeSignedBytes(env.Version, env.Encrypted, env.Payload), env.Signature) {
+	if !attest.VerifyConfigSig(caPub, envelopeSignedBytes(env.Version, env.Encrypted, env.SealedTo, env.Payload), env.Signature) {
 		return nil, ErrBadSignature
 	}
 	payload := env.Payload
-	if env.Encrypted {
+	if env.SealedTo != "" {
+		if measurement == "" || env.SealedTo != measurement || len(buildKey) == 0 {
+			return nil, fmt.Errorf("%w: sealed to %s", ErrSealedToOtherBuild, env.SealedTo)
+		}
+		var err error
+		payload, err = decrypt(buildKey, payload)
+		if err != nil {
+			return nil, err
+		}
+	} else if env.Encrypted {
 		var err error
 		payload, err = decrypt(sharedKey, payload)
 		if err != nil {

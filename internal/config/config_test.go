@@ -1,12 +1,14 @@
 package config
 
 import (
+	"encoding/json"
 	"errors"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"endbox/internal/attest"
+	"endbox/internal/sgx"
 )
 
 func testCA(t *testing.T) *attest.CA {
@@ -396,5 +398,82 @@ func TestPolicySupersededTargetKeepsGrace(t *testing.T) {
 	}
 	if !p.AcceptsClient("canary", 6) {
 		t.Error("canary rejected at the promoted version")
+	}
+}
+
+func TestSealToMeasurement(t *testing.T) {
+	ca := testCA(t)
+	var v1, v2 sgx.Measurement
+	v1[0], v2[0] = 1, 2
+	key2 := ca.MeasurementKey(v2)
+
+	blob, err := SealTo(testUpdate(3), ca.SignConfig, key2, v2.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsSub(blob, []byte("FromDevice")) {
+		t.Error("measurement-sealed envelope leaks configuration text")
+	}
+
+	// The targeted build opens it with its provisioned key.
+	u, err := OpenFor(blob, ca.PublicKey(), nil, v2.String(), key2)
+	if err != nil {
+		t.Fatalf("OpenFor(target build): %v", err)
+	}
+	if u.Version != 3 {
+		t.Errorf("version = %d", u.Version)
+	}
+
+	// Every other identity fails with the typed targeting error — a build
+	// with the wrong measurement, a build with no build key at all (older
+	// CA), and the measurement-blind Open.
+	if _, err := OpenFor(blob, ca.PublicKey(), nil, v1.String(), ca.MeasurementKey(v1)); !errors.Is(err, ErrSealedToOtherBuild) {
+		t.Errorf("other build: err = %v, want ErrSealedToOtherBuild", err)
+	}
+	if _, err := OpenFor(blob, ca.PublicKey(), nil, v2.String(), nil); !errors.Is(err, ErrSealedToOtherBuild) {
+		t.Errorf("no build key: err = %v, want ErrSealedToOtherBuild", err)
+	}
+	if _, err := Open(blob, ca.PublicKey(), nil); !errors.Is(err, ErrSealedToOtherBuild) {
+		t.Errorf("Open: err = %v, want ErrSealedToOtherBuild", err)
+	}
+	// Matching measurement but a wrong key is corruption, not targeting.
+	if _, err := OpenFor(blob, ca.PublicKey(), nil, v2.String(), make([]byte, len(key2))); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("wrong build key: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestSealedToFieldTamperProof(t *testing.T) {
+	ca := testCA(t)
+	var v1, v2 sgx.Measurement
+	v1[0], v2[0] = 1, 2
+	blob, err := SealTo(testUpdate(4), ca.SignConfig, ca.MeasurementKey(v2), v2.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-pointing SealedTo at another build (or stripping it) must break
+	// the signature: the field is inside the signed bytes.
+	var env Envelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		t.Fatal(err)
+	}
+	for _, sealedTo := range []string{v1.String(), ""} {
+		forged := env
+		forged.SealedTo = sealedTo
+		reblob, err := json.Marshal(forged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenFor(reblob, ca.PublicKey(), nil, v1.String(), ca.MeasurementKey(v1)); !errors.Is(err, ErrBadSignature) {
+			t.Errorf("SealedTo swapped to %q: err = %v, want ErrBadSignature", sealedTo, err)
+		}
+	}
+}
+
+func TestSealToRequiresKey(t *testing.T) {
+	ca := testCA(t)
+	var v2 sgx.Measurement
+	v2[0] = 2
+	if _, err := SealTo(testUpdate(5), ca.SignConfig, nil, v2.String()); err == nil {
+		t.Fatal("SealTo without a key accepted")
 	}
 }

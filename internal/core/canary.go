@@ -242,7 +242,13 @@ func (d *Deployment) RolloutCanary(ctx context.Context, r CanaryRollout) (Canary
 		ClickConfig:  cfg,
 		RuleSets:     r.RuleSets,
 	}
-	if err := d.Server.PublishTargeted(ctx, u, cohort); err != nil {
+	sealTo, sealed := d.sealTarget(r.Target)
+	if sealed {
+		err = d.Server.PublishTargetedSealed(ctx, u, cohort, sealTo)
+	} else {
+		err = d.Server.PublishTargeted(ctx, u, cohort)
+	}
+	if err != nil {
 		return CanaryResult{}, err
 	}
 	// Same churn race as Rollout: an ID that turned over between the
@@ -299,8 +305,15 @@ func (d *Deployment) RolloutCanary(ctx context.Context, r CanaryRollout) (Canary
 		RuleSets:     lkg.RuleSets,
 	}
 	// The rollback must go out even when the caller's context is done —
-	// use a detached context so cancellation cannot strand the cohort.
-	if err := d.Server.PublishTargeted(context.WithoutCancel(ctx), rb, cohort); err != nil {
+	// use a detached context so cancellation cannot strand the cohort. It
+	// is sealed exactly like the staging publish: the cohort is all one
+	// build, and the rollback content must stay as leak-free as the canary.
+	if sealed {
+		err = d.Server.PublishTargetedSealed(context.WithoutCancel(ctx), rb, cohort, sealTo)
+	} else {
+		err = d.Server.PublishTargeted(context.WithoutCancel(ctx), rb, cohort)
+	}
+	if err != nil {
 		return res, fmt.Errorf("core: canary rollback failed: %w (cohort may be stranded on version %d)", err, r.Version)
 	}
 	health, nacks, _, _ := w.verdict()

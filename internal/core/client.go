@@ -34,6 +34,11 @@ type ClientOptions struct {
 	TransitionCost time.Duration
 	// CAPub is the CA public key baked into the enclave image. Required.
 	CAPub ed25519.PublicKey
+	// BuildVersion selects the enclave image build the client runs
+	// (ClientImageVersion); the empty string is the default build. The
+	// version changes the enclave measurement, so a build must be
+	// allowlisted (policy registry / CA) before its clients can enrol.
+	BuildVersion string
 	// QE is the local platform's Quoting Enclave. Required unless
 	// SealedIdentity is provided.
 	QE *attest.QuotingEnclave
@@ -227,7 +232,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 	alerts := &alertQueue{fn: alert}
 	faults := &faultQueue{}
 
-	encl, err := opts.CPU.CreateEnclave(ClientImage(opts.CAPub), sgx.Config{
+	encl, err := opts.CPU.CreateEnclave(ClientImageVersion(opts.CAPub, opts.BuildVersion), sgx.Config{
 		Mode:           opts.Mode,
 		BurnCPU:        opts.BurnCPU,
 		TransitionCost: opts.TransitionCost,

@@ -12,6 +12,7 @@ import (
 	"endbox/internal/idps"
 	"endbox/internal/lifecycle"
 	"endbox/internal/packet"
+	"endbox/internal/policy"
 	"endbox/internal/sgx"
 	"endbox/internal/vpn"
 	"endbox/internal/wire"
@@ -97,6 +98,21 @@ type DeploymentOptions struct {
 	// the life of the server process; a restart always invalidates all
 	// tickets because the sealing key is in-memory only).
 	TicketTTL time.Duration
+	// Policy is the attested-identity policy registry: named enclave
+	// builds, lineage and revocation. When set, every build registered at
+	// NewDeployment time is allowlisted with the CA (RegisterBuild handles
+	// later ones), measurement selectors and MinBuild resolve against it,
+	// and Revoke propagates live — new handshakes and resumes from the
+	// revoked build are refused before any crypto, and its live sessions
+	// are evicted (RevocationObserver.SessionRevoked). Nil disables
+	// attested-identity policy (only the default client build may enrol).
+	Policy *policy.Registry
+	// SealToMeasurement opts targeted rollouts into measurement-sealed
+	// update blobs: when a Rollout's selector names exactly one
+	// measurement, the update is encrypted under that build's
+	// CA-derived key, so no other build can open it (fail-safe: they keep
+	// their last-known-good configuration).
+	SealToMeasurement bool
 	// FailurePolicy tunes element fault containment in every client
 	// enclave. The zero value selects the deployment default: containment
 	// on, fail-closed, stock trip threshold and cooldown. Set FailOpen to
@@ -153,6 +169,11 @@ type ClientSpec struct {
 	// FlowTTL overrides the deployment's flow idle timeout for this
 	// client (0 inherits DeploymentOptions.FlowTTL).
 	FlowTTL time.Duration
+	// BuildVersion selects the enclave image build this client runs
+	// (ClientImageVersion); "" is the default build ("1.0.0"). Non-default
+	// builds change the enclave measurement and must be allowlisted first
+	// (Deployment.RegisterBuild), or enrolment is refused.
+	BuildVersion string
 }
 
 // ErrBadPipeline is the typed error AddClient and Rollout return for
@@ -272,6 +293,16 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 	// The operator approves the client enclave build once, up front; every
 	// platform enrolling through the transport is checked against it.
 	ca.AllowMeasurement(ClientImage(ca.PublicKey()).Measure())
+	// Builds registered with the policy before the deployment existed are
+	// approved too (minus already-revoked ones); RegisterBuild covers
+	// builds named later.
+	if opts.Policy != nil {
+		for _, b := range opts.Policy.Builds() {
+			if !b.Revoked {
+				ca.AllowMeasurement(b.Measurement)
+			}
+		}
+	}
 
 	d := &Deployment{
 		IAS:      ias,
@@ -330,11 +361,20 @@ func NewDeployment(opts DeploymentOptions) (*Deployment, error) {
 		TicketTTL:      opts.TicketTTL,
 		OnNack:         d.onNack,
 		OnHealth:       d.onHealth,
+		Policy:         opts.Policy,
 	})
 	if err != nil {
 		return nil, err
 	}
 	d.Server = srv
+
+	// Revocation propagates live: the CA stops certifying the build, the
+	// VPN server refuses its handshakes (via the policy gate wired above)
+	// and its established sessions are evicted. Subscribed after the
+	// server exists so the callback can reach the session table.
+	if opts.Policy != nil {
+		opts.Policy.OnRevoke(d.revokeBuild)
+	}
 
 	if err := d.transport.BindServer(d); err != nil {
 		return nil, err
@@ -386,6 +426,53 @@ func (d *Deployment) SweepSessions() []string {
 	}
 	return evicted
 }
+
+// revokeBuild propagates one build revocation (the policy registry's
+// OnRevoke callback): the CA stops certifying the measurement, and every
+// live session running the build is evicted and its deployment state
+// reclaimed. New handshakes and resumes are refused by the policy gate
+// wired into the VPN server. Runs on the Revoke caller's goroutine,
+// outside the registry lock.
+func (d *Deployment) revokeBuild(b policy.Build) {
+	d.CA.RevokeMeasurement(b.Measurement)
+	for _, id := range d.Server.VPN().EvictRevoked(b.Measurement) {
+		d.reclaim(id)
+		if ro, ok := d.observe().(RevocationObserver); ok {
+			ro.SessionRevoked(id, b.Name)
+		}
+	}
+}
+
+// RegisterBuild names a client build in the policy registry and approves
+// its measurement with the CA, returning the measurement — the one call
+// that turns a ClientSpec.BuildVersion into an enrollable, targetable,
+// revocable identity. buildVersion "" names the default build.
+func (d *Deployment) RegisterBuild(name, buildVersion string) (sgx.Measurement, error) {
+	if d.opts.Policy == nil {
+		return sgx.Measurement{}, fmt.Errorf("core: deployment has no policy registry (set DeploymentOptions.Policy)")
+	}
+	m := ClientImageVersion(d.CA.PublicKey(), buildVersion).Measure()
+	if err := d.opts.Policy.Register(name, m); err != nil {
+		return sgx.Measurement{}, err
+	}
+	d.CA.AllowMeasurement(m)
+	return m, nil
+}
+
+// RevokeBuild revokes a named build: new handshakes and resumes from it
+// are refused before any crypto, its live sessions are evicted
+// (RevocationObserver.SessionRevoked fires per session), and the CA stops
+// certifying it. Shorthand for Policy().Revoke(name).
+func (d *Deployment) RevokeBuild(name string) error {
+	if d.opts.Policy == nil {
+		return fmt.Errorf("core: deployment has no policy registry (set DeploymentOptions.Policy)")
+	}
+	return d.opts.Policy.Revoke(name)
+}
+
+// Policy returns the deployment's attested-identity policy registry (nil
+// when the deployment was built without one).
+func (d *Deployment) Policy() *policy.Registry { return d.opts.Policy }
 
 // reclaim releases the deployment-side state of a session the VPN layer
 // already evicted. Unlike RemoveClient it must not touch the VPN session
@@ -496,10 +583,16 @@ func (d *Deployment) admit(clientID string) (func(), error) {
 	return done, nil
 }
 
-// AcceptHello implements ServerEndpoint. The admission gate runs first:
-// a throttled or full server refuses here, before certificate
-// verification, ECDH and ticket sealing burn any CPU.
+// AcceptHello implements ServerEndpoint. The revocation and admission
+// gates run first: a revoked build or a throttled/full server refuses
+// here, before certificate verification, ECDH and ticket sealing burn any
+// CPU (and before a revoked build can burn an admission token).
 func (d *Deployment) AcceptHello(h *vpn.ClientHello) (*vpn.ServerHello, error) {
+	if d.opts.Policy != nil && h != nil && h.Cert != nil {
+		if err := d.opts.Policy.CheckMeasurement(h.Cert.Measurement); err != nil {
+			return nil, err
+		}
+	}
 	done, err := d.admit(h.ClientID)
 	if err != nil {
 		return nil, err
@@ -723,6 +816,7 @@ func (d *Deployment) buildClient(ctx context.Context, link ClientLink, id string
 		BurnCPU:        spec.BurnCPU,
 		TransitionCost: spec.TransitionCost,
 		CAPub:          caPub,
+		BuildVersion:   spec.BuildVersion,
 		QE:             qe,
 		Enroll: func(q attest.Quote) (*attest.Provision, error) {
 			return link.Enroll(ctx, q)
@@ -921,6 +1015,7 @@ func (d *Deployment) buildResumedClient(ctx context.Context, link ClientLink, id
 		BurnCPU:            spec.BurnCPU,
 		TransitionCost:     spec.TransitionCost,
 		CAPub:              d.CA.PublicKey(),
+		BuildVersion:       spec.BuildVersion,
 		SealedIdentity:     state.SealedIdentity,
 		ClickConfig:        cfg,
 		RuleSets:           ruleSets,
@@ -954,10 +1049,27 @@ func (d *Deployment) buildResumedClient(ctx context.Context, link ClientLink, id
 }
 
 // LifecycleStats snapshots the deployment's session lifecycle counters:
-// active/tracked sessions, evictions, resumes, takeovers, and the
-// admission gate's admitted/throttled/refused tallies.
+// active/tracked sessions, evictions, resumes, takeovers, revocations,
+// per-build session counts, and the admission gate's
+// admitted/throttled/refused tallies.
 func (d *Deployment) LifecycleStats() lifecycle.Stats {
 	st := lifecycle.Stats{Sessions: d.Server.VPN().SessionStats()}
+	if counts := d.Server.VPN().SessionsByMeasurement(); len(counts) > 0 {
+		byBuild := make(map[string]int, len(counts))
+		for m, n := range counts {
+			if m.IsZero() {
+				continue // pre-policy sessions carry no measurement
+			}
+			name := m.String()
+			if d.opts.Policy != nil {
+				name = d.opts.Policy.NameOf(m)
+			}
+			byBuild[name] = n
+		}
+		if len(byBuild) > 0 {
+			st.Sessions.ByBuild = byBuild
+		}
+	}
 	if d.admission != nil {
 		st.Admission = d.admission.Stats()
 	}

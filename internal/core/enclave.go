@@ -35,9 +35,21 @@ import (
 // carries the CA public key, pre-deployed at compile time to prevent MITM
 // attacks during bootstrap (paper §III-C).
 func ClientImage(caPub ed25519.PublicKey) sgx.Image {
+	return ClientImageVersion(caPub, "")
+}
+
+// ClientImageVersion is the enclave image of a specific client build:
+// the version string participates in the measurement, so every build the
+// operator ships has a distinct code identity the policy registry can
+// name, target and revoke. The empty version selects the default build
+// ("1.0.0", identical to ClientImage).
+func ClientImageVersion(caPub ed25519.PublicKey, version string) sgx.Image {
+	if version == "" {
+		version = "1.0.0"
+	}
 	return sgx.Image{
 		Name:     "endbox-client",
-		Version:  "1.0.0",
+		Version:  version,
 		Code:     []byte("openvpn-sensitive+talos+click+sgxsdk"),
 		InitData: append([]byte("ca-public-key:"), caPub...),
 	}
@@ -89,6 +101,11 @@ type enclaveState struct {
 	boxPriv  *ecdh.PrivateKey
 	cert     *attest.Certificate
 	shared   []byte
+	// buildKey is the per-measurement configuration key the CA provisioned
+	// alongside the fleet-shared key: updates sealed to this enclave's
+	// build decrypt under it, and only enclaves attesting the same
+	// measurement ever receive it (config.SealTo / OpenFor).
+	buildKey []byte
 
 	session *wire.Session
 	// master is the current VPN session's master secret, retained for
@@ -127,6 +144,7 @@ type sealedIdentity struct {
 	BoxPriv  []byte `json:"box_priv"`
 	Cert     []byte `json:"cert"`
 	Shared   []byte `json:"shared"`
+	BuildKey []byte `json:"build_key,omitempty"`
 }
 
 // provisionArg crosses the boundary for ecallProvision.
@@ -240,8 +258,19 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 		if err != nil {
 			return nil, err
 		}
+		// The per-measurement configuration key rides the same provision
+		// under its own box: older CAs omit it, and the client then simply
+		// cannot open build-sealed updates (fail-safe: it keeps LKG).
+		var buildKey []byte
+		if len(a.prov.BuildKeyPub) > 0 {
+			buildKey, err = attest.BoxOpen(st.boxPriv, a.prov.BuildKeyPub, a.prov.SealedBuildKey)
+			if err != nil {
+				return nil, err
+			}
+		}
 		st.cert = a.prov.Certificate
 		st.shared = shared
+		st.buildKey = buildKey
 		// Seal the identity so attestation happens only once per machine.
 		certRaw, err := st.cert.Marshal()
 		if err != nil {
@@ -252,6 +281,7 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 			BoxPriv:  st.boxPriv.Bytes(),
 			Cert:     certRaw,
 			Shared:   shared,
+			BuildKey: buildKey,
 		})
 		if err != nil {
 			return nil, err
@@ -289,6 +319,7 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 		st.boxPriv = boxPriv
 		st.cert = cert
 		st.shared = id.Shared
+		st.buildKey = id.BuildKey
 		return nil, nil
 	}); err != nil {
 		return err
@@ -553,7 +584,11 @@ func registerEcalls(e *sgx.Enclave, caPub ed25519.PublicKey, alert func(click.Al
 			return nil, fmt.Errorf("core: bad apply-config argument")
 		}
 		t0 := time.Now()
-		u, err := config.Open(a.blob, st.caPub, st.shared)
+		// OpenFor enforces measurement sealing with this enclave's own
+		// attested identity: an update sealed to another build fails here
+		// with ErrSealedToOtherBuild — before the version check, so the
+		// applied version (and LKG) are untouched.
+		u, err := config.OpenFor(a.blob, st.caPub, st.shared, ctx.Measurement().String(), st.buildKey)
 		if err != nil {
 			return nil, err
 		}

@@ -8,26 +8,44 @@ import (
 
 	"endbox/internal/click"
 	"endbox/internal/config"
+	"endbox/internal/policy"
+	"endbox/internal/sgx"
 )
 
 // Selector picks the clients a targeted rollout applies to. The zero
-// Selector matches every connected client (a global rollout). Both
-// restrictions compose: a client matches when its ID is in IDs (or IDs is
-// empty) AND every Labels entry equals the client's label.
+// Selector matches every connected client (a global rollout). All
+// restrictions compose (logical AND): a client matches when its ID is in
+// IDs (or IDs is empty), every Labels entry equals the client's label,
+// its attested measurement is in Measurements (or Measurements is empty)
+// and its build is at or after MinBuild in the policy lineage (or
+// MinBuild is empty).
 type Selector struct {
 	// IDs restricts the target set to these client IDs.
 	IDs []string
 	// Labels must all be present, with equal values, in a client's
 	// ClientSpec.Labels.
 	Labels map[string]string
+	// Measurements restricts the target set to clients whose verified
+	// enclave measurement (recorded at handshake or resume) is one of
+	// these — attested targeting: a client cannot label itself into the
+	// set, the measurement was proven by the attestation chain.
+	Measurements []sgx.Measurement
+	// MinBuild restricts the target set to clients whose build sits at or
+	// after the named build in the policy registry's lineage. Requires a
+	// deployment policy registry; without one (or with an unregistered
+	// name) it matches nothing.
+	MinBuild string
 }
 
 // Empty reports whether the selector matches everything (global rollout).
-func (s Selector) Empty() bool { return len(s.IDs) == 0 && len(s.Labels) == 0 }
+func (s Selector) Empty() bool {
+	return len(s.IDs) == 0 && len(s.Labels) == 0 && len(s.Measurements) == 0 && s.MinBuild == ""
+}
 
-// matches reports whether a client with the given ID and labels is
-// selected.
-func (s Selector) matches(id string, labels map[string]string) bool {
+// matches reports whether a client with the given ID, labels and attested
+// measurement is selected. pol resolves MinBuild (nil: MinBuild matches
+// nothing).
+func (s Selector) matches(id string, labels map[string]string, meas sgx.Measurement, pol *policy.Registry) bool {
 	if len(s.IDs) > 0 {
 		found := false
 		for _, want := range s.IDs {
@@ -42,6 +60,23 @@ func (s Selector) matches(id string, labels map[string]string) bool {
 	}
 	for k, v := range s.Labels {
 		if labels[k] != v {
+			return false
+		}
+	}
+	if len(s.Measurements) > 0 {
+		found := false
+		for _, want := range s.Measurements {
+			if want == meas {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if s.MinBuild != "" {
+		if pol == nil || !pol.AtLeast(meas, s.MinBuild) {
 			return false
 		}
 	}
@@ -129,7 +164,11 @@ func (d *Deployment) Rollout(ctx context.Context, r Rollout) (RolloutResult, err
 		return RolloutResult{Version: r.Version, Clients: d.connectedIDs()}, nil
 	}
 	ids, seqs := d.selectClients(r.Target)
-	if err := d.Server.PublishTargeted(ctx, u, ids); err != nil {
+	if m, ok := d.sealTarget(r.Target); ok {
+		if err := d.Server.PublishTargetedSealed(ctx, u, ids, m); err != nil {
+			return RolloutResult{}, err
+		}
+	} else if err := d.Server.PublishTargeted(ctx, u, ids); err != nil {
 		return RolloutResult{}, err
 	}
 	// Close the race with a concurrent RemoveClient (or a remove + same-ID
@@ -148,32 +187,53 @@ func (d *Deployment) Rollout(ctx context.Context, r Rollout) (RolloutResult, err
 
 // selectClients returns the sorted IDs of connected clients the selector
 // matches, plus their join generations for the post-publish race check.
+// Measurement predicates read the VPN session table's verified
+// measurement (recorded at handshake/resume), never anything the client
+// self-reported.
 func (d *Deployment) selectClients(sel Selector) ([]string, map[string]uint64) {
+	pol := d.opts.Policy
+	meas := func(id string) sgx.Measurement {
+		m, _ := d.Server.VPN().Measurement(id)
+		return m
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	ids := make([]string, 0, len(d.clients))
 	seqs := make(map[string]uint64, len(d.clients))
 	for id := range d.clients {
-		if sel.matches(id, d.labels[id]) {
+		if sel.matches(id, d.labels[id], meas(id), pol) {
 			ids = append(ids, id)
 			seqs[id] = d.joinSeq[id]
 		}
 	}
 	// Standalone clients (cmd/endbox-client) handshake over the transport
 	// without passing through AddClient, so they exist only in the VPN
-	// session table. Include them: ID and catch-all selectors must see
-	// them, though label selectors can't match (they carry no labels).
+	// session table. Include them: ID, measurement and catch-all selectors
+	// must see them, though label selectors can't match (they carry no
+	// labels).
 	for _, id := range d.Server.VPN().ClientIDs() {
 		if _, inproc := d.clients[id]; inproc {
 			continue
 		}
-		if sel.matches(id, nil) {
+		if sel.matches(id, nil, meas(id), pol) {
 			ids = append(ids, id)
 			seqs[id] = d.joinSeq[id] // 0: remote joins don't bump the generation
 		}
 	}
 	sort.Strings(ids)
 	return ids, seqs
+}
+
+// sealTarget decides whether a targeted rollout's update blob is sealed
+// to a measurement: the deployment opted in (SealToMeasurement) and the
+// selector names exactly one measurement, so the key is unambiguous. A
+// sealed blob is cryptographically unopenable by every other build — the
+// strongest form of "zero cross-build config leaks".
+func (d *Deployment) sealTarget(sel Selector) (sgx.Measurement, bool) {
+	if !d.opts.SealToMeasurement || len(sel.Measurements) != 1 || sel.Measurements[0].IsZero() {
+		return sgx.Measurement{}, false
+	}
+	return sel.Measurements[0], true
 }
 
 // connectedIDs returns every connected client ID, sorted.

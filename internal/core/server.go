@@ -14,6 +14,8 @@ import (
 	"endbox/internal/config"
 	"endbox/internal/idps"
 	"endbox/internal/packet"
+	"endbox/internal/policy"
+	"endbox/internal/sgx"
 	"endbox/internal/vpn"
 	"endbox/internal/wire"
 )
@@ -57,6 +59,10 @@ type ServerOptions struct {
 	// OnHealth receives clients' health reports (sealed FrameHealth
 	// frames): apply acks and fault notifications. Optional.
 	OnHealth func(clientID string, h vpn.HealthReport)
+	// Policy is the attested-identity policy registry. When set, the VPN
+	// server refuses handshakes and resumes from revoked builds before any
+	// certificate or signature crypto runs (the admission choke point).
+	Policy *policy.Registry
 }
 
 // Server bundles the managed network's server side: VPN endpoint,
@@ -108,6 +114,10 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		}
 	}
 
+	var gate func(m sgx.Measurement) error
+	if opts.Policy != nil {
+		gate = opts.Policy.CheckMeasurement
+	}
 	vsrv, err := vpn.NewServer(vpn.ServerOptions{
 		CAPub:      opts.CA.PublicKey(),
 		Credential: opts.CA.SignServerKey(serverPub),
@@ -123,6 +133,8 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		TicketTTL:  opts.TicketTTL,
 		OnNack:     opts.OnNack,
 		OnHealth:   opts.OnHealth,
+
+		GateMeasurement: gate,
 	})
 	if err != nil {
 		return nil, err
@@ -152,7 +164,7 @@ func (s *Server) PublishUpdate(ctx context.Context, u *config.Update) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := s.sealAndPublish(u); err != nil {
+	if err := s.sealAndPublish(u, sgx.Measurement{}); err != nil {
 		return err
 	}
 	if err := s.vpn.Policy().Announce(u.Version, u.GracePeriod()); err != nil {
@@ -175,10 +187,20 @@ func (s *Server) PublishUpdate(ctx context.Context, u *config.Update) error {
 // Untargeted clients keep being judged against the globally current
 // version. Deployment.Rollout is the public entry point.
 func (s *Server) PublishTargeted(ctx context.Context, u *config.Update, clientIDs []string) error {
+	return s.PublishTargetedSealed(ctx, u, clientIDs, sgx.Measurement{})
+}
+
+// PublishTargetedSealed is PublishTargeted with the blob additionally
+// sealed to one enclave build: it encrypts under the CA's per-measurement
+// key instead of the fleet-shared key, so only enclaves attesting sealTo
+// can open it — every other build fails with ErrSealedToOtherBuild and
+// keeps its last-known-good configuration. A zero sealTo degrades to
+// PublishTargeted.
+func (s *Server) PublishTargetedSealed(ctx context.Context, u *config.Update, clientIDs []string, sealTo sgx.Measurement) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := s.sealAndPublish(u); err != nil {
+	if err := s.sealAndPublish(u, sealTo); err != nil {
 		return err
 	}
 	if err := s.vpn.Policy().AnnounceTarget(clientIDs, u.Version, u.GracePeriod()); err != nil {
@@ -193,12 +215,20 @@ func (s *Server) PublishTargeted(ctx context.Context, u *config.Update, clientID
 // sealAndPublish seals an update under the CA key (encrypting when the
 // deployment is configured to) and stores it on the configuration file
 // server — the publication steps shared by global and targeted rollouts.
-func (s *Server) sealAndPublish(u *config.Update) error {
-	var key []byte
-	if s.opts.EncryptConfigs {
-		key = s.opts.CA.SharedKey()
+// A non-zero sealTo binds the blob to one enclave build: encryption under
+// the CA's per-measurement key, regardless of EncryptConfigs.
+func (s *Server) sealAndPublish(u *config.Update, sealTo sgx.Measurement) error {
+	var blob []byte
+	var err error
+	if !sealTo.IsZero() {
+		blob, err = config.SealTo(u, s.opts.CA.SignConfig, s.opts.CA.MeasurementKey(sealTo), sealTo.String())
+	} else {
+		var key []byte
+		if s.opts.EncryptConfigs {
+			key = s.opts.CA.SharedKey()
+		}
+		blob, err = config.Seal(u, s.opts.CA.SignConfig, key)
 	}
-	blob, err := config.Seal(u, s.opts.CA.SignConfig, key)
 	if err != nil {
 		return err
 	}

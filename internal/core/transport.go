@@ -274,6 +274,18 @@ type LifecycleObserver interface {
 	AdmissionRefused(clientID string, err error)
 }
 
+// RevocationObserver is optionally implemented by Observers that also
+// want build-revocation events. It is separate from LifecycleObserver so
+// existing implementors keep compiling; the deployment type-asserts it
+// independently.
+type RevocationObserver interface {
+	// SessionRevoked fires when a live session is evicted because its
+	// attested enclave build was revoked (policy.Registry.Revoke). build
+	// is the registered build name. Liveness evictions fire
+	// SessionEvicted instead.
+	SessionRevoked(clientID, build string)
+}
+
 // FaultObserver is optionally implemented by Observers that also want
 // robustness events: element faults (recovered panics, quarantine trips)
 // inside client enclaves, and announced configuration versions a client
@@ -300,6 +312,7 @@ type ObserverFuncs struct {
 	OnEvicted     func(clientID string)
 	OnResumed     func(clientID string)
 	OnRefused     func(clientID string, err error)
+	OnRevoked     func(clientID, build string)
 	OnFault       func(clientID string, f click.ElementFault)
 	OnUpdateError func(clientID string, version uint64, err error)
 }
@@ -343,6 +356,13 @@ func (o ObserverFuncs) SessionResumed(clientID string) {
 func (o ObserverFuncs) AdmissionRefused(clientID string, err error) {
 	if o.OnRefused != nil {
 		o.OnRefused(clientID, err)
+	}
+}
+
+// SessionRevoked implements RevocationObserver.
+func (o ObserverFuncs) SessionRevoked(clientID, build string) {
+	if o.OnRevoked != nil {
+		o.OnRevoked(clientID, build)
 	}
 }
 
@@ -406,6 +426,14 @@ func (m multiObserver) AdmissionRefused(clientID string, err error) {
 	for _, o := range m {
 		if lo, ok := o.(LifecycleObserver); ok {
 			lo.AdmissionRefused(clientID, err)
+		}
+	}
+}
+
+func (m multiObserver) SessionRevoked(clientID, build string) {
+	for _, o := range m {
+		if ro, ok := o.(RevocationObserver); ok {
+			ro.SessionRevoked(clientID, build)
 		}
 	}
 }

@@ -60,6 +60,13 @@ type SessionStats struct {
 	// Takeovers counts expired sessions replaced in place by a fresh
 	// handshake or resume for the same client ID.
 	Takeovers uint64
+	// Revoked counts sessions evicted because their enclave build was
+	// revoked (policy.Revoke), as opposed to liveness lapses.
+	Revoked uint64
+	// ByBuild breaks Active down by attested enclave build: registered
+	// build name (or hex measurement for unregistered builds) -> live
+	// session count. Nil when no session carries a measurement.
+	ByBuild map[string]int
 }
 
 // Stats is the combined lifecycle snapshot exposed by

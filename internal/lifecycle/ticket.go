@@ -28,6 +28,12 @@ type Ticket struct {
 	Master         []byte            `json:"master"`
 	ConfigVersion  uint64            `json:"ver"`
 	IssuedUnixNano int64             `json:"iat"`
+	// Measurement is the hex measurement of the attested certificate the
+	// ticket descends from. A resumed session has no certificate in hand,
+	// so the ticket carries the build identity forward: measurement-
+	// targeted rollouts and revocation see resumed sessions exactly like
+	// freshly attested ones.
+	Measurement string `json:"meas,omitempty"`
 }
 
 // TicketSealer seals and opens resumption tickets with AES-GCM under a

@@ -1,0 +1,110 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"endbox/internal/sgx"
+)
+
+// FuzzParseBuilds pins the -allow-builds parser's contract under arbitrary
+// input: either a well-formed build list or an error wrapping ErrBadSpec —
+// never a panic, never an untyped error, never a build that could not be
+// registered. The spec arrives from command lines, so this is the policy
+// engine's input-validation boundary.
+func FuzzParseBuilds(f *testing.F) {
+	hex64 := strings.Repeat("9f", 32)
+	for _, seed := range []string{
+		"v1=" + hex64,
+		"v1=" + hex64 + ",v2.1=" + strings.Repeat("7c", 32),
+		"", ",", "=", "v1", "v1=", "=abc", "v1=zz",
+		"v1=" + hex64[:63],
+		"v1=" + strings.Repeat("00", 32),
+		"v1=" + hex64 + ",v1=" + hex64,
+		"UPPER.case-1_ok=" + hex64,
+		"bad name=" + hex64,
+		strings.Repeat("n", 65) + "=" + hex64,
+		"v1=" + hex64 + ",",
+		"weird\xffbytes=" + hex64,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		builds, err := ParseBuilds(spec)
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("ParseBuilds(%q): untyped error %v", spec, err)
+			}
+			return
+		}
+		if len(builds) == 0 {
+			t.Fatalf("ParseBuilds(%q) accepted an empty build list", spec)
+		}
+		// Every accepted build must be registrable: valid name, non-zero
+		// measurement, no duplicates within the spec.
+		r := NewRegistry()
+		for _, b := range builds {
+			if err := CheckName(b.Name); err != nil {
+				t.Fatalf("ParseBuilds(%q) accepted invalid name %q", spec, b.Name)
+			}
+			if b.Measurement.IsZero() {
+				t.Fatalf("ParseBuilds(%q) accepted a zero measurement", spec)
+			}
+			if err := r.Register(b.Name, b.Measurement); err != nil {
+				t.Fatalf("ParseBuilds(%q) accepted unregistrable build %q: %v", spec, b.Name, err)
+			}
+		}
+	})
+}
+
+// FuzzCheckName pins the name validator: a typed verdict on any input,
+// and acceptance implies the name survives a spec round trip (it contains
+// no grammar separators that would re-parse differently).
+func FuzzCheckName(f *testing.F) {
+	for _, seed := range []string{
+		"v1", "v2.1", "client-2024_08", "", " ", "a b", "a=b", "a,b",
+		strings.Repeat("n", 64), strings.Repeat("n", 65), "é", "\x00",
+	} {
+		f.Add(seed)
+	}
+	hex64 := strings.Repeat("3a", 32)
+	f.Fuzz(func(t *testing.T, name string) {
+		err := CheckName(name)
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("CheckName(%q): untyped error %v", name, err)
+			}
+			return
+		}
+		builds, err := ParseBuilds(name + "=" + hex64)
+		if err != nil || len(builds) != 1 || builds[0].Name != name {
+			t.Fatalf("accepted name %q does not round-trip through a spec: %v %v", name, builds, err)
+		}
+	})
+}
+
+// FuzzParseMeasurement pins the hex parser policy specs lean on: exactly
+// the 64-hex-char strings Measurement.String prints parse back, everything
+// else fails with ErrBadMeasurement, and parsing round-trips.
+func FuzzParseMeasurement(f *testing.F) {
+	for _, seed := range []string{
+		strings.Repeat("9f", 32), strings.Repeat("00", 32),
+		"", "9f", strings.Repeat("9f", 31) + "g0",
+		strings.Repeat("9F", 32), strings.Repeat("9f", 33),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := sgx.ParseMeasurement(s)
+		if err != nil {
+			if !errors.Is(err, sgx.ErrBadMeasurement) {
+				t.Fatalf("ParseMeasurement(%q): untyped error %v", s, err)
+			}
+			return
+		}
+		if got := m.String(); got != strings.ToLower(s) {
+			t.Fatalf("round trip: %q -> %q", s, got)
+		}
+	})
+}

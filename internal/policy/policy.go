@@ -1,0 +1,216 @@
+// Package policy implements the attested-identity policy engine: a
+// registry naming enclave builds by their measurement and tracking their
+// lineage (which build supersedes which) and revocation state. It turns
+// the attested measurement — the thing the whole attestation chain
+// (report → quote → IAS verdict → CA certificate) actually proves — into
+// a first-class policy input: measurement-sealed configuration updates
+// (config.SealTo), build-targeted rollouts (core.Selector.Measurements /
+// MinBuild) and live revocation (Revoke propagates to the CA allowlist,
+// refuses new handshakes and evicts live sessions).
+//
+// The registry is deliberately small and synchronous: names are operator
+// labels ("v1", "v2.1"), lineage is registration order (each build
+// supersedes the one registered before it), and revocation is a one-way
+// state change fanned out to subscribed callbacks. Everything is safe for
+// concurrent use.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"endbox/internal/sgx"
+)
+
+// Common errors.
+var (
+	ErrDuplicateBuild = errors.New("policy: build already registered")
+	ErrUnknownBuild   = errors.New("policy: unknown build")
+	// ErrBuildRevoked marks an enclave build the operator has revoked:
+	// handshakes and resumes from it are refused before any expensive
+	// crypto, and its live sessions are evicted.
+	ErrBuildRevoked = errors.New("policy: enclave build revoked")
+)
+
+// Build is one registered enclave build: an operator-chosen name bound to
+// the measurement the CA will see in quotes from that build.
+type Build struct {
+	// Name labels the build ("v1", "v2.1"); see CheckName for the grammar.
+	Name string
+	// Measurement is the build's code identity (MRENCLAVE).
+	Measurement sgx.Measurement
+	// Supersedes names the build this one replaced in the lineage — the
+	// build registered immediately before it ("" for the first).
+	Supersedes string
+	// Revoked reports whether the operator has revoked the build.
+	Revoked bool
+
+	seq int // position in the lineage, for MinBuild comparisons
+}
+
+// Registry is the measurement registry: build names, lineage and
+// revocation state. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	byName   map[string]*Build
+	byMeas   map[sgx.Measurement]*Build
+	lineage  []*Build
+	onRevoke []func(Build)
+}
+
+// NewRegistry creates an empty measurement registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName: make(map[string]*Build),
+		byMeas: make(map[sgx.Measurement]*Build),
+	}
+}
+
+// Register names an enclave build. Registration order is lineage order:
+// each build supersedes the previously registered one, and MinBuild
+// selectors compare positions in this order. The name must satisfy
+// CheckName, the measurement must be plausible (not all-zero), and both
+// must be new to the registry.
+func (r *Registry) Register(name string, m sgx.Measurement) error {
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	if m.IsZero() {
+		return fmt.Errorf("%w: zero measurement for build %q", sgx.ErrBadMeasurement, name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("%w: name %q", ErrDuplicateBuild, name)
+	}
+	if prev, dup := r.byMeas[m]; dup {
+		return fmt.Errorf("%w: measurement %s already registered as %q", ErrDuplicateBuild, m, prev.Name)
+	}
+	b := &Build{Name: name, Measurement: m, seq: len(r.lineage)}
+	if n := len(r.lineage); n > 0 {
+		b.Supersedes = r.lineage[n-1].Name
+	}
+	r.byName[name] = b
+	r.byMeas[m] = b
+	r.lineage = append(r.lineage, b)
+	return nil
+}
+
+// Revoke marks a build revoked and fans the event out to every OnRevoke
+// subscriber (outside the registry lock, so subscribers may call back into
+// the registry). Revoking an already-revoked build is a no-op.
+func (r *Registry) Revoke(name string) error {
+	r.mu.Lock()
+	b, ok := r.byName[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownBuild, name)
+	}
+	if b.Revoked {
+		r.mu.Unlock()
+		return nil
+	}
+	b.Revoked = true
+	snapshot := *b
+	subs := append([]func(Build){}, r.onRevoke...)
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(snapshot)
+	}
+	return nil
+}
+
+// OnRevoke subscribes to revocation events. The deployment uses this to
+// propagate a Revoke into the CA allowlist and the session sweeper.
+func (r *Registry) OnRevoke(fn func(Build)) {
+	r.mu.Lock()
+	r.onRevoke = append(r.onRevoke, fn)
+	r.mu.Unlock()
+}
+
+// Lookup returns the build registered under name.
+func (r *Registry) Lookup(name string) (Build, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.byName[name]
+	if !ok {
+		return Build{}, false
+	}
+	return *b, true
+}
+
+// LookupMeasurement returns the build a measurement is registered as.
+func (r *Registry) LookupMeasurement(m sgx.Measurement) (Build, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.byMeas[m]
+	if !ok {
+		return Build{}, false
+	}
+	return *b, true
+}
+
+// NameOf returns the registered name for a measurement, or its hex form
+// when the measurement is unregistered — the display identity used in
+// per-build session counts.
+func (r *Registry) NameOf(m sgx.Measurement) string {
+	if b, ok := r.LookupMeasurement(m); ok {
+		return b.Name
+	}
+	return m.String()
+}
+
+// MeasurementOf resolves a build name to its measurement.
+func (r *Registry) MeasurementOf(name string) (sgx.Measurement, error) {
+	b, ok := r.Lookup(name)
+	if !ok {
+		return sgx.Measurement{}, fmt.Errorf("%w: %q", ErrUnknownBuild, name)
+	}
+	return b.Measurement, nil
+}
+
+// Revoked reports whether a measurement belongs to a revoked build.
+// Unregistered measurements are not revoked (the CA allowlist, not the
+// registry, decides whether they may enrol at all).
+func (r *Registry) Revoked(m sgx.Measurement) bool {
+	b, ok := r.LookupMeasurement(m)
+	return ok && b.Revoked
+}
+
+// CheckMeasurement returns ErrBuildRevoked for measurements of revoked
+// builds and nil otherwise — the admission-time gate.
+func (r *Registry) CheckMeasurement(m sgx.Measurement) error {
+	if b, ok := r.LookupMeasurement(m); ok && b.Revoked {
+		return fmt.Errorf("%w: build %q (%s)", ErrBuildRevoked, b.Name, m)
+	}
+	return nil
+}
+
+// AtLeast reports whether measurement m belongs to a build at or after
+// minBuild in the lineage — the MinBuild selector predicate. Unregistered
+// measurements and unknown minBuild names match nothing.
+func (r *Registry) AtLeast(m sgx.Measurement, minBuild string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.byMeas[m]
+	if !ok {
+		return false
+	}
+	min, ok := r.byName[minBuild]
+	if !ok {
+		return false
+	}
+	return b.seq >= min.seq
+}
+
+// Builds returns the lineage, oldest first.
+func (r *Registry) Builds() []Build {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Build, len(r.lineage))
+	for i, b := range r.lineage {
+		out[i] = *b
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"endbox/internal/sgx"
+)
+
+func meas(fill byte) sgx.Measurement {
+	var m sgx.Measurement
+	for i := range m {
+		m[i] = fill
+	}
+	return m
+}
+
+func TestRegisterLineage(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("v1", meas(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("v2", meas(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("v2.1", meas(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	b, ok := r.Lookup("v2.1")
+	if !ok || b.Supersedes != "v2" {
+		t.Fatalf("v2.1 supersedes %q, want v2", b.Supersedes)
+	}
+	b, ok = r.Lookup("v1")
+	if !ok || b.Supersedes != "" {
+		t.Fatalf("first build supersedes %q, want nothing", b.Supersedes)
+	}
+	builds := r.Builds()
+	if len(builds) != 3 || builds[0].Name != "v1" || builds[2].Name != "v2.1" {
+		t.Fatalf("lineage = %v", builds)
+	}
+
+	if got := r.NameOf(meas(2)); got != "v2" {
+		t.Fatalf("NameOf = %q, want v2", got)
+	}
+	if got := r.NameOf(meas(9)); got != meas(9).String() {
+		t.Fatalf("NameOf(unregistered) = %q, want hex", got)
+	}
+	m, err := r.MeasurementOf("v2")
+	if err != nil || m != meas(2) {
+		t.Fatalf("MeasurementOf = %v, %v", m, err)
+	}
+	if _, err := r.MeasurementOf("v99"); !errors.Is(err, ErrUnknownBuild) {
+		t.Fatalf("MeasurementOf(unknown) = %v, want ErrUnknownBuild", err)
+	}
+}
+
+func TestRegisterRejects(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("v1", meas(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("v1", meas(2)); !errors.Is(err, ErrDuplicateBuild) {
+		t.Fatalf("duplicate name: %v, want ErrDuplicateBuild", err)
+	}
+	if err := r.Register("other", meas(1)); !errors.Is(err, ErrDuplicateBuild) {
+		t.Fatalf("duplicate measurement: %v, want ErrDuplicateBuild", err)
+	}
+	if err := r.Register("zero", sgx.Measurement{}); !errors.Is(err, sgx.ErrBadMeasurement) {
+		t.Fatalf("zero measurement: %v, want ErrBadMeasurement", err)
+	}
+	if err := r.Register("bad name", meas(3)); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("bad name: %v, want ErrBadSpec", err)
+	}
+}
+
+func TestRevokePropagates(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("v1", meas(1)); err != nil {
+		t.Fatal(err)
+	}
+	var fired []Build
+	r.OnRevoke(func(b Build) { fired = append(fired, b) })
+
+	if err := r.CheckMeasurement(meas(1)); err != nil {
+		t.Fatalf("pre-revocation gate: %v", err)
+	}
+	if err := r.Revoke("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0].Name != "v1" || !fired[0].Revoked {
+		t.Fatalf("OnRevoke fired with %v", fired)
+	}
+	if !r.Revoked(meas(1)) {
+		t.Fatal("Revoked = false after Revoke")
+	}
+	if err := r.CheckMeasurement(meas(1)); !errors.Is(err, ErrBuildRevoked) {
+		t.Fatalf("gate = %v, want ErrBuildRevoked", err)
+	}
+	// Idempotent: a second revocation neither errors nor re-fires.
+	if err := r.Revoke("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("OnRevoke fired %d times, want 1", len(fired))
+	}
+	if err := r.Revoke("nope"); !errors.Is(err, ErrUnknownBuild) {
+		t.Fatalf("Revoke(unknown) = %v, want ErrUnknownBuild", err)
+	}
+	// Unregistered measurements are the CA allowlist's concern, not a
+	// revocation.
+	if r.Revoked(meas(9)) || r.CheckMeasurement(meas(9)) != nil {
+		t.Fatal("unregistered measurement treated as revoked")
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	r := NewRegistry()
+	for i, name := range []string{"v1", "v2", "v3"} {
+		if err := r.Register(name, meas(byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		m    sgx.Measurement
+		min  string
+		want bool
+	}{
+		{meas(1), "v1", true},
+		{meas(1), "v2", false},
+		{meas(2), "v2", true},
+		{meas(3), "v2", true},
+		{meas(3), "v1", true},
+		{meas(9), "v1", false}, // unregistered measurement
+		{meas(2), "v9", false}, // unknown min build
+	}
+	for _, c := range cases {
+		if got := r.AtLeast(c.m, c.min); got != c.want {
+			t.Errorf("AtLeast(%s, %q) = %v, want %v", r.NameOf(c.m), c.min, got, c.want)
+		}
+	}
+}
+
+func TestParseBuilds(t *testing.T) {
+	spec := "v1=" + meas(1).String() + ", v2.1=" + meas(2).String()
+	builds, err := ParseBuilds(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(builds) != 2 || builds[0].Name != "v1" || builds[1].Name != "v2.1" {
+		t.Fatalf("builds = %v", builds)
+	}
+	if builds[1].Measurement != meas(2) {
+		t.Fatalf("v2.1 measurement = %s", builds[1].Measurement)
+	}
+
+	bad := []string{
+		"",
+		"   ",
+		"v1",
+		"v1=",
+		"v1=xyz",
+		"v1=" + meas(1).String()[:62],
+		"v1=" + strings.Repeat("00", 32), // zero measurement
+		"v1=" + meas(1).String() + ",v1=" + meas(2).String(), // dup name
+		"bad name=" + meas(1).String(),
+		strings.Repeat("n", 65) + "=" + meas(1).String(),
+	}
+	for _, spec := range bad {
+		if _, err := ParseBuilds(spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseBuilds(%q) = %v, want ErrBadSpec", spec, err)
+		}
+	}
+}
+
+func TestRegisterSpec(t *testing.T) {
+	r := NewRegistry()
+	spec := "v1=" + meas(1).String() + ",v2=" + meas(2).String()
+	if err := r.RegisterSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Spec order became lineage order.
+	if !r.AtLeast(meas(2), "v1") || r.AtLeast(meas(1), "v2") {
+		t.Fatal("spec order did not become lineage order")
+	}
+	if err := r.RegisterSpec("v1=" + meas(3).String()); !errors.Is(err, ErrDuplicateBuild) {
+		t.Fatalf("re-registering v1: %v, want ErrDuplicateBuild", err)
+	}
+}

@@ -1,0 +1,89 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"endbox/internal/sgx"
+)
+
+// ErrBadSpec marks a malformed build spec (the -allow-builds grammar).
+var ErrBadSpec = errors.New("policy: malformed build spec")
+
+// maxBuildName bounds build-name length; labels longer than this are
+// operator mistakes, not identities.
+const maxBuildName = 64
+
+// CheckName validates a build name: 1–64 characters from letters, digits,
+// '.', '-' and '_', so names like "v2.1" or "client-2024_08" work while
+// spec-grammar separators ('=', ',') and whitespace cannot appear.
+func CheckName(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty build name", ErrBadSpec)
+	}
+	if len(name) > maxBuildName {
+		return fmt.Errorf("%w: build name longer than %d chars", ErrBadSpec, maxBuildName)
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return fmt.Errorf("%w: bad character %q in build name %q", ErrBadSpec, c, name)
+		}
+	}
+	return nil
+}
+
+// ParseBuilds parses the -allow-builds grammar: comma-separated
+// name=measurement pairs, the measurement in the 64-hex-char form
+// Measurement.String prints. Every error wraps ErrBadSpec (name grammar,
+// hex grammar, duplicates); parsing never panics on any input (fuzzed).
+//
+//	v1=9f8a...64 hex...,v2=7c1d...64 hex...
+func ParseBuilds(spec string) ([]Build, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("%w: empty spec", ErrBadSpec)
+	}
+	var builds []Build
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		name, hexMeas, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: entry %q is not name=measurement", ErrBadSpec, entry)
+		}
+		if err := CheckName(name); err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("%w: duplicate build name %q", ErrBadSpec, name)
+		}
+		seen[name] = true
+		m, err := sgx.ParseMeasurement(hexMeas)
+		if err != nil {
+			return nil, fmt.Errorf("%w: build %q: %v", ErrBadSpec, name, err)
+		}
+		if m.IsZero() {
+			return nil, fmt.Errorf("%w: build %q: zero measurement", ErrBadSpec, name)
+		}
+		builds = append(builds, Build{Name: name, Measurement: m})
+	}
+	return builds, nil
+}
+
+// RegisterSpec parses a build spec and registers every build, in spec
+// order (which therefore becomes lineage order).
+func (r *Registry) RegisterSpec(spec string) error {
+	builds, err := ParseBuilds(spec)
+	if err != nil {
+		return err
+	}
+	for _, b := range builds {
+		if err := r.Register(b.Name, b.Measurement); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -34,3 +34,5 @@ func BenchmarkScenarioEnterpriseTLS(b *testing.B) { benchScenario(b, "enterprise
 func BenchmarkScenarioIDPSAtScale(b *testing.B)   { benchScenario(b, "idps-at-scale") }
 func BenchmarkScenarioDDoSFlood(b *testing.B)     { benchScenario(b, "ddos-flood") }
 func BenchmarkScenarioMixedCohort(b *testing.B)   { benchScenario(b, "mixed-cohort") }
+
+func BenchmarkScenarioVersionedFleet(b *testing.B) { benchScenario(b, "versioned-fleet") }

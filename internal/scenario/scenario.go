@@ -182,9 +182,11 @@ type Result struct {
 	// only; the in-process transport cannot lose messages).
 	Retransmits uint64 `json:"retransmits"`
 
-	// Lifecycle events (mixed-cohort: mid-run eviction and resume).
+	// Lifecycle events (mixed-cohort: mid-run eviction and resume;
+	// versioned-fleet: sessions evicted by a mid-run build revocation).
 	Evicted uint64 `json:"evicted"`
 	Resumed uint64 `json:"resumed"`
+	Revoked uint64 `json:"revoked,omitempty"`
 	// RolloutVersion is the configuration version a mid-run rollout
 	// converged to (0 = no rollout in this scenario).
 	RolloutVersion uint64 `json:"rollout_version,omitempty"`

@@ -60,7 +60,7 @@ func TestRunRejectsBadSpecs(t *testing.T) {
 
 func TestNamesRegistered(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"enterprise-tls", "idps-at-scale", "ddos-flood", "mixed-cohort"} {
+	for _, want := range []string{"enterprise-tls", "idps-at-scale", "ddos-flood", "mixed-cohort", "versioned-fleet"} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -88,6 +88,8 @@ func shortSpec(t *testing.T, name string) string {
 		return name + ":syn=300,udpflood=200,legit=50,capacity=64,rounds=2"
 	case "mixed-cohort":
 		return name + ":bulk=8,rules=200,rounds=2"
+	case "versioned-fleet":
+		return name + ":bulk=8,rounds=2"
 	default:
 		t.Fatalf("no short spec for %q", name)
 		return ""
@@ -100,7 +102,7 @@ func shortSpec(t *testing.T, name string) string {
 // eviction/resume counts) are asserted inside each scenario's Collect, so
 // a violation fails Run itself.
 func TestScenarioMatrix(t *testing.T) {
-	for _, name := range []string{"enterprise-tls", "idps-at-scale", "ddos-flood", "mixed-cohort"} {
+	for _, name := range []string{"enterprise-tls", "idps-at-scale", "ddos-flood", "mixed-cohort", "versioned-fleet"} {
 		for _, transport := range []string{TransportInProcess, TransportUDP} {
 			t.Run(name+"/"+transport, func(t *testing.T) {
 				res, err := Run(shortSpec(t, name), transport)
@@ -165,6 +167,28 @@ func TestMixedCohortAcceptance(t *testing.T) {
 			}
 			if res.Evicted != 1 || res.Resumed != 1 {
 				t.Fatalf("evicted=%d resumed=%d, want 1/1", res.Evicted, res.Resumed)
+			}
+			if res.RolloutVersion != 2 {
+				t.Fatalf("rollout version %d, want 2", res.RolloutVersion)
+			}
+		})
+	}
+}
+
+// TestVersionedFleetAcceptance pins the versioned-fleet acceptance
+// criteria on both transports: the measurement-sealed canary updates only
+// the new build (the old build keeps its last-known-good configuration —
+// the leak and refusal checks live in the scenario's Mid), and revoking
+// the old build mid-run evicts exactly its sessions.
+func TestVersionedFleetAcceptance(t *testing.T) {
+	for _, transport := range []string{TransportInProcess, TransportUDP} {
+		t.Run(transport, func(t *testing.T) {
+			res, err := Run(shortSpec(t, "versioned-fleet"), transport)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Revoked != 2 {
+				t.Fatalf("revocation evictions = %d, want 2", res.Revoked)
 			}
 			if res.RolloutVersion != 2 {
 				t.Fatalf("rollout version %d, want 2", res.RolloutVersion)

@@ -73,6 +73,7 @@ var (
 	ErrEPCExhausted   = errors.New("sgx: EPC reservation exceeds machine limit")
 	ErrBadReport      = errors.New("sgx: report MAC verification failed")
 	ErrSealCorrupt    = errors.New("sgx: sealed blob corrupt or wrong enclave")
+	ErrBadMeasurement = errors.New("sgx: malformed measurement")
 )
 
 // Measurement is the SHA-256 hash identifying enclave code and initial data,
@@ -81,6 +82,28 @@ type Measurement [32]byte
 
 // String returns the hex form used in CA allowlists and logs.
 func (m Measurement) String() string { return hex.EncodeToString(m[:]) }
+
+// IsZero reports whether the measurement is all-zero. A zero measurement
+// can never arise from Image.Measure (it is a SHA-256 output), so it marks
+// an unset value or a forged report.
+func (m Measurement) IsZero() bool { return m == Measurement{} }
+
+// ParseMeasurement reverses Measurement.String: 64 hex characters decoding
+// to 32 bytes. Anything else — wrong length, non-hex garbage — fails with
+// ErrBadMeasurement, so operator-supplied strings (allowlist flags, policy
+// specs) cannot smuggle malformed identities into measurement maps.
+func ParseMeasurement(s string) (Measurement, error) {
+	var m Measurement
+	if len(s) != 2*len(m) {
+		return Measurement{}, fmt.Errorf("%w: %d hex chars, want %d", ErrBadMeasurement, len(s), 2*len(m))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%w: %v", ErrBadMeasurement, err)
+	}
+	copy(m[:], b)
+	return m, nil
+}
 
 // Image describes the enclave binary to be loaded: the code identity from
 // which the measurement derives. In the real system this is the signed

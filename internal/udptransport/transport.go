@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,9 +14,44 @@ import (
 	"endbox/internal/core"
 	"endbox/internal/dataplane"
 	"endbox/internal/netsim"
+	"endbox/internal/policy"
 	"endbox/internal/vpn"
 	"endbox/internal/wire"
 )
+
+// typedServerErrors are the sentinel errors a client must be able to
+// errors.Is-match even though MsgError carries only text: admission and
+// policy refusals that callers branch on (retry vs give up vs re-attest).
+// serverError re-types a MsgError body whose text embeds one of them.
+var typedServerErrors = []error{
+	attest.ErrMeasurementDenied,
+	attest.ErrBadMeasurement,
+	policy.ErrBuildRevoked,
+}
+
+// remoteError is a server-reported error whose text identified a known
+// sentinel: Error() preserves the wire text, Unwrap() restores the typed
+// identity for errors.Is.
+type remoteError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// serverError turns a MsgError body into the error a client call returns,
+// re-typing it when the text embeds a known sentinel so refusals like
+// ErrMeasurementDenied survive the wire with their identity intact.
+func serverError(body []byte) error {
+	msg := "udptransport: server: " + string(body)
+	for _, sentinel := range typedServerErrors {
+		if strings.Contains(string(body), sentinel.Error()) {
+			return &remoteError{msg: msg, sentinel: sentinel}
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}
 
 // SendFilter intercepts control-path datagram transmission: it receives
 // the outgoing datagram and the raw transmit function and decides what
@@ -717,7 +753,7 @@ func (l *Link) request(ctx context.Context, datagram []byte) (byte, []byte, erro
 				return 0, nil, err
 			}
 			if msgType == MsgError {
-				return 0, nil, fmt.Errorf("udptransport: server: %s", body)
+				return 0, nil, serverError(body)
 			}
 			return msgType, body, nil
 		case <-ctx.Done():
@@ -748,7 +784,7 @@ func (l *Link) requestReliable(ctx context.Context, datagram []byte) (byte, []by
 			return 0, nil, err
 		}
 		if msgType == MsgError {
-			return 0, nil, fmt.Errorf("udptransport: server: %s", body)
+			return 0, nil, serverError(body)
 		}
 		return msgType, body, nil
 	case err := <-x.failed:
@@ -880,7 +916,7 @@ func (l *Link) FetchConfig(ctx context.Context, version uint64) ([]byte, error) 
 			}
 			switch msgType {
 			case MsgError:
-				return nil, fmt.Errorf("udptransport: server: %s", body)
+				return nil, serverError(body)
 			case MsgConfig:
 				complete, err := asm.Add(body)
 				if err != nil {

@@ -13,6 +13,7 @@ import (
 	"endbox/internal/dataplane"
 	"endbox/internal/lifecycle"
 	"endbox/internal/packet"
+	"endbox/internal/sgx"
 	"endbox/internal/wire"
 )
 
@@ -71,6 +72,14 @@ type ServerOptions struct {
 	// OnHealth receives client health reports (apply acks with swap
 	// timing, post-swap fault notifications). Optional.
 	OnHealth func(clientID string, h HealthReport)
+	// GateMeasurement, when set, is consulted with the claimed enclave
+	// measurement before any handshake or resume crypto runs: a non-nil
+	// error refuses the attempt outright (the policy engine returns
+	// policy.ErrBuildRevoked for revoked builds). The claim is cheap to
+	// check and safe to trust for refusal — an accepted handshake still
+	// verifies the certificate binding the measurement, so lying about
+	// the measurement only ever gets a client refused or caught. Optional.
+	GateMeasurement func(m sgx.Measurement) error
 }
 
 // VIFStats are per-client virtual interface counters, kept shard-local in
@@ -82,9 +91,15 @@ type VIFStats = dataplane.VIFStats
 // for one client never contend with frames for another — all cross-client
 // coordination lives in the sharded table's per-shard locks.
 type session struct {
-	sess            *wire.Session
-	cert            *attest.Certificate
-	signPub         ed25519.PublicKey
+	sess    *wire.Session
+	cert    *attest.Certificate
+	signPub ed25519.PublicKey
+	// meas is the attested enclave measurement the session runs under:
+	// from the verified certificate at handshake, from the ticket at
+	// resume. Zero for pre-measurement tickets. Immutable after install,
+	// so measurement-targeted rollouts and revocation sweeps read it
+	// without locks.
+	meas            sgx.Measurement
 	reportedVersion atomic.Uint64
 	stats           dataplane.VIFCounters
 	// live is the liveness entry the data path touches; nil when
@@ -115,6 +130,7 @@ type Server struct {
 	evicted   atomic.Uint64
 	resumed   atomic.Uint64
 	takeovers atomic.Uint64
+	revoked   atomic.Uint64
 }
 
 // NewServer validates options and creates a server.
@@ -174,6 +190,13 @@ func (s *Server) Accept(hello *ClientHello) (*ServerHello, error) {
 	if hello.Cert == nil {
 		return nil, ErrBadCert
 	}
+	// Gate on the claimed measurement before any signature verification:
+	// a revoked build is refused for the cost of a map lookup.
+	if s.opts.GateMeasurement != nil {
+		if err := s.opts.GateMeasurement(hello.Cert.Measurement); err != nil {
+			return nil, err
+		}
+	}
 	if err := hello.Cert.Verify(s.opts.CAPub, s.opts.Clock()); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadCert, err)
 	}
@@ -216,6 +239,7 @@ func (s *Server) Accept(hello *ClientHello) (*ServerHello, error) {
 		Master:         master,
 		ConfigVersion:  sh.ConfigVersion,
 		IssuedUnixNano: now,
+		Measurement:    hello.Cert.Measurement.String(),
 	})
 	if err != nil {
 		return nil, err
@@ -227,7 +251,12 @@ func (s *Server) Accept(hello *ClientHello) (*ServerHello, error) {
 		return nil, err
 	}
 
-	entry := &session{sess: sess, cert: hello.Cert, signPub: hello.Cert.Keys.SignPub}
+	entry := &session{
+		sess:    sess,
+		cert:    hello.Cert,
+		signPub: hello.Cert.Keys.SignPub,
+		meas:    hello.Cert.Measurement,
+	}
 	entry.reportedVersion.Store(hello.ConfigVersion)
 	if err := s.install(hello.ClientID, entry, now, false); err != nil {
 		return nil, err
@@ -321,11 +350,65 @@ func (s *Server) SessionStats() lifecycle.SessionStats {
 		Evicted:   s.evicted.Load(),
 		Resumed:   s.resumed.Load(),
 		Takeovers: s.takeovers.Load(),
+		Revoked:   s.revoked.Load(),
 	}
 	if s.tracker != nil {
 		st.Tracked = s.tracker.Len()
 	}
 	return st
+}
+
+// Measurement reports the attested enclave measurement a client's session
+// runs under (zero for sessions resumed from pre-measurement tickets).
+func (s *Server) Measurement(clientID string) (sgx.Measurement, bool) {
+	sess, ok := s.sessions.Get(clientID)
+	if !ok {
+		return sgx.Measurement{}, false
+	}
+	return sess.meas, true
+}
+
+// SessionsByMeasurement counts live sessions per attested measurement —
+// the per-build breakdown LifecycleStats exposes. Sessions without a
+// measurement (pre-measurement resumes) are counted under the zero value.
+func (s *Server) SessionsByMeasurement() map[sgx.Measurement]int {
+	counts := make(map[sgx.Measurement]int)
+	s.sessions.Range(func(_ string, sess *session) bool {
+		counts[sess.meas]++
+		return true
+	})
+	return counts
+}
+
+// EvictRevoked removes every session attested under measurement m and
+// returns the evicted client IDs, using the same pointer-matched delete
+// as the liveness sweep so a concurrent takeover is never hit by a stale
+// eviction. The caller (the deployment's revocation path) reclaims
+// transport and address state for the returned IDs.
+func (s *Server) EvictRevoked(m sgx.Measurement) []string {
+	type victim struct {
+		id   string
+		sess *session
+	}
+	var victims []victim
+	s.sessions.Range(func(id string, sess *session) bool {
+		if sess.meas == m {
+			victims = append(victims, victim{id, sess})
+		}
+		return true
+	})
+	evicted := make([]string, 0, len(victims))
+	for _, v := range victims {
+		v := v
+		if s.sessions.DeleteIf(v.id, func(se *session) bool { return se == v.sess }) {
+			if s.tracker != nil {
+				s.tracker.Remove(v.sess.live.Load())
+			}
+			s.revoked.Add(1)
+			evicted = append(evicted, v.id)
+		}
+	}
+	return evicted
 }
 
 // Resume re-establishes a session from a resumption ticket (MsgResume):
@@ -344,6 +427,21 @@ func (s *Server) Resume(req *ResumeRequest) (*ResumeReply, error) {
 	}
 	if tk.ClientID != req.ClientID {
 		return nil, fmt.Errorf("%w: ticket bound to %q, presented by %q", ErrBadTicket, tk.ClientID, req.ClientID)
+	}
+	// The ticket carries the measurement of the attested certificate it
+	// descends from; gate on it before the signature verification so a
+	// revoked build cannot slip back in through resume.
+	var meas sgx.Measurement
+	if tk.Measurement != "" {
+		meas, err = sgx.ParseMeasurement(tk.Measurement)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTicket, err)
+		}
+	}
+	if s.opts.GateMeasurement != nil {
+		if err := s.opts.GateMeasurement(meas); err != nil {
+			return nil, err
+		}
 	}
 	if !ed25519.Verify(tk.SignPub, req.Transcript(), req.Signature) {
 		return nil, ErrBadSignature
@@ -364,6 +462,7 @@ func (s *Server) Resume(req *ResumeRequest) (*ResumeReply, error) {
 		Master:         master,
 		ConfigVersion:  reply.ConfigVersion,
 		IssuedUnixNano: now,
+		Measurement:    tk.Measurement,
 	})
 	if err != nil {
 		return nil, err
@@ -374,7 +473,7 @@ func (s *Server) Resume(req *ResumeRequest) (*ResumeReply, error) {
 	if err != nil {
 		return nil, err
 	}
-	entry := &session{sess: sess, signPub: tk.SignPub}
+	entry := &session{sess: sess, signPub: tk.SignPub, meas: meas}
 	entry.reportedVersion.Store(req.ConfigVersion)
 	if err := s.install(req.ClientID, entry, now, true); err != nil {
 		return nil, err

@@ -168,6 +168,27 @@ func WithoutContainment() Option {
 	return func(o *DeploymentOptions) { o.DisableContainment = true }
 }
 
+// WithPolicy attaches an attested-identity policy registry to the
+// deployment: registered builds may enrol (Deployment.RegisterBuild names
+// new ones), rollout selectors gain Measurements/MinBuild predicates
+// resolved against the registry, and Policy.Revoke (or
+// Deployment.RevokeBuild) propagates live — new handshakes and resumes
+// from the revoked build are refused before any crypto, and its live
+// sessions are evicted (RevocationObserver.SessionRevoked fires).
+func WithPolicy(p *Policy) Option {
+	return func(o *DeploymentOptions) { o.Policy = p }
+}
+
+// WithSealToMeasurement opts targeted rollouts into measurement-sealed
+// update blobs: when a rollout's selector names exactly one measurement,
+// the update is encrypted under that build's CA-derived key, making it
+// cryptographically unopenable by every other build — clients of other
+// builds fail with ErrSealedToOtherBuild and keep their last-known-good
+// configuration.
+func WithSealToMeasurement() Option {
+	return func(o *DeploymentOptions) { o.SealToMeasurement = true }
+}
+
 // WithTicketTTL bounds the age of resumption tickets accepted by fast
 // resume (see Deployment.ResumeClient). Zero accepts any ticket sealed
 // under the server's in-memory ticket key — which a server restart
